@@ -1,0 +1,116 @@
+//! Criterion microbenchmarks of the simulator's hot paths.
+//!
+//! These are engineering benchmarks (simulator throughput), not paper
+//! reproductions — the paper's tables and figures live in `src/bin/`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_compression::{bdi, fpc};
+use dylect_core::GroupMap;
+use dylect_dram::{Dram, DramConfig, DramOp, RequestClass};
+use dylect_memctl::FreeSpace;
+use dylect_sim::{SchemeKind, System, SystemConfig};
+use dylect_sim_core::rng::{Rng, Zipf};
+use dylect_sim_core::{DramPageId, MachineAddr, PageId, Time};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn bench_cte_cache(c: &mut Criterion) {
+    let mut cache: SetAssocCache = SetAssocCache::new(CacheConfig::lru(128 * 1024, 8, 64));
+    let mut rng = Rng::new(7);
+    c.bench_function("cte_cache_lookup_fill", |b| {
+        b.iter(|| {
+            let key = rng.next_below(1 << 16);
+            if !cache.access(black_box(key)) {
+                cache.fill(key, false, ());
+            }
+        })
+    });
+}
+
+fn bench_dram_access(c: &mut Criterion) {
+    let mut dram = Dram::new(DramConfig::paper(1 << 30, 8));
+    let mut t = Time::ZERO;
+    let mut rng = Rng::new(3);
+    c.bench_function("dram_single_access", |b| {
+        b.iter(|| {
+            let addr = MachineAddr::new(rng.next_below(1 << 30) / 64 * 64);
+            t = dram.access(t, black_box(addr), DramOp::Read, RequestClass::Demand);
+        })
+    });
+}
+
+fn bench_short_cte_hash(c: &mut Criterion) {
+    let groups = GroupMap::new(1 << 22, 3);
+    let mut rng = Rng::new(5);
+    c.bench_function("short_cte_mapping", |b| {
+        b.iter(|| {
+            let p = PageId::new(rng.next_below(1 << 24));
+            black_box(groups.hash(black_box(p)));
+        })
+    });
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut block = [0u8; 64];
+    for (i, b) in block.iter_mut().enumerate() {
+        *b = (i % 7) as u8;
+    }
+    c.bench_function("bdi_compress_64b", |b| {
+        b.iter(|| bdi::compressed_bytes(black_box(&block)))
+    });
+    let mut page = vec![0u8; 4096];
+    for (i, b) in page.iter_mut().enumerate() {
+        *b = ((i / 3) % 11) as u8;
+    }
+    c.bench_function("fpc_compress_4k", |b| {
+        b.iter(|| fpc::compressed_bytes(black_box(&page)))
+    });
+}
+
+fn bench_freespace(c: &mut Criterion) {
+    c.bench_function("freespace_alloc_free", |b| {
+        let mut fs = FreeSpace::new();
+        for i in 0..256 {
+            fs.add_page(DramPageId::new(i));
+        }
+        let mut rng = Rng::new(11);
+        let mut live = Vec::new();
+        b.iter(|| {
+            if live.len() < 128 {
+                let len = (rng.next_below(3840) + 256) as u32;
+                if let Some(s) = fs.alloc_span(len) {
+                    live.push(s);
+                }
+            } else {
+                let idx = rng.next_below(live.len() as u64) as usize;
+                fs.free_span(live.swap_remove(idx));
+            }
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1 << 20, 0.99);
+    let mut rng = Rng::new(13);
+    c.bench_function("zipf_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let mut sys = System::new(cfg, &spec);
+    sys.run(50_000, 1);
+    c.bench_function("system_step_1000_ops", |b| b.iter(|| sys.execute(1000)));
+}
+
+criterion_group!(
+    benches,
+    bench_cte_cache,
+    bench_dram_access,
+    bench_short_cte_hash,
+    bench_compressors,
+    bench_freespace,
+    bench_zipf,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 4: TMCC's performance normalized to a bigger memory system with
+//! no compression, under 2 MB huge pages.
+//!
+//! Paper: 14% average slowdown at low compression, 18% at high.
+
+use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let mut rows = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        let mut normalized = Vec::new();
+        for spec in suite() {
+            let base = run_one(&spec, SchemeKind::NoCompression, setting, mode);
+            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
+            let perf = tmcc.speedup_over(&base);
+            normalized.push(perf);
+            rows.push(vec![
+                format!("{setting:?}"),
+                spec.name.to_owned(),
+                format!("{perf:.4}"),
+            ]);
+            eprintln!("[fig04] {setting:?} {}: {perf:.3} of no-compression", spec.name);
+        }
+        rows.push(vec![
+            format!("{setting:?}"),
+            "GEOMEAN".to_owned(),
+            format!("{:.4}", geomean(&normalized)),
+        ]);
+    }
+    print_table(
+        "Figure 4: TMCC normalized to no-compression (paper: 0.86 low, 0.82 high)",
+        &["setting", "benchmark", "tmcc_normalized_perf"],
+        &rows,
+    );
+}

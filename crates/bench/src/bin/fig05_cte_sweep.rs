@@ -1,0 +1,47 @@
+//! Figure 5: TMCC CTE cache miss rate as the cache size is swept from
+//! 64 KB to 512 KB, under 2 MB huge pages.
+//!
+//! Paper: octupling the cache from 64 KB to 512 KB only reduces the average
+//! miss rate from 34% to 24% — capacity alone cannot buy reach.
+
+use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let sizes = [64u64, 128, 256, 512];
+    let mut rows = Vec::new();
+    let mut means = vec![0.0f64; sizes.len()];
+    let specs = suite();
+    for spec in &specs {
+        let mut row = vec![spec.name.to_owned()];
+        for (i, kb) in sizes.iter().enumerate() {
+            let r = run_one(
+                spec,
+                SchemeKind::Tmcc {
+                    granule_pages: 1,
+                    cte_cache_bytes: kb * 1024,
+                },
+                CompressionSetting::High,
+                mode,
+            );
+            let miss = 1.0 - r.mc.cte_hit_rate();
+            means[i] += miss;
+            row.push(format!("{miss:.4}"));
+            eprintln!("[fig05] {} @{kb}KB: miss {miss:.3}", spec.name);
+        }
+        rows.push(row);
+    }
+    let n = specs.len() as f64;
+    rows.push(
+        std::iter::once("MEAN".to_owned())
+            .chain(means.iter().map(|m| format!("{:.4}", m / n)))
+            .collect(),
+    );
+    print_table(
+        "Figure 5: TMCC CTE cache miss rate vs size, high compression (paper mean: 0.34 @64K -> 0.24 @512K)",
+        &["benchmark", "miss_64k", "miss_128k", "miss_256k", "miss_512k"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 18: DyLeCT performance normalized to TMCC at low and high
+//! compression, plus the always-hit upper bound.
+//!
+//! Paper: +11% at low compression, +9.5% at high (10.25% overall);
+//! DyLeCT tracks the upper bound closely; canneal benefits most at low
+//! compression (+17%) and drops to +10% at high.
+
+use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        let mut per_setting = Vec::new();
+        for spec in suite() {
+            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
+            let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+            let upper = run_one(
+                &spec,
+                SchemeKind::DylectAlwaysHit { group_size: 3 },
+                setting,
+                mode,
+            );
+            let s = dylect.speedup_over(&tmcc);
+            let u = upper.speedup_over(&tmcc);
+            per_setting.push(s);
+            speedups.push(s);
+            rows.push(vec![
+                format!("{setting:?}"),
+                spec.name.to_owned(),
+                format!("{s:.4}"),
+                format!("{u:.4}"),
+            ]);
+            eprintln!("[fig18] {setting:?} {}: dylect {s:.3}x, upper {u:.3}x", spec.name);
+        }
+        rows.push(vec![
+            format!("{setting:?}"),
+            "GEOMEAN".to_owned(),
+            format!("{:.4}", geomean(&per_setting)),
+            String::new(),
+        ]);
+    }
+    print_table(
+        "Figure 18: DyLeCT speedup over TMCC (paper: 1.11 low, 1.095 high, 1.1025 avg)",
+        &["setting", "benchmark", "dylect_over_tmcc", "upper_bound_over_tmcc"],
+        &rows,
+    );
+    println!("# overall geomean speedup: {:.4}", geomean(&speedups));
+}

@@ -1,0 +1,49 @@
+//! Figure 20: DRAM breakdown into ML0 / ML1 / ML2 under DyLeCT at low and
+//! high compression.
+//!
+//! Paper: at low compression ML0 "scales up gracefully" to most of DRAM;
+//! at high compression more pages sit compressed in ML2 and ML0 shrinks.
+
+use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let mut rows = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in suite() {
+            let r = run_one(&spec, SchemeKind::dylect(), setting, mode);
+            let o = r.occupancy;
+            let total = (o.ml0_pages + o.ml1_pages + o.ml2_pages) as f64;
+            rows.push(vec![
+                format!("{setting:?}"),
+                spec.name.to_owned(),
+                format!("{:.4}", o.ml0_pages as f64 / total),
+                format!("{:.4}", o.ml1_pages as f64 / total),
+                format!("{:.4}", o.ml2_pages as f64 / total),
+                format!("{:.4}", o.ml0_fraction_of_uncompressed()),
+            ]);
+            eprintln!(
+                "[fig20] {setting:?} {}: ML0 {} ML1 {} ML2 {} (ml0/unc {:.2})",
+                spec.name,
+                o.ml0_pages,
+                o.ml1_pages,
+                o.ml2_pages,
+                o.ml0_fraction_of_uncompressed()
+            );
+        }
+    }
+    print_table(
+        "Figure 20: OS-page breakdown across memory levels under DyLeCT",
+        &[
+            "setting",
+            "benchmark",
+            "ml0_frac",
+            "ml1_frac",
+            "ml2_frac",
+            "ml0_of_uncompressed",
+        ],
+        &rows,
+    );
+}

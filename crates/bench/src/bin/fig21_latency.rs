@@ -1,0 +1,46 @@
+//! Figure 21: how much TMCC and DyLeCT increase L3 miss latency over a
+//! system with no compression (nanoseconds).
+//!
+//! Paper: DyLeCT adds 2.9 ns (low) / 5.8 ns (high) on average; TMCC adds
+//! 9.5 ns / 12.8 ns.
+
+use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let mut rows = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        let mut sums = [0.0f64; 2];
+        let mut n = 0.0;
+        for spec in suite() {
+            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
+            let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+            sums[0] += tmcc.l3_miss_overhead_ns;
+            sums[1] += dylect.l3_miss_overhead_ns;
+            n += 1.0;
+            rows.push(vec![
+                format!("{setting:?}"),
+                spec.name.to_owned(),
+                format!("{:.2}", tmcc.l3_miss_overhead_ns),
+                format!("{:.2}", dylect.l3_miss_overhead_ns),
+            ]);
+            eprintln!(
+                "[fig21] {setting:?} {}: tmcc +{:.1}ns, dylect +{:.1}ns",
+                spec.name, tmcc.l3_miss_overhead_ns, dylect.l3_miss_overhead_ns
+            );
+        }
+        rows.push(vec![
+            format!("{setting:?}"),
+            "MEAN".to_owned(),
+            format!("{:.2}", sums[0] / n),
+            format!("{:.2}", sums[1] / n),
+        ]);
+    }
+    print_table(
+        "Figure 21: L3 miss latency adder in ns (paper: TMCC 9.5/12.8, DyLeCT 2.9/5.8)",
+        &["setting", "benchmark", "tmcc_adder_ns", "dylect_adder_ns"],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 22: total memory traffic per instruction for DyLeCT normalized
+//! to TMCC.
+//!
+//! Paper: 93% on average — DyLeCT's CTE-traffic savings outweigh its
+//! migration and dual-fetch costs per unit of work.
+
+use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_sim::SchemeKind;
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let setting = CompressionSetting::High;
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for spec in suite() {
+        let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
+        let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+        let ratio = dylect.traffic_per_kilo_instruction() / tmcc.traffic_per_kilo_instruction();
+        ratios.push(ratio);
+        rows.push(vec![
+            spec.name.to_owned(),
+            format!("{:.2}", tmcc.traffic_per_kilo_instruction()),
+            format!("{:.2}", dylect.traffic_per_kilo_instruction()),
+            format!("{ratio:.4}"),
+        ]);
+        eprintln!("[fig22] {}: {ratio:.3}", spec.name);
+    }
+    rows.push(vec![
+        "GEOMEAN".to_owned(),
+        String::new(),
+        String::new(),
+        format!("{:.4}", geomean(&ratios)),
+    ]);
+    print_table(
+        "Figure 22: traffic per instruction, DyLeCT / TMCC (paper: 0.93 avg)",
+        &[
+            "benchmark",
+            "tmcc_blocks_per_ki",
+            "dylect_blocks_per_ki",
+            "ratio",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 24: DRAM energy per instruction of DyLeCT (8 ranks) normalized
+//! to a 2x-bigger conventional system without compression (16 ranks).
+//!
+//! Paper: ~60% on average — halving the DRAM chips halves the dominant
+//! idle (refresh + background) energy.
+
+use dylect_bench::{config_for, geomean, print_table, suite, Mode};
+use dylect_sim::{SchemeKind, System};
+use dylect_workloads::CompressionSetting;
+
+fn main() {
+    let mode = Mode::from_env();
+    let setting = CompressionSetting::High;
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for spec in suite() {
+        // The bigger no-compression system uses twice the ranks (paper §VI).
+        let mut base_cfg = config_for(&spec, SchemeKind::NoCompression, setting, mode);
+        base_cfg.dram_ranks = 16;
+        base_cfg.dram_bytes *= 2;
+        let base = System::new(base_cfg, &spec).run(mode.warmup_ops, mode.measure_ops);
+        let dylect = dylect_bench::run_one(&spec, SchemeKind::dylect(), setting, mode);
+        let ratio = dylect.energy_per_instruction_nj() / base.energy_per_instruction_nj();
+        ratios.push(ratio);
+        rows.push(vec![
+            spec.name.to_owned(),
+            format!("{:.3}", base.energy_per_instruction_nj()),
+            format!("{:.3}", dylect.energy_per_instruction_nj()),
+            format!("{ratio:.4}"),
+            format!("{:.3}", dylect.energy.idle_fraction()),
+        ]);
+        eprintln!("[fig24] {}: {ratio:.3} of no-compression", spec.name);
+    }
+    rows.push(vec![
+        "GEOMEAN".to_owned(),
+        String::new(),
+        String::new(),
+        format!("{:.4}", geomean(&ratios)),
+        String::new(),
+    ]);
+    print_table(
+        "Figure 24: DRAM energy per instruction, DyLeCT(8 ranks)/NoComp(16 ranks) (paper: ~0.60)",
+        &[
+            "benchmark",
+            "nocomp_nj_per_inst",
+            "dylect_nj_per_inst",
+            "ratio",
+            "dylect_idle_fraction",
+        ],
+        &rows,
+    );
+}

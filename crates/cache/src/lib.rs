@@ -1,0 +1,512 @@
+//! Cache and prefetcher models for the DyLeCT simulator.
+//!
+//! [`SetAssocCache`] is a tag-only set-associative cache used throughout the
+//! workspace: for the CPU's L1/L2/L3 data caches, for TLBs (a TLB is just a
+//! cache of page numbers), for the page-walker cache, and — most importantly
+//! for this reproduction — for the memory controller's **CTE cache**, which
+//! caches 64 B blocks of the compressed-memory translation tables.
+//!
+//! The cache stores no data payload by default (the simulator tracks *where*
+//! values live, not the values themselves), but is generic over a per-line
+//! metadata type for callers that need one.
+//!
+//! [`prefetch`] provides the next-line and stride prefetchers from the
+//! paper's Table 3.
+
+pub mod prefetch;
+pub mod sector;
+
+use dylect_sim_core::stats::Counter;
+
+/// Replacement policy of a [`SetAssocCache`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the default, and what the paper assumes).
+    #[default]
+    Lru,
+    /// Pseudo-random replacement (deterministic xorshift sequence).
+    Random,
+}
+
+/// Static geometry of a [`SetAssocCache`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Line (block) size in bytes; keys are derived as `addr / block_bytes`.
+    pub block_bytes: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Convenience constructor for an LRU cache.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dylect_cache::CacheConfig;
+    /// let cfg = CacheConfig::lru(128 * 1024, 8, 64);
+    /// assert_eq!(cfg.num_sets(), 256);
+    /// ```
+    pub const fn lru(capacity_bytes: u64, ways: u32, block_bytes: u64) -> Self {
+        CacheConfig {
+            capacity_bytes,
+            ways,
+            block_bytes,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is empty.
+    pub const fn num_sets(&self) -> u64 {
+        let lines = self.capacity_bytes / self.block_bytes;
+        assert!(lines > 0, "cache has no lines");
+        assert!(
+            lines.is_multiple_of(self.ways as u64),
+            "lines must divide evenly into ways"
+        );
+        lines / self.ways as u64
+    }
+}
+
+/// A line evicted by [`SetAssocCache::fill`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Evicted<T> {
+    /// Block key of the victim line.
+    pub key: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+    /// Metadata stored with the victim.
+    pub meta: T,
+}
+
+#[derive(Clone, Debug)]
+struct Line<T> {
+    key: u64,
+    valid: bool,
+    dirty: bool,
+    stamp: u64,
+    meta: T,
+}
+
+/// Aggregate hit/miss statistics of a cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: Counter,
+    /// Lookups that missed.
+    pub misses: Counter,
+    /// Dirty evictions (writebacks generated).
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups (0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits.fraction_of(self.hits.get() + self.misses.get())
+    }
+
+    /// Miss rate over all lookups (0 if none).
+    pub fn miss_rate(&self) -> f64 {
+        self.misses.fraction_of(self.hits.get() + self.misses.get())
+    }
+}
+
+/// A tag-only set-associative cache keyed by *block key*
+/// (`address / block_bytes`), generic over per-line metadata `T`.
+///
+/// # Example
+///
+/// ```
+/// use dylect_cache::{CacheConfig, SetAssocCache};
+///
+/// let mut c: SetAssocCache = SetAssocCache::new(CacheConfig::lru(4096, 4, 64));
+/// let key = 0x1234;
+/// assert!(!c.access(key));          // cold miss
+/// c.fill(key, false, ());
+/// assert!(c.access(key));           // now hits
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache<T = ()> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line<T>>>,
+    clock: u64,
+    rand_state: u64,
+    stats: CacheStats,
+}
+
+impl<T: Clone> SetAssocCache<T> {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (see [`CacheConfig::num_sets`]).
+    pub fn new(config: CacheConfig) -> Self
+    where
+        T: Default,
+    {
+        let num_sets = config.num_sets() as usize;
+        let sets = (0..num_sets)
+            .map(|_| {
+                (0..config.ways)
+                    .map(|_| Line {
+                        key: 0,
+                        valid: false,
+                        dirty: false,
+                        stamp: 0,
+                        meta: T::default(),
+                    })
+                    .collect()
+            })
+            .collect();
+        SetAssocCache {
+            config,
+            sets,
+            clock: 0,
+            rand_state: 0x243F_6A88_85A3_08D3,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the configured geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (e.g. after warmup) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Converts a byte address to this cache's block key.
+    #[inline]
+    pub fn key_of(&self, addr: u64) -> u64 {
+        addr / self.config.block_bytes
+    }
+
+    #[inline]
+    fn set_index(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `key`, updating recency and hit/miss statistics.
+    ///
+    /// Returns `true` on hit. Does not allocate on miss; call [`fill`]
+    /// (typically after the modeled fill latency) to insert.
+    ///
+    /// [`fill`]: SetAssocCache::fill
+    pub fn access(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(key);
+        for line in &mut self.sets[set] {
+            if line.valid && line.key == key {
+                line.stamp = clock;
+                self.stats.hits.incr();
+                return true;
+            }
+        }
+        self.stats.misses.incr();
+        false
+    }
+
+    /// Looks up `key` and marks the line dirty on hit (a store hit).
+    pub fn access_write(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(key);
+        for line in &mut self.sets[set] {
+            if line.valid && line.key == key {
+                line.stamp = clock;
+                line.dirty = true;
+                self.stats.hits.incr();
+                return true;
+            }
+        }
+        self.stats.misses.incr();
+        false
+    }
+
+    /// Checks residency without updating recency or statistics.
+    pub fn probe(&self, key: u64) -> bool {
+        let set = self.set_index(key);
+        self.sets[set].iter().any(|l| l.valid && l.key == key)
+    }
+
+    /// Returns the metadata of a resident line, if any (no recency update).
+    pub fn peek(&self, key: u64) -> Option<&T> {
+        let set = self.set_index(key);
+        self.sets[set]
+            .iter()
+            .find(|l| l.valid && l.key == key)
+            .map(|l| &l.meta)
+    }
+
+    /// Returns mutable metadata of a resident line, if any (no recency
+    /// update).
+    pub fn peek_mut(&mut self, key: u64) -> Option<&mut T> {
+        let set = self.set_index(key);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.key == key)
+            .map(|l| &mut l.meta)
+    }
+
+    /// Inserts `key`, evicting the replacement victim if the set is full.
+    ///
+    /// If `key` is already resident its line is refreshed in place (recency,
+    /// dirtiness OR-ed, metadata replaced) and `None` is returned.
+    pub fn fill(&mut self, key: u64, dirty: bool, meta: T) -> Option<Evicted<T>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(key);
+
+        // Refresh in place on duplicate fill.
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.key == key) {
+            line.stamp = clock;
+            line.dirty |= dirty;
+            line.meta = meta;
+            return None;
+        }
+
+        // Prefer an invalid way.
+        if let Some(line) = self.sets[set].iter_mut().find(|l| !l.valid) {
+            *line = Line {
+                key,
+                valid: true,
+                dirty,
+                stamp: clock,
+                meta,
+            };
+            return None;
+        }
+
+        // Choose a victim.
+        let victim_idx = match self.config.replacement {
+            Replacement::Lru => self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty set"),
+            Replacement::Random => {
+                // xorshift64*
+                self.rand_state ^= self.rand_state >> 12;
+                self.rand_state ^= self.rand_state << 25;
+                self.rand_state ^= self.rand_state >> 27;
+                (self.rand_state.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.config.ways as u64)
+                    as usize
+            }
+        };
+        let line = &mut self.sets[set][victim_idx];
+        let evicted = Evicted {
+            key: line.key,
+            dirty: line.dirty,
+            meta: line.meta.clone(),
+        };
+        if evicted.dirty {
+            self.stats.writebacks.incr();
+        }
+        *line = Line {
+            key,
+            valid: true,
+            dirty,
+            stamp: clock,
+            meta,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates `key` if resident; returns the removed line's
+    /// `(dirty, meta)`.
+    pub fn invalidate(&mut self, key: u64) -> Option<(bool, T)> {
+        let set = self.set_index(key);
+        for line in &mut self.sets[set] {
+            if line.valid && line.key == key {
+                line.valid = false;
+                return Some((line.dirty, line.meta.clone()));
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Iterates over the keys of all valid lines (unspecified order).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().filter(|l| l.valid).map(|l| l.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways, 64 B blocks.
+        SetAssocCache::new(CacheConfig::lru(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(5));
+        c.fill(5, false, ());
+        assert!(c.access(5));
+        assert_eq!(c.stats().hits.get(), 1);
+        assert_eq!(c.stats().misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Keys 0, 4, 8 all map to set 0 (key % 4).
+        c.fill(0, false, ());
+        c.fill(4, false, ());
+        assert!(c.access(0)); // 0 is now MRU; 4 is LRU
+        let ev = c.fill(8, false, ()).expect("eviction");
+        assert_eq!(ev.key, 4);
+        assert!(c.probe(0));
+        assert!(c.probe(8));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.fill(0, true, ());
+        c.fill(4, false, ());
+        let ev = c.fill(8, false, ()).expect("eviction");
+        assert_eq!(ev.key, 0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.fill(0, false, ());
+        assert!(c.access_write(0));
+        c.fill(4, false, ());
+        // 0 was touched before 4 was filled, so 0 is the LRU victim and its
+        // store-hit dirtiness must surface as a writeback.
+        let ev = c.fill(8, false, ()).expect("eviction");
+        assert_eq!(ev.key, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn duplicate_fill_refreshes_in_place() {
+        let mut c = small();
+        c.fill(0, false, ());
+        assert!(c.fill(0, true, ()).is_none());
+        assert_eq!(c.occupancy(), 1);
+        c.fill(4, false, ());
+        let ev = c.fill(8, false, ()).expect("eviction");
+        assert!(ev.dirty, "dirtiness should have been OR-ed in");
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.fill(3, true, ());
+        assert_eq!(c.invalidate(3), Some((true, ())));
+        assert!(!c.probe(3));
+        assert_eq!(c.invalidate(3), None);
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats_or_lru() {
+        let mut c = small();
+        c.fill(0, false, ());
+        c.fill(4, false, ());
+        for _ in 0..10 {
+            assert!(c.probe(0));
+        }
+        // 0 was filled first and probes don't refresh it, so it is the victim.
+        let ev = c.fill(8, false, ()).expect("eviction");
+        assert_eq!(ev.key, 0);
+        assert_eq!(c.stats().hits.get(), 0);
+    }
+
+    #[test]
+    fn metadata_round_trip() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::lru(512, 2, 64));
+        c.fill(9, false, 77);
+        assert_eq!(c.peek(9), Some(&77));
+        *c.peek_mut(9).unwrap() = 78;
+        assert_eq!(c.peek(9), Some(&78));
+        assert_eq!(c.peek(10), None);
+    }
+
+    #[test]
+    fn random_replacement_fills_whole_cache() {
+        let cfg = CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            block_bytes: 64,
+            replacement: Replacement::Random,
+        };
+        let mut c: SetAssocCache = SetAssocCache::new(cfg);
+        for k in 0..64 {
+            c.fill(k, false, ());
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn key_of_uses_block_size() {
+        let c = small();
+        assert_eq!(c.key_of(0), 0);
+        assert_eq!(c.key_of(63), 0);
+        assert_eq!(c.key_of(64), 1);
+    }
+
+    #[test]
+    fn keys_iterates_valid_lines() {
+        let mut c = small();
+        c.fill(1, false, ());
+        c.fill(2, false, ());
+        let mut keys: Vec<_> = c.keys().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = small();
+        c.fill(0, false, ());
+        c.access(0);
+        c.access(1);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+        c.reset_stats();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_bad_geometry() {
+        let _ = SetAssocCache::<()>::new(CacheConfig::lru(512, 3, 64));
+    }
+}

@@ -1,0 +1,282 @@
+//! Hardware prefetcher models.
+//!
+//! The paper's simulated CPU (Table 3) uses a next-line prefetcher with
+//! automatic enable/disable at L1/L2 and stride prefetchers (degree 2 at L1,
+//! degree 4 at L2). Both are modeled here as *block-address stream*
+//! prefetchers: the caller feeds demand block keys and receives candidate
+//! block keys to prefetch.
+
+/// A next-line prefetcher with an accuracy-driven automatic enable/disable.
+///
+/// The prefetcher tracks how many of its recently issued prefetches were
+/// subsequently demanded. When accuracy drops below a threshold it disables
+/// itself; it periodically re-probes by re-enabling after a backoff.
+///
+/// # Example
+///
+/// ```
+/// use dylect_cache::prefetch::NextLinePrefetcher;
+///
+/// let mut pf = NextLinePrefetcher::new();
+/// let c = pf.on_demand(100);
+/// assert_eq!(c, Some(101));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NextLinePrefetcher {
+    enabled: bool,
+    issued: [u64; 32],
+    cursor: usize,
+    useful: u32,
+    issued_count: u32,
+    probe_countdown: u32,
+}
+
+impl Default for NextLinePrefetcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NextLinePrefetcher {
+    /// Window of issued prefetches after which accuracy is evaluated.
+    const WINDOW: u32 = 64;
+    /// Minimum useful fraction to stay enabled.
+    const MIN_ACCURACY: f64 = 0.35;
+    /// Demands to wait before re-probing after a disable.
+    const BACKOFF: u32 = 4096;
+
+    /// Creates an enabled next-line prefetcher.
+    pub fn new() -> Self {
+        NextLinePrefetcher {
+            enabled: true,
+            issued: [u64::MAX; 32],
+            cursor: 0,
+            useful: 0,
+            issued_count: 0,
+            probe_countdown: 0,
+        }
+    }
+
+    /// Returns whether the prefetcher is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Observes a demand access to `block` and returns the block to
+    /// prefetch, if any.
+    pub fn on_demand(&mut self, block: u64) -> Option<u64> {
+        // Score usefulness: did we predict this block?
+        if self.issued.contains(&block) {
+            self.useful += 1;
+        }
+
+        if !self.enabled {
+            self.probe_countdown = self.probe_countdown.saturating_sub(1);
+            if self.probe_countdown == 0 {
+                self.enabled = true;
+                self.useful = 0;
+                self.issued_count = 0;
+            }
+            return None;
+        }
+
+        let candidate = block + 1;
+        self.issued[self.cursor] = candidate;
+        self.cursor = (self.cursor + 1) % self.issued.len();
+        self.issued_count += 1;
+
+        if self.issued_count >= Self::WINDOW {
+            let accuracy = self.useful as f64 / self.issued_count as f64;
+            if accuracy < Self::MIN_ACCURACY {
+                self.enabled = false;
+                self.probe_countdown = Self::BACKOFF;
+            }
+            self.useful = 0;
+            self.issued_count = 0;
+        }
+        Some(candidate)
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct StrideEntry {
+    tag: u64,
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// A table-based stride prefetcher.
+///
+/// Streams are identified by a caller-provided id (the simulator uses the
+/// access's 4 KB page, a common PC-less approximation). Once the same stride
+/// is observed twice, `degree` blocks ahead are prefetched.
+///
+/// # Example
+///
+/// ```
+/// use dylect_cache::prefetch::StridePrefetcher;
+///
+/// let mut pf = StridePrefetcher::new(16, 2);
+/// assert!(pf.on_demand(7, 100).is_empty()); // first touch: learn
+/// assert!(pf.on_demand(7, 102).is_empty()); // stride 2 observed once
+/// let out = pf.on_demand(7, 104);            // confirmed: prefetch ahead
+/// assert_eq!(out, vec![106, 108]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: u32,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher with `entries` table slots issuing
+    /// `degree` prefetches per confirmed access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize, degree: u32) -> Self {
+        assert!(entries > 0, "stride table must have entries");
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); entries],
+            degree,
+        }
+    }
+
+    /// Observes a demand access to `block` on stream `stream_id`; returns
+    /// blocks to prefetch (possibly empty).
+    pub fn on_demand(&mut self, stream_id: u64, block: u64) -> Vec<u64> {
+        let idx = (stream_id % self.table.len() as u64) as usize;
+        let e = &mut self.table[idx];
+        if !e.valid || e.tag != stream_id {
+            *e = StrideEntry {
+                tag: stream_id,
+                last_block: block,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+            return Vec::new();
+        }
+        let stride = block as i64 - e.last_block as i64;
+        e.last_block = block;
+        if stride == 0 {
+            return Vec::new();
+        }
+        if stride == e.stride {
+            e.confidence = e.confidence.saturating_add(1);
+        } else {
+            e.stride = stride;
+            e.confidence = 0;
+        }
+        if e.confidence >= 1 {
+            (1..=self.degree as i64)
+                .filter_map(|k| {
+                    let b = block as i64 + e.stride * k;
+                    u64::try_from(b).ok()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_predicts_sequential() {
+        let mut pf = NextLinePrefetcher::new();
+        assert_eq!(pf.on_demand(10), Some(11));
+        assert_eq!(pf.on_demand(11), Some(12));
+    }
+
+    #[test]
+    fn next_line_disables_on_random_stream() {
+        let mut pf = NextLinePrefetcher::new();
+        let mut x: u64 = 12345;
+        let mut issued_any_after_disable = false;
+        for i in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let block = x >> 32;
+            let out = pf.on_demand(block);
+            if i > 200 && !pf.is_enabled() {
+                assert!(out.is_none());
+                issued_any_after_disable = true;
+                break;
+            }
+        }
+        assert!(issued_any_after_disable, "never disabled on random stream");
+    }
+
+    #[test]
+    fn next_line_stays_enabled_on_sequential() {
+        let mut pf = NextLinePrefetcher::new();
+        for b in 0..1000u64 {
+            pf.on_demand(b);
+        }
+        assert!(pf.is_enabled());
+    }
+
+    #[test]
+    fn next_line_reenables_after_backoff() {
+        let mut pf = NextLinePrefetcher::new();
+        let mut x: u64 = 7;
+        // Drive it to disable.
+        while pf.is_enabled() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            pf.on_demand(x >> 32);
+        }
+        // Feed sequential demands until it re-probes.
+        let mut b = 1_000_000;
+        for _ in 0..10_000 {
+            b += 1;
+            pf.on_demand(b);
+            if pf.is_enabled() {
+                return;
+            }
+        }
+        panic!("prefetcher never re-enabled");
+    }
+
+    #[test]
+    fn stride_learns_negative_stride() {
+        let mut pf = StridePrefetcher::new(8, 1);
+        pf.on_demand(1, 100);
+        pf.on_demand(1, 97);
+        let out = pf.on_demand(1, 94);
+        assert_eq!(out, vec![91]);
+    }
+
+    #[test]
+    fn stride_resets_on_stream_conflict() {
+        let mut pf = StridePrefetcher::new(1, 2);
+        pf.on_demand(1, 100);
+        pf.on_demand(1, 102);
+        // Stream 2 aliases into the single entry, evicting stream 1.
+        assert!(pf.on_demand(2, 500).is_empty());
+        assert!(pf.on_demand(1, 104).is_empty(), "stream 1 must re-learn");
+    }
+
+    #[test]
+    fn stride_ignores_zero_stride() {
+        let mut pf = StridePrefetcher::new(8, 2);
+        pf.on_demand(3, 50);
+        assert!(pf.on_demand(3, 50).is_empty());
+        assert!(pf.on_demand(3, 50).is_empty());
+    }
+
+    #[test]
+    fn stride_does_not_underflow() {
+        let mut pf = StridePrefetcher::new(8, 4);
+        pf.on_demand(1, 10);
+        pf.on_demand(1, 5);
+        let out = pf.on_demand(1, 0);
+        // Stride -5 from block 0 would go negative; those candidates drop.
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! A sector (sub-block) cache.
+//!
+//! Sector caches [Rothman & Smith] amortize tag overhead by attaching one
+//! tag to a large line whose *sectors* are filled individually. The DyLeCT
+//! paper's §IV-A2 considers one ("Option B") for the naive short-CTE cache:
+//! 64 B lines of gathered short CTEs, where each fetched unified block can
+//! fill only a 2 B sector — so lines warm up slowly and most bits sit
+//! invalid in the common case.
+
+use dylect_sim_core::stats::Counter;
+
+/// Statistics of a [`SectorCache`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SectorStats {
+    /// Lookups where both the line and the sector were present.
+    pub sector_hits: Counter,
+    /// Lookups where the line was present but the sector invalid.
+    pub sector_misses: Counter,
+    /// Lookups where the whole line was absent.
+    pub line_misses: Counter,
+}
+
+impl SectorStats {
+    /// Full hit rate (line + sector present).
+    pub fn hit_rate(&self) -> f64 {
+        let total =
+            self.sector_hits.get() + self.sector_misses.get() + self.line_misses.get();
+        self.sector_hits.fraction_of(total)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SectorLine {
+    tag: u64,
+    valid: bool,
+    stamp: u64,
+    sectors: Vec<bool>,
+}
+
+/// Outcome of a [`SectorCache::access`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SectorOutcome {
+    /// Line and sector present.
+    Hit,
+    /// Line present, sector not yet filled.
+    SectorMiss,
+    /// Line absent entirely.
+    LineMiss,
+}
+
+/// A set-associative sector cache keyed by *sector key*; `sectors_per_line`
+/// consecutive sector keys share one line (and one tag).
+///
+/// # Example
+///
+/// ```
+/// use dylect_cache::sector::{SectorCache, SectorOutcome};
+///
+/// let mut c = SectorCache::new(64, 4, 8); // 64 lines, 4-way, 8 sectors/line
+/// assert_eq!(c.access(17), SectorOutcome::LineMiss);
+/// c.fill(17);
+/// assert_eq!(c.access(17), SectorOutcome::Hit);
+/// // Same line, different sector: the tag matches but the sector is cold.
+/// assert_eq!(c.access(18), SectorOutcome::SectorMiss);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SectorCache {
+    sets: Vec<Vec<SectorLine>>,
+    sectors_per_line: u64,
+    clock: u64,
+    stats: SectorStats,
+}
+
+impl SectorCache {
+    /// Creates an empty sector cache with `lines` total lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (`lines` not divisible by
+    /// `ways`, or zero anywhere).
+    pub fn new(lines: u64, ways: u32, sectors_per_line: u64) -> Self {
+        assert!(lines > 0 && ways > 0 && sectors_per_line > 0, "empty geometry");
+        assert!(
+            lines.is_multiple_of(ways as u64),
+            "lines must divide into ways"
+        );
+        let num_sets = (lines / ways as u64) as usize;
+        SectorCache {
+            sets: (0..num_sets)
+                .map(|_| {
+                    (0..ways)
+                        .map(|_| SectorLine {
+                            tag: 0,
+                            valid: false,
+                            stamp: 0,
+                            sectors: vec![false; sectors_per_line as usize],
+                        })
+                        .collect()
+                })
+                .collect(),
+            sectors_per_line,
+            clock: 0,
+            stats: SectorStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SectorStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = SectorStats::default();
+    }
+
+    fn locate(&self, sector_key: u64) -> (usize, u64, usize) {
+        let line_key = sector_key / self.sectors_per_line;
+        let set = (line_key % self.sets.len() as u64) as usize;
+        let sector = (sector_key % self.sectors_per_line) as usize;
+        (set, line_key, sector)
+    }
+
+    /// Looks up a sector, updating recency and statistics.
+    pub fn access(&mut self, sector_key: u64) -> SectorOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, line_key, sector) = self.locate(sector_key);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == line_key {
+                line.stamp = clock;
+                return if line.sectors[sector] {
+                    self.stats.sector_hits.incr();
+                    SectorOutcome::Hit
+                } else {
+                    self.stats.sector_misses.incr();
+                    SectorOutcome::SectorMiss
+                };
+            }
+        }
+        self.stats.line_misses.incr();
+        SectorOutcome::LineMiss
+    }
+
+    /// Fills one sector, allocating (and cold-clearing) the line if needed;
+    /// returns `true` if a valid line was evicted.
+    pub fn fill(&mut self, sector_key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, line_key, sector) = self.locate(sector_key);
+        // Present: set the sector.
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_key)
+        {
+            line.sectors[sector] = true;
+            line.stamp = clock;
+            return false;
+        }
+        // Allocate: invalid way first, else LRU victim.
+        let victim = if let Some(i) = self.sets[set].iter().position(|l| !l.valid) {
+            i
+        } else {
+            self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        };
+        let evicted = self.sets[set][victim].valid;
+        let line = &mut self.sets[set][victim];
+        line.tag = line_key;
+        line.valid = true;
+        line.stamp = clock;
+        line.sectors.fill(false);
+        line.sectors[sector] = true;
+        evicted
+    }
+
+    /// Fraction of sectors valid among resident lines (the "wasted bits"
+    /// measure of the paper's Figure 9 Option B).
+    pub fn sector_utilization(&self) -> f64 {
+        let mut valid_lines = 0u64;
+        let mut valid_sectors = 0u64;
+        for set in &self.sets {
+            for line in set {
+                if line.valid {
+                    valid_lines += 1;
+                    valid_sectors += line.sectors.iter().filter(|&&s| s).count() as u64;
+                }
+            }
+        }
+        if valid_lines == 0 {
+            0.0
+        } else {
+            valid_sectors as f64 / (valid_lines * self.sectors_per_line) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SectorCache {
+        SectorCache::new(8, 2, 4)
+    }
+
+    #[test]
+    fn hit_sector_miss_line_miss() {
+        let mut c = cache();
+        assert_eq!(c.access(0), SectorOutcome::LineMiss);
+        c.fill(0);
+        assert_eq!(c.access(0), SectorOutcome::Hit);
+        assert_eq!(c.access(1), SectorOutcome::SectorMiss);
+        c.fill(1);
+        assert_eq!(c.access(1), SectorOutcome::Hit);
+        assert_eq!(c.stats().sector_hits.get(), 2);
+        assert_eq!(c.stats().sector_misses.get(), 1);
+        assert_eq!(c.stats().line_misses.get(), 1);
+    }
+
+    #[test]
+    fn allocation_clears_old_sectors() {
+        let mut c = SectorCache::new(2, 2, 4); // one set, 2 ways
+        c.fill(0); // line 0, sector 0
+        c.fill(4); // line 1, sector 0
+        c.fill(8); // line 2 evicts line 0 (LRU)
+        assert_eq!(c.access(0), SectorOutcome::LineMiss, "line 0 evicted");
+        // Re-allocate line 0: its old sector must not have survived.
+        c.fill(1);
+        assert_eq!(c.access(0), SectorOutcome::SectorMiss);
+    }
+
+    #[test]
+    fn eviction_reported() {
+        let mut c = SectorCache::new(2, 2, 2);
+        assert!(!c.fill(0));
+        assert!(!c.fill(2));
+        assert!(c.fill(4), "third line in a 2-way set evicts");
+    }
+
+    #[test]
+    fn utilization_tracks_warmup() {
+        let mut c = cache();
+        c.fill(0);
+        assert!((c.sector_utilization() - 0.25).abs() < 1e-9);
+        c.fill(1);
+        c.fill(2);
+        c.fill(3);
+        assert!((c.sector_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_warmup_is_the_point() {
+        // Random sector stream: lines allocate but sectors stay mostly cold
+        // — the paper's Option B pathology.
+        let mut c = SectorCache::new(64, 4, 32);
+        let mut x = 9u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 32) % 4096;
+            if c.access(key) != SectorOutcome::Hit {
+                c.fill(key);
+            }
+        }
+        assert!(
+            c.sector_utilization() < 0.5,
+            "random fills should leave most sectors invalid: {}",
+            c.sector_utilization()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into ways")]
+    fn rejects_bad_geometry() {
+        let _ = SectorCache::new(9, 2, 4);
+    }
+}

@@ -1,0 +1,323 @@
+//! Base-Delta-Immediate (BDI) compression.
+//!
+//! BDI [Pekhimenko et al., PACT 2012] compresses a 64 B cache block as a
+//! base value plus narrow deltas, with a second implicit base of zero for
+//! immediate values. We implement the standard eight encodings and a
+//! bit-exact encoder/decoder.
+
+/// One BDI encoding choice.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    /// All bytes zero (1-byte representation).
+    Zeros,
+    /// The same 8-byte value repeated (8-byte representation).
+    Repeat,
+    /// Base `B` bytes with `D`-byte deltas: the classic six combinations.
+    BaseDelta {
+        /// Base width in bytes (8, 4, or 2).
+        base: u8,
+        /// Delta width in bytes (< base).
+        delta: u8,
+    },
+    /// Incompressible; stored raw.
+    Raw,
+}
+
+impl Encoding {
+    /// Compressed size in bytes of a 64 B block under this encoding
+    /// (including the base but excluding the 4-bit encoding tag, which lives
+    /// in metadata as in the original proposal).
+    pub fn compressed_bytes(self) -> usize {
+        match self {
+            Encoding::Zeros => 1,
+            Encoding::Repeat => 8,
+            Encoding::BaseDelta { base, delta } => {
+                let n = 64 / base as usize;
+                // One base + a zero-base bitmask (n bits) + n deltas.
+                base as usize + n.div_ceil(8) + n * delta as usize
+            }
+            Encoding::Raw => 64,
+        }
+    }
+}
+
+/// A compressed 64 B block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Compressed {
+    /// The encoding used.
+    pub encoding: Encoding,
+    /// Base value (unused for `Zeros`/`Raw`).
+    pub base: u64,
+    /// Per-word flag: delta is relative to zero (immediate) instead of base.
+    pub zero_base: Vec<bool>,
+    /// Narrow deltas (or raw bytes for `Raw`).
+    pub payload: Vec<u8>,
+}
+
+fn words(block: &[u8], width: u8) -> Vec<u64> {
+    block
+        .chunks_exact(width as usize)
+        .map(|c| {
+            let mut v = 0u64;
+            for (i, &b) in c.iter().enumerate() {
+                v |= (b as u64) << (8 * i);
+            }
+            v
+        })
+        .collect()
+}
+
+fn delta_fits(a: u64, b: u64, width: u8, delta: u8) -> bool {
+    let bits = width as u32 * 8;
+    let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+    let d = a.wrapping_sub(b) & mask;
+    // Interpret as signed `bits`-wide, check it fits in `delta` bytes signed.
+    let shift = 64 - bits;
+    let sd = ((d << shift) as i64) >> shift;
+    let db = delta as u32 * 8;
+    sd >= -(1i64 << (db - 1)) && sd < (1i64 << (db - 1))
+}
+
+fn try_base_delta(block: &[u8], base_w: u8, delta_w: u8) -> Option<Compressed> {
+    let ws = words(block, base_w);
+    // First non-zero word is the base (zero words use the implicit base).
+    let base = *ws.iter().find(|&&w| w != 0)?;
+    let mut zero_base = Vec::with_capacity(ws.len());
+    let mut payload = Vec::new();
+    for &w in &ws {
+        let (rel, is_zero) = if delta_fits(w, 0, base_w, delta_w) {
+            (w, true)
+        } else if delta_fits(w, base, base_w, delta_w) {
+            (w.wrapping_sub(base), false)
+        } else {
+            return None;
+        };
+        zero_base.push(is_zero);
+        let bits = base_w as u32 * 8;
+        let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+        let d = rel & mask;
+        for i in 0..delta_w as usize {
+            payload.push((d >> (8 * i)) as u8);
+        }
+    }
+    Some(Compressed {
+        encoding: Encoding::BaseDelta {
+            base: base_w,
+            delta: delta_w,
+        },
+        base,
+        zero_base,
+        payload,
+    })
+}
+
+/// Compresses a 64 B block, choosing the smallest applicable encoding.
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64`.
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::bdi;
+///
+/// let block = [0u8; 64];
+/// let c = bdi::compress(&block);
+/// assert_eq!(c.encoding.compressed_bytes(), 1);
+/// ```
+pub fn compress(block: &[u8]) -> Compressed {
+    assert_eq!(block.len(), 64, "BDI operates on 64 B blocks");
+    if block.iter().all(|&b| b == 0) {
+        return Compressed {
+            encoding: Encoding::Zeros,
+            base: 0,
+            zero_base: Vec::new(),
+            payload: Vec::new(),
+        };
+    }
+    let w8 = words(block, 8);
+    if w8.iter().all(|&w| w == w8[0]) {
+        return Compressed {
+            encoding: Encoding::Repeat,
+            base: w8[0],
+            zero_base: Vec::new(),
+            payload: Vec::new(),
+        };
+    }
+    let mut best: Option<Compressed> = None;
+    for (b, d) in [(8, 1), (8, 2), (8, 4), (4, 1), (4, 2), (2, 1)] {
+        if let Some(c) = try_base_delta(block, b, d) {
+            let better = best
+                .as_ref()
+                .is_none_or(|x| {
+                    c.encoding.compressed_bytes() < x.encoding.compressed_bytes()
+                });
+            if better {
+                best = Some(c);
+            }
+        }
+    }
+    best.unwrap_or_else(|| Compressed {
+        encoding: Encoding::Raw,
+        base: 0,
+        zero_base: Vec::new(),
+        payload: block.to_vec(),
+    })
+}
+
+/// Reconstructs the original 64 B block.
+pub fn decompress(c: &Compressed) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    match c.encoding {
+        Encoding::Zeros => {}
+        Encoding::Repeat => {
+            for chunk in out.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&c.base.to_le_bytes());
+            }
+        }
+        Encoding::Raw => out.copy_from_slice(&c.payload),
+        Encoding::BaseDelta { base, delta } => {
+            let n = 64 / base as usize;
+            let bits = base as u32 * 8;
+            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let dbits = delta as u32 * 8;
+            for i in 0..n {
+                let mut d = 0u64;
+                for j in 0..delta as usize {
+                    d |= (c.payload[i * delta as usize + j] as u64) << (8 * j);
+                }
+                // Sign-extend the delta.
+                let shift = 64 - dbits;
+                let sd = (((d << shift) as i64) >> shift) as u64;
+                let w = if c.zero_base[i] {
+                    sd & mask
+                } else {
+                    c.base.wrapping_add(sd) & mask
+                };
+                for j in 0..base as usize {
+                    out[i * base as usize + j] = (w >> (8 * j)) as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns the BDI-compressed size of a 64 B block in bytes.
+pub fn compressed_bytes(block: &[u8]) -> usize {
+    compress(block).encoding.compressed_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(block: &[u8; 64]) -> Compressed {
+        let c = compress(block);
+        assert_eq!(&decompress(&c), block, "roundtrip mismatch for {c:?}");
+        c
+    }
+
+    #[test]
+    fn zeros() {
+        let c = roundtrip(&[0u8; 64]);
+        assert_eq!(c.encoding, Encoding::Zeros);
+        assert_eq!(c.encoding.compressed_bytes(), 1);
+    }
+
+    #[test]
+    fn repeated_value() {
+        let mut block = [0u8; 64];
+        for chunk in block.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&0xDEAD_BEEF_CAFE_F00Du64.to_le_bytes());
+        }
+        let c = roundtrip(&block);
+        assert_eq!(c.encoding, Encoding::Repeat);
+    }
+
+    #[test]
+    fn pointers_share_base() {
+        // Eight heap pointers within a small region: base8-delta2.
+        let mut block = [0u8; 64];
+        let base = 0x7FFF_AB00_1000u64;
+        for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(base + i as u64 * 24).to_le_bytes());
+        }
+        let c = roundtrip(&block);
+        match c.encoding {
+            Encoding::BaseDelta { base: 8, delta } => assert!(delta <= 2),
+            e => panic!("expected base8 encoding, got {e:?}"),
+        }
+        assert!(c.encoding.compressed_bytes() < 32);
+    }
+
+    #[test]
+    fn small_ints_base4() {
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&(1000u32 + i as u32).to_le_bytes());
+        }
+        let c = roundtrip(&block);
+        assert!(c.encoding.compressed_bytes() <= 24);
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let mut block = [0u8; 64];
+        let base = 5000u32;
+        let offs: [i32; 16] = [
+            0, -120, 100, -5, 8, 127, -128, 64, 1, -1, 90, -90, 33, -33, 2, -2,
+        ];
+        for (chunk, &o) in block.chunks_exact_mut(4).zip(&offs) {
+            chunk.copy_from_slice(&((base as i32 + o) as u32).to_le_bytes());
+        }
+        roundtrip(&block);
+    }
+
+    #[test]
+    fn mixed_zero_and_base() {
+        // Mix of zeros and clustered values exercises the dual-base bit.
+        let mut block = [0u8; 64];
+        for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
+            let v = if i % 2 == 0 { 0u64 } else { 0xAAAA_0000 + i as u64 };
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let c = roundtrip(&block);
+        assert_ne!(c.encoding, Encoding::Raw);
+    }
+
+    #[test]
+    fn random_is_raw() {
+        let mut block = [0u8; 64];
+        let mut x = 0x9E37_79B9u64;
+        for b in block.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (x >> 56) as u8;
+        }
+        let c = roundtrip(&block);
+        assert_eq!(c.encoding, Encoding::Raw);
+        assert_eq!(c.encoding.compressed_bytes(), 64);
+    }
+
+    #[test]
+    fn compressed_never_bigger_than_raw() {
+        let mut x = 7u64;
+        for _ in 0..200 {
+            let mut block = [0u8; 64];
+            for b in block.iter_mut() {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                // Bias toward compressible content.
+                *b = if x % 3 == 0 { 0 } else { (x >> 60) as u8 };
+            }
+            let c = roundtrip(&block);
+            assert!(c.encoding.compressed_bytes() <= 64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "64 B blocks")]
+    fn rejects_wrong_size() {
+        let _ = compress(&[0u8; 32]);
+    }
+}

@@ -1,0 +1,311 @@
+//! Frequent Pattern Compression (FPC).
+//!
+//! FPC [Alameldeen & Wood, 2004] compresses 32-bit words with a 3-bit prefix
+//! selecting one of eight patterns. It is one of the standard hardware
+//! compressors assumed by the memory-compression literature; we implement a
+//! bit-exact encoder/decoder so the compression substrate is real, not a
+//! size oracle.
+//!
+//! Patterns (prefix → payload bits):
+//!
+//! | prefix | meaning                                   | payload |
+//! |-------:|-------------------------------------------|--------:|
+//! | 000    | run of 1–8 zero words                     | 3       |
+//! | 001    | 4-bit sign-extended                       | 4       |
+//! | 010    | one-byte sign-extended                    | 8       |
+//! | 011    | halfword sign-extended                    | 16      |
+//! | 100    | halfword padded with a zero halfword      | 16      |
+//! | 101    | two halfwords, each a sign-extended byte  | 16      |
+//! | 110    | word of four repeated bytes               | 8       |
+//! | 111    | uncompressed word                         | 32      |
+
+/// A growable bit vector used by the encoder.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitVec {
+    bits: Vec<u8>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn push(&mut self, value: u32, n: u32) {
+        assert!(n <= 32, "cannot push more than 32 bits");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            let byte = self.len / 8;
+            if byte == self.bits.len() {
+                self.bits.push(0);
+            }
+            self.bits[byte] |= (bit as u8) << (7 - self.len % 8);
+            self.len += 1;
+        }
+    }
+
+    /// Reads `n` bits starting at `pos`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `n > 32`.
+    pub fn read(&self, pos: usize, n: u32) -> u32 {
+        assert!(n <= 32 && pos + n as usize <= self.len, "bit read OOB");
+        let mut v = 0u32;
+        for i in 0..n as usize {
+            let p = pos + i;
+            let bit = (self.bits[p / 8] >> (7 - p % 8)) & 1;
+            v = (v << 1) | bit as u32;
+        }
+        v
+    }
+}
+
+fn fits_signed(word: u32, bits: u32) -> bool {
+    let v = word as i32;
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    (v as i64) >= min && (v as i64) <= max
+}
+
+fn sign_extend(v: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((v << shift) as i32) >> shift) as u32
+}
+
+/// Compresses `data` (length must be a multiple of 4) into an FPC bitstream.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of 4.
+pub fn compress(data: &[u8]) -> BitVec {
+    assert!(data.len().is_multiple_of(4), "FPC operates on 32-bit words");
+    let words: Vec<u32> = data
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    let mut out = BitVec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        if w == 0 {
+            let mut run = 1;
+            while run < 8 && i + run < words.len() && words[i + run] == 0 {
+                run += 1;
+            }
+            out.push(0b000, 3);
+            out.push(run as u32 - 1, 3);
+            i += run;
+            continue;
+        }
+        if fits_signed(w, 4) {
+            out.push(0b001, 3);
+            out.push(w & 0xF, 4);
+        } else if fits_signed(w, 8) {
+            out.push(0b010, 3);
+            out.push(w & 0xFF, 8);
+        } else if fits_signed(w, 16) {
+            out.push(0b011, 3);
+            out.push(w & 0xFFFF, 16);
+        } else if w & 0xFFFF == 0 {
+            out.push(0b100, 3);
+            out.push(w >> 16, 16);
+        } else if fits_signed(w & 0xFFFF, 8) && fits_signed(w >> 16, 8) {
+            out.push(0b101, 3);
+            out.push((w >> 16) & 0xFF, 8);
+            out.push(w & 0xFF, 8);
+        } else {
+            let b = w & 0xFF;
+            if w == b | (b << 8) | (b << 16) | (b << 24) {
+                out.push(0b110, 3);
+                out.push(b, 8);
+            } else {
+                out.push(0b111, 3);
+                out.push(w, 32);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Decompresses an FPC bitstream produced by [`compress`] back into
+/// `word_count` 32-bit words.
+///
+/// # Panics
+///
+/// Panics if the bitstream is truncated or malformed.
+pub fn decompress(bits: &BitVec, word_count: usize) -> Vec<u8> {
+    let mut words = Vec::with_capacity(word_count);
+    let mut pos = 0;
+    while words.len() < word_count {
+        let prefix = bits.read(pos, 3);
+        pos += 3;
+        match prefix {
+            0b000 => {
+                let run = bits.read(pos, 3) as usize + 1;
+                pos += 3;
+                words.extend(std::iter::repeat_n(0u32, run));
+            }
+            0b001 => {
+                let v = bits.read(pos, 4);
+                pos += 4;
+                words.push(sign_extend(v, 4));
+            }
+            0b010 => {
+                let v = bits.read(pos, 8);
+                pos += 8;
+                words.push(sign_extend(v, 8));
+            }
+            0b011 => {
+                let v = bits.read(pos, 16);
+                pos += 16;
+                words.push(sign_extend(v, 16));
+            }
+            0b100 => {
+                let v = bits.read(pos, 16);
+                pos += 16;
+                words.push(v << 16);
+            }
+            0b101 => {
+                let hi = bits.read(pos, 8);
+                pos += 8;
+                let lo = bits.read(pos, 8);
+                pos += 8;
+                words.push((sign_extend(hi, 8) << 16) | (sign_extend(lo, 8) & 0xFFFF));
+            }
+            0b110 => {
+                let b = bits.read(pos, 8);
+                pos += 8;
+                words.push(b | (b << 8) | (b << 16) | (b << 24));
+            }
+            _ => {
+                let v = bits.read(pos, 32);
+                pos += 32;
+                words.push(v);
+            }
+        }
+    }
+    assert_eq!(words.len(), word_count, "run overshot requested length");
+    words.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// Returns the FPC-compressed size of `data` in bytes (rounded up).
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::fpc;
+///
+/// let zeros = [0u8; 64];
+/// assert!(fpc::compressed_bytes(&zeros) < 8);
+/// ```
+pub fn compressed_bytes(data: &[u8]) -> usize {
+    compress(data).len().div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let bits = compress(data);
+        let back = decompress(&bits, data.len() / 4);
+        assert_eq!(back, data, "roundtrip mismatch");
+    }
+
+    #[test]
+    fn zeros_compress_hard() {
+        let data = [0u8; 64];
+        let bits = compress(&data);
+        // 16 words = 2 runs of 8 = 2 * 6 bits.
+        assert_eq!(bits.len(), 12);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn small_ints_compress_well() {
+        let mut data = Vec::new();
+        for i in 0..16i32 {
+            data.extend((i - 8).to_le_bytes());
+        }
+        assert!(compressed_bytes(&data) < 16);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        let mut data = Vec::new();
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..16 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.extend(((x >> 16) as u32).to_le_bytes());
+        }
+        // Worst case: 3 bits overhead per word.
+        assert!(compressed_bytes(&data) <= 64 + 6 + 1);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn each_pattern_roundtrips() {
+        let words: [u32; 8] = [
+            0,            // zero
+            7,            // 4-bit
+            0xFFFF_FFF9,  // 4-bit negative (-7)
+            100,          // 8-bit
+            30_000,       // 16-bit
+            0xABCD_0000,  // halfword padded
+            0x0011_0022,  // two sign-extended bytes
+            0x5A5A_5A5A,  // repeated bytes
+        ];
+        let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn uncompressible_word_roundtrips() {
+        let data = 0xDEAD_BEEFu32.to_le_bytes();
+        roundtrip(&data);
+        assert_eq!(compressed_bytes(&data), 5); // 3 + 32 bits -> 5 bytes
+    }
+
+    #[test]
+    fn long_zero_run_splits() {
+        let data = [0u8; 4 * 20]; // 20 zero words = runs of 8+8+4
+        let bits = compress(&data);
+        assert_eq!(bits.len(), 18);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bitvec_read_write() {
+        let mut bv = BitVec::new();
+        bv.push(0b101, 3);
+        bv.push(0xFF, 8);
+        assert_eq!(bv.len(), 11);
+        assert_eq!(bv.read(0, 3), 0b101);
+        assert_eq!(bv.read(3, 8), 0xFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit words")]
+    fn rejects_unaligned_input() {
+        let _ = compress(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,60 @@
+//! (De)compression latency model.
+//!
+//! The paper assumes a DEFLATE ASIC with 280 ns latency per 4 KB page
+//! (§III-B) and notes that coarse granularities scale linearly (2 MB =
+//! 512 × 280 ns ≈ 143 µs), which is one of the two effects that rule out
+//! hardware-managed large pages (Figure 6).
+
+use dylect_sim_core::{Time, PAGE_BYTES};
+
+/// DEFLATE ASIC latency for one 4 KB page.
+pub const DEFLATE_4KB: Time = Time::from_ps(280_000);
+
+/// Latency to decompress `uncompressed_bytes` of data (linear in size,
+/// in whole 4 KB units as the ASIC is page-pipelined).
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::latency::decompression_latency;
+/// assert_eq!(decompression_latency(4096).as_ns(), 280.0);
+/// assert_eq!(decompression_latency(2 * 1024 * 1024).as_ns(), 512.0 * 280.0);
+/// ```
+pub fn decompression_latency(uncompressed_bytes: u64) -> Time {
+    let pages = uncompressed_bytes.div_ceil(PAGE_BYTES).max(1);
+    DEFLATE_4KB * pages
+}
+
+/// Latency to compress `uncompressed_bytes` of data (modeled symmetric to
+/// decompression).
+pub fn compression_latency(uncompressed_bytes: u64) -> Time {
+    decompression_latency(uncompressed_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_latency_matches_paper() {
+        assert_eq!(decompression_latency(4096).as_ns(), 280.0);
+    }
+
+    #[test]
+    fn rounds_up_to_pages() {
+        assert_eq!(decompression_latency(1).as_ns(), 280.0);
+        assert_eq!(decompression_latency(4097).as_ns(), 560.0);
+    }
+
+    #[test]
+    fn two_mb_matches_paper_figure() {
+        // Paper: 512 * 280 ns = 143.36 us.
+        let t = decompression_latency(2 * 1024 * 1024);
+        assert!((t.as_ns() - 143_360.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn compression_is_symmetric() {
+        assert_eq!(compression_latency(8192), decompression_latency(8192));
+    }
+}

@@ -1,0 +1,37 @@
+//! Compression substrate for the DyLeCT simulator.
+//!
+//! Hardware memory compression needs three things from a compression
+//! engine: *sizes* (how small does each page get, which drives free-space
+//! management and compression ratio), *latency* (the DEFLATE ASIC cost on
+//! every expansion/compaction), and *correctness* (values must round-trip).
+//!
+//! - [`model`] provides deterministic per-page compressed sizes via
+//!   [`model::CompressibilityProfile`] — the simulator's workhorse, since
+//!   the paper's benchmark memory images are not available (see DESIGN.md).
+//! - [`latency`] models the 280 ns / 4 KB DEFLATE ASIC the paper assumes.
+//! - [`fpc`] and [`bdi`] are bit-exact implementations of the two classic
+//!   hardware block compressors, and [`lzss`] is a 4 KB-window dictionary
+//!   codec standing in for the DEFLATE ASIC's LZ stage; all three validate
+//!   the plumbing on synthetic memory images from [`synth`].
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_compression::model::CompressibilityProfile;
+//! use dylect_compression::latency::decompression_latency;
+//! use dylect_sim_core::PageId;
+//!
+//! let profile = CompressibilityProfile::with_mean_ratio("graph", 3.4);
+//! let size = profile.compressed_bytes(0, PageId::new(7));
+//! assert!(size <= 4096);
+//! assert_eq!(decompression_latency(4096).as_ns(), 280.0);
+//! ```
+
+pub mod bdi;
+pub mod fpc;
+pub mod latency;
+pub mod lzss;
+pub mod model;
+pub mod synth;
+
+pub use model::CompressibilityProfile;

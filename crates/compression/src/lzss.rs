@@ -1,0 +1,221 @@
+//! A small LZSS codec — the DEFLATE-class reference compressor.
+//!
+//! The paper's compression engine is a DEFLATE ASIC operating on 4 KB
+//! pages. DEFLATE = LZ77 + Huffman; the capacity benefit comes almost
+//! entirely from the LZ match-finding stage, so this module implements a
+//! byte-oriented LZSS (LZ77 with a stored/match flag bit) with a 4 KB
+//! window: enough to characterize page-granularity compressibility of
+//! synthetic memory images and to sanity-check the
+//! [`crate::model::CompressibilityProfile`] numbers against a real
+//! dictionary codec.
+//!
+//! Format: a flag byte precedes each group of 8 items; bit i set means item
+//! i is a match `(offset: u16 LE, len: u8)` with `len >= MIN_MATCH`,
+//! cleared means a literal byte.
+
+/// Minimum match length worth encoding (3 bytes = break-even).
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length (len byte encodes `len - MIN_MATCH`).
+pub const MAX_MATCH: usize = 255 + MIN_MATCH;
+/// Sliding-window size (one page).
+pub const WINDOW: usize = 4096;
+
+/// Compresses `data` with LZSS; the output is self-delimiting given the
+/// original length.
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::lzss;
+///
+/// let data = b"abcabcabcabcabcabc".repeat(10);
+/// let packed = lzss::compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(lzss::decompress(&packed, data.len()), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Chained hash table over 4-byte prefixes for match finding.
+    const HASH_SIZE: usize = 1 << 12;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let hash = |d: &[u8]| -> usize {
+        let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+        (v.wrapping_mul(2654435761) >> 20) as usize & (HASH_SIZE - 1)
+    };
+
+    let mut i = 0;
+    let mut flag_pos = 0;
+    let mut flag_bit = 8; // force a new flag byte immediately
+    let set_flag = |out: &mut Vec<u8>, flag_pos: &mut usize, flag_bit: &mut u32, m: bool| {
+        if *flag_bit == 8 {
+            *flag_pos = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if m {
+            out[*flag_pos] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_off = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(&data[i..]);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && chain < 32 {
+                if i - cand <= WINDOW {
+                    let max = (data.len() - i).min(MAX_MATCH);
+                    let mut l = 0;
+                    while l < max && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - cand;
+                    }
+                } else {
+                    break;
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            set_flag(&mut out, &mut flag_pos, &mut flag_bit, true);
+            out.extend((best_off as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Insert hash entries for the skipped positions so later
+            // matches can reference them.
+            for k in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH)) {
+                let h = hash(&data[k..]);
+                prev[k] = head[h];
+                head[h] = k;
+            }
+            i += best_len;
+        } else {
+            set_flag(&mut out, &mut flag_pos, &mut flag_bit, false);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses an LZSS stream produced by [`compress`] back into
+/// `original_len` bytes.
+///
+/// # Panics
+///
+/// Panics if the stream is truncated or malformed.
+pub fn decompress(packed: &[u8], original_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(original_len);
+    let mut i = 0;
+    let mut flags = 0u8;
+    let mut flag_bit = 8;
+    while out.len() < original_len {
+        if flag_bit == 8 {
+            flags = packed[i];
+            i += 1;
+            flag_bit = 0;
+        }
+        let is_match = (flags >> flag_bit) & 1 == 1;
+        flag_bit += 1;
+        if is_match {
+            let off = u16::from_le_bytes([packed[i], packed[i + 1]]) as usize;
+            let len = packed[i + 2] as usize + MIN_MATCH;
+            i += 3;
+            assert!(off > 0 && off <= out.len(), "bad match offset");
+            let start = out.len() - off;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            out.push(packed[i]);
+            i += 1;
+        }
+    }
+    assert_eq!(out.len(), original_len, "overshoot");
+    out
+}
+
+/// Returns the LZSS-compressed size of `data` in bytes.
+pub fn compressed_bytes(data: &[u8]) -> usize {
+    compress(data).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{fill, ContentKind};
+    use dylect_sim_core::rng::Rng;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed, data.len()), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(roundtrip(b""), 0);
+        assert!(roundtrip(b"a") <= 3);
+        assert!(roundtrip(b"abc") <= 5);
+    }
+
+    #[test]
+    fn repetitive_compresses_hard() {
+        let data = vec![0u8; 4096];
+        let n = roundtrip(&data);
+        assert!(n < 100, "zero page compressed to {n}");
+    }
+
+    #[test]
+    fn periodic_patterns() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 24) as u8).collect();
+        let n = roundtrip(&data);
+        assert!(n < 1024, "periodic page compressed to {n}");
+    }
+
+    #[test]
+    fn random_does_not_explode() {
+        let mut rng = Rng::new(3);
+        let data: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        let n = roundtrip(&data);
+        // Worst case overhead: 1 flag byte per 8 literals.
+        assert!(n <= 4096 + 4096 / 8 + 8, "random page inflated to {n}");
+    }
+
+    #[test]
+    fn synthetic_pages_order_like_fpc() {
+        let mut page = vec![0u8; 4096];
+        let mut rng = Rng::new(9);
+        fill(&mut page, ContentKind::SparseZero, &mut rng);
+        let sparse = roundtrip(&page);
+        fill(&mut page, ContentKind::Random, &mut rng);
+        let random = roundtrip(&page);
+        assert!(sparse < random / 3, "sparse {sparse} vs random {random}");
+    }
+
+    #[test]
+    fn long_matches_span_groups() {
+        let mut data = Vec::new();
+        for _ in 0..8 {
+            data.extend_from_slice(b"the quick brown fox jumps over the lazy dog. ");
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn matches_never_reach_before_start() {
+        // A stream whose first possible match offset is exactly 1.
+        let data = vec![7u8; 64];
+        roundtrip(&data);
+    }
+}

@@ -1,0 +1,208 @@
+//! Page compressibility modeling.
+//!
+//! The paper's evaluation compresses at 4 KB page granularity with a
+//! DEFLATE-class ASIC. We do not have the benchmarks' memory images, so the
+//! simulator assigns each OS page a *stable* compressed size drawn from a
+//! workload-specific distribution (see DESIGN.md §5). Stability matters: a
+//! page must compress to the same size every time it is demoted, which we
+//! get by hashing the page id rather than drawing from a stream.
+//!
+//! Sizes are quantized to the 16 × 256 B **size classes** the free-space
+//! allocator tracks, mirroring TMCC's irregular-size free lists.
+
+use dylect_sim_core::rng::hash2;
+use dylect_sim_core::PageId;
+
+/// Allocation granularity of compressed pages.
+pub const SIZE_CLASS_BYTES: u32 = 256;
+/// Number of size classes (256 B … 4096 B).
+pub const NUM_SIZE_CLASSES: usize = 16;
+
+/// Rounds a byte size up to its size class, clamped to a full page.
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::model::quantize;
+/// assert_eq!(quantize(1), 256);
+/// assert_eq!(quantize(257), 512);
+/// assert_eq!(quantize(5000), 4096);
+/// ```
+pub fn quantize(bytes: u32) -> u32 {
+    bytes
+        .max(1)
+        .div_ceil(SIZE_CLASS_BYTES)
+        .min(NUM_SIZE_CLASSES as u32)
+        * SIZE_CLASS_BYTES
+}
+
+/// A distribution of per-page compressed sizes.
+///
+/// The sixteen weights correspond to size classes 256 B, 512 B, …, 4096 B;
+/// a page's class is chosen deterministically from `(seed, page)`.
+///
+/// # Example
+///
+/// ```
+/// use dylect_compression::model::CompressibilityProfile;
+/// use dylect_sim_core::PageId;
+///
+/// let p = CompressibilityProfile::with_mean_ratio("demo", 3.4);
+/// let s = p.compressed_bytes(1, PageId::new(42));
+/// assert_eq!(s, p.compressed_bytes(1, PageId::new(42))); // stable
+/// assert!((p.mean_ratio() - 3.4).abs() < 0.25);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressibilityProfile {
+    name: String,
+    /// Cumulative distribution over the 16 size classes, scaled to 2^32.
+    cdf: [u32; NUM_SIZE_CLASSES],
+}
+
+impl CompressibilityProfile {
+    /// Creates a profile from (unnormalized) per-class weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any is negative/not finite.
+    pub fn new(name: &str, weights: [f64; NUM_SIZE_CLASSES]) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "invalid weights"
+        );
+        let mut cdf = [0u32; NUM_SIZE_CLASSES];
+        let mut acc = 0.0;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w / total;
+            cdf[i] = (acc.min(1.0) * u32::MAX as f64) as u32;
+        }
+        cdf[NUM_SIZE_CLASSES - 1] = u32::MAX;
+        CompressibilityProfile {
+            name: name.to_owned(),
+            cdf,
+        }
+    }
+
+    /// A two-point mixture of highly compressible (512 B) and
+    /// incompressible (4096 B) pages calibrated so that compressing *all*
+    /// pages yields roughly `ratio` (original bytes / compressed bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1.0 <= ratio <= 8.0`.
+    pub fn with_mean_ratio(name: &str, ratio: f64) -> Self {
+        assert!((1.0..=8.0).contains(&ratio), "ratio {ratio} out of range");
+        let target_mean = 4096.0 / ratio;
+        // p*512 + (1-p)*4096 = target
+        let p = ((4096.0 - target_mean) / (4096.0 - 512.0)).clamp(0.0, 1.0);
+        let mut weights = [0.0; NUM_SIZE_CLASSES];
+        weights[1] = p; // 512 B
+        weights[15] = 1.0 - p; // 4096 B
+        Self::new(name, weights)
+    }
+
+    /// Returns the profile's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stable compressed size (already quantized) of `page` under `seed`.
+    pub fn compressed_bytes(&self, seed: u64, page: PageId) -> u32 {
+        let h = hash2(seed ^ 0xC0_4B5E, page.index()) as u32;
+        let class = self.cdf.iter().position(|&c| h <= c).unwrap_or(15);
+        (class as u32 + 1) * SIZE_CLASS_BYTES
+    }
+
+    /// Expected compressed size in bytes.
+    pub fn mean_compressed_bytes(&self) -> f64 {
+        let mut prev = 0u64;
+        let mut mean = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            let p = (c as u64 - prev) as f64 / u32::MAX as f64;
+            mean += p * ((i as u32 + 1) * SIZE_CLASS_BYTES) as f64;
+            prev = c as u64;
+        }
+        mean
+    }
+
+    /// Expected compression ratio if every page were compressed.
+    pub fn mean_ratio(&self) -> f64 {
+        4096.0 / self.mean_compressed_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_rounds_up() {
+        assert_eq!(quantize(256), 256);
+        assert_eq!(quantize(300), 512);
+        assert_eq!(quantize(4096), 4096);
+        assert_eq!(quantize(9999), 4096);
+        assert_eq!(quantize(0), 256);
+    }
+
+    #[test]
+    fn sizes_are_stable_and_quantized() {
+        let p = CompressibilityProfile::with_mean_ratio("t", 3.0);
+        for i in 0..1000 {
+            let s = p.compressed_bytes(9, PageId::new(i));
+            assert_eq!(s, p.compressed_bytes(9, PageId::new(i)));
+            assert!(s % SIZE_CLASS_BYTES == 0 && s <= 4096 && s > 0);
+        }
+    }
+
+    #[test]
+    fn different_seeds_reshuffle() {
+        let p = CompressibilityProfile::with_mean_ratio("t", 2.0);
+        let same = (0..200)
+            .filter(|&i| {
+                p.compressed_bytes(1, PageId::new(i)) == p.compressed_bytes(2, PageId::new(i))
+            })
+            .count();
+        assert!(same < 200, "seed has no effect");
+    }
+
+    #[test]
+    fn empirical_mean_matches_target() {
+        for ratio in [1.5, 2.0, 3.4, 5.0] {
+            let p = CompressibilityProfile::with_mean_ratio("t", ratio);
+            let n = 20_000u64;
+            let total: u64 = (0..n)
+                .map(|i| p.compressed_bytes(3, PageId::new(i)) as u64)
+                .sum();
+            let emp_ratio = 4096.0 * n as f64 / total as f64;
+            assert!(
+                (emp_ratio - ratio).abs() / ratio < 0.1,
+                "target {ratio}, got {emp_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_weights_respected() {
+        let mut w = [0.0; NUM_SIZE_CLASSES];
+        w[3] = 1.0; // everything 1024 B
+        let p = CompressibilityProfile::new("fixed", w);
+        for i in 0..100 {
+            assert_eq!(p.compressed_bytes(0, PageId::new(i)), 1024);
+        }
+        assert_eq!(p.mean_compressed_bytes(), 1024.0);
+        assert_eq!(p.mean_ratio(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weights")]
+    fn rejects_zero_weights() {
+        let _ = CompressibilityProfile::new("bad", [0.0; NUM_SIZE_CLASSES]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_silly_ratio() {
+        let _ = CompressibilityProfile::with_mean_ratio("bad", 20.0);
+    }
+}

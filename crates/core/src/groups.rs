@@ -1,0 +1,198 @@
+//! DRAM page groups and the short-CTE mapping function (paper Figure 11).
+//!
+//! A short CTE of an OS page `p` can only name one of `G` adjacent DRAM
+//! pages — `p`'s *DRAM page group*. The group's first DRAM page is found by
+//! a static hash
+//!
+//! ```text
+//! hash(p) = G * (p mod (M / G))
+//! ```
+//!
+//! where `M` is the number of data DRAM pages and `G` the group size; the
+//! multiplication by `G` makes adjacent OS pages map to *disjoint* groups.
+//! The complete mapping is `DRAM_page(p) = hash(p) + shortCTE(p)`.
+//!
+//! With 2-bit short CTEs the group size is 3 (the fourth encoding is the
+//! INVALID flag). Because the hash ranges over all of DRAM, ML0 can scale up
+//! to the entire memory when pressure is low (paper §IV-B).
+
+use dylect_sim_core::{DramPageId, PageId};
+
+/// The short-CTE mapping for one memory controller.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GroupMap {
+    group_size: u64,
+    num_groups: u64,
+}
+
+impl GroupMap {
+    /// Creates the mapping over `data_pages` DRAM pages with groups of
+    /// `group_size` pages.
+    ///
+    /// DRAM pages beyond `group_size * (data_pages / group_size)` belong to
+    /// no group and are reachable only through long CTEs — rigid placement
+    /// never needs to cover everything, that is what long CTEs are for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is 0 or exceeds `data_pages`.
+    pub fn new(data_pages: u64, group_size: u64) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert!(group_size <= data_pages, "group larger than memory");
+        GroupMap {
+            group_size,
+            num_groups: data_pages / group_size,
+        }
+    }
+
+    /// DRAM pages per group (`G`).
+    pub fn group_size(&self) -> u64 {
+        self.group_size
+    }
+
+    /// Number of disjoint groups.
+    pub fn num_groups(&self) -> u64 {
+        self.num_groups
+    }
+
+    /// Bits needed per short CTE (the INVALID flag costs one encoding).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dylect_core::groups::GroupMap;
+    /// assert_eq!(GroupMap::new(300, 3).short_cte_bits(), 2);
+    /// assert_eq!(GroupMap::new(300, 7).short_cte_bits(), 3);
+    /// ```
+    pub fn short_cte_bits(&self) -> u32 {
+        u64::BITS - self.group_size.leading_zeros()
+    }
+
+    /// The INVALID short-CTE flag value (the maximum encodable number).
+    pub fn invalid(&self) -> u8 {
+        self.group_size as u8
+    }
+
+    /// The static hash: first DRAM page of `p`'s group.
+    pub fn hash(&self, page: PageId) -> DramPageId {
+        DramPageId::new(self.group_size * (page.index() % self.num_groups))
+    }
+
+    /// All DRAM pages in `p`'s group, in slot order.
+    pub fn slots(&self, page: PageId) -> impl Iterator<Item = DramPageId> {
+        let base = self.hash(page).index();
+        (0..self.group_size).map(move |i| DramPageId::new(base + i))
+    }
+
+    /// The DRAM page named by `(page, short_cte)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `short_cte` is the INVALID flag or larger.
+    pub fn dram_page(&self, page: PageId, short_cte: u8) -> DramPageId {
+        debug_assert!(
+            (short_cte as u64) < self.group_size,
+            "short CTE {short_cte} out of group"
+        );
+        DramPageId::new(self.hash(page).index() + short_cte as u64)
+    }
+
+    /// The slot index of `dram` within `page`'s group, if it is in it.
+    pub fn slot_of(&self, page: PageId, dram: DramPageId) -> Option<u8> {
+        let base = self.hash(page).index();
+        let d = dram.index();
+        (d >= base && d < base + self.group_size).then(|| (d - base) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_11_example() {
+        // 12 OS pages, 6 DRAM pages, G=3: hash(7) = 3*(7 % 2) = 3... the
+        // paper's tiny example uses hash(7)=2 with different constants; what
+        // matters is the structure, which we check below.
+        let g = GroupMap::new(6, 3);
+        assert_eq!(g.num_groups(), 2);
+        // OS page 7: 7 % 2 = 1 -> group starts at DRAM page 3.
+        assert_eq!(g.hash(PageId::new(7)), DramPageId::new(3));
+        assert_eq!(g.dram_page(PageId::new(7), 0), DramPageId::new(3));
+        assert_eq!(g.dram_page(PageId::new(7), 2), DramPageId::new(5));
+    }
+
+    #[test]
+    fn adjacent_os_pages_use_distinct_groups() {
+        let g = GroupMap::new(3000, 3);
+        let h0 = g.hash(PageId::new(100));
+        let h1 = g.hash(PageId::new(101));
+        assert_ne!(h0, h1);
+        // Groups are disjoint: starts are multiples of G.
+        assert_eq!(h0.index() % 3, 0);
+        assert_eq!(h1.index() % 3, 0);
+    }
+
+    #[test]
+    fn groups_tile_all_of_dram() {
+        // Every DRAM page below num_groups*G is some page's slot.
+        let g = GroupMap::new(30, 3);
+        let mut covered = vec![false; 30];
+        for p in 0..100 {
+            for s in g.slots(PageId::new(p)) {
+                covered[s.index() as usize] = true;
+            }
+        }
+        assert!(covered[..30].iter().all(|&c| c), "uncovered DRAM pages");
+    }
+
+    #[test]
+    fn two_bit_ctes_give_three_slots() {
+        let g = GroupMap::new(300, 3);
+        assert_eq!(g.short_cte_bits(), 2);
+        assert_eq!(g.invalid(), 3);
+        let slots: Vec<_> = g.slots(PageId::new(5)).collect();
+        assert_eq!(slots.len(), 3);
+    }
+
+    #[test]
+    fn slot_of_round_trips() {
+        let g = GroupMap::new(3000, 3);
+        let p = PageId::new(1234);
+        for s in 0..3u8 {
+            let d = g.dram_page(p, s);
+            assert_eq!(g.slot_of(p, d), Some(s));
+        }
+        assert_eq!(g.slot_of(p, DramPageId::new(0)), g.slot_of(p, DramPageId::new(0)));
+        // A DRAM page outside the group yields None.
+        let outside = DramPageId::new(g.hash(p).index() + 3);
+        assert_eq!(g.slot_of(p, outside), None);
+    }
+
+    #[test]
+    fn remainder_pages_have_no_group() {
+        // 31 data pages, G=3 -> 10 groups covering 30 pages; page 30 is
+        // long-CTE-only territory.
+        let g = GroupMap::new(31, 3);
+        assert_eq!(g.num_groups(), 10);
+        for p in 0..1000 {
+            for s in g.slots(PageId::new(p)) {
+                assert!(s.index() < 30);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_groups_need_more_bits() {
+        assert_eq!(GroupMap::new(100, 1).short_cte_bits(), 1);
+        assert_eq!(GroupMap::new(100, 3).short_cte_bits(), 2);
+        assert_eq!(GroupMap::new(100, 7).short_cte_bits(), 3);
+        assert_eq!(GroupMap::new(100, 15).short_cte_bits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_group() {
+        let _ = GroupMap::new(10, 0);
+    }
+}

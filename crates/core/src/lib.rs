@@ -1,0 +1,55 @@
+//! **DyLeCT** — *Dynamic Length Compressed-Memory Translations* (ISCA 2024).
+//!
+//! Hardware memory compression adds a new layer of address translation in
+//! the memory controller: compressed-memory translation entries (CTEs) map
+//! OS-physical pages to machine-physical DRAM locations. For large irregular
+//! workloads running under 2 MB huge pages, the CTE cache becomes the
+//! dominant translation bottleneck — a 128 KB cache of 8 B CTEs reaches only
+//! 64 MB, versus the >2 GB reach of a huge-page TLB.
+//!
+//! DyLeCT closes that gap by **dynamically switching the length of each
+//! page's CTE**:
+//!
+//! - hot pages are migrated into one of the three DRAM pages of their *DRAM
+//!   page group* (a set-associative, aligned placement), so a **2-bit short
+//!   CTE** suffices — 32× smaller than a long CTE, giving a 64 B pre-gathered
+//!   block 1 MB of translation reach;
+//! - cold pages keep **8 B long CTEs** with fully-associative placement, so
+//!   every irregular compression-freed hole in DRAM stays usable and the
+//!   compression ratio is not sacrificed.
+//!
+//! The implementation lives in two modules:
+//!
+//! - [`groups`] — the static hash mapping each OS page to its DRAM page
+//!   group (paper Figure 11);
+//! - [`scheme`] — the [`Dylect`] controller: the three-level ML0/ML1/ML2
+//!   hierarchy, the pre-gathered table, the single dual-block-type CTE
+//!   cache with parallel miss fetches, and the promotion/demotion policies
+//!   (paper Figures 12–16);
+//! - [`naive`] — the strawman dynamic-length design of §IV-A3 (split CTE
+//!   caches, direct ML2→ML0 expansion with double page movement), kept as
+//!   an ablation baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_compression::CompressibilityProfile;
+//! use dylect_core::{Dylect, DylectConfig};
+//! use dylect_dram::{Dram, DramConfig};
+//! use dylect_memctl::MemoryScheme;
+//! use dylect_sim_core::{PhysAddr, Time};
+//!
+//! let mut dram = Dram::new(DramConfig::paper(1 << 28, 8));
+//! let profile = CompressibilityProfile::with_mean_ratio("demo", 3.4);
+//! let mut mc = Dylect::new(DylectConfig::paper(80_000), &dram, profile, 7);
+//! let r = mc.access(Time::ZERO, PhysAddr::new(0x3000), false, &mut dram);
+//! assert!(r.data_ready > Time::ZERO);
+//! ```
+
+pub mod groups;
+pub mod naive;
+pub mod scheme;
+
+pub use groups::GroupMap;
+pub use naive::{NaiveDynamic, NaiveDynamicConfig, ShortCacheOption};
+pub use scheme::{Dylect, DylectConfig};

@@ -1,0 +1,617 @@
+//! The naive dynamic-length design (paper §IV-A3), kept as an ablation
+//! baseline.
+//!
+//! This strawman switches between 2-bit short CTEs for *all* uncompressed
+//! pages and 8 B long CTEs for compressed pages, with none of DyLeCT's two
+//! key fixes:
+//!
+//! 1. **Bandwidth**: expansion goes *directly* from ML2 into the page's
+//!    DRAM page group. In a highly occupied memory every slot is usually
+//!    taken, so each expansion first displaces an occupant — two page
+//!    movements instead of one (§IV-A1).
+//! 2. **Cacheability**: two *separate* 64 KB CTE caches hold short and long
+//!    CTEs. Short CTEs are gathered, 8 at a time, from a fetched unified
+//!    block into a 2 B line whose 4 B tag wastes two thirds of the SRAM
+//!    (§IV-A2, "Option A"); we model that waste by shrinking the effective
+//!    line count accordingly.
+//!
+//! The paper measures this design at a 76% CTE hit rate (barely above
+//! TMCC's 67%) and a 5% performance *loss*; the `naive_ablation` bench
+//! reproduces that comparison.
+
+use dylect_cache::sector::{SectorCache, SectorOutcome};
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_compression::CompressibilityProfile;
+use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::layout::{LayoutOptions, McLayout};
+use dylect_memctl::recency::TOUCH_PERIOD;
+use dylect_memctl::store::CompressedStore;
+use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
+use dylect_sim_core::{DramPageId, PageId, PhysAddr, Time};
+
+use crate::groups::GroupMap;
+
+/// How the naive design organizes its short-CTE cache (paper Figure 9).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum ShortCacheOption {
+    /// Option A: 2 B gathered cachelines; the 4 B tag per line wastes two
+    /// thirds of the SRAM area.
+    #[default]
+    GatheredA,
+    /// Option B: 64 B sector-cache lines (32 × 2 B sectors) amortize the
+    /// tag, but each fetched unified block fills only one sector, so lines
+    /// warm up slowly and waste most bits in the common case.
+    SectorB,
+}
+
+/// Configuration of the naive design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NaiveDynamicConfig {
+    /// OS-visible memory size in 4 KB pages.
+    pub os_pages: u64,
+    /// SRAM budget of *each* of the two CTE caches (paper: 64 KB + 64 KB).
+    pub cache_bytes: u64,
+    /// DRAM pages per group.
+    pub group_size: u64,
+    /// Free-page target for background compaction.
+    pub free_target_pages: u64,
+    /// Short-CTE cache organization (Figure 9 Option A or B).
+    pub short_cache: ShortCacheOption,
+}
+
+impl NaiveDynamicConfig {
+    /// The §IV-A3 configuration: two 64 KB caches, 2-bit short CTEs.
+    pub fn paper(os_pages: u64) -> Self {
+        NaiveDynamicConfig {
+            os_pages,
+            cache_bytes: 64 * 1024,
+            group_size: 3,
+            free_target_pages: 256,
+            short_cache: ShortCacheOption::GatheredA,
+        }
+    }
+}
+
+/// The naive design's short-CTE cache: one of the two Figure 9 options.
+#[derive(Clone, Debug)]
+enum ShortCteCache {
+    /// Option A: gathered 2 B lines (keyed by unified-block index).
+    Gathered(SetAssocCache),
+    /// Option B: 64 B sector lines, one 2 B sector per unified block.
+    Sector(SectorCache),
+}
+
+impl ShortCteCache {
+    fn access(&mut self, unified_block: u64) -> bool {
+        match self {
+            ShortCteCache::Gathered(c) => c.access(unified_block),
+            ShortCteCache::Sector(c) => c.access(unified_block) == SectorOutcome::Hit,
+        }
+    }
+
+    fn fill(&mut self, unified_block: u64) {
+        match self {
+            ShortCteCache::Gathered(c) => {
+                c.fill(unified_block, false, ());
+            }
+            ShortCteCache::Sector(c) => {
+                c.fill(unified_block);
+            }
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        match self {
+            ShortCteCache::Gathered(c) => c.reset_stats(),
+            ShortCteCache::Sector(c) => c.reset_stats(),
+        }
+    }
+}
+
+/// The naive dynamic-length controller.
+#[derive(Clone, Debug)]
+pub struct NaiveDynamic {
+    cfg: NaiveDynamicConfig,
+    store: CompressedStore,
+    layout: McLayout,
+    groups: GroupMap,
+    /// Short-CTE cache (Figure 9 Option A or B).
+    short_cache: ShortCteCache,
+    /// Long-CTE cache: 8 B lines, one long CTE each, 4 B tag overhead.
+    long_cache: SetAssocCache,
+    short_cte: Vec<u8>,
+    stats: McStats,
+    requests_seen: u64,
+    /// Deterministic victim rotation for slot displacement.
+    rotate: u64,
+}
+
+impl NaiveDynamic {
+    /// Builds the naive controller; uncompressed pages that cannot be
+    /// placed in their group at packing time are compressed instead (the
+    /// rigid placement wastes space — exactly the paper's Figure 1b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit fully compressed.
+    pub fn new(
+        cfg: NaiveDynamicConfig,
+        dram: &Dram,
+        profile: CompressibilityProfile,
+        seed: u64,
+    ) -> Self {
+        let total_pages = dram.config().geometry.capacity_pages();
+        let layout = McLayout::new(
+            total_pages,
+            cfg.os_pages,
+            LayoutOptions {
+                pregathered: false,
+                counters: false,
+                unified_entries: cfg.os_pages,
+            },
+        );
+        let mut store = CompressedStore::pack(
+            cfg.os_pages,
+            layout.data_pages(),
+            profile,
+            seed,
+            cfg.free_target_pages,
+        );
+        let groups = GroupMap::new(layout.data_pages(), cfg.group_size);
+        let mut short_cte = vec![groups.invalid(); cfg.os_pages as usize];
+
+        // Fix up initial placement: every uncompressed page must live in its
+        // group; otherwise relocate it there or compress it (no billing —
+        // this is pre-simulation packing).
+        for p in 0..cfg.os_pages {
+            let page = PageId::new(p);
+            let Some(PageState::Uncompressed(cur)) = store.dir.state(page) else {
+                continue;
+            };
+            if let Some(slot) = groups.slot_of(page, cur) {
+                short_cte[p as usize] = slot;
+                continue;
+            }
+            let free_slot = groups
+                .slots(page)
+                .enumerate()
+                .find(|&(_, s)| store.free.take_specific_page(s));
+            if let Some((i, s)) = free_slot {
+                store.dir.detach(page);
+                store.free.add_page(cur);
+                store.dir.place_uncompressed(page, s);
+                short_cte[p as usize] = i as u8;
+            } else {
+                // Rigid placement cannot host it: compress.
+                store.recency.remove(page);
+                let size = store.compressed_size(page);
+                store.dir.detach(page);
+                store.free.add_page(cur);
+                let span = store.free.alloc_span(size).expect("just freed a page");
+                store.dir.place_compressed(page, span);
+            }
+        }
+
+        // Area modeling per Figure 9. Option A: each 2 B line pays a 4 B
+        // tag, so only a third of the SRAM budget holds CTEs. Option B:
+        // 64 B lines amortize the tag (~94% data), but fills are per-sector.
+        let short_cache = match cfg.short_cache {
+            ShortCacheOption::GatheredA => {
+                let lines = (cfg.cache_bytes * 2 / 6 / 2 / 8) * 8;
+                ShortCteCache::Gathered(SetAssocCache::new(CacheConfig::lru(lines, 8, 1)))
+            }
+            ShortCacheOption::SectorB => {
+                let lines = (cfg.cache_bytes * 64 / 68 / 64 / 8) * 8;
+                ShortCteCache::Sector(SectorCache::new(lines, 8, 32))
+            }
+        };
+        let long_lines = (cfg.cache_bytes * 8 / 12 / 8 / 8) * 8;
+        let long_cache = SetAssocCache::new(CacheConfig::lru(long_lines, 8, 1));
+
+        NaiveDynamic {
+            cfg,
+            store,
+            layout,
+            groups,
+            short_cache,
+            long_cache,
+            short_cte,
+            stats: McStats::default(),
+            requests_seen: 0,
+            rotate: seed,
+        }
+    }
+
+    /// Shared-store access for tests and harnesses.
+    pub fn store(&self) -> &CompressedStore {
+        &self.store
+    }
+
+    fn is_ml0(&self, page: PageId) -> bool {
+        self.short_cte[page.index() as usize] != self.groups.invalid()
+    }
+
+    /// Fetch a unified CTE block from DRAM (read) and return completion.
+    fn fetch_unified(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+        dram.access(
+            now,
+            self.layout.unified_block_addr(page.index()),
+            DramOp::Read,
+            RequestClass::CteFetch,
+        )
+    }
+
+    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+        if self.is_ml0(page) {
+            // Short cache line covers the 8 pages of one unified block.
+            let key = page.index() / 8;
+            if self.short_cache.access(key) {
+                self.stats.cte_hits_pregathered.incr();
+                return now + CTE_CACHE_HIT_LATENCY;
+            }
+            self.stats.cte_misses.incr();
+            let done = self.fetch_unified(now, page, dram);
+            self.short_cache.fill(key);
+            done
+        } else {
+            let key = page.index();
+            if self.long_cache.access(key) {
+                self.stats.cte_hits_unified.incr();
+                return now + CTE_CACHE_HIT_LATENCY;
+            }
+            self.stats.cte_misses.incr();
+            let done = self.fetch_unified(now, page, dram);
+            self.long_cache.fill(key, false, ());
+            done
+        }
+    }
+
+    /// Direct ML2→ML0 expansion with displacement (the double page
+    /// movement of §IV-A1). Returns the time the expanded data is usable.
+    fn expand_to_group(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+        let slots: Vec<DramPageId> = self.groups.slots(page).collect();
+
+        // Free slot: single movement.
+        for (i, &s) in slots.iter().enumerate() {
+            if self.store.free.take_specific_page(s) {
+                self.store.free.add_page(s); // expand() draws from the pool
+                return self.finish_expand_into(now, page, s, i as u8, dram);
+            }
+        }
+
+        // Displace an occupant (round-robin over slots for determinism).
+        self.rotate = self.rotate.wrapping_add(1);
+        for k in 0..slots.len() {
+            let i = (self.rotate as usize + k) % slots.len();
+            let s = slots[i];
+            match self.store.dir.dram_use(s) {
+                DramUse::Uncompressed(q) => {
+                    // Try q's own other slots; otherwise compress q.
+                    let alt = self
+                        .groups
+                        .slots(q)
+                        .enumerate()
+                        .find(|&(_, a)| self.store.free.take_specific_page(a));
+                    let t = if let Some((j, a)) = alt {
+                        let t = self
+                            .store
+                            .move_uncompressed(dram, now, q, a, RequestClass::Migration);
+                        self.short_cte[q.index() as usize] = j as u8;
+                        t
+                    } else {
+                        self.short_cte[q.index() as usize] = self.groups.invalid();
+                        self.store.recency.remove(q);
+                        self.store.compact_page(dram, now, q)
+                    };
+                    self.stats.displacements.incr();
+                    return self.finish_expand_into(t, page, s, i as u8, dram);
+                }
+                DramUse::Pool => {
+                    let Some(t) = self.vacate_pool_page(now, s, dram) else {
+                        continue;
+                    };
+                    self.store.free.add_page(s);
+                    return self.finish_expand_into(t, page, s, i as u8, dram);
+                }
+                DramUse::Unassigned => {}
+            }
+        }
+        // Pathological: nothing displaceable; fall back to a plain ML1-style
+        // expansion so forward progress is kept (page stays long-CTE).
+        let (_, ready) = self
+            .store
+            .expand(dram, now, page, RequestClass::Migration);
+        ready
+    }
+
+    fn vacate_pool_page(&mut self, now: Time, slot: DramPageId, dram: &mut Dram) -> Option<Time> {
+        let residents: Vec<PageId> = self.store.dir.compressed_pages_in(slot).to_vec();
+        let mut t = now;
+        for q in residents {
+            let Some(PageState::Compressed(span)) = self.store.dir.state(q) else {
+                unreachable!("resident list says q is compressed here");
+            };
+            let new_span = self.store.free.alloc_span_excluding(span.len, slot)?;
+            let r = transfer::read_span(dram, t, span, RequestClass::Migration);
+            t = transfer::write_span(dram, r, new_span, RequestClass::Migration);
+            self.store.dir.place_compressed(q, new_span);
+            self.store.free.free_span(span);
+            self.stats.displacements.incr();
+        }
+        self.store.free.take_specific_page(slot).then_some(t)
+    }
+
+    /// Expands `page` specifically into slot `s` (which must be free in the
+    /// pool sense) and records its short CTE.
+    fn finish_expand_into(
+        &mut self,
+        now: Time,
+        page: PageId,
+        s: DramPageId,
+        slot_idx: u8,
+        dram: &mut Dram,
+    ) -> Time {
+        // `expand` takes an arbitrary free page; steer it by temporarily
+        // making `s` the only page we hand back afterwards.
+        let (got, ready) = self.store.expand(dram, now, page, RequestClass::Migration);
+        if got != s {
+            // Move into the intended slot (bookkeeping swap, no extra
+            // traffic billed: the write already happened once; real hardware
+            // would have written straight to `s`).
+            self.store.dir.detach(page);
+            self.store.free.add_page(got);
+            let taken = self.store.free.take_specific_page(s);
+            debug_assert!(taken, "slot was reserved by caller");
+            self.store.dir.place_uncompressed(page, s);
+            self.store.recency.touch(page);
+        }
+        self.short_cte[page.index() as usize] = slot_idx;
+        self.stats.expansions.incr();
+        ready
+    }
+
+    fn maintain_free(&mut self, now: Time, target: u64, dram: &mut Dram) {
+        let mut t = now;
+        let mut guard = 128;
+        while (self.store.free.free_page_count() as u64) < target && guard > 0 {
+            guard -= 1;
+            let Some(victim) = self.store.recency.tail() else {
+                break;
+            };
+            self.short_cte[victim.index() as usize] = self.groups.invalid();
+            t = self.store.compact_page(dram, t, victim);
+            self.stats.compactions.incr();
+        }
+    }
+}
+
+impl MemoryScheme for NaiveDynamic {
+    fn name(&self) -> &'static str {
+        "naive-dynamic"
+    }
+
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram) -> McResponse {
+        let page = addr.page();
+        debug_assert!(page.index() < self.cfg.os_pages, "address out of range");
+        self.stats.requests.incr();
+        self.requests_seen += 1;
+        if self.requests_seen.is_multiple_of(TOUCH_PERIOD) && !self.store.is_compressed(page) {
+            self.store.recency.touch(page);
+        }
+
+        let t_translated = self.translate(now, page, dram);
+
+        let expanded = if self.store.is_compressed(page) {
+            if self.store.free.free_page_count() < 2 {
+                self.maintain_free(t_translated, 2, dram);
+            }
+            Some(self.expand_to_group(t_translated, page, dram))
+        } else {
+            None
+        };
+        let t_data_start = expanded.unwrap_or(t_translated);
+
+        let Some(PageState::Uncompressed(dpage)) = self.store.dir.state(page) else {
+            unreachable!("page uncompressed after expansion");
+        };
+        let machine = dpage.base_addr().offset(addr.page_offset());
+        let (op, class) = if is_write {
+            (DramOp::Write, RequestClass::Writeback)
+        } else {
+            (DramOp::Read, RequestClass::Demand)
+        };
+        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+
+        if expanded.is_some() {
+            self.maintain_free(data_ready, self.store.free_target_pages(), dram);
+        }
+
+        let overhead = t_data_start - now;
+        self.stats
+            .translation_latency
+            .record_time_ns(t_translated.saturating_sub(now));
+        self.stats.overhead_latency.record_time_ns(overhead);
+        McResponse {
+            data_ready,
+            overhead,
+        }
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+        self.short_cache.reset_stats();
+        self.long_cache.reset_stats();
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let (unc, comp) = self.store.dir.census();
+        let ml0 = self
+            .short_cte
+            .iter()
+            .filter(|&&s| s != self.groups.invalid())
+            .count() as u64;
+        Occupancy {
+            ml0_pages: ml0,
+            ml1_pages: unc - ml0.min(unc),
+            ml2_pages: comp,
+            free_pages: self.store.free.free_page_count() as u64,
+            free_bytes: self.store.free.free_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+    use dylect_sim_core::PAGE_BYTES;
+
+    fn profile() -> CompressibilityProfile {
+        CompressibilityProfile::with_mean_ratio("t", 3.0)
+    }
+
+    fn setup(os_pages: u64) -> (NaiveDynamic, Dram) {
+        let dram = Dram::new(DramConfig::paper(1 << 28, 8));
+        let n = NaiveDynamic::new(NaiveDynamicConfig::paper(os_pages), &dram, profile(), 3);
+        (n, dram)
+    }
+
+    fn addr(p: u64) -> PhysAddr {
+        PhysAddr::new(p * PAGE_BYTES)
+    }
+
+    #[test]
+    fn initial_placement_is_group_consistent() {
+        let (n, _) = setup(80_000);
+        for p in 0..80_000u64 {
+            let page = PageId::new(p);
+            if let Some(PageState::Uncompressed(d)) = n.store().dir.state(page) {
+                let slot = n.short_cte[p as usize];
+                assert_ne!(slot, n.groups.invalid(), "uncompressed page {p} lacks short CTE");
+                assert_eq!(n.groups.dram_page(page, slot), d, "page {p} short CTE stale");
+            } else {
+                assert_eq!(n.short_cte[p as usize], n.groups.invalid());
+            }
+        }
+    }
+
+    #[test]
+    fn rigid_placement_wastes_capacity() {
+        // Compared to DyLeCT's packing, the naive fix-up compresses extra
+        // pages whose group slots were taken (Figure 1b's wasted space).
+        let (n, _) = setup(80_000);
+        let (_, comp_naive) = n.store().dir.census();
+        let dram = Dram::new(DramConfig::paper(1 << 28, 8));
+        let d = crate::Dylect::new(crate::DylectConfig::paper(80_000), &dram, profile(), 3);
+        let (_, comp_dylect) = d.store().dir.census();
+        assert!(
+            comp_naive >= comp_dylect,
+            "naive {comp_naive} vs dylect {comp_dylect}"
+        );
+    }
+
+    #[test]
+    fn expansion_goes_directly_to_group() {
+        let (mut n, mut dram) = setup(80_000);
+        let p = (0..80_000)
+            .find(|&p| n.store().is_compressed(PageId::new(p)))
+            .expect("compression pressure");
+        n.access(Time::ZERO, addr(p), false, &mut dram);
+        let page = PageId::new(p);
+        assert!(!n.store().is_compressed(page));
+        let slot = n.short_cte[p as usize];
+        if slot != n.groups.invalid() {
+            let Some(PageState::Uncompressed(d)) = n.store().dir.state(page) else {
+                panic!("uncompressed after expansion");
+            };
+            assert_eq!(n.groups.dram_page(page, slot), d);
+        }
+        assert_eq!(n.stats().expansions.get() + /*fallback path*/ 0, n.stats().expansions.get());
+    }
+
+    #[test]
+    fn expansions_displace_under_pressure() {
+        let (mut n, mut dram) = setup(80_000);
+        let compressed: Vec<u64> = (0..80_000)
+            .filter(|&p| n.store().is_compressed(PageId::new(p)))
+            .take(400)
+            .collect();
+        let mut t = Time::ZERO;
+        for &p in &compressed {
+            let r = n.access(t, addr(p), false, &mut dram);
+            t = r.data_ready;
+        }
+        assert!(
+            n.stats().displacements.get() > 0,
+            "high occupancy should force double page movement"
+        );
+    }
+
+    #[test]
+    fn churn_preserves_store_invariants() {
+        let (mut n, mut dram) = setup(80_000);
+        let data_pages = n.layout.data_pages();
+        let mut t = Time::ZERO;
+        for i in 0..2000u64 {
+            let p = (i * 6151) % 80_000;
+            let r = n.access(t, addr(p), i % 9 == 0, &mut dram);
+            t = r.data_ready;
+        }
+        n.store().check_invariants(data_pages);
+        // Short-CTE mirror consistency.
+        for p in 0..80_000u64 {
+            let page = PageId::new(p);
+            let slot = n.short_cte[p as usize];
+            if slot != n.groups.invalid() {
+                assert_eq!(
+                    n.store().dir.state(page),
+                    Some(PageState::Uncompressed(n.groups.dram_page(page, slot))),
+                    "page {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn option_b_sector_cache_runs_and_underperforms_warm_gathered() {
+        // Option B's slow sector warmup should never beat Option A's hit
+        // rate on a bursty stream at equal SRAM budget.
+        let dram0 = Dram::new(DramConfig::paper(1 << 28, 8));
+        let profile_a = profile();
+        let mut a = NaiveDynamic::new(NaiveDynamicConfig::paper(80_000), &dram0, profile_a, 3);
+        let cfg_b = NaiveDynamicConfig {
+            short_cache: ShortCacheOption::SectorB,
+            ..NaiveDynamicConfig::paper(80_000)
+        };
+        let mut b = NaiveDynamic::new(cfg_b, &dram0, profile(), 3);
+        let mut dram_a = Dram::new(DramConfig::paper(1 << 28, 8));
+        let mut dram_b = Dram::new(DramConfig::paper(1 << 28, 8));
+        let mut ta = Time::ZERO;
+        let mut tb = Time::ZERO;
+        for i in 0..30_000u64 {
+            // A zipf-ish revisit pattern over uncompressed pages.
+            let p = (i * i * 7919) % 80_000;
+            ta = a.access(ta, addr(p), false, &mut dram_a).data_ready;
+            tb = b.access(tb, addr(p), false, &mut dram_b).data_ready;
+        }
+        let hit = |n: &NaiveDynamic| n.stats().cte_hit_rate();
+        assert!(hit(&b) <= hit(&a) + 0.02, "B {:.3} vs A {:.3}", hit(&b), hit(&a));
+    }
+
+    #[test]
+    fn split_caches_report_their_hits() {
+        let (mut n, mut dram) = setup(80_000);
+        let p = (0..80_000)
+            .find(|&p| !n.store().is_compressed(PageId::new(p)))
+            .unwrap();
+        let r1 = n.access(Time::ZERO, addr(p), false, &mut dram);
+        n.access(r1.data_ready, addr(p), false, &mut dram);
+        assert_eq!(n.stats().cte_misses.get(), 1);
+        assert_eq!(n.stats().cte_hits_pregathered.get(), 1, "short-cache hit");
+    }
+}

@@ -1,0 +1,796 @@
+//! The DyLeCT memory controller (paper §IV).
+//!
+//! DyLeCT extends TMCC's two-level hierarchy into a three-level exclusive
+//! hierarchy:
+//!
+//! - **ML0** — the hottest uncompressed pages, addressed by 2-bit *short
+//!   CTEs* through the static group hash (see [`crate::groups`]);
+//! - **ML1** — warm uncompressed pages, addressed by 8 B *long CTEs*;
+//! - **ML2** — cold compressed pages, long CTEs.
+//!
+//! Short CTEs are pre-gathered into a dense side table whose 64 B blocks
+//! cover 1 MB of OS-visible memory each; a **single CTE cache** holds both
+//! pre-gathered and unified blocks. On a full CTE miss both blocks are
+//! fetched in parallel (Figure 16); the pre-gathered block is always cached,
+//! the unified block only when the request targets ML1/ML2.
+//!
+//! Promotion is gradual (ML2→ML1 on expansion, ML1→ML0 by sampled access
+//! counters — Banshee's policy at 5% sampling), which avoids the naive
+//! design's double page movement per expansion (§IV-A1). Demotion happens
+//! when promotion needs a slot whose occupants are all ML0 (coldest-counter
+//! victim) and when the background compactor picks an ML0 page as its
+//! recency-tail victim.
+
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_compression::CompressibilityProfile;
+use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::counters::AccessCounters;
+use dylect_memctl::layout::{LayoutOptions, McLayout};
+use dylect_memctl::recency::TOUCH_PERIOD;
+use dylect_memctl::store::CompressedStore;
+use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
+use dylect_sim_core::rng::Rng;
+use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time};
+
+use crate::groups::GroupMap;
+
+/// Configuration of a [`Dylect`] controller.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DylectConfig {
+    /// OS-visible memory size in 4 KB pages.
+    pub os_pages: u64,
+    /// CTE cache capacity in bytes (paper: 128 KB).
+    pub cte_cache_bytes: u64,
+    /// CTE cache associativity.
+    pub cte_cache_ways: u32,
+    /// DRAM pages per group (paper sweet spot: 3, i.e. 2-bit short CTEs).
+    pub group_size: u64,
+    /// Counter margin a candidate needs over the coldest ML0 occupant to
+    /// displace it.
+    pub promotion_threshold: u8,
+    /// Minimum access count before a page is considered for promotion at
+    /// all (keeps barely-warm pages from churning through ML0).
+    pub min_promotion_count: u8,
+    /// Access-counter sampling probability (paper: 5%).
+    pub sample_rate: f64,
+    /// Whole free DRAM pages the background compactor maintains.
+    pub free_target_pages: u64,
+    /// Cache the unified block on a full miss even when the request targets
+    /// an ML0 page. The paper's policy (false) reserves CTE-cache space for
+    /// high-reach pre-gathered blocks; the ablation flips this.
+    pub always_cache_unified: bool,
+}
+
+impl DylectConfig {
+    /// The paper's configuration (Table 3 + §V): 128 KB CTE cache, 2-bit
+    /// short CTEs (group size 3), 5% counter sampling.
+    pub fn paper(os_pages: u64) -> Self {
+        DylectConfig {
+            os_pages,
+            cte_cache_bytes: 128 * 1024,
+            cte_cache_ways: 8,
+            group_size: 3,
+            promotion_threshold: 2,
+            min_promotion_count: 2,
+            sample_rate: 0.05,
+            free_target_pages: 256,
+            always_cache_unified: false,
+        }
+    }
+}
+
+/// The DyLeCT memory controller.
+#[derive(Clone, Debug)]
+pub struct Dylect {
+    cfg: DylectConfig,
+    store: CompressedStore,
+    layout: McLayout,
+    groups: GroupMap,
+    cte_cache: SetAssocCache,
+    /// Mirror of the pre-gathered table: per OS page, the slot index within
+    /// its DRAM page group, or `groups.invalid()` for ML1/ML2 pages.
+    short_cte: Vec<u8>,
+    counters: AccessCounters,
+    rng: Rng,
+    stats: McStats,
+    requests_seen: u64,
+    ml0_count: u64,
+}
+
+impl Dylect {
+    /// Builds a DyLeCT controller over `dram`, packing `cfg.os_pages` of
+    /// OS-visible memory (per-page sizes from `profile`) into the DRAM.
+    ///
+    /// All pages start with long CTEs (ML1/ML2); warmup traffic promotes the
+    /// hot set into ML0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit fully compressed.
+    pub fn new(cfg: DylectConfig, dram: &Dram, profile: CompressibilityProfile, seed: u64) -> Self {
+        let total_pages = dram.config().geometry.capacity_pages();
+        let layout = McLayout::new(
+            total_pages,
+            cfg.os_pages,
+            LayoutOptions {
+                pregathered: true,
+                counters: true,
+                unified_entries: cfg.os_pages,
+            },
+        );
+        let store = CompressedStore::pack(
+            cfg.os_pages,
+            layout.data_pages(),
+            profile,
+            seed,
+            cfg.free_target_pages,
+        );
+        let groups = GroupMap::new(layout.data_pages(), cfg.group_size);
+        let cte_cache =
+            SetAssocCache::new(CacheConfig::lru(cfg.cte_cache_bytes, cfg.cte_cache_ways, 64));
+        let counters = AccessCounters::new(cfg.os_pages, cfg.sample_rate);
+        let os_pages = cfg.os_pages;
+        Dylect {
+            short_cte: vec![groups.invalid(); os_pages as usize],
+            cfg,
+            store,
+            layout,
+            groups,
+            cte_cache,
+            counters,
+            rng: Rng::new(seed ^ 0xD1_1EC7),
+            stats: McStats::default(),
+            requests_seen: 0,
+            ml0_count: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DylectConfig {
+        &self.cfg
+    }
+
+    /// Shared-store access for tests and harnesses.
+    pub fn store(&self) -> &CompressedStore {
+        &self.store
+    }
+
+    /// The group mapping in use.
+    pub fn groups(&self) -> &GroupMap {
+        &self.groups
+    }
+
+    /// Whether `page` currently uses a short CTE (is in ML0).
+    pub fn is_ml0(&self, page: PageId) -> bool {
+        self.short_cte[page.index() as usize] != self.groups.invalid()
+    }
+
+    /// Verifies scheme-level invariants (tests): every valid short CTE
+    /// points at the DRAM page the directory records, and the store's space
+    /// accounting balances.
+    pub fn check_invariants(&self) {
+        self.store.check_invariants(self.layout.data_pages());
+        let mut ml0 = 0;
+        for p in 0..self.cfg.os_pages {
+            let page = PageId::new(p);
+            let slot = self.short_cte[p as usize];
+            if slot != self.groups.invalid() {
+                ml0 += 1;
+                let expect = self.groups.dram_page(page, slot);
+                assert_eq!(
+                    self.store.dir.state(page),
+                    Some(PageState::Uncompressed(expect)),
+                    "short CTE of page {page} is stale"
+                );
+            }
+        }
+        assert_eq!(ml0, self.ml0_count, "ml0 census drifted");
+    }
+
+    /// Marks a table block modified: dirty in cache, or one direct write.
+    fn update_table(&mut self, now: Time, key: u64, addr: MachineAddr, dram: &mut Dram) {
+        if self.cte_cache.probe(key) {
+            self.cte_cache.fill(key, true, ());
+        } else {
+            dram.access(now, addr, DramOp::Write, RequestClass::CteFetch);
+        }
+    }
+
+    fn update_unified(&mut self, now: Time, page: PageId, dram: &mut Dram) {
+        let key = self.layout.unified_block_key(page.index());
+        let addr = self.layout.unified_block_addr(page.index());
+        self.update_table(now, key, addr, dram);
+    }
+
+    fn update_pregathered(&mut self, now: Time, page: PageId, dram: &mut Dram) {
+        let key = self.layout.pregathered_block_key(page);
+        let addr = self.layout.pregathered_block_addr(page);
+        self.update_table(now, key, addr, dram);
+    }
+
+    /// Switches `page` to a short CTE (long → short).
+    fn set_short(&mut self, now: Time, page: PageId, slot: u8, dram: &mut Dram) {
+        debug_assert!(!self.is_ml0(page));
+        self.short_cte[page.index() as usize] = slot;
+        self.ml0_count += 1;
+        self.update_pregathered(now, page, dram);
+        self.update_unified(now, page, dram);
+    }
+
+    /// Switches `page` back to a long CTE (short → long).
+    fn clear_short(&mut self, now: Time, page: PageId, dram: &mut Dram) {
+        debug_assert!(self.is_ml0(page));
+        self.short_cte[page.index() as usize] = self.groups.invalid();
+        self.ml0_count -= 1;
+        self.update_pregathered(now, page, dram);
+        self.update_unified(now, page, dram);
+    }
+
+    /// Fills a CTE block into the single cache, billing any dirty-eviction
+    /// writeback.
+    fn fill_cte(&mut self, now: Time, key: u64, dram: &mut Dram) {
+        if let Some(ev) = self.cte_cache.fill(key, false, ()) {
+            if ev.dirty {
+                let wb = MachineAddr::new(ev.key * 64);
+                dram.access(now, wb, DramOp::Write, RequestClass::CteFetch);
+            }
+        }
+    }
+
+    /// CTE cache lookup / parallel dual fetch on miss (Figures 14–16).
+    /// Returns the time translation is available.
+    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+        let in_ml0 = self.is_ml0(page);
+        let pg_key = self.layout.pregathered_block_key(page);
+        let uni_key = self.layout.unified_block_key(page.index());
+
+        if self.cte_cache.access(pg_key) {
+            if in_ml0 {
+                self.stats.cte_hits_pregathered.incr();
+                return now + CTE_CACHE_HIT_LATENCY;
+            }
+            // Short CTE is INVALID: need the long CTE from the unified block.
+            if self.cte_cache.access(uni_key) {
+                self.stats.cte_hits_unified.incr();
+                return now + CTE_CACHE_HIT_LATENCY;
+            }
+            // Miss for an ML1/ML2 page with the pre-gathered block cached:
+            // fetch only the unified block and cache it (target is ML1/ML2).
+            self.stats.cte_misses.incr();
+            let done = dram.access(
+                now,
+                self.layout.unified_block_addr(page.index()),
+                DramOp::Read,
+                RequestClass::CteFetch,
+            );
+            self.fill_cte(done, uni_key, dram);
+            return done;
+        }
+
+        if self.cte_cache.access(uni_key) {
+            // The unified entry holds the short CTE too, so it serves ML0
+            // pages as well as ML1/ML2 pages.
+            self.stats.cte_hits_unified.incr();
+            return now + CTE_CACHE_HIT_LATENCY;
+        }
+
+        // Full miss: fetch the pre-gathered and unified blocks in parallel.
+        self.stats.cte_misses.incr();
+        let id_pg = dram.submit(
+            now,
+            self.layout.pregathered_block_addr(page),
+            DramOp::Read,
+            RequestClass::CteFetch,
+        );
+        let id_uni = dram.submit(
+            now,
+            self.layout.unified_block_addr(page.index()),
+            DramOp::Read,
+            RequestClass::CteFetch,
+        );
+        dram.drain();
+        let t_pg = dram.take_completion(id_pg).expect("drained");
+        let t_uni = dram.take_completion(id_uni).expect("drained");
+
+        // Always cache the pre-gathered block; cache the unified block only
+        // if the request is to an ML1/ML2 page (or unconditionally under
+        // the ablation policy).
+        self.fill_cte(t_pg, pg_key, dram);
+        if !in_ml0 || self.cfg.always_cache_unified {
+            self.fill_cte(t_uni, uni_key, dram);
+        }
+        if in_ml0 {
+            // Data access may begin as soon as either block arrives.
+            t_pg.min(t_uni)
+        } else {
+            t_uni
+        }
+    }
+
+    /// Background compaction toward the free-page target, demoting ML0
+    /// victims correctly (short CTE cleared before compression).
+    fn maintain_free(&mut self, now: Time, target: u64, dram: &mut Dram) -> Time {
+        let mut t = now;
+        let mut guard = 128;
+        while (self.store.free.free_page_count() as u64) < target && guard > 0 {
+            guard -= 1;
+            let Some(victim) = self.store.recency.tail() else {
+                break;
+            };
+            if self.is_ml0(victim) {
+                self.clear_short(t, victim, dram);
+            }
+            self.counters.reset(victim);
+            t = self.store.compact_page(dram, t, victim);
+            self.update_unified(t, victim, dram);
+            self.stats.compactions.incr();
+        }
+        t
+    }
+
+    /// Relocates every compressed span out of `slot` so the whole DRAM page
+    /// becomes free; returns the completion time, or `None` if free space
+    /// ran out (promotion is then abandoned — partial relocations are
+    /// harmless).
+    fn vacate_pool_page(&mut self, now: Time, slot: DramPageId, dram: &mut Dram) -> Option<Time> {
+        let residents: Vec<PageId> = self.store.dir.compressed_pages_in(slot).to_vec();
+        let mut t = now;
+        for q in residents {
+            let Some(PageState::Compressed(span)) = self.store.dir.state(q) else {
+                unreachable!("resident list says q is compressed here");
+            };
+            let new_span = self.store.free.alloc_span_excluding(span.len, slot)?;
+            let r = transfer::read_span(dram, t, span, RequestClass::Migration);
+            t = transfer::write_span(dram, r, new_span, RequestClass::Migration);
+            self.store.dir.place_compressed(q, new_span);
+            self.store.free.free_span(span);
+            self.update_unified(t, q, dram);
+            self.stats.displacements.incr();
+        }
+        // All spans are gone; the page's holes have coalesced.
+        self.store.free.take_specific_page(slot).then_some(t)
+    }
+
+    /// ML1→ML0 promotion (paper §IV-B): move `page` into its DRAM page
+    /// group, displacing colder occupants as needed.
+    fn try_promote(&mut self, now: Time, page: PageId, dram: &mut Dram) {
+        debug_assert!(!self.is_ml0(page));
+        if self.counters.get(page) < self.cfg.min_promotion_count {
+            return; // not warm enough to be worth a migration
+        }
+        let Some(PageState::Uncompressed(cur)) = self.store.dir.state(page) else {
+            return; // only uncompressed pages can be promoted
+        };
+
+        // Lucky case: the page already sits in one of its group's slots —
+        // switching to a short CTE needs no data movement at all.
+        if let Some(slot) = self.groups.slot_of(page, cur) {
+            self.set_short(now, page, slot, dram);
+            self.stats.promotions.incr();
+            return;
+        }
+
+        let slots: Vec<DramPageId> = self.groups.slots(page).collect();
+
+        // 1) A free slot: move straight in.
+        for (i, &s) in slots.iter().enumerate() {
+            if self.store.free.take_specific_page(s) {
+                let t = self
+                    .store
+                    .move_uncompressed(dram, now, page, s, RequestClass::Migration);
+                self.update_unified(t, page, dram);
+                self.set_short(t, page, i as u8, dram);
+                self.stats.promotions.incr();
+                return;
+            }
+        }
+
+        // 2) A slot holding displaceable content (an ML1 page or compressed
+        //    spans): migrate it elsewhere via its long CTE(s).
+        for (i, &s) in slots.iter().enumerate() {
+            match self.store.dir.dram_use(s) {
+                DramUse::Uncompressed(q) if !self.is_ml0(q) && q != page => {
+                    let Some(dst) = self.store.free.take_any_page() else {
+                        return;
+                    };
+                    let t =
+                        self.store
+                            .move_uncompressed(dram, now, q, dst, RequestClass::Migration);
+                    self.update_unified(t, q, dram);
+                    self.stats.displacements.incr();
+                    let taken = self.store.free.take_specific_page(s);
+                    debug_assert!(taken, "slot freed by displacement");
+                    let t = self
+                        .store
+                        .move_uncompressed(dram, t, page, s, RequestClass::Migration);
+                    self.update_unified(t, page, dram);
+                    self.set_short(t, page, i as u8, dram);
+                    self.stats.promotions.incr();
+                    return;
+                }
+                DramUse::Pool => {
+                    let Some(t) = self.vacate_pool_page(now, s, dram) else {
+                        continue;
+                    };
+                    let t = self
+                        .store
+                        .move_uncompressed(dram, t, page, s, RequestClass::Migration);
+                    self.update_unified(t, page, dram);
+                    self.set_short(t, page, i as u8, dram);
+                    self.stats.promotions.incr();
+                    return;
+                }
+                _ => {}
+            }
+        }
+
+        // 3) Every slot holds an ML0 page: demote the coldest if `page` is
+        //    hotter by the threshold.
+        let mut coldest: Option<(usize, PageId, u8)> = None;
+        for (i, &s) in slots.iter().enumerate() {
+            if let DramUse::Uncompressed(q) = self.store.dir.dram_use(s) {
+                if self.is_ml0(q) {
+                    let c = self.counters.get(q);
+                    if coldest.is_none_or(|(_, _, cc)| c < cc) {
+                        coldest = Some((i, q, c));
+                    }
+                }
+            }
+        }
+        let Some((i, q, cq)) = coldest else {
+            return;
+        };
+        if self.counters.get(page) <= cq.saturating_add(self.cfg.promotion_threshold) {
+            return; // not hot enough to justify a demotion
+        }
+        let Some(dst) = self.store.free.take_any_page() else {
+            return;
+        };
+        let s = slots[i];
+        self.clear_short(now, q, dram);
+        let t = self
+            .store
+            .move_uncompressed(dram, now, q, dst, RequestClass::Migration);
+        self.update_unified(t, q, dram);
+        self.stats.demotions.incr();
+        let taken = self.store.free.take_specific_page(s);
+        debug_assert!(taken, "slot freed by demotion");
+        let t = self
+            .store
+            .move_uncompressed(dram, t, page, s, RequestClass::Migration);
+        self.update_unified(t, page, dram);
+        self.set_short(t, page, i as u8, dram);
+        self.stats.promotions.incr();
+    }
+}
+
+impl MemoryScheme for Dylect {
+    fn name(&self) -> &'static str {
+        "dylect"
+    }
+
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram) -> McResponse {
+        let page = addr.page();
+        debug_assert!(page.index() < self.cfg.os_pages, "address out of range");
+        self.stats.requests.incr();
+        self.requests_seen += 1;
+        if self.requests_seen.is_multiple_of(TOUCH_PERIOD) && !self.store.is_compressed(page) {
+            self.store.recency.touch(page);
+        }
+
+        let t_translated = self.translate(now, page, dram);
+
+        // ML2 pages expand gradually to ML1 (long CTE, any free page).
+        let expanded = if self.store.is_compressed(page) {
+            if self.store.free.free_page_count() == 0 {
+                // Keep the store's emergency path from compacting an ML0
+                // victim behind our back.
+                self.maintain_free(t_translated, 1, dram);
+            }
+            let (_, ready) = self
+                .store
+                .expand(dram, t_translated, page, RequestClass::Migration);
+            self.update_unified(ready, page, dram);
+            self.stats.expansions.incr();
+            Some(ready)
+        } else {
+            None
+        };
+        let t_data_start = expanded.unwrap_or(t_translated);
+
+        let Some(PageState::Uncompressed(dpage)) = self.store.dir.state(page) else {
+            unreachable!("page uncompressed after expansion");
+        };
+        let machine = dpage.base_addr().offset(addr.page_offset());
+        let (op, class) = if is_write {
+            (DramOp::Write, RequestClass::Writeback)
+        } else {
+            (DramOp::Read, RequestClass::Demand)
+        };
+        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+
+        // Promotion policy: sampled counter increment; on a sampled access
+        // the MC fetches the counter block for comparison (paper §IV-D).
+        if self.counters.on_access(page, &mut self.rng) {
+            dram.access(
+                data_ready,
+                self.layout.counter_block_addr(page),
+                DramOp::Read,
+                RequestClass::Metadata,
+            );
+            if !self.is_ml0(page) {
+                self.try_promote(data_ready, page, dram);
+            }
+        }
+
+        // Demand-adaptive compaction off the critical path.
+        if expanded.is_some() {
+            self.maintain_free(data_ready, self.store.free_target_pages(), dram);
+        }
+
+        let overhead = t_data_start - now;
+        self.stats
+            .translation_latency
+            .record_time_ns(t_translated.saturating_sub(now));
+        self.stats.overhead_latency.record_time_ns(overhead);
+        McResponse {
+            data_ready,
+            overhead,
+        }
+    }
+
+    fn set_warmup(&mut self, warmup: bool) {
+        let rate = if warmup { 0.5 } else { self.cfg.sample_rate };
+        self.counters.set_sample_rate(rate);
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+        self.cte_cache.reset_stats();
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let (unc, comp) = self.store.dir.census();
+        Occupancy {
+            ml0_pages: self.ml0_count,
+            ml1_pages: unc - self.ml0_count,
+            ml2_pages: comp,
+            free_pages: self.store.free.free_page_count() as u64,
+            free_bytes: self.store.free.free_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+    use dylect_sim_core::PAGE_BYTES;
+
+    fn profile() -> CompressibilityProfile {
+        CompressibilityProfile::with_mean_ratio("t", 3.0)
+    }
+
+    fn setup(os_pages: u64) -> (Dylect, Dram) {
+        let dram = Dram::new(DramConfig::paper(1 << 28, 8));
+        let d = Dylect::new(DylectConfig::paper(os_pages), &dram, profile(), 3);
+        (d, dram)
+    }
+
+    fn addr(p: u64) -> PhysAddr {
+        PhysAddr::new(p * PAGE_BYTES)
+    }
+
+    /// Drives accesses to one page until it gets promoted (sampling is
+    /// probabilistic), bounded to keep the test finite.
+    fn hammer_until_ml0(d: &mut Dylect, dram: &mut Dram, p: u64, max: u32) -> bool {
+        let mut t = Time::ZERO;
+        for _ in 0..max {
+            let r = d.access(t, addr(p), false, dram);
+            t = r.data_ready;
+            if d.is_ml0(PageId::new(p)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn pages_start_with_long_ctes() {
+        let (d, _) = setup(80_000);
+        assert_eq!(d.occupancy().ml0_pages, 0);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn hot_page_gets_promoted_to_ml0() {
+        let (mut d, mut dram) = setup(80_000);
+        let p = (0..80_000)
+            .find(|&p| !d.store().is_compressed(PageId::new(p)))
+            .unwrap();
+        assert!(
+            hammer_until_ml0(&mut d, &mut dram, p, 500),
+            "hot page never promoted"
+        );
+        assert!(d.stats().promotions.get() >= 1);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn ml0_hits_come_from_pregathered_blocks() {
+        let (mut d, mut dram) = setup(80_000);
+        let p = (0..80_000)
+            .find(|&p| !d.store().is_compressed(PageId::new(p)))
+            .unwrap();
+        assert!(hammer_until_ml0(&mut d, &mut dram, p, 500));
+        d.reset_stats();
+        let r1 = d.access(Time::ZERO, addr(p), false, &mut dram);
+        d.access(r1.data_ready, addr(p), false, &mut dram);
+        assert!(d.stats().cte_hits_pregathered.get() >= 1);
+    }
+
+    #[test]
+    fn pregathered_block_covers_a_megabyte() {
+        let (mut d, mut dram) = setup(80_000);
+        // Promote two pages in the same 256-page region, then a fresh
+        // lookup of either should share the pre-gathered block.
+        let region_pages: Vec<u64> = (0..256)
+            .filter(|&p| !d.store().is_compressed(PageId::new(p)))
+            .take(2)
+            .collect();
+        assert_eq!(region_pages.len(), 2, "need two uncompressed pages");
+        for &p in &region_pages {
+            assert!(hammer_until_ml0(&mut d, &mut dram, p, 800), "page {p}");
+        }
+        d.reset_stats();
+        let r = d.access(Time::from_us(50), addr(region_pages[0]), false, &mut dram);
+        d.access(r.data_ready, addr(region_pages[1]), false, &mut dram);
+        // At most one miss (the first fetch); the second page rides the same
+        // pre-gathered block.
+        assert!(d.stats().cte_misses.get() <= 1);
+        assert!(d.stats().cte_hits_pregathered.get() >= 1);
+    }
+
+    #[test]
+    fn compressed_access_expands_to_ml1_not_ml0() {
+        let (mut d, mut dram) = setup(80_000);
+        let p = (0..80_000)
+            .find(|&p| d.store().is_compressed(PageId::new(p)))
+            .expect("compression pressure");
+        let r = d.access(Time::ZERO, addr(p), false, &mut dram);
+        assert!(!d.store().is_compressed(PageId::new(p)));
+        assert!(!d.is_ml0(PageId::new(p)), "gradual promotion: ML2->ML1 only");
+        assert_eq!(d.stats().expansions.get(), 1);
+        assert!(r.overhead.as_ns() >= 280.0);
+        d.check_invariants();
+    }
+
+    #[test]
+    fn promotion_displaces_cold_occupants() {
+        let (mut d, mut dram) = setup(80_000);
+        // Promote many pages; eventually promotions will find occupied
+        // slots and displace.
+        let targets: Vec<u64> = (0..80_000)
+            .filter(|&p| !d.store().is_compressed(PageId::new(p)))
+            .take(60)
+            .collect();
+        let mut t = Time::ZERO;
+        for &p in &targets {
+            for _ in 0..200 {
+                let r = d.access(t, addr(p), false, &mut dram);
+                t = r.data_ready;
+                if d.is_ml0(PageId::new(p)) {
+                    break;
+                }
+            }
+        }
+        let promoted = targets.iter().filter(|&&p| d.is_ml0(PageId::new(p))).count();
+        assert!(promoted > 10, "only {promoted} promotions");
+        d.check_invariants();
+    }
+
+    #[test]
+    fn invariants_survive_mixed_churn() {
+        let (mut d, mut dram) = setup(80_000);
+        let mut t = Time::ZERO;
+        for i in 0..3000u64 {
+            let p = (i * 6151) % 80_000;
+            let r = d.access(t, addr(p), i % 7 == 0, &mut dram);
+            t = r.data_ready;
+        }
+        d.check_invariants();
+        let occ = d.occupancy();
+        assert_eq!(occ.ml0_pages + occ.ml1_pages + occ.ml2_pages, 80_000);
+    }
+
+    #[test]
+    fn hot_set_concentrates_in_ml0() {
+        let (mut d, mut dram) = setup(80_000);
+        let hot: Vec<u64> = (0..80_000)
+            .filter(|&p| !d.store().is_compressed(PageId::new(p)))
+            .take(32)
+            .collect();
+        // With 5% sampling and a min count of 2, a page needs ~40+ accesses
+        // before promotion becomes likely.
+        let mut t = Time::ZERO;
+        for round in 0..3200u64 {
+            let p = hot[(round % hot.len() as u64) as usize];
+            let r = d.access(t, addr(p), false, &mut dram);
+            t = r.data_ready;
+        }
+        let in_ml0 = hot.iter().filter(|&&p| d.is_ml0(PageId::new(p))).count();
+        assert!(in_ml0 > hot.len() / 4, "only {in_ml0}/{} in ML0", hot.len());
+        d.check_invariants();
+    }
+
+    #[test]
+    fn maintain_demotes_ml0_victims_cleanly() {
+        let (mut d, mut dram) = setup(80_000);
+        // Promote a page, then hammer compressed pages until compaction
+        // recycles it.
+        let p = (0..80_000)
+            .find(|&p| !d.store().is_compressed(PageId::new(p)))
+            .unwrap();
+        assert!(hammer_until_ml0(&mut d, &mut dram, p, 500));
+        let mut t = Time::from_us(100);
+        let compressed: Vec<u64> = (0..80_000)
+            .filter(|&q| d.store().is_compressed(PageId::new(q)))
+            .take(800)
+            .collect();
+        for q in compressed {
+            let r = d.access(t, addr(q), false, &mut dram);
+            t = r.data_ready;
+        }
+        // Whatever happened, the short-CTE mirror must be consistent.
+        d.check_invariants();
+    }
+
+    #[test]
+    fn overhead_excludes_demand_access_itself() {
+        let (mut d, mut dram) = setup(10_000);
+        let r1 = d.access(Time::ZERO, addr(0), false, &mut dram);
+        let r2 = d.access(r1.data_ready, addr(0), false, &mut dram);
+        // CTE hit on second access: overhead = hit latency only.
+        assert_eq!(r2.overhead, CTE_CACHE_HIT_LATENCY);
+    }
+
+    #[test]
+    fn full_miss_fetches_both_blocks() {
+        let (mut d, mut dram) = setup(10_000);
+        d.access(Time::ZERO, addr(0), false, &mut dram);
+        // One full CTE miss -> two CTE block reads.
+        assert_eq!(dram.stats().class_blocks(RequestClass::CteFetch), 2);
+        assert_eq!(d.stats().cte_misses.get(), 1);
+    }
+
+    #[test]
+    fn low_pressure_lets_ml0_grow_large() {
+        // Plenty of DRAM: almost everything uncompressed, ML0 can scale up.
+        let dram0 = Dram::new(DramConfig::paper(1 << 28, 8));
+        let mut d = Dylect::new(DylectConfig::paper(30_000), &dram0, profile(), 3);
+        let mut dram = dram0;
+        // A reused 3000-page working set: with 5% counter sampling and a
+        // min count of 2, ~60 touches per page make promotion likely, and
+        // low pressure means group slots are usually free.
+        let mut t = Time::ZERO;
+        for i in 0..180_000u64 {
+            let p = (i * 17) % 3_000;
+            let r = d.access(t, addr(p), false, &mut dram);
+            t = r.data_ready;
+        }
+        let in_ml0 = (0..3_000)
+            .filter(|&p| d.is_ml0(PageId::new(p)))
+            .count() as f64
+            / 3_000.0;
+        assert!(
+            in_ml0 > 0.4,
+            "only {in_ml0:.2} of the working set reached ML0 under low pressure"
+        );
+        d.check_invariants();
+    }
+}

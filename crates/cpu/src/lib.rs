@@ -1,0 +1,36 @@
+//! Trace-driven CPU substrate for the DyLeCT simulator.
+//!
+//! This crate models everything above the shared L3: per-core TLBs
+//! ([`tlb`]), the page walker and page-table layout ([`walker`]), private
+//! L1/L2 caches with prefetchers, and an interval (MLP/ROB) core timing
+//! model ([`core`]). The shared memory system below — L3, the compressed
+//! memory controller, DRAM — is abstracted behind
+//! [`core::MemoryBackend`], implemented by the system-assembly crate.
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_cpu::core::{BackendOp, Core, CoreConfig, MemoryBackend};
+//! use dylect_cpu::walker::PageTableLayout;
+//! use dylect_sim_core::trace::MemOp;
+//! use dylect_sim_core::{PhysAddr, Time, VirtAddr};
+//!
+//! struct Flat;
+//! impl MemoryBackend for Flat {
+//!     fn access(&mut self, now: Time, _a: PhysAddr, _op: BackendOp) -> Time {
+//!         now + Time::from_ns(60.0)
+//!     }
+//! }
+//!
+//! let mut core = Core::new(CoreConfig::paper(), PageTableLayout::new(1000));
+//! core.step(MemOp::load(VirtAddr::new(0x1000), 8), &mut Flat);
+//! assert!(core.time() > Time::ZERO);
+//! ```
+
+pub mod core;
+pub mod tlb;
+pub mod walker;
+
+pub use crate::core::{BackendOp, Core, CoreConfig, CoreStats, MemoryBackend};
+pub use tlb::{PageSizeMode, Tlb, TlbConfig, TlbOutcome};
+pub use walker::{PageTableLayout, PageWalker};

@@ -1,0 +1,222 @@
+//! Page-table layout and the hardware page walker with its walker cache.
+//!
+//! Page tables are OS-visible memory: their physical pages sit right after
+//! the workload footprint and their accesses flow through the cache
+//! hierarchy and — crucially for this paper — through the memory
+//! controller's CTE translation like any other physical access.
+//!
+//! The model collapses the radix walk to its two meaningful levels:
+//!
+//! - **4 KB mode**: a PDE lookup (one 8 B entry per 2 MB region) then the
+//!   leaf PTE lookup (8 B per 4 KB page). The 1 KB walker cache (Table 3,
+//!   after citation \[23\]) caches PDEs, so a warm walk is a single leaf access.
+//! - **2 MB mode**: a PDPTE lookup (8 B per 1 GB) then the leaf PDE (8 B per
+//!   2 MB page). Both arrays are tiny and cache-resident, which is why huge
+//!   pages make walks both rare *and* cheap.
+
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_sim_core::stats::Counter;
+use dylect_sim_core::{PhysAddr, VirtAddr, PAGE_BYTES, PAGES_PER_HUGE_PAGE};
+
+use crate::tlb::PageSizeMode;
+
+/// Physical placement of the page tables, shared by all cores.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PageTableLayout {
+    workload_pages: u64,
+    pte_base_page: u64,
+    pde_base_page: u64,
+    pdpte_base_page: u64,
+    total_pages: u64,
+}
+
+impl PageTableLayout {
+    /// Lays out page tables for a workload of `workload_pages` 4 KB pages.
+    pub fn new(workload_pages: u64) -> Self {
+        let pte_pages = (workload_pages * 8).div_ceil(PAGE_BYTES).max(1);
+        let pde_pages = (workload_pages.div_ceil(PAGES_PER_HUGE_PAGE) * 8)
+            .div_ceil(PAGE_BYTES)
+            .max(1);
+        let pdpte_pages = 1;
+        let pte_base_page = workload_pages;
+        let pde_base_page = pte_base_page + pte_pages;
+        let pdpte_base_page = pde_base_page + pde_pages;
+        PageTableLayout {
+            workload_pages,
+            pte_base_page,
+            pde_base_page,
+            pdpte_base_page,
+            total_pages: pdpte_base_page + pdpte_pages,
+        }
+    }
+
+    /// The workload footprint in 4 KB pages.
+    pub fn workload_pages(&self) -> u64 {
+        self.workload_pages
+    }
+
+    /// Total OS-visible pages including page tables — what the memory
+    /// controller must be sized for.
+    pub fn total_os_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Physical address of the leaf page-table entry for `vaddr`.
+    pub fn leaf_entry_addr(&self, vaddr: VirtAddr, mode: PageSizeMode) -> PhysAddr {
+        match mode {
+            PageSizeMode::Standard4K => {
+                let vpn = vaddr.raw() / PAGE_BYTES;
+                PhysAddr::new(self.pte_base_page * PAGE_BYTES + vpn * 8)
+            }
+            PageSizeMode::Huge2M => {
+                let hpn = vaddr.raw() / (PAGES_PER_HUGE_PAGE * PAGE_BYTES);
+                PhysAddr::new(self.pde_base_page * PAGE_BYTES + hpn * 8)
+            }
+        }
+    }
+
+    /// Physical address of the upper-level entry for `vaddr`.
+    pub fn upper_entry_addr(&self, vaddr: VirtAddr, mode: PageSizeMode) -> PhysAddr {
+        match mode {
+            PageSizeMode::Standard4K => {
+                let hpn = vaddr.raw() / (PAGES_PER_HUGE_PAGE * PAGE_BYTES);
+                PhysAddr::new(self.pde_base_page * PAGE_BYTES + hpn * 8)
+            }
+            PageSizeMode::Huge2M => {
+                let gpn = vaddr.raw() >> 30; // 1 GB regions
+                PhysAddr::new(self.pdpte_base_page * PAGE_BYTES + gpn * 8)
+            }
+        }
+    }
+}
+
+/// Walker statistics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct WalkerStats {
+    /// Walks performed.
+    pub walks: Counter,
+    /// Walks whose upper level hit the walker cache (single-access walks).
+    pub upper_hits: Counter,
+}
+
+/// The per-core page walker with its walker cache.
+///
+/// # Example
+///
+/// ```
+/// use dylect_cpu::tlb::PageSizeMode;
+/// use dylect_cpu::walker::{PageTableLayout, PageWalker};
+/// use dylect_sim_core::VirtAddr;
+///
+/// let layout = PageTableLayout::new(100_000);
+/// let mut w = PageWalker::new(128);
+/// let plan = w.walk(VirtAddr::new(0x40_0000), PageSizeMode::Huge2M, &layout);
+/// assert!(!plan.is_empty() && plan.len() <= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageWalker {
+    cache: SetAssocCache,
+    stats: WalkerStats,
+}
+
+impl PageWalker {
+    /// Creates a walker whose walker cache holds `entries` upper-level
+    /// entries (1 KB = 128 entries in the paper's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by 4.
+    pub fn new(entries: u64) -> Self {
+        PageWalker {
+            cache: SetAssocCache::new(CacheConfig::lru(entries, 4, 1)),
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &WalkerStats {
+        &self.stats
+    }
+
+    /// Plans a walk: the ordered physical block addresses the walker must
+    /// read. Updates the walker cache.
+    pub fn walk(
+        &mut self,
+        vaddr: VirtAddr,
+        mode: PageSizeMode,
+        layout: &PageTableLayout,
+    ) -> Vec<PhysAddr> {
+        self.stats.walks.incr();
+        let upper = layout.upper_entry_addr(vaddr, mode);
+        let leaf = layout.leaf_entry_addr(vaddr, mode);
+        let upper_key = (upper.block_index() << 1)
+            | match mode {
+                PageSizeMode::Standard4K => 0,
+                PageSizeMode::Huge2M => 1,
+            };
+        if self.cache.access(upper_key) {
+            self.stats.upper_hits.incr();
+            vec![leaf.block_base()]
+        } else {
+            self.cache.fill(upper_key, false, ());
+            vec![upper.block_base(), leaf.block_base()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let l = PageTableLayout::new(100_000);
+        assert_eq!(l.workload_pages(), 100_000);
+        assert!(l.total_os_pages() > 100_000);
+        let pte = l.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Standard4K);
+        let pde = l.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Huge2M);
+        assert!(pte.page().index() >= 100_000);
+        assert!(pde.page().index() > pte.page().index());
+    }
+
+    #[test]
+    fn leaf_entries_pack_eight_per_block() {
+        let l = PageTableLayout::new(100_000);
+        let a = l.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Standard4K);
+        let b = l.leaf_entry_addr(VirtAddr::new(7 * PAGE_BYTES), PageSizeMode::Standard4K);
+        let c = l.leaf_entry_addr(VirtAddr::new(8 * PAGE_BYTES), PageSizeMode::Standard4K);
+        assert_eq!(a.block_base(), b.block_base());
+        assert_ne!(a.block_base(), c.block_base());
+    }
+
+    #[test]
+    fn warm_walks_are_single_access() {
+        let l = PageTableLayout::new(100_000);
+        let mut w = PageWalker::new(128);
+        let cold = w.walk(VirtAddr::new(0x1000), PageSizeMode::Standard4K, &l);
+        assert_eq!(cold.len(), 2);
+        let warm = w.walk(VirtAddr::new(0x3000), PageSizeMode::Standard4K, &l);
+        assert_eq!(warm.len(), 1, "PDE cached: leaf only");
+        assert_eq!(w.stats().upper_hits.get(), 1);
+    }
+
+    #[test]
+    fn modes_do_not_share_walker_entries() {
+        let l = PageTableLayout::new(100_000);
+        let mut w = PageWalker::new(128);
+        w.walk(VirtAddr::new(0), PageSizeMode::Standard4K, &l);
+        let cold_2m = w.walk(VirtAddr::new(0), PageSizeMode::Huge2M, &l);
+        assert_eq!(cold_2m.len(), 2);
+    }
+
+    #[test]
+    fn huge_mode_leaf_covers_16mb_per_block() {
+        // 8 PDEs per 64 B block, each covering 2 MB -> 16 MB per block.
+        let l = PageTableLayout::new(1 << 20);
+        let a = l.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Huge2M);
+        let b = l.leaf_entry_addr(VirtAddr::new(15 << 20), PageSizeMode::Huge2M);
+        let c = l.leaf_entry_addr(VirtAddr::new(16 << 20), PageSizeMode::Huge2M);
+        assert_eq!(a.block_base(), b.block_base());
+        assert_ne!(a.block_base(), c.block_base());
+    }
+}

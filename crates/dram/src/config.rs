@@ -1,0 +1,198 @@
+//! DRAM geometry and timing configuration.
+
+use dylect_sim_core::{Time, BLOCK_BYTES, PAGE_BYTES};
+
+/// Organization of the DRAM system attached to one memory controller.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Independent channels (the paper evaluates 1).
+    pub channels: u32,
+    /// Ranks per channel (the paper evaluates 8; the bigger no-compression
+    /// baseline of Figure 24 uses 16).
+    pub ranks: u32,
+    /// Bank groups per rank (DDR4: 4).
+    pub bank_groups: u32,
+    /// Banks per bank group (DDR4: 4).
+    pub banks_per_group: u32,
+    /// Row-buffer size in bytes (8 KB for a x8 DDR4 rank).
+    pub row_bytes: u64,
+    /// Rows per bank; together with the rest this fixes total capacity.
+    pub rows: u64,
+}
+
+impl DramGeometry {
+    /// The paper's simulated configuration (Table 3): DDR4-3200, 1 channel,
+    /// 8 ranks, scaled to the requested capacity by choosing `rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` does not divide evenly into rows.
+    pub fn ddr4_with_capacity(capacity_bytes: u64, ranks: u32) -> Self {
+        let channels = 1;
+        let bank_groups = 4;
+        let banks_per_group = 4;
+        let row_bytes = 8192;
+        let denom =
+            channels as u64 * ranks as u64 * bank_groups as u64 * banks_per_group as u64 * row_bytes;
+        assert!(
+            capacity_bytes.is_multiple_of(denom),
+            "capacity {capacity_bytes} not divisible by {denom}"
+        );
+        DramGeometry {
+            channels,
+            ranks,
+            bank_groups,
+            banks_per_group,
+            row_bytes,
+            rows: capacity_bytes / denom,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels as u64
+            * self.ranks as u64
+            * self.banks_total() as u64
+            * self.row_bytes
+            * self.rows
+    }
+
+    /// Total capacity in 4 KB DRAM pages.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_bytes() / PAGE_BYTES
+    }
+
+    /// Banks per rank.
+    pub fn banks_total(&self) -> u32 {
+        self.bank_groups * self.banks_per_group
+    }
+
+    /// 64 B blocks per row buffer.
+    pub fn blocks_per_row(&self) -> u64 {
+        self.row_bytes / BLOCK_BYTES
+    }
+}
+
+/// DDR timing parameters, all as absolute [`Time`] spans.
+///
+/// This is a deliberately reduced parameter set (no tFAW/tRRD/tCCD split);
+/// the dominant effects for this paper — row-buffer behaviour, bank-level
+/// parallelism, bus occupancy, and refresh — are modeled.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DramTiming {
+    /// CAS latency (column access to first data beat).
+    pub t_cl: Time,
+    /// RAS-to-CAS delay (activate to column access).
+    pub t_rcd: Time,
+    /// Row precharge time.
+    pub t_rp: Time,
+    /// Minimum row-active time (activate to precharge).
+    pub t_ras: Time,
+    /// Write CAS latency.
+    pub t_cwl: Time,
+    /// Write recovery (end of write burst to precharge).
+    pub t_wr: Time,
+    /// Data-bus occupancy of one 64 B burst (BL8 at the DDR rate).
+    pub t_bl: Time,
+    /// Refresh cycle time (rank blocked per refresh).
+    pub t_rfc: Time,
+    /// Average refresh interval.
+    pub t_refi: Time,
+}
+
+impl DramTiming {
+    /// DDR4-3200 timings used in the paper (tCL = tRCD = tRP = 13.75 ns).
+    pub fn ddr4_3200() -> Self {
+        DramTiming {
+            t_cl: Time::from_ns(13.75),
+            t_rcd: Time::from_ns(13.75),
+            t_rp: Time::from_ns(13.75),
+            t_ras: Time::from_ns(32.0),
+            t_cwl: Time::from_ns(10.0),
+            t_wr: Time::from_ns(15.0),
+            // BL8 at 3200 MT/s: 8 beats / 3.2 GT/s = 2.5 ns per 64 B.
+            t_bl: Time::from_ns(2.5),
+            t_rfc: Time::from_ns(350.0),
+            t_refi: Time::from_ns(7800.0),
+        }
+    }
+}
+
+/// Scheduler knobs for the FR-FCFS policy (Table 3: "FR-FCFS policy with
+/// bank fairness and row buffer hit cap").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum consecutive row-buffer hits served from one bank while other
+    /// requests are waiting, before the scheduler falls back to FCFS.
+    pub row_hit_cap: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { row_hit_cap: 4 }
+    }
+}
+
+/// Complete DRAM model configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Geometry (channels/ranks/banks/rows).
+    pub geometry: DramGeometry,
+    /// Timing parameters.
+    pub timing: DramTiming,
+    /// Scheduler policy knobs.
+    pub scheduler: SchedulerConfig,
+}
+
+impl DramConfig {
+    /// The paper's configuration at a given capacity and rank count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dylect_dram::DramConfig;
+    /// let cfg = DramConfig::paper(1 << 30, 8); // 1 GiB, 8 ranks
+    /// assert_eq!(cfg.geometry.capacity_bytes(), 1 << 30);
+    /// ```
+    pub fn paper(capacity_bytes: u64, ranks: u32) -> Self {
+        DramConfig {
+            geometry: DramGeometry::ddr4_with_capacity(capacity_bytes, ranks),
+            timing: DramTiming::ddr4_3200(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_round_trips() {
+        let g = DramGeometry::ddr4_with_capacity(1 << 30, 8);
+        assert_eq!(g.capacity_bytes(), 1 << 30);
+        assert_eq!(g.capacity_pages(), (1 << 30) / 4096);
+    }
+
+    #[test]
+    fn ddr4_structure() {
+        let g = DramGeometry::ddr4_with_capacity(1 << 30, 8);
+        assert_eq!(g.banks_total(), 16);
+        assert_eq!(g.blocks_per_row(), 128);
+    }
+
+    #[test]
+    fn paper_timings() {
+        let t = DramTiming::ddr4_3200();
+        assert_eq!(t.t_cl.as_ns(), 13.75);
+        assert_eq!(t.t_rcd.as_ns(), 13.75);
+        assert_eq!(t.t_rp.as_ns(), 13.75);
+        assert_eq!(t.t_bl.as_ns(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_non_divisible_capacity() {
+        let _ = DramGeometry::ddr4_with_capacity((1 << 30) + 4096, 8);
+    }
+}

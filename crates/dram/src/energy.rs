@@ -1,0 +1,142 @@
+//! DRAMPower-style energy estimation.
+//!
+//! Energy is computed from command counts and elapsed time, with constants
+//! derived from DDR4 8 Gb x8 datasheet IDD values at 1.2 V (one rank = eight
+//! chips). The paper's Figure 24 result — compressed memory with half the
+//! ranks uses ~60% of the DRAM energy per instruction of a 2x-larger
+//! uncompressed system — is dominated by *background* (standby + refresh)
+//! power scaling with rank count, which this model captures.
+
+use dylect_sim_core::Time;
+
+use crate::stats::DramStats;
+
+/// Per-operation and background energy constants.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per activate/precharge pair, joules.
+    pub act_pre_energy: f64,
+    /// Energy per 64 B read burst, joules.
+    pub read_energy: f64,
+    /// Energy per 64 B write burst, joules.
+    pub write_energy: f64,
+    /// Background (standby + clock) power per rank, watts.
+    pub background_power_per_rank: f64,
+    /// Refresh power per rank, watts (refresh energy amortized over tREFI).
+    pub refresh_power_per_rank: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            // IDD0-derived row energy for a x8 rank.
+            act_pre_energy: 1.7e-9,
+            // IDD4R/IDD4W burst energy minus background, per 64 B.
+            read_energy: 1.1e-9,
+            write_energy: 1.3e-9,
+            // IDD3N/IDD2N mix across 8 chips.
+            background_power_per_rank: 0.55,
+            // IDD5B over tRFC, amortized: ~0.6 uJ per rank per 7.8 us.
+            refresh_power_per_rank: 0.077,
+        }
+    }
+}
+
+/// An energy breakdown in joules.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Activate/precharge energy.
+    pub activate: f64,
+    /// Read burst energy.
+    pub read: f64,
+    /// Write burst energy.
+    pub write: f64,
+    /// Refresh energy.
+    pub refresh: f64,
+    /// Standby/background energy.
+    pub background: f64,
+}
+
+impl EnergyBreakdown {
+    /// Folds another breakdown into this one (multi-MC aggregation).
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.activate += other.activate;
+        self.read += other.read;
+        self.write += other.write;
+        self.refresh += other.refresh;
+        self.background += other.background;
+    }
+
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.activate + self.read + self.write + self.refresh + self.background
+    }
+
+    /// Fraction of total that is idle (refresh + background).
+    pub fn idle_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.refresh + self.background) / t
+        }
+    }
+}
+
+/// Computes the energy consumed by a DRAM system with `ranks` total ranks
+/// after `elapsed` simulated time, given its traffic statistics.
+///
+/// # Example
+///
+/// ```
+/// use dylect_dram::energy::{estimate_energy, EnergyParams};
+/// use dylect_dram::DramStats;
+/// use dylect_sim_core::Time;
+///
+/// let stats = DramStats::default();
+/// let e = estimate_energy(&EnergyParams::default(), &stats, 8, Time::from_us(10));
+/// assert!(e.background > 0.0);
+/// assert_eq!(e.read, 0.0);
+/// ```
+pub fn estimate_energy(
+    params: &EnergyParams,
+    stats: &DramStats,
+    ranks: u32,
+    elapsed: Time,
+) -> EnergyBreakdown {
+    let secs = elapsed.as_secs();
+    EnergyBreakdown {
+        activate: stats.activates.get() as f64 * params.act_pre_energy,
+        read: stats.reads.get() as f64 * params.read_energy,
+        write: stats.writes.get() as f64 * params.write_energy,
+        refresh: params.refresh_power_per_rank * ranks as f64 * secs,
+        background: params.background_power_per_rank * ranks as f64 * secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_energy_scales_with_ranks() {
+        let stats = DramStats::default();
+        let t = Time::from_us(100);
+        let e8 = estimate_energy(&EnergyParams::default(), &stats, 8, t);
+        let e16 = estimate_energy(&EnergyParams::default(), &stats, 16, t);
+        assert!((e16.total() / e8.total() - 2.0).abs() < 1e-9);
+        assert_eq!(e8.idle_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zero_elapsed_zero_idle() {
+        let e = estimate_energy(
+            &EnergyParams::default(),
+            &DramStats::default(),
+            8,
+            Time::ZERO,
+        );
+        assert_eq!(e.total(), 0.0);
+        assert_eq!(e.idle_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Machine-physical address → DRAM location mapping.
+//!
+//! As in real systems (and as the paper notes in §II-A), the machine-physical
+//! address produced by CTE translation is converted into
+//! `col:row:bank:channel` coordinates by a *static* mapping function. We use
+//! a Ramulator-style `Ro:Ra:Bg:Ba:Co:Ch` layout over 64 B block indices:
+//! consecutive blocks interleave across channels first, then walk a row
+//! (row-buffer-friendly for streaming and page migrations), then spread
+//! across banks, bank groups, ranks, and finally rows.
+
+use dylect_sim_core::MachineAddr;
+
+use crate::config::DramGeometry;
+
+/// Decoded DRAM coordinates of one 64 B block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Flat bank index within the rank (bank group folded in).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u64,
+    /// 64 B column (block) index within the row.
+    pub column: u64,
+}
+
+/// The static address-mapping function.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AddressMapper {
+    geometry: DramGeometry,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for the given geometry.
+    pub fn new(geometry: DramGeometry) -> Self {
+        AddressMapper { geometry }
+    }
+
+    /// Returns the geometry this mapper was built for.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Decodes a machine-physical address into DRAM coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the address is beyond the configured
+    /// capacity.
+    pub fn decode(&self, addr: MachineAddr) -> Location {
+        let g = &self.geometry;
+        debug_assert!(
+            addr.raw() < g.capacity_bytes(),
+            "address {addr} beyond capacity"
+        );
+        let mut x = addr.block_index();
+        let channel = (x % g.channels as u64) as u32;
+        x /= g.channels as u64;
+        let column = x % g.blocks_per_row();
+        x /= g.blocks_per_row();
+        let bank = (x % g.banks_total() as u64) as u32;
+        x /= g.banks_total() as u64;
+        let rank = (x % g.ranks as u64) as u32;
+        x /= g.ranks as u64;
+        let row = x;
+        Location {
+            channel,
+            rank,
+            bank,
+            row,
+            column,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_sim_core::BLOCK_BYTES;
+
+    fn mapper() -> AddressMapper {
+        AddressMapper::new(DramGeometry::ddr4_with_capacity(1 << 30, 8))
+    }
+
+    #[test]
+    fn consecutive_blocks_walk_a_row() {
+        let m = mapper();
+        // One channel, so consecutive blocks share bank/row until the row
+        // (128 blocks) is exhausted.
+        let a = m.decode(MachineAddr::new(0));
+        let b = m.decode(MachineAddr::new(BLOCK_BYTES));
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+        assert_eq!(b.column, a.column + 1);
+    }
+
+    #[test]
+    fn row_crossing_changes_bank() {
+        let m = mapper();
+        let row_bytes = 8192;
+        let a = m.decode(MachineAddr::new(row_bytes - BLOCK_BYTES));
+        let b = m.decode(MachineAddr::new(row_bytes));
+        assert_ne!((a.bank, a.column), (b.bank, b.column));
+        assert_eq!(b.column, 0);
+        assert_eq!(b.bank, a.bank + 1);
+    }
+
+    #[test]
+    fn decode_is_injective_over_a_sample() {
+        let m = mapper();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let loc = m.decode(MachineAddr::new(i * BLOCK_BYTES * 97 % (1 << 30)));
+            assert!(seen.insert((loc.channel, loc.rank, loc.bank, loc.row, loc.column)));
+        }
+    }
+
+    #[test]
+    fn coordinates_within_bounds() {
+        let m = mapper();
+        let g = *m.geometry();
+        for i in (0..(1u64 << 30)).step_by(64 * 1013) {
+            let loc = m.decode(MachineAddr::new(i));
+            assert!(loc.channel < g.channels);
+            assert!(loc.rank < g.ranks);
+            assert!(loc.bank < g.banks_total());
+            assert!(loc.row < g.rows);
+            assert!(loc.column < g.blocks_per_row());
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! FR-FCFS transaction scheduling with bank-state timing.
+//!
+//! Requests are submitted with an arrival time and scheduled in *batches*
+//! ([`ChannelScheduler::drain`]): within a batch the scheduler repeatedly
+//! picks, among requests that have arrived, the oldest row-buffer hit (up to
+//! the configured per-bank hit cap, for fairness) or, failing that, the
+//! oldest request overall — the "FR-FCFS policy with bank fairness and row
+//! buffer hit cap" from the paper's Table 3. Bank-level parallelism emerges
+//! from per-bank ready times; the shared data bus serializes bursts; rank
+//! refresh windows block their rank for `tRFC` every `tREFI`.
+
+use dylect_sim_core::Time;
+
+use crate::config::{DramConfig, DramTiming};
+use crate::mapping::Location;
+use crate::stats::{DramStats, RequestClass, RowOutcome};
+
+/// Identifier of a submitted request, unique per [`crate::Dram`] instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub(crate) u64);
+
+/// Read or write.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DramOp {
+    /// A 64 B read burst.
+    Read,
+    /// A 64 B write burst.
+    Write,
+}
+
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Pending {
+    pub id: ReqId,
+    pub arrival: Time,
+    pub loc: Location,
+    pub op: DramOp,
+    pub class: RequestClass,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct BankState {
+    open_row: Option<u64>,
+    /// When the currently open row was activated (for tRAS).
+    act_time: Time,
+    /// Earliest time the next CAS may issue to the open row.
+    ready_cas: Time,
+    /// Earliest time a precharge may issue (write recovery etc.).
+    ready_pre: Time,
+    /// Earliest time an activate may issue (after precharge completes).
+    ready_act: Time,
+}
+
+impl BankState {
+    fn new() -> Self {
+        BankState {
+            open_row: None,
+            act_time: Time::ZERO,
+            ready_cas: Time::ZERO,
+            ready_pre: Time::ZERO,
+            ready_act: Time::ZERO,
+        }
+    }
+}
+
+/// One channel's scheduler state.
+#[derive(Clone, Debug)]
+pub(crate) struct ChannelScheduler {
+    timing: DramTiming,
+    row_hit_cap: u32,
+    banks: Vec<BankState>,
+    hit_streak: Vec<u32>,
+    /// Next scheduled refresh start per rank.
+    next_refresh: Vec<Time>,
+    banks_per_rank: u32,
+    bus_free: Time,
+    sched_time: Time,
+    pending: Vec<Pending>,
+    completions: Vec<(ReqId, Time)>,
+}
+
+impl ChannelScheduler {
+    pub fn new(cfg: &DramConfig) -> Self {
+        let banks_per_rank = cfg.geometry.banks_total();
+        let total_banks = (banks_per_rank * cfg.geometry.ranks) as usize;
+        ChannelScheduler {
+            timing: cfg.timing,
+            row_hit_cap: cfg.scheduler.row_hit_cap,
+            banks: vec![BankState::new(); total_banks],
+            hit_streak: vec![0; total_banks],
+            next_refresh: vec![cfg.timing.t_refi; cfg.geometry.ranks as usize],
+            banks_per_rank,
+            bus_free: Time::ZERO,
+            sched_time: Time::ZERO,
+            pending: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    pub fn submit(&mut self, req: Pending) {
+        self.pending.push(req);
+    }
+
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    fn bank_index(&self, loc: &Location) -> usize {
+        (loc.rank * self.banks_per_rank + loc.bank) as usize
+    }
+
+    /// Advances the rank's refresh schedule up to `t`, counting elapsed
+    /// refreshes, and returns the earliest time >= `t` outside any refresh
+    /// window.
+    fn refresh_adjust(&mut self, rank: u32, t: Time, stats: &mut DramStats) -> Time {
+        let next = &mut self.next_refresh[rank as usize];
+        let mut t = t;
+        // Retire refresh windows that completed before t.
+        while *next + self.timing.t_rfc <= t {
+            *next += self.timing.t_refi;
+            stats.refreshes.incr();
+        }
+        // If t falls inside the current window, wait it out.
+        if t >= *next {
+            t = *next + self.timing.t_rfc;
+            *next += self.timing.t_refi;
+            stats.refreshes.incr();
+        }
+        t
+    }
+
+    /// Selects the index (into `pending`) of the next request to issue among
+    /// those that arrived by `t`: FR-FCFS with a row-hit cap, and — as in
+    /// real controllers with buffered writes — reads take priority over
+    /// writes.
+    fn select(&self, t: Time) -> Option<usize> {
+        let mut best_hit_rd: Option<(Time, usize)> = None;
+        let mut best_rd: Option<(Time, usize)> = None;
+        let mut best_hit_wr: Option<(Time, usize)> = None;
+        let mut best_wr: Option<(Time, usize)> = None;
+        for (i, p) in self.pending.iter().enumerate() {
+            if p.arrival > t {
+                continue;
+            }
+            let bank = self.bank_index(&p.loc);
+            let is_hit = self.banks[bank].open_row == Some(p.loc.row)
+                && self.hit_streak[bank] < self.row_hit_cap;
+            let (best_hit, best_any) = match p.op {
+                DramOp::Read => (&mut best_hit_rd, &mut best_rd),
+                DramOp::Write => (&mut best_hit_wr, &mut best_wr),
+            };
+            if is_hit && best_hit.is_none_or(|(a, _)| p.arrival < a) {
+                *best_hit = Some((p.arrival, i));
+            }
+            if best_any.is_none_or(|(a, _)| p.arrival < a) {
+                *best_any = Some((p.arrival, i));
+            }
+        }
+        best_hit_rd
+            .or(best_rd)
+            .or(best_hit_wr)
+            .or(best_wr)
+            .map(|(_, i)| i)
+    }
+
+    /// Schedules every pending request to completion.
+    pub fn drain(&mut self, stats: &mut DramStats) {
+        while !self.pending.is_empty() {
+            let min_arrival = self
+                .pending
+                .iter()
+                .map(|p| p.arrival)
+                .min()
+                .expect("non-empty pending");
+            let t = self.sched_time.max(min_arrival);
+            let idx = self.select(t).expect("candidate exists at or after t");
+            let req = self.pending.swap_remove(idx);
+            let done = self.issue(t, &req, stats);
+            self.completions.push((req.id, done));
+            self.sched_time = t;
+        }
+    }
+
+    /// Issues one request no earlier than `t`; returns its data-complete
+    /// time and updates bank/bus state and statistics.
+    fn issue(&mut self, t: Time, req: &Pending, stats: &mut DramStats) -> Time {
+        let tm = self.timing;
+        let t = t.max(req.arrival);
+        let t = self.refresh_adjust(req.loc.rank, t, stats);
+        let bank_idx = self.bank_index(&req.loc);
+        let bank = &mut self.banks[bank_idx];
+
+        let (cas_ready, outcome) = match bank.open_row {
+            Some(row) if row == req.loc.row => (t.max(bank.ready_cas), RowOutcome::Hit),
+            Some(_) => {
+                // Conflict: precharge, then activate the new row.
+                let pre_at = t.max(bank.ready_pre).max(bank.act_time + tm.t_ras);
+                let act_at = (pre_at + tm.t_rp).max(bank.ready_act);
+                bank.act_time = act_at;
+                stats.activates.incr();
+                (act_at + tm.t_rcd, RowOutcome::Conflict)
+            }
+            None => {
+                // Closed bank: activate.
+                let act_at = t.max(bank.ready_act);
+                bank.act_time = act_at;
+                stats.activates.incr();
+                (act_at + tm.t_rcd, RowOutcome::Miss)
+            }
+        };
+        bank.open_row = Some(req.loc.row);
+
+        let cas_to_data = match req.op {
+            DramOp::Read => tm.t_cl,
+            DramOp::Write => tm.t_cwl,
+        };
+        // The data burst needs the shared bus; if the bus is busy the CAS is
+        // effectively delayed.
+        let data_start = (cas_ready + cas_to_data).max(self.bus_free);
+        let cas_at = data_start - cas_to_data;
+        let done = data_start + tm.t_bl;
+        self.bus_free = done;
+
+        bank.ready_cas = cas_at + tm.t_bl;
+        bank.ready_pre = match req.op {
+            DramOp::Read => done,
+            DramOp::Write => done + tm.t_wr,
+        }
+        .max(bank.act_time + tm.t_ras);
+        bank.ready_act = bank.ready_pre + tm.t_rp;
+
+        // Fairness bookkeeping.
+        match outcome {
+            RowOutcome::Hit => self.hit_streak[bank_idx] += 1,
+            _ => self.hit_streak[bank_idx] = 0,
+        }
+
+        stats.record(req.op, req.class, outcome, req.arrival, done);
+        stats.bus_busy += tm.t_bl;
+        done
+    }
+
+    pub fn take_completions(&mut self) -> Vec<(ReqId, Time)> {
+        std::mem::take(&mut self.completions)
+    }
+}

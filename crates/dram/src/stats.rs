@@ -1,0 +1,219 @@
+//! DRAM traffic statistics.
+
+use std::fmt;
+
+use dylect_sim_core::stats::{Counter, MeanAccumulator};
+use dylect_sim_core::Time;
+
+use crate::scheduler::DramOp;
+
+/// Why a request generated traffic — used to break memory traffic down the
+/// way the paper's Figures 22–23 do (demand vs. CTE fetches vs. page
+/// migration etc.).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RequestClass {
+    /// A demand read from the LLC.
+    Demand,
+    /// A dirty-block writeback from the LLC.
+    Writeback,
+    /// A fetch of a CTE block (unified or pre-gathered) on a CTE cache miss.
+    CteFetch,
+    /// Data movement for page expansion / promotion / demotion / compaction.
+    Migration,
+    /// Background (de)compression traffic.
+    Compression,
+    /// Page-table walk accesses that reach DRAM.
+    PageWalk,
+    /// Metadata-table accesses (e.g. DyLeCT's promotion access counters).
+    Metadata,
+}
+
+impl RequestClass {
+    /// All classes, for iteration and report ordering.
+    pub const ALL: [RequestClass; 7] = [
+        RequestClass::Demand,
+        RequestClass::Writeback,
+        RequestClass::CteFetch,
+        RequestClass::Migration,
+        RequestClass::Compression,
+        RequestClass::PageWalk,
+        RequestClass::Metadata,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            RequestClass::Demand => 0,
+            RequestClass::Writeback => 1,
+            RequestClass::CteFetch => 2,
+            RequestClass::Migration => 3,
+            RequestClass::Compression => 4,
+            RequestClass::PageWalk => 5,
+            RequestClass::Metadata => 6,
+        }
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RequestClass::Demand => "demand",
+            RequestClass::Writeback => "writeback",
+            RequestClass::CteFetch => "cte_fetch",
+            RequestClass::Migration => "migration",
+            RequestClass::Compression => "compression",
+            RequestClass::PageWalk => "page_walk",
+            RequestClass::Metadata => "metadata",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Row-buffer outcome of one request.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was closed (activate only).
+    Miss,
+    /// Another row was open (precharge + activate).
+    Conflict,
+}
+
+/// Aggregate counters for one DRAM system.
+#[derive(Clone, Debug, Default)]
+pub struct DramStats {
+    /// Total read bursts served.
+    pub reads: Counter,
+    /// Total write bursts served.
+    pub writes: Counter,
+    /// Row-buffer hits.
+    pub row_hits: Counter,
+    /// Row-buffer misses (closed bank).
+    pub row_misses: Counter,
+    /// Row-buffer conflicts (wrong row open).
+    pub row_conflicts: Counter,
+    /// Activate commands issued.
+    pub activates: Counter,
+    /// Refresh commands issued (accrued as simulated time passes).
+    pub refreshes: Counter,
+    /// Total data-bus busy time (for bandwidth utilization).
+    pub bus_busy: Time,
+    /// Mean request latency (arrival to last data beat), nanoseconds.
+    pub latency: MeanAccumulator,
+    /// 64 B bursts per [`RequestClass`].
+    per_class: [Counter; 7],
+}
+
+impl DramStats {
+    pub(crate) fn record(
+        &mut self,
+        op: DramOp,
+        class: RequestClass,
+        outcome: RowOutcome,
+        arrival: Time,
+        done: Time,
+    ) {
+        match op {
+            DramOp::Read => self.reads.incr(),
+            DramOp::Write => self.writes.incr(),
+        }
+        match outcome {
+            RowOutcome::Hit => self.row_hits.incr(),
+            RowOutcome::Miss => self.row_misses.incr(),
+            RowOutcome::Conflict => self.row_conflicts.incr(),
+        }
+        self.per_class[class.index()].incr();
+        self.latency.record_time_ns(done.saturating_sub(arrival));
+    }
+
+    /// Folds another DRAM system's statistics into this one (multi-MC
+    /// aggregation).
+    pub fn merge(&mut self, other: &DramStats) {
+        self.reads.merge(other.reads);
+        self.writes.merge(other.writes);
+        self.row_hits.merge(other.row_hits);
+        self.row_misses.merge(other.row_misses);
+        self.row_conflicts.merge(other.row_conflicts);
+        self.activates.merge(other.activates);
+        self.refreshes.merge(other.refreshes);
+        self.bus_busy += other.bus_busy;
+        self.latency.merge(&other.latency);
+        for (i, c) in other.per_class.iter().enumerate() {
+            self.per_class[i].merge(*c);
+        }
+    }
+
+    /// 64 B bursts attributed to `class`.
+    pub fn class_blocks(&self, class: RequestClass) -> u64 {
+        self.per_class[class.index()].get()
+    }
+
+    /// Total 64 B bursts served.
+    pub fn total_blocks(&self) -> u64 {
+        self.reads.get() + self.writes.get()
+    }
+
+    /// Total bytes moved over the data bus.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_blocks() * dylect_sim_core::BLOCK_BYTES
+    }
+
+    /// Data-bus utilization over `elapsed` simulated time (0..1 per
+    /// channel-count of 1).
+    pub fn bus_utilization(&self, elapsed: Time) -> f64 {
+        if elapsed == Time::ZERO {
+            0.0
+        } else {
+            self.bus_busy.as_ps() as f64 / elapsed.as_ps() as f64
+        }
+    }
+
+    /// Row-buffer hit rate across all requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        self.row_hits.fraction_of(self.total_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_accounting() {
+        let mut s = DramStats::default();
+        s.record(
+            DramOp::Read,
+            RequestClass::Demand,
+            RowOutcome::Hit,
+            Time::ZERO,
+            Time::from_ns(30.0),
+        );
+        s.record(
+            DramOp::Write,
+            RequestClass::Migration,
+            RowOutcome::Conflict,
+            Time::ZERO,
+            Time::from_ns(60.0),
+        );
+        assert_eq!(s.reads.get(), 1);
+        assert_eq!(s.writes.get(), 1);
+        assert_eq!(s.class_blocks(RequestClass::Demand), 1);
+        assert_eq!(s.class_blocks(RequestClass::Migration), 1);
+        assert_eq!(s.class_blocks(RequestClass::CteFetch), 0);
+        assert_eq!(s.total_bytes(), 128);
+        assert_eq!(s.latency.mean(), 45.0);
+        assert_eq!(s.row_hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(RequestClass::CteFetch.to_string(), "cte_fetch");
+        assert_eq!(RequestClass::ALL.len(), 7);
+    }
+
+    #[test]
+    fn utilization_guards_zero() {
+        let s = DramStats::default();
+        assert_eq!(s.bus_utilization(Time::ZERO), 0.0);
+    }
+}

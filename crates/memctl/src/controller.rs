@@ -1,0 +1,282 @@
+//! The memory-scheme interface and shared statistics.
+//!
+//! A *scheme* is the policy half of a compressed-memory controller: given an
+//! LLC miss or writeback to an OS-physical address, it performs CTE
+//! translation (possibly fetching CTE blocks from DRAM), triggers page
+//! expansions/promotions/demotions, bills all resulting DRAM traffic, and
+//! returns when the demanded data is available. TMCC, DyLeCT, the naive
+//! dynamic-length design, and the no-compression baseline all implement
+//! [`MemoryScheme`].
+
+use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_sim_core::stats::{Counter, MeanAccumulator};
+use dylect_sim_core::{PhysAddr, Time};
+
+/// CTE cache hit latency: 2 memory-controller clocks (Table 3, following
+/// Compresso) at the DDR4-3200 memory clock (1.6 GHz).
+pub const CTE_CACHE_HIT_LATENCY: Time = Time::from_ps(1250);
+
+/// Result of one memory-controller access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct McResponse {
+    /// When the demanded 64 B block is available to return to the LLC.
+    pub data_ready: Time,
+    /// The part of the service latency attributable to the compressed-memory
+    /// machinery (translation + expansion), i.e. the L3-miss latency *adder*
+    /// the paper plots in Figure 21.
+    pub overhead: Time,
+}
+
+/// Aggregate statistics of a scheme.
+#[derive(Clone, Debug, Default)]
+pub struct McStats {
+    /// LLC-side requests served (reads + writebacks).
+    pub requests: Counter,
+    /// CTE cache hits served by a pre-gathered block (DyLeCT only).
+    pub cte_hits_pregathered: Counter,
+    /// CTE cache hits served by a unified block.
+    pub cte_hits_unified: Counter,
+    /// CTE cache misses (both blocks missing / unified missing as
+    /// applicable).
+    pub cte_misses: Counter,
+    /// ML2→ML1 (or ML2→ML0) page expansions.
+    pub expansions: Counter,
+    /// Pages compressed (demand-adaptive compaction).
+    pub compactions: Counter,
+    /// ML1→ML0 promotions (short-CTE switches).
+    pub promotions: Counter,
+    /// ML0→ML1 demotions (long-CTE switches).
+    pub demotions: Counter,
+    /// Pages displaced from a DRAM page-group slot to make room for a
+    /// promotion.
+    pub displacements: Counter,
+    /// Mean translation latency per request, ns.
+    pub translation_latency: MeanAccumulator,
+    /// Mean total overhead (translation + expansion wait) per request, ns.
+    pub overhead_latency: MeanAccumulator,
+}
+
+impl McStats {
+    /// Folds another scheme's statistics into this one (multi-MC
+    /// aggregation, paper §IV-D: each MC runs its own module).
+    pub fn merge(&mut self, other: &McStats) {
+        self.requests.merge(other.requests);
+        self.cte_hits_pregathered.merge(other.cte_hits_pregathered);
+        self.cte_hits_unified.merge(other.cte_hits_unified);
+        self.cte_misses.merge(other.cte_misses);
+        self.expansions.merge(other.expansions);
+        self.compactions.merge(other.compactions);
+        self.promotions.merge(other.promotions);
+        self.demotions.merge(other.demotions);
+        self.displacements.merge(other.displacements);
+        self.translation_latency.merge(&other.translation_latency);
+        self.overhead_latency.merge(&other.overhead_latency);
+    }
+
+    /// Total CTE cache lookups.
+    pub fn cte_lookups(&self) -> u64 {
+        self.cte_hits_pregathered.get() + self.cte_hits_unified.get() + self.cte_misses.get()
+    }
+
+    /// CTE cache hit rate (paper Figure 19).
+    pub fn cte_hit_rate(&self) -> f64 {
+        let hits = self.cte_hits_pregathered.get() + self.cte_hits_unified.get();
+        if self.cte_lookups() == 0 {
+            0.0
+        } else {
+            hits as f64 / self.cte_lookups() as f64
+        }
+    }
+
+    /// Fraction of lookups served by pre-gathered blocks.
+    pub fn pregathered_hit_rate(&self) -> f64 {
+        self.cte_hits_pregathered.fraction_of(self.cte_lookups())
+    }
+
+    /// Fraction of lookups served by unified blocks.
+    pub fn unified_hit_rate(&self) -> f64 {
+        self.cte_hits_unified.fraction_of(self.cte_lookups())
+    }
+}
+
+/// Memory-level census for Figure 20 (DRAM breakdown of ML0/ML1/ML2).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    /// Uncompressed pages addressed by short CTEs (DyLeCT only).
+    pub ml0_pages: u64,
+    /// Uncompressed pages addressed by long CTEs.
+    pub ml1_pages: u64,
+    /// Compressed pages.
+    pub ml2_pages: u64,
+    /// Whole free DRAM pages.
+    pub free_pages: u64,
+    /// Total free bytes (pages + holes).
+    pub free_bytes: u64,
+}
+
+impl Occupancy {
+    /// Folds another census into this one (multi-MC aggregation).
+    pub fn merge(&mut self, other: &Occupancy) {
+        self.ml0_pages += other.ml0_pages;
+        self.ml1_pages += other.ml1_pages;
+        self.ml2_pages += other.ml2_pages;
+        self.free_pages += other.free_pages;
+        self.free_bytes += other.free_bytes;
+    }
+
+    /// Fraction of *uncompressed* pages that are in ML0 (Figure 25).
+    pub fn ml0_fraction_of_uncompressed(&self) -> f64 {
+        let unc = self.ml0_pages + self.ml1_pages;
+        if unc == 0 {
+            0.0
+        } else {
+            self.ml0_pages as f64 / unc as f64
+        }
+    }
+}
+
+/// A hardware-compressed-memory controller policy.
+pub trait MemoryScheme {
+    /// Short human-readable name ("tmcc", "dylect", …).
+    fn name(&self) -> &'static str;
+
+    /// Serves one LLC miss (read) or writeback (write) to `addr` at `now`.
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram)
+        -> McResponse;
+
+    /// Switches warmup acceleration on or off. During warmup a scheme may
+    /// speed up its adaptive machinery (e.g. DyLeCT samples access counters
+    /// more aggressively so ML0 converges in simulatable time, mirroring
+    /// the paper's 20 G-instruction fast-forward warmup); measurement always
+    /// runs with paper parameters. Default: no-op.
+    fn set_warmup(&mut self, _warmup: bool) {}
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &McStats;
+
+    /// Resets statistics after warmup.
+    fn reset_stats(&mut self);
+
+    /// Current memory-level census.
+    fn occupancy(&self) -> Occupancy;
+}
+
+/// The bigger conventional system without compression (paper §V,
+/// "Modeling a bigger system without memory compression"): OS pages map
+/// identity to DRAM pages, there is no CTE layer, and so no overhead.
+#[derive(Debug)]
+pub struct NoCompression {
+    os_pages: u64,
+    stats: McStats,
+}
+
+impl NoCompression {
+    /// Creates the baseline; `dram` must be at least as large as the
+    /// OS-visible memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DRAM is smaller than the OS-visible memory.
+    pub fn new(os_pages: u64, dram: &Dram) -> Self {
+        assert!(
+            dram.config().geometry.capacity_pages() >= os_pages,
+            "no-compression baseline needs DRAM >= footprint"
+        );
+        NoCompression {
+            os_pages,
+            stats: McStats::default(),
+        }
+    }
+}
+
+impl MemoryScheme for NoCompression {
+    fn name(&self) -> &'static str {
+        "no-compression"
+    }
+
+    fn access(
+        &mut self,
+        now: Time,
+        addr: PhysAddr,
+        is_write: bool,
+        dram: &mut Dram,
+    ) -> McResponse {
+        self.stats.requests.incr();
+        debug_assert!(addr.page().index() < self.os_pages, "address out of range");
+        let (op, class) = if is_write {
+            (DramOp::Write, RequestClass::Writeback)
+        } else {
+            (DramOp::Read, RequestClass::Demand)
+        };
+        let machine = dylect_sim_core::MachineAddr::new(addr.block_base().raw());
+        let done = dram.access(now, machine, op, class);
+        self.stats.translation_latency.record(0.0);
+        self.stats.overhead_latency.record(0.0);
+        McResponse {
+            data_ready: done,
+            overhead: Time::ZERO,
+        }
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        Occupancy {
+            ml1_pages: self.os_pages,
+            ..Occupancy::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+
+    #[test]
+    fn no_compression_has_zero_overhead() {
+        let mut dram = Dram::new(DramConfig::paper(1 << 30, 8));
+        let mut s = NoCompression::new(1000, &dram);
+        let r = s.access(Time::ZERO, PhysAddr::new(0x1040), false, &mut dram);
+        assert_eq!(r.overhead, Time::ZERO);
+        assert_eq!(r.data_ready.as_ns(), 13.75 + 13.75 + 2.5);
+        assert_eq!(s.stats().requests.get(), 1);
+        assert_eq!(s.stats().cte_lookups(), 0);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut st = McStats::default();
+        st.cte_hits_pregathered.add(77);
+        st.cte_hits_unified.add(14);
+        st.cte_misses.add(9);
+        assert!((st.cte_hit_rate() - 0.91).abs() < 1e-9);
+        assert!((st.pregathered_hit_rate() - 0.77).abs() < 1e-9);
+        assert!((st.unified_hit_rate() - 0.14).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_ml0_fraction() {
+        let o = Occupancy {
+            ml0_pages: 66,
+            ml1_pages: 34,
+            ml2_pages: 100,
+            ..Occupancy::default()
+        };
+        assert!((o.ml0_fraction_of_uncompressed() - 0.66).abs() < 1e-9);
+        assert_eq!(Occupancy::default().ml0_fraction_of_uncompressed(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM >= footprint")]
+    fn no_compression_rejects_small_dram() {
+        let dram = Dram::new(DramConfig::paper(1 << 24, 8));
+        let _ = NoCompression::new(1 << 20, &dram);
+    }
+}

@@ -1,0 +1,179 @@
+//! Probabilistic per-page access counters (Banshee's Algorithm 1).
+//!
+//! DyLeCT's ML1→ML0 promotion policy adapts the page-level DRAM-caching
+//! policy of Banshee [Yu et al., MICRO'17]: every OS page has a small
+//! (5-bit) saturating counter that is incremented with a sampling
+//! probability (5% in the paper) on each access. Promotion happens when a
+//! candidate's count exceeds the coldest current occupant's count by a
+//! threshold. When any counter saturates, all counters are halved so the
+//! counters track *recent* frequency.
+
+use dylect_sim_core::rng::Rng;
+use dylect_sim_core::stats::Counter;
+use dylect_sim_core::PageId;
+
+/// Sampling probability from the paper (5%).
+pub const SAMPLE_RATE: f64 = 0.05;
+/// 5-bit counters saturate at 31.
+pub const COUNTER_MAX: u8 = 31;
+
+/// Per-page sampled access counters.
+///
+/// # Example
+///
+/// ```
+/// use dylect_memctl::counters::AccessCounters;
+/// use dylect_sim_core::rng::Rng;
+/// use dylect_sim_core::PageId;
+///
+/// let mut c = AccessCounters::new(64, 1.0); // sample every access
+/// let mut rng = Rng::new(1);
+/// c.on_access(PageId::new(3), &mut rng);
+/// assert_eq!(c.get(PageId::new(3)), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AccessCounters {
+    counts: Vec<u8>,
+    sample_rate: f64,
+    /// Number of global halvings performed (each costs a table sweep).
+    pub halvings: Counter,
+}
+
+impl AccessCounters {
+    /// Creates zeroed counters for pages `0..capacity` with the given
+    /// sampling probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate` is outside `(0, 1]`.
+    pub fn new(capacity: u64, sample_rate: f64) -> Self {
+        assert!(
+            sample_rate > 0.0 && sample_rate <= 1.0,
+            "sample rate {sample_rate} out of range"
+        );
+        AccessCounters {
+            counts: vec![0; usize::try_from(capacity).expect("capacity fits usize")],
+            sample_rate,
+            halvings: Counter::default(),
+        }
+    }
+
+    /// Creates counters with the paper's 5% sampling.
+    pub fn paper(capacity: u64) -> Self {
+        Self::new(capacity, SAMPLE_RATE)
+    }
+
+    /// Observes an access to `page`; with probability `sample_rate` the
+    /// counter is incremented. Returns `true` when the counter was
+    /// incremented (the scheme only re-evaluates promotion on sampled
+    /// accesses, keeping the policy cheap).
+    pub fn on_access(&mut self, page: PageId, rng: &mut Rng) -> bool {
+        if !rng.chance(self.sample_rate) {
+            return false;
+        }
+        let c = &mut self.counts[page.index() as usize];
+        if *c >= COUNTER_MAX {
+            self.halve_all();
+        }
+        self.counts[page.index() as usize] += 1;
+        true
+    }
+
+    /// Changes the sampling probability (the paper warms its memory levels
+    /// over >20 G instructions in fast-forward mode; harnesses accelerate
+    /// warmup by sampling more aggressively, then restore 5% to measure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `(0, 1]`.
+    pub fn set_sample_rate(&mut self, rate: f64) {
+        assert!(rate > 0.0 && rate <= 1.0, "sample rate {rate} out of range");
+        self.sample_rate = rate;
+    }
+
+    /// Current count for `page`.
+    pub fn get(&self, page: PageId) -> u8 {
+        self.counts[page.index() as usize]
+    }
+
+    /// Clears the counter of a page (used when a page is compressed, so a
+    /// stale hot history does not linger).
+    pub fn reset(&mut self, page: PageId) {
+        self.counts[page.index() as usize] = 0;
+    }
+
+    fn halve_all(&mut self) {
+        for c in &mut self.counts {
+            *c >>= 1;
+        }
+        self.halvings.incr();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let mut c = AccessCounters::new(4, 0.05);
+        let mut rng = Rng::new(42);
+        let mut sampled = 0;
+        for _ in 0..100_000 {
+            if c.on_access(PageId::new(0), &mut rng) {
+                sampled += 1;
+            }
+        }
+        assert!(
+            (3_500..6_500).contains(&sampled),
+            "sampled {sampled} of 100k at 5%"
+        );
+    }
+
+    #[test]
+    fn saturation_halves_everything() {
+        let mut c = AccessCounters::new(4, 1.0);
+        let mut rng = Rng::new(1);
+        for _ in 0..31 {
+            c.on_access(PageId::new(0), &mut rng);
+        }
+        for _ in 0..10 {
+            c.on_access(PageId::new(1), &mut rng);
+        }
+        assert_eq!(c.get(PageId::new(0)), 31);
+        assert_eq!(c.get(PageId::new(1)), 10);
+        // The next sampled access to page 0 halves all, then increments.
+        c.on_access(PageId::new(0), &mut rng);
+        assert_eq!(c.get(PageId::new(0)), 16);
+        assert_eq!(c.get(PageId::new(1)), 5);
+        assert_eq!(c.halvings.get(), 1);
+    }
+
+    #[test]
+    fn hot_pages_count_higher() {
+        let mut c = AccessCounters::new(2, 0.2);
+        let mut rng = Rng::new(7);
+        for i in 0..1000 {
+            c.on_access(PageId::new(0), &mut rng);
+            if i % 10 == 0 {
+                c.on_access(PageId::new(1), &mut rng);
+            }
+        }
+        assert!(c.get(PageId::new(0)) > c.get(PageId::new(1)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = AccessCounters::new(2, 1.0);
+        let mut rng = Rng::new(1);
+        c.on_access(PageId::new(1), &mut rng);
+        c.reset(PageId::new(1));
+        assert_eq!(c.get(PageId::new(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_rate() {
+        let _ = AccessCounters::new(1, 0.0);
+    }
+}

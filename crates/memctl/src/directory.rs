@@ -1,0 +1,253 @@
+//! The page directory: authoritative record of where every OS page lives.
+//!
+//! The directory is the simulator-side ground truth behind the CTE tables:
+//! each OS-visible 4 KB page is either **uncompressed** in some DRAM page or
+//! **compressed** into a sub-page span. It also maintains the reverse map
+//! (what does each DRAM page hold), which the schemes need when vacating a
+//! DRAM page (e.g. DyLeCT's ML1→ML0 promotion must displace whatever
+//! occupies the target DRAM page group slot).
+
+use std::collections::HashMap;
+
+use dylect_sim_core::{DramPageId, PageId};
+
+use crate::freespace::Span;
+
+/// Where an OS page currently lives.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PageState {
+    /// Stored uncompressed in a full DRAM page.
+    Uncompressed(DramPageId),
+    /// Stored compressed in a sub-page span.
+    Compressed(Span),
+}
+
+/// What a data-region DRAM page currently holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DramUse {
+    /// Free or unassigned (tracked by [`crate::freespace::FreeSpace`]).
+    Unassigned,
+    /// Holds one uncompressed OS page.
+    Uncompressed(PageId),
+    /// Holds one or more compressed spans (possibly with free holes).
+    Pool,
+}
+
+/// Authoritative OS-page → location map with reverse indices.
+///
+/// # Example
+///
+/// ```
+/// use dylect_memctl::directory::{DramUse, PageDirectory, PageState};
+/// use dylect_sim_core::{DramPageId, PageId};
+///
+/// let mut dir = PageDirectory::new(8);
+/// dir.place_uncompressed(PageId::new(3), DramPageId::new(5));
+/// assert_eq!(dir.state(PageId::new(3)), Some(PageState::Uncompressed(DramPageId::new(5))));
+/// assert_eq!(dir.dram_use(DramPageId::new(5)), DramUse::Uncompressed(PageId::new(3)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageDirectory {
+    states: Vec<Option<PageState>>,
+    dram_owner: HashMap<u64, PageId>,
+    compressed_in: HashMap<u64, Vec<PageId>>,
+}
+
+impl PageDirectory {
+    /// Creates a directory for OS pages `0..os_pages`, all initially
+    /// unplaced.
+    pub fn new(os_pages: u64) -> Self {
+        PageDirectory {
+            states: vec![None; usize::try_from(os_pages).expect("os_pages fits usize")],
+            dram_owner: HashMap::new(),
+            compressed_in: HashMap::new(),
+        }
+    }
+
+    /// Number of OS pages tracked.
+    pub fn os_pages(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Current location of `page` (`None` if never placed).
+    pub fn state(&self, page: PageId) -> Option<PageState> {
+        self.states[page.index() as usize]
+    }
+
+    /// What `dram` currently holds.
+    pub fn dram_use(&self, dram: DramPageId) -> DramUse {
+        if let Some(&os) = self.dram_owner.get(&dram.index()) {
+            return DramUse::Uncompressed(os);
+        }
+        if self
+            .compressed_in
+            .get(&dram.index())
+            .is_some_and(|v| !v.is_empty())
+        {
+            return DramUse::Pool;
+        }
+        DramUse::Unassigned
+    }
+
+    /// OS pages whose compressed spans live in `dram`.
+    pub fn compressed_pages_in(&self, dram: DramPageId) -> &[PageId] {
+        self.compressed_in
+            .get(&dram.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Records `page` as uncompressed in `dram`, detaching any previous
+    /// location bookkeeping for `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dram` already holds a different uncompressed page or
+    /// compressed spans.
+    pub fn place_uncompressed(&mut self, page: PageId, dram: DramPageId) {
+        assert_eq!(
+            self.dram_use(dram),
+            DramUse::Unassigned,
+            "DRAM page {dram} is occupied"
+        );
+        self.detach(page);
+        self.states[page.index() as usize] = Some(PageState::Uncompressed(dram));
+        self.dram_owner.insert(dram.index(), page);
+    }
+
+    /// Records `page` as compressed into `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span`'s DRAM page holds an uncompressed page.
+    pub fn place_compressed(&mut self, page: PageId, span: Span) {
+        assert!(
+            !self.dram_owner.contains_key(&span.dram_page.index()),
+            "DRAM page {} holds an uncompressed page",
+            span.dram_page
+        );
+        self.detach(page);
+        self.states[page.index() as usize] = Some(PageState::Compressed(span));
+        self.compressed_in
+            .entry(span.dram_page.index())
+            .or_default()
+            .push(page);
+    }
+
+    /// Removes `page` from the reverse maps (its DRAM space is presumed
+    /// returned to the free tracker by the caller). Returns the old state.
+    pub fn detach(&mut self, page: PageId) -> Option<PageState> {
+        let old = self.states[page.index() as usize].take();
+        match old {
+            Some(PageState::Uncompressed(d)) => {
+                let removed = self.dram_owner.remove(&d.index());
+                debug_assert_eq!(removed, Some(page));
+            }
+            Some(PageState::Compressed(s)) => {
+                let v = self
+                    .compressed_in
+                    .get_mut(&s.dram_page.index())
+                    .expect("reverse map entry exists");
+                let pos = v.iter().position(|&p| p == page).expect("page in list");
+                v.swap_remove(pos);
+                if v.is_empty() {
+                    self.compressed_in.remove(&s.dram_page.index());
+                }
+            }
+            None => {}
+        }
+        old
+    }
+
+    /// Counts pages by state: `(uncompressed, compressed)`.
+    pub fn census(&self) -> (u64, u64) {
+        let mut unc = 0;
+        let mut comp = 0;
+        for s in &self.states {
+            match s {
+                Some(PageState::Uncompressed(_)) => unc += 1,
+                Some(PageState::Compressed(_)) => comp += 1,
+                None => {}
+            }
+        }
+        (unc, comp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(d: u64, off: u32, len: u32) -> Span {
+        Span::new(DramPageId::new(d), off, len)
+    }
+
+    #[test]
+    fn uncompressed_round_trip() {
+        let mut dir = PageDirectory::new(4);
+        dir.place_uncompressed(PageId::new(1), DramPageId::new(9));
+        assert_eq!(
+            dir.state(PageId::new(1)),
+            Some(PageState::Uncompressed(DramPageId::new(9)))
+        );
+        assert_eq!(
+            dir.dram_use(DramPageId::new(9)),
+            DramUse::Uncompressed(PageId::new(1))
+        );
+        dir.detach(PageId::new(1));
+        assert_eq!(dir.state(PageId::new(1)), None);
+        assert_eq!(dir.dram_use(DramPageId::new(9)), DramUse::Unassigned);
+    }
+
+    #[test]
+    fn compressed_reverse_map() {
+        let mut dir = PageDirectory::new(4);
+        dir.place_compressed(PageId::new(0), span(3, 0, 1024));
+        dir.place_compressed(PageId::new(1), span(3, 1024, 512));
+        assert_eq!(dir.dram_use(DramPageId::new(3)), DramUse::Pool);
+        let mut in3: Vec<u64> = dir
+            .compressed_pages_in(DramPageId::new(3))
+            .iter()
+            .map(|p| p.index())
+            .collect();
+        in3.sort_unstable();
+        assert_eq!(in3, vec![0, 1]);
+        dir.detach(PageId::new(0));
+        assert_eq!(dir.compressed_pages_in(DramPageId::new(3)).len(), 1);
+    }
+
+    #[test]
+    fn moving_a_page_updates_both_maps() {
+        let mut dir = PageDirectory::new(4);
+        dir.place_uncompressed(PageId::new(2), DramPageId::new(0));
+        dir.place_compressed(PageId::new(2), span(1, 0, 768));
+        assert_eq!(dir.dram_use(DramPageId::new(0)), DramUse::Unassigned);
+        assert_eq!(dir.dram_use(DramPageId::new(1)), DramUse::Pool);
+        assert_eq!(dir.census(), (0, 1));
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut dir = PageDirectory::new(5);
+        dir.place_uncompressed(PageId::new(0), DramPageId::new(0));
+        dir.place_uncompressed(PageId::new(1), DramPageId::new(1));
+        dir.place_compressed(PageId::new(2), span(2, 0, 512));
+        assert_eq!(dir.census(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "is occupied")]
+    fn cannot_double_book_dram_page() {
+        let mut dir = PageDirectory::new(4);
+        dir.place_uncompressed(PageId::new(0), DramPageId::new(7));
+        dir.place_uncompressed(PageId::new(1), DramPageId::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "holds an uncompressed page")]
+    fn cannot_pack_spans_into_owned_page() {
+        let mut dir = PageDirectory::new(4);
+        dir.place_uncompressed(PageId::new(0), DramPageId::new(7));
+        dir.place_compressed(PageId::new(1), span(7, 0, 256));
+    }
+}

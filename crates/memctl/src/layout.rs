@@ -1,0 +1,273 @@
+//! Machine-address-space layout: data region + reserved translation tables.
+//!
+//! The CTE table(s) are "stored in a statically reserved memory region"
+//! (paper §II-A). We place the data region at the bottom of machine-physical
+//! memory and the tables above it:
+//!
+//! ```text
+//! +--------------------+ 0
+//! |   data region      |   <- DRAM pages managed by the scheme
+//! +--------------------+ data_pages * 4K
+//! |   unified CTE table|   <- 8 B entries (64 B blocks = 8 CTEs, 32 KB reach)
+//! +--------------------+
+//! |   pre-gathered tbl |   <- 2-bit entries (64 B blocks = 256 CTEs, 1 MB reach)
+//! +--------------------+
+//! |   access counters  |   <- promotion-policy counters (DyLeCT only)
+//! +--------------------+ total DRAM
+//! ```
+
+use dylect_sim_core::{MachineAddr, PageId, BLOCK_BYTES, PAGE_BYTES};
+
+/// Bytes per unified-table entry (a long CTE; paper: 8 B).
+pub const UNIFIED_ENTRY_BYTES: u64 = 8;
+/// Unified CTEs per 64 B block.
+pub const UNIFIED_ENTRIES_PER_BLOCK: u64 = BLOCK_BYTES / UNIFIED_ENTRY_BYTES;
+/// Pre-gathered short CTEs per 64 B block (2-bit entries).
+pub const PREGATHERED_ENTRIES_PER_BLOCK: u64 = BLOCK_BYTES * 8 / 2;
+/// Access counters per 64 B block (one byte per counter; the paper packs
+/// 5-bit counters, we round up to bytes — still <0.1% of DRAM).
+pub const COUNTERS_PER_BLOCK: u64 = BLOCK_BYTES;
+
+/// Which reserved tables a scheme needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LayoutOptions {
+    /// Reserve a pre-gathered short-CTE table (DyLeCT).
+    pub pregathered: bool,
+    /// Reserve the per-page access-counter table (DyLeCT).
+    pub counters: bool,
+    /// Number of unified-table entries (one per translation granule; equals
+    /// the OS page count at 4 KB granularity).
+    pub unified_entries: u64,
+}
+
+/// The resolved layout.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct McLayout {
+    os_pages: u64,
+    data_pages: u64,
+    unified_base_page: u64,
+    unified_pages: u64,
+    pregathered_base_page: u64,
+    pregathered_pages: u64,
+    counter_base_page: u64,
+    counter_pages: u64,
+}
+
+impl McLayout {
+    /// Lays out `total_dram_pages` of machine memory for a system exposing
+    /// `os_pages` of OS-visible memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables do not leave any data pages.
+    pub fn new(total_dram_pages: u64, os_pages: u64, opts: LayoutOptions) -> Self {
+        let unified_pages = (opts.unified_entries * UNIFIED_ENTRY_BYTES).div_ceil(PAGE_BYTES);
+        let pregathered_pages = if opts.pregathered {
+            os_pages
+                .div_ceil(PREGATHERED_ENTRIES_PER_BLOCK)
+                .max(1)
+                .div_ceil(PAGE_BYTES / BLOCK_BYTES)
+                .max(1)
+        } else {
+            0
+        };
+        let counter_pages = if opts.counters {
+            os_pages.div_ceil(PAGE_BYTES).max(1)
+        } else {
+            0
+        };
+        let reserved = unified_pages + pregathered_pages + counter_pages;
+        assert!(
+            reserved < total_dram_pages,
+            "tables ({reserved} pages) leave no data pages in {total_dram_pages}"
+        );
+        let data_pages = total_dram_pages - reserved;
+        McLayout {
+            os_pages,
+            data_pages,
+            unified_base_page: data_pages,
+            unified_pages,
+            pregathered_base_page: data_pages + unified_pages,
+            pregathered_pages,
+            counter_base_page: data_pages + unified_pages + pregathered_pages,
+            counter_pages,
+        }
+    }
+
+    /// Number of OS-visible pages this layout serves.
+    pub fn os_pages(&self) -> u64 {
+        self.os_pages
+    }
+
+    /// Number of DRAM pages available for data.
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages
+    }
+
+    /// Pages consumed by all reserved tables.
+    pub fn reserved_pages(&self) -> u64 {
+        self.unified_pages + self.pregathered_pages + self.counter_pages
+    }
+
+    /// Machine address of the unified-table 64 B block holding `entry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the entry is beyond the table.
+    pub fn unified_block_addr(&self, entry: u64) -> MachineAddr {
+        let block = entry / UNIFIED_ENTRIES_PER_BLOCK;
+        debug_assert!(
+            block * BLOCK_BYTES < self.unified_pages * PAGE_BYTES,
+            "unified entry {entry} beyond table"
+        );
+        MachineAddr::new(self.unified_base_page * PAGE_BYTES + block * BLOCK_BYTES)
+    }
+
+    /// Machine address of the pre-gathered 64 B block covering `page`.
+    ///
+    /// One block covers 256 pages = 1 MB of OS-visible memory (the paper's
+    /// huge-page-like reach).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no pre-gathered table.
+    pub fn pregathered_block_addr(&self, page: PageId) -> MachineAddr {
+        assert!(self.pregathered_pages > 0, "no pre-gathered table");
+        let block = page.index() / PREGATHERED_ENTRIES_PER_BLOCK;
+        MachineAddr::new(self.pregathered_base_page * PAGE_BYTES + block * BLOCK_BYTES)
+    }
+
+    /// Machine address of the counter block covering `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no counter table.
+    pub fn counter_block_addr(&self, page: PageId) -> MachineAddr {
+        assert!(self.counter_pages > 0, "no counter table");
+        let block = page.index() / COUNTERS_PER_BLOCK;
+        MachineAddr::new(self.counter_base_page * PAGE_BYTES + block * BLOCK_BYTES)
+    }
+
+    /// Key identifying the unified block covering `entry` (for CTE caching).
+    pub fn unified_block_key(&self, entry: u64) -> u64 {
+        self.unified_block_addr(entry).block_index()
+    }
+
+    /// Key identifying the pre-gathered block covering `page`.
+    pub fn pregathered_block_key(&self, page: PageId) -> u64 {
+        self.pregathered_block_addr(page).block_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> McLayout {
+        // 64 Ki DRAM pages (256 MiB), 96 Ki OS pages (384 MiB).
+        McLayout::new(
+            65_536,
+            98_304,
+            LayoutOptions {
+                pregathered: true,
+                counters: true,
+                unified_entries: 98_304,
+            },
+        )
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = layout();
+        assert!(l.data_pages() > 0);
+        assert_eq!(l.unified_base_page, l.data_pages);
+        assert!(l.pregathered_base_page >= l.unified_base_page + l.unified_pages);
+        assert!(l.counter_base_page >= l.pregathered_base_page + l.pregathered_pages);
+        assert_eq!(l.data_pages + l.reserved_pages(), 65_536);
+    }
+
+    #[test]
+    fn unified_block_granularity() {
+        let l = layout();
+        // Entries 0..7 share a block; entry 8 starts the next.
+        let b0 = l.unified_block_addr(0);
+        assert_eq!(l.unified_block_addr(7), b0);
+        assert_eq!(l.unified_block_addr(8), b0.offset(64));
+    }
+
+    #[test]
+    fn pregathered_block_covers_1mb() {
+        let l = layout();
+        let b0 = l.pregathered_block_addr(PageId::new(0));
+        assert_eq!(l.pregathered_block_addr(PageId::new(255)), b0);
+        assert_eq!(l.pregathered_block_addr(PageId::new(256)), b0.offset(64));
+    }
+
+    #[test]
+    fn table_sizes_match_paper_overheads() {
+        let l = layout();
+        // Unified: 8 B per page. Pre-gathered: 32x smaller.
+        assert_eq!(l.unified_pages, 98_304 * 8 / 4096);
+        assert!(l.pregathered_pages <= l.unified_pages / 32 + 1);
+    }
+
+    #[test]
+    fn tmcc_layout_has_no_extra_tables() {
+        let l = McLayout::new(
+            1024,
+            1024,
+            LayoutOptions {
+                pregathered: false,
+                counters: false,
+                unified_entries: 1024,
+            },
+        );
+        assert_eq!(l.reserved_pages(), 2); // 1024 * 8 B = 2 pages
+    }
+
+    #[test]
+    fn coarse_granularity_shrinks_table() {
+        // 64 KB granules: 16x fewer entries.
+        let fine = McLayout::new(
+            65_536,
+            98_304,
+            LayoutOptions {
+                pregathered: false,
+                counters: false,
+                unified_entries: 98_304,
+            },
+        );
+        let coarse = McLayout::new(
+            65_536,
+            98_304,
+            LayoutOptions {
+                pregathered: false,
+                counters: false,
+                unified_entries: 98_304 / 16,
+            },
+        );
+        assert!(coarse.reserved_pages() < fine.reserved_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "no data pages")]
+    fn rejects_table_only_layout() {
+        let _ = McLayout::new(
+            2,
+            98_304,
+            LayoutOptions {
+                pregathered: true,
+                counters: true,
+                unified_entries: 98_304,
+            },
+        );
+    }
+
+    #[test]
+    fn counter_blocks() {
+        let l = layout();
+        let b0 = l.counter_block_addr(PageId::new(0));
+        assert_eq!(l.counter_block_addr(PageId::new(63)), b0);
+        assert_eq!(l.counter_block_addr(PageId::new(64)), b0.offset(64));
+    }
+}

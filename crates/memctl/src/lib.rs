@@ -1,0 +1,55 @@
+//! Shared memory-controller framework for hardware-compressed memory.
+//!
+//! Hardware memory compression lives entirely in the memory controller
+//! (MC): the MC translates OS-physical addresses to machine-physical DRAM
+//! locations through compressed-memory translation entries (CTEs), packs
+//! compressed pages into irregular free spaces, and migrates pages as their
+//! temperature changes. This crate provides the *mechanisms* every scheme in
+//! this workspace shares:
+//!
+//! - [`freespace`] — the Free List of whole DRAM pages plus coalescing
+//!   irregular-size free spans (TMCC §II-B);
+//! - [`recency`] — the Recency List selecting compression victims;
+//! - [`counters`] — Banshee-style sampled access counters for DyLeCT's
+//!   ML1→ML0 promotion;
+//! - [`layout`] — machine-address layout of the unified CTE table, the
+//!   pre-gathered table, and the counter table;
+//! - [`directory`] / [`store`] — authoritative page locations and the
+//!   physical expand/compact/migrate operations with DRAM traffic billing;
+//! - [`controller`] — the [`MemoryScheme`] trait implemented by TMCC,
+//!   DyLeCT, and the baselines, plus shared statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_compression::CompressibilityProfile;
+//! use dylect_memctl::store::CompressedStore;
+//!
+//! // Pack 1000 OS pages into 700 DRAM pages (compression pressure).
+//! let store = CompressedStore::pack(
+//!     1000,
+//!     700,
+//!     CompressibilityProfile::with_mean_ratio("demo", 3.0),
+//!     42,
+//!     16,
+//! );
+//! let (uncompressed, compressed) = store.dir.census();
+//! assert_eq!(uncompressed + compressed, 1000);
+//! ```
+
+pub mod controller;
+pub mod counters;
+pub mod directory;
+pub mod freespace;
+pub mod layout;
+pub mod recency;
+pub mod store;
+pub mod transfer;
+
+pub use controller::{
+    McResponse, McStats, MemoryScheme, NoCompression, Occupancy, CTE_CACHE_HIT_LATENCY,
+};
+pub use directory::{DramUse, PageDirectory, PageState};
+pub use freespace::{FreeSpace, Span};
+pub use layout::{LayoutOptions, McLayout};
+pub use store::CompressedStore;

@@ -1,0 +1,513 @@
+//! The compressed-memory store: shared mechanism underneath every scheme.
+//!
+//! [`CompressedStore`] bundles the page directory, free-space tracker,
+//! recency list, and compressibility model, and implements the physical
+//! operations every scheme performs:
+//!
+//! - **initial packing** — place, compress, and pack the workload's pages
+//!   into the available DRAM (the paper does the same before simulation);
+//! - **page expansion** (ML2 → uncompressed) with its read + decompress +
+//!   write traffic;
+//! - **page compaction** (uncompressed → ML2) into a tightly fitting hole;
+//! - **demand-adaptive compaction** maintaining a free-page target
+//!   (paper §II-B: TMCC keeps 16 MB of free DRAM pages);
+//! - **uncompressed page migration** to a specific DRAM page (used by
+//!   DyLeCT's promotions and displacements).
+//!
+//! Schemes add the *policy*: which CTEs exist, when to promote/demote, and
+//! how translation latency is modeled.
+
+use dylect_compression::latency::{compression_latency, decompression_latency};
+use dylect_compression::CompressibilityProfile;
+use dylect_dram::{Dram, RequestClass};
+use dylect_sim_core::rng::hash64;
+use dylect_sim_core::{DramPageId, PageId, Time, PAGE_BYTES};
+
+use crate::directory::{PageDirectory, PageState};
+use crate::freespace::{FreeSpace, Span};
+use crate::recency::RecencyList;
+use crate::transfer;
+
+/// Shared physical state of a compressed-memory controller.
+#[derive(Clone, Debug)]
+pub struct CompressedStore {
+    /// Where every OS page lives.
+    pub dir: PageDirectory,
+    /// Free pages and holes.
+    pub free: FreeSpace,
+    /// Recency of uncompressed pages (compression victim order).
+    pub recency: RecencyList,
+    profile: CompressibilityProfile,
+    seed: u64,
+    free_target_pages: u64,
+}
+
+impl CompressedStore {
+    /// Packs `os_pages` of OS-visible memory into `data_pages` of DRAM,
+    /// keeping `free_target_pages` whole pages free, compressing the
+    /// coldest-assumed pages (a deterministic pseudo-random subset — warmup
+    /// re-sorts hot/cold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit even fully compressed.
+    pub fn pack(
+        os_pages: u64,
+        data_pages: u64,
+        profile: CompressibilityProfile,
+        seed: u64,
+        free_target_pages: u64,
+    ) -> Self {
+        Self::pack_granular(os_pages, data_pages, profile, seed, free_target_pages, 1)
+    }
+
+    /// Like [`CompressedStore::pack`], but keeps `granule_pages`-sized
+    /// groups of consecutive pages entirely compressed or entirely
+    /// uncompressed — the packing used by TMCC at coarse compression
+    /// granularity (paper Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit, or `granule_pages` is 0.
+    pub fn pack_granular(
+        os_pages: u64,
+        data_pages: u64,
+        profile: CompressibilityProfile,
+        seed: u64,
+        free_target_pages: u64,
+        granule_pages: u64,
+    ) -> Self {
+        assert!(granule_pages > 0, "granule must be at least one page");
+        let mut store = CompressedStore {
+            dir: PageDirectory::new(os_pages),
+            free: FreeSpace::new(),
+            recency: RecencyList::new(os_pages),
+            profile,
+            seed,
+            free_target_pages,
+        };
+        for d in 0..data_pages {
+            store.free.add_page(DramPageId::new(d));
+        }
+
+        // Deterministic pseudo-random ordering over granules: the first `u`
+        // granules stay uncompressed.
+        let granules = os_pages.div_ceil(granule_pages);
+        let mut order: Vec<u64> = (0..granules).collect();
+        order.sort_by_key(|&g| hash64(g ^ seed));
+        let pages_of = |g: u64| (g * granule_pages)..((g + 1) * granule_pages).min(os_pages);
+
+        let budget = (data_pages.saturating_sub(free_target_pages)) * PAGE_BYTES;
+        // Suffix sums of compressed granule sizes in `order`.
+        let mut g_unc = vec![0u64; order.len()]; // uncompressed bytes
+        let mut suffix = vec![0u64; order.len() + 1];
+        for i in (0..order.len()).rev() {
+            let mut comp = 0u64;
+            let mut unc = 0u64;
+            for p in pages_of(order[i]) {
+                comp += store.compressed_size(PageId::new(p)) as u64;
+                unc += PAGE_BYTES;
+            }
+            g_unc[i] = unc;
+            suffix[i] = suffix[i + 1] + comp;
+        }
+        let prefix_unc: Vec<u64> = std::iter::once(0)
+            .chain(g_unc.iter().scan(0, |acc, &x| {
+                *acc += x;
+                Some(*acc)
+            }))
+            .collect();
+        // total(u) is nondecreasing in u: binary search the largest u that
+        // fits.
+        let total = |u: usize| prefix_unc[u] + suffix[u];
+        assert!(
+            total(0) <= budget,
+            "footprint does not fit even fully compressed ({} > {budget})",
+            total(0)
+        );
+        let (mut lo, mut hi) = (0usize, order.len());
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if total(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let u = lo;
+
+        for &g in &order[..u] {
+            for p in pages_of(g) {
+                let page = PageId::new(p);
+                let dram = store.free.take_any_page().expect("budget guarantees room");
+                store.dir.place_uncompressed(page, dram);
+                store.recency.touch(page);
+            }
+        }
+        for &g in &order[u..] {
+            for p in pages_of(g) {
+                let page = PageId::new(p);
+                let size = store.compressed_size(page);
+                let span = store
+                    .free
+                    .alloc_span(size)
+                    .expect("budget guarantees room");
+                store.dir.place_compressed(page, span);
+            }
+        }
+        store
+    }
+
+    /// The stable compressed size of `page` (already quantized).
+    pub fn compressed_size(&self, page: PageId) -> u32 {
+        self.profile.compressed_bytes(self.seed, page)
+    }
+
+    /// The free-page target of demand-adaptive compaction.
+    pub fn free_target_pages(&self) -> u64 {
+        self.free_target_pages
+    }
+
+    /// Whether `page` is currently compressed (in ML2).
+    pub fn is_compressed(&self, page: PageId) -> bool {
+        matches!(self.dir.state(page), Some(PageState::Compressed(_)))
+    }
+
+    /// Expands a compressed page into a free DRAM page: reads the span,
+    /// decompresses, writes the full page, and returns
+    /// `(new DRAM page, time the uncompressed data is available)`.
+    ///
+    /// Bills the span read and page write as `class` traffic. If no whole
+    /// free page exists, compacts synchronously first (this is the slow
+    /// path the 16 MB free target exists to avoid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not compressed.
+    pub fn expand(
+        &mut self,
+        dram: &mut Dram,
+        now: Time,
+        page: PageId,
+        class: RequestClass,
+    ) -> (DramPageId, Time) {
+        let Some(PageState::Compressed(span)) = self.dir.state(page) else {
+            panic!("expand called on non-compressed page {page}");
+        };
+        let mut now = now;
+        if self.free.free_page_count() == 0 {
+            now = self.compact_until(dram, now, 1);
+        }
+        let read_done = transfer::read_span(dram, now, span, class);
+        let ready = read_done + decompression_latency(PAGE_BYTES);
+        let dst = self
+            .free
+            .take_any_page()
+            .expect("compact_until guarantees a page");
+        self.dir.detach(page);
+        self.free.free_span(span);
+        transfer::write_page(dram, ready, dst, class);
+        self.dir.place_uncompressed(page, dst);
+        self.recency.touch(page);
+        (dst, ready)
+    }
+
+    /// Compresses an uncompressed page into a tightly fitting hole,
+    /// freeing its DRAM page. Returns the completion time.
+    ///
+    /// If no hole fits, the compressed span is placed at the start of the
+    /// page's *own* DRAM page (guaranteeing progress under zero free
+    /// memory) and the remainder is freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not uncompressed.
+    pub fn compact_page(&mut self, dram: &mut Dram, now: Time, page: PageId) -> Time {
+        let Some(PageState::Uncompressed(src)) = self.dir.state(page) else {
+            panic!("compact_page called on non-uncompressed page {page}");
+        };
+        let size = self.compressed_size(page);
+        let read_done = transfer::read_page(dram, now, src, RequestClass::Compression);
+        let compressed_at = read_done + compression_latency(PAGE_BYTES);
+
+        self.dir.detach(page);
+        self.recency.remove(page);
+        let span = if let Some(span) = self.free.alloc_span(size) {
+            self.free.add_page(src);
+            span
+        } else {
+            // In-place fallback: reuse the victim's own page.
+            let span = Span::new(src, 0, size);
+            if (size as u64) < PAGE_BYTES {
+                self.free
+                    .free_span(Span::new(src, size, PAGE_BYTES as u32 - size));
+            }
+            span
+        };
+        let done = transfer::write_span(dram, compressed_at, span, RequestClass::Compression);
+        self.dir.place_compressed(page, span);
+        done
+    }
+
+    /// Demand-adaptive compaction: compresses recency-tail victims until at
+    /// least `target` whole pages are free (or no victims remain). Returns
+    /// when the compaction traffic completes.
+    pub fn compact_until(&mut self, dram: &mut Dram, now: Time, target: u64) -> Time {
+        let mut t = now;
+        let mut guard = self.recency.len() + 1;
+        while (self.free.free_page_count() as u64) < target && guard > 0 {
+            guard -= 1;
+            let Some(victim) = self.recency.tail() else {
+                break;
+            };
+            t = self.compact_page(dram, t, victim);
+        }
+        t
+    }
+
+    /// Runs background compaction toward the configured free target.
+    /// Returns the number of pages compacted.
+    pub fn maintain(&mut self, dram: &mut Dram, now: Time) -> u64 {
+        let before = self.recency.len();
+        self.compact_until(dram, now, self.free_target_pages);
+        (before - self.recency.len()) as u64
+    }
+
+    /// Moves an uncompressed page to a *specific* free DRAM page (the
+    /// caller must have reserved `dst`, e.g. via
+    /// [`FreeSpace::take_specific_page`]). Returns completion time and
+    /// frees the source page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not uncompressed.
+    pub fn move_uncompressed(
+        &mut self,
+        dram: &mut Dram,
+        now: Time,
+        page: PageId,
+        dst: DramPageId,
+        class: RequestClass,
+    ) -> Time {
+        let Some(PageState::Uncompressed(src)) = self.dir.state(page) else {
+            panic!("move_uncompressed called on non-uncompressed page {page}");
+        };
+        let done = transfer::copy_page(dram, now, src, dst, class);
+        self.dir.detach(page);
+        self.free.add_page(src);
+        self.dir.place_uncompressed(page, dst);
+        done
+    }
+
+    /// Checks internal consistency (used by tests): every OS page placed,
+    /// free bytes + used bytes == data bytes.
+    pub fn check_invariants(&self, data_pages: u64) {
+        let mut used = 0u64;
+        for p in 0..self.dir.os_pages() {
+            match self.dir.state(PageId::new(p)) {
+                Some(PageState::Uncompressed(_)) => used += PAGE_BYTES,
+                Some(PageState::Compressed(s)) => used += s.len as u64,
+                None => panic!("page {p} unplaced"),
+            }
+        }
+        assert_eq!(
+            used + self.free.free_bytes(),
+            data_pages * PAGE_BYTES,
+            "space accounting broken"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::paper(1 << 30, 8))
+    }
+
+    fn store(os_pages: u64, data_pages: u64) -> CompressedStore {
+        CompressedStore::pack(
+            os_pages,
+            data_pages,
+            CompressibilityProfile::with_mean_ratio("t", 3.0),
+            7,
+            4,
+        )
+    }
+
+    #[test]
+    fn pack_fits_and_meets_free_target() {
+        let s = store(1000, 700);
+        s.check_invariants(700);
+        assert!(s.free.free_page_count() >= 4);
+        let (unc, comp) = s.dir.census();
+        assert_eq!(unc + comp, 1000);
+        assert!(comp > 0, "pressure should force compression");
+        assert!(unc > 0, "some pages should stay uncompressed");
+    }
+
+    #[test]
+    fn pack_uncompressed_when_plenty_of_room() {
+        let s = store(100, 200);
+        let (unc, comp) = s.dir.census();
+        assert_eq!(unc, 100);
+        assert_eq!(comp, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_rejects_impossible_fit() {
+        let _ = store(1000, 50);
+    }
+
+    #[test]
+    fn expand_round_trip() {
+        let mut s = store(1000, 700);
+        let mut d = dram();
+        let victim = (0..1000)
+            .map(PageId::new)
+            .find(|&p| s.is_compressed(p))
+            .expect("some compressed page");
+        let (dst, ready) = s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
+        assert!(ready.as_ns() >= 280.0, "must include decompression");
+        assert_eq!(
+            s.dir.state(victim),
+            Some(PageState::Uncompressed(dst))
+        );
+        assert!(s.recency.contains(victim));
+        s.check_invariants(700);
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let mut s = store(1000, 700);
+        let mut d = dram();
+        // Pick a compressible uncompressed victim (an incompressible one
+        // would legally free zero bytes).
+        let victim = (0..1000)
+            .map(PageId::new)
+            .find(|&p| !s.is_compressed(p) && (s.compressed_size(p) as u64) < PAGE_BYTES)
+            .expect("some compressible uncompressed page");
+        let before_free = s.free.free_bytes();
+        s.compact_page(&mut d, Time::ZERO, victim);
+        assert!(s.is_compressed(victim));
+        assert!(!s.recency.contains(victim));
+        assert!(s.free.free_bytes() > before_free);
+        s.check_invariants(700);
+    }
+
+    #[test]
+    fn compact_until_replenishes_free_pages() {
+        let mut s = store(1000, 700);
+        let mut d = dram();
+        // Drain the free list.
+        while s.free.take_any_page().is_some() {}
+        // Freed pages vanished from accounting; re-add as in-use elsewhere is
+        // not possible, so rebuild a smaller scenario: expand until free
+        // pages run dry instead.
+        let mut s = store(1000, 700);
+        while s.free.free_page_count() > 0 {
+            let Some(victim) = (0..1000).map(PageId::new).find(|&p| s.is_compressed(p)) else {
+                break;
+            };
+            s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
+        }
+        let t = s.compact_until(&mut d, Time::ZERO, 4);
+        assert!(s.free.free_page_count() >= 4);
+        assert!(t > Time::ZERO);
+        s.check_invariants(700);
+    }
+
+    #[test]
+    fn expand_compacts_synchronously_when_dry() {
+        let mut s = store(1000, 700);
+        let mut d = dram();
+        // Exhaust free pages via expansions.
+        while s.free.free_page_count() > 0 {
+            let victim = (0..1000)
+                .map(PageId::new)
+                .find(|&p| s.is_compressed(p))
+                .unwrap();
+            s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
+        }
+        let victim = (0..1000)
+            .map(PageId::new)
+            .find(|&p| s.is_compressed(p))
+            .unwrap();
+        let (_, ready) = s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
+        assert!(ready > Time::ZERO);
+        s.check_invariants(700);
+    }
+
+    #[test]
+    fn move_uncompressed_to_specific_page() {
+        let mut s = store(100, 200);
+        let mut d = dram();
+        let page = PageId::new(5);
+        let dst = s.free.take_any_page().unwrap();
+        let done = s.move_uncompressed(&mut d, Time::ZERO, page, dst, RequestClass::Migration);
+        assert_eq!(s.dir.state(page), Some(PageState::Uncompressed(dst)));
+        assert!(done > Time::ZERO);
+        s.check_invariants(200);
+    }
+
+    #[test]
+    fn maintain_reports_compactions() {
+        let mut s = store(1000, 700);
+        let mut d = dram();
+        while s.free.free_page_count() > 2 {
+            let Some(victim) = (0..1000).map(PageId::new).find(|&p| s.is_compressed(p)) else {
+                break;
+            };
+            s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
+        }
+        let n = s.maintain(&mut d, Time::ZERO);
+        assert!(n > 0);
+        assert!(s.free.free_page_count() >= 4);
+    }
+}
+
+#[cfg(test)]
+mod granular_tests {
+    use super::*;
+    use crate::directory::PageState;
+
+    #[test]
+    fn granules_stay_together() {
+        let s = CompressedStore::pack_granular(
+            1024,
+            700,
+            CompressibilityProfile::with_mean_ratio("t", 3.0),
+            5,
+            4,
+            16,
+        );
+        s.check_invariants(700);
+        for g in 0..(1024 / 16) {
+            let states: Vec<bool> = (g * 16..(g + 1) * 16)
+                .map(|p| matches!(s.dir.state(PageId::new(p)), Some(PageState::Compressed(_))))
+                .collect();
+            assert!(
+                states.iter().all(|&x| x) || states.iter().all(|&x| !x),
+                "granule {g} split: {states:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_last_granule_is_handled() {
+        let s = CompressedStore::pack_granular(
+            1000, // not divisible by 16
+            700,
+            CompressibilityProfile::with_mean_ratio("t", 3.0),
+            5,
+            4,
+            16,
+        );
+        s.check_invariants(700);
+        let (unc, comp) = s.dir.census();
+        assert_eq!(unc + comp, 1000);
+    }
+}

@@ -1,0 +1,237 @@
+//! Address-space newtypes.
+//!
+//! The simulator juggles three address spaces (virtual, OS-physical, and
+//! machine-physical — see the crate docs). Each gets its own newtype so they
+//! cannot be confused. Page identifiers likewise come in two flavors:
+//! [`PageId`] indexes 4 KB pages of *OS-visible* memory (what a CTE
+//! translates *for*) while [`DramPageId`] indexes 4 KB frames of *actual
+//! DRAM* (what a CTE translates *to*).
+
+use std::fmt;
+
+/// Size of a cache block / DRAM burst in bytes.
+pub const BLOCK_BYTES: u64 = 64;
+/// Size of a standard OS page in bytes.
+pub const PAGE_BYTES: u64 = 4096;
+/// Size of an x86 huge page in bytes.
+pub const HUGE_PAGE_BYTES: u64 = 2 * 1024 * 1024;
+/// Number of 64 B blocks in a 4 KB page.
+pub const BLOCKS_PER_PAGE: u64 = PAGE_BYTES / BLOCK_BYTES;
+/// Number of 4 KB pages in a 2 MB huge page.
+pub const PAGES_PER_HUGE_PAGE: u64 = HUGE_PAGE_BYTES / PAGE_BYTES;
+
+macro_rules! addr_newtype {
+    ($(#[$meta:meta])* $name:ident, $page:ty, $page_ctor:expr) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw byte address.
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw byte address.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the 4 KB page this address falls in.
+            #[inline]
+            pub const fn page(self) -> $page {
+                $page_ctor(self.0 / PAGE_BYTES)
+            }
+
+            /// Returns the byte offset within the 4 KB page.
+            #[inline]
+            pub const fn page_offset(self) -> u64 {
+                self.0 % PAGE_BYTES
+            }
+
+            /// Returns the address rounded down to its 64 B block.
+            #[inline]
+            pub const fn block_base(self) -> Self {
+                Self(self.0 / BLOCK_BYTES * BLOCK_BYTES)
+            }
+
+            /// Returns the global 64 B block index of this address.
+            #[inline]
+            pub const fn block_index(self) -> u64 {
+                self.0 / BLOCK_BYTES
+            }
+
+            /// Returns this address displaced by `bytes`.
+            #[inline]
+            pub const fn offset(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:#x})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:#x}", self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_newtype!(
+    /// A virtual address as seen by the running program.
+    VirtAddr,
+    PageId,
+    PageId::new
+);
+addr_newtype!(
+    /// An OS-visible physical address (the output of the TLB / page tables).
+    ///
+    /// Under hardware memory compression this space can be *larger* than
+    /// installed DRAM; it is the input of the MC-managed CTE translation.
+    PhysAddr,
+    PageId,
+    PageId::new
+);
+addr_newtype!(
+    /// A machine-physical address: a location in actual DRAM, the output of
+    /// CTE translation and the input of the DRAM address-mapping function.
+    MachineAddr,
+    DramPageId,
+    DramPageId::new
+);
+
+macro_rules! page_newtype {
+    ($(#[$meta:meta])* $name:ident, $addr:ty) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 4 KB-page index.
+            #[inline]
+            pub const fn new(index: u64) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw page index.
+            #[inline]
+            pub const fn index(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the byte address of the first byte of this page.
+            #[inline]
+            pub const fn base_addr(self) -> $addr {
+                <$addr>::new(self.0 * PAGE_BYTES)
+            }
+
+            /// Returns the byte address at `offset` within this page.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `offset >= PAGE_BYTES`.
+            #[inline]
+            pub fn addr_at(self, offset: u64) -> $addr {
+                debug_assert!(offset < PAGE_BYTES, "offset {offset} out of page");
+                <$addr>::new(self.0 * PAGE_BYTES + offset)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+page_newtype!(
+    /// Index of a 4 KB page of OS-visible memory.
+    ///
+    /// The paper calls every 4 KB range of OS-visible memory "an OS page"
+    /// regardless of whether it stands alone or is part of a huge page; the
+    /// flat CTE table has one entry per `PageId`.
+    PageId,
+    PhysAddr
+);
+page_newtype!(
+    /// Index of a 4 KB frame of actual DRAM.
+    DramPageId,
+    MachineAddr
+);
+
+impl PageId {
+    /// Returns the 2 MB huge-page index containing this OS page.
+    #[inline]
+    pub const fn huge_page(self) -> u64 {
+        self.0 / PAGES_PER_HUGE_PAGE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset() {
+        let a = PhysAddr::new(3 * PAGE_BYTES + 100);
+        assert_eq!(a.page(), PageId::new(3));
+        assert_eq!(a.page_offset(), 100);
+    }
+
+    #[test]
+    fn block_rounding() {
+        let a = MachineAddr::new(130);
+        assert_eq!(a.block_base(), MachineAddr::new(128));
+        assert_eq!(a.block_index(), 2);
+    }
+
+    #[test]
+    fn page_base_and_addr_at() {
+        let p = DramPageId::new(7);
+        assert_eq!(p.base_addr(), MachineAddr::new(7 * PAGE_BYTES));
+        assert_eq!(p.addr_at(64), MachineAddr::new(7 * PAGE_BYTES + 64));
+        assert_eq!(p.base_addr().page(), p);
+    }
+
+    #[test]
+    fn huge_page_grouping() {
+        assert_eq!(PageId::new(511).huge_page(), 0);
+        assert_eq!(PageId::new(512).huge_page(), 1);
+        assert_eq!(PAGES_PER_HUGE_PAGE, 512);
+    }
+
+    #[test]
+    fn distinct_types_format() {
+        let v = VirtAddr::new(0x1000);
+        let p = PhysAddr::new(0x1000);
+        assert_eq!(format!("{v:?}"), "VirtAddr(0x1000)");
+        assert_eq!(format!("{p:?}"), "PhysAddr(0x1000)");
+        assert_eq!(format!("{p:x}"), "1000");
+    }
+
+    #[test]
+    fn offset_moves_forward() {
+        let a = PhysAddr::new(0x40);
+        assert_eq!(a.offset(0x40), PhysAddr::new(0x80));
+    }
+}

@@ -1,0 +1,365 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Everything random in the simulator — workload address streams, sampled
+//! access counters, replacement tie-breaks — flows from [`Rng`]
+//! (xoshiro256\*\*, seeded via SplitMix64). No wall-clock entropy is ever
+//! used, so a simulation with a fixed seed is bit-for-bit reproducible.
+//!
+//! [`hash64`] is exposed separately for *stateless* determinism: properties
+//! that must be stable for the lifetime of an object (e.g. the compressed
+//! size of a given page) are derived by hashing its identity rather than by
+//! drawing from a stream.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+///
+/// Used to derive per-object stable pseudo-random values (e.g. a page's
+/// compressibility) from its identity, and to expand seeds.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::rng::hash64;
+/// assert_eq!(hash64(42), hash64(42));
+/// assert_ne!(hash64(42), hash64(43));
+/// ```
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines two 64-bit values into one hash; convenient for keyed lookups
+/// like `hash2(seed, page_id)`.
+#[inline]
+pub fn hash2(a: u64, b: u64) -> u64 {
+    hash64(a ^ hash64(b))
+}
+
+/// A deterministic xoshiro256\*\* generator.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::rng::Rng;
+///
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed; any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // Expand the seed through SplitMix64 as the xoshiro authors recommend.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            hash64(x)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng { s }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Lemire's multiply-shift rejection method (unbiased).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Returns a uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Forks an independent generator; the fork is deterministic in
+    /// `(self state, label)` so parallel components can get decorrelated
+    /// streams from one root seed.
+    pub fn fork(&mut self, label: u64) -> Rng {
+        Rng::new(self.next_u64() ^ hash64(label))
+    }
+}
+
+/// A Zipf(θ) sampler over `0..n` using Hörmann's rejection-inversion method.
+///
+/// Used by workload generators to model skewed page popularity: irregular
+/// workloads touch a few pages very often and many pages rarely, which is
+/// precisely what makes dynamic short/long CTE selection (DyLeCT's core idea)
+/// profitable.
+///
+/// `theta = 0` degenerates to a uniform distribution; typical workload skews
+/// are 0.6–1.1.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::rng::{Rng, Zipf};
+///
+/// let mut rng = Rng::new(1);
+/// let zipf = Zipf::new(1000, 0.99);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/not finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid Zipf skew {theta}");
+        let h_integral = |x: f64| -> f64 {
+            let log_x = x.ln();
+            if (1.0 - theta).abs() < 1e-12 {
+                log_x
+            } else {
+                (((1.0 - theta) * log_x).exp() - 1.0) / (1.0 - theta)
+            }
+        };
+        let h = |x: f64| -> f64 { (-theta * x.ln()).exp() };
+        Zipf {
+            n,
+            theta,
+            h_integral_x1: h_integral(1.5),
+            h_integral_n: h_integral(n as f64 + 0.5),
+            s: 2.0 - {
+                // h_integral_inverse(h_integral(2.5) - h(2.5)) as in Hörmann.
+                let t = h_integral(2.5) - h(2.5);
+                Self::h_integral_inverse_raw(t, theta)
+            },
+        }
+    }
+
+    fn h_integral_inverse_raw(x: f64, theta: f64) -> f64 {
+        let mut t = x * (1.0 - theta);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        if (1.0 - theta).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (t.ln_1p() / (1.0 - theta)).exp()
+        }
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        let log_x = x.ln();
+        if (1.0 - self.theta).abs() < 1e-12 {
+            log_x
+        } else {
+            (((1.0 - self.theta) * log_x).exp() - 1.0) / (1.0 - self.theta)
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        (-self.theta * x.ln()).exp()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.next_below(self.n);
+        }
+        loop {
+            let u = self.h_integral_n
+                + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse_raw(u, self.theta);
+            let mut k = (x + 0.5) as u64;
+            k = k.clamp(1, self.n);
+            let kf = k as f64;
+            if x >= kf - 0.5 && x <= kf + 0.5 {
+                // Always-accept shortcut region near the mode.
+                if kf - x <= self.s
+                    || u >= self.h_integral(kf + 0.5) - self.h(kf)
+                {
+                    return k - 1;
+                }
+            }
+        }
+    }
+
+    /// Returns the domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut rng = Rng::new(9);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut rng = Rng::new(5);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[rng.next_below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.1));
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = Rng::new(11);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut rng = Rng::new(42);
+        let zipf = Zipf::new(10_000, 0.99);
+        let samples = 50_000;
+        let mut head = 0u32;
+        for _ in 0..samples {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 the top 1% of ranks should absorb far more than 1%
+        // of accesses (analytically ~48%); demand at least 30%.
+        assert!(head as f64 / samples as f64 > 0.30, "head share too small");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut rng = Rng::new(8);
+        let zipf = Zipf::new(4, 0.0);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn zipf_stays_in_domain() {
+        let mut rng = Rng::new(13);
+        for theta in [0.2, 0.8, 1.0, 1.3] {
+            let zipf = Zipf::new(37, theta);
+            for _ in 0..2000 {
+                assert!(zipf.sample(&mut rng) < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn hash2_is_keyed() {
+        assert_ne!(hash2(1, 2), hash2(2, 1));
+        assert_eq!(hash2(5, 9), hash2(5, 9));
+    }
+}

@@ -1,0 +1,273 @@
+//! Lightweight statistics primitives used across the simulator.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::stats::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.incr();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Folds another counter into this one.
+    #[inline]
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+
+    /// Returns this count as a fraction of `total` (0 when `total` is 0).
+    #[inline]
+    pub fn fraction_of(self, total: u64) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.0 as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+/// Accumulates samples for a mean (e.g. average miss latency).
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::stats::MeanAccumulator;
+///
+/// let mut m = MeanAccumulator::default();
+/// m.record(10.0);
+/// m.record(30.0);
+/// assert_eq!(m.mean(), 20.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Copy, Clone, Default, Debug, PartialEq)]
+pub struct MeanAccumulator {
+    sum: f64,
+    count: u64,
+}
+
+impl MeanAccumulator {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: f64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// Records a [`Time`] sample in nanoseconds.
+    #[inline]
+    pub fn record_time_ns(&mut self, t: Time) {
+        self.record(t.as_ns());
+    }
+
+    /// Returns the mean of all samples (0 if no samples).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Returns the number of samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the running sum.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Folds another accumulator's samples into this one (used when
+    /// aggregating statistics across memory controllers).
+    #[inline]
+    pub fn merge(&mut self, other: &MeanAccumulator) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A power-of-two-bucketed latency histogram (bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds, bucket 0 holds `[0, 2)` ns).
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::stats::LatencyHistogram;
+/// use dylect_sim_core::Time;
+///
+/// let mut h = LatencyHistogram::new();
+/// h.record(Time::from_ns(100.0));
+/// assert_eq!(h.total(), 1);
+/// assert!(h.percentile(0.5).as_ns() >= 64.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 32],
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, t: Time) {
+        let ns = (t.as_ps() / 1000).max(1);
+        let bucket = (63 - ns.leading_zeros()) as usize;
+        let bucket = bucket.min(self.buckets.len() - 1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Returns the total number of samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Returns an upper bound of the latency at quantile `q` in `[0, 1]`.
+    ///
+    /// Returns [`Time::ZERO`] for an empty histogram.
+    pub fn percentile(&self, q: f64) -> Time {
+        let total = self.total();
+        if total == 0 {
+            return Time::ZERO;
+        }
+        let target = ((total as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Time::from_ps(1000 << (i + 1));
+            }
+        }
+        Time::MAX
+    }
+
+    /// Iterates over `(bucket_lower_bound_ns, count)` pairs for non-empty
+    /// buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+    }
+}
+
+/// Divides two counters into a rate, guarding the zero-denominator case.
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.fraction_of(10), 0.5);
+        assert_eq!(c.fraction_of(0), 0.0);
+    }
+
+    #[test]
+    fn mean_accumulator() {
+        let mut m = MeanAccumulator::default();
+        assert_eq!(m.mean(), 0.0);
+        m.record(2.0);
+        m.record(4.0);
+        assert_eq!(m.mean(), 3.0);
+        m.record_time_ns(Time::from_ns(6.0));
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.mean(), 4.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Time::from_ns(10.0));
+        }
+        for _ in 0..10 {
+            h.record(Time::from_ns(1000.0));
+        }
+        assert_eq!(h.total(), 100);
+        assert!(h.percentile(0.5).as_ns() <= 16.0 * 2.0);
+        assert!(h.percentile(0.99).as_ns() >= 512.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), Time::ZERO);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty() {
+        let mut h = LatencyHistogram::new();
+        h.record(Time::from_ns(3.0));
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].1, 1);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(1, 0), 0.0);
+        assert_eq!(ratio(1, 2), 0.5);
+    }
+}

@@ -1,0 +1,237 @@
+//! Picosecond-resolution simulation time.
+//!
+//! A single [`Time`] type serves as both instant and duration, mirroring how
+//! architectural simulators treat time as a monotonically increasing scalar.
+//! Picoseconds are fine enough to express DDR4 bus clocks (625 ps at
+//! DDR4-3200) and CPU clocks (357 ps at 2.8 GHz) without rounding drift, and
+//! a `u64` of picoseconds still covers ~213 days of simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::Time;
+///
+/// let t_cl = Time::from_ns(13.75);
+/// let later = Time::ZERO + t_cl * 3;
+/// assert_eq!(later.as_ns(), 41.25);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The origin of simulated time (also the zero duration).
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; useful as an "infinite" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from (possibly fractional) nanoseconds, rounding to the
+    /// nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value: {ns}");
+        Time((ns * 1000.0).round() as u64)
+    }
+
+    /// Creates a time from whole microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Returns the raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in nanoseconds as a float (lossless for < 2^53 ps).
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Returns the time in seconds as a float.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Subtraction that clamps at zero instead of panicking.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Addition that clamps at [`Time::MAX`] instead of wrapping.
+    #[inline]
+    pub fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+
+    /// Integer division of one span by another, e.g. to count clock edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is [`Time::ZERO`].
+    #[inline]
+    pub fn div_duration(self, unit: Time) -> u64 {
+        assert!(unit.0 != 0, "division by zero duration");
+        self.0 / unit.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({} ps)", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3} ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_roundtrip() {
+        let t = Time::from_ns(13.75);
+        assert_eq!(t.as_ps(), 13_750);
+        assert_eq!(t.as_ns(), 13.75);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ps(100);
+        let b = Time::from_ps(40);
+        assert_eq!((a + b).as_ps(), 140);
+        assert_eq!((a - b).as_ps(), 60);
+        assert_eq!((a * 3).as_ps(), 300);
+        assert_eq!((a / 4).as_ps(), 25);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn saturating() {
+        let a = Time::from_ps(10);
+        let b = Time::from_ps(30);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(a), Time::MAX);
+    }
+
+    #[test]
+    fn div_duration_counts_edges() {
+        let window = Time::from_ns(10.0);
+        let tick = Time::from_ps(625);
+        assert_eq!(window.div_duration(tick), 16);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Time::from_ps(500).to_string(), "500 ps");
+        assert_eq!(Time::from_ns(2.5).to_string(), "2.500 ns");
+        assert_eq!(Time::from_us(3).to_string(), "3.000 us");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Time = [1u64, 2, 3].iter().map(|&p| Time::from_ps(p)).sum();
+        assert_eq!(total.as_ps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid nanosecond")]
+    fn rejects_negative_ns() {
+        let _ = Time::from_ns(-1.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Trace vocabulary: the memory-operation stream workloads feed to cores.
+
+use crate::addr::VirtAddr;
+
+/// One memory instruction in a workload trace.
+///
+/// `work` counts the non-memory instructions the core executes before this
+/// operation (they retire at full pipeline width); `dep_on_prev` marks a
+/// pointer-chasing dependency — the access cannot issue until the previous
+/// memory operation's value has returned, which is what makes irregular
+/// workloads latency-bound rather than bandwidth-bound.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Virtual byte address accessed.
+    pub vaddr: VirtAddr,
+    /// Store (true) or load (false).
+    pub write: bool,
+    /// Non-memory instructions preceding this operation.
+    pub work: u16,
+    /// Whether this access depends on the previous access's result.
+    pub dep_on_prev: bool,
+}
+
+impl MemOp {
+    /// Convenience constructor for an independent load.
+    pub fn load(vaddr: VirtAddr, work: u16) -> Self {
+        MemOp {
+            vaddr,
+            write: false,
+            work,
+            dep_on_prev: false,
+        }
+    }
+
+    /// Convenience constructor for an independent store.
+    pub fn store(vaddr: VirtAddr, work: u16) -> Self {
+        MemOp {
+            vaddr,
+            write: true,
+            work,
+            dep_on_prev: false,
+        }
+    }
+
+    /// Marks this operation as dependent on the previous one.
+    pub fn dependent(mut self) -> Self {
+        self.dep_on_prev = true;
+        self
+    }
+
+    /// Total instructions this op contributes (itself + its work).
+    pub fn instructions(&self) -> u64 {
+        self.work as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let l = MemOp::load(VirtAddr::new(0x40), 10);
+        assert!(!l.write);
+        assert_eq!(l.instructions(), 11);
+        let s = MemOp::store(VirtAddr::new(0x80), 0).dependent();
+        assert!(s.write);
+        assert!(s.dep_on_prev);
+        assert_eq!(s.instructions(), 1);
+    }
+}

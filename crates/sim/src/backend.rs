@@ -1,0 +1,315 @@
+//! The shared memory system: L3 + compressed-memory controller(s) + DRAM.
+//!
+//! Like all prior works, DyLeCT is a module *within* a memory controller;
+//! systems with multiple MCs run one independent module per MC, each
+//! compressing only its locally-attached DRAM with no cross-MC coherence
+//! (paper §IV-D). [`SharedMemory`] therefore holds one or more
+//! `(scheme, DRAM)` pairs and routes each physical page to its home MC by
+//! page-granular interleaving; statistics aggregate across MCs.
+
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_cpu::{BackendOp, MemoryBackend};
+use dylect_dram::{Dram, DramStats, EnergyBreakdown};
+use dylect_memctl::{McStats, MemoryScheme, Occupancy};
+use dylect_sim_core::stats::{Counter, MeanAccumulator};
+use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES, PAGE_BYTES};
+
+/// Statistics of the shared side of the hierarchy.
+#[derive(Clone, Debug, Default)]
+pub struct SharedStats {
+    /// L3 hits.
+    pub l3_hits: Counter,
+    /// L3 misses (demand + walks + prefetches).
+    pub l3_misses: Counter,
+    /// Mean demand L3-miss service latency, ns.
+    pub l3_miss_latency: MeanAccumulator,
+    /// Mean compressed-memory overhead per demand L3 miss, ns — the
+    /// Figure 21 "L3 miss latency adder".
+    pub l3_miss_overhead: MeanAccumulator,
+}
+
+/// One memory controller and its locally-attached DRAM.
+struct McUnit {
+    scheme: Box<dyn MemoryScheme>,
+    dram: Dram,
+}
+
+/// Everything below the cores' private caches.
+pub struct SharedMemory {
+    l3: SetAssocCache,
+    mcs: Vec<McUnit>,
+    l3_latency: Time,
+    stats: SharedStats,
+}
+
+impl SharedMemory {
+    /// Assembles a single-MC hierarchy (the paper's evaluated
+    /// configuration).
+    pub fn new(
+        l3_bytes: u64,
+        l3_ways: u32,
+        l3_latency: Time,
+        scheme: Box<dyn MemoryScheme>,
+        dram: Dram,
+    ) -> Self {
+        Self::new_multi(l3_bytes, l3_ways, l3_latency, vec![(scheme, dram)])
+    }
+
+    /// Assembles a hierarchy with one scheme+DRAM pair per memory
+    /// controller. OS pages interleave across MCs page-granularly: page `p`
+    /// is served by MC `p % n` and appears to that MC as its local page
+    /// `p / n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mcs` is empty.
+    pub fn new_multi(
+        l3_bytes: u64,
+        l3_ways: u32,
+        l3_latency: Time,
+        mcs: Vec<(Box<dyn MemoryScheme>, Dram)>,
+    ) -> Self {
+        assert!(!mcs.is_empty(), "at least one memory controller");
+        SharedMemory {
+            l3: SetAssocCache::new(CacheConfig::lru(l3_bytes, l3_ways, BLOCK_BYTES)),
+            mcs: mcs
+                .into_iter()
+                .map(|(scheme, dram)| McUnit { scheme, dram })
+                .collect(),
+            l3_latency,
+            stats: SharedStats::default(),
+        }
+    }
+
+    /// Number of memory controllers.
+    pub fn mc_count(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// The first MC's scheme (the only one in single-MC configurations).
+    pub fn scheme(&self) -> &dyn MemoryScheme {
+        self.mcs[0].scheme.as_ref()
+    }
+
+    /// The first MC's DRAM (the only one in single-MC configurations).
+    pub fn dram(&self) -> &Dram {
+        &self.mcs[0].dram
+    }
+
+    /// Scheme statistics aggregated across all MCs.
+    pub fn mc_stats(&self) -> McStats {
+        let mut agg = McStats::default();
+        for mc in &self.mcs {
+            agg.merge(mc.scheme.stats());
+        }
+        agg
+    }
+
+    /// DRAM statistics aggregated across all MCs.
+    pub fn dram_stats(&self) -> DramStats {
+        let mut agg = DramStats::default();
+        for mc in &self.mcs {
+            agg.merge(mc.dram.stats());
+        }
+        agg
+    }
+
+    /// Memory-level census aggregated across all MCs.
+    pub fn occupancy(&self) -> Occupancy {
+        let mut agg = Occupancy::default();
+        for mc in &self.mcs {
+            agg.merge(&mc.scheme.occupancy());
+        }
+        agg
+    }
+
+    /// DRAM energy over `elapsed`, aggregated across all MCs.
+    pub fn energy(&self, elapsed: Time) -> EnergyBreakdown {
+        let mut agg = EnergyBreakdown::default();
+        for mc in &self.mcs {
+            agg.merge(&mc.dram.energy(elapsed));
+        }
+        agg
+    }
+
+    /// Forwards warmup acceleration to every scheme.
+    pub fn set_warmup(&mut self, warmup: bool) {
+        for mc in &mut self.mcs {
+            mc.scheme.set_warmup(warmup);
+        }
+    }
+
+    /// Shared-side statistics.
+    pub fn stats(&self) -> &SharedStats {
+        &self.stats
+    }
+
+    /// Resets all shared-side statistics after warmup.
+    pub fn reset_stats(&mut self) {
+        self.stats = SharedStats::default();
+        self.l3.reset_stats();
+        for mc in &mut self.mcs {
+            mc.scheme.reset_stats();
+            mc.dram.reset_stats();
+        }
+    }
+
+    /// Routes a global physical address to `(mc index, local address)`.
+    /// Pages interleave across MCs; block offsets are preserved.
+    fn route(&self, addr: PhysAddr) -> (usize, PhysAddr) {
+        let n = self.mcs.len() as u64;
+        if n == 1 {
+            return (0, addr);
+        }
+        let page = addr.page().index();
+        let local = PhysAddr::new((page / n) * PAGE_BYTES + addr.page_offset());
+        ((page % n) as usize, local)
+    }
+
+    fn mc_access(&mut self, now: Time, addr: PhysAddr, write: bool) -> dylect_memctl::McResponse {
+        let (idx, local) = self.route(addr);
+        let mc = &mut self.mcs[idx];
+        mc.scheme.access(now, local, write, &mut mc.dram)
+    }
+
+    fn spill(&mut self, now: Time, key: u64, dirty: bool) {
+        if let Some(ev) = self.l3.fill(key, dirty, ()) {
+            if ev.dirty {
+                let addr = PhysAddr::new(ev.key * BLOCK_BYTES);
+                self.mc_access(now, addr, true);
+            }
+        }
+    }
+}
+
+impl MemoryBackend for SharedMemory {
+    fn access(&mut self, now: Time, addr: PhysAddr, op: BackendOp) -> Time {
+        let key = self.l3.key_of(addr.raw());
+        match op {
+            BackendOp::Writeback => {
+                // L2 dirty spills install into L3; latency is off the
+                // critical path.
+                self.spill(now, key, true);
+                now
+            }
+            BackendOp::Read | BackendOp::PageWalk | BackendOp::Prefetch => {
+                if self.l3.access(key) {
+                    self.stats.l3_hits.incr();
+                    return now + self.l3_latency;
+                }
+                self.stats.l3_misses.incr();
+                let resp = self.mc_access(now + self.l3_latency, addr, false);
+                if op == BackendOp::Read {
+                    self.stats
+                        .l3_miss_latency
+                        .record_time_ns(resp.data_ready.saturating_sub(now));
+                    self.stats.l3_miss_overhead.record_time_ns(resp.overhead);
+                }
+                self.spill(resp.data_ready, key, false);
+                resp.data_ready
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+    use dylect_memctl::NoCompression;
+
+    fn shared() -> SharedMemory {
+        let dram = Dram::new(DramConfig::paper(1 << 28, 8));
+        let scheme = Box::new(NoCompression::new(10_000, &dram));
+        SharedMemory::new(1 << 20, 16, Time::from_ns(23.9), scheme, dram)
+    }
+
+    fn shared_multi(n: usize) -> SharedMemory {
+        let mcs = (0..n)
+            .map(|_| {
+                let dram = Dram::new(DramConfig::paper(1 << 26, 8));
+                let scheme: Box<dyn MemoryScheme> =
+                    Box::new(NoCompression::new(10_000, &dram));
+                (scheme, dram)
+            })
+            .collect();
+        SharedMemory::new_multi(1 << 20, 16, Time::from_ns(23.9), mcs)
+    }
+
+    #[test]
+    fn l3_hit_is_l3_latency() {
+        let mut s = shared();
+        let a = PhysAddr::new(0x1000);
+        let t1 = s.access(Time::ZERO, a, BackendOp::Read);
+        let t2 = s.access(t1, a, BackendOp::Read);
+        assert_eq!(t2 - t1, Time::from_ns(23.9));
+        assert_eq!(s.stats().l3_hits.get(), 1);
+        assert_eq!(s.stats().l3_misses.get(), 1);
+    }
+
+    #[test]
+    fn miss_goes_to_dram() {
+        let mut s = shared();
+        let t = s.access(Time::ZERO, PhysAddr::new(0x2000), BackendOp::Read);
+        // L3 latency + cold DRAM access.
+        assert!(t.as_ns() > 23.9 + 29.0);
+        assert_eq!(s.dram().stats().reads.get(), 1);
+        assert!(s.stats().l3_miss_latency.mean() > 29.0);
+    }
+
+    #[test]
+    fn writeback_fills_dirty_and_spills() {
+        let mut s = shared();
+        // Fill the 1 MB L3 (16384 blocks) with dirty lines; spills follow.
+        for i in 0..20_000u64 {
+            s.access(Time::ZERO, PhysAddr::new(i * 64), BackendOp::Writeback);
+        }
+        assert!(s.dram().stats().writes.get() > 0, "dirty spills reach DRAM");
+    }
+
+    #[test]
+    fn prefetch_misses_do_not_skew_latency_stats() {
+        let mut s = shared();
+        s.access(Time::ZERO, PhysAddr::new(0x9000), BackendOp::Prefetch);
+        assert_eq!(s.stats().l3_miss_latency.count(), 0);
+        assert_eq!(s.stats().l3_misses.get(), 1);
+    }
+
+    #[test]
+    fn multi_mc_routes_pages_round_robin() {
+        let mut s = shared_multi(4);
+        // Pages 0..8 spread across the 4 MCs, two each.
+        for p in 0..8u64 {
+            s.access(Time::ZERO, PhysAddr::new(p * PAGE_BYTES), BackendOp::Read);
+        }
+        let agg = s.dram_stats();
+        assert_eq!(agg.reads.get(), 8);
+        for mc in &s.mcs {
+            assert_eq!(mc.dram.stats().reads.get(), 2, "uneven interleave");
+        }
+    }
+
+    #[test]
+    fn route_preserves_page_offsets_and_is_dense() {
+        let s = shared_multi(4);
+        // Each MC sees its local pages densely packed from zero.
+        let (mc0, a0) = s.route(PhysAddr::new(0));
+        let (mc1, a1) = s.route(PhysAddr::new(PAGE_BYTES + 128));
+        let (mc0b, a0b) = s.route(PhysAddr::new(4 * PAGE_BYTES + 64));
+        assert_eq!((mc0, a0.raw()), (0, 0));
+        assert_eq!((mc1, a1.raw()), (1, 128));
+        assert_eq!((mc0b, a0b.raw()), (0, PAGE_BYTES + 64));
+    }
+
+    #[test]
+    fn aggregated_stats_sum_across_mcs() {
+        let mut s = shared_multi(2);
+        for p in 0..6u64 {
+            s.access(Time::ZERO, PhysAddr::new(p * PAGE_BYTES), BackendOp::Read);
+        }
+        assert_eq!(s.mc_stats().requests.get(), 6);
+        let occ = s.occupancy();
+        assert_eq!(occ.ml1_pages, 20_000, "two baselines of 10k pages each");
+        assert!(s.energy(Time::from_us(10)).total() > 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! `dylect_sim` — command-line front end for the full-system simulator.
+//!
+//! ```text
+//! dylect_sim --bench canneal --scheme dylect --setting high \
+//!            [--scale 16] [--cores 4] [--mcs 1] [--warmup 500000] [--ops 200000]
+//! ```
+//!
+//! Schemes: `none`, `tmcc`, `tmcc-16k`, `tmcc-64k`, `tmcc-128k`, `dylect`,
+//! `dylect-upper`, `naive`. Prints a flat `key\tvalue` report suitable for
+//! scripting.
+
+use dylect_sim::{SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dylect_sim --bench <name> [--scheme none|tmcc|tmcc-16k|tmcc-64k|tmcc-128k|dylect|dylect-upper|naive]\n\
+         \x20                 [--setting low|high] [--scale N] [--cores N] [--mcs N]\n\
+         \x20                 [--warmup OPS] [--ops OPS] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> SchemeKind {
+    match s {
+        "none" => SchemeKind::NoCompression,
+        "tmcc" => SchemeKind::tmcc(),
+        "tmcc-16k" => SchemeKind::Tmcc {
+            granule_pages: 4,
+            cte_cache_bytes: 128 * 1024,
+        },
+        "tmcc-64k" => SchemeKind::Tmcc {
+            granule_pages: 16,
+            cte_cache_bytes: 128 * 1024,
+        },
+        "tmcc-128k" => SchemeKind::Tmcc {
+            granule_pages: 32,
+            cte_cache_bytes: 128 * 1024,
+        },
+        "dylect" => SchemeKind::dylect(),
+        "dylect-upper" => SchemeKind::DylectAlwaysHit { group_size: 3 },
+        "naive" => SchemeKind::NaiveDynamic,
+        other => {
+            eprintln!("unknown scheme {other}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for b in BenchmarkSpec::suite() {
+            println!(
+                "{}\t{}\t{:.1} GiB",
+                b.name,
+                b.suite,
+                b.footprint_bytes as f64 / (1u64 << 30) as f64
+            );
+        }
+        return;
+    }
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let bench = opt("--bench").unwrap_or_else(|| "canneal".to_owned());
+    let scheme = parse_scheme(&opt("--scheme").unwrap_or_else(|| "dylect".to_owned()));
+    let setting = match opt("--setting").as_deref() {
+        Some("low") => CompressionSetting::Low,
+        Some("high") | None => CompressionSetting::High,
+        Some(other) => {
+            eprintln!("unknown setting {other}");
+            usage()
+        }
+    };
+    let scale: u64 = opt("--scale").map_or(16, |v| v.parse().expect("--scale N"));
+    let cores: usize = opt("--cores").map_or(4, |v| v.parse().expect("--cores N"));
+    let mcs: usize = opt("--mcs").map_or(1, |v| v.parse().expect("--mcs N"));
+    let warmup: u64 = opt("--warmup").map_or(500_000, |v| v.parse().expect("--warmup OPS"));
+    let ops: u64 = opt("--ops").map_or(200_000, |v| v.parse().expect("--ops OPS"));
+
+    let Some(spec) = BenchmarkSpec::by_name(&bench) else {
+        eprintln!("unknown benchmark {bench}; try --list");
+        usage()
+    };
+    let mut cfg = SystemConfig::paper(&spec, scheme.clone(), setting);
+    cfg.scale = scale;
+    cfg.cores = cores;
+    cfg.memory_controllers = mcs;
+    cfg.dram_bytes = match scheme {
+        SchemeKind::NoCompression => spec.dram_bytes_no_compression(scale),
+        _ => spec.dram_bytes(setting, scale),
+    };
+    let mut sys = System::new(cfg, &spec);
+    let r = sys.run(warmup, ops);
+
+    println!("benchmark\t{}", r.benchmark);
+    println!("scheme\t{}", r.scheme);
+    println!("instructions\t{}", r.instructions);
+    println!("elapsed_ns\t{:.1}", r.elapsed.as_ns());
+    println!("ips\t{:.6e}", r.ips());
+    println!("stores_per_ns\t{:.6}", r.stores_per_ns());
+    println!("tlb_miss_rate\t{:.6}", r.tlb_miss_rate);
+    println!("cte_hit_rate\t{:.6}", r.mc.cte_hit_rate());
+    println!("cte_pregathered\t{:.6}", r.mc.pregathered_hit_rate());
+    println!("cte_unified\t{:.6}", r.mc.unified_hit_rate());
+    println!("l3_miss_overhead_ns\t{:.3}", r.l3_miss_overhead_ns);
+    println!("ml0_pages\t{}", r.occupancy.ml0_pages);
+    println!("ml1_pages\t{}", r.occupancy.ml1_pages);
+    println!("ml2_pages\t{}", r.occupancy.ml2_pages);
+    println!("traffic_blocks_per_ki\t{:.3}", r.traffic_per_kilo_instruction());
+    println!("bus_utilization\t{:.4}", r.bus_utilization());
+    println!("energy_nj_per_inst\t{:.4}", r.energy_per_instruction_nj());
+}

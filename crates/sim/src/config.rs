@@ -1,0 +1,141 @@
+//! Full-system configuration.
+
+use dylect_cpu::CoreConfig;
+use dylect_sim_core::Time;
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+/// Which memory-controller scheme the system runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchemeKind {
+    /// The bigger conventional system without compression.
+    NoCompression,
+    /// The TMCC baseline at a given compression granule.
+    Tmcc {
+        /// Compression/translation granule in 4 KB pages.
+        granule_pages: u64,
+        /// CTE cache capacity in bytes.
+        cte_cache_bytes: u64,
+    },
+    /// DyLeCT.
+    Dylect {
+        /// DRAM pages per group (3 ⇒ 2-bit short CTEs).
+        group_size: u64,
+        /// CTE cache capacity in bytes.
+        cte_cache_bytes: u64,
+    },
+    /// DyLeCT with a CTE cache that never misses (the upper bound of
+    /// Figure 18).
+    DylectAlwaysHit {
+        /// DRAM pages per group.
+        group_size: u64,
+    },
+    /// The naive dynamic-length strawman (§IV-A3).
+    NaiveDynamic,
+}
+
+impl SchemeKind {
+    /// The paper's DyLeCT configuration.
+    pub fn dylect() -> Self {
+        SchemeKind::Dylect {
+            group_size: 3,
+            cte_cache_bytes: 128 * 1024,
+        }
+    }
+
+    /// The paper's TMCC configuration.
+    pub fn tmcc() -> Self {
+        SchemeKind::Tmcc {
+            granule_pages: 1,
+            cte_cache_bytes: 128 * 1024,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::NoCompression => "no-compression".to_owned(),
+            SchemeKind::Tmcc { granule_pages, .. } => {
+                format!("tmcc-{}k", granule_pages * 4)
+            }
+            SchemeKind::Dylect { group_size, .. } => format!("dylect-g{group_size}"),
+            SchemeKind::DylectAlwaysHit { .. } => "dylect-always-hit".to_owned(),
+            SchemeKind::NaiveDynamic => "naive-dynamic".to_owned(),
+        }
+    }
+}
+
+/// Full-system configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// The memory-controller scheme.
+    pub scheme: SchemeKind,
+    /// Number of cores (paper: 4).
+    pub cores: usize,
+    /// Per-core configuration (caches, TLBs, page mode).
+    pub core: CoreConfig,
+    /// Shared L3 capacity (paper: 2 MB per core).
+    pub l3_bytes: u64,
+    /// L3 associativity.
+    pub l3_ways: u32,
+    /// L3 hit latency (from the core, accumulated: 67 clk at 2.8 GHz).
+    pub l3_latency: Time,
+    /// DRAM capacity in bytes.
+    pub dram_bytes: u64,
+    /// DRAM ranks (per memory controller).
+    pub dram_ranks: u32,
+    /// Independent memory controllers, each with its own scheme module and
+    /// locally-attached DRAM slice (paper §IV-D). The paper evaluates 1.
+    pub memory_controllers: usize,
+    /// Footprint scale denominator (64 ⇒ 1/64 of the paper's sizes).
+    pub scale: u64,
+    /// Root seed for workloads and the scheme.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's system (Table 3) for a benchmark at a compression
+    /// setting, at the default 1/64 scale.
+    pub fn paper(spec: &BenchmarkSpec, scheme: SchemeKind, setting: CompressionSetting) -> Self {
+        let scale = 64;
+        let dram_bytes = match scheme {
+            SchemeKind::NoCompression => spec.dram_bytes_no_compression(scale),
+            _ => spec.dram_bytes(setting, scale),
+        };
+        SystemConfig {
+            scheme,
+            cores: 4,
+            core: CoreConfig::paper(),
+            l3_bytes: 8 * 1024 * 1024,
+            l3_ways: 16,
+            l3_latency: Time::from_ns(23.9),
+            dram_bytes,
+            dram_ranks: 8,
+            memory_controllers: 1,
+            scale,
+            seed: 0xD11E_C7,
+        }
+    }
+
+    /// A smaller, faster configuration for examples and tests: one core,
+    /// 1/512 scale, 1 MB L3.
+    pub fn quick(spec: &BenchmarkSpec, scheme: SchemeKind, setting: CompressionSetting) -> Self {
+        let scale = 512;
+        let dram_bytes = match scheme {
+            SchemeKind::NoCompression => spec.dram_bytes_no_compression(scale),
+            _ => spec.dram_bytes(setting, scale),
+        };
+        SystemConfig {
+            scheme,
+            cores: 1,
+            core: CoreConfig::paper(),
+            l3_bytes: 1024 * 1024,
+            l3_ways: 16,
+            l3_latency: Time::from_ns(23.9),
+            dram_bytes,
+            dram_ranks: 8,
+            memory_controllers: 1,
+            scale,
+            seed: 0xD11E_C7,
+        }
+    }
+}

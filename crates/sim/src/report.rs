@@ -1,0 +1,147 @@
+//! Run results: everything the paper's tables and figures are built from.
+
+use dylect_dram::{DramStats, EnergyBreakdown, RequestClass};
+use dylect_memctl::{McStats, Occupancy};
+use dylect_sim_core::Time;
+
+/// The measured outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Committed instructions in the measurement window.
+    pub instructions: u64,
+    /// Memory operations executed.
+    pub mem_ops: u64,
+    /// Committed stores (the paper's performance metric numerator).
+    pub stores: u64,
+    /// Simulated wall-clock of the measurement window.
+    pub elapsed: Time,
+    /// Aggregate TLB miss rate across cores.
+    pub tlb_miss_rate: f64,
+    /// Page walks performed.
+    pub walks: u64,
+    /// L3 misses (demand + walk + prefetch).
+    pub l3_misses: u64,
+    /// Mean demand L3-miss latency, ns.
+    pub l3_miss_latency_ns: f64,
+    /// Mean compressed-memory latency adder per demand L3 miss, ns
+    /// (Figure 21).
+    pub l3_miss_overhead_ns: f64,
+    /// Scheme statistics snapshot (CTE hit rates, migrations, …).
+    pub mc: McStats,
+    /// DRAM statistics snapshot (traffic per class, row buffer, bus).
+    pub dram: DramStats,
+    /// Memory-level census at the end of the run (Figure 20/25).
+    pub occupancy: Occupancy,
+    /// DRAM energy over the measurement window (Figure 24).
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Instructions per second of simulated time.
+    pub fn ips(&self) -> f64 {
+        if self.elapsed == Time::ZERO {
+            0.0
+        } else {
+            self.instructions as f64 / self.elapsed.as_secs()
+        }
+    }
+
+    /// Committed stores per nanosecond — proportional to the paper's
+    /// "committed store instructions per cycle" metric.
+    pub fn stores_per_ns(&self) -> f64 {
+        if self.elapsed == Time::ZERO {
+            0.0
+        } else {
+            self.stores as f64 / self.elapsed.as_ns()
+        }
+    }
+
+    /// Speedup of this run over a baseline run (performance ratio).
+    pub fn speedup_over(&self, base: &RunReport) -> f64 {
+        let b = base.ips();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.ips() / b
+        }
+    }
+
+    /// Total DRAM traffic in 64 B blocks per kilo-instruction
+    /// (Figure 22's unit, up to normalization).
+    pub fn traffic_per_kilo_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dram.total_blocks() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// CTE-fetch traffic in blocks per kilo-instruction (Figure 23).
+    pub fn cte_traffic_per_kilo_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dram.class_blocks(RequestClass::CteFetch) as f64 * 1000.0
+                / self.instructions as f64
+        }
+    }
+
+    /// DRAM energy per instruction in nanojoules (Figure 24).
+    pub fn energy_per_instruction_nj(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.energy.total() * 1e9 / self.instructions as f64
+        }
+    }
+
+    /// DRAM bus utilization over the window (Figure 17).
+    pub fn bus_utilization(&self) -> f64 {
+        self.dram.bus_utilization(self.elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(instructions: u64, elapsed_ns: f64) -> RunReport {
+        RunReport {
+            benchmark: "x".into(),
+            scheme: "y".into(),
+            instructions,
+            mem_ops: 0,
+            stores: instructions / 4,
+            elapsed: Time::from_ns(elapsed_ns),
+            tlb_miss_rate: 0.0,
+            walks: 0,
+            l3_misses: 0,
+            l3_miss_latency_ns: 0.0,
+            l3_miss_overhead_ns: 0.0,
+            mc: McStats::default(),
+            dram: DramStats::default(),
+            occupancy: Occupancy::default(),
+            energy: EnergyBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn speedup_math() {
+        let fast = dummy(2000, 1000.0);
+        let slow = dummy(1000, 1000.0);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-9);
+        assert_eq!(fast.stores_per_ns(), 0.5);
+    }
+
+    #[test]
+    fn guards_zero_division() {
+        let z = dummy(0, 0.0);
+        assert_eq!(z.ips(), 0.0);
+        assert_eq!(z.traffic_per_kilo_instruction(), 0.0);
+        assert_eq!(z.energy_per_instruction_nj(), 0.0);
+    }
+}

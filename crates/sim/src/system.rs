@@ -1,0 +1,388 @@
+//! The full simulated system and its run loop.
+
+use dylect_core::{Dylect, DylectConfig, NaiveDynamic, NaiveDynamicConfig};
+use dylect_cpu::{Core, PageTableLayout};
+use dylect_dram::{Dram, DramConfig};
+use dylect_memctl::{MemoryScheme, NoCompression};
+use dylect_sim_core::Time;
+use dylect_tmcc::{Tmcc, TmccConfig};
+use dylect_workloads::{BenchmarkSpec, SyntheticWorkload};
+
+use crate::backend::SharedMemory;
+use crate::config::{SchemeKind, SystemConfig};
+use crate::report::RunReport;
+
+/// A complete simulated machine running one benchmark.
+pub struct System {
+    config: SystemConfig,
+    benchmark: String,
+    cores: Vec<Core>,
+    workloads: Vec<SyntheticWorkload>,
+    shared: SharedMemory,
+    measure_start: Time,
+}
+
+impl System {
+    /// Builds the system of `config` running `spec`.
+    ///
+    /// Each core runs its own deterministic shard of the benchmark (same
+    /// page-popularity structure, decorrelated sequences), sharing one
+    /// address space — the paper's multi-threaded execution mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit the configured DRAM (fully
+    /// compressed for compressing schemes, uncompressed for the baseline).
+    pub fn new(config: SystemConfig, spec: &BenchmarkSpec) -> Self {
+        let footprint = spec.footprint_pages(config.scale);
+        let layout = PageTableLayout::new(footprint);
+        let os_pages_total = layout.total_os_pages();
+        let n_mc = config.memory_controllers.max(1) as u64;
+        // Pages interleave across MCs; each MC is sized for its share of the
+        // OS-visible space and of the DRAM (rounded to the 1 MiB geometry
+        // granule).
+        let os_pages = os_pages_total.div_ceil(n_mc);
+        let dram_bytes_per_mc = (config.dram_bytes / n_mc).div_ceil(1 << 20) << 20;
+        let seed = config.seed;
+
+        let mcs: Vec<(Box<dyn MemoryScheme>, Dram)> = (0..n_mc)
+            .map(|mc_idx| {
+                let dram = Dram::new(DramConfig::paper(dram_bytes_per_mc, config.dram_ranks));
+                let profile = spec.workload(config.scale, seed).profile().clone();
+                let seed = seed.wrapping_add(mc_idx * 0x9E37);
+                let scheme = Self::build_scheme(&config.scheme, os_pages, &dram, profile, seed);
+                (scheme, dram)
+            })
+            .collect();
+
+        let shared = SharedMemory::new_multi(
+            config.l3_bytes,
+            config.l3_ways,
+            config.l3_latency,
+            mcs,
+        );
+        let cores = (0..config.cores)
+            .map(|_| Core::new(config.core, layout))
+            .collect();
+        let workloads = (0..config.cores)
+            .map(|i| spec.workload(config.scale, seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+
+        System {
+            benchmark: spec.name.to_owned(),
+            config,
+            cores,
+            workloads,
+            shared,
+            measure_start: Time::ZERO,
+        }
+    }
+
+    fn build_scheme(
+        kind: &SchemeKind,
+        os_pages: u64,
+        dram: &Dram,
+        profile: dylect_compression::CompressibilityProfile,
+        seed: u64,
+    ) -> Box<dyn MemoryScheme> {
+        match kind {
+            SchemeKind::NoCompression => Box::new(NoCompression::new(os_pages, dram)),
+            SchemeKind::Tmcc {
+                granule_pages,
+                cte_cache_bytes,
+            } => Box::new(Tmcc::new(
+                TmccConfig {
+                    granule_pages: *granule_pages,
+                    cte_cache_bytes: *cte_cache_bytes,
+                    ..TmccConfig::paper(os_pages)
+                },
+                dram,
+                profile,
+                seed,
+            )),
+            SchemeKind::Dylect {
+                group_size,
+                cte_cache_bytes,
+            } => Box::new(Dylect::new(
+                DylectConfig {
+                    group_size: *group_size,
+                    cte_cache_bytes: *cte_cache_bytes,
+                    ..DylectConfig::paper(os_pages)
+                },
+                dram,
+                profile,
+                seed,
+            )),
+            SchemeKind::DylectAlwaysHit { group_size } => Box::new(Dylect::new(
+                DylectConfig {
+                    group_size: *group_size,
+                    // A CTE cache big enough to never evict: every lookup
+                    // after the cold fetch hits (the Figure 18 upper bound).
+                    cte_cache_bytes: 64 * 1024 * 1024,
+                    ..DylectConfig::paper(os_pages)
+                },
+                dram,
+                profile,
+                seed,
+            )),
+            SchemeKind::NaiveDynamic => Box::new(NaiveDynamic::new(
+                NaiveDynamicConfig::paper(os_pages),
+                dram,
+                profile,
+                seed,
+            )),
+        }
+    }
+
+    /// Builds a system around an externally assembled shared-memory side —
+    /// for harnesses that sweep scheme parameters the [`SchemeKind`] enum
+    /// does not expose.
+    pub fn from_parts(config: SystemConfig, spec: &BenchmarkSpec, shared: SharedMemory) -> Self {
+        let footprint = spec.footprint_pages(config.scale);
+        let layout = PageTableLayout::new(footprint);
+        let cores = (0..config.cores)
+            .map(|_| Core::new(config.core, layout))
+            .collect();
+        let workloads = (0..config.cores)
+            .map(|i| spec.workload(config.scale, config.seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        System {
+            benchmark: spec.name.to_owned(),
+            config,
+            cores,
+            workloads,
+            shared,
+            measure_start: Time::ZERO,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The shared memory side (scheme + DRAM), for inspection.
+    pub fn shared(&self) -> &SharedMemory {
+        &self.shared
+    }
+
+    /// Executes `ops` memory operations across the cores, always stepping
+    /// the core that is furthest behind in simulated time.
+    pub fn execute(&mut self, ops: u64) {
+        for _ in 0..ops {
+            let idx = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.time())
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            let op = self.workloads[idx].next_op();
+            self.cores[idx].step(op, &mut self.shared);
+        }
+    }
+
+    /// Ends the warmup phase: clears every statistic and marks the start of
+    /// the measurement window.
+    pub fn start_measurement(&mut self) {
+        self.shared.set_warmup(false);
+        for c in &mut self.cores {
+            c.reset_stats();
+        }
+        self.shared.reset_stats();
+        self.measure_start = self
+            .cores
+            .iter()
+            .map(Core::time)
+            .max()
+            .unwrap_or(Time::ZERO);
+    }
+
+    /// Runs warmup then measurement; returns the report.
+    pub fn run(&mut self, warmup_ops: u64, measure_ops: u64) -> RunReport {
+        self.shared.set_warmup(true);
+        self.execute(warmup_ops);
+        self.start_measurement();
+        self.execute(measure_ops);
+        self.finish()
+    }
+
+    /// Drains in-flight work and snapshots the report for the measurement
+    /// window.
+    pub fn finish(&mut self) -> RunReport {
+        for c in &mut self.cores {
+            c.drain();
+        }
+        let end = self
+            .cores
+            .iter()
+            .map(Core::time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let elapsed = end.saturating_sub(self.measure_start);
+
+        let mut instructions = 0;
+        let mut mem_ops = 0;
+        let mut stores = 0;
+        let mut walks = 0;
+        let mut tlb_lookups = 0u64;
+        let mut tlb_misses = 0u64;
+        for c in &self.cores {
+            instructions += c.stats().instructions.get();
+            mem_ops += c.stats().mem_ops.get();
+            stores += c.stats().stores.get();
+            let t = c.tlb().stats();
+            tlb_lookups += t.l1_hits.get() + t.l2_hits.get() + t.misses.get();
+            tlb_misses += t.misses.get();
+            walks += t.misses.get();
+        }
+
+        RunReport {
+            benchmark: self.benchmark.clone(),
+            scheme: self.config.scheme.label(),
+            instructions,
+            mem_ops,
+            stores,
+            elapsed,
+            tlb_miss_rate: if tlb_lookups == 0 {
+                0.0
+            } else {
+                tlb_misses as f64 / tlb_lookups as f64
+            },
+            walks,
+            l3_misses: self.shared.stats().l3_misses.get(),
+            l3_miss_latency_ns: self.shared.stats().l3_miss_latency.mean(),
+            l3_miss_overhead_ns: self.shared.stats().l3_miss_overhead.mean(),
+            mc: self.shared.mc_stats(),
+            dram: self.shared.dram_stats(),
+            occupancy: self.shared.occupancy(),
+            energy: self.shared.energy(elapsed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_workloads::CompressionSetting;
+
+    fn spec() -> BenchmarkSpec {
+        BenchmarkSpec::by_name("omnetpp").expect("in suite")
+    }
+
+    fn quick(scheme: SchemeKind) -> System {
+        let cfg = SystemConfig::quick(&spec(), scheme, CompressionSetting::High);
+        System::new(cfg, &spec())
+    }
+
+    #[test]
+    fn runs_all_schemes_end_to_end() {
+        for scheme in [
+            SchemeKind::NoCompression,
+            SchemeKind::tmcc(),
+            SchemeKind::dylect(),
+            SchemeKind::DylectAlwaysHit { group_size: 3 },
+            SchemeKind::NaiveDynamic,
+        ] {
+            let mut sys = quick(scheme.clone());
+            let report = sys.run(2_000, 5_000);
+            assert!(report.instructions > 0, "{scheme:?}");
+            assert!(report.elapsed > Time::ZERO, "{scheme:?}");
+            assert!(report.ips() > 0.0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn no_compression_beats_compressing_schemes() {
+        let base = quick(SchemeKind::NoCompression).run(5_000, 20_000);
+        let tmcc = quick(SchemeKind::tmcc()).run(5_000, 20_000);
+        assert!(
+            tmcc.speedup_over(&base) < 1.05,
+            "compression should not be faster than a big uncompressed system: {}",
+            tmcc.speedup_over(&base)
+        );
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let r1 = quick(SchemeKind::dylect()).run(2_000, 5_000);
+        let r2 = quick(SchemeKind::dylect()).run(2_000, 5_000);
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(r1.elapsed, r2.elapsed);
+        assert_eq!(r1.dram.total_blocks(), r2.dram.total_blocks());
+    }
+
+    #[test]
+    fn measurement_window_resets_stats() {
+        let mut sys = quick(SchemeKind::tmcc());
+        sys.execute(2_000);
+        sys.start_measurement();
+        let r = sys.finish();
+        assert_eq!(r.instructions, 0, "no ops after reset");
+    }
+
+    #[test]
+    fn dylect_reports_ml0_after_warmup() {
+        let mut sys = quick(SchemeKind::dylect());
+        let report = sys.run(30_000, 10_000);
+        assert!(
+            report.occupancy.ml0_pages > 0,
+            "warmup should promote hot pages"
+        );
+        assert!(report.mc.cte_hit_rate() > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod multimc_tests {
+    use super::*;
+    use dylect_workloads::CompressionSetting;
+
+    #[test]
+    fn multi_mc_system_runs_and_conserves_pages() {
+        let spec = BenchmarkSpec::by_name("omnetpp").unwrap();
+        let mut cfg = SystemConfig::quick(
+            &spec,
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+        );
+        cfg.scale = 16;
+        cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 16);
+        cfg.memory_controllers = 4;
+        let footprint = spec.footprint_pages(cfg.scale);
+        let mut sys = System::new(cfg, &spec);
+        let r = sys.run(30_000, 30_000);
+        assert!(r.instructions > 0);
+        let o = r.occupancy;
+        // Each MC rounds its share up, so the census covers at least the
+        // whole footprint.
+        assert!(o.ml0_pages + o.ml1_pages + o.ml2_pages >= footprint);
+        assert!(r.mc.requests.get() > 0);
+    }
+
+    #[test]
+    fn multi_mc_matches_single_mc_roughly() {
+        let spec = BenchmarkSpec::by_name("canneal").unwrap();
+        let run = |n_mc: usize| {
+            let mut cfg = SystemConfig::quick(
+                &spec,
+                SchemeKind::tmcc(),
+                CompressionSetting::High,
+            );
+            cfg.scale = 16;
+            cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 16);
+            cfg.memory_controllers = n_mc;
+            System::new(cfg, &spec).run(100_000, 50_000)
+        };
+        let one = run(1);
+        let two = run(2);
+        // Two MCs halve each DRAM slice but double aggregate bandwidth;
+        // performance should be in the same ballpark (paper §IV-D reports
+        // minimal impact from MC-local interleaving).
+        let ratio = two.speedup_over(&one);
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "2-MC perf ratio {ratio} out of plausible range"
+        );
+    }
+}

@@ -1,0 +1,494 @@
+//! The TMCC baseline — "Translation-optimized Memory Compression for
+//! Capacity" (MICRO'22) — as described in §II-B of the DyLeCT paper.
+//!
+//! TMCC divides memory into a two-level exclusive hierarchy: **ML1** holds
+//! hot pages uncompressed (so their CTEs stay small), **ML2** holds cold
+//! pages compressed at page granularity. A flat unified CTE table holds one
+//! 8 B CTE per translation granule; 64 B CTE blocks (8 CTEs, 32 KB reach at
+//! 4 KB granularity) are cached in a dedicated CTE cache in the MC. On every
+//! access to an ML2 granule the whole granule is decompressed into free DRAM
+//! pages ("page expansion"); demand-adaptive background compaction
+//! compresses recency-tail victims to maintain a free-page target.
+//!
+//! TMCC's page-walker-embedding optimization (truncated CTEs inside PTBs) is
+//! *not* modeled because, as the paper argues in §III-A, it is inapplicable
+//! under 2 MB huge pages — the evaluation setting of every experiment here.
+//!
+//! The `granule_pages` knob generalizes TMCC to the coarse compression
+//! granularities of Figure 6 (16 KB / 64 KB / 128 KB): coarser granules give
+//! each CTE more reach but multiply expansion bandwidth and decompression
+//! latency.
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_compression::CompressibilityProfile;
+//! use dylect_dram::{Dram, DramConfig};
+//! use dylect_memctl::MemoryScheme;
+//! use dylect_sim_core::{PhysAddr, Time};
+//! use dylect_tmcc::{Tmcc, TmccConfig};
+//!
+//! let mut dram = Dram::new(DramConfig::paper(1 << 28, 8));
+//! let profile = CompressibilityProfile::with_mean_ratio("demo", 3.0);
+//! // 80k OS pages into a 64k-page DRAM: compression required.
+//! let mut tmcc = Tmcc::new(TmccConfig::paper(80_000), &dram, profile, 1);
+//! let r = tmcc.access(Time::ZERO, PhysAddr::new(0x1000), false, &mut dram);
+//! assert!(r.data_ready > Time::ZERO);
+//! ```
+
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_compression::latency::decompression_latency;
+use dylect_compression::CompressibilityProfile;
+use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::layout::{LayoutOptions, McLayout};
+use dylect_memctl::recency::TOUCH_PERIOD;
+use dylect_memctl::store::CompressedStore;
+use dylect_memctl::{PageState, CTE_CACHE_HIT_LATENCY};
+use dylect_sim_core::{MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
+
+/// Configuration of a [`Tmcc`] controller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TmccConfig {
+    /// OS-visible memory size in 4 KB pages.
+    pub os_pages: u64,
+    /// CTE cache capacity in bytes (paper: 128 KB).
+    pub cte_cache_bytes: u64,
+    /// CTE cache associativity.
+    pub cte_cache_ways: u32,
+    /// Compression/translation granule in 4 KB pages (1, 4, 16, or 32 for
+    /// the paper's 4 KB–128 KB sweep).
+    pub granule_pages: u64,
+    /// Whole free DRAM pages the background compactor maintains.
+    pub free_target_pages: u64,
+}
+
+impl TmccConfig {
+    /// The paper's configuration (Table 3): 128 KB CTE cache, 4 KB granules.
+    pub fn paper(os_pages: u64) -> Self {
+        TmccConfig {
+            os_pages,
+            cte_cache_bytes: 128 * 1024,
+            cte_cache_ways: 8,
+            granule_pages: 1,
+            free_target_pages: 256,
+        }
+    }
+}
+
+/// The TMCC memory controller.
+#[derive(Clone, Debug)]
+pub struct Tmcc {
+    cfg: TmccConfig,
+    store: CompressedStore,
+    layout: McLayout,
+    cte_cache: SetAssocCache,
+    stats: McStats,
+    requests_seen: u64,
+}
+
+impl Tmcc {
+    /// Builds a TMCC controller over `dram`, packing `cfg.os_pages` of
+    /// OS-visible memory (with per-page sizes from `profile`) into the DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot fit fully compressed.
+    pub fn new(
+        cfg: TmccConfig,
+        dram: &Dram,
+        profile: CompressibilityProfile,
+        seed: u64,
+    ) -> Self {
+        let total_pages = dram.config().geometry.capacity_pages();
+        let granules = cfg.os_pages.div_ceil(cfg.granule_pages);
+        let layout = McLayout::new(
+            total_pages,
+            cfg.os_pages,
+            LayoutOptions {
+                pregathered: false,
+                counters: false,
+                unified_entries: granules,
+            },
+        );
+        let store = CompressedStore::pack_granular(
+            cfg.os_pages,
+            layout.data_pages(),
+            profile,
+            seed,
+            cfg.free_target_pages,
+            cfg.granule_pages,
+        );
+        let cte_cache = SetAssocCache::new(CacheConfig::lru(
+            cfg.cte_cache_bytes,
+            cfg.cte_cache_ways,
+            64,
+        ));
+        Tmcc {
+            cfg,
+            store,
+            layout,
+            cte_cache,
+            stats: McStats::default(),
+            requests_seen: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TmccConfig {
+        &self.cfg
+    }
+
+    /// Shared-store access for tests and harnesses.
+    pub fn store(&self) -> &CompressedStore {
+        &self.store
+    }
+
+    fn granule_of(&self, page: PageId) -> u64 {
+        page.index() / self.cfg.granule_pages
+    }
+
+    fn granule_pages_range(&self, granule: u64) -> impl Iterator<Item = PageId> {
+        let start = granule * self.cfg.granule_pages;
+        let end = ((granule + 1) * self.cfg.granule_pages).min(self.cfg.os_pages);
+        (start..end).map(PageId::new)
+    }
+
+    /// CTE cache lookup / fill on miss; returns the time translation is
+    /// available and whether it missed.
+    fn translate(&mut self, now: Time, granule: u64, dram: &mut Dram) -> (Time, bool) {
+        let key = self.layout.unified_block_key(granule);
+        if self.cte_cache.access(key) {
+            self.stats.cte_hits_unified.incr();
+            return (now + CTE_CACHE_HIT_LATENCY, false);
+        }
+        self.stats.cte_misses.incr();
+        let addr = self.layout.unified_block_addr(granule);
+        let done = dram.access(now, addr, DramOp::Read, RequestClass::CteFetch);
+        if let Some(ev) = self.cte_cache.fill(key, false, ()) {
+            if ev.dirty {
+                // Write back the evicted CTE block.
+                let wb_addr = MachineAddr::new(ev.key * 64);
+                dram.access(done, wb_addr, DramOp::Write, RequestClass::CteFetch);
+            }
+        }
+        (done, true)
+    }
+
+    /// Marks a granule's CTE as modified: dirty in cache, or a direct table
+    /// write if uncached.
+    fn update_cte(&mut self, now: Time, granule: u64, dram: &mut Dram) {
+        let key = self.layout.unified_block_key(granule);
+        if self.cte_cache.probe(key) {
+            self.cte_cache.fill(key, true, ());
+        } else {
+            let addr = self.layout.unified_block_addr(granule);
+            dram.access(now, addr, DramOp::Write, RequestClass::CteFetch);
+        }
+    }
+
+    /// Expands every compressed page of `granule`; returns when the data is
+    /// usable. Decompression latency scales with granule size (Figure 6's
+    /// coarse-granularity cost).
+    fn expand_granule(&mut self, now: Time, granule: u64, dram: &mut Dram) -> Time {
+        self.stats.expansions.incr();
+        // Ensure enough whole free pages exist for the expansion without
+        // tripping the store's single-page emergency path mid-granule.
+        let needed = self.cfg.granule_pages;
+        if (self.store.free.free_page_count() as u64) < needed {
+            self.store.compact_until(dram, now, needed);
+        }
+        let mut ready = now;
+        let pages: Vec<PageId> = self
+            .granule_pages_range(granule)
+            .filter(|&p| self.store.is_compressed(p))
+            .collect();
+        let extra_decompress =
+            decompression_latency(self.cfg.granule_pages * PAGE_BYTES)
+                .saturating_sub(decompression_latency(PAGE_BYTES));
+        for p in pages {
+            let (_, t) = self.store.expand(dram, now, p, RequestClass::Migration);
+            ready = ready.max(t);
+        }
+        self.update_cte(ready, granule, dram);
+        ready + extra_decompress
+    }
+
+    /// Background maintenance: compact whole granules from the recency tail
+    /// until the free target is met.
+    fn maintain(&mut self, now: Time, dram: &mut Dram) {
+        let target = self.store.free_target_pages();
+        let mut t = now;
+        let mut guard = 64;
+        while (self.store.free.free_page_count() as u64) < target && guard > 0 {
+            guard -= 1;
+            let Some(victim) = self.store.recency.tail() else {
+                break;
+            };
+            let granule = self.granule_of(victim);
+            self.stats.compactions.incr();
+            for p in self.granule_pages_range(granule) {
+                if !self.store.is_compressed(p) {
+                    t = self.store.compact_page(dram, t, p);
+                }
+            }
+            self.update_cte(t, granule, dram);
+        }
+    }
+}
+
+impl MemoryScheme for Tmcc {
+    fn name(&self) -> &'static str {
+        "tmcc"
+    }
+
+    fn access(
+        &mut self,
+        now: Time,
+        addr: PhysAddr,
+        is_write: bool,
+        dram: &mut Dram,
+    ) -> McResponse {
+        let page = addr.page();
+        debug_assert!(page.index() < self.cfg.os_pages, "address out of range");
+        self.stats.requests.incr();
+        self.requests_seen += 1;
+        if self.requests_seen.is_multiple_of(TOUCH_PERIOD)
+            && !self.store.is_compressed(page)
+        {
+            self.store.recency.touch(page);
+        }
+
+        let granule = self.granule_of(page);
+        let (t_translated, _missed) = self.translate(now, granule, dram);
+
+        // Serve the data.
+        let (t_data_start, expanded) = match self.store.dir.state(page) {
+            Some(PageState::Uncompressed(_)) => (t_translated, false),
+            Some(PageState::Compressed(_)) => {
+                (self.expand_granule(t_translated, granule, dram), true)
+            }
+            None => unreachable!("page always placed"),
+        };
+        let Some(PageState::Uncompressed(dpage)) = self.store.dir.state(page) else {
+            unreachable!("page uncompressed after expansion");
+        };
+        let machine = dpage.base_addr().offset(addr.page_offset());
+        let (op, class) = if is_write {
+            (DramOp::Write, RequestClass::Writeback)
+        } else {
+            (DramOp::Read, RequestClass::Demand)
+        };
+        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+
+        // Demand-adaptive background compaction, off the critical path.
+        if expanded {
+            self.maintain(data_ready, dram);
+        }
+
+        let overhead = (t_data_start - now).min(data_ready.saturating_sub(now));
+        self.stats
+            .translation_latency
+            .record_time_ns(t_translated.saturating_sub(now));
+        self.stats.overhead_latency.record_time_ns(overhead);
+        McResponse {
+            data_ready,
+            overhead,
+        }
+    }
+
+    fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = McStats::default();
+        self.cte_cache.reset_stats();
+    }
+
+    fn occupancy(&self) -> Occupancy {
+        let (unc, comp) = self.store.dir.census();
+        Occupancy {
+            ml0_pages: 0,
+            ml1_pages: unc,
+            ml2_pages: comp,
+            free_pages: self.store.free.free_page_count() as u64,
+            free_bytes: self.store.free.free_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+
+    fn profile() -> CompressibilityProfile {
+        CompressibilityProfile::with_mean_ratio("t", 3.0)
+    }
+
+    fn setup(os_pages: u64, dram_bytes: u64) -> (Tmcc, Dram) {
+        let dram = Dram::new(DramConfig::paper(dram_bytes, 8));
+        let tmcc = Tmcc::new(TmccConfig::paper(os_pages), &dram, profile(), 3);
+        (tmcc, dram)
+    }
+
+    #[test]
+    fn uncompressed_hit_path_is_fast() {
+        let (mut tmcc, mut dram) = setup(10_000, 1 << 28);
+        // Find an uncompressed page and access it twice.
+        let page = (0..10_000)
+            .map(PageId::new)
+            .find(|&p| !tmcc.store().is_compressed(p))
+            .unwrap();
+        let addr = PhysAddr::new(page.index() * PAGE_BYTES);
+        let r1 = tmcc.access(Time::ZERO, addr, false, &mut dram);
+        let r2 = tmcc.access(r1.data_ready, addr, false, &mut dram);
+        // Second access: CTE cache hit, so overhead is just the hit latency.
+        assert_eq!(r2.overhead, CTE_CACHE_HIT_LATENCY);
+        assert_eq!(tmcc.stats().cte_hits_unified.get(), 1);
+        assert_eq!(tmcc.stats().cte_misses.get(), 1);
+    }
+
+    #[test]
+    fn compressed_access_triggers_expansion() {
+        let (mut tmcc, mut dram) = setup(80_000, 1 << 28);
+        let page = (0..80_000)
+            .map(PageId::new)
+            .find(|&p| tmcc.store().is_compressed(p))
+            .expect("compression pressure");
+        let addr = PhysAddr::new(page.index() * PAGE_BYTES);
+        let r = tmcc.access(Time::ZERO, addr, false, &mut dram);
+        assert!(!tmcc.store().is_compressed(page), "page expanded");
+        assert_eq!(tmcc.stats().expansions.get(), 1);
+        // Expansion includes at least one decompression latency.
+        assert!(r.overhead.as_ns() >= 280.0);
+    }
+
+    #[test]
+    fn expansion_keeps_invariants() {
+        let (mut tmcc, mut dram) = setup(80_000, 1 << 28);
+        let data_pages = tmcc.layout.data_pages();
+        let mut t = Time::ZERO;
+        for i in 0..2000u64 {
+            let addr = PhysAddr::new((i * 7919 % 80_000) * PAGE_BYTES);
+            let r = tmcc.access(t, addr, i % 5 == 0, &mut dram);
+            t = r.data_ready;
+        }
+        tmcc.store().check_invariants(data_pages);
+        let occ = tmcc.occupancy();
+        assert_eq!(occ.ml1_pages + occ.ml2_pages, 80_000);
+    }
+
+    #[test]
+    fn coarse_granularity_expands_whole_granule() {
+        let dram_cfg = DramConfig::paper(1 << 28, 8);
+        let dram0 = Dram::new(dram_cfg);
+        let cfg = TmccConfig {
+            granule_pages: 16,
+            ..TmccConfig::paper(80_000)
+        };
+        let mut tmcc = Tmcc::new(cfg, &dram0, profile(), 3);
+        let mut dram = dram0;
+        let page = (0..80_000)
+            .map(PageId::new)
+            .find(|&p| tmcc.store().is_compressed(p))
+            .unwrap();
+        let addr = PhysAddr::new(page.index() * PAGE_BYTES);
+        let r = tmcc.access(Time::ZERO, addr, false, &mut dram);
+        // All 16 pages of the granule must now be uncompressed.
+        let g = page.index() / 16;
+        for p in g * 16..(g + 1) * 16 {
+            assert!(!tmcc.store().is_compressed(PageId::new(p)), "page {p}");
+        }
+        // Decompression latency scales with granule size.
+        assert!(r.overhead.as_ns() >= 16.0 * 280.0);
+    }
+
+    #[test]
+    fn coarse_granularity_shares_cte_across_granule() {
+        let dram0 = Dram::new(DramConfig::paper(1 << 28, 8));
+        let cfg = TmccConfig {
+            granule_pages: 16,
+            ..TmccConfig::paper(80_000)
+        };
+        let mut tmcc = Tmcc::new(cfg, &dram0, profile(), 3);
+        let mut dram = dram0;
+        // Pick an uncompressed granule; accesses to different pages within
+        // 8 consecutive granules share one CTE block.
+        let g = (0..80_000 / 16)
+            .find(|&g| {
+                (g * 16..(g + 1) * 16).all(|p| !tmcc.store().is_compressed(PageId::new(p)))
+            })
+            .unwrap();
+        let a1 = PhysAddr::new(g * 16 * PAGE_BYTES);
+        let a2 = PhysAddr::new((g * 16 + 15) * PAGE_BYTES);
+        tmcc.access(Time::ZERO, a1, false, &mut dram);
+        let r = tmcc.access(Time::from_us(1), a2, false, &mut dram);
+        assert_eq!(tmcc.stats().cte_misses.get(), 1);
+        assert_eq!(tmcc.stats().cte_hits_unified.get(), 1);
+        assert_eq!(r.overhead, CTE_CACHE_HIT_LATENCY);
+    }
+
+    #[test]
+    fn maintenance_restores_free_target() {
+        let (mut tmcc, mut dram) = setup(80_000, 1 << 28);
+        let target = tmcc.store().free_target_pages();
+        let mut t = Time::ZERO;
+        // Hammer compressed pages to force many expansions.
+        let compressed: Vec<PageId> = (0..80_000)
+            .map(PageId::new)
+            .filter(|&p| tmcc.store().is_compressed(p))
+            .take(600)
+            .collect();
+        for p in compressed {
+            let r = tmcc.access(t, PhysAddr::new(p.index() * PAGE_BYTES), false, &mut dram);
+            t = r.data_ready;
+        }
+        assert!(
+            tmcc.store().free.free_page_count() as u64 >= target / 2,
+            "free pool collapsed: {}",
+            tmcc.store().free.free_page_count()
+        );
+        assert!(tmcc.stats().compactions.get() > 0);
+    }
+
+    #[test]
+    fn writebacks_also_expand() {
+        let (mut tmcc, mut dram) = setup(80_000, 1 << 28);
+        let page = (0..80_000)
+            .map(PageId::new)
+            .find(|&p| tmcc.store().is_compressed(p))
+            .unwrap();
+        let addr = PhysAddr::new(page.index() * PAGE_BYTES);
+        tmcc.access(Time::ZERO, addr, true, &mut dram);
+        assert!(!tmcc.store().is_compressed(page));
+        assert!(dram.stats().class_blocks(RequestClass::Writeback) >= 1);
+    }
+
+    #[test]
+    fn cte_reach_is_32kb_per_block() {
+        // Pages 0..7 share a CTE block; page 8 uses the next.
+        let (mut tmcc, mut dram) = setup(10_000, 1 << 28);
+        for p in 0..8u64 {
+            tmcc.access(
+                Time::from_us(p),
+                PhysAddr::new(p * PAGE_BYTES),
+                false,
+                &mut dram,
+            );
+        }
+        assert_eq!(tmcc.stats().cte_misses.get(), 1);
+        tmcc.access(Time::from_us(9), PhysAddr::new(8 * PAGE_BYTES), false, &mut dram);
+        assert_eq!(tmcc.stats().cte_misses.get(), 2);
+    }
+
+    #[test]
+    fn reset_stats_clears() {
+        let (mut tmcc, mut dram) = setup(10_000, 1 << 28);
+        tmcc.access(Time::ZERO, PhysAddr::new(0), false, &mut dram);
+        tmcc.reset_stats();
+        assert_eq!(tmcc.stats().requests.get(), 0);
+        assert_eq!(tmcc.stats().cte_lookups(), 0);
+    }
+}

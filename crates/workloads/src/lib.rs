@@ -1,0 +1,441 @@
+//! Synthetic workload generators for the DyLeCT reproduction.
+//!
+//! The paper evaluates nine GraphBig kernels, SPEC CPU2017 `mcf` and
+//! `omnetpp`, and PARSEC `canneal` — all large, irregular, and
+//! translation-intensive. Their memory images are not available here, so
+//! each benchmark is modeled as a parameterized synthetic stream
+//! ([`SyntheticWorkload`]) that reproduces the *statistics the paper's
+//! results depend on* (DESIGN.md §5):
+//!
+//! - **footprint** (Table 2, scaled by a configurable denominator);
+//! - a **hot working set** of scattered 256 KB regions (graph structures
+//!   cluster hot vertices in allocation regions) visited with Zipf skew;
+//! - **neighborhood bursts** within a region (adjacency exploration), which
+//!   give the LLC-miss stream the page-group locality that CTE caches — and
+//!   especially DyLeCT's 1 MB-reach pre-gathered blocks — exploit;
+//! - **within-huge-page skew** (citation \[20\]): only a pseudo-random subset of each
+//!   region's 4 KB pages is hot, the rest stay cold;
+//! - a **cold trickle** (in-region and global) that keeps the compressed
+//!   level alive and drives page expansions at a realistic, low rate;
+//! - **pointer-chasing** (dependent accesses) and **scan** components;
+//! - per-page **compressibility** calibrated to the paper's settings.
+
+pub mod spec;
+pub mod trace_io;
+
+pub use spec::{BenchmarkSpec, CompressionSetting};
+
+use dylect_compression::CompressibilityProfile;
+use dylect_sim_core::rng::{hash2, Rng, Zipf};
+use dylect_sim_core::trace::MemOp;
+use dylect_sim_core::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
+
+/// Pages per hot region (256 KB).
+pub const REGION_PAGES: u64 = 64;
+
+/// Tunable personality of a synthetic benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Benchmark name.
+    pub name: String,
+    /// Footprint in 4 KB pages.
+    pub footprint_pages: u64,
+    /// Fraction of the footprint belonging to hot regions.
+    pub hot_fraction: f64,
+    /// Fraction of each hot region's pages that are hot-eligible (the
+    /// within-huge-page skew).
+    pub eligible_fraction: f64,
+    /// Zipf skew across hot regions.
+    pub zipf_theta: f64,
+    /// Mean burst length (accesses per region visit).
+    pub burst_len: u32,
+    /// Probability a burst access targets a cold (non-eligible) page of the
+    /// region.
+    pub intra_cold: f64,
+    /// Fraction of accesses that go to a uniformly random page anywhere.
+    pub cold_fraction: f64,
+    /// Fraction of accesses from the sequential-scan component.
+    pub stream_fraction: f64,
+    /// Fraction of irregular accesses that depend on the previous access.
+    pub dep_fraction: f64,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+    /// Mean non-memory instructions per memory operation.
+    pub work_per_op: u16,
+    /// Recurring hot 64 B blocks per page (how much of each hot page is
+    /// actually touched; larger values enlarge the byte-level working set
+    /// relative to the LLC without changing page-level behavior).
+    pub hot_blocks_per_page: u64,
+    /// Mean compression ratio if every page were compressed.
+    pub mean_compression_ratio: f64,
+}
+
+impl WorkloadParams {
+    /// A small demonstration workload (64 MB footprint) for examples and
+    /// tests.
+    pub fn demo() -> Self {
+        WorkloadParams {
+            name: "demo".to_owned(),
+            footprint_pages: 16 * 1024,
+            hot_fraction: 0.4,
+            eligible_fraction: 0.7,
+            zipf_theta: 0.9,
+            burst_len: 16,
+            intra_cold: 0.05,
+            cold_fraction: 0.01,
+            stream_fraction: 0.15,
+            dep_fraction: 0.6,
+            write_fraction: 0.3,
+            work_per_op: 4,
+            hot_blocks_per_page: 4,
+            mean_compression_ratio: 3.4,
+        }
+    }
+}
+
+/// A deterministic, infinite memory-operation stream.
+///
+/// # Example
+///
+/// ```
+/// use dylect_workloads::{SyntheticWorkload, WorkloadParams};
+///
+/// let mut w = SyntheticWorkload::new(WorkloadParams::demo(), 42);
+/// let op = w.next_op();
+/// assert!(op.vaddr.page().index() < w.params().footprint_pages);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SyntheticWorkload {
+    params: WorkloadParams,
+    profile: CompressibilityProfile,
+    zipf: Zipf,
+    rng: Rng,
+    seed: u64,
+    num_regions: u64,
+    hot_regions: u64,
+    /// Coprime multiplier scattering hot regions across the address space.
+    perm_mult: u64,
+    /// Current burst: first page of the region and remaining accesses.
+    burst_region_base: u64,
+    burst_remaining: u32,
+    /// Sequential scan cursor (block index within the footprint).
+    scan_cursor: u64,
+}
+
+impl SyntheticWorkload {
+    /// Builds a workload from its parameters and a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is smaller than one region.
+    pub fn new(params: WorkloadParams, seed: u64) -> Self {
+        assert!(
+            params.footprint_pages >= REGION_PAGES,
+            "footprint smaller than one region"
+        );
+        let profile =
+            CompressibilityProfile::with_mean_ratio(&params.name, params.mean_compression_ratio);
+        let num_regions = params.footprint_pages / REGION_PAGES;
+        let hot_regions = ((num_regions as f64 * params.hot_fraction) as u64).clamp(1, num_regions);
+        let zipf = Zipf::new(hot_regions, params.zipf_theta);
+        let mut perm_mult = 0x9E37_79B9u64 | 1;
+        while gcd(perm_mult, num_regions) != 1 {
+            perm_mult += 2;
+        }
+        SyntheticWorkload {
+            zipf,
+            profile,
+            rng: Rng::new(seed ^ 0x5EED),
+            seed,
+            num_regions,
+            hot_regions,
+            perm_mult,
+            burst_region_base: 0,
+            burst_remaining: 0,
+            scan_cursor: 0,
+            params,
+        }
+    }
+
+    /// The workload's parameters.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// The per-page compressibility profile.
+    pub fn profile(&self) -> &CompressibilityProfile {
+        &self.profile
+    }
+
+    /// Footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.params.footprint_pages * PAGE_BYTES
+    }
+
+    /// Number of hot regions.
+    pub fn hot_regions(&self) -> u64 {
+        self.hot_regions
+    }
+
+    /// Maps a hot-region rank to its first page (bijective scatter).
+    fn region_base_of_rank(&self, rank: u64) -> u64 {
+        (rank.wrapping_mul(self.perm_mult) % self.num_regions) * REGION_PAGES
+    }
+
+    /// Whether a page is hot-eligible within its region (stable per page).
+    pub fn is_eligible(&self, page: u64) -> bool {
+        let t = (self.params.eligible_fraction * u32::MAX as f64) as u64;
+        (hash2(self.seed ^ 0xE11, page) & 0xFFFF_FFFF) < t
+    }
+
+    /// A stable "hot block" of a page (graph vertices live at fixed
+    /// offsets; each page has a few recurring blocks).
+    fn block_of(&mut self, page: u64) -> u64 {
+        let which = self.rng.next_below(self.params.hot_blocks_per_page);
+        hash2(self.seed ^ 0xB10C, page * 64 + which) % (PAGE_BYTES / BLOCK_BYTES)
+    }
+
+    fn op_at(&mut self, page: u64, dep: bool) -> MemOp {
+        let p = &self.params;
+        let write = self.rng.chance(p.write_fraction);
+        let work_jitter = self.rng.next_below(p.work_per_op as u64 + 1) as u16;
+        let work = p.work_per_op / 2 + work_jitter;
+        let block = self.block_of(page);
+        MemOp {
+            vaddr: VirtAddr::new(page * PAGE_BYTES + block * BLOCK_BYTES),
+            write,
+            work,
+            dep_on_prev: dep,
+        }
+    }
+
+    /// Produces the next memory operation.
+    pub fn next_op(&mut self) -> MemOp {
+        let p = self.params.clone();
+        // Sequential scan component.
+        if self.rng.chance(p.stream_fraction) {
+            let total_blocks = p.footprint_pages * (PAGE_BYTES / BLOCK_BYTES);
+            self.scan_cursor = (self.scan_cursor + 1) % total_blocks;
+            let vaddr = VirtAddr::new(self.scan_cursor * BLOCK_BYTES);
+            let write = self.rng.chance(p.write_fraction);
+            let work_jitter = self.rng.next_below(p.work_per_op as u64 + 1) as u16;
+            return MemOp {
+                vaddr,
+                write,
+                work: p.work_per_op / 2 + work_jitter,
+                dep_on_prev: false,
+            };
+        }
+        // Global cold trickle.
+        if self.rng.chance(p.cold_fraction) {
+            let page = self.rng.next_below(p.footprint_pages);
+            let dep = self.rng.chance(p.dep_fraction);
+            return self.op_at(page, dep);
+        }
+        // Hot component: bursts within Zipf-chosen hot regions.
+        if self.burst_remaining == 0 {
+            let rank = self.zipf.sample(&mut self.rng);
+            self.burst_region_base = self.region_base_of_rank(rank);
+            self.burst_remaining = 1 + self.rng.next_below(2 * p.burst_len as u64) as u32;
+        }
+        self.burst_remaining -= 1;
+        let base = self.burst_region_base;
+        let page = if self.rng.chance(p.intra_cold) {
+            // Touch any page of the region, hot or cold.
+            base + self.rng.next_below(REGION_PAGES)
+        } else {
+            // Find a hot-eligible page of the region (bounded retries).
+            let mut page = base + self.rng.next_below(REGION_PAGES);
+            for _ in 0..8 {
+                if self.is_eligible(page) {
+                    break;
+                }
+                page = base + self.rng.next_below(REGION_PAGES);
+            }
+            page
+        };
+        let page = page.min(p.footprint_pages - 1);
+        let dep = self.rng.chance(p.dep_fraction);
+        self.op_at(page, dep)
+    }
+
+    /// Fills `buf` with the next operations (convenience for batch runs).
+    pub fn fill(&mut self, buf: &mut Vec<MemOp>, n: usize) {
+        buf.clear();
+        buf.extend((0..n).map(|_| self.next_op()));
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn demo(seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload::new(WorkloadParams::demo(), seed)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = demo(1);
+        let mut b = demo(1);
+        for _ in 0..1000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = demo(1);
+        let mut b = demo(2);
+        let same = (0..100).filter(|_| a.next_op() == b.next_op()).count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let mut w = demo(3);
+        let fp = w.params().footprint_pages;
+        for _ in 0..10_000 {
+            assert!(w.next_op().vaddr.page().index() < fp);
+        }
+    }
+
+    #[test]
+    fn hot_working_set_is_bounded() {
+        let mut w = demo(4);
+        let mut pages = HashSet::new();
+        for _ in 0..200_000 {
+            pages.insert(w.next_op().vaddr.page().index());
+        }
+        // The scan sweeps everything over time, but in a 200k window the
+        // touched set should be well below the full footprint and above the
+        // hot core.
+        let fp = w.params().footprint_pages;
+        assert!(pages.len() as u64 > fp / 10, "{} pages", pages.len());
+    }
+
+    #[test]
+    fn region_popularity_is_skewed() {
+        let mut p = WorkloadParams::demo();
+        p.stream_fraction = 0.0;
+        p.cold_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 5);
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for _ in 0..100_000 {
+            let op = w.next_op();
+            *counts.entry(op.vaddr.page().index() / REGION_PAGES).or_default() += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freqs.iter().take(10).map(|&c| c as u64).sum();
+        assert!(top10 > 15_000, "top-10 regions got only {top10}/100000");
+    }
+
+    #[test]
+    fn bursts_have_region_locality() {
+        let mut p = WorkloadParams::demo();
+        p.stream_fraction = 0.0;
+        p.cold_fraction = 0.0;
+        p.dep_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 6);
+        // Consecutive ops should frequently share a 256 KB region.
+        let mut same_region = 0;
+        let mut prev = w.next_op().vaddr.page().index() / REGION_PAGES;
+        let n = 10_000;
+        for _ in 0..n {
+            let r = w.next_op().vaddr.page().index() / REGION_PAGES;
+            same_region += (r == prev) as u32;
+            prev = r;
+        }
+        assert!(
+            same_region as f64 / n as f64 > 0.7,
+            "only {same_region}/{n} consecutive pairs share a region"
+        );
+    }
+
+    #[test]
+    fn within_region_skew_exists() {
+        let w = demo(7);
+        let eligible = (0..64u64).filter(|&p| w.is_eligible(p)).count();
+        // ~70% of pages eligible, but not all and not none.
+        assert!((20..64).contains(&eligible), "{eligible}/64 eligible");
+    }
+
+    #[test]
+    fn cold_trickle_reaches_everywhere() {
+        let mut p = WorkloadParams::demo();
+        p.cold_fraction = 1.0;
+        p.stream_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 8);
+        let mut regions = HashSet::new();
+        for _ in 0..20_000 {
+            regions.insert(w.next_op().vaddr.page().index() / REGION_PAGES);
+        }
+        // Uniform cold accesses should touch most regions.
+        assert!(regions.len() as u64 > w.num_regions / 2);
+    }
+
+    #[test]
+    fn dependence_and_write_fractions_hold() {
+        let mut w = demo(9);
+        let n = 50_000;
+        let mut deps = 0;
+        let mut writes = 0;
+        for _ in 0..n {
+            let op = w.next_op();
+            deps += op.dep_on_prev as u64;
+            writes += op.write as u64;
+        }
+        let dep_frac = deps as f64 / n as f64;
+        let write_frac = writes as f64 / n as f64;
+        // dep applies to the non-scan (85%) portion: 0.6 * 0.85 = 0.51.
+        assert!((0.4..0.6).contains(&dep_frac), "dep {dep_frac}");
+        assert!((0.25..0.35).contains(&write_frac), "writes {write_frac}");
+    }
+
+    #[test]
+    fn scan_component_is_sequential() {
+        let mut p = WorkloadParams::demo();
+        p.stream_fraction = 1.0;
+        let mut w = SyntheticWorkload::new(p, 10);
+        let a = w.next_op().vaddr;
+        let b = w.next_op().vaddr;
+        assert_eq!(b.raw() - a.raw(), BLOCK_BYTES);
+    }
+
+    #[test]
+    fn profile_matches_requested_ratio() {
+        let w = demo(11);
+        assert!((w.profile().mean_ratio() - 3.4).abs() < 0.3);
+    }
+
+    #[test]
+    fn pages_reuse_few_blocks() {
+        let mut p = WorkloadParams::demo();
+        p.stream_fraction = 0.0;
+        p.cold_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 12);
+        let mut blocks: HashMap<u64, HashSet<u64>> = HashMap::new();
+        for _ in 0..50_000 {
+            let op = w.next_op();
+            blocks
+                .entry(op.vaddr.page().index())
+                .or_default()
+                .insert(op.vaddr.block_index());
+        }
+        let max_blocks = blocks.values().map(HashSet::len).max().unwrap();
+        assert!(
+            max_blocks as u64 <= WorkloadParams::demo().hot_blocks_per_page,
+            "pages should reuse at most hot_blocks_per_page blocks"
+        );
+    }
+}

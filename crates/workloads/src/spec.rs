@@ -1,0 +1,321 @@
+//! The paper's benchmark suite (Table 2) as parameterized specs.
+//!
+//! Footprints come from Table 2: the GraphBig suite totals 106 GB over nine
+//! kernels, `mcf` 15 GB, `omnetpp` 1 GB, `canneal` 1.1 GB. DRAM sizes for
+//! the low/high compression settings preserve the paper's
+//! footprint-to-DRAM ratios. Everything scales down by a configurable
+//! denominator (default 64) so simulations run at laptop scale; the ratios
+//! — which drive all of the paper's results — are preserved.
+
+use dylect_sim_core::PAGE_BYTES;
+
+use crate::{SyntheticWorkload, WorkloadParams};
+
+/// The compression-pressure settings from the TMCC paper reused here
+/// (Table 2): low ≈ 1.3× average compression, high ≈ 2.8×.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CompressionSetting {
+    /// DRAM ≈ 77–96% of footprint.
+    Low,
+    /// DRAM ≈ 33–66% of footprint.
+    High,
+}
+
+/// A benchmark from the paper's suite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkSpec {
+    /// Short name (paper's label).
+    pub name: &'static str,
+    /// Suite of origin.
+    pub suite: &'static str,
+    /// Full-scale footprint in bytes (Table 2, split evenly across the
+    /// GraphBig kernels).
+    pub footprint_bytes: u64,
+    /// DRAM/footprint ratio at low compression.
+    pub low_dram_fraction: f64,
+    /// DRAM/footprint ratio at high compression.
+    pub high_dram_fraction: f64,
+    /// Fraction of the footprint in hot regions.
+    pub hot_fraction: f64,
+    /// Hot-eligible fraction within each hot region.
+    pub eligible_fraction: f64,
+    /// Zipf skew across hot regions.
+    pub zipf_theta: f64,
+    /// Mean burst length.
+    pub burst_len: u32,
+    /// In-region cold-touch probability.
+    pub intra_cold: f64,
+    /// Global uniform cold-access fraction.
+    pub cold_fraction: f64,
+    /// Pointer-chasing fraction.
+    pub dep_fraction: f64,
+    /// Store fraction.
+    pub write_fraction: f64,
+    /// Sequential-scan fraction.
+    pub stream_fraction: f64,
+    /// Mean non-memory instructions per memory op.
+    pub work_per_op: u16,
+    /// Recurring hot 64 B blocks per page.
+    pub hot_blocks_per_page: u64,
+    /// Mean compression ratio when fully compressed.
+    pub compression_ratio: f64,
+}
+
+const GB: u64 = 1 << 30;
+/// GraphBig per-kernel footprint: 106 GB / 9 kernels.
+const GRAPHBIG_FP: u64 = 106 * GB / 9;
+/// GraphBig DRAM fractions from Table 2 (81.5/106 and 35/106).
+const GB_LOW: f64 = 81.5 / 106.0;
+const GB_HIGH: f64 = 35.0 / 106.0;
+
+macro_rules! graphbig {
+    ($name:literal, $theta:expr, $dep:expr, $wr:expr, $stream:expr, $work:expr, $burst:expr) => {
+        BenchmarkSpec {
+            name: $name,
+            suite: "GraphBig",
+            footprint_bytes: GRAPHBIG_FP,
+            low_dram_fraction: GB_LOW,
+            high_dram_fraction: GB_HIGH,
+            // High-compression uncompressed capacity is ~6% of the
+            // footprint (DRAM = 0.33F at ratio 3.5); the hot set must fit.
+            hot_fraction: 0.06,
+            eligible_fraction: 0.7,
+            zipf_theta: $theta,
+            burst_len: $burst,
+            intra_cold: 0.002,
+            cold_fraction: 0.0005,
+            dep_fraction: $dep,
+            write_fraction: $wr,
+            stream_fraction: $stream,
+            work_per_op: $work,
+            hot_blocks_per_page: 8,
+            compression_ratio: 3.5,
+        }
+    };
+}
+
+impl BenchmarkSpec {
+    /// The paper's twelve benchmarks.
+    pub fn suite() -> Vec<BenchmarkSpec> {
+        vec![
+            graphbig!("bfs", 1.00, 0.70, 0.20, 0.10, 4, 24),
+            graphbig!("dfs", 0.95, 0.85, 0.20, 0.05, 4, 32),
+            graphbig!("sssp", 1.05, 0.60, 0.30, 0.15, 5, 24),
+            graphbig!("pagerank", 0.90, 0.30, 0.25, 0.50, 3, 48),
+            graphbig!("cc", 1.00, 0.50, 0.30, 0.20, 4, 32),
+            graphbig!("tc", 1.10, 0.50, 0.10, 0.25, 6, 40),
+            graphbig!("kcore", 1.00, 0.55, 0.30, 0.15, 5, 32),
+            graphbig!("dc", 0.85, 0.20, 0.20, 0.60, 3, 48),
+            graphbig!("gc", 1.00, 0.60, 0.30, 0.10, 5, 28),
+            BenchmarkSpec {
+                name: "mcf",
+                suite: "SPEC CPU2017",
+                footprint_bytes: 15 * GB,
+                low_dram_fraction: 13.7 / 15.0,
+                high_dram_fraction: 6.0 / 15.0,
+                hot_fraction: 0.14,
+                eligible_fraction: 0.7,
+                zipf_theta: 1.05,
+                burst_len: 24,
+                intra_cold: 0.002,
+                cold_fraction: 0.0005,
+                dep_fraction: 0.75,
+                write_fraction: 0.30,
+                stream_fraction: 0.05,
+                work_per_op: 6,
+                hot_blocks_per_page: 8,
+                compression_ratio: 3.3,
+            },
+            BenchmarkSpec {
+                name: "omnetpp",
+                suite: "SPEC CPU2017",
+                footprint_bytes: GB,
+                low_dram_fraction: 0.63,
+                high_dram_fraction: 0.40,
+                hot_fraction: 0.085,
+                eligible_fraction: 0.7,
+                zipf_theta: 1.05,
+                burst_len: 32,
+                intra_cold: 0.0008,
+                cold_fraction: 0.0002,
+                dep_fraction: 0.50,
+                write_fraction: 0.35,
+                stream_fraction: 0.03,
+                work_per_op: 8,
+                hot_blocks_per_page: 32,
+                compression_ratio: 3.0,
+            },
+            BenchmarkSpec {
+                name: "canneal",
+                suite: "PARSEC 3.0",
+                footprint_bytes: 11 * GB / 10,
+                low_dram_fraction: 0.96 / 1.1,
+                high_dram_fraction: 0.73 / 1.1,
+                hot_fraction: 0.45,
+                eligible_fraction: 0.7,
+                zipf_theta: 1.10,
+                burst_len: 20,
+                intra_cold: 0.01,
+                cold_fraction: 0.002,
+                dep_fraction: 0.80,
+                write_fraction: 0.25,
+                stream_fraction: 0.02,
+                work_per_op: 4,
+                hot_blocks_per_page: 4,
+                compression_ratio: 3.2,
+            },
+        ]
+    }
+
+    /// Looks a benchmark up by name.
+    pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+        Self::suite().into_iter().find(|b| b.name == name)
+    }
+
+    /// Scaled footprint in 4 KB pages (`scale` is the denominator; 64 keeps
+    /// runs laptop-sized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is 0.
+    pub fn footprint_pages(&self, scale: u64) -> u64 {
+        assert!(scale > 0, "scale must be positive");
+        (self.footprint_bytes / scale).div_ceil(PAGE_BYTES).max(1024)
+    }
+
+    /// Uncompressed-page capacity fraction at high compression:
+    /// solving `U + (F-U)/r = D` for U with D = high_dram_fraction * F.
+    pub fn high_capacity_fraction(&self) -> f64 {
+        let r = self.compression_ratio;
+        ((self.high_dram_fraction - 1.0 / r) * r / (r - 1.0)).max(0.005)
+    }
+
+    /// The largest scale denominator (halving from `requested`) at which the
+    /// high-compression uncompressed capacity still spans at least
+    /// `min_capacity_pages` — the pressure needed for CTE-cache effects to
+    /// be visible. Small-footprint benchmarks (omnetpp, canneal) thus run
+    /// closer to full scale than the 100+ GB GraphBig kernels.
+    pub fn effective_scale(&self, requested: u64, min_capacity_pages: u64) -> u64 {
+        let mut s = requested.max(1);
+        while s > 1 {
+            let u = (self.footprint_pages(s) as f64 * self.high_capacity_fraction()) as u64;
+            if u >= min_capacity_pages {
+                break;
+            }
+            s /= 2;
+        }
+        s
+    }
+
+    /// Scaled DRAM capacity in bytes for a compression setting, rounded up
+    /// to the 1 MiB granularity the DDR4 geometry needs.
+    pub fn dram_bytes(&self, setting: CompressionSetting, scale: u64) -> u64 {
+        let frac = match setting {
+            CompressionSetting::Low => self.low_dram_fraction,
+            CompressionSetting::High => self.high_dram_fraction,
+        };
+        let raw = (self.footprint_bytes as f64 / scale as f64 * frac) as u64;
+        raw.div_ceil(1 << 20).max(8) << 20
+    }
+
+    /// A DRAM size able to hold the whole footprint uncompressed (plus page
+    /// tables and slack) — the "bigger system without compression".
+    pub fn dram_bytes_no_compression(&self, scale: u64) -> u64 {
+        let raw = self.footprint_bytes / scale;
+        (raw + raw / 8).div_ceil(1 << 20).max(8) << 20
+    }
+
+    /// Instantiates the workload generator at the given scale.
+    pub fn workload(&self, scale: u64, seed: u64) -> SyntheticWorkload {
+        SyntheticWorkload::new(
+            WorkloadParams {
+                name: self.name.to_owned(),
+                footprint_pages: self.footprint_pages(scale),
+                hot_fraction: self.hot_fraction,
+                eligible_fraction: self.eligible_fraction,
+                zipf_theta: self.zipf_theta,
+                burst_len: self.burst_len,
+                intra_cold: self.intra_cold,
+                cold_fraction: self.cold_fraction,
+                dep_fraction: self.dep_fraction,
+                write_fraction: self.write_fraction,
+                stream_fraction: self.stream_fraction,
+                work_per_op: self.work_per_op,
+                hot_blocks_per_page: self.hot_blocks_per_page,
+                mean_compression_ratio: self.compression_ratio,
+            },
+            seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_benchmarks() {
+        let suite = BenchmarkSpec::suite();
+        assert_eq!(suite.len(), 12);
+        assert_eq!(suite.iter().filter(|b| b.suite == "GraphBig").count(), 9);
+    }
+
+    #[test]
+    fn table2_totals() {
+        let suite = BenchmarkSpec::suite();
+        let graphbig_total: u64 = suite
+            .iter()
+            .filter(|b| b.suite == "GraphBig")
+            .map(|b| b.footprint_bytes)
+            .sum();
+        // 106 GB split across 9 kernels (integer division loses <9 bytes).
+        assert!((graphbig_total as i64 - (106 * GB) as i64).abs() < 16);
+    }
+
+    #[test]
+    fn dram_fractions_create_pressure() {
+        for b in BenchmarkSpec::suite() {
+            assert!(b.low_dram_fraction < 1.0, "{}", b.name);
+            assert!(b.high_dram_fraction < b.low_dram_fraction, "{}", b.name);
+            let low = b.dram_bytes(CompressionSetting::Low, 64);
+            let high = b.dram_bytes(CompressionSetting::High, 64);
+            assert!(high <= low, "{}", b.name);
+            assert!(low < b.footprint_pages(64) * PAGE_BYTES + (64 << 20), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn dram_sizes_are_geometry_aligned() {
+        for b in BenchmarkSpec::suite() {
+            for s in [CompressionSetting::Low, CompressionSetting::High] {
+                assert_eq!(b.dram_bytes(s, 64) % (1 << 20), 0, "{}", b.name);
+            }
+            assert_eq!(b.dram_bytes_no_compression(64) % (1 << 20), 0);
+        }
+    }
+
+    #[test]
+    fn no_compression_dram_fits_footprint() {
+        for b in BenchmarkSpec::suite() {
+            let dram = b.dram_bytes_no_compression(64);
+            assert!(dram > b.footprint_pages(64) * PAGE_BYTES, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        assert_eq!(BenchmarkSpec::by_name("canneal").unwrap().suite, "PARSEC 3.0");
+        assert!(BenchmarkSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn workloads_instantiate_at_scale() {
+        for b in BenchmarkSpec::suite() {
+            let mut w = b.workload(256, 1);
+            let fp = w.params().footprint_pages;
+            for _ in 0..100 {
+                assert!(w.next_op().vaddr.page().index() < fp);
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Capacity planning: how much DRAM can hardware compression save at an
+//! acceptable slowdown?
+//!
+//! Sweeps DRAM sizes between the high-compression point and the full
+//! uncompressed footprint for one benchmark under DyLeCT, printing the
+//! performance/capacity trade-off curve a deployment would use to choose
+//! an operating point.
+//!
+//! ```text
+//! cargo run --release -p dylect-bench --example capacity_planner [bench]
+//! ```
+
+use dylect_sim::{SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "omnetpp".to_owned());
+    let spec = BenchmarkSpec::by_name(&name).expect("benchmark in suite");
+    let setting = CompressionSetting::High;
+
+    // The no-compression reference point. Scale 16 keeps the footprint
+    // well above the 8 MiB DRAM floor so the sweep is meaningful.
+    let scale = 16;
+    let mut base_cfg = SystemConfig::quick(&spec, SchemeKind::NoCompression, setting);
+    base_cfg.scale = scale;
+    base_cfg.dram_bytes = spec.dram_bytes_no_compression(scale);
+    let footprint_mb = (spec.footprint_pages(scale) * 4096) >> 20;
+    let base = System::new(base_cfg.clone(), &spec).run(500_000, 200_000);
+
+    println!("capacity planning for {} ({} MiB footprint)\n", spec.name, footprint_mb);
+    println!(
+        "{:>10} {:>12} {:>10} {:>9} {:>10}",
+        "dram_mib", "saved_vs_fp", "perf_rel", "CTE hit", "ML2 pages"
+    );
+
+    let lo = spec.dram_bytes(CompressionSetting::High, scale);
+    let hi = spec.dram_bytes(CompressionSetting::Low, scale);
+    let steps = 5u64;
+    for i in 0..=steps {
+        let dram = lo + (hi - lo) * i / steps;
+        let dram = dram.div_ceil(1 << 20) << 20;
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), setting);
+        cfg.scale = scale;
+        cfg.dram_bytes = dram;
+        let mut sys = System::new(cfg, &spec);
+        let r = sys.run(500_000, 200_000);
+        println!(
+            "{:>10} {:>11.1}% {:>10.3} {:>9.3} {:>10}",
+            dram >> 20,
+            100.0 * (1.0 - (dram >> 20) as f64 / footprint_mb as f64),
+            r.speedup_over(&base),
+            r.mc.cte_hit_rate(),
+            r.occupancy.ml2_pages,
+        );
+    }
+    println!("\nPick the smallest DRAM whose relative performance you can accept;");
+    println!("DyLeCT's short CTEs keep the translation cost flat across the sweep.");
+}

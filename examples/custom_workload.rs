@@ -1,0 +1,63 @@
+//! Driving the DyLeCT memory controller directly with a custom workload.
+//!
+//! The full-system simulator wraps the MC in cores and caches; this example
+//! shows the core library API instead: build a `Dylect` controller over a
+//! DRAM model, feed it your own physical-address stream, and inspect the
+//! translation behavior.
+//!
+//! ```text
+//! cargo run --release -p dylect-bench --example custom_workload
+//! ```
+
+use dylect_compression::CompressibilityProfile;
+use dylect_core::{Dylect, DylectConfig};
+use dylect_dram::{Dram, DramConfig};
+use dylect_memctl::MemoryScheme;
+use dylect_sim_core::rng::{Rng, Zipf};
+use dylect_sim_core::{PhysAddr, Time, PAGE_BYTES};
+
+fn main() {
+    // 600 MiB of OS-visible memory in 384 MiB of DRAM: compression needed.
+    let os_pages = 150_000;
+    let dram = Dram::new(DramConfig::paper(384 << 20, 8));
+    let profile = CompressibilityProfile::with_mean_ratio("custom", 3.0);
+    let mut mc = Dylect::new(DylectConfig::paper(os_pages), &dram, profile, 42);
+    let mut dram = dram;
+
+    // A hand-rolled workload: 90% of accesses Zipf-distributed over a hot
+    // million bytes per "tenant", 10% uniform cold.
+    let mut rng = Rng::new(7);
+    let zipf = Zipf::new(4_000, 1.1);
+    let mut t = Time::ZERO;
+    for i in 0..800_000u64 {
+        let page = if rng.chance(0.9) {
+            zipf.sample(&mut rng) * 7 % os_pages
+        } else {
+            rng.next_below(os_pages)
+        };
+        let addr = PhysAddr::new(page * PAGE_BYTES + rng.next_below(64) * 64);
+        let resp = mc.access(t, addr, i % 5 == 0, &mut dram);
+        t = resp.data_ready;
+    }
+
+    let st = mc.stats();
+    println!("requests            : {}", st.requests.get());
+    println!("CTE hit rate        : {:.3}", st.cte_hit_rate());
+    println!("  pre-gathered      : {:.3}", st.pregathered_hit_rate());
+    println!("  unified           : {:.3}", st.unified_hit_rate());
+    println!("expansions          : {}", st.expansions.get());
+    println!("promotions to ML0   : {}", st.promotions.get());
+    println!("demotions from ML0  : {}", st.demotions.get());
+    println!("mean translation    : {:.1} ns", st.translation_latency.mean());
+    let occ = mc.occupancy();
+    println!(
+        "memory levels       : ML0={} ML1={} ML2={} (ML0 share of uncompressed {:.2})",
+        occ.ml0_pages,
+        occ.ml1_pages,
+        occ.ml2_pages,
+        occ.ml0_fraction_of_uncompressed()
+    );
+    // The controller's internal invariants should hold after any stream.
+    mc.check_invariants();
+    println!("invariants          : OK");
+}

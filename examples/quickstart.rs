@@ -1,0 +1,47 @@
+//! Quickstart: simulate one benchmark under DyLeCT and print the headline
+//! statistics.
+//!
+//! ```text
+//! cargo run --release -p dylect-bench --example quickstart
+//! ```
+
+use dylect_sim::{SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn main() {
+    // Pick a benchmark from the paper's suite (Table 2).
+    let spec = BenchmarkSpec::by_name("canneal").expect("canneal is in the suite");
+
+    // Build the paper's system (Table 3) at a small scale for a fast demo:
+    // DDR4-3200 with DyLeCT in the memory controller, DRAM sized for the
+    // high-compression setting.
+    let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    cfg.cores = 2;
+    let mut sys = System::new(cfg, &spec);
+
+    // Warm up the caches, TLBs, and DyLeCT's memory levels, then measure.
+    let report = sys.run(400_000, 200_000);
+
+    println!("benchmark            : {}", report.benchmark);
+    println!("scheme               : {}", report.scheme);
+    println!("instructions         : {}", report.instructions);
+    println!("simulated time       : {}", report.elapsed);
+    println!("perf (instr/sec)     : {:.3e}", report.ips());
+    println!("TLB miss rate        : {:.4}", report.tlb_miss_rate);
+    println!("CTE cache hit rate   : {:.3}", report.mc.cte_hit_rate());
+    println!("  via pre-gathered   : {:.3}", report.mc.pregathered_hit_rate());
+    println!("  via unified        : {:.3}", report.mc.unified_hit_rate());
+    println!(
+        "memory levels        : ML0={} ML1={} ML2={}",
+        report.occupancy.ml0_pages, report.occupancy.ml1_pages, report.occupancy.ml2_pages
+    );
+    println!("L3-miss latency adder: {:.1} ns", report.l3_miss_overhead_ns);
+    println!(
+        "DRAM traffic         : {:.1} blocks/kilo-instruction",
+        report.traffic_per_kilo_instruction()
+    );
+    println!(
+        "DRAM energy          : {:.2} nJ/instruction",
+        report.energy_per_instruction_nj()
+    );
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_compression::{bdi, fpc};
+use dylect_core::GroupMap;
+use dylect_memctl::freespace::{FreeSpace, Span};
+use dylect_memctl::recency::RecencyList;
+use dylect_sim_core::rng::{Rng, Zipf};
+use dylect_sim_core::{DramPageId, PageId, PAGE_BYTES};
+
+proptest! {
+    /// FPC round-trips arbitrary word-aligned byte strings.
+    #[test]
+    fn fpc_roundtrip(words in proptest::collection::vec(any::<u32>(), 1..128)) {
+        let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let bits = fpc::compress(&data);
+        prop_assert_eq!(fpc::decompress(&bits, words.len()), data);
+    }
+
+    /// BDI round-trips arbitrary 64 B blocks and never inflates.
+    #[test]
+    fn bdi_roundtrip(block in proptest::collection::vec(any::<u8>(), 64..=64)) {
+        let c = bdi::compress(&block);
+        prop_assert_eq!(&bdi::decompress(&c)[..], &block[..]);
+        prop_assert!(c.encoding.compressed_bytes() <= 64);
+    }
+
+    /// FreeSpace conserves bytes across arbitrary alloc/free interleavings
+    /// and re-coalesces completely.
+    #[test]
+    fn freespace_conservation(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..300)) {
+        let pages = 8u64;
+        let mut fs = FreeSpace::new();
+        for i in 0..pages {
+            fs.add_page(DramPageId::new(i));
+        }
+        let total = fs.free_bytes();
+        let mut live: Vec<Span> = Vec::new();
+        for (x, do_alloc) in ops {
+            if do_alloc || live.is_empty() {
+                let len = (x as u32 % 4096) + 1;
+                if let Some(s) = fs.alloc_span(len) {
+                    live.push(s);
+                }
+            } else {
+                let idx = x as usize % live.len();
+                fs.free_span(live.swap_remove(idx));
+            }
+            let live_bytes: u64 = live.iter().map(|s| s.len as u64).sum();
+            prop_assert_eq!(fs.free_bytes() + live_bytes, total);
+        }
+        for s in live.drain(..) {
+            fs.free_span(s);
+        }
+        prop_assert_eq!(fs.free_page_count() as u64, pages);
+    }
+
+    /// Allocated spans never overlap.
+    #[test]
+    fn freespace_no_overlap(lens in proptest::collection::vec(1u32..4096, 1..64)) {
+        let mut fs = FreeSpace::new();
+        for i in 0..16 {
+            fs.add_page(DramPageId::new(i));
+        }
+        let mut allocated: Vec<Span> = Vec::new();
+        for len in lens {
+            if let Some(s) = fs.alloc_span(len) {
+                for other in &allocated {
+                    if other.dram_page == s.dram_page {
+                        let disjoint = s.offset + s.len <= other.offset
+                            || other.offset + other.len <= s.offset;
+                        prop_assert!(disjoint, "{:?} overlaps {:?}", s, other);
+                    }
+                }
+                allocated.push(s);
+            }
+        }
+    }
+
+    /// The recency list behaves exactly like a reference LRU sequence.
+    #[test]
+    fn recency_matches_model(touches in proptest::collection::vec(0u64..32, 1..200)) {
+        let mut list = RecencyList::new(32);
+        let mut model: Vec<u64> = Vec::new();
+        for t in touches {
+            list.touch(PageId::new(t));
+            model.retain(|&x| x != t);
+            model.push(t);
+            prop_assert_eq!(list.len(), model.len());
+            prop_assert_eq!(list.tail().map(|p| p.index()), model.first().copied());
+            prop_assert_eq!(list.head().map(|p| p.index()), model.last().copied());
+        }
+    }
+
+    /// LRU cache agrees with a reference model on hit/miss (single set,
+    /// fully associative).
+    #[test]
+    fn cache_matches_lru_model(keys in proptest::collection::vec(0u64..64, 1..300)) {
+        let mut cache: SetAssocCache = SetAssocCache::new(CacheConfig::lru(8 * 64, 8, 64));
+        let mut model: Vec<u64> = Vec::new();
+        for key in keys {
+            let hit = cache.access(key);
+            let model_hit = model.contains(&key);
+            prop_assert_eq!(hit, model_hit, "key {}", key);
+            if hit {
+                model.retain(|&x| x != key);
+                model.push(key);
+            } else {
+                cache.fill(key, false, ());
+                if model.len() == 8 {
+                    model.remove(0);
+                }
+                model.push(key);
+            }
+        }
+    }
+
+    /// The group hash maps every OS page to a valid, aligned group, and
+    /// slot_of inverts dram_page.
+    #[test]
+    fn groupmap_inverts(data_pages in 3u64..10_000, page in 0u64..1_000_000) {
+        let g = GroupMap::new(data_pages, 3);
+        let p = PageId::new(page);
+        let base = g.hash(p);
+        prop_assert_eq!(base.index() % 3, 0);
+        prop_assert!(base.index() + 2 < (data_pages / 3) * 3);
+        for s in 0..3u8 {
+            prop_assert_eq!(g.slot_of(p, g.dram_page(p, s)), Some(s));
+        }
+    }
+
+    /// Zipf samples stay in range for arbitrary domains and skews.
+    #[test]
+    fn zipf_in_range(n in 1u64..100_000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, theta);
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Compressed sizes are stable, quantized, and bounded.
+    #[test]
+    fn profile_sizes_valid(ratio in 1.0f64..8.0, seed in any::<u64>(), page in any::<u64>()) {
+        let p = dylect_compression::CompressibilityProfile::with_mean_ratio("p", ratio);
+        let s = p.compressed_bytes(seed, PageId::new(page));
+        prop_assert!(s as u64 <= PAGE_BYTES);
+        prop_assert!(s >= 256);
+        prop_assert_eq!(s % 256, 0);
+        prop_assert_eq!(s, p.compressed_bytes(seed, PageId::new(page)));
+    }
+
+    /// Workload streams stay inside their footprint for arbitrary seeds.
+    #[test]
+    fn workload_addresses_in_bounds(seed in any::<u64>()) {
+        use dylect_workloads::{SyntheticWorkload, WorkloadParams};
+        let mut w = SyntheticWorkload::new(WorkloadParams::demo(), seed);
+        let fp = w.params().footprint_pages;
+        for _ in 0..200 {
+            prop_assert!(w.next_op().vaddr.page().index() < fp);
+        }
+    }
+}

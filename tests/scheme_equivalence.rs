@@ -1,0 +1,124 @@
+//! Cross-scheme ordering properties: relationships the paper's argument
+//! depends on, checked end-to-end on small configurations.
+
+use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn run(bench: &str, scheme: SchemeKind, setting: CompressionSetting) -> RunReport {
+    let spec = BenchmarkSpec::by_name(bench).expect("benchmark in suite");
+    // Scale 16 keeps enough footprint (vs the 8 MiB DRAM floor) that
+    // compression pressure and CTE-cache pressure are both real.
+    let mut cfg = SystemConfig::quick(&spec, scheme.clone(), setting);
+    cfg.scale = 16;
+    cfg.dram_bytes = match scheme {
+        SchemeKind::NoCompression => spec.dram_bytes_no_compression(16),
+        _ => spec.dram_bytes(setting, 16),
+    };
+    let mut sys = System::new(cfg, &spec);
+    sys.run(500_000, 150_000)
+}
+
+#[test]
+fn no_compression_is_fastest() {
+    let base = run("canneal", SchemeKind::NoCompression, CompressionSetting::High);
+    for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+        let r = run("canneal", scheme.clone(), CompressionSetting::High);
+        assert!(
+            r.speedup_over(&base) < 1.02,
+            "{scheme:?} should not beat the bigger uncompressed system"
+        );
+    }
+}
+
+#[test]
+fn always_hit_bounds_dylect() {
+    let dylect = run("canneal", SchemeKind::dylect(), CompressionSetting::High);
+    let upper = run(
+        "canneal",
+        SchemeKind::DylectAlwaysHit { group_size: 3 },
+        CompressionSetting::High,
+    );
+    assert!(
+        upper.mc.cte_hit_rate() >= dylect.mc.cte_hit_rate() - 1e-9,
+        "upper bound must not have a lower hit rate"
+    );
+    assert!(
+        dylect.speedup_over(&upper) < 1.05,
+        "dylect cannot meaningfully beat its own upper bound"
+    );
+}
+
+#[test]
+fn dylect_hit_rate_beats_tmcc() {
+    // Needs a CTE table comfortably larger than the 128 KB CTE cache for
+    // the hit-rate gap to be visible: scale 8 gives canneal a ~280 KB table.
+    let run8 = |scheme: SchemeKind| {
+        let spec = BenchmarkSpec::by_name("canneal").unwrap();
+        let mut cfg = SystemConfig::quick(&spec, scheme.clone(), CompressionSetting::High);
+        cfg.scale = 8;
+        cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 8);
+        System::new(cfg, &spec).run(800_000, 200_000)
+    };
+    let tmcc = run8(SchemeKind::tmcc());
+    let dylect = run8(SchemeKind::dylect());
+    assert!(
+        dylect.mc.cte_hit_rate() > tmcc.mc.cte_hit_rate(),
+        "dylect {:.3} vs tmcc {:.3}",
+        dylect.mc.cte_hit_rate(),
+        tmcc.mc.cte_hit_rate()
+    );
+    assert!(dylect.mc.pregathered_hit_rate() > 0.0);
+}
+
+#[test]
+fn low_compression_is_not_slower_than_high() {
+    let low = run("canneal", SchemeKind::tmcc(), CompressionSetting::Low);
+    let high = run("canneal", SchemeKind::tmcc(), CompressionSetting::High);
+    assert!(
+        low.speedup_over(&high) > 0.95,
+        "more DRAM should not hurt: low {:.3e} vs high {:.3e}",
+        low.ips(),
+        high.ips()
+    );
+}
+
+#[test]
+fn bigger_cte_cache_does_not_hurt_tmcc() {
+    let small = run(
+        "canneal",
+        SchemeKind::Tmcc { granule_pages: 1, cte_cache_bytes: 32 * 1024 },
+        CompressionSetting::High,
+    );
+    let big = run(
+        "canneal",
+        SchemeKind::Tmcc { granule_pages: 1, cte_cache_bytes: 512 * 1024 },
+        CompressionSetting::High,
+    );
+    assert!(
+        big.mc.cte_hit_rate() >= small.mc.cte_hit_rate() - 0.02,
+        "bigger cache lost hits: {:.3} -> {:.3}",
+        small.mc.cte_hit_rate(),
+        big.mc.cte_hit_rate()
+    );
+}
+
+#[test]
+fn coarse_granularity_trades_reach_for_bandwidth() {
+    let fine = run("omnetpp", SchemeKind::tmcc(), CompressionSetting::High);
+    let coarse = run(
+        "omnetpp",
+        SchemeKind::Tmcc { granule_pages: 16, cte_cache_bytes: 128 * 1024 },
+        CompressionSetting::High,
+    );
+    // Coarse granules move strictly more migration bytes per expansion.
+    let mig = |r: &RunReport| {
+        r.dram.class_blocks(dylect_dram::RequestClass::Migration) as f64
+            / r.mc.expansions.get().max(1) as f64
+    };
+    assert!(
+        mig(&coarse) > mig(&fine),
+        "coarse {:.0} vs fine {:.0} migration blocks/expansion",
+        mig(&coarse),
+        mig(&fine)
+    );
+}
