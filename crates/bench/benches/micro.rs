@@ -1,9 +1,15 @@
-//! Criterion microbenchmarks of the simulator's hot paths.
+//! Microbenchmarks of the simulator's hot paths, on a dependency-free
+//! harness (manual warmup, median of timed batches, `std::hint::black_box`).
 //!
 //! These are engineering benchmarks (simulator throughput), not paper
 //! reproductions — the paper's tables and figures live in `src/bin/`.
+//! Compiled with `harness = false`, so `cargo bench` runs `main` directly;
+//! `cargo bench -- <filter>` runs the benchmarks whose name contains the
+//! filter string.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::{bdi, fpc};
 use dylect_core::GroupMap;
@@ -14,103 +20,130 @@ use dylect_sim_core::rng::{Rng, Zipf};
 use dylect_sim_core::{DramPageId, MachineAddr, PageId, Time};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
-fn bench_cte_cache(c: &mut Criterion) {
+/// Batches per sample; the reported time is the median over samples, which
+/// is robust to scheduler noise without criterion's outlier machinery.
+const SAMPLES: usize = 15;
+const WARMUP_BATCHES: usize = 3;
+
+/// Times `iters`-iteration batches of `f` and prints the median
+/// per-iteration time with min/max spread.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    if let Some(filter) = std::env::args().nth(1) {
+        if !filter.starts_with('-') && !name.contains(&filter) {
+            return;
+        }
+    }
+    for _ in 0..WARMUP_BATCHES {
+        for _ in 0..iters {
+            f();
+        }
+    }
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[SAMPLES / 2];
+    let (min, max) = (per_iter_ns[0], per_iter_ns[SAMPLES - 1]);
+    println!("{name:<24} {median:>12.1} ns/iter  (min {min:.1}, max {max:.1}, {SAMPLES} samples x {iters} iters)");
+}
+
+fn main() {
+    bench_cte_cache();
+    bench_dram_access();
+    bench_short_cte_hash();
+    bench_compressors();
+    bench_freespace();
+    bench_zipf();
+    bench_end_to_end();
+}
+
+fn bench_cte_cache() {
     let mut cache: SetAssocCache = SetAssocCache::new(CacheConfig::lru(128 * 1024, 8, 64));
     let mut rng = Rng::new(7);
-    c.bench_function("cte_cache_lookup_fill", |b| {
-        b.iter(|| {
-            let key = rng.next_below(1 << 16);
-            if !cache.access(black_box(key)) {
-                cache.fill(key, false, ());
-            }
-        })
+    bench("cte_cache_lookup_fill", 100_000, || {
+        let key = rng.next_below(1 << 16);
+        if !cache.access(black_box(key)) {
+            cache.fill(key, false, ());
+        }
     });
 }
 
-fn bench_dram_access(c: &mut Criterion) {
+fn bench_dram_access() {
     let mut dram = Dram::new(DramConfig::paper(1 << 30, 8));
     let mut t = Time::ZERO;
     let mut rng = Rng::new(3);
-    c.bench_function("dram_single_access", |b| {
-        b.iter(|| {
-            let addr = MachineAddr::new(rng.next_below(1 << 30) / 64 * 64);
-            t = dram.access(t, black_box(addr), DramOp::Read, RequestClass::Demand);
-        })
+    bench("dram_single_access", 100_000, || {
+        let addr = MachineAddr::new(rng.next_below(1 << 30) / 64 * 64);
+        t = dram.access(t, black_box(addr), DramOp::Read, RequestClass::Demand);
     });
 }
 
-fn bench_short_cte_hash(c: &mut Criterion) {
+fn bench_short_cte_hash() {
     let groups = GroupMap::new(1 << 22, 3);
     let mut rng = Rng::new(5);
-    c.bench_function("short_cte_mapping", |b| {
-        b.iter(|| {
-            let p = PageId::new(rng.next_below(1 << 24));
-            black_box(groups.hash(black_box(p)));
-        })
+    bench("short_cte_mapping", 1_000_000, || {
+        let p = PageId::new(rng.next_below(1 << 24));
+        black_box(groups.hash(black_box(p)));
     });
 }
 
-fn bench_compressors(c: &mut Criterion) {
+fn bench_compressors() {
     let mut block = [0u8; 64];
     for (i, b) in block.iter_mut().enumerate() {
         *b = (i % 7) as u8;
     }
-    c.bench_function("bdi_compress_64b", |b| {
-        b.iter(|| bdi::compressed_bytes(black_box(&block)))
+    bench("bdi_compress_64b", 500_000, || {
+        black_box(bdi::compressed_bytes(black_box(&block)));
     });
     let mut page = vec![0u8; 4096];
     for (i, b) in page.iter_mut().enumerate() {
         *b = ((i / 3) % 11) as u8;
     }
-    c.bench_function("fpc_compress_4k", |b| {
-        b.iter(|| fpc::compressed_bytes(black_box(&page)))
+    bench("fpc_compress_4k", 20_000, || {
+        black_box(fpc::compressed_bytes(black_box(&page)));
     });
 }
 
-fn bench_freespace(c: &mut Criterion) {
-    c.bench_function("freespace_alloc_free", |b| {
-        let mut fs = FreeSpace::new();
-        for i in 0..256 {
-            fs.add_page(DramPageId::new(i));
-        }
-        let mut rng = Rng::new(11);
-        let mut live = Vec::new();
-        b.iter(|| {
-            if live.len() < 128 {
-                let len = (rng.next_below(3840) + 256) as u32;
-                if let Some(s) = fs.alloc_span(len) {
-                    live.push(s);
-                }
-            } else {
-                let idx = rng.next_below(live.len() as u64) as usize;
-                fs.free_span(live.swap_remove(idx));
+fn bench_freespace() {
+    let mut fs = FreeSpace::new();
+    for i in 0..256 {
+        fs.add_page(DramPageId::new(i));
+    }
+    let mut rng = Rng::new(11);
+    let mut live = Vec::new();
+    bench("freespace_alloc_free", 100_000, || {
+        if live.len() < 128 {
+            let len = (rng.next_below(3840) + 256) as u32;
+            if let Some(s) = fs.alloc_span(len) {
+                live.push(s);
             }
-        })
+        } else {
+            let idx = rng.next_below(live.len() as u64) as usize;
+            fs.free_span(live.swap_remove(idx));
+        }
     });
 }
 
-fn bench_zipf(c: &mut Criterion) {
+fn bench_zipf() {
     let zipf = Zipf::new(1 << 20, 0.99);
     let mut rng = Rng::new(13);
-    c.bench_function("zipf_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+    bench("zipf_sample", 1_000_000, || {
+        black_box(zipf.sample(&mut rng));
+    });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
     let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
     let mut sys = System::new(cfg, &spec);
     sys.run(50_000, 1);
-    c.bench_function("system_step_1000_ops", |b| b.iter(|| sys.execute(1000)));
+    bench("system_step_1000_ops", 50, || {
+        black_box(sys.execute(1000));
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_cte_cache,
-    bench_dram_access,
-    bench_short_cte_hash,
-    bench_compressors,
-    bench_freespace,
-    bench_zipf,
-    bench_end_to_end
-);
-criterion_main!(benches);

@@ -7,7 +7,7 @@
 //! - the naive split-cache design with Option A (gathered 2 B lines, tag
 //!   overhead) vs. Option B (64 B sector lines, slow warmup).
 
-use dylect_bench::{config_for, print_table, warmup_for, Mode};
+use dylect_bench::{config_for, print_table, run_jobs, warmup_for, Job, Mode};
 use dylect_core::{Dylect, DylectConfig, NaiveDynamic, NaiveDynamicConfig, ShortCacheOption};
 use dylect_cpu::PageTableLayout;
 use dylect_dram::{Dram, DramConfig};
@@ -33,28 +33,37 @@ fn main() {
     let mode = Mode::from_env();
     let spec = BenchmarkSpec::by_name("canneal").expect("in suite");
     let profile = spec.workload(1, 0).profile().clone();
-    let mut rows = Vec::new();
+    let base_fp = format!(
+        "cfg{:?};spec{:?};warm{};measure{}",
+        config_for(&spec, SchemeKind::dylect(), CompressionSetting::High, mode),
+        spec,
+        warmup_for(&spec, mode),
+        mode.measure_ops,
+    );
+    let mut jobs = Vec::new();
+    let mut labels = Vec::new();
 
     for (label, always) in [("paper (selective)", false), ("cache-unified-always", true)] {
         let p = profile.clone();
-        let r = run_with(&spec, mode, |os_pages, dram| {
-            Box::new(Dylect::new(
-                DylectConfig {
-                    always_cache_unified: always,
-                    ..DylectConfig::paper(os_pages)
-                },
-                dram,
-                p,
-                0xD11E_C7,
-            ))
-        });
-        rows.push(vec![
-            format!("dylect/{label}"),
-            format!("{:.4}", r.mc.cte_hit_rate()),
-            format!("{:.4}", r.mc.pregathered_hit_rate()),
-            format!("{:.3e}", r.ips()),
-        ]);
-        eprintln!("[cache_policy] {label}: hit {:.3}", r.mc.cte_hit_rate());
+        let s = spec.clone();
+        labels.push(format!("dylect/{label}"));
+        jobs.push(Job::custom(
+            format!("cache_policy/dylect/{label}"),
+            &format!("{base_fp};always_cache_unified={always}"),
+            move || {
+                run_with(&s, mode, |os_pages, dram| {
+                    Box::new(Dylect::new(
+                        DylectConfig {
+                            always_cache_unified: always,
+                            ..DylectConfig::paper(os_pages)
+                        },
+                        dram,
+                        p,
+                        0xD11E_C7,
+                    ))
+                })
+            },
+        ));
     }
 
     for (label, opt) in [
@@ -62,19 +71,32 @@ fn main() {
         ("naive/option-B (sector)", ShortCacheOption::SectorB),
     ] {
         let p = profile.clone();
-        let r = run_with(&spec, mode, |os_pages, dram| {
-            Box::new(NaiveDynamic::new(
-                NaiveDynamicConfig {
-                    short_cache: opt,
-                    ..NaiveDynamicConfig::paper(os_pages)
-                },
-                dram,
-                p,
-                0xD11E_C7,
-            ))
-        });
+        let s = spec.clone();
+        labels.push(label.to_owned());
+        jobs.push(Job::custom(
+            format!("cache_policy/{label}"),
+            &format!("{base_fp};short_cache={opt:?}"),
+            move || {
+                run_with(&s, mode, |os_pages, dram| {
+                    Box::new(NaiveDynamic::new(
+                        NaiveDynamicConfig {
+                            short_cache: opt,
+                            ..NaiveDynamicConfig::paper(os_pages)
+                        },
+                        dram,
+                        p,
+                        0xD11E_C7,
+                    ))
+                })
+            },
+        ));
+    }
+
+    let reports = run_jobs(jobs);
+    let mut rows = Vec::new();
+    for (label, r) in labels.iter().zip(&reports) {
         rows.push(vec![
-            format!("{label}"),
+            label.clone(),
             format!("{:.4}", r.mc.cte_hit_rate()),
             format!("{:.4}", r.mc.pregathered_hit_rate()),
             format!("{:.3e}", r.ips()),

@@ -6,21 +6,24 @@
 //! MC has minimal performance impact; here we sweep 1/2/4 MCs and report
 //! performance and aggregated translation behavior.
 
-use dylect_bench::{config_for, print_table, warmup_for, Mode};
-use dylect_sim::{SchemeKind, System};
+use dylect_bench::{print_table, run_matrix, Mode, RunKey};
+use dylect_sim::SchemeKind;
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
 fn main() {
     let mode = Mode::from_env();
     let spec = BenchmarkSpec::by_name("canneal").expect("in suite");
     let setting = CompressionSetting::High;
+    let mc_counts = [1usize, 2, 4];
+    let keys = mc_counts
+        .iter()
+        .map(|&n_mc| RunKey::new(spec.clone(), SchemeKind::dylect(), setting, mode).with_mcs(n_mc))
+        .collect();
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut base_ips = None;
-    for n_mc in [1usize, 2, 4] {
-        let mut cfg = config_for(&spec, SchemeKind::dylect(), setting, mode);
-        cfg.memory_controllers = n_mc;
-        let mut sys = System::new(cfg, &spec);
-        let r = sys.run(warmup_for(&spec, mode), mode.measure_ops);
+    for (&n_mc, r) in mc_counts.iter().zip(&reports) {
         let rel = r.ips() / *base_ips.get_or_insert(r.ips());
         rows.push(vec![
             n_mc.to_string(),

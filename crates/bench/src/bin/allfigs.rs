@@ -5,16 +5,19 @@
 //!
 //! The per-figure binaries (`fig18_speedup` etc.) remain the documented
 //! entrypoints for individual experiments; this driver exists because the
-//! simulator is single-threaded and the figures share most of their runs.
+//! figures share most of their runs. All runs — matrix and sweeps — are
+//! submitted to the parallel runner as one batch, so they spread across
+//! `DYLECT_JOBS` workers and land in `results/cache/`, where the
+//! per-figure binaries pick them up without re-simulating.
 //!
 //! Usage: `allfigs [--quick] [--all]` (`--all` = full 12-benchmark suite).
 
 use std::collections::HashMap;
 
-use dylect_bench::{geomean, print_table, run_one, run_one_with_pages, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_cpu::PageSizeMode;
 use dylect_dram::RequestClass;
-use dylect_sim::{RunReport, SchemeKind, System};
+use dylect_sim::{RunReport, SchemeKind};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
 type Key = (String, &'static str, &'static str);
@@ -29,9 +32,18 @@ fn setting_name(s: CompressionSetting) -> &'static str {
 fn main() {
     let mode = Mode::from_env();
     let specs = suite();
-    let mut reports: HashMap<Key, RunReport> = HashMap::new();
 
-    // ---- Phase 1: the shared matrix -------------------------------------
+    // ---- Phase 1: build the whole run list ------------------------------
+    // Keys are submitted in one batch; the runner dedups identical configs
+    // (e.g. the g=1 granularity point repeats the matrix TMCC run) and
+    // executes the rest in parallel.
+    let mut ids: Vec<Key> = Vec::new();
+    let mut keys: Vec<RunKey> = Vec::new();
+    let push = |ids: &mut Vec<Key>, keys: &mut Vec<RunKey>, id: Key, key: RunKey| {
+        ids.push(id);
+        keys.push(key);
+    };
+
     let schemes: [(&'static str, SchemeKind); 4] = [
         ("nocomp", SchemeKind::NoCompression),
         ("tmcc", SchemeKind::tmcc()),
@@ -41,45 +53,152 @@ fn main() {
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         for spec in &specs {
             for (label, scheme) in &schemes {
-                let t0 = std::time::Instant::now();
-                let r = run_one(spec, scheme.clone(), setting, mode);
-                eprintln!(
-                    "[matrix] {} {} {}: ips {:.3e} hit {:.3} ({:.0}s)",
-                    setting_name(setting),
-                    spec.name,
-                    label,
-                    r.ips(),
-                    r.mc.cte_hit_rate(),
-                    t0.elapsed().as_secs_f64()
+                push(
+                    &mut ids,
+                    &mut keys,
+                    (spec.name.to_owned(), setting_name(setting), label),
+                    RunKey::new(spec.clone(), scheme.clone(), setting, mode),
                 );
-                reports.insert((spec.name.to_owned(), setting_name(setting), label), r);
             }
         }
     }
     // Naive strawman + the 16-rank no-compression system (energy), high only.
     for spec in &specs {
-        let r = run_one(spec, SchemeKind::NaiveDynamic, CompressionSetting::High, mode);
-        eprintln!("[matrix] high {} naive: ips {:.3e}", spec.name, r.ips());
-        reports.insert((spec.name.to_owned(), "high", "naive"), r);
-
-        let mut cfg = dylect_bench::config_for(
-            spec,
-            SchemeKind::NoCompression,
-            CompressionSetting::High,
-            mode,
+        push(
+            &mut ids,
+            &mut keys,
+            (spec.name.to_owned(), "high", "naive"),
+            RunKey::new(
+                spec.clone(),
+                SchemeKind::NaiveDynamic,
+                CompressionSetting::High,
+                mode,
+            ),
         );
-        cfg.dram_ranks = 16;
-        cfg.dram_bytes *= 2;
-        let warm = dylect_bench::warmup_for(spec, mode);
-        let r = System::new(cfg, spec).run(warm, mode.measure_ops);
-        reports.insert((spec.name.to_owned(), "high", "nocomp16"), r);
+        push(
+            &mut ids,
+            &mut keys,
+            (spec.name.to_owned(), "high", "nocomp16"),
+            RunKey::new(
+                spec.clone(),
+                SchemeKind::NoCompression,
+                CompressionSetting::High,
+                mode,
+            )
+            .with_ranks(16, 2),
+        );
     }
+    // Figure 3: the 4 KB-page baseline (the 2 MB side reuses matrix nocomp).
+    for spec in &specs {
+        push(
+            &mut ids,
+            &mut keys,
+            (spec.name.to_owned(), "low", "nocomp4k"),
+            RunKey::new(
+                spec.clone(),
+                SchemeKind::NoCompression,
+                CompressionSetting::Low,
+                mode,
+            )
+            .with_pages(PageSizeMode::Standard4K),
+        );
+    }
+    // Figure 5: CTE cache size sweep (TMCC, high) on the first 4 benchmarks.
+    let sweep_specs: Vec<BenchmarkSpec> = specs.iter().take(4).cloned().collect();
+    let cte_sizes: [(&'static str, u64); 4] = [
+        ("cte64", 64),
+        ("cte128", 128),
+        ("cte256", 256),
+        ("cte512", 512),
+    ];
+    for spec in &sweep_specs {
+        for (label, kb) in cte_sizes {
+            push(
+                &mut ids,
+                &mut keys,
+                (spec.name.to_owned(), "high", label),
+                RunKey::new(
+                    spec.clone(),
+                    SchemeKind::Tmcc {
+                        granule_pages: 1,
+                        cte_cache_bytes: kb * 1024,
+                    },
+                    CompressionSetting::High,
+                    mode,
+                ),
+            );
+        }
+    }
+    // Figures 6 + 25: granularity and group-size sweeps on the two fastest
+    // benchmarks.
+    let g_specs: Vec<BenchmarkSpec> = ["omnetpp", "canneal"]
+        .iter()
+        .filter_map(|n| BenchmarkSpec::by_name(n))
+        .collect();
+    let granules: [(&'static str, u64); 4] = [("g1", 1), ("g4", 4), ("g16", 16), ("g32", 32)];
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &g_specs {
+            for (label, g) in granules {
+                push(
+                    &mut ids,
+                    &mut keys,
+                    (spec.name.to_owned(), setting_name(setting), label),
+                    RunKey::new(
+                        spec.clone(),
+                        SchemeKind::Tmcc {
+                            granule_pages: g,
+                            cte_cache_bytes: 128 * 1024,
+                        },
+                        setting,
+                        mode,
+                    ),
+                );
+            }
+        }
+    }
+    let groups: [(&'static str, u64); 4] = [("grp1", 1), ("grp3", 3), ("grp7", 7), ("grp15", 15)];
+    for spec in &g_specs {
+        for (label, g) in groups {
+            push(
+                &mut ids,
+                &mut keys,
+                (spec.name.to_owned(), "high", label),
+                RunKey::new(
+                    spec.clone(),
+                    SchemeKind::Dylect {
+                        group_size: g,
+                        cte_cache_bytes: 128 * 1024,
+                    },
+                    CompressionSetting::High,
+                    mode,
+                ),
+            );
+        }
+    }
+
+    eprintln!("[allfigs] {} runs submitted", keys.len());
+    let results = run_matrix(keys);
+    let reports: HashMap<Key, RunReport> = ids.into_iter().zip(results).collect();
 
     let get = |b: &str, s: &'static str, sch: &'static str| -> &RunReport {
         reports
             .get(&(b.to_owned(), s, sch))
             .expect("report present")
     };
+
+    for s in ["low", "high"] {
+        for spec in &specs {
+            for (label, _) in &schemes {
+                let r = get(spec.name, s, label);
+                eprintln!(
+                    "[matrix] {s} {} {label}: ips {:.3e} hit {:.3}",
+                    spec.name,
+                    r.ips(),
+                    r.mc.cte_hit_rate()
+                );
+            }
+        }
+    }
 
     // ---- Phase 2: derived figures ---------------------------------------
     // Figure 4.
@@ -91,7 +210,11 @@ fn main() {
             xs.push(v);
             rows.push(vec![s.into(), spec.name.into(), format!("{v:.4}")]);
         }
-        rows.push(vec![s.into(), "GEOMEAN".into(), format!("{:.4}", geomean(&xs))]);
+        rows.push(vec![
+            s.into(),
+            "GEOMEAN".into(),
+            format!("{:.4}", geomean(&xs)),
+        ]);
     }
     print_table(
         "Figure 4: TMCC normalized to no-compression (paper: 0.86 low, 0.82 high)",
@@ -125,7 +248,12 @@ fn main() {
     }
     print_table(
         "Figure 18: DyLeCT over TMCC + always-hit upper bound (paper: 1.11 low, 1.095 high)",
-        &["setting", "benchmark", "dylect_over_tmcc", "upper_over_tmcc"],
+        &[
+            "setting",
+            "benchmark",
+            "dylect_over_tmcc",
+            "upper_over_tmcc",
+        ],
         &rows,
     );
     println!("# fig18 overall geomean: {:.4}\n", geomean(&all_speedups));
@@ -284,7 +412,11 @@ fn main() {
             format!("{v:.4}"),
         ]);
     }
-    rows.push(vec!["GEOMEAN".into(), String::new(), format!("{:.4}", geomean(&xs))]);
+    rows.push(vec![
+        "GEOMEAN".into(),
+        String::new(),
+        format!("{:.4}", geomean(&xs)),
+    ]);
     print_table(
         "Naive dynamic-length ablation (paper: hit 0.76, perf 0.95x TMCC)",
         &["benchmark", "naive_hit", "naive_over_tmcc"],
@@ -307,20 +439,14 @@ fn main() {
         &rows,
     );
 
-    // ---- Phase 3: extra sweeps ------------------------------------------
-    // Figure 3: 4 KB vs 2 MB pages.
+    // ---- Phase 3: the sweeps --------------------------------------------
+    // Figure 3: 4 KB vs 2 MB pages (the 2 MB side is the matrix nocomp run).
     let mut rows = Vec::new();
     let mut xs = Vec::new();
     for spec in &specs {
-        let small = run_one_with_pages(
-            spec,
-            SchemeKind::NoCompression,
-            CompressionSetting::Low,
-            mode,
-            PageSizeMode::Standard4K,
-        );
+        let small = get(spec.name, "low", "nocomp4k");
         let huge = get(spec.name, "low", "nocomp");
-        let v = huge.speedup_over(&small);
+        let v = huge.speedup_over(small);
         xs.push(v);
         rows.push(vec![
             spec.name.into(),
@@ -330,7 +456,12 @@ fn main() {
         ]);
         eprintln!("[fig03] {}: {v:.2}x", spec.name);
     }
-    rows.push(vec!["GEOMEAN".into(), format!("{:.3}", geomean(&xs)), String::new(), String::new()]);
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.3}", geomean(&xs)),
+        String::new(),
+        String::new(),
+    ]);
     print_table(
         "Figure 3: 2MB over 4KB page speedup, no compression (paper: 1.75x avg)",
         &["benchmark", "speedup", "tlb_miss_4k", "tlb_miss_2m"],
@@ -338,19 +469,12 @@ fn main() {
     );
 
     // Figure 5: CTE cache size sweep (TMCC, high).
-    let sweep_specs: Vec<&BenchmarkSpec> = specs.iter().take(4).collect();
     let mut rows = Vec::new();
     for spec in &sweep_specs {
         let mut row = vec![spec.name.to_owned()];
-        for kb in [64u64, 128, 256, 512] {
-            let r = run_one(
-                spec,
-                SchemeKind::Tmcc { granule_pages: 1, cte_cache_bytes: kb * 1024 },
-                CompressionSetting::High,
-                mode,
-            );
+        for (label, _) in cte_sizes {
+            let r = get(spec.name, "high", label);
             row.push(format!("{:.4}", 1.0 - r.mc.cte_hit_rate()));
-            eprintln!("[fig05] {} {kb}KB done", spec.name);
         }
         rows.push(row);
     }
@@ -361,24 +485,14 @@ fn main() {
     );
 
     // Figure 6: granularity sweep on the two fastest benchmarks.
-    let g_specs: Vec<BenchmarkSpec> = ["omnetpp", "canneal"]
-        .iter()
-        .filter_map(|n| BenchmarkSpec::by_name(n))
-        .collect();
     let mut rows = Vec::new();
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         for spec in &g_specs {
-            let base = run_one(spec, SchemeKind::NoCompression, setting, mode);
+            let base = get(spec.name, setting_name(setting), "nocomp");
             let mut row = vec![setting_name(setting).to_owned(), spec.name.to_owned()];
-            for g in [1u64, 4, 16, 32] {
-                let r = run_one(
-                    spec,
-                    SchemeKind::Tmcc { granule_pages: g, cte_cache_bytes: 128 * 1024 },
-                    setting,
-                    mode,
-                );
-                row.push(format!("{:.4}", r.speedup_over(&base)));
-                eprintln!("[fig06] {} {} g{} done", setting_name(setting), spec.name, g);
+            for (label, _) in granules {
+                let r = get(spec.name, setting_name(setting), label);
+                row.push(format!("{:.4}", r.speedup_over(base)));
             }
             rows.push(row);
         }
@@ -393,15 +507,9 @@ fn main() {
     let mut rows = Vec::new();
     for spec in &g_specs {
         let mut row = vec![spec.name.to_owned()];
-        for g in [1u64, 3, 7, 15] {
-            let r = run_one(
-                spec,
-                SchemeKind::Dylect { group_size: g, cte_cache_bytes: 128 * 1024 },
-                CompressionSetting::High,
-                mode,
-            );
+        for (label, _) in groups {
+            let r = get(spec.name, "high", label);
             row.push(format!("{:.4}", r.occupancy.ml0_fraction_of_uncompressed()));
-            eprintln!("[fig25] {} G={g} done", spec.name);
         }
         rows.push(row);
     }

@@ -4,32 +4,38 @@
 //! Paper (real Intel W-3175X system): 1.75x average speedup for these large
 //! irregular workloads, driven by ~20x fewer TLB misses.
 
-use dylect_bench::{geomean, print_table, run_one_with_pages, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_cpu::PageSizeMode;
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let mut keys = Vec::new();
+    for spec in &specs {
+        for pages in [PageSizeMode::Standard4K, PageSizeMode::Huge2M] {
+            keys.push(
+                RunKey::new(
+                    spec.clone(),
+                    SchemeKind::NoCompression,
+                    CompressionSetting::Low,
+                    mode,
+                )
+                .with_pages(pages),
+            );
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut miss_ratios = Vec::new();
-    for spec in suite() {
-        let small = run_one_with_pages(
-            &spec,
-            SchemeKind::NoCompression,
-            CompressionSetting::Low,
-            mode,
-            PageSizeMode::Standard4K,
-        );
-        let huge = run_one_with_pages(
-            &spec,
-            SchemeKind::NoCompression,
-            CompressionSetting::Low,
-            mode,
-            PageSizeMode::Huge2M,
-        );
-        let speedup = huge.speedup_over(&small);
+    for (spec, pair) in specs.iter().zip(reports.chunks_exact(2)) {
+        let [small, huge] = pair else {
+            unreachable!("chunks of 2");
+        };
+        let speedup = huge.speedup_over(small);
         let miss_ratio = if huge.tlb_miss_rate > 0.0 {
             small.tlb_miss_rate / huge.tlb_miss_rate
         } else {
@@ -63,5 +69,8 @@ fn main() {
         &rows,
     );
     println!("# geomean speedup: {:.3}", geomean(&speedups));
-    println!("# geomean TLB miss reduction: {:.1}x", geomean(&miss_ratios));
+    println!(
+        "# geomean TLB miss reduction: {:.1}x",
+        geomean(&miss_ratios)
+    );
 }

@@ -3,26 +3,42 @@
 //!
 //! Paper: 14% average slowdown at low compression, 18% at high.
 
-use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let mut keys = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &specs {
+            for scheme in [SchemeKind::NoCompression, SchemeKind::tmcc()] {
+                keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+            }
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
+    let mut chunks = reports.chunks_exact(2);
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         let mut normalized = Vec::new();
-        for spec in suite() {
-            let base = run_one(&spec, SchemeKind::NoCompression, setting, mode);
-            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-            let perf = tmcc.speedup_over(&base);
+        for spec in &specs {
+            let [base, tmcc] = chunks.next().expect("report per key") else {
+                unreachable!("chunks of 2");
+            };
+            let perf = tmcc.speedup_over(base);
             normalized.push(perf);
             rows.push(vec![
                 format!("{setting:?}"),
                 spec.name.to_owned(),
                 format!("{perf:.4}"),
             ]);
-            eprintln!("[fig04] {setting:?} {}: {perf:.3} of no-compression", spec.name);
+            eprintln!(
+                "[fig04] {setting:?} {}: {perf:.3} of no-compression",
+                spec.name
+            );
         }
         rows.push(vec![
             format!("{setting:?}"),

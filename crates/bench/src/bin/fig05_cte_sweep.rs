@@ -4,28 +4,35 @@
 //! Paper: octupling the cache from 64 KB to 512 KB only reduces the average
 //! miss rate from 34% to 24% — capacity alone cannot buy reach.
 
-use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_bench::{print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
     let sizes = [64u64, 128, 256, 512];
-    let mut rows = Vec::new();
-    let mut means = vec![0.0f64; sizes.len()];
     let specs = suite();
+    let mut keys = Vec::new();
     for spec in &specs {
-        let mut row = vec![spec.name.to_owned()];
-        for (i, kb) in sizes.iter().enumerate() {
-            let r = run_one(
-                spec,
+        for kb in sizes {
+            keys.push(RunKey::new(
+                spec.clone(),
                 SchemeKind::Tmcc {
                     granule_pages: 1,
                     cte_cache_bytes: kb * 1024,
                 },
                 CompressionSetting::High,
                 mode,
-            );
+            ));
+        }
+    }
+    let reports = run_matrix(keys);
+
+    let mut rows = Vec::new();
+    let mut means = vec![0.0f64; sizes.len()];
+    for (spec, row_reports) in specs.iter().zip(reports.chunks_exact(sizes.len())) {
+        let mut row = vec![spec.name.to_owned()];
+        for (i, (kb, r)) in sizes.iter().zip(row_reports).enumerate() {
             let miss = 1.0 - r.mc.cte_hit_rate();
             means[i] += miss;
             row.push(format!("{miss:.4}"));

@@ -6,7 +6,7 @@
 //! (0.82 → 0.54) because every expansion moves and decompresses the whole
 //! granule.
 
-use dylect_bench::{geomean, print_table, reduced_suite, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, reduced_suite, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
@@ -18,23 +18,40 @@ fn main() {
     } else {
         reduced_suite()
     };
-    let mut rows = Vec::new();
+    let mut keys = Vec::new();
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
-        let mut per_granule: Vec<Vec<f64>> = vec![Vec::new(); granules.len()];
         for spec in &specs {
-            let base = run_one(spec, SchemeKind::NoCompression, setting, mode);
-            let mut row = vec![format!("{setting:?}"), spec.name.to_owned()];
-            for (i, &g) in granules.iter().enumerate() {
-                let r = run_one(
-                    spec,
+            keys.push(RunKey::new(
+                spec.clone(),
+                SchemeKind::NoCompression,
+                setting,
+                mode,
+            ));
+            for g in granules {
+                keys.push(RunKey::new(
+                    spec.clone(),
                     SchemeKind::Tmcc {
                         granule_pages: g,
                         cte_cache_bytes: 128 * 1024,
                     },
                     setting,
                     mode,
-                );
-                let perf = r.speedup_over(&base);
+                ));
+            }
+        }
+    }
+    let reports = run_matrix(keys);
+
+    let mut rows = Vec::new();
+    let mut chunks = reports.chunks_exact(1 + granules.len());
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        let mut per_granule: Vec<Vec<f64>> = vec![Vec::new(); granules.len()];
+        for spec in &specs {
+            let group = chunks.next().expect("report per key");
+            let base = &group[0];
+            let mut row = vec![format!("{setting:?}"), spec.name.to_owned()];
+            for (i, (g, r)) in granules.iter().zip(&group[1..]).enumerate() {
+                let perf = r.speedup_over(base);
                 per_granule[i].push(perf);
                 row.push(format!("{perf:.4}"));
                 eprintln!("[fig06] {setting:?} {} @{}KB: {perf:.3}", spec.name, g * 4);

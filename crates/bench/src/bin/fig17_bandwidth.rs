@@ -5,15 +5,28 @@
 //! DDR4-3200 channel), establishing that the workloads are memory-intensive
 //! but not uniformly bandwidth-bound.
 
-use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_bench::{print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let keys = specs
+        .iter()
+        .map(|spec| {
+            RunKey::new(
+                spec.clone(),
+                SchemeKind::NoCompression,
+                CompressionSetting::Low,
+                mode,
+            )
+        })
+        .collect();
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
-    for spec in suite() {
-        let r = run_one(&spec, SchemeKind::NoCompression, CompressionSetting::Low, mode);
+    for (spec, r) in specs.iter().zip(&reports) {
         let util = r.bus_utilization();
         let gbps = util * 25.6;
         rows.push(vec![
@@ -22,11 +35,20 @@ fn main() {
             format!("{gbps:.2}"),
             format!("{:.1}", r.traffic_per_kilo_instruction()),
         ]);
-        eprintln!("[fig17] {}: {:.1}% ({gbps:.1} GB/s)", spec.name, util * 100.0);
+        eprintln!(
+            "[fig17] {}: {:.1}% ({gbps:.1} GB/s)",
+            spec.name,
+            util * 100.0
+        );
     }
     print_table(
         "Figure 17: DRAM bandwidth utilization, no compression (paper: ~10-80% across the suite)",
-        &["benchmark", "bus_utilization", "gb_per_s", "blocks_per_kiloinstruction"],
+        &[
+            "benchmark",
+            "bus_utilization",
+            "gb_per_s",
+            "blocks_per_kiloinstruction",
+        ],
         &rows,
     );
 }

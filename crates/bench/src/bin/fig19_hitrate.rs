@@ -5,19 +5,32 @@
 //! Paper: low — TMCC 70% vs DyLeCT 96%; high — TMCC 67% vs DyLeCT 91%
 //! (77% from pre-gathered blocks + 14% from unified blocks).
 
-use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_bench::{print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let mut keys = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &specs {
+            for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+                keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+            }
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
+    let mut chunks = reports.chunks_exact(2);
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         let mut sums = [0.0f64; 4];
         let mut n = 0.0;
-        for spec in suite() {
-            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-            let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+        for spec in &specs {
+            let [tmcc, dylect] = chunks.next().expect("report per key") else {
+                unreachable!("chunks of 2");
+            };
             let t = tmcc.mc.cte_hit_rate();
             let d = dylect.mc.cte_hit_rate();
             let pg = dylect.mc.pregathered_hit_rate();

@@ -4,16 +4,31 @@
 //! Paper: at low compression ML0 "scales up gracefully" to most of DRAM;
 //! at high compression more pages sit compressed in ML2 and ML0 shrinks.
 
-use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_bench::{print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
-    let mut rows = Vec::new();
+    let specs = suite();
+    let mut keys = Vec::new();
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
-        for spec in suite() {
-            let r = run_one(&spec, SchemeKind::dylect(), setting, mode);
+        for spec in &specs {
+            keys.push(RunKey::new(
+                spec.clone(),
+                SchemeKind::dylect(),
+                setting,
+                mode,
+            ));
+        }
+    }
+    let reports = run_matrix(keys);
+
+    let mut rows = Vec::new();
+    let mut iter = reports.iter();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &specs {
+            let r = iter.next().expect("report per key");
             let o = r.occupancy;
             let total = (o.ml0_pages + o.ml1_pages + o.ml2_pages) as f64;
             rows.push(vec![

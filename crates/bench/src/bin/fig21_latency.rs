@@ -4,19 +4,32 @@
 //! Paper: DyLeCT adds 2.9 ns (low) / 5.8 ns (high) on average; TMCC adds
 //! 9.5 ns / 12.8 ns.
 
-use dylect_bench::{print_table, run_one, suite, Mode};
+use dylect_bench::{print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let mut keys = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &specs {
+            for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+                keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+            }
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
+    let mut chunks = reports.chunks_exact(2);
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         let mut sums = [0.0f64; 2];
         let mut n = 0.0;
-        for spec in suite() {
-            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-            let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+        for spec in &specs {
+            let [tmcc, dylect] = chunks.next().expect("report per key") else {
+                unreachable!("chunks of 2");
+            };
             sums[0] += tmcc.l3_miss_overhead_ns;
             sums[1] += dylect.l3_miss_overhead_ns;
             n += 1.0;

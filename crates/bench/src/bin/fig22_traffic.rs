@@ -4,18 +4,28 @@
 //! Paper: 93% on average — DyLeCT's CTE-traffic savings outweigh its
 //! migration and dual-fetch costs per unit of work.
 
-use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
     let setting = CompressionSetting::High;
+    let specs = suite();
+    let mut keys = Vec::new();
+    for spec in &specs {
+        for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+            keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
-    for spec in suite() {
-        let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-        let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+    for (spec, pair) in specs.iter().zip(reports.chunks_exact(2)) {
+        let [tmcc, dylect] = pair else {
+            unreachable!("chunks of 2");
+        };
         let ratio = dylect.traffic_per_kilo_instruction() / tmcc.traffic_per_kilo_instruction();
         ratios.push(ratio);
         rows.push(vec![

@@ -6,33 +6,43 @@
 //! much rarer); total traffic is ~4.5% higher purely because DyLeCT commits
 //! more instructions in the window.
 
-use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
     let setting = CompressionSetting::High;
+    let specs = suite();
+    let mut keys = Vec::new();
+    for spec in &specs {
+        for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+            keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut cte_ratios = Vec::new();
     let mut total_ratios = Vec::new();
-    for spec in suite() {
-        let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-        let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
+    for (spec, pair) in specs.iter().zip(reports.chunks_exact(2)) {
+        let [tmcc, dylect] = pair else {
+            unreachable!("chunks of 2");
+        };
         // Normalize traffic *rates* (blocks per simulated second) so the
         // comparison matches the paper's fixed-window methodology.
         let rate = |r: &dylect_sim::RunReport, blocks: u64| blocks as f64 / r.elapsed.as_secs();
         let cte_ratio = rate(
-            &dylect,
+            dylect,
             dylect
                 .dram
                 .class_blocks(dylect_dram::RequestClass::CteFetch),
         ) / rate(
-            &tmcc,
+            tmcc,
             tmcc.dram.class_blocks(dylect_dram::RequestClass::CteFetch),
         );
         let total_ratio =
-            rate(&dylect, dylect.dram.total_blocks()) / rate(&tmcc, tmcc.dram.total_blocks());
+            rate(dylect, dylect.dram.total_blocks()) / rate(tmcc, tmcc.dram.total_blocks());
         cte_ratios.push(cte_ratio);
         total_ratios.push(total_ratio);
         rows.push(vec![
@@ -40,7 +50,10 @@ fn main() {
             format!("{cte_ratio:.4}"),
             format!("{total_ratio:.4}"),
         ]);
-        eprintln!("[fig23] {}: cte {cte_ratio:.3}, total {total_ratio:.3}", spec.name);
+        eprintln!(
+            "[fig23] {}: cte {cte_ratio:.3}, total {total_ratio:.3}",
+            spec.name
+        );
     }
     rows.push(vec![
         "GEOMEAN".to_owned(),

@@ -4,22 +4,35 @@
 //! Paper: ~60% on average — halving the DRAM chips halves the dominant
 //! idle (refresh + background) energy.
 
-use dylect_bench::{config_for, geomean, print_table, suite, Mode};
-use dylect_sim::{SchemeKind, System};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
+use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
     let setting = CompressionSetting::High;
+    let specs = suite();
+    let mut keys = Vec::new();
+    for spec in &specs {
+        // The bigger no-compression system uses twice the ranks (paper §VI).
+        keys.push(
+            RunKey::new(spec.clone(), SchemeKind::NoCompression, setting, mode).with_ranks(16, 2),
+        );
+        keys.push(RunKey::new(
+            spec.clone(),
+            SchemeKind::dylect(),
+            setting,
+            mode,
+        ));
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
-    for spec in suite() {
-        // The bigger no-compression system uses twice the ranks (paper §VI).
-        let mut base_cfg = config_for(&spec, SchemeKind::NoCompression, setting, mode);
-        base_cfg.dram_ranks = 16;
-        base_cfg.dram_bytes *= 2;
-        let base = System::new(base_cfg, &spec).run(mode.warmup_ops, mode.measure_ops);
-        let dylect = dylect_bench::run_one(&spec, SchemeKind::dylect(), setting, mode);
+    for (spec, pair) in specs.iter().zip(reports.chunks_exact(2)) {
+        let [base, dylect] = pair else {
+            unreachable!("chunks of 2");
+        };
         let ratio = dylect.energy_per_instruction_nj() / base.energy_per_instruction_nj();
         ratios.push(ratio);
         rows.push(vec![

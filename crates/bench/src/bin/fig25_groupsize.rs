@@ -7,7 +7,7 @@
 //! spot (3-bit CTEs would halve the pre-gathered block's reach for no ML0
 //! gain).
 
-use dylect_bench::{print_table, reduced_suite, run_one, suite, Mode};
+use dylect_bench::{print_table, reduced_suite, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
@@ -19,20 +19,27 @@ fn main() {
     } else {
         reduced_suite()
     };
-    let mut rows = Vec::new();
-    let mut means = vec![0.0f64; groups.len()];
+    let mut keys = Vec::new();
     for spec in &specs {
-        let mut row = vec![spec.name.to_owned()];
-        for (i, &g) in groups.iter().enumerate() {
-            let r = run_one(
-                spec,
+        for &g in &groups {
+            keys.push(RunKey::new(
+                spec.clone(),
                 SchemeKind::Dylect {
                     group_size: g,
                     cte_cache_bytes: 128 * 1024,
                 },
                 CompressionSetting::High,
                 mode,
-            );
+            ));
+        }
+    }
+    let reports = run_matrix(keys);
+
+    let mut rows = Vec::new();
+    let mut means = vec![0.0f64; groups.len()];
+    for (spec, row_reports) in specs.iter().zip(reports.chunks_exact(groups.len())) {
+        let mut row = vec![spec.name.to_owned()];
+        for (i, (&g, r)) in groups.iter().zip(row_reports).enumerate() {
             let frac = r.occupancy.ml0_fraction_of_uncompressed();
             means[i] += frac;
             row.push(format!("{frac:.4}"));

@@ -7,23 +7,36 @@
 //! while DyLeCT's two fixes (gradual promotion + pre-gathered table in a
 //! single cache) turn the same idea into a 9.5% win.
 
-use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::SchemeKind;
 use dylect_workloads::CompressionSetting;
 
 fn main() {
     let mode = Mode::from_env();
     let setting = CompressionSetting::High;
+    let specs = suite();
+    let mut keys = Vec::new();
+    for spec in &specs {
+        for scheme in [
+            SchemeKind::tmcc(),
+            SchemeKind::NaiveDynamic,
+            SchemeKind::dylect(),
+        ] {
+            keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
     let mut naive_speedups = Vec::new();
     let mut dylect_speedups = Vec::new();
     let mut naive_hits = Vec::new();
-    for spec in suite() {
-        let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-        let naive = run_one(&spec, SchemeKind::NaiveDynamic, setting, mode);
-        let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
-        let sn = naive.speedup_over(&tmcc);
-        let sd = dylect.speedup_over(&tmcc);
+    for (spec, trio) in specs.iter().zip(reports.chunks_exact(3)) {
+        let [tmcc, naive, dylect] = trio else {
+            unreachable!("chunks of 3");
+        };
+        let sn = naive.speedup_over(tmcc);
+        let sd = dylect.speedup_over(tmcc);
         naive_speedups.push(sn);
         dylect_speedups.push(sd);
         naive_hits.push(naive.mc.cte_hit_rate());
@@ -46,7 +59,10 @@ fn main() {
     rows.push(vec![
         "GEOMEAN".to_owned(),
         String::new(),
-        format!("{:.4}", naive_hits.iter().sum::<f64>() / naive_hits.len() as f64),
+        format!(
+            "{:.4}",
+            naive_hits.iter().sum::<f64>() / naive_hits.len() as f64
+        ),
         String::new(),
         format!("{:.4}", geomean(&naive_speedups)),
         format!("{:.4}", geomean(&dylect_speedups)),

@@ -5,7 +5,7 @@
 //! Paper: TMCC and DyLeCT both reach a 3.4x (maximum) compression ratio;
 //! DyLeCT gains +10.25% over TMCC under huge pages.
 
-use dylect_bench::{geomean, print_table, run_one, suite, Mode};
+use dylect_bench::{geomean, print_table, run_matrix, suite, Mode, RunKey};
 use dylect_sim::{RunReport, SchemeKind};
 use dylect_sim_core::PAGE_BYTES;
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
@@ -23,17 +23,30 @@ fn effective_ratio(spec: &BenchmarkSpec, mode: Mode, r: &RunReport) -> f64 {
 
 fn main() {
     let mode = Mode::from_env();
+    let specs = suite();
+    let mut keys = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for spec in &specs {
+            for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+                keys.push(RunKey::new(spec.clone(), scheme, setting, mode));
+            }
+        }
+    }
+    let reports = run_matrix(keys);
+
     let mut rows = Vec::new();
+    let mut chunks = reports.chunks_exact(2);
     for setting in [CompressionSetting::Low, CompressionSetting::High] {
         let mut speedups = Vec::new();
         let mut ratios_t = Vec::new();
         let mut ratios_d = Vec::new();
-        for spec in suite() {
-            let tmcc = run_one(&spec, SchemeKind::tmcc(), setting, mode);
-            let dylect = run_one(&spec, SchemeKind::dylect(), setting, mode);
-            speedups.push(dylect.speedup_over(&tmcc));
-            ratios_t.push(effective_ratio(&spec, mode, &tmcc));
-            ratios_d.push(effective_ratio(&spec, mode, &dylect));
+        for spec in &specs {
+            let [tmcc, dylect] = chunks.next().expect("report per key") else {
+                unreachable!("chunks of 2");
+            };
+            speedups.push(dylect.speedup_over(tmcc));
+            ratios_t.push(effective_ratio(spec, mode, tmcc));
+            ratios_d.push(effective_ratio(spec, mode, dylect));
             eprintln!("[table1] {setting:?} {} done", spec.name);
         }
         rows.push(vec![

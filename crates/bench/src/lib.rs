@@ -1,21 +1,32 @@
-//! Shared experiment runner for the paper-reproduction binaries.
+//! Shared experiment harness for the paper-reproduction binaries.
 //!
 //! Every `src/bin/*` binary regenerates one table or figure of the DyLeCT
-//! paper. They share this runner: it builds the paper's system (Table 3)
+//! paper. They share this harness: it builds the paper's system (Table 3)
 //! for a benchmark × scheme × compression-setting combination, runs
 //! warmup + measurement, and returns the [`RunReport`].
 //!
+//! Runs are declared as a list of [`RunKey`]s and executed by the
+//! [`runner`] module: independent simulations run in parallel (one worker
+//! per core, `DYLECT_JOBS=n` to override) and finished reports are cached
+//! under `results/cache/` so binaries sharing matrix cells — `allfigs`
+//! computes almost every cell the per-figure binaries need — never
+//! re-simulate them. See [`runner`] for the cache/invalidation story.
+//!
 //! Two effort levels exist (the simulator is deterministic, so results are
-//! exactly reproducible at either):
+//! exactly reproducible at either, parallel or not):
 //!
 //! - **full** (default): 1/4-scale footprints, 4 cores, 6 M warmup +
 //!   1 M measured operations — minutes per figure;
 //! - **quick** (`--quick` or `DYLECT_QUICK=1`): 1/32-scale, 2 cores,
 //!   shorter windows — seconds per figure, noisier numbers.
 
+pub mod runner;
+
 use dylect_cpu::PageSizeMode;
-use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
+use dylect_sim::{RunReport, SchemeKind, SystemConfig};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+pub use runner::{run_jobs, run_matrix, setting_label, Job, RunKey, Runner};
 
 /// Effort level of a reproduction run.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -99,15 +110,16 @@ pub fn warmup_for(spec: &BenchmarkSpec, mode: Mode) -> u64 {
 }
 
 /// Runs one benchmark × scheme × setting and returns the report.
+///
+/// This executes directly, with no pool or cache — for single ad-hoc runs
+/// and tests. Binaries should declare [`RunKey`]s and use [`run_matrix`].
 pub fn run_one(
     spec: &BenchmarkSpec,
     scheme: SchemeKind,
     setting: CompressionSetting,
     mode: Mode,
 ) -> RunReport {
-    let cfg = config_for(spec, scheme, setting, mode);
-    let mut sys = System::new(cfg, spec);
-    sys.run(warmup_for(spec, mode), mode.measure_ops)
+    RunKey::new(spec.clone(), scheme, setting, mode).execute()
 }
 
 /// Like [`run_one`] but with an explicit page-size mode (Figure 3 compares
@@ -119,10 +131,9 @@ pub fn run_one_with_pages(
     mode: Mode,
     pages: PageSizeMode,
 ) -> RunReport {
-    let mut cfg = config_for(spec, scheme, setting, mode);
-    cfg.core.page_mode = pages;
-    let mut sys = System::new(cfg, spec);
-    sys.run(warmup_for(spec, mode), mode.measure_ops)
+    RunKey::new(spec.clone(), scheme, setting, mode)
+        .with_pages(pages)
+        .execute()
 }
 
 /// Geometric mean of a non-empty sequence (0 if empty).
@@ -191,7 +202,12 @@ mod tests {
     fn config_for_sizes_dram_by_scheme() {
         let spec = BenchmarkSpec::by_name("omnetpp").unwrap();
         let m = Mode::quick();
-        let nc = config_for(&spec, SchemeKind::NoCompression, CompressionSetting::High, m);
+        let nc = config_for(
+            &spec,
+            SchemeKind::NoCompression,
+            CompressionSetting::High,
+            m,
+        );
         let tm = config_for(&spec, SchemeKind::tmcc(), CompressionSetting::High, m);
         assert!(nc.dram_bytes > tm.dram_bytes);
     }

@@ -1,0 +1,409 @@
+//! Parallel, cached execution of the paper-reproduction run matrix.
+//!
+//! Every figure/table binary used to call [`run_one`] in nested loops,
+//! re-simulating the shared benchmark × scheme × compression matrix from
+//! scratch, strictly sequentially. This module replaces that with:
+//!
+//! - **[`RunKey`]**: a declarative description of one simulation (benchmark,
+//!   scheme, compression setting, effort [`Mode`], plus the page-size and
+//!   DRAM-rank overrides Figures 3 and 24 need). Binaries build a list of
+//!   keys and get the reports back in the same order.
+//! - **A worker pool**: independent keys run concurrently on
+//!   `std::thread::scope` threads — one per available core by default,
+//!   overridable with `DYLECT_JOBS=n`. The simulator is deterministic and
+//!   each run is fully isolated, so parallel results are identical to a
+//!   sequential run (asserted by `tests/determinism.rs`).
+//! - **An on-disk report cache** under `results/cache/` (override with
+//!   `DYLECT_CACHE_DIR`): one JSON-ish file per run key, named and versioned
+//!   by a fingerprint of the *entire* resolved [`SystemConfig`] plus
+//!   warmup/measure windows. Rerunning any figure binary after `allfigs`
+//!   reuses the shared matrix instead of re-simulating it. Pass `--no-cache`
+//!   (or `DYLECT_NO_CACHE=1`) to ignore existing entries, or delete the
+//!   directory.
+//!
+//! [`run_one`]: crate::run_one
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dylect_cpu::PageSizeMode;
+use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+use crate::{config_for, warmup_for, Mode};
+
+/// Short label for a compression setting, used in run labels, cache file
+/// names, and table rows.
+pub fn setting_label(s: CompressionSetting) -> &'static str {
+    match s {
+        CompressionSetting::Low => "low",
+        CompressionSetting::High => "high",
+    }
+}
+
+/// One cell of the reproduction matrix: everything needed to build the
+/// paper's system for a single deterministic simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunKey {
+    /// The benchmark to run.
+    pub spec: BenchmarkSpec,
+    /// The memory-controller scheme.
+    pub scheme: SchemeKind,
+    /// Compression pressure.
+    pub setting: CompressionSetting,
+    /// Effort level (scale, cores, warmup/measure windows).
+    pub mode: Mode,
+    /// Page-size override (Figure 3 compares 4 KB against 2 MB pages).
+    pub pages: Option<PageSizeMode>,
+    /// DRAM-rank override (Figure 24's 16-rank no-compression baseline).
+    pub dram_ranks: Option<u32>,
+    /// Multiplier on DRAM capacity, applied after [`config_for`] (Figure
+    /// 24's baseline doubles capacity along with ranks).
+    pub dram_bytes_factor: u64,
+    /// Memory-controller count override (the §IV-D multi-MC ablation).
+    pub memory_controllers: Option<usize>,
+}
+
+impl RunKey {
+    /// A standard matrix cell with no overrides.
+    pub fn new(
+        spec: BenchmarkSpec,
+        scheme: SchemeKind,
+        setting: CompressionSetting,
+        mode: Mode,
+    ) -> RunKey {
+        RunKey {
+            spec,
+            scheme,
+            setting,
+            mode,
+            pages: None,
+            dram_ranks: None,
+            dram_bytes_factor: 1,
+            memory_controllers: None,
+        }
+    }
+
+    /// Overrides the OS page size.
+    pub fn with_pages(mut self, pages: PageSizeMode) -> RunKey {
+        self.pages = Some(pages);
+        self
+    }
+
+    /// Overrides DRAM ranks and scales DRAM capacity by `bytes_factor`.
+    pub fn with_ranks(mut self, ranks: u32, bytes_factor: u64) -> RunKey {
+        self.dram_ranks = Some(ranks);
+        self.dram_bytes_factor = bytes_factor;
+        self
+    }
+
+    /// Overrides the number of independent memory controllers.
+    pub fn with_mcs(mut self, mcs: usize) -> RunKey {
+        self.memory_controllers = Some(mcs);
+        self
+    }
+
+    /// Human-readable run label for progress lines and cache file names.
+    pub fn label(&self) -> String {
+        let mut l = format!(
+            "{}/{}/{}",
+            self.spec.name,
+            self.scheme.label(),
+            setting_label(self.setting)
+        );
+        match self.pages {
+            Some(PageSizeMode::Standard4K) => l.push_str("/4k"),
+            Some(PageSizeMode::Huge2M) => l.push_str("/2m"),
+            None => {}
+        }
+        if let Some(r) = self.dram_ranks {
+            l.push_str(&format!("/{r}rk"));
+        }
+        if let Some(m) = self.memory_controllers {
+            l.push_str(&format!("/{m}mc"));
+        }
+        l
+    }
+
+    /// The fully resolved system configuration for this key.
+    pub fn config(&self) -> SystemConfig {
+        let mut cfg = config_for(&self.spec, self.scheme.clone(), self.setting, self.mode);
+        if let Some(p) = self.pages {
+            cfg.core.page_mode = p;
+        }
+        if let Some(r) = self.dram_ranks {
+            cfg.dram_ranks = r;
+        }
+        if let Some(m) = self.memory_controllers {
+            cfg.memory_controllers = m;
+        }
+        cfg.dram_bytes *= self.dram_bytes_factor;
+        cfg
+    }
+
+    /// Fingerprint of everything that determines this run's report. Two
+    /// keys that resolve to the same simulation (e.g. `nocomp/low` in the
+    /// shared matrix and Figure 3's explicit 2 MB-page run) collapse to the
+    /// same fingerprint, so they share one cache entry and one execution.
+    fn fingerprint(&self) -> u64 {
+        let cfg = self.config();
+        let input = format!(
+            "report-v{};cfg{:?};spec{:?};warm{};measure{}",
+            RunReport::CACHE_FORMAT_VERSION,
+            cfg,
+            self.spec,
+            warmup_for(&self.spec, self.mode),
+            self.mode.measure_ops,
+        );
+        dylect_sim_core::kv::fingerprint64(&input)
+    }
+
+    /// Executes the simulation (no cache involvement).
+    pub fn execute(&self) -> RunReport {
+        let cfg = self.config();
+        let warmup = warmup_for(&self.spec, self.mode);
+        let mut sys = System::new(cfg, &self.spec);
+        sys.run(warmup, self.mode.measure_ops)
+    }
+
+    fn into_job(self) -> Job {
+        let label = self.label();
+        let cache_name = format!("{}-{:016x}", sanitize(&label), self.fingerprint());
+        Job {
+            label,
+            cache_name: Some(cache_name),
+            work: Box::new(move || self.execute()),
+        }
+    }
+}
+
+/// One schedulable unit of work: a label, an optional cache identity, and
+/// the closure that produces the report.
+///
+/// Binaries whose variants cannot be expressed as a [`RunKey`] (the
+/// promotion-policy and cache-policy ablations assemble schemes by hand)
+/// submit custom jobs and still get pooling + caching.
+pub struct Job {
+    /// Progress/observability label.
+    pub label: String,
+    /// Cache file stem (including a config fingerprint); `None` disables
+    /// caching for this job.
+    pub cache_name: Option<String>,
+    /// Produces the report. Runs at most once, on a worker thread.
+    pub work: Box<dyn FnOnce() -> RunReport + Send>,
+}
+
+impl Job {
+    /// A custom job cached under `label` + a fingerprint of
+    /// `fingerprint_input`, which must capture *every* knob that affects
+    /// the result (typically `format!("{:?}", custom_config)`).
+    pub fn custom(
+        label: impl Into<String>,
+        fingerprint_input: &str,
+        work: impl FnOnce() -> RunReport + Send + 'static,
+    ) -> Job {
+        let label = label.into();
+        let fp = dylect_sim_core::kv::fingerprint64(&format!(
+            "report-v{};{label};{fingerprint_input}",
+            RunReport::CACHE_FORMAT_VERSION
+        ));
+        Job {
+            cache_name: Some(format!("{}-{fp:016x}", sanitize(&label))),
+            label,
+            work: Box::new(work),
+        }
+    }
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '.' | '_' | '-' => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// The parallel, cached experiment runner.
+pub struct Runner {
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    read_cache: bool,
+}
+
+impl Runner {
+    /// Configures the runner from the environment:
+    ///
+    /// - `DYLECT_JOBS=n` — worker count (default: available parallelism);
+    /// - `DYLECT_CACHE_DIR=path` — cache location (default `results/cache`);
+    /// - `--no-cache` / `DYLECT_NO_CACHE=1` — ignore existing cache entries
+    ///   (fresh results are still written, refreshing the cache).
+    pub fn from_env() -> Runner {
+        let jobs = std::env::var("DYLECT_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        let no_cache = std::env::args().any(|a| a == "--no-cache")
+            || std::env::var("DYLECT_NO_CACHE").is_ok_and(|v| v != "0");
+        let cache_dir = std::env::var("DYLECT_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results/cache"));
+        Runner {
+            jobs,
+            cache_dir: Some(cache_dir),
+            read_cache: !no_cache,
+        }
+    }
+
+    /// A fully explicit runner (used by the determinism tests): `jobs`
+    /// workers, optional cache directory, optionally reading existing
+    /// entries.
+    pub fn with(jobs: usize, cache_dir: Option<PathBuf>, read_cache: bool) -> Runner {
+        Runner {
+            jobs: jobs.max(1),
+            cache_dir,
+            read_cache,
+        }
+    }
+
+    /// Runs the matrix, returning reports in key order.
+    pub fn run_matrix(&self, keys: Vec<RunKey>) -> Vec<RunReport> {
+        self.run_jobs(keys.into_iter().map(RunKey::into_job).collect())
+    }
+
+    /// Runs arbitrary jobs, returning reports in submission order.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> Vec<RunReport> {
+        let started = Instant::now();
+        let total = jobs.len();
+        let mut slots: Vec<Option<RunReport>> = (0..total).map(|_| None).collect();
+
+        // Pass 1: serve cache hits and collapse duplicate fingerprints, so
+        // the pool only ever simulates distinct, unseen configurations.
+        let mut misses: Vec<(usize, Job)> = Vec::new();
+        let mut dup_of: Vec<(usize, usize)> = Vec::new();
+        let mut seen: Vec<(String, usize)> = Vec::new();
+        let mut cached = 0usize;
+        for (i, job) in jobs.into_iter().enumerate() {
+            if let Some(name) = &job.cache_name {
+                if let Some(&(_, rep)) = seen.iter().find(|(n, _)| n == name) {
+                    dup_of.push((i, rep));
+                    continue;
+                }
+                if self.read_cache {
+                    if let Some(report) = self.cache_read(name) {
+                        eprintln!("[runner] {}: cached", job.label);
+                        cached += 1;
+                        slots[i] = Some(report);
+                        continue;
+                    }
+                }
+                seen.push((name.clone(), i));
+            }
+            misses.push((i, job));
+        }
+
+        // Pass 2: simulate the misses on the worker pool.
+        let n_misses = misses.len();
+        if n_misses > 0 {
+            let workers = self.jobs.min(n_misses);
+            let queue: Vec<Mutex<Option<(usize, Job)>>> =
+                misses.into_iter().map(|m| Mutex::new(Some(m))).collect();
+            let next = AtomicUsize::new(0);
+            let done = AtomicUsize::new(0);
+            let results: Vec<Mutex<Option<(usize, Option<String>, RunReport)>>> =
+                (0..n_misses).map(|_| Mutex::new(None)).collect();
+            let (queue_ref, next_ref, done_ref, results_ref, started_ref) =
+                (&queue, &next, &done, &results, &started);
+            std::thread::scope(|scope| {
+                for wid in 0..workers {
+                    scope.spawn(move || loop {
+                        let q = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if q >= n_misses {
+                            break;
+                        }
+                        let (slot, job) =
+                            queue_ref[q].lock().unwrap().take().expect("job taken once");
+                        eprintln!("[runner] w{wid:02} start {}", job.label);
+                        let t0 = Instant::now();
+                        let report = (job.work)();
+                        let finished = done_ref.fetch_add(1, Ordering::Relaxed) + 1;
+                        let wall = started_ref.elapsed().as_secs_f64();
+                        eprintln!(
+                            "[runner] w{wid:02} done  {}: {:.1}s ({finished}/{n_misses} sims, {:.2} sims/s)",
+                            job.label,
+                            t0.elapsed().as_secs_f64(),
+                            finished as f64 / wall.max(1e-9),
+                        );
+                        *results_ref[q].lock().unwrap() = Some((slot, job.cache_name, report));
+                    });
+                }
+            });
+            for cell in results {
+                let (slot, cache_name, report) =
+                    cell.into_inner().unwrap().expect("worker filled result");
+                if let Some(name) = &cache_name {
+                    self.cache_write(name, &report);
+                }
+                slots[slot] = Some(report);
+            }
+        }
+
+        // Pass 3: fill duplicate keys from their representative's report.
+        for (dup, rep) in dup_of {
+            slots[dup] = Some(slots[rep].clone().expect("representative ran"));
+        }
+
+        if total > 1 {
+            eprintln!(
+                "[runner] {total} runs ({cached} cached, {} deduped, {n_misses} simulated) in {:.1}s on {} worker(s)",
+                total - cached - n_misses,
+                started.elapsed().as_secs_f64(),
+                self.jobs.min(n_misses.max(1)),
+            );
+        }
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+
+    fn cache_path(&self, name: &str) -> Option<PathBuf> {
+        Some(self.cache_dir.as_ref()?.join(format!("{name}.report")))
+    }
+
+    fn cache_read(&self, name: &str) -> Option<RunReport> {
+        let text = fs::read_to_string(self.cache_path(name)?).ok()?;
+        RunReport::from_cache_text(&text)
+    }
+
+    fn cache_write(&self, name: &str, report: &RunReport) {
+        let Some(path) = self.cache_path(name) else {
+            return;
+        };
+        if let Err(e) = write_atomically(&path, &report.to_cache_text()) {
+            // A read-only checkout degrades to uncached, not to failure.
+            eprintln!("[runner] warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn write_atomically(path: &Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().expect("cache path has a parent");
+    fs::create_dir_all(dir)?;
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+/// Runs the matrix with the environment-configured runner (the common
+/// entry point for the figure binaries).
+pub fn run_matrix(keys: Vec<RunKey>) -> Vec<RunReport> {
+    Runner::from_env().run_matrix(keys)
+}
+
+/// Runs custom jobs with the environment-configured runner.
+pub fn run_jobs(jobs: Vec<Job>) -> Vec<RunReport> {
+    Runner::from_env().run_jobs(jobs)
+}

@@ -23,8 +23,7 @@ pub struct SectorStats {
 impl SectorStats {
     /// Full hit rate (line + sector present).
     pub fn hit_rate(&self) -> f64 {
-        let total =
-            self.sector_hits.get() + self.sector_misses.get() + self.line_misses.get();
+        let total = self.sector_hits.get() + self.sector_misses.get() + self.line_misses.get();
         self.sector_hits.fraction_of(total)
     }
 }
@@ -79,7 +78,10 @@ impl SectorCache {
     /// Panics if the geometry is degenerate (`lines` not divisible by
     /// `ways`, or zero anywhere).
     pub fn new(lines: u64, ways: u32, sectors_per_line: u64) -> Self {
-        assert!(lines > 0 && ways > 0 && sectors_per_line > 0, "empty geometry");
+        assert!(
+            lines > 0 && ways > 0 && sectors_per_line > 0,
+            "empty geometry"
+        );
         assert!(
             lines.is_multiple_of(ways as u64),
             "lines must divide into ways"

@@ -69,7 +69,11 @@ fn words(block: &[u8], width: u8) -> Vec<u64> {
 
 fn delta_fits(a: u64, b: u64, width: u8, delta: u8) -> bool {
     let bits = width as u32 * 8;
-    let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1 << bits) - 1
+    };
     let d = a.wrapping_sub(b) & mask;
     // Interpret as signed `bits`-wide, check it fits in `delta` bytes signed.
     let shift = 64 - bits;
@@ -94,7 +98,11 @@ fn try_base_delta(block: &[u8], base_w: u8, delta_w: u8) -> Option<Compressed> {
         };
         zero_base.push(is_zero);
         let bits = base_w as u32 * 8;
-        let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let d = rel & mask;
         for i in 0..delta_w as usize {
             payload.push((d >> (8 * i)) as u8);
@@ -150,9 +158,7 @@ pub fn compress(block: &[u8]) -> Compressed {
         if let Some(c) = try_base_delta(block, b, d) {
             let better = best
                 .as_ref()
-                .is_none_or(|x| {
-                    c.encoding.compressed_bytes() < x.encoding.compressed_bytes()
-                });
+                .is_none_or(|x| c.encoding.compressed_bytes() < x.encoding.compressed_bytes());
             if better {
                 best = Some(c);
             }
@@ -180,7 +186,11 @@ pub fn decompress(c: &Compressed) -> [u8; 64] {
         Encoding::BaseDelta { base, delta } => {
             let n = 64 / base as usize;
             let bits = base as u32 * 8;
-            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             let dbits = delta as u32 * 8;
             for i in 0..n {
                 let mut d = 0u64;
@@ -280,7 +290,11 @@ mod tests {
         // Mix of zeros and clustered values exercises the dual-base bit.
         let mut block = [0u8; 64];
         for (i, chunk) in block.chunks_exact_mut(8).enumerate() {
-            let v = if i % 2 == 0 { 0u64 } else { 0xAAAA_0000 + i as u64 };
+            let v = if i % 2 == 0 {
+                0u64
+            } else {
+                0xAAAA_0000 + i as u64
+            };
             chunk.copy_from_slice(&v.to_le_bytes());
         }
         let c = roundtrip(&block);
@@ -292,7 +306,9 @@ mod tests {
         let mut block = [0u8; 64];
         let mut x = 0x9E37_79B9u64;
         for b in block.iter_mut() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (x >> 56) as u8;
         }
         let c = roundtrip(&block);

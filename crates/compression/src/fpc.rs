@@ -265,14 +265,14 @@ mod tests {
     #[test]
     fn each_pattern_roundtrips() {
         let words: [u32; 8] = [
-            0,            // zero
-            7,            // 4-bit
-            0xFFFF_FFF9,  // 4-bit negative (-7)
-            100,          // 8-bit
-            30_000,       // 16-bit
-            0xABCD_0000,  // halfword padded
-            0x0011_0022,  // two sign-extended bytes
-            0x5A5A_5A5A,  // repeated bytes
+            0,           // zero
+            7,           // 4-bit
+            0xFFFF_FFF9, // 4-bit negative (-7)
+            100,         // 8-bit
+            30_000,      // 16-bit
+            0xABCD_0000, // halfword padded
+            0x0011_0022, // two sign-extended bytes
+            0x5A5A_5A5A, // repeated bytes
         ];
         let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         roundtrip(&data);

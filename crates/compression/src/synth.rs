@@ -90,7 +90,10 @@ mod tests {
     fn bdi_compresses_pointers() {
         let p = page(ContentKind::Pointers, 3);
         let total: usize = p.chunks_exact(64).map(bdi::compressed_bytes).sum();
-        assert!(total < 4096 / 2, "pointer page should compress >2x: {total}");
+        assert!(
+            total < 4096 / 2,
+            "pointer page should compress >2x: {total}"
+        );
     }
 
     #[test]

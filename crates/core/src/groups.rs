@@ -163,7 +163,10 @@ mod tests {
             let d = g.dram_page(p, s);
             assert_eq!(g.slot_of(p, d), Some(s));
         }
-        assert_eq!(g.slot_of(p, DramPageId::new(0)), g.slot_of(p, DramPageId::new(0)));
+        assert_eq!(
+            g.slot_of(p, DramPageId::new(0)),
+            g.slot_of(p, DramPageId::new(0))
+        );
         // A DRAM page outside the group yields None.
         let outside = DramPageId::new(g.hash(p).index() + 3);
         assert_eq!(g.slot_of(p, outside), None);

@@ -294,9 +294,9 @@ impl NaiveDynamic {
                         .enumerate()
                         .find(|&(_, a)| self.store.free.take_specific_page(a));
                     let t = if let Some((j, a)) = alt {
-                        let t = self
-                            .store
-                            .move_uncompressed(dram, now, q, a, RequestClass::Migration);
+                        let t =
+                            self.store
+                                .move_uncompressed(dram, now, q, a, RequestClass::Migration);
                         self.short_cte[q.index() as usize] = j as u8;
                         t
                     } else {
@@ -319,9 +319,7 @@ impl NaiveDynamic {
         }
         // Pathological: nothing displaceable; fall back to a plain ML1-style
         // expansion so forward progress is kept (page stays long-CTE).
-        let (_, ready) = self
-            .store
-            .expand(dram, now, page, RequestClass::Migration);
+        let (_, ready) = self.store.expand(dram, now, page, RequestClass::Migration);
         ready
     }
 
@@ -492,8 +490,16 @@ mod tests {
             let page = PageId::new(p);
             if let Some(PageState::Uncompressed(d)) = n.store().dir.state(page) {
                 let slot = n.short_cte[p as usize];
-                assert_ne!(slot, n.groups.invalid(), "uncompressed page {p} lacks short CTE");
-                assert_eq!(n.groups.dram_page(page, slot), d, "page {p} short CTE stale");
+                assert_ne!(
+                    slot,
+                    n.groups.invalid(),
+                    "uncompressed page {p} lacks short CTE"
+                );
+                assert_eq!(
+                    n.groups.dram_page(page, slot),
+                    d,
+                    "page {p} short CTE stale"
+                );
             } else {
                 assert_eq!(n.short_cte[p as usize], n.groups.invalid());
             }
@@ -531,7 +537,10 @@ mod tests {
             };
             assert_eq!(n.groups.dram_page(page, slot), d);
         }
-        assert_eq!(n.stats().expansions.get() + /*fallback path*/ 0, n.stats().expansions.get());
+        assert_eq!(
+            n.stats().expansions.get() + /*fallback path*/ 0,
+            n.stats().expansions.get()
+        );
     }
 
     #[test]
@@ -600,7 +609,12 @@ mod tests {
             tb = b.access(tb, addr(p), false, &mut dram_b).data_ready;
         }
         let hit = |n: &NaiveDynamic| n.stats().cte_hit_rate();
-        assert!(hit(&b) <= hit(&a) + 0.02, "B {:.3} vs A {:.3}", hit(&b), hit(&a));
+        assert!(
+            hit(&b) <= hit(&a) + 0.02,
+            "B {:.3} vs A {:.3}",
+            hit(&b),
+            hit(&a)
+        );
     }
 
     #[test]

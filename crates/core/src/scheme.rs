@@ -127,8 +127,11 @@ impl Dylect {
             cfg.free_target_pages,
         );
         let groups = GroupMap::new(layout.data_pages(), cfg.group_size);
-        let cte_cache =
-            SetAssocCache::new(CacheConfig::lru(cfg.cte_cache_bytes, cfg.cte_cache_ways, 64));
+        let cte_cache = SetAssocCache::new(CacheConfig::lru(
+            cfg.cte_cache_bytes,
+            cfg.cte_cache_ways,
+            64,
+        ));
         let counters = AccessCounters::new(cfg.os_pages, cfg.sample_rate);
         let os_pages = cfg.os_pages;
         Dylect {
@@ -664,7 +667,10 @@ mod tests {
             .expect("compression pressure");
         let r = d.access(Time::ZERO, addr(p), false, &mut dram);
         assert!(!d.store().is_compressed(PageId::new(p)));
-        assert!(!d.is_ml0(PageId::new(p)), "gradual promotion: ML2->ML1 only");
+        assert!(
+            !d.is_ml0(PageId::new(p)),
+            "gradual promotion: ML2->ML1 only"
+        );
         assert_eq!(d.stats().expansions.get(), 1);
         assert!(r.overhead.as_ns() >= 280.0);
         d.check_invariants();
@@ -689,7 +695,10 @@ mod tests {
                 }
             }
         }
-        let promoted = targets.iter().filter(|&&p| d.is_ml0(PageId::new(p))).count();
+        let promoted = targets
+            .iter()
+            .filter(|&&p| d.is_ml0(PageId::new(p)))
+            .count();
         assert!(promoted > 10, "only {promoted} promotions");
         d.check_invariants();
     }
@@ -783,10 +792,7 @@ mod tests {
             let r = d.access(t, addr(p), false, &mut dram);
             t = r.data_ready;
         }
-        let in_ml0 = (0..3_000)
-            .filter(|&p| d.is_ml0(PageId::new(p)))
-            .count() as f64
-            / 3_000.0;
+        let in_ml0 = (0..3_000).filter(|&p| d.is_ml0(PageId::new(p))).count() as f64 / 3_000.0;
         assert!(
             in_ml0 > 0.4,
             "only {in_ml0:.2} of the working set reached ML0 under low pressure"

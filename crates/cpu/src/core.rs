@@ -238,7 +238,12 @@ impl Core {
 
     /// A page walk: serial accesses to page-table blocks through the cache
     /// hierarchy.
-    fn do_walk(&mut self, now: Time, vaddr: dylect_sim_core::VirtAddr, backend: &mut dyn MemoryBackend) -> Time {
+    fn do_walk(
+        &mut self,
+        now: Time,
+        vaddr: dylect_sim_core::VirtAddr,
+        backend: &mut dyn MemoryBackend,
+    ) -> Time {
         let plan = self.walker.walk(vaddr, self.cfg.page_mode, &self.layout);
         let mut t = now;
         for addr in plan {
@@ -310,7 +315,11 @@ impl Core {
         let key = self.l2.key_of(addr.raw());
         if let Some(ev) = self.l2.fill(key, dirty, ()) {
             if ev.dirty {
-                backend.access(now, PhysAddr::new(ev.key * BLOCK_BYTES), BackendOp::Writeback);
+                backend.access(
+                    now,
+                    PhysAddr::new(ev.key * BLOCK_BYTES),
+                    BackendOp::Writeback,
+                );
             }
         }
     }
@@ -426,7 +435,13 @@ mod tests {
         // pages thrash it — the Figure 3 contrast.
         let layout = PageTableLayout::new(1 << 18);
         let run = |mode: PageSizeMode| {
-            let mut c = Core::new(CoreConfig { page_mode: mode, ..paper }, layout);
+            let mut c = Core::new(
+                CoreConfig {
+                    page_mode: mode,
+                    ..paper
+                },
+                layout,
+            );
             let mut b = FixedBackend::new(60.0);
             let mut x = 12345u64;
             for _ in 0..20_000 {

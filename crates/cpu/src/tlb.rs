@@ -201,7 +201,7 @@ mod tests {
     fn huge_pages_multiply_reach() {
         let mut t = tlb();
         let span = 512 * PAGE_BYTES * 100; // 100 huge pages worth of memory
-        // Touch with 2 MB pages: 100 entries, all fit in L2 (and mostly L1).
+                                           // Touch with 2 MB pages: 100 entries, all fit in L2 (and mostly L1).
         let mut misses_2m = 0;
         for pass in 0..2 {
             for a in (0..span).step_by(HUGE_PAGE_BYTES as usize) {
@@ -222,8 +222,7 @@ mod tests {
         let mut t = tlb();
         // 4096 distinct 4 KB pages exceed the 1024-entry L2.
         for i in 0..4096u64 {
-            if t.lookup(VirtAddr::new(i * PAGE_BYTES), PageSizeMode::Standard4K)
-                == TlbOutcome::Miss
+            if t.lookup(VirtAddr::new(i * PAGE_BYTES), PageSizeMode::Standard4K) == TlbOutcome::Miss
             {
                 t.fill(VirtAddr::new(i * PAGE_BYTES), PageSizeMode::Standard4K);
             }

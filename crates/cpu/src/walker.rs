@@ -16,7 +16,7 @@
 
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_sim_core::stats::Counter;
-use dylect_sim_core::{PhysAddr, VirtAddr, PAGE_BYTES, PAGES_PER_HUGE_PAGE};
+use dylect_sim_core::{PhysAddr, VirtAddr, PAGES_PER_HUGE_PAGE, PAGE_BYTES};
 
 use crate::tlb::PageSizeMode;
 

@@ -32,8 +32,11 @@ impl DramGeometry {
         let bank_groups = 4;
         let banks_per_group = 4;
         let row_bytes = 8192;
-        let denom =
-            channels as u64 * ranks as u64 * bank_groups as u64 * banks_per_group as u64 * row_bytes;
+        let denom = channels as u64
+            * ranks as u64
+            * bank_groups as u64
+            * banks_per_group as u64
+            * row_bytes;
         assert!(
             capacity_bytes.is_multiple_of(denom),
             "capacity {capacity_bytes} not divisible by {denom}"

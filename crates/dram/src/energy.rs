@@ -7,6 +7,7 @@
 //! uncompressed system — is dominated by *background* (standby + refresh)
 //! power scaling with rank count, which this model captures.
 
+use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::Time;
 
 use crate::stats::DramStats;
@@ -80,6 +81,26 @@ impl EnergyBreakdown {
         } else {
             (self.refresh + self.background) / t
         }
+    }
+
+    /// Serializes every field under `prefix` into a report-cache record.
+    pub fn write_kv(&self, w: &mut KvWriter, prefix: &str) {
+        w.put_f64(&format!("{prefix}.activate"), self.activate);
+        w.put_f64(&format!("{prefix}.read"), self.read);
+        w.put_f64(&format!("{prefix}.write"), self.write);
+        w.put_f64(&format!("{prefix}.refresh"), self.refresh);
+        w.put_f64(&format!("{prefix}.background"), self.background);
+    }
+
+    /// Inverse of [`EnergyBreakdown::write_kv`].
+    pub fn read_kv(r: &KvReader, prefix: &str) -> Option<EnergyBreakdown> {
+        Some(EnergyBreakdown {
+            activate: r.get_f64(&format!("{prefix}.activate"))?,
+            read: r.get_f64(&format!("{prefix}.read"))?,
+            write: r.get_f64(&format!("{prefix}.write"))?,
+            refresh: r.get_f64(&format!("{prefix}.refresh"))?,
+            background: r.get_f64(&format!("{prefix}.background"))?,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::Time;
 
@@ -80,7 +81,7 @@ pub enum RowOutcome {
 }
 
 /// Aggregate counters for one DRAM system.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DramStats {
     /// Total read bursts served.
     pub reads: Counter,
@@ -171,6 +172,52 @@ impl DramStats {
     /// Row-buffer hit rate across all requests.
     pub fn row_hit_rate(&self) -> f64 {
         self.row_hits.fraction_of(self.total_blocks())
+    }
+
+    /// Serializes every field under `prefix` into a report-cache record.
+    pub fn write_kv(&self, w: &mut KvWriter, prefix: &str) {
+        w.put_u64(&format!("{prefix}.reads"), self.reads.get());
+        w.put_u64(&format!("{prefix}.writes"), self.writes.get());
+        w.put_u64(&format!("{prefix}.row_hits"), self.row_hits.get());
+        w.put_u64(&format!("{prefix}.row_misses"), self.row_misses.get());
+        w.put_u64(&format!("{prefix}.row_conflicts"), self.row_conflicts.get());
+        w.put_u64(&format!("{prefix}.activates"), self.activates.get());
+        w.put_u64(&format!("{prefix}.refreshes"), self.refreshes.get());
+        w.put_u64(&format!("{prefix}.bus_busy_ps"), self.bus_busy.as_ps());
+        w.put_f64(&format!("{prefix}.latency.sum"), self.latency.sum());
+        w.put_u64(&format!("{prefix}.latency.count"), self.latency.count());
+        for class in RequestClass::ALL {
+            w.put_u64(
+                &format!("{prefix}.class.{class}"),
+                self.per_class[class.index()].get(),
+            );
+        }
+    }
+
+    /// Inverse of [`DramStats::write_kv`]; `None` if any field is missing.
+    pub fn read_kv(r: &KvReader, prefix: &str) -> Option<DramStats> {
+        let counter = |name: &str| -> Option<Counter> {
+            Some(Counter::from_value(r.get_u64(&format!("{prefix}.{name}"))?))
+        };
+        let mut per_class = [Counter::default(); 7];
+        for class in RequestClass::ALL {
+            per_class[class.index()] = counter(&format!("class.{class}"))?;
+        }
+        Some(DramStats {
+            reads: counter("reads")?,
+            writes: counter("writes")?,
+            row_hits: counter("row_hits")?,
+            row_misses: counter("row_misses")?,
+            row_conflicts: counter("row_conflicts")?,
+            activates: counter("activates")?,
+            refreshes: counter("refreshes")?,
+            bus_busy: Time::from_ps(r.get_u64(&format!("{prefix}.bus_busy_ps"))?),
+            latency: MeanAccumulator::from_parts(
+                r.get_f64(&format!("{prefix}.latency.sum"))?,
+                r.get_u64(&format!("{prefix}.latency.count"))?,
+            ),
+            per_class,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 //! [`MemoryScheme`].
 
 use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time};
 
@@ -28,7 +29,7 @@ pub struct McResponse {
 }
 
 /// Aggregate statistics of a scheme.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct McStats {
     /// LLC-side requests served (reads + writebacks).
     pub requests: Counter,
@@ -97,6 +98,67 @@ impl McStats {
     pub fn unified_hit_rate(&self) -> f64 {
         self.cte_hits_unified.fraction_of(self.cte_lookups())
     }
+
+    /// Serializes every field under `prefix` into a report-cache record.
+    pub fn write_kv(&self, w: &mut KvWriter, prefix: &str) {
+        w.put_u64(&format!("{prefix}.requests"), self.requests.get());
+        w.put_u64(
+            &format!("{prefix}.cte_hits_pregathered"),
+            self.cte_hits_pregathered.get(),
+        );
+        w.put_u64(
+            &format!("{prefix}.cte_hits_unified"),
+            self.cte_hits_unified.get(),
+        );
+        w.put_u64(&format!("{prefix}.cte_misses"), self.cte_misses.get());
+        w.put_u64(&format!("{prefix}.expansions"), self.expansions.get());
+        w.put_u64(&format!("{prefix}.compactions"), self.compactions.get());
+        w.put_u64(&format!("{prefix}.promotions"), self.promotions.get());
+        w.put_u64(&format!("{prefix}.demotions"), self.demotions.get());
+        w.put_u64(&format!("{prefix}.displacements"), self.displacements.get());
+        w.put_f64(
+            &format!("{prefix}.translation_latency.sum"),
+            self.translation_latency.sum(),
+        );
+        w.put_u64(
+            &format!("{prefix}.translation_latency.count"),
+            self.translation_latency.count(),
+        );
+        w.put_f64(
+            &format!("{prefix}.overhead_latency.sum"),
+            self.overhead_latency.sum(),
+        );
+        w.put_u64(
+            &format!("{prefix}.overhead_latency.count"),
+            self.overhead_latency.count(),
+        );
+    }
+
+    /// Inverse of [`McStats::write_kv`]; `None` if any field is missing.
+    pub fn read_kv(r: &KvReader, prefix: &str) -> Option<McStats> {
+        let counter = |name: &str| -> Option<Counter> {
+            Some(Counter::from_value(r.get_u64(&format!("{prefix}.{name}"))?))
+        };
+        let mean = |name: &str| -> Option<MeanAccumulator> {
+            Some(MeanAccumulator::from_parts(
+                r.get_f64(&format!("{prefix}.{name}.sum"))?,
+                r.get_u64(&format!("{prefix}.{name}.count"))?,
+            ))
+        };
+        Some(McStats {
+            requests: counter("requests")?,
+            cte_hits_pregathered: counter("cte_hits_pregathered")?,
+            cte_hits_unified: counter("cte_hits_unified")?,
+            cte_misses: counter("cte_misses")?,
+            expansions: counter("expansions")?,
+            compactions: counter("compactions")?,
+            promotions: counter("promotions")?,
+            demotions: counter("demotions")?,
+            displacements: counter("displacements")?,
+            translation_latency: mean("translation_latency")?,
+            overhead_latency: mean("overhead_latency")?,
+        })
+    }
 }
 
 /// Memory-level census for Figure 20 (DRAM breakdown of ML0/ML1/ML2).
@@ -133,6 +195,26 @@ impl Occupancy {
             self.ml0_pages as f64 / unc as f64
         }
     }
+
+    /// Serializes every field under `prefix` into a report-cache record.
+    pub fn write_kv(&self, w: &mut KvWriter, prefix: &str) {
+        w.put_u64(&format!("{prefix}.ml0_pages"), self.ml0_pages);
+        w.put_u64(&format!("{prefix}.ml1_pages"), self.ml1_pages);
+        w.put_u64(&format!("{prefix}.ml2_pages"), self.ml2_pages);
+        w.put_u64(&format!("{prefix}.free_pages"), self.free_pages);
+        w.put_u64(&format!("{prefix}.free_bytes"), self.free_bytes);
+    }
+
+    /// Inverse of [`Occupancy::write_kv`].
+    pub fn read_kv(r: &KvReader, prefix: &str) -> Option<Occupancy> {
+        Some(Occupancy {
+            ml0_pages: r.get_u64(&format!("{prefix}.ml0_pages"))?,
+            ml1_pages: r.get_u64(&format!("{prefix}.ml1_pages"))?,
+            ml2_pages: r.get_u64(&format!("{prefix}.ml2_pages"))?,
+            free_pages: r.get_u64(&format!("{prefix}.free_pages"))?,
+            free_bytes: r.get_u64(&format!("{prefix}.free_bytes"))?,
+        })
+    }
 }
 
 /// A hardware-compressed-memory controller policy.
@@ -141,8 +223,7 @@ pub trait MemoryScheme {
     fn name(&self) -> &'static str;
 
     /// Serves one LLC miss (read) or writeback (write) to `addr` at `now`.
-    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram)
-        -> McResponse;
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram) -> McResponse;
 
     /// Switches warmup acceleration on or off. During warmup a scheme may
     /// speed up its adaptive machinery (e.g. DyLeCT samples access counters
@@ -194,13 +275,7 @@ impl MemoryScheme for NoCompression {
         "no-compression"
     }
 
-    fn access(
-        &mut self,
-        now: Time,
-        addr: PhysAddr,
-        is_write: bool,
-        dram: &mut Dram,
-    ) -> McResponse {
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram) -> McResponse {
         self.stats.requests.incr();
         debug_assert!(addr.page().index() < self.os_pages, "address out of range");
         let (op, class) = if is_write {

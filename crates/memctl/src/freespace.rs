@@ -148,8 +148,7 @@ impl FreeSpace {
 
     /// Total free bytes (whole pages + spans).
     pub fn free_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_BYTES
-            + self.by_addr.values().map(|&l| l as u64).sum::<u64>()
+        self.pages.len() as u64 * PAGE_BYTES + self.by_addr.values().map(|&l| l as u64).sum::<u64>()
     }
 
     /// Whether a whole DRAM page is free.
@@ -192,9 +191,7 @@ impl FreeSpace {
     pub fn alloc_span(&mut self, len: u32) -> Option<Span> {
         assert!(len > 0 && len as u64 <= PAGE_BYTES, "bad span length {len}");
         // Best fit: smallest hole with hole.len >= len.
-        if let Some(&(hole_len, page, offset)) =
-            self.by_size.range((len, 0, 0)..).next()
-        {
+        if let Some(&(hole_len, page, offset)) = self.by_size.range((len, 0, 0)..).next() {
             self.remove_span_internal(page, offset, hole_len);
             if hole_len > len {
                 self.insert_span_internal(page, offset + len, hole_len - len);
@@ -352,7 +349,7 @@ mod tests {
         // Make a 3072 B hole in one page and a 1024 B hole in another.
         let big = fs.alloc_span(1024).unwrap(); // page 1, hole 3072
         let small = fs.alloc_span(3072).unwrap(); // page 0 (no 3072 hole fits? 3072 fits in 3072!)
-        // The 3072 request exactly consumed page 1's hole; redo setup.
+                                                  // The 3072 request exactly consumed page 1's hole; redo setup.
         fs.free_span(big);
         fs.free_span(small);
         assert_eq!(fs.free_page_count(), 2);

@@ -148,10 +148,7 @@ impl CompressedStore {
             for p in pages_of(g) {
                 let page = PageId::new(p);
                 let size = store.compressed_size(page);
-                let span = store
-                    .free
-                    .alloc_span(size)
-                    .expect("budget guarantees room");
+                let span = store.free.alloc_span(size).expect("budget guarantees room");
                 store.dir.place_compressed(page, span);
             }
         }
@@ -372,10 +369,7 @@ mod tests {
             .expect("some compressed page");
         let (dst, ready) = s.expand(&mut d, Time::ZERO, victim, RequestClass::Migration);
         assert!(ready.as_ns() >= 280.0, "must include decompression");
-        assert_eq!(
-            s.dir.state(victim),
-            Some(PageState::Uncompressed(dst))
-        );
+        assert_eq!(s.dir.state(victim), Some(PageState::Uncompressed(dst)));
         assert!(s.recency.contains(victim));
         s.check_invariants(700);
     }

@@ -35,8 +35,12 @@ pub fn copy_page(
 pub fn read_span(dram: &mut Dram, at: Time, span: Span, class: RequestClass) -> Time {
     let first = span.offset as u64 / BLOCK_BYTES;
     let last = (span.offset as u64 + span.len as u64 - 1) / BLOCK_BYTES;
-    let addrs = (first..=last)
-        .map(|i| (span.dram_page.base_addr().offset(i * BLOCK_BYTES), DramOp::Read));
+    let addrs = (first..=last).map(|i| {
+        (
+            span.dram_page.base_addr().offset(i * BLOCK_BYTES),
+            DramOp::Read,
+        )
+    });
     dram.access_batch(at, addrs, class)
 }
 
@@ -44,8 +48,12 @@ pub fn read_span(dram: &mut Dram, at: Time, span: Span, class: RequestClass) -> 
 pub fn write_span(dram: &mut Dram, at: Time, span: Span, class: RequestClass) -> Time {
     let first = span.offset as u64 / BLOCK_BYTES;
     let last = (span.offset as u64 + span.len as u64 - 1) / BLOCK_BYTES;
-    let addrs = (first..=last)
-        .map(|i| (span.dram_page.base_addr().offset(i * BLOCK_BYTES), DramOp::Write));
+    let addrs = (first..=last).map(|i| {
+        (
+            span.dram_page.base_addr().offset(i * BLOCK_BYTES),
+            DramOp::Write,
+        )
+    });
     dram.access_batch(at, addrs, class)
 }
 
@@ -62,7 +70,12 @@ mod tests {
     #[test]
     fn page_read_bills_64_blocks() {
         let mut d = dram();
-        read_page(&mut d, Time::ZERO, DramPageId::new(3), RequestClass::Migration);
+        read_page(
+            &mut d,
+            Time::ZERO,
+            DramPageId::new(3),
+            RequestClass::Migration,
+        );
         assert_eq!(d.stats().reads.get(), 64);
         assert_eq!(d.stats().class_blocks(RequestClass::Migration), 64);
     }

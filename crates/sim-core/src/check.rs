@@ -1,0 +1,179 @@
+//! A minimal property-based testing harness.
+//!
+//! The workspace builds fully offline, so the property tests that used to
+//! run under the `proptest` crate now run on this ~100-line harness driven
+//! by the simulator's own deterministic [`Rng`]. There is no shrinking:
+//! every case is derived from a reportable seed, and a failure prints the
+//! seed so the exact case can be replayed with
+//! `DYLECT_CHECK_SEED=<seed> cargo test`.
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_sim_core::check::forall;
+//!
+//! forall("addition commutes", 64, |g| {
+//!     let (a, b) = (g.u64_below(1 << 30), g.u64_below(1 << 30));
+//!     if a + b != b + a {
+//!         return Err(format!("{a} + {b}"));
+//!     }
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{hash2, Rng};
+
+/// Number of cases per property when the caller does not override it.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// A source of random test inputs for one property case.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Returns uniform random 64 bits.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.rng.next_below(bound)
+    }
+
+    /// Returns a uniform value in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_inclusive(lo, hi)
+    }
+
+    /// Returns a uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.next_f64() * (hi - lo)
+    }
+
+    /// Returns a uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Returns a vector whose length is uniform in `[min_len, max_len]`,
+    /// with elements drawn by `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.range(min_len as u64, max_len as u64) as usize;
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Runs `prop` against `cases` generated inputs, panicking with the
+/// failing seed on the first counterexample.
+///
+/// The base seed is fixed (reproducible CI) unless `DYLECT_CHECK_SEED` is
+/// set, which both replays a reported failure and lets a soak run explore
+/// fresh cases.
+pub fn forall(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> Result<(), String>) {
+    let (base, replay) = match std::env::var("DYLECT_CHECK_SEED") {
+        Ok(s) => {
+            let seed = parse_seed(&s)
+                .unwrap_or_else(|| panic!("DYLECT_CHECK_SEED={s:?} is not a (hex) integer"));
+            (seed, true)
+        }
+        Err(_) => (0xD11E_C7u64, false),
+    };
+    // Under replay, case 0 is exactly the reported failure.
+    let cases = if replay { 1 } else { cases.max(1) };
+    for case in 0..cases {
+        let seed = if replay {
+            base
+        } else {
+            hash2(base, case as u64)
+        };
+        let mut g = Gen {
+            rng: Rng::new(seed),
+        };
+        if let Err(msg) = prop(&mut g) {
+            panic!(
+                "property `{name}` failed on case {case}/{cases}: {msg}\n\
+                 replay with: DYLECT_CHECK_SEED={seed:#x} cargo test"
+            );
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Returns `Err` from the enclosing property when a condition fails,
+/// mirroring `proptest`'s `prop_assert!`.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+}
+
+/// Returns `Err` when two expressions differ, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{} != {}: {a:?} vs {b:?}",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_a_true_property() {
+        forall("u64_below in range", 128, |g| {
+            let bound = g.range(1, 1 << 40);
+            prop_ensure!(g.u64_below(bound) < bound, "out of range");
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always fails`")]
+    fn reports_failures_with_seed() {
+        forall("always fails", 16, |g| {
+            let x = g.u64();
+            Err(format!("saw {x}"))
+        });
+    }
+
+    #[test]
+    fn generators_cover_ranges() {
+        forall("generators", 64, |g| {
+            let v = g.vec(1, 9, |g| g.f64_in(-1.0, 1.0));
+            prop_ensure!((1..=9).contains(&v.len()), "len {}", v.len());
+            prop_ensure!(v.iter().all(|x| (-1.0..1.0).contains(x)), "value range");
+            let _ = g.bool();
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,167 @@
+//! A tiny dependency-free key/value codec for on-disk run reports.
+//!
+//! The experiment runner caches one [`RunReport`]-shaped record per run key
+//! under `results/cache/`. The format is a flat, JSON-ish object — one
+//! `"key": "value"` pair per line — chosen so files are diffable and
+//! greppable while the codec stays ~100 lines with no external crates.
+//!
+//! Every value is written as a string. Integers use decimal; floats are
+//! written as `f64:<hex bit pattern>` so the round-trip is *bit-exact* —
+//! a report parsed back from the cache compares equal to the freshly
+//! simulated one, which the determinism tests rely on. A human-readable
+//! decimal rendering is appended after a space purely as a comment.
+//!
+//! [`RunReport`]: ../../dylect_sim/struct.RunReport.html
+//!
+//! # Example
+//!
+//! ```
+//! use dylect_sim_core::kv::{KvReader, KvWriter};
+//!
+//! let mut w = KvWriter::new();
+//! w.put_u64("ops", 17);
+//! w.put_f64("rate", 0.1);
+//! let text = w.finish();
+//! let r = KvReader::parse(&text).unwrap();
+//! assert_eq!(r.get_u64("ops"), Some(17));
+//! assert_eq!(r.get_f64("rate"), Some(0.1));
+//! ```
+
+use std::collections::HashMap;
+
+/// Serializes key/value pairs into the JSON-ish cache format.
+#[derive(Default)]
+pub struct KvWriter {
+    lines: Vec<String>,
+}
+
+impl KvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a string value. Keys and values must not contain `"`, `\`
+    /// or newlines (run labels and benchmark names never do).
+    pub fn put_str(&mut self, key: &str, value: &str) {
+        debug_assert!(!key.contains(['"', '\\', '\n']), "bad key {key:?}");
+        debug_assert!(!value.contains(['"', '\\', '\n']), "bad value {value:?}");
+        self.lines.push(format!("  \"{key}\": \"{value}\","));
+    }
+
+    /// Writes an unsigned integer.
+    pub fn put_u64(&mut self, key: &str, value: u64) {
+        self.put_str(key, &value.to_string());
+    }
+
+    /// Writes a float, bit-exactly.
+    pub fn put_f64(&mut self, key: &str, value: f64) {
+        self.put_str(key, &format!("f64:{:016x} {value:e}", value.to_bits()));
+    }
+
+    /// Returns the serialized object.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&self.lines.join("\n"));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Parses text produced by [`KvWriter`].
+pub struct KvReader {
+    pairs: HashMap<String, String>,
+}
+
+impl KvReader {
+    /// Parses a serialized object; `None` on malformed input (a truncated
+    /// or hand-edited cache file is treated as a cache miss, not an error).
+    pub fn parse(text: &str) -> Option<KvReader> {
+        let body = text.trim();
+        if !body.starts_with('{') || !body.ends_with('}') {
+            return None;
+        }
+        let mut pairs = HashMap::new();
+        for line in body[1..body.len() - 1].lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix('"')?;
+            let (key, rest) = rest.split_once("\": \"")?;
+            let value = rest.strip_suffix('"')?;
+            pairs.insert(key.to_owned(), value.to_owned());
+        }
+        Some(KvReader { pairs })
+    }
+
+    /// Looks up a raw string value.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.pairs.get(key).map(String::as_str)
+    }
+
+    /// Looks up an unsigned integer.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get_str(key)?.parse().ok()
+    }
+
+    /// Looks up a float written by [`KvWriter::put_f64`].
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        let v = self.get_str(key)?.strip_prefix("f64:")?;
+        let hex = v.split(' ').next()?;
+        Some(f64::from_bits(u64::from_str_radix(hex, 16).ok()?))
+    }
+}
+
+/// A stable 64-bit FNV-1a fingerprint, used to version cache entries by
+/// their full configuration. Stable across processes and platforms (unlike
+/// `DefaultHasher`, which is randomly keyed per process).
+pub fn fingerprint64(input: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in input.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact() {
+        let mut w = KvWriter::new();
+        w.put_str("name", "bfs");
+        w.put_u64("big", u64::MAX);
+        for (i, v) in [0.1, -0.0, f64::MIN_POSITIVE, 1e300, 2.0f64.sqrt()]
+            .into_iter()
+            .enumerate()
+        {
+            w.put_f64(&format!("f{i}"), v);
+        }
+        let text = w.finish();
+        let r = KvReader::parse(&text).expect("parses");
+        assert_eq!(r.get_str("name"), Some("bfs"));
+        assert_eq!(r.get_u64("big"), Some(u64::MAX));
+        assert_eq!(r.get_f64("f0"), Some(0.1));
+        assert_eq!(r.get_f64("f1").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.get_f64("f4"), Some(2.0f64.sqrt()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(KvReader::parse("").is_none());
+        assert!(KvReader::parse("{ \"k\": 3 }").is_none());
+        assert!(KvReader::parse("not json").is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Pinned: a changed fingerprint function would silently invalidate
+        // (or worse, alias) every existing cache entry.
+        assert_eq!(fingerprint64(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint64("dylect"), fingerprint64("dylect"));
+        assert_ne!(fingerprint64("dylect"), fingerprint64("tmcc"));
+    }
+}

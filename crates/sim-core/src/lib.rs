@@ -40,6 +40,8 @@
 //! ```
 
 pub mod addr;
+pub mod check;
+pub mod kv;
 pub mod rng;
 pub mod stats;
 pub mod time;

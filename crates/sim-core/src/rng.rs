@@ -168,7 +168,10 @@ impl Zipf {
     /// Panics if `n == 0` or `theta` is negative/not finite.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty domain");
-        assert!(theta.is_finite() && theta >= 0.0, "invalid Zipf skew {theta}");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "invalid Zipf skew {theta}"
+        );
         let h_integral = |x: f64| -> f64 {
             let log_x = x.ln();
             if (1.0 - theta).abs() < 1e-12 {
@@ -222,17 +225,14 @@ impl Zipf {
             return rng.next_below(self.n);
         }
         loop {
-            let u = self.h_integral_n
-                + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = Self::h_integral_inverse_raw(u, self.theta);
             let mut k = (x + 0.5) as u64;
             k = k.clamp(1, self.n);
             let kf = k as f64;
             if x >= kf - 0.5 && x <= kf + 0.5 {
                 // Always-accept shortcut region near the mode.
-                if kf - x <= self.s
-                    || u >= self.h_integral(kf + 0.5) - self.h(kf)
-                {
+                if kf - x <= self.s || u >= self.h_integral(kf + 0.5) - self.h(kf) {
                     return k - 1;
                 }
             }

@@ -20,6 +20,13 @@ use crate::time::Time;
 pub struct Counter(u64);
 
 impl Counter {
+    /// Reconstructs a counter from a previously observed count (cache
+    /// deserialization).
+    #[inline]
+    pub fn from_value(value: u64) -> Self {
+        Counter(value)
+    }
+
     /// Increments by one.
     #[inline]
     pub fn incr(&mut self) {
@@ -87,6 +94,13 @@ pub struct MeanAccumulator {
 }
 
 impl MeanAccumulator {
+    /// Reconstructs an accumulator from its running sum and sample count
+    /// (cache deserialization).
+    #[inline]
+    pub fn from_parts(sum: f64, count: u64) -> Self {
+        MeanAccumulator { sum, count }
+    }
+
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, sample: f64) {

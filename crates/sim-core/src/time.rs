@@ -44,7 +44,10 @@ impl Time {
     /// Panics if `ns` is negative or not finite.
     #[inline]
     pub fn from_ns(ns: f64) -> Self {
-        assert!(ns.is_finite() && ns >= 0.0, "invalid nanosecond value: {ns}");
+        assert!(
+            ns.is_finite() && ns >= 0.0,
+            "invalid nanosecond value: {ns}"
+        );
         Time((ns * 1000.0).round() as u64)
     }
 

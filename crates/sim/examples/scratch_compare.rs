@@ -13,19 +13,42 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let bench = args.get(1).map(String::as_str).unwrap_or("canneal");
     let spec = BenchmarkSpec::by_name(bench).unwrap();
-    let setting = if std::env::var("LOW").is_ok() { CompressionSetting::Low } else { CompressionSetting::High };
+    let setting = if std::env::var("LOW").is_ok() {
+        CompressionSetting::Low
+    } else {
+        CompressionSetting::High
+    };
     let scale: u64 = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(4);
-    for scheme in [SchemeKind::NoCompression, SchemeKind::tmcc(), SchemeKind::dylect(), SchemeKind::DylectAlwaysHit{group_size:3}] {
+    for scheme in [
+        SchemeKind::NoCompression,
+        SchemeKind::tmcc(),
+        SchemeKind::dylect(),
+        SchemeKind::DylectAlwaysHit { group_size: 3 },
+    ] {
         let t0 = std::time::Instant::now();
         let mut cfg = SystemConfig::paper(&spec, scheme.clone(), setting);
         cfg.scale = scale;
-        cfg.dram_bytes = match scheme { SchemeKind::NoCompression => spec.dram_bytes_no_compression(scale), _ => spec.dram_bytes(setting, scale) };
+        cfg.dram_bytes = match scheme {
+            SchemeKind::NoCompression => spec.dram_bytes_no_compression(scale),
+            _ => spec.dram_bytes(setting, scale),
+        };
         let mut sys = System::new(cfg, &spec);
-        let r = sys.run(args.get(3).map(|s| s.parse().unwrap()).unwrap_or(600_000), 400_000);
+        let r = sys.run(
+            args.get(3).map(|s| s.parse().unwrap()).unwrap_or(600_000),
+            400_000,
+        );
         println!("{:<18} ips={:.3e} exp/req={:.4} cte_hit={:.3} (pg={:.3} uni={:.3}) l3ov={:.1}ns ml0={} ml1={} ml2={} traffic/ki={:.1} wall={:.1}s",
             r.scheme, r.ips(), r.mc.expansions.get() as f64 / r.mc.requests.get().max(1) as f64, r.mc.cte_hit_rate(), r.mc.pregathered_hit_rate(), r.mc.unified_hit_rate(),
             r.l3_miss_overhead_ns, r.occupancy.ml0_pages, r.occupancy.ml1_pages, r.occupancy.ml2_pages,
             r.traffic_per_kilo_instruction(), t0.elapsed().as_secs_f64());
-        println!("    promo={} demo={} displ={} compact={} exp={} req={}", r.mc.promotions.get(), r.mc.demotions.get(), r.mc.displacements.get(), r.mc.compactions.get(), r.mc.expansions.get(), r.mc.requests.get());
+        println!(
+            "    promo={} demo={} displ={} compact={} exp={} req={}",
+            r.mc.promotions.get(),
+            r.mc.demotions.get(),
+            r.mc.displacements.get(),
+            r.mc.compactions.get(),
+            r.mc.expansions.get(),
+            r.mc.requests.get()
+        );
     }
 }

@@ -228,8 +228,7 @@ mod tests {
         let mcs = (0..n)
             .map(|_| {
                 let dram = Dram::new(DramConfig::paper(1 << 26, 8));
-                let scheme: Box<dyn MemoryScheme> =
-                    Box::new(NoCompression::new(10_000, &dram));
+                let scheme: Box<dyn MemoryScheme> = Box::new(NoCompression::new(10_000, &dram));
                 (scheme, dram)
             })
             .collect();

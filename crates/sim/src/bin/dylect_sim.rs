@@ -110,7 +110,10 @@ fn main() {
     println!("ml0_pages\t{}", r.occupancy.ml0_pages);
     println!("ml1_pages\t{}", r.occupancy.ml1_pages);
     println!("ml2_pages\t{}", r.occupancy.ml2_pages);
-    println!("traffic_blocks_per_ki\t{:.3}", r.traffic_per_kilo_instruction());
+    println!(
+        "traffic_blocks_per_ki\t{:.3}",
+        r.traffic_per_kilo_instruction()
+    );
     println!("bus_utilization\t{:.4}", r.bus_utilization());
     println!("energy_nj_per_inst\t{:.4}", r.energy_per_instruction_nj());
 }

@@ -2,10 +2,11 @@
 
 use dylect_dram::{DramStats, EnergyBreakdown, RequestClass};
 use dylect_memctl::{McStats, Occupancy};
+use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::Time;
 
 /// The measured outcome of one simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -103,6 +104,65 @@ impl RunReport {
     pub fn bus_utilization(&self) -> f64 {
         self.dram.bus_utilization(self.elapsed)
     }
+
+    /// Bump when the report layout changes: the experiment runner embeds
+    /// this in every cache record and treats a mismatch as a miss, so stale
+    /// `results/cache/` files can never be misparsed into a report.
+    pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+    /// Serializes the full report into the JSON-ish on-disk cache format.
+    ///
+    /// The encoding is bit-exact for floats, so
+    /// `RunReport::from_cache_text(&r.to_cache_text())` compares equal to
+    /// `r` — the report-cache round-trip can never perturb figure outputs.
+    pub fn to_cache_text(&self) -> String {
+        let mut w = KvWriter::new();
+        w.put_u64("format", Self::CACHE_FORMAT_VERSION);
+        w.put_str("benchmark", &self.benchmark);
+        w.put_str("scheme", &self.scheme);
+        w.put_u64("instructions", self.instructions);
+        w.put_u64("mem_ops", self.mem_ops);
+        w.put_u64("stores", self.stores);
+        w.put_u64("elapsed_ps", self.elapsed.as_ps());
+        w.put_f64("tlb_miss_rate", self.tlb_miss_rate);
+        w.put_u64("walks", self.walks);
+        w.put_u64("l3_misses", self.l3_misses);
+        w.put_f64("l3_miss_latency_ns", self.l3_miss_latency_ns);
+        w.put_f64("l3_miss_overhead_ns", self.l3_miss_overhead_ns);
+        self.mc.write_kv(&mut w, "mc");
+        self.dram.write_kv(&mut w, "dram");
+        self.occupancy.write_kv(&mut w, "occupancy");
+        self.energy.write_kv(&mut w, "energy");
+        w.finish()
+    }
+
+    /// Parses a report serialized by [`RunReport::to_cache_text`].
+    ///
+    /// Returns `None` (a cache miss) on malformed input, missing fields, or
+    /// a [`RunReport::CACHE_FORMAT_VERSION`] mismatch.
+    pub fn from_cache_text(text: &str) -> Option<RunReport> {
+        let r = KvReader::parse(text)?;
+        if r.get_u64("format")? != Self::CACHE_FORMAT_VERSION {
+            return None;
+        }
+        Some(RunReport {
+            benchmark: r.get_str("benchmark")?.to_owned(),
+            scheme: r.get_str("scheme")?.to_owned(),
+            instructions: r.get_u64("instructions")?,
+            mem_ops: r.get_u64("mem_ops")?,
+            stores: r.get_u64("stores")?,
+            elapsed: Time::from_ps(r.get_u64("elapsed_ps")?),
+            tlb_miss_rate: r.get_f64("tlb_miss_rate")?,
+            walks: r.get_u64("walks")?,
+            l3_misses: r.get_u64("l3_misses")?,
+            l3_miss_latency_ns: r.get_f64("l3_miss_latency_ns")?,
+            l3_miss_overhead_ns: r.get_f64("l3_miss_overhead_ns")?,
+            mc: McStats::read_kv(&r, "mc")?,
+            dram: DramStats::read_kv(&r, "dram")?,
+            occupancy: Occupancy::read_kv(&r, "occupancy")?,
+            energy: EnergyBreakdown::read_kv(&r, "energy")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +203,26 @@ mod tests {
         assert_eq!(z.ips(), 0.0);
         assert_eq!(z.traffic_per_kilo_instruction(), 0.0);
         assert_eq!(z.energy_per_instruction_nj(), 0.0);
+    }
+
+    #[test]
+    fn cache_text_roundtrips_exactly() {
+        let mut r = dummy(12345, 678.9);
+        r.tlb_miss_rate = 0.1; // not exactly representable: exercises bit-exact floats
+        r.mc.promotions.add(7);
+        r.energy.refresh = 1e-3 / 3.0;
+        let text = r.to_cache_text();
+        let back = RunReport::from_cache_text(&text).expect("parses");
+        assert_eq!(back, r);
+        assert_eq!(back.to_cache_text(), text);
+    }
+
+    #[test]
+    fn cache_text_rejects_other_versions() {
+        let text = dummy(1, 1.0)
+            .to_cache_text()
+            .replace("\"format\": \"1\"", "\"format\": \"999\"");
+        assert!(RunReport::from_cache_text(&text).is_none());
+        assert!(RunReport::from_cache_text("{}").is_none());
     }
 }

@@ -55,12 +55,8 @@ impl System {
             })
             .collect();
 
-        let shared = SharedMemory::new_multi(
-            config.l3_bytes,
-            config.l3_ways,
-            config.l3_latency,
-            mcs,
-        );
+        let shared =
+            SharedMemory::new_multi(config.l3_bytes, config.l3_ways, config.l3_latency, mcs);
         let cores = (0..config.cores)
             .map(|_| Core::new(config.core, layout))
             .collect();
@@ -341,11 +337,7 @@ mod multimc_tests {
     #[test]
     fn multi_mc_system_runs_and_conserves_pages() {
         let spec = BenchmarkSpec::by_name("omnetpp").unwrap();
-        let mut cfg = SystemConfig::quick(
-            &spec,
-            SchemeKind::dylect(),
-            CompressionSetting::High,
-        );
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
         cfg.scale = 16;
         cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 16);
         cfg.memory_controllers = 4;
@@ -364,11 +356,7 @@ mod multimc_tests {
     fn multi_mc_matches_single_mc_roughly() {
         let spec = BenchmarkSpec::by_name("canneal").unwrap();
         let run = |n_mc: usize| {
-            let mut cfg = SystemConfig::quick(
-                &spec,
-                SchemeKind::tmcc(),
-                CompressionSetting::High,
-            );
+            let mut cfg = SystemConfig::quick(&spec, SchemeKind::tmcc(), CompressionSetting::High);
             cfg.scale = 16;
             cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 16);
             cfg.memory_controllers = n_mc;

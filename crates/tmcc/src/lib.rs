@@ -94,12 +94,7 @@ impl Tmcc {
     /// # Panics
     ///
     /// Panics if the footprint cannot fit fully compressed.
-    pub fn new(
-        cfg: TmccConfig,
-        dram: &Dram,
-        profile: CompressibilityProfile,
-        seed: u64,
-    ) -> Self {
+    pub fn new(cfg: TmccConfig, dram: &Dram, profile: CompressibilityProfile, seed: u64) -> Self {
         let total_pages = dram.config().geometry.capacity_pages();
         let granules = cfg.os_pages.div_ceil(cfg.granule_pages);
         let layout = McLayout::new(
@@ -203,9 +198,8 @@ impl Tmcc {
             .granule_pages_range(granule)
             .filter(|&p| self.store.is_compressed(p))
             .collect();
-        let extra_decompress =
-            decompression_latency(self.cfg.granule_pages * PAGE_BYTES)
-                .saturating_sub(decompression_latency(PAGE_BYTES));
+        let extra_decompress = decompression_latency(self.cfg.granule_pages * PAGE_BYTES)
+            .saturating_sub(decompression_latency(PAGE_BYTES));
         for p in pages {
             let (_, t) = self.store.expand(dram, now, p, RequestClass::Migration);
             ready = ready.max(t);
@@ -242,20 +236,12 @@ impl MemoryScheme for Tmcc {
         "tmcc"
     }
 
-    fn access(
-        &mut self,
-        now: Time,
-        addr: PhysAddr,
-        is_write: bool,
-        dram: &mut Dram,
-    ) -> McResponse {
+    fn access(&mut self, now: Time, addr: PhysAddr, is_write: bool, dram: &mut Dram) -> McResponse {
         let page = addr.page();
         debug_assert!(page.index() < self.cfg.os_pages, "address out of range");
         self.stats.requests.incr();
         self.requests_seen += 1;
-        if self.requests_seen.is_multiple_of(TOUCH_PERIOD)
-            && !self.store.is_compressed(page)
-        {
+        if self.requests_seen.is_multiple_of(TOUCH_PERIOD) && !self.store.is_compressed(page) {
             self.store.recency.touch(page);
         }
 
@@ -417,9 +403,7 @@ mod tests {
         // Pick an uncompressed granule; accesses to different pages within
         // 8 consecutive granules share one CTE block.
         let g = (0..80_000 / 16)
-            .find(|&g| {
-                (g * 16..(g + 1) * 16).all(|p| !tmcc.store().is_compressed(PageId::new(p)))
-            })
+            .find(|&g| (g * 16..(g + 1) * 16).all(|p| !tmcc.store().is_compressed(PageId::new(p))))
             .unwrap();
         let a1 = PhysAddr::new(g * 16 * PAGE_BYTES);
         let a2 = PhysAddr::new((g * 16 + 15) * PAGE_BYTES);
@@ -479,7 +463,12 @@ mod tests {
             );
         }
         assert_eq!(tmcc.stats().cte_misses.get(), 1);
-        tmcc.access(Time::from_us(9), PhysAddr::new(8 * PAGE_BYTES), false, &mut dram);
+        tmcc.access(
+            Time::from_us(9),
+            PhysAddr::new(8 * PAGE_BYTES),
+            false,
+            &mut dram,
+        );
         assert_eq!(tmcc.stats().cte_misses.get(), 2);
     }
 

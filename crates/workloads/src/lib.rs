@@ -332,7 +332,9 @@ mod tests {
         let mut counts: HashMap<u64, u32> = HashMap::new();
         for _ in 0..100_000 {
             let op = w.next_op();
-            *counts.entry(op.vaddr.page().index() / REGION_PAGES).or_default() += 1;
+            *counts
+                .entry(op.vaddr.page().index() / REGION_PAGES)
+                .or_default() += 1;
         }
         let mut freqs: Vec<u32> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));

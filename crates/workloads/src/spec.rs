@@ -180,7 +180,9 @@ impl BenchmarkSpec {
     /// Panics if `scale` is 0.
     pub fn footprint_pages(&self, scale: u64) -> u64 {
         assert!(scale > 0, "scale must be positive");
-        (self.footprint_bytes / scale).div_ceil(PAGE_BYTES).max(1024)
+        (self.footprint_bytes / scale)
+            .div_ceil(PAGE_BYTES)
+            .max(1024)
     }
 
     /// Uncompressed-page capacity fraction at high compression:
@@ -280,7 +282,11 @@ mod tests {
             let low = b.dram_bytes(CompressionSetting::Low, 64);
             let high = b.dram_bytes(CompressionSetting::High, 64);
             assert!(high <= low, "{}", b.name);
-            assert!(low < b.footprint_pages(64) * PAGE_BYTES + (64 << 20), "{}", b.name);
+            assert!(
+                low < b.footprint_pages(64) * PAGE_BYTES + (64 << 20),
+                "{}",
+                b.name
+            );
         }
     }
 
@@ -304,7 +310,10 @@ mod tests {
 
     #[test]
     fn by_name_round_trips() {
-        assert_eq!(BenchmarkSpec::by_name("canneal").unwrap().suite, "PARSEC 3.0");
+        assert_eq!(
+            BenchmarkSpec::by_name("canneal").unwrap().suite,
+            "PARSEC 3.0"
+        );
         assert!(BenchmarkSpec::by_name("nope").is_none());
     }
 

@@ -62,7 +62,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<MemOp>> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let mut count = [0u8; 8];
     r.read_exact(&mut count)?;

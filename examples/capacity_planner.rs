@@ -14,7 +14,9 @@ use dylect_sim::{SchemeKind, System, SystemConfig};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "omnetpp".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "omnetpp".to_owned());
     let spec = BenchmarkSpec::by_name(&name).expect("benchmark in suite");
     let setting = CompressionSetting::High;
 
@@ -27,7 +29,10 @@ fn main() {
     let footprint_mb = (spec.footprint_pages(scale) * 4096) >> 20;
     let base = System::new(base_cfg.clone(), &spec).run(500_000, 200_000);
 
-    println!("capacity planning for {} ({} MiB footprint)\n", spec.name, footprint_mb);
+    println!(
+        "capacity planning for {} ({} MiB footprint)\n",
+        spec.name, footprint_mb
+    );
     println!(
         "{:>10} {:>12} {:>10} {:>9} {:>10}",
         "dram_mib", "saved_vs_fp", "perf_rel", "CTE hit", "ML2 pages"

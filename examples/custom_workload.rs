@@ -48,7 +48,10 @@ fn main() {
     println!("expansions          : {}", st.expansions.get());
     println!("promotions to ML0   : {}", st.promotions.get());
     println!("demotions from ML0  : {}", st.demotions.get());
-    println!("mean translation    : {:.1} ns", st.translation_latency.mean());
+    println!(
+        "mean translation    : {:.1} ns",
+        st.translation_latency.mean()
+    );
     let occ = mc.occupancy();
     println!(
         "memory levels       : ML0={} ML1={} ML2={} (ML0 share of uncompressed {:.2})",

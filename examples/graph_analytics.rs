@@ -37,9 +37,7 @@ fn main() {
         let cfg = SystemConfig::quick(&spec, scheme.clone(), setting);
         let mut sys = System::new(cfg, &spec);
         let r = sys.run(600_000, 200_000);
-        let rel = baseline
-            .get_or_insert(r.ips())
-            .to_owned();
+        let rel = baseline.get_or_insert(r.ips()).to_owned();
         println!(
             "{:<18} {:>12.3e} {:>9.3} {:>8.1}ns {:>12.1}   ({:.2}x of no-compression)",
             r.scheme,

@@ -29,13 +29,19 @@ fn main() {
     println!("perf (instr/sec)     : {:.3e}", report.ips());
     println!("TLB miss rate        : {:.4}", report.tlb_miss_rate);
     println!("CTE cache hit rate   : {:.3}", report.mc.cte_hit_rate());
-    println!("  via pre-gathered   : {:.3}", report.mc.pregathered_hit_rate());
+    println!(
+        "  via pre-gathered   : {:.3}",
+        report.mc.pregathered_hit_rate()
+    );
     println!("  via unified        : {:.3}", report.mc.unified_hit_rate());
     println!(
         "memory levels        : ML0={} ML1={} ML2={}",
         report.occupancy.ml0_pages, report.occupancy.ml1_pages, report.occupancy.ml2_pages
     );
-    println!("L3-miss latency adder: {:.1} ns", report.l3_miss_overhead_ns);
+    println!(
+        "L3-miss latency adder: {:.1} ns",
+        report.l3_miss_overhead_ns
+    );
     println!(
         "DRAM traffic         : {:.1} blocks/kilo-instruction",
         report.traffic_per_kilo_instruction()

@@ -1,0 +1,80 @@
+//! Determinism guarantees of the simulator and the experiment runner.
+//!
+//! The parallel runner is only allowed to exist because every simulation
+//! is a pure function of its `RunKey`: these tests pin (1) run-to-run
+//! determinism of `System::run`, (2) byte-equality of parallel vs
+//! sequential matrix execution, and (3) exact report round-tripping
+//! through the on-disk cache format.
+
+use dylect_bench::{Mode, RunKey, Runner};
+use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+/// A tiny mode so the whole file runs in seconds.
+fn tiny_mode() -> Mode {
+    Mode {
+        scale: 512,
+        cores: 1,
+        warmup_ops: 20_000,
+        measure_ops: 5_000,
+    }
+}
+
+/// A 2x2 matrix (scheme x setting) on one benchmark.
+fn tiny_matrix() -> Vec<RunKey> {
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mut keys = Vec::new();
+    for setting in [CompressionSetting::Low, CompressionSetting::High] {
+        for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
+            keys.push(RunKey::new(spec.clone(), scheme, setting, tiny_mode()));
+        }
+    }
+    keys
+}
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let run = || {
+        let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        System::new(cfg, &spec).run(mode.warmup_ops, mode.measure_ops)
+    };
+    assert_eq!(run(), run(), "System::run must be deterministic");
+}
+
+#[test]
+fn parallel_matrix_matches_sequential() {
+    // No cache dir: both runners simulate everything from scratch.
+    let parallel = Runner::with(4, None, false).run_matrix(tiny_matrix());
+    let sequential = Runner::with(1, None, false).run_matrix(tiny_matrix());
+    assert_eq!(parallel.len(), sequential.len());
+    for (i, (p, s)) in parallel.iter().zip(&sequential).enumerate() {
+        assert_eq!(p, s, "run {i} differs between parallel and sequential");
+    }
+}
+
+#[test]
+fn cache_text_round_trip_is_exact() {
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let report = RunKey::new(spec, SchemeKind::dylect(), CompressionSetting::High, mode).execute();
+    let decoded =
+        RunReport::from_cache_text(&report.to_cache_text()).expect("cache text parses back");
+    assert_eq!(decoded, report, "cache round trip must be bit-exact");
+}
+
+#[test]
+fn cached_rerun_reuses_reports_byte_for_byte() {
+    let dir = std::env::temp_dir().join(format!("dylect-cache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = Runner::with(2, Some(dir.clone()), true).run_matrix(tiny_matrix());
+    let entries = std::fs::read_dir(&dir).expect("cache dir created").count();
+    assert_eq!(entries, cold.len(), "one cache file per distinct run");
+
+    let warm = Runner::with(2, Some(dir.clone()), true).run_matrix(tiny_matrix());
+    assert_eq!(cold, warm, "cache hits must reproduce the cold run exactly");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -98,8 +98,12 @@ fn low_pressure_decompresses_more_than_high() {
 #[test]
 fn cte_traffic_exists_only_for_compressed_schemes() {
     use dylect_dram::RequestClass;
-    let nc = quick("omnetpp", SchemeKind::NoCompression, CompressionSetting::High)
-        .run(20_000, 20_000);
+    let nc = quick(
+        "omnetpp",
+        SchemeKind::NoCompression,
+        CompressionSetting::High,
+    )
+    .run(20_000, 20_000);
     assert_eq!(nc.dram.class_blocks(RequestClass::CteFetch), 0);
     let tm = quick("omnetpp", SchemeKind::tmcc(), CompressionSetting::High).run(20_000, 20_000);
     assert!(tm.dram.class_blocks(RequestClass::CteFetch) > 0);
@@ -115,8 +119,12 @@ fn energy_accumulates_with_time() {
 
 #[test]
 fn tlb_misses_are_rare_under_huge_pages() {
-    let r = quick("canneal", SchemeKind::NoCompression, CompressionSetting::Low)
-        .run(100_000, 100_000);
+    let r = quick(
+        "canneal",
+        SchemeKind::NoCompression,
+        CompressionSetting::Low,
+    )
+    .run(100_000, 100_000);
     assert!(
         r.tlb_miss_rate < 0.05,
         "huge pages should nearly eliminate TLB misses: {}",

@@ -1,36 +1,49 @@
 //! Property-based tests on the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! These run on the self-contained harness in `dylect_sim_core::check`
+//! (the workspace builds offline, so no `proptest`). Each property draws
+//! its inputs from a deterministic seeded generator; a failure prints the
+//! seed to replay it with `DYLECT_CHECK_SEED=<seed> cargo test`.
 
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::{bdi, fpc};
 use dylect_core::GroupMap;
 use dylect_memctl::freespace::{FreeSpace, Span};
 use dylect_memctl::recency::RecencyList;
+use dylect_sim_core::check::{forall, DEFAULT_CASES};
 use dylect_sim_core::rng::{Rng, Zipf};
-use dylect_sim_core::{DramPageId, PageId, PAGE_BYTES};
+use dylect_sim_core::{prop_ensure, prop_ensure_eq, DramPageId, PageId, PAGE_BYTES};
 
-proptest! {
-    /// FPC round-trips arbitrary word-aligned byte strings.
-    #[test]
-    fn fpc_roundtrip(words in proptest::collection::vec(any::<u32>(), 1..128)) {
+/// FPC round-trips arbitrary word-aligned byte strings.
+#[test]
+fn fpc_roundtrip() {
+    forall("fpc_roundtrip", DEFAULT_CASES, |g| {
+        let words = g.vec(1, 127, |g| g.u64() as u32);
         let data: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         let bits = fpc::compress(&data);
-        prop_assert_eq!(fpc::decompress(&bits, words.len()), data);
-    }
+        prop_ensure_eq!(fpc::decompress(&bits, words.len()), data);
+        Ok(())
+    });
+}
 
-    /// BDI round-trips arbitrary 64 B blocks and never inflates.
-    #[test]
-    fn bdi_roundtrip(block in proptest::collection::vec(any::<u8>(), 64..=64)) {
+/// BDI round-trips arbitrary 64 B blocks and never inflates.
+#[test]
+fn bdi_roundtrip() {
+    forall("bdi_roundtrip", DEFAULT_CASES, |g| {
+        let block = g.vec(64, 64, |g| g.u64() as u8);
         let c = bdi::compress(&block);
-        prop_assert_eq!(&bdi::decompress(&c)[..], &block[..]);
-        prop_assert!(c.encoding.compressed_bytes() <= 64);
-    }
+        prop_ensure_eq!(&bdi::decompress(&c)[..], &block[..]);
+        prop_ensure!(c.encoding.compressed_bytes() <= 64, "inflated block");
+        Ok(())
+    });
+}
 
-    /// FreeSpace conserves bytes across arbitrary alloc/free interleavings
-    /// and re-coalesces completely.
-    #[test]
-    fn freespace_conservation(ops in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..300)) {
+/// FreeSpace conserves bytes across arbitrary alloc/free interleavings
+/// and re-coalesces completely.
+#[test]
+fn freespace_conservation() {
+    forall("freespace_conservation", DEFAULT_CASES, |g| {
+        let ops = g.vec(1, 299, |g| (g.u64() as u16, g.bool()));
         let pages = 8u64;
         let mut fs = FreeSpace::new();
         for i in 0..pages {
@@ -49,17 +62,21 @@ proptest! {
                 fs.free_span(live.swap_remove(idx));
             }
             let live_bytes: u64 = live.iter().map(|s| s.len as u64).sum();
-            prop_assert_eq!(fs.free_bytes() + live_bytes, total);
+            prop_ensure_eq!(fs.free_bytes() + live_bytes, total);
         }
         for s in live.drain(..) {
             fs.free_span(s);
         }
-        prop_assert_eq!(fs.free_page_count() as u64, pages);
-    }
+        prop_ensure_eq!(fs.free_page_count() as u64, pages);
+        Ok(())
+    });
+}
 
-    /// Allocated spans never overlap.
-    #[test]
-    fn freespace_no_overlap(lens in proptest::collection::vec(1u32..4096, 1..64)) {
+/// Allocated spans never overlap.
+#[test]
+fn freespace_no_overlap() {
+    forall("freespace_no_overlap", DEFAULT_CASES, |g| {
+        let lens = g.vec(1, 63, |g| g.range(1, 4095) as u32);
         let mut fs = FreeSpace::new();
         for i in 0..16 {
             fs.add_page(DramPageId::new(i));
@@ -71,39 +88,47 @@ proptest! {
                     if other.dram_page == s.dram_page {
                         let disjoint = s.offset + s.len <= other.offset
                             || other.offset + other.len <= s.offset;
-                        prop_assert!(disjoint, "{:?} overlaps {:?}", s, other);
+                        prop_ensure!(disjoint, "{:?} overlaps {:?}", s, other);
                     }
                 }
                 allocated.push(s);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The recency list behaves exactly like a reference LRU sequence.
-    #[test]
-    fn recency_matches_model(touches in proptest::collection::vec(0u64..32, 1..200)) {
+/// The recency list behaves exactly like a reference LRU sequence.
+#[test]
+fn recency_matches_model() {
+    forall("recency_matches_model", DEFAULT_CASES, |g| {
+        let touches = g.vec(1, 199, |g| g.u64_below(32));
         let mut list = RecencyList::new(32);
         let mut model: Vec<u64> = Vec::new();
         for t in touches {
             list.touch(PageId::new(t));
             model.retain(|&x| x != t);
             model.push(t);
-            prop_assert_eq!(list.len(), model.len());
-            prop_assert_eq!(list.tail().map(|p| p.index()), model.first().copied());
-            prop_assert_eq!(list.head().map(|p| p.index()), model.last().copied());
+            prop_ensure_eq!(list.len(), model.len());
+            prop_ensure_eq!(list.tail().map(|p| p.index()), model.first().copied());
+            prop_ensure_eq!(list.head().map(|p| p.index()), model.last().copied());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// LRU cache agrees with a reference model on hit/miss (single set,
-    /// fully associative).
-    #[test]
-    fn cache_matches_lru_model(keys in proptest::collection::vec(0u64..64, 1..300)) {
+/// LRU cache agrees with a reference model on hit/miss (single set,
+/// fully associative).
+#[test]
+fn cache_matches_lru_model() {
+    forall("cache_matches_lru_model", DEFAULT_CASES, |g| {
+        let keys = g.vec(1, 299, |g| g.u64_below(64));
         let mut cache: SetAssocCache = SetAssocCache::new(CacheConfig::lru(8 * 64, 8, 64));
         let mut model: Vec<u64> = Vec::new();
         for key in keys {
             let hit = cache.access(key);
             let model_hit = model.contains(&key);
-            prop_assert_eq!(hit, model_hit, "key {}", key);
+            prop_ensure_eq!(hit, model_hit);
             if hit {
                 model.retain(|&x| x != key);
                 model.push(key);
@@ -115,51 +140,81 @@ proptest! {
                 model.push(key);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The group hash maps every OS page to a valid, aligned group, and
-    /// slot_of inverts dram_page.
-    #[test]
-    fn groupmap_inverts(data_pages in 3u64..10_000, page in 0u64..1_000_000) {
-        let g = GroupMap::new(data_pages, 3);
+/// The group hash maps every OS page to a valid, aligned group, and
+/// slot_of inverts dram_page.
+#[test]
+fn groupmap_inverts() {
+    forall("groupmap_inverts", DEFAULT_CASES, |g| {
+        let data_pages = g.range(3, 9_999);
+        let page = g.u64_below(1_000_000);
+        let gm = GroupMap::new(data_pages, 3);
         let p = PageId::new(page);
-        let base = g.hash(p);
-        prop_assert_eq!(base.index() % 3, 0);
-        prop_assert!(base.index() + 2 < (data_pages / 3) * 3);
+        let base = gm.hash(p);
+        prop_ensure_eq!(base.index() % 3, 0);
+        prop_ensure!(
+            base.index() + 2 < (data_pages / 3) * 3,
+            "group base {} beyond {} data pages",
+            base.index(),
+            data_pages
+        );
         for s in 0..3u8 {
-            prop_assert_eq!(g.slot_of(p, g.dram_page(p, s)), Some(s));
+            prop_ensure_eq!(gm.slot_of(p, gm.dram_page(p, s)), Some(s));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Zipf samples stay in range for arbitrary domains and skews.
-    #[test]
-    fn zipf_in_range(n in 1u64..100_000, theta in 0.0f64..1.5, seed in any::<u64>()) {
+/// Zipf samples stay in range for arbitrary domains and skews.
+#[test]
+fn zipf_in_range() {
+    forall("zipf_in_range", DEFAULT_CASES, |g| {
+        let n = g.range(1, 99_999);
+        let theta = g.f64_in(0.0, 1.5);
+        let seed = g.u64();
         let z = Zipf::new(n, theta);
         let mut rng = Rng::new(seed);
         for _ in 0..50 {
-            prop_assert!(z.sample(&mut rng) < n);
+            prop_ensure!(z.sample(&mut rng) < n, "sample out of range");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Compressed sizes are stable, quantized, and bounded.
-    #[test]
-    fn profile_sizes_valid(ratio in 1.0f64..8.0, seed in any::<u64>(), page in any::<u64>()) {
+/// Compressed sizes are stable, quantized, and bounded.
+#[test]
+fn profile_sizes_valid() {
+    forall("profile_sizes_valid", DEFAULT_CASES, |g| {
+        let ratio = g.f64_in(1.0, 8.0);
+        let seed = g.u64();
+        let page = g.u64();
         let p = dylect_compression::CompressibilityProfile::with_mean_ratio("p", ratio);
         let s = p.compressed_bytes(seed, PageId::new(page));
-        prop_assert!(s as u64 <= PAGE_BYTES);
-        prop_assert!(s >= 256);
-        prop_assert_eq!(s % 256, 0);
-        prop_assert_eq!(s, p.compressed_bytes(seed, PageId::new(page)));
-    }
+        prop_ensure!(s as u64 <= PAGE_BYTES, "size {s} above PAGE_BYTES");
+        prop_ensure!(s >= 256, "size {s} below floor");
+        prop_ensure_eq!(s % 256, 0);
+        prop_ensure_eq!(s, p.compressed_bytes(seed, PageId::new(page)));
+        Ok(())
+    });
+}
 
-    /// Workload streams stay inside their footprint for arbitrary seeds.
-    #[test]
-    fn workload_addresses_in_bounds(seed in any::<u64>()) {
+/// Workload streams stay inside their footprint for arbitrary seeds.
+#[test]
+fn workload_addresses_in_bounds() {
+    forall("workload_addresses_in_bounds", DEFAULT_CASES, |g| {
         use dylect_workloads::{SyntheticWorkload, WorkloadParams};
+        let seed = g.u64();
         let mut w = SyntheticWorkload::new(WorkloadParams::demo(), seed);
         let fp = w.params().footprint_pages;
         for _ in 0..200 {
-            prop_assert!(w.next_op().vaddr.page().index() < fp);
+            prop_ensure!(
+                w.next_op().vaddr.page().index() < fp,
+                "address escaped footprint"
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -20,7 +20,11 @@ fn run(bench: &str, scheme: SchemeKind, setting: CompressionSetting) -> RunRepor
 
 #[test]
 fn no_compression_is_fastest() {
-    let base = run("canneal", SchemeKind::NoCompression, CompressionSetting::High);
+    let base = run(
+        "canneal",
+        SchemeKind::NoCompression,
+        CompressionSetting::High,
+    );
     for scheme in [SchemeKind::tmcc(), SchemeKind::dylect()] {
         let r = run("canneal", scheme.clone(), CompressionSetting::High);
         assert!(
@@ -86,12 +90,18 @@ fn low_compression_is_not_slower_than_high() {
 fn bigger_cte_cache_does_not_hurt_tmcc() {
     let small = run(
         "canneal",
-        SchemeKind::Tmcc { granule_pages: 1, cte_cache_bytes: 32 * 1024 },
+        SchemeKind::Tmcc {
+            granule_pages: 1,
+            cte_cache_bytes: 32 * 1024,
+        },
         CompressionSetting::High,
     );
     let big = run(
         "canneal",
-        SchemeKind::Tmcc { granule_pages: 1, cte_cache_bytes: 512 * 1024 },
+        SchemeKind::Tmcc {
+            granule_pages: 1,
+            cte_cache_bytes: 512 * 1024,
+        },
         CompressionSetting::High,
     );
     assert!(
@@ -107,7 +117,10 @@ fn coarse_granularity_trades_reach_for_bandwidth() {
     let fine = run("omnetpp", SchemeKind::tmcc(), CompressionSetting::High);
     let coarse = run(
         "omnetpp",
-        SchemeKind::Tmcc { granule_pages: 16, cte_cache_bytes: 128 * 1024 },
+        SchemeKind::Tmcc {
+            granule_pages: 16,
+            cte_cache_bytes: 128 * 1024,
+        },
         CompressionSetting::High,
     );
     // Coarse granules move strictly more migration bytes per expansion.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the hermetic build, the full test suite, and
+# formatting. Runs fully offline — a failure here means a fresh checkout
+# without network access is broken.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline"
+cargo build --release --offline
+
+echo "== cargo test -q --offline"
+cargo test -q --offline
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"
