@@ -144,6 +144,7 @@ fn bench_end_to_end() {
     let mut sys = System::new(cfg, &spec);
     sys.run(50_000, 1);
     bench("system_step_1000_ops", 50, || {
-        black_box(sys.execute(1000));
+        sys.execute(1000);
+        black_box(&sys);
     });
 }

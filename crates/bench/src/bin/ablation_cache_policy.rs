@@ -59,7 +59,7 @@ fn main() {
                         },
                         dram,
                         p,
-                        0xD11E_C7,
+                        0x00D1_1EC7,
                     ))
                 })
             },
@@ -85,7 +85,7 @@ fn main() {
                         },
                         dram,
                         p,
-                        0xD11E_C7,
+                        0x00D1_1EC7,
                     ))
                 })
             },

@@ -196,6 +196,9 @@ pub struct Job {
     pub work: Box<dyn FnOnce() -> RunReport + Send>,
 }
 
+/// A worker's finished run: slot index, cache name, and the report.
+type FinishedRun = (usize, Option<String>, RunReport);
+
 impl Job {
     /// A custom job cached under `label` + a fingerprint of
     /// `fingerprint_input`, which must capture *every* knob that affects
@@ -315,7 +318,7 @@ impl Runner {
                 misses.into_iter().map(|m| Mutex::new(Some(m))).collect();
             let next = AtomicUsize::new(0);
             let done = AtomicUsize::new(0);
-            let results: Vec<Mutex<Option<(usize, Option<String>, RunReport)>>> =
+            let results: Vec<Mutex<Option<FinishedRun>>> =
                 (0..n_misses).map(|_| Mutex::new(None)).collect();
             let (queue_ref, next_ref, done_ref, results_ref, started_ref) =
                 (&queue, &next, &done, &results, &started);

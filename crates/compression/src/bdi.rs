@@ -324,7 +324,11 @@ mod tests {
             for b in block.iter_mut() {
                 x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
                 // Bias toward compressible content.
-                *b = if x % 3 == 0 { 0 } else { (x >> 60) as u8 };
+                *b = if x.is_multiple_of(3) {
+                    0
+                } else {
+                    (x >> 60) as u8
+                };
             }
             let c = roundtrip(&block);
             assert!(c.encoding.compressed_bytes() <= 64);

@@ -151,7 +151,7 @@ mod tests {
         for i in 0..1000 {
             let s = p.compressed_bytes(9, PageId::new(i));
             assert_eq!(s, p.compressed_bytes(9, PageId::new(i)));
-            assert!(s % SIZE_CLASS_BYTES == 0 && s <= 4096 && s > 0);
+            assert!(s.is_multiple_of(SIZE_CLASS_BYTES) && s <= 4096 && s > 0);
         }
     }
 

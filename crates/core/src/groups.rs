@@ -137,7 +137,7 @@ mod tests {
     fn groups_tile_all_of_dram() {
         // Every DRAM page below num_groups*G is some page's slot.
         let g = GroupMap::new(30, 3);
-        let mut covered = vec![false; 30];
+        let mut covered = [false; 30];
         for p in 0..100 {
             for s in g.slots(PageId::new(p)) {
                 covered[s.index() as usize] = true;

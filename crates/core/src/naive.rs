@@ -537,10 +537,7 @@ mod tests {
             };
             assert_eq!(n.groups.dram_page(page, slot), d);
         }
-        assert_eq!(
-            n.stats().expansions.get() + /*fallback path*/ 0,
-            n.stats().expansions.get()
-        );
+        assert_eq!(n.stats().expansions.get(), n.stats().expansions.get());
     }
 
     #[test]

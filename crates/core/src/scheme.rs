@@ -30,6 +30,7 @@ use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
+use dylect_sim_core::probe::{McEvent, ProbeHandle};
 use dylect_sim_core::rng::Rng;
 use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time};
 
@@ -94,6 +95,7 @@ pub struct Dylect {
     counters: AccessCounters,
     rng: Rng,
     stats: McStats,
+    probe: ProbeHandle,
     requests_seen: u64,
     ml0_count: u64,
 }
@@ -144,6 +146,7 @@ impl Dylect {
             counters,
             rng: Rng::new(seed ^ 0xD1_1EC7),
             stats: McStats::default(),
+            probe: ProbeHandle::disabled(),
             requests_seen: 0,
             ml0_count: 0,
         }
@@ -212,22 +215,27 @@ impl Dylect {
         self.update_table(now, key, addr, dram);
     }
 
-    /// Switches `page` to a short CTE (long → short).
+    /// Switches `page` to a short CTE (long → short). Every ML1→ML0
+    /// promotion funnels through here, so this is the one probe site.
     fn set_short(&mut self, now: Time, page: PageId, slot: u8, dram: &mut Dram) {
         debug_assert!(!self.is_ml0(page));
         self.short_cte[page.index() as usize] = slot;
         self.ml0_count += 1;
         self.update_pregathered(now, page, dram);
         self.update_unified(now, page, dram);
+        self.probe.emit(now, McEvent::Promotion, page.index());
     }
 
-    /// Switches `page` back to a long CTE (short → long).
+    /// Switches `page` back to a long CTE (short → long). Every ML0→ML1
+    /// demotion (promotion-displacement or compactor victim) funnels
+    /// through here, so this is the one probe site.
     fn clear_short(&mut self, now: Time, page: PageId, dram: &mut Dram) {
         debug_assert!(self.is_ml0(page));
         self.short_cte[page.index() as usize] = self.groups.invalid();
         self.ml0_count -= 1;
         self.update_pregathered(now, page, dram);
         self.update_unified(now, page, dram);
+        self.probe.emit(now, McEvent::Demotion, page.index());
     }
 
     /// Fills a CTE block into the single cache, billing any dirty-eviction
@@ -328,6 +336,7 @@ impl Dylect {
             t = self.store.compact_page(dram, t, victim);
             self.update_unified(t, victim, dram);
             self.stats.compactions.incr();
+            self.probe.emit(t, McEvent::Compaction, victim.index());
         }
         t
     }
@@ -350,6 +359,7 @@ impl Dylect {
             self.store.free.free_span(span);
             self.update_unified(t, q, dram);
             self.stats.displacements.incr();
+            self.probe.emit(t, McEvent::Displacement, q.index());
         }
         // All spans are gone; the page's holes have coalesced.
         self.store.free.take_specific_page(slot).then_some(t)
@@ -402,6 +412,7 @@ impl Dylect {
                             .move_uncompressed(dram, now, q, dst, RequestClass::Migration);
                     self.update_unified(t, q, dram);
                     self.stats.displacements.incr();
+                    self.probe.emit(t, McEvent::Displacement, q.index());
                     let taken = self.store.free.take_specific_page(s);
                     debug_assert!(taken, "slot freed by displacement");
                     let t = self
@@ -496,6 +507,7 @@ impl MemoryScheme for Dylect {
                 .expand(dram, t_translated, page, RequestClass::Migration);
             self.update_unified(ready, page, dram);
             self.stats.expansions.incr();
+            self.probe.emit(ready, McEvent::Expansion, page.index());
             Some(ready)
         } else {
             None
@@ -546,6 +558,10 @@ impl MemoryScheme for Dylect {
     fn set_warmup(&mut self, warmup: bool) {
         let rate = if warmup { 0.5 } else { self.cfg.sample_rate };
         self.counters.set_sample_rate(rate);
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn stats(&self) -> &McStats {

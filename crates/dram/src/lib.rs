@@ -42,7 +42,7 @@ pub use config::{DramConfig, DramGeometry, DramTiming, SchedulerConfig};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use mapping::{AddressMapper, Location};
 pub use scheduler::{DramOp, ReqId};
-pub use stats::{DramStats, RequestClass, RowOutcome};
+pub use stats::{DramStats, QueueStats, RequestClass, RowOutcome};
 
 use scheduler::{ChannelScheduler, Pending};
 
@@ -53,6 +53,8 @@ pub struct Dram {
     mapper: AddressMapper,
     channels: Vec<ChannelScheduler>,
     stats: DramStats,
+    queue: QueueStats,
+    in_flight: u64,
     completions: HashMap<ReqId, Time>,
     next_id: u64,
 }
@@ -68,6 +70,8 @@ impl Dram {
             mapper: AddressMapper::new(config.geometry),
             channels,
             stats: DramStats::default(),
+            queue: QueueStats::default(),
+            in_flight: 0,
             completions: HashMap::new(),
             next_id: 0,
         }
@@ -83,9 +87,15 @@ impl Dram {
         &self.stats
     }
 
+    /// Returns queue-occupancy statistics (telemetry; not part of reports).
+    pub fn queue_stats(&self) -> &QueueStats {
+        &self.queue
+    }
+
     /// Resets statistics (e.g. after warmup) without touching bank state.
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
+        self.queue = QueueStats::default();
     }
 
     /// Submits a 64 B request arriving at `arrival`; call [`Dram::drain`]
@@ -104,6 +114,8 @@ impl Dram {
     ) -> ReqId {
         let id = ReqId(self.next_id);
         self.next_id += 1;
+        self.in_flight += 1;
+        self.queue.on_submit(self.in_flight);
         let loc = self.mapper.decode(addr);
         self.channels[loc.channel as usize].submit(Pending {
             id,
@@ -117,6 +129,7 @@ impl Dram {
 
     /// Schedules all pending requests to completion.
     pub fn drain(&mut self) {
+        self.in_flight = 0;
         for ch in &mut self.channels {
             if ch.has_pending() {
                 ch.drain(&mut self.stats);

@@ -80,6 +80,45 @@ pub enum RowOutcome {
     Conflict,
 }
 
+/// Read/write-queue occupancy statistics — telemetry-only (sampled by the
+/// observability layer, never serialized into run reports). Depth is
+/// observed at each submit, so `mean_depth` is the queue depth seen by an
+/// arriving request.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Requests submitted.
+    pub submits: u64,
+    /// Sum over submits of the queue depth right after enqueue.
+    pub depth_sum: u64,
+    /// Deepest queue observed.
+    pub max_depth: u64,
+}
+
+impl QueueStats {
+    pub(crate) fn on_submit(&mut self, depth: u64) {
+        self.submits += 1;
+        self.depth_sum += depth;
+        self.max_depth = self.max_depth.max(depth);
+    }
+
+    /// Mean queue depth seen by an arriving request (0 with no submits).
+    pub fn mean_depth(&self) -> f64 {
+        if self.submits == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.submits as f64
+        }
+    }
+
+    /// Folds another DRAM system's queue statistics into this one
+    /// (multi-MC aggregation).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.submits += other.submits;
+        self.depth_sum += other.depth_sum;
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
 /// Aggregate counters for one DRAM system.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DramStats {

@@ -10,6 +10,7 @@
 
 use dylect_dram::{Dram, DramOp, RequestClass};
 use dylect_sim_core::kv::{KvReader, KvWriter};
+use dylect_sim_core::probe::ProbeHandle;
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time};
 
@@ -231,6 +232,12 @@ pub trait MemoryScheme {
     /// the paper's 20 G-instruction fast-forward warmup); measurement always
     /// runs with paper parameters. Default: no-op.
     fn set_warmup(&mut self, _warmup: bool) {}
+
+    /// Attaches an observability probe. Schemes with discrete policy events
+    /// (promotion, demotion, expansion, compaction) forward them through the
+    /// handle; probes are observation-only and must never change simulated
+    /// behavior. Default: events are discarded.
+    fn set_probe(&mut self, _probe: ProbeHandle) {}
 
     /// Accumulated statistics.
     fn stats(&self) -> &McStats;

@@ -418,7 +418,7 @@ mod tests {
         let mut x = 123u64;
         for _ in 0..500 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if x % 3 != 0 || live.is_empty() {
+            if !x.is_multiple_of(3) || live.is_empty() {
                 let len = ((x >> 8) % 1500 + 64) as u32;
                 if let Some(s) = fs.alloc_span(len) {
                     live.push(s);

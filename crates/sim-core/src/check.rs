@@ -83,7 +83,7 @@ pub fn forall(name: &str, cases: u32, prop: impl Fn(&mut Gen) -> Result<(), Stri
                 .unwrap_or_else(|| panic!("DYLECT_CHECK_SEED={s:?} is not a (hex) integer"));
             (seed, true)
         }
-        Err(_) => (0xD11E_C7u64, false),
+        Err(_) => (0x00D1_1EC7_u64, false),
     };
     // Under replay, case 0 is exactly the reported failure.
     let cases = if replay { 1 } else { cases.max(1) };

@@ -10,7 +10,10 @@
 //!   address spaces statically distinct,
 //! - a deterministic, seedable random-number generator ([`rng::Rng`]) with a
 //!   Zipf sampler used by the synthetic workload generators,
-//! - lightweight statistics helpers ([`stats`]).
+//! - lightweight statistics helpers ([`stats`]),
+//! - observability probes ([`probe`]) through which memory controllers
+//!   announce discrete events (promotions, expansions, …) to the telemetry
+//!   subsystem without affecting simulation behavior.
 //!
 //! # The three address spaces
 //!
@@ -42,6 +45,7 @@
 pub mod addr;
 pub mod check;
 pub mod kv;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,191 @@
+//! Observability probes: discrete memory-controller events.
+//!
+//! A scheme (TMCC, DyLeCT, …) announces its discrete policy actions —
+//! promotions, demotions, expansions, background-compactor work — through a
+//! [`ProbeHandle`]. The handle is a nullable reference to an [`EventSink`];
+//! the disabled handle is a `None` that every `emit` call branches over and
+//! the optimizer folds away, so simulation with telemetry off pays nothing
+//! beyond one predictable branch per *event* (not per access).
+//!
+//! The sink lives behind `Rc<RefCell<…>>`: the simulator is single-threaded
+//! and several memory controllers may feed one journal. Cloning a handle
+//! (or a scheme holding one) shares the sink.
+//!
+//! # Example
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use dylect_sim_core::probe::{EventSink, McEvent, ProbeHandle};
+//! use dylect_sim_core::Time;
+//!
+//! #[derive(Default)]
+//! struct CountSink(u64);
+//! impl EventSink for CountSink {
+//!     fn record(&mut self, _now: Time, _event: McEvent, _page: u64) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let sink = Rc::new(RefCell::new(CountSink::default()));
+//! let probe = ProbeHandle::new(sink.clone());
+//! probe.emit(Time::ZERO, McEvent::Promotion, 42);
+//! assert_eq!(sink.borrow().0, 1);
+//! ProbeHandle::disabled().emit(Time::ZERO, McEvent::Demotion, 7); // no-op
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::Time;
+
+/// A discrete memory-controller event worth journaling.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum McEvent {
+    /// ML1→ML0: a page switched to a short CTE (DyLeCT).
+    Promotion,
+    /// ML0→ML1: a page switched back to a long CTE (DyLeCT).
+    Demotion,
+    /// ML2→ML1: a compressed page was expanded on demand.
+    Expansion,
+    /// A background-compactor pass compressed a page back to ML2.
+    Compaction,
+    /// A page was relocated to make room for a promotion.
+    Displacement,
+}
+
+impl McEvent {
+    /// All events, in display order.
+    pub const ALL: [McEvent; 5] = [
+        McEvent::Promotion,
+        McEvent::Demotion,
+        McEvent::Expansion,
+        McEvent::Compaction,
+        McEvent::Displacement,
+    ];
+
+    /// Stable lowercase name (export formats key on this).
+    pub fn name(self) -> &'static str {
+        match self {
+            McEvent::Promotion => "promotion",
+            McEvent::Demotion => "demotion",
+            McEvent::Expansion => "expansion",
+            McEvent::Compaction => "compaction",
+            McEvent::Displacement => "displacement",
+        }
+    }
+}
+
+impl fmt::Display for McEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Receives emitted events. Implementations must be observation-only: a
+/// sink may never feed information back into the simulation, which is what
+/// keeps telemetry-on and telemetry-off runs bit-identical.
+pub trait EventSink {
+    /// Records one event at simulated time `now` concerning OS page `page`.
+    fn record(&mut self, now: Time, event: McEvent, page: u64);
+}
+
+/// A nullable, shareable reference to an [`EventSink`].
+#[derive(Clone, Default)]
+pub struct ProbeHandle(Option<Rc<RefCell<dyn EventSink>>>);
+
+impl ProbeHandle {
+    /// The disabled handle: every [`ProbeHandle::emit`] is a no-op.
+    pub const fn disabled() -> Self {
+        ProbeHandle(None)
+    }
+
+    /// Wraps a sink.
+    pub fn new(sink: Rc<RefCell<dyn EventSink>>) -> Self {
+        ProbeHandle(Some(sink))
+    }
+
+    /// Whether events reach a sink.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Forwards one event to the sink, if any.
+    #[inline]
+    pub fn emit(&self, now: Time, event: McEvent, page: u64) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record(now, event, page);
+        }
+    }
+}
+
+impl fmt::Debug for ProbeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "ProbeHandle(enabled)"
+        } else {
+            "ProbeHandle(disabled)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct VecSink(Vec<(Time, McEvent, u64)>);
+
+    impl EventSink for VecSink {
+        fn record(&mut self, now: Time, event: McEvent, page: u64) {
+            self.0.push((now, event, page));
+        }
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let p = ProbeHandle::disabled();
+        assert!(!p.is_enabled());
+        p.emit(Time::ZERO, McEvent::Expansion, 1); // must not panic
+    }
+
+    #[test]
+    fn enabled_handle_forwards_in_order() {
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let p = ProbeHandle::new(sink.clone());
+        assert!(p.is_enabled());
+        p.emit(Time::from_ns(1.0), McEvent::Promotion, 10);
+        p.emit(Time::from_ns(2.0), McEvent::Compaction, 11);
+        let got = &sink.borrow().0;
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (Time::from_ns(1.0), McEvent::Promotion, 10));
+        assert_eq!(got[1], (Time::from_ns(2.0), McEvent::Compaction, 11));
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let a = ProbeHandle::new(sink.clone());
+        let b = a.clone();
+        a.emit(Time::ZERO, McEvent::Demotion, 1);
+        b.emit(Time::ZERO, McEvent::Demotion, 2);
+        assert_eq!(sink.borrow().0.len(), 2);
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        // Export formats and `dylect-stats` key on these strings.
+        let names: Vec<&str> = McEvent::ALL.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "promotion",
+                "demotion",
+                "expansion",
+                "compaction",
+                "displacement"
+            ]
+        );
+    }
+}

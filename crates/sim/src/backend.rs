@@ -9,8 +9,9 @@
 
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_cpu::{BackendOp, MemoryBackend};
-use dylect_dram::{Dram, DramStats, EnergyBreakdown};
+use dylect_dram::{Dram, DramStats, EnergyBreakdown, QueueStats};
 use dylect_memctl::{McStats, MemoryScheme, Occupancy};
+use dylect_sim_core::probe::ProbeHandle;
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES, PAGE_BYTES};
 
@@ -121,6 +122,25 @@ impl SharedMemory {
             agg.merge(&mc.scheme.occupancy());
         }
         agg
+    }
+
+    /// DRAM queue statistics aggregated across all MCs (telemetry; not
+    /// part of run reports).
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut agg = QueueStats::default();
+        for mc in &self.mcs {
+            agg.merge(mc.dram.queue_stats());
+        }
+        agg
+    }
+
+    /// Installs one observability probe per memory controller; `make` is
+    /// called with each MC's index. Probes are observation-only and do not
+    /// change simulated behavior.
+    pub fn set_probes(&mut self, mut make: impl FnMut(u32) -> ProbeHandle) {
+        for (i, mc) in self.mcs.iter_mut().enumerate() {
+            mc.scheme.set_probe(make(i as u32));
+        }
     }
 
     /// DRAM energy over `elapsed`, aggregated across all MCs.

@@ -112,7 +112,7 @@ impl SystemConfig {
             dram_ranks: 8,
             memory_controllers: 1,
             scale,
-            seed: 0xD11E_C7,
+            seed: 0x00D1_1EC7,
         }
     }
 
@@ -135,7 +135,7 @@ impl SystemConfig {
             dram_ranks: 8,
             memory_controllers: 1,
             scale,
-            seed: 0xD11E_C7,
+            seed: 0x00D1_1EC7,
         }
     }
 }

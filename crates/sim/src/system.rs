@@ -4,7 +4,9 @@ use dylect_core::{Dylect, DylectConfig, NaiveDynamic, NaiveDynamicConfig};
 use dylect_cpu::{Core, PageTableLayout};
 use dylect_dram::{Dram, DramConfig};
 use dylect_memctl::{MemoryScheme, NoCompression};
+use dylect_sim_core::probe::ProbeHandle;
 use dylect_sim_core::Time;
+use dylect_telemetry::{SampleSnapshot, Telemetry, TelemetryConfig};
 use dylect_tmcc::{Tmcc, TmccConfig};
 use dylect_workloads::{BenchmarkSpec, SyntheticWorkload};
 
@@ -20,6 +22,11 @@ pub struct System {
     workloads: Vec<SyntheticWorkload>,
     shared: SharedMemory,
     measure_start: Time,
+    telemetry: Option<Telemetry>,
+    ops_in_epoch: u64,
+    /// Instructions retired before the last stats reset, so the telemetry
+    /// x-axis stays monotonic across the warmup/measurement boundary.
+    instr_base: u64,
 }
 
 impl System {
@@ -71,6 +78,9 @@ impl System {
             workloads,
             shared,
             measure_start: Time::ZERO,
+            telemetry: None,
+            ops_in_epoch: 0,
+            instr_base: 0,
         }
     }
 
@@ -149,7 +159,64 @@ impl System {
             workloads,
             shared,
             measure_start: Time::ZERO,
+            telemetry: None,
+            ops_in_epoch: 0,
+            instr_base: 0,
         }
+    }
+
+    /// Turns telemetry on: installs an observability probe into every
+    /// memory controller and starts epoch sampling in [`System::execute`].
+    /// Telemetry is observation-only — the resulting [`RunReport`] is
+    /// bit-identical to a run without it.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let telemetry = Telemetry::new(cfg);
+        self.shared.set_probes(|mc| telemetry.probe_for_mc(mc));
+        self.telemetry = Some(telemetry);
+        self.ops_in_epoch = 0;
+    }
+
+    /// The telemetry collected so far, if enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detaches and returns the collected telemetry, disabling the probes.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        let t = self.telemetry.take();
+        if t.is_some() {
+            self.shared.set_probes(|_| ProbeHandle::disabled());
+        }
+        t
+    }
+
+    /// Instructions retired across all cores since the last stats reset.
+    fn retired_instructions(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.stats().instructions.get())
+            .sum()
+    }
+
+    /// Snapshots the cumulative counters into the sampler (no-op when
+    /// telemetry is off).
+    fn sample_telemetry(&mut self) {
+        let Some(t) = &mut self.telemetry else {
+            return;
+        };
+        let instructions = self.instr_base
+            + self
+                .cores
+                .iter()
+                .map(|c| c.stats().instructions.get())
+                .sum::<u64>();
+        t.sample(SampleSnapshot {
+            instructions,
+            mc: self.shared.mc_stats(),
+            dram: self.shared.dram_stats(),
+            occupancy: self.shared.occupancy(),
+            queue: self.shared.queue_stats(),
+        });
     }
 
     /// The configuration in use.
@@ -165,6 +232,12 @@ impl System {
     /// Executes `ops` memory operations across the cores, always stepping
     /// the core that is furthest behind in simulated time.
     pub fn execute(&mut self, ops: u64) {
+        // 0 when telemetry is off: the epoch check below stays one
+        // predictable branch per op.
+        let epoch_ops = self
+            .telemetry
+            .as_ref()
+            .map_or(0, |t| t.config().epoch_ops.max(1));
         for _ in 0..ops {
             let idx = self
                 .cores
@@ -175,6 +248,13 @@ impl System {
                 .expect("at least one core");
             let op = self.workloads[idx].next_op();
             self.cores[idx].step(op, &mut self.shared);
+            if epoch_ops > 0 {
+                self.ops_in_epoch += 1;
+                if self.ops_in_epoch >= epoch_ops {
+                    self.ops_in_epoch = 0;
+                    self.sample_telemetry();
+                }
+            }
         }
     }
 
@@ -182,6 +262,7 @@ impl System {
     /// the measurement window.
     pub fn start_measurement(&mut self) {
         self.shared.set_warmup(false);
+        self.instr_base += self.retired_instructions();
         for c in &mut self.cores {
             c.reset_stats();
         }
@@ -206,6 +287,8 @@ impl System {
     /// Drains in-flight work and snapshots the report for the measurement
     /// window.
     pub fn finish(&mut self) -> RunReport {
+        // Close the last (possibly partial) telemetry epoch.
+        self.sample_telemetry();
         for c in &mut self.cores {
             c.drain();
         }
@@ -315,6 +398,46 @@ mod tests {
         sys.start_measurement();
         let r = sys.finish();
         assert_eq!(r.instructions, 0, "no ops after reset");
+    }
+
+    #[test]
+    fn telemetry_samples_epochs_and_journals_events() {
+        let mut sys = quick(SchemeKind::dylect());
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+            epoch_ops: 1_000,
+            ..dylect_telemetry::TelemetryConfig::default()
+        });
+        let report = sys.run(30_000, 10_000);
+        let t = sys.take_telemetry().expect("enabled");
+        // 40k ops at 1k per epoch, plus the closing sample in finish().
+        assert!(
+            t.sampler().epochs() >= 40,
+            "epochs {}",
+            t.sampler().epochs()
+        );
+        let hit = t.sampler().get("cte_hit_rate").unwrap();
+        assert!(!hit.bins().is_empty());
+        // The x-axis is monotonic across the warmup/measurement reset.
+        for w in hit.bins().windows(2) {
+            assert!(w[0].x_end <= w[1].x_start);
+        }
+        // Warmup promotes pages, so the journal saw promotion events, and
+        // journal totals agree with cumulative-style evidence in the series.
+        use dylect_sim_core::probe::McEvent;
+        assert!(t.journal().count(McEvent::Promotion) > 0);
+        assert!(report.occupancy.ml0_pages > 0);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_report() {
+        let r_plain = quick(SchemeKind::dylect()).run(5_000, 5_000);
+        let mut sys = quick(SchemeKind::dylect());
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig::default());
+        let r_telemetry = sys.run(5_000, 5_000);
+        assert_eq!(r_plain.instructions, r_telemetry.instructions);
+        assert_eq!(r_plain.elapsed, r_telemetry.elapsed);
+        assert_eq!(r_plain.mc, r_telemetry.mc);
+        assert_eq!(r_plain.dram, r_telemetry.dram);
     }
 
     #[test]

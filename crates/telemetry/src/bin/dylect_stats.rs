@@ -1,0 +1,415 @@
+//! `dylect-stats` — inspect and compare simulator telemetry exports.
+//!
+//! ```text
+//! dylect-stats dump <file>
+//! dylect-stats summary <file>
+//! dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]
+//! ```
+//!
+//! Two file kinds are understood:
+//!
+//! - `*.jsonl` telemetry exports (`<stem>.series.jsonl`,
+//!   `<stem>.events.jsonl`) — flat JSON objects, one per line;
+//! - `*.report` run-report cache records (the `KvWriter` format used under
+//!   `results/cache/`), where floats are stored as exact bit patterns.
+//!
+//! `diff` compares two files of the same kind; numeric fields may differ by
+//! at most the configured tolerances (`--abs-tol`, `--rel-tol`, both
+//! defaulting to 0 = exact). Exit code: 0 when identical within tolerance,
+//! 1 when differences were found, 2 on usage or I/O errors.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use dylect_telemetry::export::{parse_flat_object, FlatValue};
+
+/// Writes one line to stdout, dying quietly with the conventional SIGPIPE
+/// status when the downstream reader has gone away (`dylect-stats dump … |
+/// head` must not panic).
+fn outln_impl(args: std::fmt::Arguments) {
+    let mut out = std::io::stdout().lock();
+    if out
+        .write_fmt(args)
+        .and_then(|()| out.write_all(b"\n"))
+        .is_err()
+    {
+        std::process::exit(141);
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => { outln_impl(format_args!($($arg)*)) };
+}
+
+struct Tolerance {
+    abs: f64,
+    rel: f64,
+}
+
+impl Tolerance {
+    fn close(&self, a: f64, b: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        let d = (a - b).abs();
+        d <= self.abs || d <= self.rel * a.abs().max(b.abs())
+    }
+}
+
+/// What a file parsed into.
+enum Parsed {
+    /// Flat JSONL: one object per line.
+    Jsonl(Vec<BTreeMap<String, FlatValue>>),
+    /// A `KvWriter` record: key → raw string value.
+    Report(BTreeMap<String, String>),
+}
+
+fn load(path: &str) -> Result<Parsed, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".report") || looks_like_report(&text) {
+        return parse_report(&text)
+            .map(Parsed::Report)
+            .ok_or_else(|| format!("{path}: malformed report record"));
+    }
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = parse_flat_object(line)
+            .ok_or_else(|| format!("{path}:{}: malformed JSONL line", i + 1))?;
+        rows.push(obj);
+    }
+    Ok(Parsed::Jsonl(rows))
+}
+
+/// KvWriter records are multi-line `{ "key": "value", ... }`; JSONL files
+/// are one object per line.
+fn looks_like_report(text: &str) -> bool {
+    text.trim_start().starts_with("{\n") || text.trim() == "{}"
+}
+
+fn parse_report(text: &str) -> Option<BTreeMap<String, String>> {
+    let body = text.trim();
+    let body = body.strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line.strip_prefix('"')?;
+        let (key, rest) = rest.split_once("\": \"")?;
+        let value = rest.strip_suffix('"')?;
+        map.insert(key.to_string(), value.to_string());
+    }
+    Some(map)
+}
+
+/// Decodes a report value: `f64:<hexbits> <approx>` → the exact float, a
+/// plain integer → that value; anything else stays a string.
+fn report_number(raw: &str) -> Option<f64> {
+    if let Some(v) = raw.strip_prefix("f64:") {
+        let hex = v.split(' ').next()?;
+        return Some(f64::from_bits(u64::from_str_radix(hex, 16).ok()?));
+    }
+    raw.parse::<u64>().ok().map(|v| v as f64)
+}
+
+fn fmt_value(v: &FlatValue) -> String {
+    match v {
+        FlatValue::Number(n) => format!("{n:?}"),
+        FlatValue::String(s) => s.clone(),
+    }
+}
+
+/// A human label for a JSONL row: its identifying keys if present, else
+/// its position.
+fn row_label(row: &BTreeMap<String, FlatValue>, index: usize) -> String {
+    let mut label = String::new();
+    for key in ["series", "summary", "event", "x_start", "ts_ps"] {
+        if let Some(v) = row.get(key) {
+            if !label.is_empty() {
+                label.push(' ');
+            }
+            let _ = write!(label, "{key}={}", fmt_value(v));
+        }
+    }
+    if label.is_empty() {
+        format!("line {}", index + 1)
+    } else {
+        label
+    }
+}
+
+fn dump(parsed: &Parsed) {
+    match parsed {
+        Parsed::Jsonl(rows) => {
+            for row in rows {
+                let fields: Vec<String> = row
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", fmt_value(v)))
+                    .collect();
+                outln!("{}", fields.join(" "));
+            }
+        }
+        Parsed::Report(map) => {
+            for (k, v) in map {
+                outln!("{k} = {v}");
+            }
+        }
+    }
+}
+
+fn summary(parsed: &Parsed) {
+    match parsed {
+        Parsed::Jsonl(rows) => {
+            // Group series bins by name; fall back to event kinds.
+            let mut groups: BTreeMap<String, (u64, u64, f64, f64, f64)> = BTreeMap::new();
+            for row in rows {
+                let Some(name) = row.get("series").and_then(|v| v.as_str()) else {
+                    continue;
+                };
+                let count = row.get("count").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+                let min = row.get("min").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let max = row.get("max").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let mean = row.get("mean").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                let e = groups
+                    .entry(name.to_string())
+                    .or_insert((0, 0, f64::MAX, f64::MIN, 0.0));
+                e.0 += 1;
+                e.1 += count;
+                e.2 = e.2.min(min);
+                e.3 = e.3.max(max);
+                e.4 = mean; // last bin's mean wins: the settled value
+            }
+            if groups.is_empty() {
+                outln!("{} rows (no series records)", rows.len());
+                return;
+            }
+            outln!(
+                "{:<26} {:>6} {:>9} {:>12} {:>12} {:>12}",
+                "series",
+                "bins",
+                "samples",
+                "min",
+                "max",
+                "last_mean"
+            );
+            for (name, (bins, samples, min, max, last)) in &groups {
+                outln!("{name:<26} {bins:>6} {samples:>9} {min:>12.4} {max:>12.4} {last:>12.4}");
+            }
+        }
+        Parsed::Report(map) => {
+            outln!("report record with {} keys", map.len());
+            for (k, v) in map {
+                outln!("{k} = {v}");
+            }
+        }
+    }
+}
+
+fn diff_numbers(label: &str, a: f64, b: f64, tol: &Tolerance, diffs: &mut Vec<String>) {
+    if !tol.close(a, b) {
+        diffs.push(format!(
+            "{label}: {a:?} != {b:?} (delta {:?})",
+            (a - b).abs()
+        ));
+    }
+}
+
+fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<String> {
+    let mut diffs = Vec::new();
+    match (a, b) {
+        (Parsed::Jsonl(ra), Parsed::Jsonl(rb)) => {
+            if ra.len() != rb.len() {
+                diffs.push(format!("row counts differ: {} vs {}", ra.len(), rb.len()));
+            }
+            for (i, (rowa, rowb)) in ra.iter().zip(rb.iter()).enumerate() {
+                let label = row_label(rowa, i);
+                for (key, va) in rowa {
+                    match (va, rowb.get(key)) {
+                        (_, None) => diffs.push(format!("{label}: {key} missing in second")),
+                        (FlatValue::Number(x), Some(FlatValue::Number(y))) => {
+                            diff_numbers(&format!("{label}: {key}"), *x, *y, tol, &mut diffs);
+                        }
+                        (va, Some(vb)) => {
+                            if va != vb {
+                                diffs.push(format!(
+                                    "{label}: {key}: {} != {}",
+                                    fmt_value(va),
+                                    fmt_value(vb)
+                                ));
+                            }
+                        }
+                    }
+                }
+                for key in rowb.keys() {
+                    if !rowa.contains_key(key) {
+                        diffs.push(format!("{label}: {key} missing in first"));
+                    }
+                }
+            }
+        }
+        (Parsed::Report(ma), Parsed::Report(mb)) => {
+            for (key, va) in ma {
+                match mb.get(key) {
+                    None => diffs.push(format!("{key}: missing in second")),
+                    Some(vb) if va == vb => {}
+                    Some(vb) => match (report_number(va), report_number(vb)) {
+                        (Some(x), Some(y)) => diff_numbers(key, x, y, tol, &mut diffs),
+                        _ => diffs.push(format!("{key}: {va} != {vb}")),
+                    },
+                }
+            }
+            for key in mb.keys() {
+                if !ma.contains_key(key) {
+                    diffs.push(format!("{key}: missing in first"));
+                }
+            }
+        }
+        _ => diffs.push("files are of different kinds (jsonl vs report)".to_string()),
+    }
+    diffs
+}
+
+const USAGE: &str = "usage:
+  dylect-stats dump <file>
+  dylect-stats summary <file>
+  dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]";
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("dump") | Some("summary") if args.len() == 2 => {
+            let parsed = load(&args[1])?;
+            if args[0] == "dump" {
+                dump(&parsed);
+            } else {
+                summary(&parsed);
+            }
+            Ok(true)
+        }
+        Some("diff") if args.len() >= 3 => {
+            let mut tol = Tolerance { abs: 0.0, rel: 0.0 };
+            let mut i = 3;
+            while i < args.len() {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("{} needs a value", args[i]))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("{}: {e}", args[i]))?;
+                match args[i].as_str() {
+                    "--abs-tol" => tol.abs = value,
+                    "--rel-tol" => tol.rel = value,
+                    other => return Err(format!("unknown flag {other}\n{USAGE}")),
+                }
+                i += 2;
+            }
+            let a = load(&args[1])?;
+            let b = load(&args[2])?;
+            let diffs = diff(&a, &b, &tol);
+            if diffs.is_empty() {
+                outln!(
+                    "identical within tolerance (abs {}, rel {})",
+                    tol.abs,
+                    tol.rel
+                );
+                Ok(true)
+            } else {
+                for d in &diffs {
+                    outln!("{d}");
+                }
+                outln!("{} difference(s)", diffs.len());
+                Ok(false)
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_semantics() {
+        let exact = Tolerance { abs: 0.0, rel: 0.0 };
+        assert!(exact.close(1.0, 1.0));
+        assert!(!exact.close(1.0, 1.0000001));
+        let abs = Tolerance { abs: 0.1, rel: 0.0 };
+        assert!(abs.close(1.0, 1.05));
+        assert!(!abs.close(1.0, 1.2));
+        let rel = Tolerance {
+            abs: 0.0,
+            rel: 0.01,
+        };
+        assert!(rel.close(100.0, 100.5));
+        assert!(!rel.close(100.0, 102.0));
+    }
+
+    #[test]
+    fn report_parsing_decodes_exact_floats() {
+        let text = format!(
+            "{{\n\"a\": \"42\",\n\"b\": \"f64:{:016x} {:e}\",\n}}\n",
+            0.5f64.to_bits(),
+            0.5f64
+        );
+        let map = parse_report(&text).unwrap();
+        assert_eq!(report_number(&map["a"]), Some(42.0));
+        assert_eq!(report_number(&map["b"]), Some(0.5));
+    }
+
+    #[test]
+    fn identical_jsonl_has_no_diffs() {
+        let rows = vec![parse_flat_object(r#"{"series":"s","x_start":1,"mean":0.5}"#).unwrap()];
+        let a = Parsed::Jsonl(rows.clone());
+        let b = Parsed::Jsonl(rows);
+        let tol = Tolerance { abs: 0.0, rel: 0.0 };
+        assert!(diff(&a, &b, &tol).is_empty());
+    }
+
+    #[test]
+    fn jsonl_diff_finds_numeric_drift_and_respects_tolerance() {
+        let a = Parsed::Jsonl(vec![parse_flat_object(
+            r#"{"series":"s","x_start":1,"mean":0.5}"#,
+        )
+        .unwrap()]);
+        let b = Parsed::Jsonl(vec![parse_flat_object(
+            r#"{"series":"s","x_start":1,"mean":0.6}"#,
+        )
+        .unwrap()]);
+        let exact = Tolerance { abs: 0.0, rel: 0.0 };
+        let found = diff(&a, &b, &exact);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].contains("series=s"), "{}", found[0]);
+        let loose = Tolerance { abs: 0.2, rel: 0.0 };
+        assert!(diff(&a, &b, &loose).is_empty());
+    }
+
+    #[test]
+    fn missing_keys_and_rows_are_reported() {
+        let a = Parsed::Jsonl(vec![parse_flat_object(r#"{"x":1,"y":2}"#).unwrap()]);
+        let b = Parsed::Jsonl(vec![
+            parse_flat_object(r#"{"x":1}"#).unwrap(),
+            BTreeMap::new(),
+        ]);
+        let tol = Tolerance { abs: 0.0, rel: 0.0 };
+        let found = diff(&a, &b, &tol);
+        assert!(found.iter().any(|d| d.contains("row counts differ")));
+        assert!(found.iter().any(|d| d.contains("missing in second")));
+    }
+}

@@ -1,0 +1,311 @@
+//! Export formats: series JSONL, event JSONL, and Chrome trace-event JSON.
+//!
+//! Everything is hand-rolled — the workspace is hermetic (no serde). Floats
+//! are written with Rust's shortest round-trip formatting (`{:?}`), so a
+//! value survives a write/parse cycle bit-exactly.
+//!
+//! Three files per export, sharing a stem:
+//!
+//! - `<stem>.series.jsonl` — one JSON object per series bin (read back by
+//!   `dylect-stats`),
+//! - `<stem>.events.jsonl` — one JSON object per journal entry,
+//! - `<stem>.trace.json` — Chrome trace-event format; load it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! The JSONL records are *flat* objects (string keys, number or string
+//! values, no nesting), which is what [`parse_flat_object`] supports.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::journal::EventJournal;
+use crate::sampler::Sampler;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` so it parses back to the same bits (`{:?}` is Rust's
+/// shortest round-trip representation; non-finite values have no JSON
+/// spelling and become `null`).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the sampler's series as JSONL, one object per bin.
+pub fn series_jsonl(sampler: &Sampler) -> String {
+    let mut out = String::new();
+    for series in sampler.series() {
+        for b in series.bins() {
+            let _ = writeln!(
+                out,
+                "{{\"series\":\"{}\",\"x_start\":{},\"x_end\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                json_escape(series.name()),
+                b.x_start,
+                b.x_end,
+                b.count,
+                json_f64(b.sum),
+                json_f64(b.min),
+                json_f64(b.max),
+                json_f64(b.mean()),
+            );
+        }
+    }
+    out
+}
+
+/// Renders the journal as JSONL, one object per retained entry, with a
+/// trailing per-kind summary line (exact counts even past capacity).
+pub fn events_jsonl(journal: &EventJournal) -> String {
+    let mut out = String::new();
+    for e in journal.entries() {
+        let _ = writeln!(
+            out,
+            "{{\"ts_ps\":{},\"mc\":{},\"event\":\"{}\",\"page\":{}}}",
+            e.now.as_ps(),
+            e.mc,
+            e.event.name(),
+            e.page,
+        );
+    }
+    let mut summary = format!(
+        "{{\"summary\":\"event_totals\",\"dropped\":{}",
+        journal.dropped()
+    );
+    for event in dylect_sim_core::probe::McEvent::ALL {
+        let _ = write!(summary, ",\"{}\":{}", event.name(), journal.count(event));
+    }
+    summary.push('}');
+    out.push_str(&summary);
+    out.push('\n');
+    out
+}
+
+/// Renders the journal in Chrome trace-event JSON (instant events, one
+/// trace `tid` per memory controller; timestamps in microseconds).
+pub fn chrome_trace(journal: &EventJournal) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for e in journal.entries() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts_us = e.now.as_ps() as f64 / 1e6;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"mc\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"page\":{}}}}}",
+            e.event.name(),
+            json_f64(ts_us),
+            e.mc,
+            e.page,
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// A value in a flat JSON object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlatValue {
+    /// A JSON number (always parsed as `f64`).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+}
+
+impl FlatValue {
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FlatValue::Number(v) => Some(*v),
+            FlatValue::String(_) => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FlatValue::Number(_) => None,
+            FlatValue::String(s) => Some(s),
+        }
+    }
+}
+
+/// Parses one *flat* JSON object — string keys mapped to number, string,
+/// `null`, or boolean values; no nesting, which is all our JSONL emitters
+/// produce. Returns `None` on any structural error.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, FlatValue>> {
+    let s = line.trim();
+    let s = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut map = BTreeMap::new();
+    let mut rest = s.trim_start();
+    while !rest.is_empty() {
+        let (key, after_key) = parse_string(rest)?;
+        rest = after_key.trim_start().strip_prefix(':')?.trim_start();
+        let (value, after_value) = parse_value(rest)?;
+        if let Some(v) = value {
+            map.insert(key, v);
+        }
+        rest = after_value.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None => break,
+        }
+    }
+    if rest.is_empty() {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+/// Parses a leading JSON string literal; returns (content, remainder).
+fn parse_string(s: &str) -> Option<(String, &str)> {
+    let rest = s.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &rest[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let (j, _) = chars.next()?;
+                    let hex = rest.get(j..j + 4)?;
+                    let code = u32::from_str_radix(hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                    for _ in 0..3 {
+                        chars.next()?;
+                    }
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parses a leading scalar value; `None` in the first slot means JSON
+/// `null` (a key we skip rather than store).
+fn parse_value(s: &str) -> Option<(Option<FlatValue>, &str)> {
+    if s.starts_with('"') {
+        let (v, rest) = parse_string(s)?;
+        return Some((Some(FlatValue::String(v)), rest));
+    }
+    if let Some(rest) = s.strip_prefix("null") {
+        return Some((None, rest));
+    }
+    if let Some(rest) = s.strip_prefix("true") {
+        return Some((Some(FlatValue::Number(1.0)), rest));
+    }
+    if let Some(rest) = s.strip_prefix("false") {
+        return Some((Some(FlatValue::Number(0.0)), rest));
+    }
+    let end = s
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(s.len());
+    if end == 0 {
+        return None;
+    }
+    let v: f64 = s[..end].parse().ok()?;
+    Some((Some(FlatValue::Number(v)), &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_sim_core::probe::McEvent;
+    use dylect_sim_core::Time;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn f64_round_trips_through_text() {
+        for v in [0.0, 1.5, 0.1 + 0.2, 1.0 / 3.0, 1e-300, -7.25] {
+            let text = json_f64(v);
+            let back: f64 = text.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{text}");
+        }
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn flat_parser_round_trips_emitted_lines() {
+        let line = r#"{"series":"cte_hit_rate","x_start":0,"x_end":99,"count":100,"sum":12.5,"min":0.0,"max":1.0,"mean":0.125}"#;
+        let obj = parse_flat_object(line).unwrap();
+        assert_eq!(obj["series"].as_str(), Some("cte_hit_rate"));
+        assert_eq!(obj["count"].as_f64(), Some(100.0));
+        assert_eq!(obj["mean"].as_f64(), Some(0.125));
+    }
+
+    #[test]
+    fn flat_parser_rejects_garbage() {
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("{\"a\":}").is_none());
+        assert!(parse_flat_object("{\"a\":1} trailing").is_none());
+    }
+
+    #[test]
+    fn flat_parser_handles_null_and_escapes() {
+        let obj = parse_flat_object(r#"{"a":null,"b":"x\"y","c":-1.5e3}"#).unwrap();
+        assert!(!obj.contains_key("a"));
+        assert_eq!(obj["b"].as_str(), Some("x\"y"));
+        assert_eq!(obj["c"].as_f64(), Some(-1500.0));
+    }
+
+    #[test]
+    fn events_jsonl_lines_parse_back() {
+        let mut j = EventJournal::new(4);
+        j.record(Time::from_ns(2.5), 1, McEvent::Promotion, 99);
+        let text = events_jsonl(&j);
+        let mut lines = text.lines();
+        let e = parse_flat_object(lines.next().unwrap()).unwrap();
+        assert_eq!(e["event"].as_str(), Some("promotion"));
+        assert_eq!(e["ts_ps"].as_f64(), Some(2500.0));
+        let summary = parse_flat_object(lines.next().unwrap()).unwrap();
+        assert_eq!(summary["promotion"].as_f64(), Some(1.0));
+        assert_eq!(summary["dropped"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_structurally_sound() {
+        let mut j = EventJournal::new(4);
+        j.record(Time::from_ns(1.0), 0, McEvent::Expansion, 3);
+        j.record(Time::from_ns(2.0), 1, McEvent::Compaction, 4);
+        let t = chrome_trace(&j);
+        assert!(t.starts_with('{') && t.trim_end().ends_with('}'));
+        assert_eq!(t.matches("\"ph\":\"i\"").count(), 2);
+        assert!(t.contains("\"name\":\"expansion\""));
+        assert!(t.contains("\"traceEvents\""));
+    }
+}

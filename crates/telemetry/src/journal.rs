@@ -1,0 +1,154 @@
+//! The structured event journal for discrete memory-controller events.
+//!
+//! Memory controllers announce promotions, demotions, expansions, compactor
+//! passes, and displacements through [`ProbeHandle`]s
+//! (see `dylect_sim_core::probe`). One [`EventJournal`] collects the events
+//! of every MC, tagged with the emitting controller's index. The journal is
+//! bounded: once `capacity` entries are stored, further events are counted
+//! (per-kind totals stay exact) but not retained.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dylect_sim_core::probe::{EventSink, McEvent, ProbeHandle};
+use dylect_sim_core::Time;
+
+/// One journaled event.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Simulated time of the event.
+    pub now: Time,
+    /// Index of the emitting memory controller.
+    pub mc: u32,
+    /// What happened.
+    pub event: McEvent,
+    /// The OS page concerned.
+    pub page: u64,
+}
+
+/// A bounded, shared journal of discrete MC events.
+#[derive(Clone, Debug, Default)]
+pub struct EventJournal {
+    entries: Vec<JournalEntry>,
+    capacity: usize,
+    dropped: u64,
+    counts: [u64; McEvent::ALL.len()],
+}
+
+impl EventJournal {
+    /// Creates a journal retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> EventJournal {
+        EventJournal {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+            counts: [0; McEvent::ALL.len()],
+        }
+    }
+
+    fn event_index(event: McEvent) -> usize {
+        McEvent::ALL
+            .iter()
+            .position(|&e| e == event)
+            .expect("in ALL")
+    }
+
+    /// Records one event (called by [`McProbe`]).
+    pub fn record(&mut self, now: Time, mc: u32, event: McEvent, page: u64) {
+        self.counts[Self::event_index(event)] += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(JournalEntry {
+                now,
+                mc,
+                event,
+                page,
+            });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained entries, in emission order.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Events seen but not retained (capacity overflow).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact total count of `event`, including dropped entries.
+    pub fn count(&self, event: McEvent) -> u64 {
+        self.counts[Self::event_index(event)]
+    }
+
+    /// Total events seen (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// [`EventSink`] adapter tagging events with one MC's index before they
+/// reach the shared journal.
+#[derive(Clone, Debug)]
+pub struct McProbe {
+    journal: Rc<RefCell<EventJournal>>,
+    mc: u32,
+}
+
+impl McProbe {
+    /// Builds a [`ProbeHandle`] feeding `journal`, tagged as controller
+    /// `mc`.
+    pub fn handle(journal: Rc<RefCell<EventJournal>>, mc: u32) -> ProbeHandle {
+        ProbeHandle::new(Rc::new(RefCell::new(McProbe { journal, mc })))
+    }
+}
+
+impl EventSink for McProbe {
+    fn record(&mut self, now: Time, event: McEvent, page: u64) {
+        self.journal.borrow_mut().record(now, self.mc, event, page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut j = EventJournal::new(8);
+        j.record(Time::from_ns(1.0), 0, McEvent::Promotion, 42);
+        j.record(Time::from_ns(2.0), 1, McEvent::Promotion, 43);
+        j.record(Time::from_ns(3.0), 0, McEvent::Expansion, 7);
+        assert_eq!(j.entries().len(), 3);
+        assert_eq!(j.count(McEvent::Promotion), 2);
+        assert_eq!(j.count(McEvent::Expansion), 1);
+        assert_eq!(j.count(McEvent::Demotion), 0);
+        assert_eq!(j.total(), 3);
+        assert_eq!(j.entries()[1].mc, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_retention_but_not_counts() {
+        let mut j = EventJournal::new(2);
+        for i in 0..5 {
+            j.record(Time::ZERO, 0, McEvent::Compaction, i);
+        }
+        assert_eq!(j.entries().len(), 2);
+        assert_eq!(j.dropped(), 3);
+        assert_eq!(j.count(McEvent::Compaction), 5);
+    }
+
+    #[test]
+    fn probes_tag_their_mc() {
+        let journal = Rc::new(RefCell::new(EventJournal::new(16)));
+        let p0 = McProbe::handle(journal.clone(), 0);
+        let p3 = McProbe::handle(journal.clone(), 3);
+        p0.emit(Time::ZERO, McEvent::Demotion, 1);
+        p3.emit(Time::ZERO, McEvent::Demotion, 2);
+        let j = journal.borrow();
+        assert_eq!(j.entries()[0].mc, 0);
+        assert_eq!(j.entries()[1].mc, 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! Observability for the DyLeCT simulator.
+//!
+//! Two complementary views of a run:
+//!
+//! - **Time series** ([`Sampler`]): once per *epoch* (a fixed number of
+//!   memory operations) the run loop snapshots the cumulative simulator
+//!   counters; the sampler differences consecutive snapshots into
+//!   epoch-local series (CTE-cache hit rates split by serving block,
+//!   ML0/ML1/ML2 occupancy, promotion/demotion/expansion activity, DRAM
+//!   row-buffer hit rate and queue depth). Series are bounded
+//!   ([`series::TimeSeries`]): adjacent bins pair-merge and the stride
+//!   doubles, so memory stays O(capacity) for arbitrarily long runs.
+//! - **Event journal** ([`EventJournal`]): discrete MC events (promotion,
+//!   demotion, expansion, compaction, displacement) arrive through
+//!   `dylect_sim_core::probe::ProbeHandle`s wired into each memory
+//!   controller, tagged by controller index.
+//!
+//! Both are observation-only: enabling telemetry never changes simulated
+//! behavior (a property pinned by the workspace determinism test).
+//!
+//! [`Telemetry::export_to`] writes three files per run — series JSONL,
+//! event JSONL, and Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`) — consumed by the `dylect-stats` CLI, which can
+//! dump, summarize, and diff two runs' exports with configurable
+//! tolerances.
+
+pub mod export;
+pub mod journal;
+pub mod sampler;
+pub mod series;
+
+use std::cell::{Ref, RefCell};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use dylect_sim_core::probe::ProbeHandle;
+
+pub use journal::{EventJournal, JournalEntry, McProbe};
+pub use sampler::{SampleSnapshot, Sampler, SERIES_NAMES};
+pub use series::{Bin, TimeSeries};
+
+/// Telemetry sizing knobs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Memory operations per sampling epoch.
+    pub epoch_ops: u64,
+    /// Maximum bins retained per series.
+    pub series_capacity: usize,
+    /// Maximum journal entries retained (counts stay exact past this).
+    pub journal_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            epoch_ops: 10_000,
+            series_capacity: 512,
+            journal_capacity: 1 << 16,
+        }
+    }
+}
+
+/// One run's telemetry: the epoch sampler plus the shared event journal.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    sampler: Sampler,
+    journal: Rc<RefCell<EventJournal>>,
+}
+
+impl Telemetry {
+    /// Creates empty telemetry with the given sizing.
+    pub fn new(cfg: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            sampler: Sampler::new(cfg.series_capacity),
+            journal: Rc::new(RefCell::new(EventJournal::new(cfg.journal_capacity))),
+            cfg,
+        }
+    }
+
+    /// The sizing in use.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+
+    /// Builds the probe to install into memory controller `mc`
+    /// (`MemoryScheme::set_probe`); its events land in this telemetry's
+    /// journal tagged with `mc`.
+    pub fn probe_for_mc(&self, mc: u32) -> ProbeHandle {
+        McProbe::handle(self.journal.clone(), mc)
+    }
+
+    /// Records one epoch-boundary snapshot.
+    pub fn sample(&mut self, snap: SampleSnapshot) {
+        self.sampler.sample(snap);
+    }
+
+    /// The epoch sampler's series.
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// The shared event journal.
+    pub fn journal(&self) -> Ref<'_, EventJournal> {
+        self.journal.borrow()
+    }
+
+    /// Writes `<stem>.series.jsonl`, `<stem>.events.jsonl`, and
+    /// `<stem>.trace.json`; returns the paths written.
+    pub fn export_to(&self, stem: &Path) -> io::Result<Vec<PathBuf>> {
+        if let Some(dir) = stem.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let with_ext = |ext: &str| -> PathBuf {
+            let mut name = stem.file_name().unwrap_or_default().to_os_string();
+            name.push(ext);
+            stem.with_file_name(name)
+        };
+        let journal = self.journal.borrow();
+        let outputs = [
+            (
+                with_ext(".series.jsonl"),
+                export::series_jsonl(&self.sampler),
+            ),
+            (with_ext(".events.jsonl"), export::events_jsonl(&journal)),
+            (with_ext(".trace.json"), export::chrome_trace(&journal)),
+        ];
+        let mut paths = Vec::new();
+        for (path, text) in outputs {
+            std::fs::write(&path, text)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dylect_sim_core::probe::McEvent;
+    use dylect_sim_core::Time;
+
+    #[test]
+    fn probes_feed_the_shared_journal() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let p0 = t.probe_for_mc(0);
+        let p1 = t.probe_for_mc(1);
+        p0.emit(Time::ZERO, McEvent::Promotion, 5);
+        p1.emit(Time::ZERO, McEvent::Expansion, 6);
+        assert_eq!(t.journal().total(), 2);
+        assert_eq!(t.journal().entries()[1].mc, 1);
+    }
+
+    #[test]
+    fn export_writes_three_files() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.probe_for_mc(0)
+            .emit(Time::from_ns(5.0), McEvent::Compaction, 9);
+        t.sample(SampleSnapshot {
+            instructions: 1000,
+            ..SampleSnapshot::default()
+        });
+        let dir = std::env::temp_dir().join(format!("dylect-telemetry-{}", std::process::id()));
+        let paths = t.export_to(&dir.join("run")).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            assert!(p.exists(), "{}", p.display());
+        }
+        let series = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(series.contains("\"series\":\"cte_hit_rate\""));
+        let trace = std::fs::read_to_string(&paths[2]).unwrap();
+        assert!(trace.contains("\"name\":\"compaction\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

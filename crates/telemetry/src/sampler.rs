@@ -1,0 +1,281 @@
+//! The epoch sampler: cumulative counter snapshots → derived time series.
+//!
+//! Once per epoch (a fixed number of simulated memory operations) the run
+//! loop hands the sampler a [`SampleSnapshot`] of the cumulative simulator
+//! counters. The sampler differences consecutive snapshots to get
+//! epoch-local activity (so a rate series shows *current* behavior, not the
+//! run-average) and pushes one point per derived series, keyed by
+//! instructions retired.
+//!
+//! Counter resets are tolerated: `System::start_measurement` zeroes all
+//! statistics at the warmup/measurement boundary, which the sampler detects
+//! as a cumulative value going backwards and treats the post-reset value as
+//! the whole delta.
+
+use dylect_dram::{DramStats, QueueStats};
+use dylect_memctl::controller::{McStats, Occupancy};
+
+use crate::series::TimeSeries;
+
+/// A point-in-time snapshot of the simulator's cumulative statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SampleSnapshot {
+    /// Instructions retired across all cores (the series x-axis).
+    pub instructions: u64,
+    /// Aggregated memory-controller statistics (cumulative).
+    pub mc: McStats,
+    /// Aggregated DRAM statistics (cumulative).
+    pub dram: DramStats,
+    /// Current page-level census (a gauge, not cumulative).
+    pub occupancy: Occupancy,
+    /// Aggregated DRAM queue statistics (cumulative).
+    pub queue: QueueStats,
+}
+
+/// Difference of cumulative counters across one epoch, tolerating one stats
+/// reset inside the epoch (value going backwards ⇒ post-reset value is the
+/// delta).
+fn delta(cur: u64, prev: u64) -> u64 {
+    if cur >= prev {
+        cur - prev
+    } else {
+        cur
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Names of every series the sampler maintains, in export order.
+pub const SERIES_NAMES: [&str; 16] = [
+    "cte_hit_rate",
+    "cte_hit_rate_pregathered",
+    "cte_hit_rate_unified",
+    "ml0_pages",
+    "ml1_pages",
+    "ml2_pages",
+    "free_pages",
+    "ml0_fraction",
+    "promotions",
+    "demotions",
+    "expansions",
+    "compactions",
+    "row_hit_rate",
+    "read_queue_depth",
+    "read_queue_max_depth",
+    "dram_blocks",
+];
+
+/// The epoch sampler: one [`TimeSeries`] per derived metric.
+#[derive(Clone, Debug)]
+pub struct Sampler {
+    series: Vec<TimeSeries>,
+    prev: Option<SampleSnapshot>,
+    epochs: u64,
+}
+
+impl Sampler {
+    /// Creates a sampler whose series each hold at most `capacity` bins.
+    pub fn new(capacity: usize) -> Sampler {
+        Sampler {
+            series: SERIES_NAMES
+                .iter()
+                .map(|n| TimeSeries::new(n, capacity))
+                .collect(),
+            prev: None,
+            epochs: 0,
+        }
+    }
+
+    /// Epochs sampled so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// All series, in [`SERIES_NAMES`] order.
+    pub fn series(&self) -> &[TimeSeries] {
+        &self.series
+    }
+
+    /// Looks a series up by name.
+    pub fn get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    fn push(&mut self, name: &str, x: u64, value: f64) {
+        let s = self
+            .series
+            .iter_mut()
+            .find(|s| s.name() == name)
+            .expect("series registered in SERIES_NAMES");
+        s.push(x, value);
+    }
+
+    /// Records one epoch-boundary snapshot of the cumulative counters.
+    ///
+    /// A snapshot at the same instruction count as the previous one is
+    /// dropped: no instructions retired means no activity, and recording
+    /// it would append a spurious all-zero-rate point (this happens when
+    /// the closing sample at the end of a run coincides with the last
+    /// epoch boundary).
+    pub fn sample(&mut self, snap: SampleSnapshot) {
+        if self
+            .prev
+            .as_ref()
+            .is_some_and(|p| p.instructions == snap.instructions)
+        {
+            return;
+        }
+        self.epochs += 1;
+        let x = snap.instructions;
+        let prev = self.prev.take().unwrap_or_default();
+
+        // CTE cache: epoch-local hit rates, split by serving block kind.
+        let hits_pg = delta(
+            snap.mc.cte_hits_pregathered.get(),
+            prev.mc.cte_hits_pregathered.get(),
+        );
+        let hits_uni = delta(
+            snap.mc.cte_hits_unified.get(),
+            prev.mc.cte_hits_unified.get(),
+        );
+        let misses = delta(snap.mc.cte_misses.get(), prev.mc.cte_misses.get());
+        let lookups = hits_pg + hits_uni + misses;
+        self.push("cte_hit_rate", x, ratio(hits_pg + hits_uni, lookups));
+        self.push("cte_hit_rate_pregathered", x, ratio(hits_pg, lookups));
+        self.push("cte_hit_rate_unified", x, ratio(hits_uni, lookups));
+
+        // Occupancy gauges.
+        let occ = &snap.occupancy;
+        self.push("ml0_pages", x, occ.ml0_pages as f64);
+        self.push("ml1_pages", x, occ.ml1_pages as f64);
+        self.push("ml2_pages", x, occ.ml2_pages as f64);
+        self.push("free_pages", x, occ.free_pages as f64);
+        self.push("ml0_fraction", x, occ.ml0_fraction_of_uncompressed());
+
+        // Policy activity per epoch.
+        self.push(
+            "promotions",
+            x,
+            delta(snap.mc.promotions.get(), prev.mc.promotions.get()) as f64,
+        );
+        self.push(
+            "demotions",
+            x,
+            delta(snap.mc.demotions.get(), prev.mc.demotions.get()) as f64,
+        );
+        self.push(
+            "expansions",
+            x,
+            delta(snap.mc.expansions.get(), prev.mc.expansions.get()) as f64,
+        );
+        self.push(
+            "compactions",
+            x,
+            delta(snap.mc.compactions.get(), prev.mc.compactions.get()) as f64,
+        );
+
+        // DRAM: epoch-local row-buffer hit rate, queue depth, traffic.
+        let row_hits = delta(snap.dram.row_hits.get(), prev.dram.row_hits.get());
+        let blocks = delta(snap.dram.total_blocks(), prev.dram.total_blocks());
+        self.push("row_hit_rate", x, ratio(row_hits, blocks));
+        let submits = delta(snap.queue.submits, prev.queue.submits);
+        let depth_sum = delta(snap.queue.depth_sum, prev.queue.depth_sum);
+        self.push("read_queue_depth", x, ratio(depth_sum, submits));
+        self.push("read_queue_max_depth", x, snap.queue.max_depth as f64);
+        self.push("dram_blocks", x, blocks as f64);
+
+        self.prev = Some(snap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(instructions: u64, hits: u64, misses: u64, promotions: u64) -> SampleSnapshot {
+        let mut s = SampleSnapshot {
+            instructions,
+            ..SampleSnapshot::default()
+        };
+        for _ in 0..hits {
+            s.mc.cte_hits_unified.incr();
+        }
+        for _ in 0..misses {
+            s.mc.cte_misses.incr();
+        }
+        for _ in 0..promotions {
+            s.mc.promotions.incr();
+        }
+        s
+    }
+
+    #[test]
+    fn registers_every_named_series() {
+        let s = Sampler::new(16);
+        assert_eq!(s.series().len(), SERIES_NAMES.len());
+        for name in SERIES_NAMES {
+            assert!(s.get(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn rates_are_epoch_local() {
+        let mut s = Sampler::new(16);
+        // Epoch 1: 8/10 hits. Epoch 2: 0 additional hits, 10 more misses.
+        s.sample(snap(1000, 8, 2, 0));
+        s.sample(snap(2000, 8, 12, 0));
+        let bins = s.get("cte_hit_rate").unwrap().bins();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].mean(), 0.8);
+        assert_eq!(bins[1].mean(), 0.0, "second epoch had only misses");
+    }
+
+    #[test]
+    fn counter_reset_is_not_a_negative_delta() {
+        let mut s = Sampler::new(16);
+        s.sample(snap(1000, 80, 20, 5));
+        // Stats were reset (measurement start): cumulative values dropped.
+        s.sample(snap(2000, 4, 1, 2));
+        let bins = s.get("promotions").unwrap().bins();
+        assert_eq!(bins[1].mean(), 2.0, "post-reset value is the delta");
+        assert_eq!(s.get("cte_hit_rate").unwrap().bins()[1].mean(), 0.8);
+    }
+
+    #[test]
+    fn zero_activity_epoch_is_all_zeroes_not_nan() {
+        let mut s = Sampler::new(16);
+        s.sample(snap(1000, 0, 0, 0));
+        for series in s.series() {
+            let b = series.last().unwrap();
+            assert!(b.mean().is_finite(), "{}", series.name());
+        }
+    }
+
+    #[test]
+    fn x_axis_is_instructions() {
+        let mut s = Sampler::new(16);
+        s.sample(snap(123, 1, 1, 0));
+        s.sample(snap(456, 2, 2, 0));
+        let bins = s.get("dram_blocks").unwrap().bins();
+        assert_eq!(bins[0].x_start, 123);
+        assert_eq!(bins[1].x_start, 456);
+        assert_eq!(s.epochs(), 2);
+    }
+
+    #[test]
+    fn zero_instruction_epoch_is_dropped() {
+        let mut s = Sampler::new(16);
+        s.sample(snap(1000, 8, 2, 0));
+        // The run's closing sample can coincide with the last epoch
+        // boundary; it must not append a spurious zero-rate point.
+        s.sample(snap(1000, 8, 2, 0));
+        assert_eq!(s.epochs(), 1);
+        assert_eq!(s.get("cte_hit_rate").unwrap().bins().len(), 1);
+    }
+}

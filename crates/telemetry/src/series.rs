@@ -1,0 +1,222 @@
+//! Bounded time series with streaming downsampling.
+//!
+//! A [`TimeSeries`] accepts an unbounded stream of `(x, value)` samples with
+//! nondecreasing `x` (here: instructions retired) and keeps at most
+//! `capacity` *bins*. Samples accumulate into the open (last) bin until it
+//! holds `stride` of them; when the series would exceed its capacity,
+//! adjacent bins are pair-merged and the stride doubles. Memory is therefore
+//! O(capacity) no matter how long the run, and every bin still reports exact
+//! `count`/`sum`/`min`/`max` over its x-range — downsampling loses
+//! resolution, never mass.
+
+/// One downsampled bin: aggregates of all samples with `x_start <= x <=
+/// x_end`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Bin {
+    /// Smallest sample x in the bin.
+    pub x_start: u64,
+    /// Largest sample x in the bin.
+    pub x_end: u64,
+    /// Samples aggregated.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: f64,
+    /// Smallest sample value.
+    pub min: f64,
+    /// Largest sample value.
+    pub max: f64,
+}
+
+impl Bin {
+    fn new(x: u64, value: f64) -> Bin {
+        Bin {
+            x_start: x,
+            x_end: x,
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn absorb_sample(&mut self, x: u64, value: f64) {
+        self.x_end = x;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    fn absorb_bin(&mut self, other: &Bin) {
+        self.x_end = other.x_end;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value over the bin.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A named, bounded, streaming-downsampled series.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    name: String,
+    capacity: usize,
+    stride: u64,
+    bins: Vec<Bin>,
+    total_samples: u64,
+}
+
+impl TimeSeries {
+    /// Creates a series holding at most `capacity` bins (minimum 2).
+    pub fn new(name: &str, capacity: usize) -> TimeSeries {
+        TimeSeries {
+            name: name.to_string(),
+            capacity: capacity.max(2),
+            stride: 1,
+            bins: Vec::new(),
+            total_samples: 0,
+        }
+    }
+
+    /// The series name (stable; export formats key on it).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Samples per closed bin at the current downsampling level.
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Total samples ever pushed (across all bins).
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// The downsampled bins, oldest first.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// The most recent bin, if any samples were pushed.
+    pub fn last(&self) -> Option<&Bin> {
+        self.bins.last()
+    }
+
+    /// Appends one sample. `x` must be nondecreasing across pushes.
+    pub fn push(&mut self, x: u64, value: f64) {
+        self.total_samples += 1;
+        match self.bins.last_mut() {
+            Some(open) if open.count < self.stride => {
+                open.absorb_sample(x, value);
+                return;
+            }
+            _ => {}
+        }
+        if self.bins.len() == self.capacity {
+            self.merge_pairs();
+        }
+        self.bins.push(Bin::new(x, value));
+    }
+
+    /// Halves the bin count by merging adjacent pairs and doubles the
+    /// stride. An odd trailing bin is kept as the new (half-full) open bin.
+    fn merge_pairs(&mut self) {
+        let mut merged = Vec::with_capacity(self.capacity / 2 + 1);
+        let mut it = self.bins.chunks_exact(2);
+        for pair in &mut it {
+            let mut b = pair[0];
+            b.absorb_bin(&pair[1]);
+            merged.push(b);
+        }
+        merged.extend_from_slice(it.remainder());
+        self.bins = merged;
+        self.stride *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bin_aggregates() {
+        let mut s = TimeSeries::new("t", 4);
+        s.push(10, 1.0);
+        assert_eq!(s.bins().len(), 1);
+        let b = s.last().unwrap();
+        assert_eq!((b.x_start, b.x_end, b.count), (10, 10, 1));
+        assert_eq!((b.sum, b.min, b.max), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_mass_is_conserved() {
+        let mut s = TimeSeries::new("t", 8);
+        let n = 10_000u64;
+        for i in 0..n {
+            s.push(i, 1.0);
+        }
+        assert!(s.bins().len() <= 8, "len {}", s.bins().len());
+        let total: u64 = s.bins().iter().map(|b| b.count).sum();
+        assert_eq!(total, n, "downsampling must not lose samples");
+        let sum: f64 = s.bins().iter().map(|b| b.sum).sum();
+        assert_eq!(sum, n as f64);
+        assert_eq!(s.total_samples(), n);
+    }
+
+    #[test]
+    fn bins_stay_ordered_and_contiguous() {
+        let mut s = TimeSeries::new("t", 4);
+        for i in 0..1000u64 {
+            s.push(i * 10, (i % 7) as f64);
+        }
+        for w in s.bins().windows(2) {
+            assert!(w[0].x_end < w[1].x_start);
+        }
+        assert_eq!(s.bins().first().unwrap().x_start, 0);
+        assert_eq!(s.bins().last().unwrap().x_end, 9990);
+    }
+
+    #[test]
+    fn min_max_survive_merging() {
+        let mut s = TimeSeries::new("t", 4);
+        for i in 0..64u64 {
+            let v = if i == 13 { -5.0 } else { (i % 3) as f64 };
+            s.push(i, v);
+        }
+        let min = s.bins().iter().map(|b| b.min).fold(f64::MAX, f64::min);
+        let max = s.bins().iter().map(|b| b.max).fold(f64::MIN, f64::max);
+        assert_eq!(min, -5.0);
+        assert_eq!(max, 2.0);
+    }
+
+    #[test]
+    fn stride_doubles_on_merge() {
+        let mut s = TimeSeries::new("t", 2);
+        assert_eq!(s.stride(), 1);
+        for i in 0..8u64 {
+            s.push(i, 0.0);
+        }
+        assert!(s.stride() >= 4, "stride {}", s.stride());
+        assert!(s.bins().len() <= 2);
+    }
+
+    #[test]
+    fn mean_of_bin() {
+        let mut s = TimeSeries::new("t", 4);
+        s.push(0, 1.0);
+        s.push(1, 3.0);
+        let total: f64 = s.bins().iter().map(|b| b.sum).sum();
+        let count: u64 = s.bins().iter().map(|b| b.count).sum();
+        assert_eq!(total / count as f64, 2.0);
+    }
+}

@@ -45,6 +45,7 @@ use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{PageState, CTE_CACHE_HIT_LATENCY};
+use dylect_sim_core::probe::{McEvent, ProbeHandle};
 use dylect_sim_core::{MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 /// Configuration of a [`Tmcc`] controller.
@@ -84,6 +85,7 @@ pub struct Tmcc {
     layout: McLayout,
     cte_cache: SetAssocCache,
     stats: McStats,
+    probe: ProbeHandle,
     requests_seen: u64,
 }
 
@@ -125,6 +127,7 @@ impl Tmcc {
             layout,
             cte_cache,
             stats: McStats::default(),
+            probe: ProbeHandle::disabled(),
             requests_seen: 0,
         }
     }
@@ -187,6 +190,9 @@ impl Tmcc {
     /// coarse-granularity cost).
     fn expand_granule(&mut self, now: Time, granule: u64, dram: &mut Dram) -> Time {
         self.stats.expansions.incr();
+        // Journal the granule's first page as the event's subject.
+        self.probe
+            .emit(now, McEvent::Expansion, granule * self.cfg.granule_pages);
         // Ensure enough whole free pages exist for the expansion without
         // tripping the store's single-page emergency path mid-granule.
         let needed = self.cfg.granule_pages;
@@ -221,6 +227,7 @@ impl Tmcc {
             };
             let granule = self.granule_of(victim);
             self.stats.compactions.incr();
+            self.probe.emit(t, McEvent::Compaction, victim.index());
             for p in self.granule_pages_range(granule) {
                 if !self.store.is_compressed(p) {
                     t = self.store.compact_page(dram, t, p);
@@ -281,6 +288,10 @@ impl MemoryScheme for Tmcc {
             data_ready,
             overhead,
         }
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     fn stats(&self) -> &McStats {

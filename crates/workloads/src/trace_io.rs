@@ -70,7 +70,12 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<MemOp>> {
     let mut count = [0u8; 8];
     r.read_exact(&mut count)?;
     let count = u64::from_le_bytes(count);
-    let mut ops = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+    // The on-disk count is untrusted: a corrupt or malicious header must
+    // not drive a huge pre-allocation. Clamp the hint to 1 MiB worth of
+    // records; a genuinely larger trace still loads, growing as it reads.
+    const PREALLOC_CAP: u64 = (1 << 20) / RECORD_BYTES as u64;
+    let hint = usize::try_from(count.min(PREALLOC_CAP)).unwrap_or(0);
+    let mut ops = Vec::with_capacity(hint);
     let mut rec = [0u8; RECORD_BYTES];
     for _ in 0..count {
         r.read_exact(&mut rec)?;
@@ -191,6 +196,38 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_ops()).unwrap();
         buf.truncate(buf.len() - 1);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        // Magic only, no count.
+        assert!(read_trace(&MAGIC[..]).is_err());
+        // Magic plus half a count field.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn huge_claimed_count_fails_without_allocating() {
+        // A header claiming u64::MAX records followed by one record's worth
+        // of bytes: must fail with InvalidData-ish truncation, not abort on
+        // an absurd Vec::with_capacity.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&[0u8; RECORD_BYTES]);
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn count_larger_than_payload_is_rejected() {
+        let ops = sample_ops();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        // Inflate the record count past the actual payload.
+        buf[8..16].copy_from_slice(&100u64.to_le_bytes());
         assert!(read_trace(&buf[..]).is_err());
     }
 

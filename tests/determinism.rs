@@ -44,6 +44,32 @@ fn identical_runs_produce_identical_reports() {
 }
 
 #[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    // Telemetry is observation-only: a run with sampling + event probes
+    // enabled must produce the byte-identical RunReport of a run without.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let run = |telemetry: bool| {
+        let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        let mut sys = System::new(cfg, &spec);
+        if telemetry {
+            sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+                epoch_ops: 1_000, // sample aggressively to maximize exposure
+                ..dylect_telemetry::TelemetryConfig::default()
+            });
+        }
+        sys.run(mode.warmup_ops, mode.measure_ops)
+    };
+    let plain = run(false);
+    let observed = run(true);
+    assert_eq!(
+        plain.to_cache_text(),
+        observed.to_cache_text(),
+        "telemetry changed the simulated run"
+    );
+}
+
+#[test]
 fn parallel_matrix_matches_sequential() {
     // No cache dir: both runners simulate everything from scratch.
     let parallel = Runner::with(4, None, false).run_matrix(tiny_matrix());

@@ -218,3 +218,30 @@ fn workload_addresses_in_bounds() {
         Ok(())
     });
 }
+
+/// Random memory-operation streams survive a trace write/read cycle
+/// bit-exactly — every field, including `work` and both flag bits.
+#[test]
+fn trace_roundtrip() {
+    forall("trace_roundtrip", DEFAULT_CASES, |g| {
+        use dylect_sim_core::trace::MemOp;
+        use dylect_sim_core::VirtAddr;
+        use dylect_workloads::trace_io::{read_trace, write_trace};
+        let ops = g.vec(0, 199, |g| MemOp {
+            vaddr: VirtAddr::new(g.u64()),
+            work: g.u64() as u16,
+            write: g.bool(),
+            dep_on_prev: g.bool(),
+        });
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).expect("vec write cannot fail");
+        prop_ensure_eq!(buf.len(), 16 + ops.len() * 11);
+        let back = read_trace(&buf[..]).expect("own output must parse");
+        prop_ensure_eq!(back, ops);
+        // Truncating anywhere strictly inside the stream must error (the
+        // header's count no longer matches the payload), never panic.
+        let cut = (g.u64() as usize) % buf.len();
+        prop_ensure!(read_trace(&buf[..cut]).is_err(), "truncated trace parsed");
+        Ok(())
+    });
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Snapshots the end-to-end simulator-step microbenchmark into
+# BENCH_telemetry.json, so telemetry-related changes can be checked against
+# the <=2% step-rate regression budget. Runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_telemetry.json"
+
+echo "== cargo bench --offline --bench micro (end_to_end)" >&2
+RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000_ops")
+
+# Bench line format:
+#   name  <median> ns/iter (min <min>, max <max>, <n> samples x <iters> iters)
+MEDIAN=$(echo "$RAW" | sed -n 's/.*ops[[:space:]]*\([0-9.]*\) ns\/iter.*/\1/p')
+MIN=$(echo "$RAW" | sed -n 's/.*(min \([0-9.]*\).*/\1/p')
+MAX=$(echo "$RAW" | sed -n 's/.*max \([0-9.]*\).*/\1/p')
+
+if [ -z "$MEDIAN" ]; then
+    echo "bench_snapshot: could not parse bench output:" >&2
+    echo "$RAW" >&2
+    exit 1
+fi
+
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+cat > "$OUT" <<JSON
+{
+  "bench": "system_step_1000_ops",
+  "median_ns_per_iter": $MEDIAN,
+  "min_ns_per_iter": $MIN,
+  "max_ns_per_iter": $MAX,
+  "git_rev": "$GIT_REV"
+}
+JSON
+
+echo "bench_snapshot: wrote $OUT (median $MEDIAN ns/iter)"

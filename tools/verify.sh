@@ -14,4 +14,7 @@ cargo test -q --offline
 echo "== cargo fmt --check"
 cargo fmt --check
 
+echo "== cargo clippy --all-targets --offline -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "verify: OK"
