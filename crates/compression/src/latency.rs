@@ -31,6 +31,15 @@ pub fn compression_latency(uncompressed_bytes: u64) -> Time {
     decompression_latency(uncompressed_bytes)
 }
 
+/// The decompression share of an expansion window, for latency
+/// attribution: the ASIC latency for `uncompressed_bytes`, clamped to the
+/// observed window. The critical path of an expansion interleaves span
+/// reads, the ASIC, and the write-out, so the attributable decompression
+/// time can never exceed the window itself.
+pub fn attributable_decompression(window: Time, uncompressed_bytes: u64) -> Time {
+    decompression_latency(uncompressed_bytes).min(window)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +65,16 @@ mod tests {
     #[test]
     fn compression_is_symmetric() {
         assert_eq!(compression_latency(8192), decompression_latency(8192));
+    }
+
+    #[test]
+    fn attributable_decompression_is_clamped_to_the_window() {
+        let window = Time::from_ps(100_000);
+        assert_eq!(attributable_decompression(window, 4096), window);
+        let wide = Time::from_ps(1_000_000);
+        assert_eq!(
+            attributable_decompression(wide, 4096),
+            decompression_latency(4096)
+        );
     }
 }

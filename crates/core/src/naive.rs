@@ -23,12 +23,13 @@ use dylect_cache::sector::{SectorCache, SectorOutcome};
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::{DramPageId, PageId, PhysAddr, Time};
+use dylect_sim_core::probe::{MemLevel, TranslationPath};
+use dylect_sim_core::{DramPageId, PageId, PhysAddr, Time, PAGE_BYTES};
 
 use crate::groups::GroupMap;
 
@@ -242,28 +243,28 @@ impl NaiveDynamic {
         )
     }
 
-    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> (Time, TranslationPath) {
         if self.is_ml0(page) {
             // Short cache line covers the 8 pages of one unified block.
             let key = page.index() / 8;
             if self.short_cache.access(key) {
                 self.stats.cte_hits_pregathered.incr();
-                return now + CTE_CACHE_HIT_LATENCY;
+                return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::ShortCteHit);
             }
             self.stats.cte_misses.incr();
             let done = self.fetch_unified(now, page, dram);
             self.short_cache.fill(key);
-            done
+            (done, TranslationPath::CteMiss)
         } else {
             let key = page.index();
             if self.long_cache.access(key) {
                 self.stats.cte_hits_unified.incr();
-                return now + CTE_CACHE_HIT_LATENCY;
+                return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
             }
             self.stats.cte_misses.incr();
             let done = self.fetch_unified(now, page, dram);
             self.long_cache.fill(key, false, ());
-            done
+            (done, TranslationPath::CteMiss)
         }
     }
 
@@ -398,7 +399,14 @@ impl MemoryScheme for NaiveDynamic {
             self.store.recency.touch(page);
         }
 
-        let t_translated = self.translate(now, page, dram);
+        let level = if self.is_ml0(page) {
+            MemLevel::Ml0
+        } else if self.store.is_compressed(page) {
+            MemLevel::Ml2
+        } else {
+            MemLevel::Ml1
+        };
+        let (t_translated, path) = self.translate(now, page, dram);
 
         let expanded = if self.store.is_compressed(page) {
             if self.store.free.free_page_count() < 2 {
@@ -419,7 +427,8 @@ impl MemoryScheme for NaiveDynamic {
         } else {
             (DramOp::Read, RequestClass::Demand)
         };
-        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+        let detail = dram.access_detailed(t_data_start, machine.block_base(), op, class);
+        let data_ready = detail.done;
 
         if expanded.is_some() {
             self.maintain_free(data_ready, self.store.free_target_pages(), dram);
@@ -430,9 +439,20 @@ impl MemoryScheme for NaiveDynamic {
             .translation_latency
             .record_time_ns(t_translated.saturating_sub(now));
         self.stats.overhead_latency.record_time_ns(overhead);
+        let (decompression, migration) =
+            AccessBreakdown::split_expansion(t_data_start.saturating_sub(t_translated), PAGE_BYTES);
         McResponse {
             data_ready,
             overhead,
+            breakdown: AccessBreakdown {
+                path,
+                level,
+                translation: t_translated.saturating_sub(now),
+                decompression,
+                migration,
+                ..AccessBreakdown::default()
+            }
+            .with_dram(detail),
         }
     }
 

@@ -24,15 +24,15 @@
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
 use dylect_memctl::counters::AccessCounters;
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::probe::{McEvent, ProbeHandle};
+use dylect_sim_core::probe::{McEvent, MemLevel, ProbeHandle, TranslationPath};
 use dylect_sim_core::rng::Rng;
-use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time};
+use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 use crate::groups::GroupMap;
 
@@ -250,8 +250,9 @@ impl Dylect {
     }
 
     /// CTE cache lookup / parallel dual fetch on miss (Figures 14–16).
-    /// Returns the time translation is available.
-    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> Time {
+    /// Returns the time translation is available and which path served it
+    /// (for latency attribution).
+    fn translate(&mut self, now: Time, page: PageId, dram: &mut Dram) -> (Time, TranslationPath) {
         let in_ml0 = self.is_ml0(page);
         let pg_key = self.layout.pregathered_block_key(page);
         let uni_key = self.layout.unified_block_key(page.index());
@@ -259,12 +260,12 @@ impl Dylect {
         if self.cte_cache.access(pg_key) {
             if in_ml0 {
                 self.stats.cte_hits_pregathered.incr();
-                return now + CTE_CACHE_HIT_LATENCY;
+                return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::ShortCteHit);
             }
             // Short CTE is INVALID: need the long CTE from the unified block.
             if self.cte_cache.access(uni_key) {
                 self.stats.cte_hits_unified.incr();
-                return now + CTE_CACHE_HIT_LATENCY;
+                return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
             }
             // Miss for an ML1/ML2 page with the pre-gathered block cached:
             // fetch only the unified block and cache it (target is ML1/ML2).
@@ -276,14 +277,14 @@ impl Dylect {
                 RequestClass::CteFetch,
             );
             self.fill_cte(done, uni_key, dram);
-            return done;
+            return (done, TranslationPath::CteMiss);
         }
 
         if self.cte_cache.access(uni_key) {
             // The unified entry holds the short CTE too, so it serves ML0
             // pages as well as ML1/ML2 pages.
             self.stats.cte_hits_unified.incr();
-            return now + CTE_CACHE_HIT_LATENCY;
+            return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
         }
 
         // Full miss: fetch the pre-gathered and unified blocks in parallel.
@@ -311,12 +312,13 @@ impl Dylect {
         if !in_ml0 || self.cfg.always_cache_unified {
             self.fill_cte(t_uni, uni_key, dram);
         }
-        if in_ml0 {
+        let done = if in_ml0 {
             // Data access may begin as soon as either block arrives.
             t_pg.min(t_uni)
         } else {
             t_uni
-        }
+        };
+        (done, TranslationPath::CteMiss)
     }
 
     /// Background compaction toward the free-page target, demoting ML0
@@ -493,7 +495,16 @@ impl MemoryScheme for Dylect {
             self.store.recency.touch(page);
         }
 
-        let t_translated = self.translate(now, page, dram);
+        // Level is classified before expansion: an ML2 access stays an ML2
+        // access for attribution even though the page lands in ML1.
+        let level = if self.is_ml0(page) {
+            MemLevel::Ml0
+        } else if self.store.is_compressed(page) {
+            MemLevel::Ml2
+        } else {
+            MemLevel::Ml1
+        };
+        let (t_translated, path) = self.translate(now, page, dram);
 
         // ML2 pages expand gradually to ML1 (long CTE, any free page).
         let expanded = if self.store.is_compressed(page) {
@@ -523,7 +534,8 @@ impl MemoryScheme for Dylect {
         } else {
             (DramOp::Read, RequestClass::Demand)
         };
-        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+        let detail = dram.access_detailed(t_data_start, machine.block_base(), op, class);
+        let data_ready = detail.done;
 
         // Promotion policy: sampled counter increment; on a sampled access
         // the MC fetches the counter block for comparison (paper §IV-D).
@@ -549,9 +561,20 @@ impl MemoryScheme for Dylect {
             .translation_latency
             .record_time_ns(t_translated.saturating_sub(now));
         self.stats.overhead_latency.record_time_ns(overhead);
+        let (decompression, migration) =
+            AccessBreakdown::split_expansion(t_data_start.saturating_sub(t_translated), PAGE_BYTES);
         McResponse {
             data_ready,
             overhead,
+            breakdown: AccessBreakdown {
+                path,
+                level,
+                translation: t_translated.saturating_sub(now),
+                decompression,
+                migration,
+                ..AccessBreakdown::default()
+            }
+            .with_dram(detail),
         }
     }
 

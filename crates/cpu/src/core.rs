@@ -13,6 +13,10 @@ use std::collections::VecDeque;
 
 use dylect_cache::prefetch::{NextLinePrefetcher, StridePrefetcher};
 use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_sim_core::probe::{
+    AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass,
+    TranslationPath,
+};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::trace::MemOp;
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES};
@@ -128,6 +132,7 @@ pub struct Core {
     outstanding: VecDeque<Time>,
     last_completion: Time,
     stats: CoreStats,
+    probe: ProbeHandle,
 }
 
 impl Core {
@@ -144,9 +149,16 @@ impl Core {
             time: Time::ZERO,
             last_completion: Time::ZERO,
             stats: CoreStats::default(),
+            probe: ProbeHandle::disabled(),
             cfg,
             layout,
         }
+    }
+
+    /// Attaches a telemetry probe; each retired memory operation then emits
+    /// a core-scope latency-attribution record.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// The core's current local time.
@@ -207,6 +219,29 @@ impl Core {
         // translation *cost* is modeled, the mapping itself is 1:1.
         let phys = PhysAddr::new(op.vaddr.raw());
         let done = self.mem_access(translated_at, phys, op.write, backend);
+
+        if self.probe.is_enabled() {
+            // Core view of the retired op: TLB/page-walk time, then the
+            // cache-hierarchy (and below) time.
+            self.probe.emit_access(&AccessRecord::new(
+                AccessScope::Core,
+                RequestClass::Demand,
+                MemLevel::None,
+                TranslationPath::None,
+                issue,
+                done.saturating_sub(issue),
+                &[
+                    (
+                        AccessComponent::TlbWalk,
+                        translated_at.saturating_sub(issue),
+                    ),
+                    (
+                        AccessComponent::CacheLookup,
+                        done.saturating_sub(translated_at),
+                    ),
+                ],
+            ));
+        }
 
         // Interval-model bookkeeping for long-latency misses.
         let latency = done.saturating_sub(issue);

@@ -41,7 +41,7 @@ use dylect_sim_core::{MachineAddr, Time};
 pub use config::{DramConfig, DramGeometry, DramTiming, SchedulerConfig};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use mapping::{AddressMapper, Location};
-pub use scheduler::{DramOp, ReqId};
+pub use scheduler::{CompletionDetail, DramOp, ReqId};
 pub use stats::{DramStats, QueueStats, RequestClass, RowOutcome};
 
 use scheduler::{ChannelScheduler, Pending};
@@ -54,8 +54,9 @@ pub struct Dram {
     channels: Vec<ChannelScheduler>,
     stats: DramStats,
     queue: QueueStats,
-    in_flight: u64,
-    completions: HashMap<ReqId, Time>,
+    in_flight_reads: u64,
+    in_flight_writes: u64,
+    completions: HashMap<ReqId, CompletionDetail>,
     next_id: u64,
 }
 
@@ -71,7 +72,8 @@ impl Dram {
             channels,
             stats: DramStats::default(),
             queue: QueueStats::default(),
-            in_flight: 0,
+            in_flight_reads: 0,
+            in_flight_writes: 0,
             completions: HashMap::new(),
             next_id: 0,
         }
@@ -114,8 +116,16 @@ impl Dram {
     ) -> ReqId {
         let id = ReqId(self.next_id);
         self.next_id += 1;
-        self.in_flight += 1;
-        self.queue.on_submit(self.in_flight);
+        match op {
+            DramOp::Read => {
+                self.in_flight_reads += 1;
+                self.queue.on_submit_read(self.in_flight_reads);
+            }
+            DramOp::Write => {
+                self.in_flight_writes += 1;
+                self.queue.on_submit_write(self.in_flight_writes);
+            }
+        }
         let loc = self.mapper.decode(addr);
         self.channels[loc.channel as usize].submit(Pending {
             id,
@@ -129,13 +139,14 @@ impl Dram {
 
     /// Schedules all pending requests to completion.
     pub fn drain(&mut self) {
-        self.in_flight = 0;
+        self.in_flight_reads = 0;
+        self.in_flight_writes = 0;
         for ch in &mut self.channels {
             if ch.has_pending() {
                 ch.drain(&mut self.stats);
             }
-            for (id, t) in ch.take_completions() {
-                self.completions.insert(id, t);
+            for (id, detail) in ch.take_completions() {
+                self.completions.insert(id, detail);
             }
         }
     }
@@ -145,6 +156,13 @@ impl Dram {
     /// Returns `None` if the request was never submitted, not yet drained,
     /// or already taken.
     pub fn take_completion(&mut self, id: ReqId) -> Option<Time> {
+        self.completions.remove(&id).map(|d| d.done)
+    }
+
+    /// Takes the full completion detail (done time plus queue/service
+    /// split) of a drained request — the attribution layer's view of a
+    /// demand access.
+    pub fn take_completion_detail(&mut self, id: ReqId) -> Option<CompletionDetail> {
         self.completions.remove(&id)
     }
 
@@ -156,9 +174,22 @@ impl Dram {
         op: DramOp,
         class: RequestClass,
     ) -> Time {
+        self.access_detailed(arrival, addr, op, class).done
+    }
+
+    /// Like [`Dram::access`], but returns the queue/service split along
+    /// with the completion time. Schemes use this for the demand block so
+    /// the attribution layer can separate DRAM queueing from service.
+    pub fn access_detailed(
+        &mut self,
+        arrival: Time,
+        addr: MachineAddr,
+        op: DramOp,
+        class: RequestClass,
+    ) -> CompletionDetail {
         let id = self.submit(arrival, addr, op, class);
         self.drain();
-        self.take_completion(id).expect("just drained")
+        self.take_completion_detail(id).expect("just drained")
     }
 
     /// Submits a batch, drains, and returns the latest completion time.
@@ -533,5 +564,72 @@ mod tests {
             RequestClass::Demand,
         );
         assert!(t >= Time::from_us(1) + Time::from_ns(30.0));
+    }
+
+    #[test]
+    fn completion_detail_is_conservative() {
+        // queue + service must equal done - arrival, for every request in
+        // a contended batch (some wait on the bus, some do not).
+        let mut d = dram();
+        let ids: Vec<ReqId> = (0..32u64)
+            .map(|i| {
+                d.submit(
+                    Time::from_ns(10.0),
+                    MachineAddr::new(i * BLOCK_BYTES),
+                    DramOp::Read,
+                    RequestClass::Demand,
+                )
+            })
+            .collect();
+        d.drain();
+        let mut queued = 0u64;
+        for id in ids {
+            let det = d.take_completion_detail(id).unwrap();
+            assert_eq!(
+                det.queue + det.service,
+                det.done - Time::from_ns(10.0),
+                "queue/service split must be conservative"
+            );
+            assert!(det.service > Time::ZERO);
+            if det.queue > Time::ZERO {
+                queued += 1;
+            }
+        }
+        assert!(queued > 0, "a contended batch must show queueing");
+    }
+
+    #[test]
+    fn queue_stats_split_reads_and_writes() {
+        let mut d = dram();
+        for i in 0..4u64 {
+            d.submit(
+                Time::ZERO,
+                MachineAddr::new(i * BLOCK_BYTES),
+                DramOp::Read,
+                RequestClass::Demand,
+            );
+        }
+        for i in 0..2u64 {
+            d.submit(
+                Time::ZERO,
+                MachineAddr::new((100 + i) * BLOCK_BYTES),
+                DramOp::Write,
+                RequestClass::Writeback,
+            );
+        }
+        d.drain();
+        let q = d.queue_stats();
+        assert_eq!(q.read_submits, 4);
+        assert_eq!(q.write_submits, 2);
+        assert_eq!(q.read_max_depth, 4);
+        assert_eq!(q.write_max_depth, 2);
+        assert_eq!(q.mean_read_depth(), 2.5); // (1+2+3+4)/4
+        assert_eq!(q.mean_write_depth(), 1.5); // (1+2)/2
+
+        let mut merged = QueueStats::default();
+        merged.merge(q);
+        merged.merge(q);
+        assert_eq!(merged.read_submits, 8);
+        assert_eq!(merged.write_max_depth, 2);
     }
 }

@@ -28,6 +28,24 @@ pub enum DramOp {
     Write,
 }
 
+/// How one completed request spent its time: waiting on contention
+/// (`queue`) versus being served by the bank/bus (`service`). `service` is
+/// the *unloaded* latency of the request's command chain for its row
+/// outcome (hit: CAS + burst; miss: + activate; conflict: + precharge);
+/// everything else — bank-ready waits, shared-bus serialization, refresh
+/// windows — is queueing delay. The split is conservative by construction:
+/// `queue + service == done - arrival`. Telemetry-only — never serialized
+/// into run reports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CompletionDetail {
+    /// Time of the last data beat.
+    pub done: Time,
+    /// Contention share: arrival → done minus the unloaded service time.
+    pub queue: Time,
+    /// Unloaded bank access plus data-bus transfer.
+    pub service: Time,
+}
+
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct Pending {
     pub id: ReqId,
@@ -75,7 +93,7 @@ pub(crate) struct ChannelScheduler {
     bus_free: Time,
     sched_time: Time,
     pending: Vec<Pending>,
-    completions: Vec<(ReqId, Time)>,
+    completions: Vec<(ReqId, CompletionDetail)>,
 }
 
 impl ChannelScheduler {
@@ -174,15 +192,16 @@ impl ChannelScheduler {
             let t = self.sched_time.max(min_arrival);
             let idx = self.select(t).expect("candidate exists at or after t");
             let req = self.pending.swap_remove(idx);
-            let done = self.issue(t, &req, stats);
-            self.completions.push((req.id, done));
+            let detail = self.issue(t, &req, stats);
+            self.completions.push((req.id, detail));
             self.sched_time = t;
         }
     }
 
-    /// Issues one request no earlier than `t`; returns its data-complete
-    /// time and updates bank/bus state and statistics.
-    fn issue(&mut self, t: Time, req: &Pending, stats: &mut DramStats) -> Time {
+    /// Issues one request no earlier than `t`; returns its completion
+    /// detail (done time plus the queue/service split) and updates
+    /// bank/bus state and statistics.
+    fn issue(&mut self, t: Time, req: &Pending, stats: &mut DramStats) -> CompletionDetail {
         let tm = self.timing;
         let t = t.max(req.arrival);
         let t = self.refresh_adjust(req.loc.rank, t, stats);
@@ -236,10 +255,19 @@ impl ChannelScheduler {
 
         stats.record(req.op, req.class, outcome, req.arrival, done);
         stats.bus_busy += tm.t_bl;
-        done
+        let service = match outcome {
+            RowOutcome::Hit => cas_to_data + tm.t_bl,
+            RowOutcome::Miss => tm.t_rcd + cas_to_data + tm.t_bl,
+            RowOutcome::Conflict => tm.t_rp + tm.t_rcd + cas_to_data + tm.t_bl,
+        };
+        CompletionDetail {
+            done,
+            queue: (done - req.arrival) - service,
+            service,
+        }
     }
 
-    pub fn take_completions(&mut self) -> Vec<(ReqId, Time)> {
+    pub fn take_completions(&mut self) -> Vec<(ReqId, CompletionDetail)> {
         std::mem::take(&mut self.completions)
     }
 }

@@ -1,73 +1,18 @@
 //! DRAM traffic statistics.
 
-use std::fmt;
-
 use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::Time;
 
 use crate::scheduler::DramOp;
 
-/// Why a request generated traffic — used to break memory traffic down the
-/// way the paper's Figures 22–23 do (demand vs. CTE fetches vs. page
-/// migration etc.).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub enum RequestClass {
-    /// A demand read from the LLC.
-    Demand,
-    /// A dirty-block writeback from the LLC.
-    Writeback,
-    /// A fetch of a CTE block (unified or pre-gathered) on a CTE cache miss.
-    CteFetch,
-    /// Data movement for page expansion / promotion / demotion / compaction.
-    Migration,
-    /// Background (de)compression traffic.
-    Compression,
-    /// Page-table walk accesses that reach DRAM.
-    PageWalk,
-    /// Metadata-table accesses (e.g. DyLeCT's promotion access counters).
-    Metadata,
-}
-
-impl RequestClass {
-    /// All classes, for iteration and report ordering.
-    pub const ALL: [RequestClass; 7] = [
-        RequestClass::Demand,
-        RequestClass::Writeback,
-        RequestClass::CteFetch,
-        RequestClass::Migration,
-        RequestClass::Compression,
-        RequestClass::PageWalk,
-        RequestClass::Metadata,
-    ];
-
-    fn index(self) -> usize {
-        match self {
-            RequestClass::Demand => 0,
-            RequestClass::Writeback => 1,
-            RequestClass::CteFetch => 2,
-            RequestClass::Migration => 3,
-            RequestClass::Compression => 4,
-            RequestClass::PageWalk => 5,
-            RequestClass::Metadata => 6,
-        }
-    }
-}
-
-impl fmt::Display for RequestClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            RequestClass::Demand => "demand",
-            RequestClass::Writeback => "writeback",
-            RequestClass::CteFetch => "cte_fetch",
-            RequestClass::Migration => "migration",
-            RequestClass::Compression => "compression",
-            RequestClass::PageWalk => "page_walk",
-            RequestClass::Metadata => "metadata",
-        };
-        f.write_str(s)
-    }
-}
+// Why a request generated traffic — used to break memory traffic down the
+// way the paper's Figures 22–23 do (demand vs. CTE fetches vs. page
+// migration etc.). The enum itself lives in `sim-core` so the telemetry
+// attribution layer can key on it without depending on this crate; it is
+// re-exported here, where the rest of the workspace has always imported it
+// from.
+pub use dylect_sim_core::probe::RequestClass;
 
 /// Row-buffer outcome of one request.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -80,42 +25,67 @@ pub enum RowOutcome {
     Conflict,
 }
 
-/// Read/write-queue occupancy statistics — telemetry-only (sampled by the
-/// observability layer, never serialized into run reports). Depth is
-/// observed at each submit, so `mean_depth` is the queue depth seen by an
-/// arriving request.
+/// Read- and write-queue occupancy statistics — telemetry-only (sampled by
+/// the observability layer, never serialized into run reports). Depth is
+/// observed at each submit, so the mean depths are the same-kind queue
+/// depth seen by an arriving request.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Requests submitted.
-    pub submits: u64,
-    /// Sum over submits of the queue depth right after enqueue.
-    pub depth_sum: u64,
-    /// Deepest queue observed.
-    pub max_depth: u64,
+    /// Read-class requests submitted.
+    pub read_submits: u64,
+    /// Sum over read submits of the read-queue depth right after enqueue.
+    pub read_depth_sum: u64,
+    /// Deepest read queue observed.
+    pub read_max_depth: u64,
+    /// Write-class requests submitted.
+    pub write_submits: u64,
+    /// Sum over write submits of the write-queue depth right after enqueue.
+    pub write_depth_sum: u64,
+    /// Deepest write queue observed.
+    pub write_max_depth: u64,
 }
 
 impl QueueStats {
-    pub(crate) fn on_submit(&mut self, depth: u64) {
-        self.submits += 1;
-        self.depth_sum += depth;
-        self.max_depth = self.max_depth.max(depth);
+    pub(crate) fn on_submit_read(&mut self, depth: u64) {
+        self.read_submits += 1;
+        self.read_depth_sum += depth;
+        self.read_max_depth = self.read_max_depth.max(depth);
     }
 
-    /// Mean queue depth seen by an arriving request (0 with no submits).
-    pub fn mean_depth(&self) -> f64 {
-        if self.submits == 0 {
+    pub(crate) fn on_submit_write(&mut self, depth: u64) {
+        self.write_submits += 1;
+        self.write_depth_sum += depth;
+        self.write_max_depth = self.write_max_depth.max(depth);
+    }
+
+    /// Mean read-queue depth seen by an arriving read (0 with no submits).
+    pub fn mean_read_depth(&self) -> f64 {
+        if self.read_submits == 0 {
             0.0
         } else {
-            self.depth_sum as f64 / self.submits as f64
+            self.read_depth_sum as f64 / self.read_submits as f64
+        }
+    }
+
+    /// Mean write-queue depth seen by an arriving write (0 with no
+    /// submits).
+    pub fn mean_write_depth(&self) -> f64 {
+        if self.write_submits == 0 {
+            0.0
+        } else {
+            self.write_depth_sum as f64 / self.write_submits as f64
         }
     }
 
     /// Folds another DRAM system's queue statistics into this one
     /// (multi-MC aggregation).
     pub fn merge(&mut self, other: &QueueStats) {
-        self.submits += other.submits;
-        self.depth_sum += other.depth_sum;
-        self.max_depth = self.max_depth.max(other.max_depth);
+        self.read_submits += other.read_submits;
+        self.read_depth_sum += other.read_depth_sum;
+        self.read_max_depth = self.read_max_depth.max(other.read_max_depth);
+        self.write_submits += other.write_submits;
+        self.write_depth_sum += other.write_depth_sum;
+        self.write_max_depth = self.write_max_depth.max(other.write_max_depth);
     }
 }
 

@@ -8,15 +8,61 @@
 //! dynamic-length design, and the no-compression baseline all implement
 //! [`MemoryScheme`].
 
-use dylect_dram::{Dram, DramOp, RequestClass};
+use dylect_compression::latency::attributable_decompression;
+use dylect_dram::{CompletionDetail, Dram, DramOp, RequestClass};
 use dylect_sim_core::kv::{KvReader, KvWriter};
-use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::probe::{MemLevel, ProbeHandle, TranslationPath};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time};
 
 /// CTE cache hit latency: 2 memory-controller clocks (Table 3, following
 /// Compresso) at the DDR4-3200 memory clock (1.6 GHz).
 pub const CTE_CACHE_HIT_LATENCY: Time = Time::from_ps(1250);
+
+/// How one access's critical path decomposes — filled by every scheme
+/// alongside the response so the telemetry attribution layer can account
+/// cycles without re-deriving scheme internals. Purely observational: the
+/// fields are never serialized into run reports and computing them is a
+/// handful of subtractions, so responses stay identical whether telemetry
+/// is on or off.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessBreakdown {
+    /// How the physical→machine translation was resolved.
+    pub path: TranslationPath,
+    /// Memory level of the page when the access arrived.
+    pub level: MemLevel,
+    /// Cycles spent resolving translation (CTE cache hit latency or the
+    /// CTE DRAM fetch).
+    pub translation: Time,
+    /// Decompression cycles on the critical path (on-demand expansion).
+    pub decompression: Time,
+    /// Page-movement cycles on the critical path (expansion data movement,
+    /// displacement, compaction blocking this access).
+    pub migration: Time,
+    /// Demand-block DRAM queueing delay.
+    pub dram_queue: Time,
+    /// Demand-block DRAM service time.
+    pub dram_service: Time,
+}
+
+impl AccessBreakdown {
+    /// Splits an expansion window (`t_translated → t_data_start`) into
+    /// decompression and data-movement cycles. The decompression share is
+    /// the ASIC latency for `uncompressed_bytes` (one page for per-page
+    /// expansion, the whole granule for TMCC), clamped to the window so the
+    /// two always sum to it exactly.
+    pub fn split_expansion(window: Time, uncompressed_bytes: u64) -> (Time, Time) {
+        let dec = attributable_decompression(window, uncompressed_bytes);
+        (dec, window - dec)
+    }
+
+    /// Copies the demand block's DRAM queue/service split in.
+    pub fn with_dram(mut self, detail: CompletionDetail) -> AccessBreakdown {
+        self.dram_queue = detail.queue;
+        self.dram_service = detail.service;
+        self
+    }
+}
 
 /// Result of one memory-controller access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -27,6 +73,8 @@ pub struct McResponse {
     /// machinery (translation + expansion), i.e. the L3-miss latency *adder*
     /// the paper plots in Figure 21.
     pub overhead: Time,
+    /// Critical-path decomposition for the attribution layer.
+    pub breakdown: AccessBreakdown,
 }
 
 /// Aggregate statistics of a scheme.
@@ -291,12 +339,13 @@ impl MemoryScheme for NoCompression {
             (DramOp::Read, RequestClass::Demand)
         };
         let machine = dylect_sim_core::MachineAddr::new(addr.block_base().raw());
-        let done = dram.access(now, machine, op, class);
+        let detail = dram.access_detailed(now, machine, op, class);
         self.stats.translation_latency.record(0.0);
         self.stats.overhead_latency.record(0.0);
         McResponse {
-            data_ready: done,
+            data_ready: detail.done,
             overhead: Time::ZERO,
+            breakdown: AccessBreakdown::default().with_dram(detail),
         }
     }
 
@@ -330,6 +379,24 @@ mod tests {
         assert_eq!(r.data_ready.as_ns(), 13.75 + 13.75 + 2.5);
         assert_eq!(s.stats().requests.get(), 1);
         assert_eq!(s.stats().cte_lookups(), 0);
+        // Breakdown: no translation/expansion, all cycles in DRAM.
+        let b = r.breakdown;
+        assert_eq!(b.path, TranslationPath::None);
+        assert_eq!(b.translation + b.decompression + b.migration, Time::ZERO);
+        assert_eq!(b.dram_queue + b.dram_service, r.data_ready);
+    }
+
+    #[test]
+    fn breakdown_expansion_split_is_conservative() {
+        let window = Time::from_ns(500.0);
+        // One 4 KB page decompresses in 280 ns.
+        let (dec, mv) = AccessBreakdown::split_expansion(window, 4096);
+        assert_eq!(dec, Time::from_ns(280.0));
+        assert_eq!(dec + mv, window);
+        // The estimate is clamped to the window.
+        let (dec, mv) = AccessBreakdown::split_expansion(Time::from_ns(100.0), 4096);
+        assert_eq!(dec, Time::from_ns(100.0));
+        assert_eq!(mv, Time::ZERO);
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod store;
 pub mod transfer;
 
 pub use controller::{
-    McResponse, McStats, MemoryScheme, NoCompression, Occupancy, CTE_CACHE_HIT_LATENCY,
+    AccessBreakdown, McResponse, McStats, MemoryScheme, NoCompression, Occupancy,
+    CTE_CACHE_HIT_LATENCY,
 };
 pub use directory::{DramUse, PageDirectory, PageState};
 pub use freespace::{FreeSpace, Span};

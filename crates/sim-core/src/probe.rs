@@ -1,4 +1,5 @@
-//! Observability probes: discrete memory-controller events.
+//! Observability probes: discrete memory-controller events, per-access
+//! latency attribution, and sampled request spans.
 //!
 //! A scheme (TMCC, DyLeCT, …) announces its discrete policy actions —
 //! promotions, demotions, expansions, background-compactor work — through a
@@ -6,6 +7,17 @@
 //! the disabled handle is a `None` that every `emit` call branches over and
 //! the optimizer folds away, so simulation with telemetry off pays nothing
 //! beyond one predictable branch per *event* (not per access).
+//!
+//! Beyond discrete events, the same handle carries two per-access streams:
+//!
+//! - [`AccessRecord`]: one retired access's end-to-end latency broken into
+//!   named critical-path components ([`AccessComponent`]), keyed by request
+//!   class, memory level, and translation path. Records are *conservative*:
+//!   the component cycles sum exactly to the end-to-end latency (a residual
+//!   [`AccessComponent::Other`] absorbs anything unattributed).
+//! - [`SpanRecord`]: begin/end phase pairs of deterministically sampled
+//!   requests (1-in-N), so a sampled request's journey through
+//!   MC → CTE cache → expansion → DRAM is visible on a trace timeline.
 //!
 //! The sink lives behind `Rc<RefCell<…>>`: the simulator is single-threaded
 //! and several memory controllers may feed one journal. Cloning a handle
@@ -83,12 +95,348 @@ impl fmt::Display for McEvent {
     }
 }
 
+/// Why a DRAM request exists. Lives here (not in the DRAM crate) so the
+/// attribution layer can key histograms on it; `dylect-dram` re-exports it,
+/// which is where most of the workspace imports it from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RequestClass {
+    /// A core's demand read (the latency-critical path).
+    Demand,
+    /// A dirty-line writeback.
+    Writeback,
+    /// A CTE (translation metadata) block fetch.
+    CteFetch,
+    /// Page movement for promotion/expansion/displacement.
+    Migration,
+    /// Background (de)compression traffic.
+    Compression,
+    /// A page-table walk access.
+    PageWalk,
+    /// Counter/metadata maintenance traffic.
+    Metadata,
+}
+
+impl RequestClass {
+    /// All classes, in display order.
+    pub const ALL: [RequestClass; 7] = [
+        RequestClass::Demand,
+        RequestClass::Writeback,
+        RequestClass::CteFetch,
+        RequestClass::Migration,
+        RequestClass::Compression,
+        RequestClass::PageWalk,
+        RequestClass::Metadata,
+    ];
+
+    /// Dense index into per-class arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name (export formats key on this).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Demand => "demand",
+            RequestClass::Writeback => "writeback",
+            RequestClass::CteFetch => "cte_fetch",
+            RequestClass::Migration => "migration",
+            RequestClass::Compression => "compression",
+            RequestClass::PageWalk => "page_walk",
+            RequestClass::Metadata => "metadata",
+        }
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which layer observed an access. Core-side records cover the retired
+/// instruction (TLB walk + cache hierarchy); memory-side records cover one
+/// shared-memory (L3 + MC + DRAM) access. Keeping the scopes separate keeps
+/// the cycle-accounting table honest: the two views overlap and must never
+/// be summed together.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessScope {
+    /// Observed at a core's retirement (per memory instruction).
+    Core,
+    /// Observed at the shared memory backend (per L3/MC access).
+    Mem,
+}
+
+impl AccessScope {
+    /// All scopes, in display order.
+    pub const ALL: [AccessScope; 2] = [AccessScope::Core, AccessScope::Mem];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessScope::Core => "core",
+            AccessScope::Mem => "mem",
+        }
+    }
+}
+
+/// How the MC resolved the physical→machine translation for an access.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TranslationPath {
+    /// Short (2-bit) CTE served from the CTE cache (DyLeCT ML0 fast path).
+    ShortCteHit,
+    /// Long (8 B) CTE served from the CTE cache.
+    LongCteHit,
+    /// CTE cache miss: translation metadata fetched from DRAM.
+    CteMiss,
+    /// No MC translation involved (baseline scheme, or not applicable).
+    #[default]
+    None,
+}
+
+impl TranslationPath {
+    /// All paths, in display order.
+    pub const ALL: [TranslationPath; 4] = [
+        TranslationPath::ShortCteHit,
+        TranslationPath::LongCteHit,
+        TranslationPath::CteMiss,
+        TranslationPath::None,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TranslationPath::ShortCteHit => "short_cte_hit",
+            TranslationPath::LongCteHit => "long_cte_hit",
+            TranslationPath::CteMiss => "cte_miss",
+            TranslationPath::None => "none",
+        }
+    }
+}
+
+/// Which memory level the accessed page lived in when the access arrived.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemLevel {
+    /// Hot, uncompressed, short-CTE (DyLeCT's huge-page-like level).
+    Ml0,
+    /// Warm, uncompressed, long-CTE.
+    Ml1,
+    /// Cold, compressed.
+    Ml2,
+    /// Not applicable (baseline scheme, or non-data traffic).
+    #[default]
+    None,
+}
+
+impl MemLevel {
+    /// All levels, in display order.
+    pub const ALL: [MemLevel; 4] = [MemLevel::Ml0, MemLevel::Ml1, MemLevel::Ml2, MemLevel::None];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemLevel::Ml0 => "ml0",
+            MemLevel::Ml1 => "ml1",
+            MemLevel::Ml2 => "ml2",
+            MemLevel::None => "none",
+        }
+    }
+}
+
+/// A named critical-path component of one access's latency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessComponent {
+    /// Virtual→physical: TLB miss handling / page-table walk (core scope).
+    TlbWalk,
+    /// Cache-hierarchy lookup time (L1/L2 at core scope, L3 at mem scope).
+    CacheLookup,
+    /// Physical→machine translation served by the CTE cache.
+    CteCacheHit,
+    /// Physical→machine translation fetched from DRAM (CTE miss).
+    CteFetch,
+    /// Decompression (DEFLATE ASIC) on the critical path.
+    Decompression,
+    /// Page movement (expansion/compaction/displacement) on the critical
+    /// path — migration interference.
+    Migration,
+    /// Time the demand DRAM request waited before service.
+    DramQueue,
+    /// DRAM array + bus service time of the demand request.
+    DramService,
+    /// Residual cycles not attributed to a named component. Guarantees the
+    /// conservation invariant: components always sum to the total.
+    Other,
+}
+
+impl AccessComponent {
+    /// All components, in display order.
+    pub const ALL: [AccessComponent; 9] = [
+        AccessComponent::TlbWalk,
+        AccessComponent::CacheLookup,
+        AccessComponent::CteCacheHit,
+        AccessComponent::CteFetch,
+        AccessComponent::Decompression,
+        AccessComponent::Migration,
+        AccessComponent::DramQueue,
+        AccessComponent::DramService,
+        AccessComponent::Other,
+    ];
+
+    /// Dense index into per-component arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name (export formats key on this).
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessComponent::TlbWalk => "tlb_walk",
+            AccessComponent::CacheLookup => "cache_lookup",
+            AccessComponent::CteCacheHit => "cte_cache_hit",
+            AccessComponent::CteFetch => "cte_fetch",
+            AccessComponent::Decompression => "decompression",
+            AccessComponent::Migration => "migration",
+            AccessComponent::DramQueue => "dram_queue",
+            AccessComponent::DramService => "dram_service",
+            AccessComponent::Other => "other",
+        }
+    }
+}
+
+/// One retired access's attributed latency.
+///
+/// Built via [`AccessRecord::new`], which computes the residual
+/// [`AccessComponent::Other`] so that `components` always sums to `total`
+/// (the conservation invariant the attribution layer asserts on).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Observing layer.
+    pub scope: AccessScope,
+    /// Why the access exists.
+    pub class: RequestClass,
+    /// Memory level of the page at access time.
+    pub level: MemLevel,
+    /// How translation was resolved.
+    pub path: TranslationPath,
+    /// Simulated time the access started.
+    pub start: Time,
+    /// End-to-end latency.
+    pub total: Time,
+    /// Per-component cycles, indexed by [`AccessComponent::index`].
+    pub components: [Time; AccessComponent::ALL.len()],
+}
+
+impl AccessRecord {
+    /// Builds a record from the named component durations, deriving the
+    /// `Other` residual so the conservation invariant holds by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the named components do not exceed `total`
+    /// (release builds clamp the residual at zero instead).
+    pub fn new(
+        scope: AccessScope,
+        class: RequestClass,
+        level: MemLevel,
+        path: TranslationPath,
+        start: Time,
+        total: Time,
+        named: &[(AccessComponent, Time)],
+    ) -> AccessRecord {
+        let mut components = [Time::ZERO; AccessComponent::ALL.len()];
+        let mut attributed = Time::ZERO;
+        for &(c, t) in named {
+            components[c.index()] += t;
+            attributed += t;
+        }
+        debug_assert!(
+            attributed <= total,
+            "attributed {attributed:?} exceeds total {total:?}"
+        );
+        components[AccessComponent::Other.index()] += total.saturating_sub(attributed);
+        AccessRecord {
+            scope,
+            class,
+            level,
+            path,
+            start,
+            total,
+            components,
+        }
+    }
+
+    /// Sum of all component cycles (equals `total` by construction).
+    pub fn attributed(&self) -> Time {
+        self.components.iter().copied().sum()
+    }
+}
+
+/// Phase of a sampled request's journey, for begin/end trace spans.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanPhase {
+    /// The whole request, arrival to data-ready.
+    Request,
+    /// Physical→machine translation (CTE cache / CTE fetch).
+    Translate,
+    /// On-demand expansion (decompression + page movement).
+    Expand,
+    /// The demand block's DRAM access (queue + service).
+    Dram,
+}
+
+impl SpanPhase {
+    /// All phases, in display order.
+    pub const ALL: [SpanPhase; 4] = [
+        SpanPhase::Request,
+        SpanPhase::Translate,
+        SpanPhase::Expand,
+        SpanPhase::Dram,
+    ];
+
+    /// Stable lowercase name (trace export keys on this).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanPhase::Request => "request",
+            SpanPhase::Translate => "translate",
+            SpanPhase::Expand => "expand",
+            SpanPhase::Dram => "dram",
+        }
+    }
+}
+
+/// One phase of one sampled request: a begin/end pair on the trace
+/// timeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Sample sequence number (shared by all phases of one request).
+    pub id: u64,
+    /// Memory controller serving the request.
+    pub mc: u32,
+    /// Which phase this span covers.
+    pub phase: SpanPhase,
+    /// Phase start time.
+    pub start: Time,
+    /// Phase end time (`end >= start`).
+    pub end: Time,
+    /// The OS page concerned.
+    pub page: u64,
+}
+
 /// Receives emitted events. Implementations must be observation-only: a
 /// sink may never feed information back into the simulation, which is what
 /// keeps telemetry-on and telemetry-off runs bit-identical.
+///
+/// The per-access methods default to no-ops so sinks that only care about
+/// discrete events (and pre-existing implementations) need not change.
 pub trait EventSink {
     /// Records one event at simulated time `now` concerning OS page `page`.
     fn record(&mut self, now: Time, event: McEvent, page: u64);
+
+    /// Records one retired access's attributed latency.
+    fn record_access(&mut self, _rec: &AccessRecord) {}
+
+    /// Records one phase span of a sampled request.
+    fn record_span(&mut self, _span: &SpanRecord) {}
 }
 
 /// A nullable, shareable reference to an [`EventSink`].
@@ -116,6 +464,22 @@ impl ProbeHandle {
     pub fn emit(&self, now: Time, event: McEvent, page: u64) {
         if let Some(sink) = &self.0 {
             sink.borrow_mut().record(now, event, page);
+        }
+    }
+
+    /// Forwards one attributed access to the sink, if any.
+    #[inline]
+    pub fn emit_access(&self, rec: &AccessRecord) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record_access(rec);
+        }
+    }
+
+    /// Forwards one sampled-request span to the sink, if any.
+    #[inline]
+    pub fn emit_span(&self, span: &SpanRecord) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record_span(span);
         }
     }
 }
@@ -187,5 +551,125 @@ mod tests {
                 "displacement"
             ]
         );
+    }
+
+    #[test]
+    fn attribution_names_are_stable() {
+        // The latency export and `dylect-stats` key on these strings.
+        let classes: Vec<&str> = RequestClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            classes,
+            [
+                "demand",
+                "writeback",
+                "cte_fetch",
+                "migration",
+                "compression",
+                "page_walk",
+                "metadata"
+            ]
+        );
+        let comps: Vec<&str> = AccessComponent::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            comps,
+            [
+                "tlb_walk",
+                "cache_lookup",
+                "cte_cache_hit",
+                "cte_fetch",
+                "decompression",
+                "migration",
+                "dram_queue",
+                "dram_service",
+                "other"
+            ]
+        );
+        for (i, c) in AccessComponent::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        for (i, c) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn access_record_is_conservative_by_construction() {
+        let rec = AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml2,
+            TranslationPath::CteMiss,
+            Time::ZERO,
+            Time::from_ps(1000),
+            &[
+                (AccessComponent::CteFetch, Time::from_ps(300)),
+                (AccessComponent::DramService, Time::from_ps(450)),
+            ],
+        );
+        assert_eq!(rec.attributed(), rec.total);
+        assert_eq!(
+            rec.components[AccessComponent::Other.index()],
+            Time::from_ps(250)
+        );
+    }
+
+    #[test]
+    fn access_and_span_emission_reaches_the_sink() {
+        #[derive(Default)]
+        struct CountingSink {
+            accesses: u64,
+            spans: u64,
+        }
+        impl EventSink for CountingSink {
+            fn record(&mut self, _now: Time, _event: McEvent, _page: u64) {}
+            fn record_access(&mut self, _rec: &AccessRecord) {
+                self.accesses += 1;
+            }
+            fn record_span(&mut self, _span: &SpanRecord) {
+                self.spans += 1;
+            }
+        }
+        let sink = Rc::new(RefCell::new(CountingSink::default()));
+        let p = ProbeHandle::new(sink.clone());
+        let rec = AccessRecord::new(
+            AccessScope::Core,
+            RequestClass::Demand,
+            MemLevel::None,
+            TranslationPath::None,
+            Time::ZERO,
+            Time::from_ps(10),
+            &[],
+        );
+        p.emit_access(&rec);
+        p.emit_span(&SpanRecord {
+            id: 0,
+            mc: 0,
+            phase: SpanPhase::Request,
+            start: Time::ZERO,
+            end: Time::from_ps(10),
+            page: 0,
+        });
+        ProbeHandle::disabled().emit_access(&rec); // no-op
+        assert_eq!(sink.borrow().accesses, 1);
+        assert_eq!(sink.borrow().spans, 1);
+    }
+
+    #[test]
+    fn default_sink_methods_are_no_ops() {
+        // A legacy sink implementing only `record` still compiles and
+        // silently ignores the per-access streams.
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let p = ProbeHandle::new(sink.clone());
+        let rec = AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Metadata,
+            MemLevel::None,
+            TranslationPath::None,
+            Time::ZERO,
+            Time::ZERO,
+            &[],
+        );
+        p.emit_access(&rec);
+        assert!(sink.borrow().0.is_empty());
     }
 }

@@ -213,6 +213,171 @@ impl LatencyHistogram {
     }
 }
 
+/// An HDR-style log-bucketed histogram with bounded relative error.
+///
+/// Values (picoseconds) land in buckets whose width doubles every octave
+/// but which subdivide each octave into 16 linear sub-buckets, bounding
+/// the relative quantization error at 1/16 ≈ 6% — fine enough for tail
+/// percentiles (`p99.9`) without storing every sample. Unlike
+/// [`LatencyHistogram`] (one bucket per power of two, good for coarse
+/// distribution shape), this is the histogram the latency-attribution
+/// layer keys per access outcome.
+///
+/// Storage grows lazily to the highest occupied bucket, so a sparsely
+/// populated histogram (the common case per outcome key) stays small.
+///
+/// # Example
+///
+/// ```
+/// use dylect_sim_core::stats::LogHistogram;
+/// use dylect_sim_core::Time;
+///
+/// let mut h = LogHistogram::new();
+/// for _ in 0..99 {
+///     h.record(Time::from_ns(100.0));
+/// }
+/// h.record(Time::from_ns(10_000.0));
+/// let p50 = h.percentile(0.50);
+/// assert!(p50.as_ns() >= 100.0 && p50.as_ns() < 107.0);
+/// assert!(h.percentile(0.999).as_ns() >= 10_000.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ps: u64,
+}
+
+/// log2 of the sub-buckets per octave (16 sub-buckets).
+const LOG_SUB_BITS: u32 = 4;
+const LOG_SUB: u64 = 1 << LOG_SUB_BITS;
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of value `v` (in picoseconds).
+    ///
+    /// Values below 16 get their own unit-width buckets; above that, each
+    /// octave `[2^k, 2^(k+1))` splits into 16 equal sub-buckets.
+    fn index(v: u64) -> usize {
+        if v < LOG_SUB {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let major = (msb - LOG_SUB_BITS) as usize;
+        let sub = ((v >> (msb - LOG_SUB_BITS)) - LOG_SUB) as usize;
+        LOG_SUB as usize + major * LOG_SUB as usize + sub
+    }
+
+    /// Inclusive lower bound (ps) of bucket `idx`.
+    fn lower(idx: usize) -> u64 {
+        if idx < LOG_SUB as usize {
+            return idx as u64;
+        }
+        let k = idx - LOG_SUB as usize;
+        let major = (k / LOG_SUB as usize) as u32;
+        let sub = (k % LOG_SUB as usize) as u64;
+        (LOG_SUB + sub) << major
+    }
+
+    /// Exclusive upper bound (ps) of bucket `idx`.
+    fn upper(idx: usize) -> u64 {
+        if idx < LOG_SUB as usize {
+            return idx as u64 + 1;
+        }
+        let k = idx - LOG_SUB as usize;
+        let major = (k / LOG_SUB as usize) as u32;
+        // The topmost bucket's bound would be 2^64; saturate.
+        Self::lower(idx).saturating_add(1u64 << major)
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, t: Time) {
+        self.record_ps(t.as_ps());
+    }
+
+    /// Records one raw picosecond sample.
+    pub fn record_ps(&mut self, ps: u64) {
+        let idx = Self::index(ps);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ps = self.sum_ps.saturating_add(ps);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> Time {
+        Time::from_ps(self.sum_ps)
+    }
+
+    /// Mean sample value (zero if empty).
+    pub fn mean(&self) -> Time {
+        Time::from_ps(self.sum_ps.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ps = self.sum_ps.saturating_add(other.sum_ps);
+    }
+
+    /// An upper bound of the value at quantile `q` in `[0, 1]`
+    /// (monotone in `q`; [`Time::ZERO`] for an empty histogram).
+    pub fn percentile(&self, q: f64) -> Time {
+        if self.count == 0 {
+            return Time::ZERO;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Exclusive upper bound, minus one ps to stay inside the
+                // bucket (keeps `percentile(1.0)` ≥ the recorded maximum
+                // while never exceeding the next bucket's samples).
+                return Time::from_ps(Self::upper(i) - 1);
+            }
+        }
+        unreachable!("cumulative count reaches self.count");
+    }
+
+    /// Iterates over `(bucket_index, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Inclusive lower bound (ps) of bucket `idx` — for export/labels.
+    pub fn bucket_lower_ps(idx: usize) -> u64 {
+        Self::lower(idx)
+    }
+
+    /// Exclusive upper bound (ps) of bucket `idx` — for export/labels.
+    pub fn bucket_upper_ps(idx: usize) -> u64 {
+        Self::upper(idx)
+    }
+}
+
 /// Divides two counters into a rate, guarding the zero-denominator case.
 #[inline]
 pub fn ratio(num: u64, den: u64) -> f64 {
@@ -283,5 +448,110 @@ mod tests {
     fn ratio_guards_zero() {
         assert_eq!(ratio(1, 0), 0.0);
         assert_eq!(ratio(1, 2), 0.5);
+    }
+
+    #[test]
+    fn log_histogram_bucket_boundaries_tile_the_axis() {
+        // Buckets partition [0, 2^64): each bucket's exclusive upper bound
+        // is the next bucket's inclusive lower bound, and every value maps
+        // into the bucket whose bounds contain it.
+        for idx in 0..900 {
+            assert_eq!(
+                LogHistogram::bucket_upper_ps(idx),
+                LogHistogram::bucket_lower_ps(idx + 1),
+                "gap or overlap at bucket {idx}"
+            );
+        }
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            123_456,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = LogHistogram::index(v);
+            assert!(
+                LogHistogram::bucket_lower_ps(idx) <= v,
+                "lower({idx}) > {v}"
+            );
+            assert!(
+                v < LogHistogram::bucket_upper_ps(idx)
+                    || LogHistogram::bucket_upper_ps(idx) == u64::MAX,
+                "{v} >= upper({idx})"
+            );
+        }
+        // Relative bucket width stays bounded (the HDR property).
+        for idx in 32..900 {
+            let lo = LogHistogram::bucket_lower_ps(idx);
+            let width = LogHistogram::bucket_upper_ps(idx) - lo;
+            assert!(width * 16 <= lo + width, "bucket {idx} wider than 1/16");
+        }
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_monotone() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for i in 0..1000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record_ps(x % 10_000_000);
+        }
+        let mut last = Time::ZERO;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            assert!(p >= last, "percentile decreased at q={i}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for i in 0..500u64 {
+            let v = i * i * 37;
+            if i % 2 == 0 {
+                a.record_ps(v);
+            } else {
+                b.record_ps(v);
+            }
+            all.record_ps(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.count(), 500);
+        assert_eq!(a.sum(), all.sum());
+    }
+
+    #[test]
+    fn log_histogram_zero_and_overflow_values() {
+        let mut h = LogHistogram::new();
+        h.record_ps(0);
+        h.record_ps(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.percentile(0.0), Time::ZERO);
+        // The top bucket's bound saturates instead of overflowing.
+        assert!(h.percentile(1.0).as_ps() >= u64::MAX / 2);
+        assert_eq!(h.sum().as_ps(), u64::MAX, "sum saturates");
+        assert_eq!(LogHistogram::new().percentile(0.5), Time::ZERO);
+    }
+
+    #[test]
+    fn log_histogram_mean_and_quantization_error() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(Time::from_ns(280.0)); // 280_000 ps
+        }
+        assert_eq!(h.mean(), Time::from_ns(280.0));
+        let p50 = h.percentile(0.5).as_ps() as f64;
+        let err = (p50 - 280_000.0) / 280_000.0;
+        assert!((0.0..=0.0625).contains(&err), "error {err} out of bounds");
     }
 }

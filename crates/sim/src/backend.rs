@@ -10,8 +10,11 @@
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_cpu::{BackendOp, MemoryBackend};
 use dylect_dram::{Dram, DramStats, EnergyBreakdown, QueueStats};
-use dylect_memctl::{McStats, MemoryScheme, Occupancy};
-use dylect_sim_core::probe::ProbeHandle;
+use dylect_memctl::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_sim_core::probe::{
+    AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass, SpanPhase,
+    SpanRecord, TranslationPath,
+};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES, PAGE_BYTES};
 
@@ -41,6 +44,13 @@ pub struct SharedMemory {
     mcs: Vec<McUnit>,
     l3_latency: Time,
     stats: SharedStats,
+    /// Attribution probe (disabled unless telemetry installs one); emits
+    /// one mem-scope record per shared-memory access.
+    probe: ProbeHandle,
+    /// Span-sampling period over demand L3-miss reads (0 = off).
+    span_every: u64,
+    demand_misses: u64,
+    span_seq: u64,
 }
 
 impl SharedMemory {
@@ -79,6 +89,10 @@ impl SharedMemory {
                 .collect(),
             l3_latency,
             stats: SharedStats::default(),
+            probe: ProbeHandle::disabled(),
+            span_every: 0,
+            demand_misses: 0,
+            span_seq: 0,
         }
     }
 
@@ -143,6 +157,17 @@ impl SharedMemory {
         }
     }
 
+    /// Installs the shared-memory access probe: one mem-scope attribution
+    /// record per L3 access plus, when `span_every > 0`, begin/end trace
+    /// spans for every `span_every`-th demand L3-miss read. Pass a disabled
+    /// handle to turn attribution back off.
+    pub fn set_access_probe(&mut self, probe: ProbeHandle, span_every: u64) {
+        self.probe = probe;
+        self.span_every = span_every;
+        self.demand_misses = 0;
+        self.span_seq = 0;
+    }
+
     /// DRAM energy over `elapsed`, aggregated across all MCs.
     pub fn energy(&self, elapsed: Time) -> EnergyBreakdown {
         let mut agg = EnergyBreakdown::default();
@@ -186,19 +211,85 @@ impl SharedMemory {
         ((page % n) as usize, local)
     }
 
-    fn mc_access(&mut self, now: Time, addr: PhysAddr, write: bool) -> dylect_memctl::McResponse {
+    fn mc_access(&mut self, now: Time, addr: PhysAddr, write: bool) -> (McResponse, u32) {
         let (idx, local) = self.route(addr);
         let mc = &mut self.mcs[idx];
-        mc.scheme.access(now, local, write, &mut mc.dram)
+        let resp = mc.scheme.access(now, local, write, &mut mc.dram);
+        (resp, idx as u32)
     }
 
     fn spill(&mut self, now: Time, key: u64, dirty: bool) {
         if let Some(ev) = self.l3.fill(key, dirty, ()) {
             if ev.dirty {
                 let addr = PhysAddr::new(ev.key * BLOCK_BYTES);
-                self.mc_access(now, addr, true);
+                let (resp, _) = self.mc_access(now, addr, true);
+                if self.probe.is_enabled() {
+                    self.emit_mem_record(RequestClass::Writeback, now, Time::ZERO, &resp);
+                }
             }
         }
+    }
+
+    /// Emits one mem-scope attribution record for an access that entered
+    /// the shared side at `start`, spent `l3` in the L3 lookup, and (for L3
+    /// misses) completed with `resp`; the response breakdown's components
+    /// sum to `data_ready - start - l3` by construction, so the record is
+    /// conservative with a zero residual.
+    fn emit_mem_record(&self, class: RequestClass, start: Time, l3: Time, resp: &McResponse) {
+        let b = &resp.breakdown;
+        let translation = if b.path == TranslationPath::CteMiss {
+            (AccessComponent::CteFetch, b.translation)
+        } else {
+            (AccessComponent::CteCacheHit, b.translation)
+        };
+        self.probe.emit_access(&AccessRecord::new(
+            AccessScope::Mem,
+            class,
+            b.level,
+            b.path,
+            start,
+            resp.data_ready.saturating_sub(start),
+            &[
+                (AccessComponent::CacheLookup, l3),
+                translation,
+                (AccessComponent::Decompression, b.decompression),
+                (AccessComponent::Migration, b.migration),
+                (AccessComponent::DramQueue, b.dram_queue),
+                (AccessComponent::DramService, b.dram_service),
+            ],
+        ));
+    }
+
+    /// Emits the begin/end span quartet for one sampled demand miss:
+    /// the whole request window, then the translate / expand / DRAM phases
+    /// partitioning it (the expand phase is omitted when the page needed no
+    /// expansion). Phase boundaries are reconstructed from the response
+    /// breakdown, so spans cost nothing on unsampled requests.
+    fn emit_spans(&mut self, now: Time, mc: u32, addr: PhysAddr, resp: &McResponse) {
+        let b = &resp.breakdown;
+        let id = self.span_seq;
+        self.span_seq += 1;
+        let page = addr.page().index();
+        let submit = now + self.l3_latency;
+        let translated = submit + b.translation;
+        let data_start = translated + b.decompression + b.migration;
+        let probe = &self.probe;
+        let emit = |phase: SpanPhase, start: Time, end: Time| {
+            probe.emit_span(&SpanRecord {
+                id,
+                mc,
+                phase,
+                start,
+                end,
+                page,
+            });
+        };
+        emit(SpanPhase::Request, now, resp.data_ready);
+        emit(SpanPhase::Translate, submit, translated);
+        if data_start > translated {
+            emit(SpanPhase::Expand, translated, data_start);
+        }
+        emit(SpanPhase::Dram, data_start, resp.data_ready);
     }
 }
 
@@ -213,17 +304,42 @@ impl MemoryBackend for SharedMemory {
                 now
             }
             BackendOp::Read | BackendOp::PageWalk | BackendOp::Prefetch => {
+                let class = if op == BackendOp::PageWalk {
+                    RequestClass::PageWalk
+                } else {
+                    RequestClass::Demand
+                };
                 if self.l3.access(key) {
                     self.stats.l3_hits.incr();
+                    if self.probe.is_enabled() {
+                        self.probe.emit_access(&AccessRecord::new(
+                            AccessScope::Mem,
+                            class,
+                            MemLevel::None,
+                            TranslationPath::None,
+                            now,
+                            self.l3_latency,
+                            &[(AccessComponent::CacheLookup, self.l3_latency)],
+                        ));
+                    }
                     return now + self.l3_latency;
                 }
                 self.stats.l3_misses.incr();
-                let resp = self.mc_access(now + self.l3_latency, addr, false);
+                let (resp, mc) = self.mc_access(now + self.l3_latency, addr, false);
                 if op == BackendOp::Read {
                     self.stats
                         .l3_miss_latency
                         .record_time_ns(resp.data_ready.saturating_sub(now));
                     self.stats.l3_miss_overhead.record_time_ns(resp.overhead);
+                }
+                if self.probe.is_enabled() {
+                    self.emit_mem_record(class, now, self.l3_latency, &resp);
+                    if op == BackendOp::Read && self.span_every > 0 {
+                        self.demand_misses += 1;
+                        if self.demand_misses.is_multiple_of(self.span_every) {
+                            self.emit_spans(now, mc, addr, &resp);
+                        }
+                    }
                 }
                 self.spill(resp.data_ready, key, false);
                 resp.data_ready

@@ -166,12 +166,19 @@ impl System {
     }
 
     /// Turns telemetry on: installs an observability probe into every
-    /// memory controller and starts epoch sampling in [`System::execute`].
+    /// memory controller, every core (per-retirement latency attribution),
+    /// and the shared memory backend (per-access attribution and sampled
+    /// request spans), and starts epoch sampling in [`System::execute`].
     /// Telemetry is observation-only — the resulting [`RunReport`] is
     /// bit-identical to a run without it.
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
         let telemetry = Telemetry::new(cfg);
         self.shared.set_probes(|mc| telemetry.probe_for_mc(mc));
+        self.shared
+            .set_access_probe(telemetry.probe_for_mc(0), cfg.span_sample);
+        for core in &mut self.cores {
+            core.set_probe(telemetry.probe_for_mc(0));
+        }
         self.telemetry = Some(telemetry);
         self.ops_in_epoch = 0;
     }
@@ -186,6 +193,10 @@ impl System {
         let t = self.telemetry.take();
         if t.is_some() {
             self.shared.set_probes(|_| ProbeHandle::disabled());
+            self.shared.set_access_probe(ProbeHandle::disabled(), 0);
+            for core in &mut self.cores {
+                core.set_probe(ProbeHandle::disabled());
+            }
         }
         t
     }

@@ -1,0 +1,257 @@
+//! Per-access latency attribution: where do the cycles go?
+//!
+//! Every retired access arrives as an
+//! [`AccessRecord`](dylect_sim_core::probe::AccessRecord) whose component
+//! cycles sum exactly to its end-to-end latency (conservation by
+//! construction — see `AccessRecord::new`). This module aggregates them
+//! two ways:
+//!
+//! - **Histograms**: one [`LogHistogram`] of end-to-end latency per
+//!   (scope, request class, memory level, translation path) combination, so
+//!   p50/p95/p99/p999 can be compared across e.g. short-CTE-hit ML0 reads
+//!   vs. CTE-miss ML2 reads.
+//! - **Component totals**: per scope, total cycles spent in each
+//!   [`AccessComponent`] — the top-down "where cycles go" table.
+//!
+//! The two scopes (core retirement vs. shared-memory access) observe
+//! overlapping time and are kept strictly separate; summing them would
+//! double-count.
+//!
+//! Sampled request spans ([`SpanRecord`]) are retained here too (bounded),
+//! for the Chrome-trace export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use dylect_sim_core::probe::{
+    AccessComponent, AccessRecord, AccessScope, MemLevel, RequestClass, SpanRecord, TranslationPath,
+};
+use dylect_sim_core::stats::LogHistogram;
+use dylect_sim_core::Time;
+
+/// Key of one end-to-end latency histogram.
+pub type HistKey = (AccessScope, RequestClass, MemLevel, TranslationPath);
+
+/// Aggregated latency attribution for one run.
+#[derive(Clone, Debug)]
+pub struct Attribution {
+    hists: BTreeMap<HistKey, LogHistogram>,
+    /// Total picoseconds per component, per scope.
+    component_ps: [[u64; AccessComponent::ALL.len()]; AccessScope::ALL.len()],
+    /// Records seen per scope.
+    records: [u64; AccessScope::ALL.len()],
+    spans: Vec<SpanRecord>,
+    span_capacity: usize,
+    spans_dropped: u64,
+}
+
+impl Attribution {
+    /// Creates an empty aggregator retaining at most `span_capacity`
+    /// sampled spans.
+    pub fn new(span_capacity: usize) -> Attribution {
+        Attribution {
+            hists: BTreeMap::new(),
+            component_ps: [[0; AccessComponent::ALL.len()]; AccessScope::ALL.len()],
+            records: [0; AccessScope::ALL.len()],
+            spans: Vec::new(),
+            span_capacity,
+            spans_dropped: 0,
+        }
+    }
+
+    /// Folds one attributed access in.
+    pub fn record(&mut self, rec: &AccessRecord) {
+        debug_assert_eq!(
+            rec.attributed(),
+            rec.total,
+            "attribution records must be conservative"
+        );
+        self.hists
+            .entry((rec.scope, rec.class, rec.level, rec.path))
+            .or_default()
+            .record(rec.total);
+        let s = rec.scope as usize;
+        self.records[s] += 1;
+        for (i, t) in rec.components.iter().enumerate() {
+            self.component_ps[s][i] += t.as_ps();
+        }
+    }
+
+    /// Retains one sampled span (up to the capacity; overflow is counted).
+    pub fn record_span(&mut self, span: &SpanRecord) {
+        if self.spans.len() < self.span_capacity {
+            self.spans.push(*span);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+
+    /// The per-key histograms, in key order.
+    pub fn histograms(&self) -> &BTreeMap<HistKey, LogHistogram> {
+        &self.hists
+    }
+
+    /// Retained sampled spans, in emission order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Spans seen but not retained (capacity overflow).
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// Accesses recorded under `scope`.
+    pub fn records(&self, scope: AccessScope) -> u64 {
+        self.records[scope as usize]
+    }
+
+    /// Total cycles attributed to `component` under `scope`.
+    pub fn component_total(&self, scope: AccessScope, component: AccessComponent) -> Time {
+        Time::from_ps(self.component_ps[scope as usize][component.index()])
+    }
+
+    /// Whether any access has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.iter().all(|&n| n == 0)
+    }
+
+    /// Renders the top-down "where cycles go" table: per scope, each
+    /// component's total time, share of the scope's cycles, and mean per
+    /// recorded access.
+    pub fn cycles_table(&self) -> String {
+        let mut out = String::new();
+        for scope in AccessScope::ALL {
+            let s = scope as usize;
+            if self.records[s] == 0 {
+                continue;
+            }
+            let total_ps: u64 = self.component_ps[s].iter().sum();
+            let _ = writeln!(
+                out,
+                "where cycles go [{}] — {} accesses, {} total",
+                scope.name(),
+                self.records[s],
+                Time::from_ps(total_ps),
+            );
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>14} {:>7} {:>12}",
+                "component", "total", "share", "mean/access"
+            );
+            for c in AccessComponent::ALL {
+                let ps = self.component_ps[s][c.index()];
+                if ps == 0 {
+                    continue;
+                }
+                let share = if total_ps == 0 {
+                    0.0
+                } else {
+                    100.0 * ps as f64 / total_ps as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:>14} {:>6.2}% {:>12}",
+                    c.name(),
+                    Time::from_ps(ps).to_string(),
+                    share,
+                    Time::from_ps(ps / self.records[s]).to_string(),
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("where cycles go: no accesses recorded\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand_record(total_ns: f64, dram_ns: f64) -> AccessRecord {
+        AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml0,
+            TranslationPath::ShortCteHit,
+            Time::ZERO,
+            Time::from_ns(total_ns),
+            &[(AccessComponent::DramService, Time::from_ns(dram_ns))],
+        )
+    }
+
+    #[test]
+    fn records_are_keyed_by_outcome() {
+        let mut a = Attribution::new(16);
+        a.record(&demand_record(100.0, 60.0));
+        a.record(&demand_record(120.0, 80.0));
+        let other = AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml2,
+            TranslationPath::CteMiss,
+            Time::ZERO,
+            Time::from_ns(900.0),
+            &[],
+        );
+        a.record(&other);
+        assert_eq!(a.histograms().len(), 2);
+        let key = (
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml0,
+            TranslationPath::ShortCteHit,
+        );
+        assert_eq!(a.histograms()[&key].count(), 2);
+        assert_eq!(a.records(AccessScope::Mem), 3);
+        assert_eq!(a.records(AccessScope::Core), 0);
+    }
+
+    #[test]
+    fn component_totals_conserve_cycles() {
+        let mut a = Attribution::new(16);
+        a.record(&demand_record(100.0, 60.0));
+        a.record(&demand_record(50.0, 50.0));
+        let dram = a.component_total(AccessScope::Mem, AccessComponent::DramService);
+        let other = a.component_total(AccessScope::Mem, AccessComponent::Other);
+        assert_eq!(dram, Time::from_ns(110.0));
+        assert_eq!(other, Time::from_ns(40.0));
+        let total: u64 = AccessComponent::ALL
+            .iter()
+            .map(|&c| a.component_total(AccessScope::Mem, c).as_ps())
+            .sum();
+        assert_eq!(Time::from_ps(total), Time::from_ns(150.0));
+    }
+
+    #[test]
+    fn span_retention_is_bounded() {
+        use dylect_sim_core::probe::SpanPhase;
+        let mut a = Attribution::new(2);
+        for i in 0..5 {
+            a.record_span(&SpanRecord {
+                id: i,
+                mc: 0,
+                phase: SpanPhase::Request,
+                start: Time::ZERO,
+                end: Time::from_ns(1.0),
+                page: i,
+            });
+        }
+        assert_eq!(a.spans().len(), 2);
+        assert_eq!(a.spans_dropped(), 3);
+    }
+
+    #[test]
+    fn cycles_table_renders_nonempty_components() {
+        let mut a = Attribution::new(4);
+        assert!(a.cycles_table().contains("no accesses"));
+        a.record(&demand_record(100.0, 60.0));
+        let table = a.cycles_table();
+        assert!(table.contains("where cycles go [mem]"), "{table}");
+        assert!(table.contains("dram_service"), "{table}");
+        assert!(table.contains("other"), "{table}");
+        assert!(!table.contains("tlb_walk"), "zero rows are skipped");
+    }
+}

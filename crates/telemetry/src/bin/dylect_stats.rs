@@ -9,14 +9,21 @@
 //! Two file kinds are understood:
 //!
 //! - `*.jsonl` telemetry exports (`<stem>.series.jsonl`,
-//!   `<stem>.events.jsonl`) — flat JSON objects, one per line;
+//!   `<stem>.events.jsonl`, `<stem>.latency.jsonl`) — flat JSON objects,
+//!   one per line;
 //! - `*.report` run-report cache records (the `KvWriter` format used under
 //!   `results/cache/`), where floats are stored as exact bit patterns.
 //!
+//! `summary` renders series files as per-series aggregates and latency
+//! files as percentile (p50/p95/p99/p999) and component-total tables.
+//!
 //! `diff` compares two files of the same kind; numeric fields may differ by
 //! at most the configured tolerances (`--abs-tol`, `--rel-tol`, both
-//! defaulting to 0 = exact). Exit code: 0 when identical within tolerance,
-//! 1 when differences were found, 2 on usage or I/O errors.
+//! defaulting to 0 = exact). Exit codes distinguish the failure modes so CI
+//! gates can react differently to drift vs. schema changes: 0 when
+//! identical within tolerance, 1 when a shared metric is out of tolerance,
+//! 2 on usage or I/O errors, 3 when the only differences are missing
+//! metrics/rows (present on one side only).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -129,7 +136,19 @@ fn fmt_value(v: &FlatValue) -> String {
 /// its position.
 fn row_label(row: &BTreeMap<String, FlatValue>, index: usize) -> String {
     let mut label = String::new();
-    for key in ["series", "summary", "event", "x_start", "ts_ps"] {
+    for key in [
+        "series",
+        "summary",
+        "event",
+        "hist",
+        "scope",
+        "class",
+        "level",
+        "path",
+        "component",
+        "x_start",
+        "ts_ps",
+    ] {
         if let Some(v) = row.get(key) {
             if !label.is_empty() {
                 label.push(' ');
@@ -163,9 +182,99 @@ fn dump(parsed: &Parsed) {
     }
 }
 
+/// Renders latency-export rows (`"hist":"latency"` histograms and
+/// `"hist":"components"` totals); returns whether anything was printed.
+fn latency_summary(rows: &[BTreeMap<String, FlatValue>]) -> bool {
+    let get_str = |row: &BTreeMap<String, FlatValue>, key: &str| -> String {
+        row.get(key)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned())
+    };
+    let get_num = |row: &BTreeMap<String, FlatValue>, key: &str| -> f64 {
+        row.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let hists: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get("hist").and_then(|v| v.as_str()) == Some("latency"))
+        .collect();
+    let mut printed = false;
+    if !hists.is_empty() {
+        outln!(
+            "{:<5} {:<10} {:<5} {:<14} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "scope",
+            "class",
+            "level",
+            "path",
+            "count",
+            "mean_ns",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "p999_ns"
+        );
+        for row in &hists {
+            outln!(
+                "{:<5} {:<10} {:<5} {:<14} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+                get_str(row, "scope"),
+                get_str(row, "class"),
+                get_str(row, "level"),
+                get_str(row, "path"),
+                get_num(row, "count"),
+                get_num(row, "mean_ps") / 1000.0,
+                get_num(row, "p50_ps") / 1000.0,
+                get_num(row, "p95_ps") / 1000.0,
+                get_num(row, "p99_ps") / 1000.0,
+                get_num(row, "p999_ps") / 1000.0,
+            );
+        }
+        printed = true;
+    }
+    let comps: Vec<_> = rows
+        .iter()
+        .filter(|r| r.get("hist").and_then(|v| v.as_str()) == Some("components"))
+        .collect();
+    if !comps.is_empty() {
+        if printed {
+            outln!("");
+        }
+        outln!(
+            "{:<5} {:<14} {:>14} {:>10}",
+            "scope",
+            "component",
+            "total_us",
+            "records"
+        );
+        for row in &comps {
+            outln!(
+                "{:<5} {:<14} {:>14.3} {:>10}",
+                get_str(row, "scope"),
+                get_str(row, "component"),
+                get_num(row, "total_ps") / 1e6,
+                get_num(row, "records"),
+            );
+        }
+        printed = true;
+    }
+    if let Some(spans) = rows
+        .iter()
+        .find(|r| r.get("hist").and_then(|v| v.as_str()) == Some("spans"))
+    {
+        outln!(
+            "spans: {} retained, {} dropped",
+            get_num(spans, "retained"),
+            get_num(spans, "dropped")
+        );
+        printed = true;
+    }
+    printed
+}
+
 fn summary(parsed: &Parsed) {
     match parsed {
         Parsed::Jsonl(rows) => {
+            if latency_summary(rows) {
+                return;
+            }
             // Group series bins by name; fall back to event kinds.
             let mut groups: BTreeMap<String, (u64, u64, f64, f64, f64)> = BTreeMap::new();
             for row in rows {
@@ -211,44 +320,71 @@ fn summary(parsed: &Parsed) {
     }
 }
 
-fn diff_numbers(label: &str, a: f64, b: f64, tol: &Tolerance, diffs: &mut Vec<String>) {
-    if !tol.close(a, b) {
-        diffs.push(format!(
-            "{label}: {a:?} != {b:?} (delta {:?})",
-            (a - b).abs()
-        ));
+/// One reported difference. Missing metrics (a key or row present on only
+/// one side) are distinguished from value drift so `diff` can exit with a
+/// dedicated code for schema changes.
+struct Diff {
+    missing: bool,
+    msg: String,
+}
+
+impl Diff {
+    fn value(msg: String) -> Diff {
+        Diff {
+            missing: false,
+            msg,
+        }
+    }
+
+    fn missing(msg: String) -> Diff {
+        Diff { missing: true, msg }
     }
 }
 
-fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<String> {
+fn diff_numbers(label: &str, a: f64, b: f64, tol: &Tolerance, diffs: &mut Vec<Diff>) {
+    if !tol.close(a, b) {
+        diffs.push(Diff::value(format!(
+            "{label}: {a:?} != {b:?} (delta {:?})",
+            (a - b).abs()
+        )));
+    }
+}
+
+fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<Diff> {
     let mut diffs = Vec::new();
     match (a, b) {
         (Parsed::Jsonl(ra), Parsed::Jsonl(rb)) => {
             if ra.len() != rb.len() {
-                diffs.push(format!("row counts differ: {} vs {}", ra.len(), rb.len()));
+                diffs.push(Diff::missing(format!(
+                    "row counts differ: {} vs {}",
+                    ra.len(),
+                    rb.len()
+                )));
             }
             for (i, (rowa, rowb)) in ra.iter().zip(rb.iter()).enumerate() {
                 let label = row_label(rowa, i);
                 for (key, va) in rowa {
                     match (va, rowb.get(key)) {
-                        (_, None) => diffs.push(format!("{label}: {key} missing in second")),
+                        (_, None) => {
+                            diffs.push(Diff::missing(format!("{label}: {key} missing in second")));
+                        }
                         (FlatValue::Number(x), Some(FlatValue::Number(y))) => {
                             diff_numbers(&format!("{label}: {key}"), *x, *y, tol, &mut diffs);
                         }
                         (va, Some(vb)) => {
                             if va != vb {
-                                diffs.push(format!(
+                                diffs.push(Diff::value(format!(
                                     "{label}: {key}: {} != {}",
                                     fmt_value(va),
                                     fmt_value(vb)
-                                ));
+                                )));
                             }
                         }
                     }
                 }
                 for key in rowb.keys() {
                     if !rowa.contains_key(key) {
-                        diffs.push(format!("{label}: {key} missing in first"));
+                        diffs.push(Diff::missing(format!("{label}: {key} missing in first")));
                     }
                 }
             }
@@ -256,21 +392,23 @@ fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<String> {
         (Parsed::Report(ma), Parsed::Report(mb)) => {
             for (key, va) in ma {
                 match mb.get(key) {
-                    None => diffs.push(format!("{key}: missing in second")),
+                    None => diffs.push(Diff::missing(format!("{key}: missing in second"))),
                     Some(vb) if va == vb => {}
                     Some(vb) => match (report_number(va), report_number(vb)) {
                         (Some(x), Some(y)) => diff_numbers(key, x, y, tol, &mut diffs),
-                        _ => diffs.push(format!("{key}: {va} != {vb}")),
+                        _ => diffs.push(Diff::value(format!("{key}: {va} != {vb}"))),
                     },
                 }
             }
             for key in mb.keys() {
                 if !ma.contains_key(key) {
-                    diffs.push(format!("{key}: missing in first"));
+                    diffs.push(Diff::missing(format!("{key}: missing in first")));
                 }
             }
         }
-        _ => diffs.push("files are of different kinds (jsonl vs report)".to_string()),
+        _ => diffs.push(Diff::value(
+            "files are of different kinds (jsonl vs report)".to_string(),
+        )),
     }
     diffs
 }
@@ -278,9 +416,12 @@ fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<String> {
 const USAGE: &str = "usage:
   dylect-stats dump <file>
   dylect-stats summary <file>
-  dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]";
+  dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]
 
-fn run() -> Result<bool, String> {
+diff exit codes: 0 identical within tolerance, 1 metric out of tolerance,
+2 usage/IO error, 3 only missing metrics/rows";
+
+fn run() -> Result<u8, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("dump") | Some("summary") if args.len() == 2 => {
@@ -290,7 +431,7 @@ fn run() -> Result<bool, String> {
             } else {
                 summary(&parsed);
             }
-            Ok(true)
+            Ok(0)
         }
         Some("diff") if args.len() >= 3 => {
             let mut tol = Tolerance { abs: 0.0, rel: 0.0 };
@@ -317,13 +458,17 @@ fn run() -> Result<bool, String> {
                     tol.abs,
                     tol.rel
                 );
-                Ok(true)
+                Ok(0)
             } else {
                 for d in &diffs {
-                    outln!("{d}");
+                    outln!("{}", d.msg);
                 }
-                outln!("{} difference(s)", diffs.len());
-                Ok(false)
+                let missing = diffs.iter().filter(|d| d.missing).count();
+                outln!(
+                    "{} difference(s) ({missing} missing metric(s))",
+                    diffs.len()
+                );
+                Ok(if missing == diffs.len() { 3 } else { 1 })
             }
         }
         _ => Err(USAGE.to_string()),
@@ -332,8 +477,7 @@ fn run() -> Result<bool, String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
+        Ok(code) => ExitCode::from(code),
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::from(2)
@@ -395,13 +539,14 @@ mod tests {
         let exact = Tolerance { abs: 0.0, rel: 0.0 };
         let found = diff(&a, &b, &exact);
         assert_eq!(found.len(), 1);
-        assert!(found[0].contains("series=s"), "{}", found[0]);
+        assert!(found[0].msg.contains("series=s"), "{}", found[0].msg);
+        assert!(!found[0].missing, "drift is not a missing metric");
         let loose = Tolerance { abs: 0.2, rel: 0.0 };
         assert!(diff(&a, &b, &loose).is_empty());
     }
 
     #[test]
-    fn missing_keys_and_rows_are_reported() {
+    fn missing_keys_and_rows_are_reported_as_missing() {
         let a = Parsed::Jsonl(vec![parse_flat_object(r#"{"x":1,"y":2}"#).unwrap()]);
         let b = Parsed::Jsonl(vec![
             parse_flat_object(r#"{"x":1}"#).unwrap(),
@@ -409,7 +554,22 @@ mod tests {
         ]);
         let tol = Tolerance { abs: 0.0, rel: 0.0 };
         let found = diff(&a, &b, &tol);
-        assert!(found.iter().any(|d| d.contains("row counts differ")));
-        assert!(found.iter().any(|d| d.contains("missing in second")));
+        assert!(found.iter().any(|d| d.msg.contains("row counts differ")));
+        assert!(found.iter().any(|d| d.msg.contains("missing in second")));
+        assert!(
+            found.iter().all(|d| d.missing),
+            "all of these are missing-metric diffs"
+        );
+    }
+
+    #[test]
+    fn latency_rows_label_with_their_outcome_key() {
+        let row = parse_flat_object(
+            r#"{"hist":"latency","scope":"mem","class":"demand","level":"ml0","path":"short_cte_hit","count":3}"#,
+        )
+        .unwrap();
+        let label = row_label(&row, 0);
+        assert!(label.contains("hist=latency"), "{label}");
+        assert!(label.contains("path=short_cte_hit"), "{label}");
     }
 }

@@ -4,12 +4,16 @@
 //! are written with Rust's shortest round-trip formatting (`{:?}`), so a
 //! value survives a write/parse cycle bit-exactly.
 //!
-//! Three files per export, sharing a stem:
+//! Four files per export, sharing a stem:
 //!
 //! - `<stem>.series.jsonl` — one JSON object per series bin (read back by
 //!   `dylect-stats`),
 //! - `<stem>.events.jsonl` — one JSON object per journal entry,
-//! - `<stem>.trace.json` — Chrome trace-event format; load it in
+//! - `<stem>.latency.jsonl` — one JSON object per latency histogram plus
+//!   per-scope component-total lines (histogram buckets ride in an encoded
+//!   `"idx:count,…"` string so lines stay flat),
+//! - `<stem>.trace.json` — Chrome trace-event format (instant MC events
+//!   plus begin/end pairs for sampled request spans); load it in
 //!   `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! The JSONL records are *flat* objects (string keys, number or string
@@ -18,6 +22,10 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use dylect_sim_core::probe::{AccessComponent, AccessScope, SpanRecord};
+use dylect_sim_core::stats::LogHistogram;
+
+use crate::attribution::Attribution;
 use crate::journal::EventJournal;
 use crate::sampler::Sampler;
 
@@ -100,9 +108,77 @@ pub fn events_jsonl(journal: &EventJournal) -> String {
     out
 }
 
-/// Renders the journal in Chrome trace-event JSON (instant events, one
-/// trace `tid` per memory controller; timestamps in microseconds).
-pub fn chrome_trace(journal: &EventJournal) -> String {
+/// Renders one latency histogram's percentiles and buckets as a flat JSONL
+/// line. Bucket occupancy is encoded as an `"idx:count,…"` string because
+/// the flat-object format has no arrays.
+fn latency_line(scope: AccessScope, key2: (&str, &str, &str, &str), hist: &LogHistogram) -> String {
+    let (kind, class, level, path) = key2;
+    let mut buckets = String::new();
+    for (idx, count) in hist.iter() {
+        if !buckets.is_empty() {
+            buckets.push(',');
+        }
+        let _ = write!(buckets, "{idx}:{count}");
+    }
+    format!(
+        "{{\"hist\":\"{kind}\",\"scope\":\"{}\",\"class\":\"{class}\",\"level\":\"{level}\",\"path\":\"{path}\",\"count\":{},\"sum_ps\":{},\"mean_ps\":{},\"p50_ps\":{},\"p95_ps\":{},\"p99_ps\":{},\"p999_ps\":{},\"buckets\":\"{buckets}\"}}",
+        scope.name(),
+        hist.count(),
+        hist.sum().as_ps(),
+        hist.mean().as_ps(),
+        hist.percentile(0.50).as_ps(),
+        hist.percentile(0.95).as_ps(),
+        hist.percentile(0.99).as_ps(),
+        hist.percentile(0.999).as_ps(),
+    )
+}
+
+/// Renders the attribution layer as JSONL: one `"hist":"latency"` line per
+/// (scope, class, level, path) histogram, one `"hist":"components"` line
+/// per non-zero per-scope component total, and a trailing span-retention
+/// summary.
+pub fn latency_jsonl(attribution: &Attribution) -> String {
+    let mut out = String::new();
+    for ((scope, class, level, path), hist) in attribution.histograms() {
+        let line = latency_line(
+            *scope,
+            ("latency", class.name(), level.name(), path.name()),
+            hist,
+        );
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for scope in AccessScope::ALL {
+        let records = attribution.records(scope);
+        if records == 0 {
+            continue;
+        }
+        for c in AccessComponent::ALL {
+            let total = attribution.component_total(scope, c);
+            let _ = writeln!(
+                out,
+                "{{\"hist\":\"components\",\"scope\":\"{}\",\"component\":\"{}\",\"total_ps\":{},\"records\":{}}}",
+                scope.name(),
+                c.name(),
+                total.as_ps(),
+                records,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{{\"hist\":\"spans\",\"retained\":{},\"dropped\":{}}}",
+        attribution.spans().len(),
+        attribution.spans_dropped(),
+    );
+    out
+}
+
+/// Renders the journal and sampled request spans in Chrome trace-event
+/// JSON: instant events for discrete MC events (one trace `tid` per memory
+/// controller) and begin/end pairs for each span phase; timestamps in
+/// microseconds.
+pub fn chrome_trace(journal: &EventJournal, spans: &[SpanRecord]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     let mut first = true;
     for e in journal.entries() {
@@ -118,6 +194,31 @@ pub fn chrome_trace(journal: &EventJournal) -> String {
             json_f64(ts_us),
             e.mc,
             e.page,
+        );
+    }
+    for s in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let begin_us = s.start.as_ps() as f64 / 1e6;
+        let end_us = s.end.as_ps() as f64 / 1e6;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"B\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"id\":{},\"page\":{}}}}}",
+            s.phase.name(),
+            json_f64(begin_us),
+            s.mc,
+            s.id,
+            s.page,
+        );
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"E\",\"ts\":{},\"pid\":0,\"tid\":{}}}",
+            s.phase.name(),
+            json_f64(end_us),
+            s.mc,
         );
     }
     out.push_str("\n]}\n");
@@ -299,13 +400,72 @@ mod tests {
 
     #[test]
     fn chrome_trace_is_structurally_sound() {
+        use dylect_sim_core::probe::SpanPhase;
         let mut j = EventJournal::new(4);
         j.record(Time::from_ns(1.0), 0, McEvent::Expansion, 3);
         j.record(Time::from_ns(2.0), 1, McEvent::Compaction, 4);
-        let t = chrome_trace(&j);
+        let spans = [
+            SpanRecord {
+                id: 0,
+                mc: 1,
+                phase: SpanPhase::Request,
+                start: Time::from_ns(10.0),
+                end: Time::from_ns(90.0),
+                page: 7,
+            },
+            SpanRecord {
+                id: 0,
+                mc: 1,
+                phase: SpanPhase::Dram,
+                start: Time::from_ns(40.0),
+                end: Time::from_ns(90.0),
+                page: 7,
+            },
+        ];
+        let t = chrome_trace(&j, &spans);
         assert!(t.starts_with('{') && t.trim_end().ends_with('}'));
         assert_eq!(t.matches("\"ph\":\"i\"").count(), 2);
+        assert_eq!(t.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(t.matches("\"ph\":\"E\"").count(), 2);
         assert!(t.contains("\"name\":\"expansion\""));
+        assert!(t.contains("\"name\":\"request\""));
+        assert!(t.contains("\"name\":\"dram\""));
         assert!(t.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn latency_jsonl_lines_parse_back() {
+        use dylect_sim_core::probe::{
+            AccessComponent, AccessRecord, MemLevel, RequestClass, TranslationPath,
+        };
+        let mut a = Attribution::new(4);
+        a.record(&AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml0,
+            TranslationPath::ShortCteHit,
+            Time::ZERO,
+            Time::from_ns(100.0),
+            &[(AccessComponent::DramService, Time::from_ns(60.0))],
+        ));
+        let text = latency_jsonl(&a);
+        let mut latency_lines = 0;
+        for line in text.lines() {
+            let obj = parse_flat_object(line).unwrap_or_else(|| panic!("unparsable: {line}"));
+            if obj["hist"].as_str() == Some("latency") {
+                latency_lines += 1;
+                assert_eq!(obj["scope"].as_str(), Some("mem"));
+                assert_eq!(obj["class"].as_str(), Some("demand"));
+                assert_eq!(obj["level"].as_str(), Some("ml0"));
+                assert_eq!(obj["path"].as_str(), Some("short_cte_hit"));
+                assert_eq!(obj["count"].as_f64(), Some(1.0));
+                assert!(obj["p50_ps"].as_f64().unwrap() >= 100_000.0);
+                assert!(obj["buckets"].as_str().unwrap().contains(':'));
+            }
+        }
+        assert_eq!(latency_lines, 1);
+        assert!(text.contains("\"hist\":\"components\""));
+        assert!(text.contains("\"component\":\"dram_service\",\"total_ps\":60000"));
+        assert!(text.contains("\"hist\":\"spans\""));
     }
 }

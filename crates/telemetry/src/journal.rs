@@ -10,8 +10,10 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dylect_sim_core::probe::{EventSink, McEvent, ProbeHandle};
+use dylect_sim_core::probe::{AccessRecord, EventSink, McEvent, ProbeHandle, SpanRecord};
 use dylect_sim_core::Time;
+
+use crate::attribution::Attribution;
 
 /// One journaled event.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -90,24 +92,43 @@ impl EventJournal {
 }
 
 /// [`EventSink`] adapter tagging events with one MC's index before they
-/// reach the shared journal.
+/// reach the shared journal; access and span records pass through to the
+/// shared [`Attribution`] aggregator untagged (records carry their own
+/// identity).
 #[derive(Clone, Debug)]
 pub struct McProbe {
     journal: Rc<RefCell<EventJournal>>,
+    attribution: Rc<RefCell<Attribution>>,
     mc: u32,
 }
 
 impl McProbe {
-    /// Builds a [`ProbeHandle`] feeding `journal`, tagged as controller
-    /// `mc`.
-    pub fn handle(journal: Rc<RefCell<EventJournal>>, mc: u32) -> ProbeHandle {
-        ProbeHandle::new(Rc::new(RefCell::new(McProbe { journal, mc })))
+    /// Builds a [`ProbeHandle`] feeding `journal` and `attribution`, tagged
+    /// as controller `mc`.
+    pub fn handle(
+        journal: Rc<RefCell<EventJournal>>,
+        attribution: Rc<RefCell<Attribution>>,
+        mc: u32,
+    ) -> ProbeHandle {
+        ProbeHandle::new(Rc::new(RefCell::new(McProbe {
+            journal,
+            attribution,
+            mc,
+        })))
     }
 }
 
 impl EventSink for McProbe {
     fn record(&mut self, now: Time, event: McEvent, page: u64) {
         self.journal.borrow_mut().record(now, self.mc, event, page);
+    }
+
+    fn record_access(&mut self, rec: &AccessRecord) {
+        self.attribution.borrow_mut().record(rec);
+    }
+
+    fn record_span(&mut self, span: &SpanRecord) {
+        self.attribution.borrow_mut().record_span(span);
     }
 }
 
@@ -143,8 +164,9 @@ mod tests {
     #[test]
     fn probes_tag_their_mc() {
         let journal = Rc::new(RefCell::new(EventJournal::new(16)));
-        let p0 = McProbe::handle(journal.clone(), 0);
-        let p3 = McProbe::handle(journal.clone(), 3);
+        let attribution = Rc::new(RefCell::new(Attribution::new(16)));
+        let p0 = McProbe::handle(journal.clone(), attribution.clone(), 0);
+        let p3 = McProbe::handle(journal.clone(), attribution.clone(), 3);
         p0.emit(Time::ZERO, McEvent::Demotion, 1);
         p3.emit(Time::ZERO, McEvent::Demotion, 2);
         let j = journal.borrow();

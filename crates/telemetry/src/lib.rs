@@ -15,15 +15,23 @@
 //!   `dylect_sim_core::probe::ProbeHandle`s wired into each memory
 //!   controller, tagged by controller index.
 //!
-//! Both are observation-only: enabling telemetry never changes simulated
+//! - **Latency attribution** ([`Attribution`]): every retired access's
+//!   cycles are accounted into named critical-path components and its
+//!   end-to-end latency recorded into log-bucketed histograms keyed by
+//!   (scope, request class, memory level, translation path). Sampled
+//!   request spans (1-in-N, `DYLECT_SPAN_SAMPLE`) ride along for the
+//!   Chrome-trace timeline.
+//!
+//! All are observation-only: enabling telemetry never changes simulated
 //! behavior (a property pinned by the workspace determinism test).
 //!
-//! [`Telemetry::export_to`] writes three files per run — series JSONL,
-//! event JSONL, and Chrome trace-event JSON (loadable in Perfetto /
-//! `chrome://tracing`) — consumed by the `dylect-stats` CLI, which can
-//! dump, summarize, and diff two runs' exports with configurable
+//! [`Telemetry::export_to`] writes four files per run — series JSONL,
+//! event JSONL, latency JSONL, and Chrome trace-event JSON (loadable in
+//! Perfetto / `chrome://tracing`) — consumed by the `dylect-stats` CLI,
+//! which can dump, summarize, and diff two runs' exports with configurable
 //! tolerances.
 
+pub mod attribution;
 pub mod export;
 pub mod journal;
 pub mod sampler;
@@ -36,6 +44,7 @@ use std::rc::Rc;
 
 use dylect_sim_core::probe::ProbeHandle;
 
+pub use attribution::Attribution;
 pub use journal::{EventJournal, JournalEntry, McProbe};
 pub use sampler::{SampleSnapshot, Sampler, SERIES_NAMES};
 pub use series::{Bin, TimeSeries};
@@ -49,6 +58,11 @@ pub struct TelemetryConfig {
     pub series_capacity: usize,
     /// Maximum journal entries retained (counts stay exact past this).
     pub journal_capacity: usize,
+    /// Request-span sampling period: every `span_sample`-th demand miss
+    /// emits begin/end trace spans. 0 disables span sampling.
+    pub span_sample: u64,
+    /// Maximum sampled spans retained (counts stay exact past this).
+    pub span_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -57,16 +71,31 @@ impl Default for TelemetryConfig {
             epoch_ops: 10_000,
             series_capacity: 512,
             journal_capacity: 1 << 16,
+            span_sample: 0,
+            span_capacity: 1 << 16,
         }
     }
 }
 
-/// One run's telemetry: the epoch sampler plus the shared event journal.
+impl TelemetryConfig {
+    /// The span-sampling period from the `DYLECT_SPAN_SAMPLE` environment
+    /// variable (unset, empty, unparsable, or `0` all mean disabled).
+    pub fn span_sample_from_env() -> u64 {
+        std::env::var("DYLECT_SPAN_SAMPLE")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+}
+
+/// One run's telemetry: the epoch sampler, the shared event journal, and
+/// the latency-attribution aggregator.
 #[derive(Clone, Debug)]
 pub struct Telemetry {
     cfg: TelemetryConfig,
     sampler: Sampler,
     journal: Rc<RefCell<EventJournal>>,
+    attribution: Rc<RefCell<Attribution>>,
 }
 
 impl Telemetry {
@@ -75,6 +104,7 @@ impl Telemetry {
         Telemetry {
             sampler: Sampler::new(cfg.series_capacity),
             journal: Rc::new(RefCell::new(EventJournal::new(cfg.journal_capacity))),
+            attribution: Rc::new(RefCell::new(Attribution::new(cfg.span_capacity))),
             cfg,
         }
     }
@@ -86,9 +116,11 @@ impl Telemetry {
 
     /// Builds the probe to install into memory controller `mc`
     /// (`MemoryScheme::set_probe`); its events land in this telemetry's
-    /// journal tagged with `mc`.
+    /// journal tagged with `mc`, and any access/span records it emits land
+    /// in the shared attribution aggregator. The same handle serves cores
+    /// and the shared memory backend (which emit only access/span records).
     pub fn probe_for_mc(&self, mc: u32) -> ProbeHandle {
-        McProbe::handle(self.journal.clone(), mc)
+        McProbe::handle(self.journal.clone(), self.attribution.clone(), mc)
     }
 
     /// Records one epoch-boundary snapshot.
@@ -106,8 +138,14 @@ impl Telemetry {
         self.journal.borrow()
     }
 
-    /// Writes `<stem>.series.jsonl`, `<stem>.events.jsonl`, and
-    /// `<stem>.trace.json`; returns the paths written.
+    /// The latency-attribution aggregator.
+    pub fn attribution(&self) -> Ref<'_, Attribution> {
+        self.attribution.borrow()
+    }
+
+    /// Writes `<stem>.series.jsonl`, `<stem>.events.jsonl`,
+    /// `<stem>.latency.jsonl`, and `<stem>.trace.json`; returns the paths
+    /// written.
     pub fn export_to(&self, stem: &Path) -> io::Result<Vec<PathBuf>> {
         if let Some(dir) = stem.parent() {
             if !dir.as_os_str().is_empty() {
@@ -120,13 +158,21 @@ impl Telemetry {
             stem.with_file_name(name)
         };
         let journal = self.journal.borrow();
+        let attribution = self.attribution.borrow();
         let outputs = [
             (
                 with_ext(".series.jsonl"),
                 export::series_jsonl(&self.sampler),
             ),
             (with_ext(".events.jsonl"), export::events_jsonl(&journal)),
-            (with_ext(".trace.json"), export::chrome_trace(&journal)),
+            (
+                with_ext(".latency.jsonl"),
+                export::latency_jsonl(&attribution),
+            ),
+            (
+                with_ext(".trace.json"),
+                export::chrome_trace(&journal, attribution.spans()),
+            ),
         ];
         let mut paths = Vec::new();
         for (path, text) in outputs {
@@ -155,24 +201,60 @@ mod tests {
     }
 
     #[test]
-    fn export_writes_three_files() {
+    fn export_writes_four_files() {
+        use dylect_sim_core::probe::{
+            AccessComponent, AccessRecord, AccessScope, MemLevel, RequestClass, SpanPhase,
+            SpanRecord, TranslationPath,
+        };
         let mut t = Telemetry::new(TelemetryConfig::default());
-        t.probe_for_mc(0)
-            .emit(Time::from_ns(5.0), McEvent::Compaction, 9);
+        let probe = t.probe_for_mc(0);
+        probe.emit(Time::from_ns(5.0), McEvent::Compaction, 9);
+        probe.emit_access(&AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml0,
+            TranslationPath::ShortCteHit,
+            Time::ZERO,
+            Time::from_ns(80.0),
+            &[(AccessComponent::DramService, Time::from_ns(50.0))],
+        ));
+        probe.emit_span(&SpanRecord {
+            id: 0,
+            mc: 0,
+            phase: SpanPhase::Request,
+            start: Time::ZERO,
+            end: Time::from_ns(80.0),
+            page: 9,
+        });
         t.sample(SampleSnapshot {
             instructions: 1000,
             ..SampleSnapshot::default()
         });
         let dir = std::env::temp_dir().join(format!("dylect-telemetry-{}", std::process::id()));
         let paths = t.export_to(&dir.join("run")).unwrap();
-        assert_eq!(paths.len(), 3);
+        assert_eq!(paths.len(), 4);
         for p in &paths {
             assert!(p.exists(), "{}", p.display());
         }
         let series = std::fs::read_to_string(&paths[0]).unwrap();
         assert!(series.contains("\"series\":\"cte_hit_rate\""));
-        let trace = std::fs::read_to_string(&paths[2]).unwrap();
+        let latency = std::fs::read_to_string(&paths[2]).unwrap();
+        assert!(latency.contains("\"path\":\"short_cte_hit\""), "{latency}");
+        let trace = std::fs::read_to_string(&paths[3]).unwrap();
         assert!(trace.contains("\"name\":\"compaction\""));
+        assert!(trace.contains("\"ph\":\"B\""), "span pairs exported");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_sample_env_parses_or_disables() {
+        // Not set in the test environment: disabled.
+        std::env::remove_var("DYLECT_SPAN_SAMPLE");
+        assert_eq!(TelemetryConfig::span_sample_from_env(), 0);
+        std::env::set_var("DYLECT_SPAN_SAMPLE", "1000");
+        assert_eq!(TelemetryConfig::span_sample_from_env(), 1000);
+        std::env::set_var("DYLECT_SPAN_SAMPLE", "junk");
+        assert_eq!(TelemetryConfig::span_sample_from_env(), 0);
+        std::env::remove_var("DYLECT_SPAN_SAMPLE");
     }
 }

@@ -52,7 +52,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Names of every series the sampler maintains, in export order.
-pub const SERIES_NAMES: [&str; 16] = [
+pub const SERIES_NAMES: [&str; 18] = [
     "cte_hit_rate",
     "cte_hit_rate_pregathered",
     "cte_hit_rate_unified",
@@ -68,6 +68,8 @@ pub const SERIES_NAMES: [&str; 16] = [
     "row_hit_rate",
     "read_queue_depth",
     "read_queue_max_depth",
+    "write_queue_depth",
+    "write_queue_max_depth",
     "dram_blocks",
 ];
 
@@ -184,10 +186,18 @@ impl Sampler {
         let row_hits = delta(snap.dram.row_hits.get(), prev.dram.row_hits.get());
         let blocks = delta(snap.dram.total_blocks(), prev.dram.total_blocks());
         self.push("row_hit_rate", x, ratio(row_hits, blocks));
-        let submits = delta(snap.queue.submits, prev.queue.submits);
-        let depth_sum = delta(snap.queue.depth_sum, prev.queue.depth_sum);
-        self.push("read_queue_depth", x, ratio(depth_sum, submits));
-        self.push("read_queue_max_depth", x, snap.queue.max_depth as f64);
+        let rd_submits = delta(snap.queue.read_submits, prev.queue.read_submits);
+        let rd_depth_sum = delta(snap.queue.read_depth_sum, prev.queue.read_depth_sum);
+        self.push("read_queue_depth", x, ratio(rd_depth_sum, rd_submits));
+        self.push("read_queue_max_depth", x, snap.queue.read_max_depth as f64);
+        let wr_submits = delta(snap.queue.write_submits, prev.queue.write_submits);
+        let wr_depth_sum = delta(snap.queue.write_depth_sum, prev.queue.write_depth_sum);
+        self.push("write_queue_depth", x, ratio(wr_depth_sum, wr_submits));
+        self.push(
+            "write_queue_max_depth",
+            x,
+            snap.queue.write_max_depth as f64,
+        );
         self.push("dram_blocks", x, blocks as f64);
 
         self.prev = Some(snap);

@@ -40,12 +40,12 @@ use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::latency::decompression_latency;
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::probe::{McEvent, ProbeHandle};
+use dylect_sim_core::probe::{McEvent, MemLevel, ProbeHandle, TranslationPath};
 use dylect_sim_core::{MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 /// Configuration of a [`Tmcc`] controller.
@@ -253,7 +253,18 @@ impl MemoryScheme for Tmcc {
         }
 
         let granule = self.granule_of(page);
-        let (t_translated, _missed) = self.translate(now, granule, dram);
+        // TMCC has no ML0; compressed pages are ML2, the rest ML1.
+        let level = if self.store.is_compressed(page) {
+            MemLevel::Ml2
+        } else {
+            MemLevel::Ml1
+        };
+        let (t_translated, missed) = self.translate(now, granule, dram);
+        let path = if missed {
+            TranslationPath::CteMiss
+        } else {
+            TranslationPath::LongCteHit
+        };
 
         // Serve the data.
         let (t_data_start, expanded) = match self.store.dir.state(page) {
@@ -272,7 +283,8 @@ impl MemoryScheme for Tmcc {
         } else {
             (DramOp::Read, RequestClass::Demand)
         };
-        let data_ready = dram.access(t_data_start, machine.block_base(), op, class);
+        let detail = dram.access_detailed(t_data_start, machine.block_base(), op, class);
+        let data_ready = detail.done;
 
         // Demand-adaptive background compaction, off the critical path.
         if expanded {
@@ -284,9 +296,24 @@ impl MemoryScheme for Tmcc {
             .translation_latency
             .record_time_ns(t_translated.saturating_sub(now));
         self.stats.overhead_latency.record_time_ns(overhead);
+        // TMCC decompresses whole granules, so the estimated decompression
+        // share of the expansion window scales with the granule size.
+        let (decompression, migration) = AccessBreakdown::split_expansion(
+            t_data_start.saturating_sub(t_translated),
+            self.cfg.granule_pages * PAGE_BYTES,
+        );
         McResponse {
             data_ready,
             overhead,
+            breakdown: AccessBreakdown {
+                path,
+                level,
+                translation: t_translated.saturating_sub(now),
+                decompression,
+                migration,
+                ..AccessBreakdown::default()
+            }
+            .with_dram(detail),
         }
     }
 

@@ -45,8 +45,9 @@ fn identical_runs_produce_identical_reports() {
 
 #[test]
 fn telemetry_does_not_perturb_the_simulation() {
-    // Telemetry is observation-only: a run with sampling + event probes
-    // enabled must produce the byte-identical RunReport of a run without.
+    // Telemetry is observation-only: a run with sampling, event probes,
+    // per-access latency attribution, and span sampling all enabled must
+    // produce the byte-identical RunReport of a run without any of them.
     let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
     let mode = tiny_mode();
     let run = |telemetry: bool| {
@@ -55,6 +56,7 @@ fn telemetry_does_not_perturb_the_simulation() {
         if telemetry {
             sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
                 epoch_ops: 1_000, // sample aggressively to maximize exposure
+                span_sample: 16,  // sample spans aggressively too
                 ..dylect_telemetry::TelemetryConfig::default()
             });
         }
@@ -67,6 +69,58 @@ fn telemetry_does_not_perturb_the_simulation() {
         observed.to_cache_text(),
         "telemetry changed the simulated run"
     );
+}
+
+#[test]
+fn attribution_conserves_cycles_for_every_scheme() {
+    // Aggregate conservation: for each scheme and each scope, the summed
+    // per-component cycle totals must equal the summed end-to-end latency
+    // across all histograms (every record's components sum to its total,
+    // so the aggregates must match exactly). Also pins that spans were
+    // actually sampled and attribution saw traffic.
+    use dylect_sim_core::probe::{AccessComponent, AccessScope};
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    for scheme in [
+        SchemeKind::NoCompression,
+        SchemeKind::tmcc(),
+        SchemeKind::NaiveDynamic,
+        SchemeKind::dylect(),
+    ] {
+        let label = scheme.label();
+        let cfg = SystemConfig::quick(&spec, scheme, CompressionSetting::High);
+        let mut sys = System::new(cfg, &spec);
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+            span_sample: 16,
+            ..dylect_telemetry::TelemetryConfig::default()
+        });
+        sys.run(mode.warmup_ops, mode.measure_ops);
+        let telemetry = sys.take_telemetry().expect("enabled above");
+        let a = telemetry.attribution();
+        assert!(!a.is_empty(), "{label}: no accesses attributed");
+        for scope in AccessScope::ALL {
+            let components_ps: u64 = AccessComponent::ALL
+                .iter()
+                .map(|&c| a.component_total(scope, c).as_ps())
+                .sum();
+            let hists_ps: u64 = a
+                .histograms()
+                .iter()
+                .filter(|((s, ..), _)| *s == scope)
+                .map(|(_, h)| h.sum().as_ps())
+                .sum();
+            assert_eq!(
+                components_ps,
+                hists_ps,
+                "{label}/{}: component totals diverge from histogram totals",
+                scope.name()
+            );
+        }
+        assert!(
+            !a.spans().is_empty(),
+            "{label}: span sampling produced nothing"
+        );
+    }
 }
 
 #[test]

@@ -245,3 +245,52 @@ fn trace_roundtrip() {
         Ok(())
     });
 }
+
+/// Cycle accounting is conservative by construction: for any component
+/// split that fits inside the end-to-end latency, `AccessRecord::new`
+/// fills `Other` with exactly the unattributed residual, so the components
+/// always sum to the total.
+#[test]
+fn access_record_conserves_cycles() {
+    use dylect_sim_core::probe::{
+        AccessComponent, AccessRecord, AccessScope, MemLevel, RequestClass, TranslationPath,
+    };
+    use dylect_sim_core::Time;
+    forall("access_record_conserves_cycles", DEFAULT_CASES, |g| {
+        let total = Time::from_ps(g.u64() % 1_000_000_000);
+        // Carve random named-component shares out of the total; whatever
+        // is left should land in `Other`.
+        let mut remaining = total;
+        let mut explicit = Time::ZERO;
+        let mut parts = Vec::new();
+        for &c in &[
+            AccessComponent::CacheLookup,
+            AccessComponent::CteFetch,
+            AccessComponent::Decompression,
+            AccessComponent::DramQueue,
+            AccessComponent::DramService,
+        ] {
+            if g.bool() {
+                let t = Time::from_ps(g.u64() % (remaining.as_ps() + 1));
+                remaining = remaining.saturating_sub(t);
+                explicit += t;
+                parts.push((c, t));
+            }
+        }
+        let rec = AccessRecord::new(
+            AccessScope::Mem,
+            RequestClass::Demand,
+            MemLevel::Ml1,
+            TranslationPath::LongCteHit,
+            Time::ZERO,
+            total,
+            &parts,
+        );
+        prop_ensure_eq!(rec.attributed(), rec.total);
+        prop_ensure_eq!(
+            rec.components[AccessComponent::Other.index()],
+            total.saturating_sub(explicit)
+        );
+        Ok(())
+    });
+}

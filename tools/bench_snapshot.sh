@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Snapshots the end-to-end simulator-step microbenchmark into
-# BENCH_telemetry.json, so telemetry-related changes can be checked against
-# the <=2% step-rate regression budget. Runs fully offline.
+# Snapshots the end-to-end simulator-step microbenchmark into a
+# BENCH_*.json file (first argument; default BENCH_telemetry.json), so
+# telemetry-related changes can be checked against the <=2% step-rate
+# regression budget. Runs fully offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_telemetry.json"
+OUT="${1:-BENCH_telemetry.json}"
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
 RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000_ops")

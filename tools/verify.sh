@@ -17,4 +17,27 @@ cargo fmt --check
 echo "== cargo clippy --all-targets --offline -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== telemetry smoke: deterministic latency exports diff clean"
+# Run the same small deterministic simulation twice with attribution and
+# span sampling enabled; every export (series, events, latency histograms,
+# trace spans) must be byte-identically reproducible, which dylect-stats
+# checks at zero tolerance (exit 1 = drift, exit 3 = missing metric).
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+for run in a b; do
+    DYLECT_SPAN_SAMPLE=64 DYLECT_QUICK=1 DYLECT_JOBS=2 \
+        cargo run -q --offline --release -p dylect-bench \
+        --bin fig_latency_breakdown -- --out "$SMOKE/$run" >/dev/null
+done
+for f in "$SMOKE"/a/*.jsonl; do
+    cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+        diff "$f" "$SMOKE/b/$(basename "$f")" >/dev/null \
+        || { echo "telemetry smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+for f in "$SMOKE"/a/*.trace.json; do
+    cmp -s "$f" "$SMOKE/b/$(basename "$f")" \
+        || { echo "telemetry smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+echo "telemetry smoke: OK"
+
 echo "verify: OK"
