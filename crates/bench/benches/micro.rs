@@ -147,4 +147,19 @@ fn bench_end_to_end() {
         sys.execute(1000);
         black_box(&sys);
     });
+
+    // Same workload with shadow CTE caches + provenance attached, so the
+    // observation overhead is a one-line diff against the baseline above
+    // (tools/bench_snapshot.sh records both in BENCH_shadow.json).
+    let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let mut sys = System::new(cfg, &spec);
+    sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+        shadow: true,
+        ..dylect_telemetry::TelemetryConfig::default()
+    });
+    sys.run(50_000, 1);
+    bench("system_step_1000_shadow", 50, || {
+        sys.execute(1000);
+        black_box(&sys);
+    });
 }

@@ -61,7 +61,10 @@ fn main() {
         std::process::exit(2);
     });
     let setting = CompressionSetting::High;
-    let span_sample = TelemetryConfig::span_sample_from_env();
+    let span_sample = TelemetryConfig::span_sample_from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     let outputs: Arc<Mutex<BTreeMap<String, SchemeOutput>>> = Arc::default();
     let mut jobs = Vec::new();

@@ -151,12 +151,13 @@ impl RunKey {
     fn fingerprint(&self) -> u64 {
         let cfg = self.config();
         let input = format!(
-            "report-v{};cfg{:?};spec{:?};warm{};measure{}",
+            "report-v{};cfg{:?};spec{:?};warm{};measure{};{}",
             RunReport::CACHE_FORMAT_VERSION,
             cfg,
             self.spec,
             warmup_for(&self.spec, self.mode),
             self.mode.measure_ops,
+            telemetry_env_fingerprint(),
         );
         dylect_sim_core::kv::fingerprint64(&input)
     }
@@ -210,8 +211,9 @@ impl Job {
     ) -> Job {
         let label = label.into();
         let fp = dylect_sim_core::kv::fingerprint64(&format!(
-            "report-v{};{label};{fingerprint_input}",
-            RunReport::CACHE_FORMAT_VERSION
+            "report-v{};{label};{fingerprint_input};{}",
+            RunReport::CACHE_FORMAT_VERSION,
+            telemetry_env_fingerprint(),
         ));
         Job {
             cache_name: Some(format!("{}-{fp:016x}", sanitize(&label))),
@@ -219,6 +221,21 @@ impl Job {
             work: Box::new(work),
         }
     }
+}
+
+/// Raw values of the telemetry-affecting environment variables, folded
+/// into every cache fingerprint. Telemetry is observation-only — the
+/// *report* would be identical either way — but binaries that enable it
+/// also export artifacts a cache hit would silently skip, so an entry
+/// produced under one telemetry configuration must never satisfy a run
+/// under another.
+fn telemetry_env_fingerprint() -> String {
+    let get = |key: &str| std::env::var(key).unwrap_or_default();
+    format!(
+        "span_sample={};shadow={}",
+        get("DYLECT_SPAN_SAMPLE"),
+        get("DYLECT_SHADOW"),
+    )
 }
 
 fn sanitize(label: &str) -> String {
@@ -409,4 +426,48 @@ pub fn run_matrix(keys: Vec<RunKey>) -> Vec<RunReport> {
 /// Runs custom jobs with the environment-configured runner.
 pub fn run_jobs(jobs: Vec<Job>) -> Vec<RunReport> {
     Runner::from_env().run_jobs(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    /// Regression test: a cached report produced under one telemetry
+    /// configuration must not satisfy a run under another, so the
+    /// telemetry env vars must perturb the cache fingerprint. (This test
+    /// owns `DYLECT_SPAN_SAMPLE`/`DYLECT_SHADOW` mutation in this binary;
+    /// keep it the only one touching them to avoid cross-test races.)
+    #[test]
+    fn fingerprint_tracks_telemetry_env_vars() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        std::env::remove_var("DYLECT_SPAN_SAMPLE");
+        std::env::remove_var("DYLECT_SHADOW");
+        let base = key.fingerprint();
+        let base_custom = Job::custom("t", "x", || unreachable!("job never runs")).cache_name;
+
+        std::env::set_var("DYLECT_SPAN_SAMPLE", "64");
+        assert_ne!(key.fingerprint(), base, "span sampling changes the key");
+        std::env::set_var("DYLECT_SHADOW", "1");
+        let both = key.fingerprint();
+        assert_ne!(both, base);
+        assert_ne!(
+            Job::custom("t", "x", || unreachable!("job never runs")).cache_name,
+            base_custom,
+            "custom jobs fingerprint the env too"
+        );
+
+        std::env::remove_var("DYLECT_SPAN_SAMPLE");
+        std::env::remove_var("DYLECT_SHADOW");
+        assert_eq!(key.fingerprint(), base, "restoring the env restores it");
+        assert_eq!(
+            Job::custom("t", "x", || unreachable!("job never runs")).cache_name,
+            base_custom
+        );
+    }
 }

@@ -23,12 +23,16 @@ use dylect_cache::sector::{SectorCache, SectorOutcome};
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{
+    AccessBreakdown, CteCacheGeometry, McResponse, McStats, MemoryScheme, Occupancy,
+};
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::probe::{MemLevel, TranslationPath};
+use dylect_sim_core::probe::{
+    CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
+};
 use dylect_sim_core::{DramPageId, PageId, PhysAddr, Time, PAGE_BYTES};
 
 use crate::groups::GroupMap;
@@ -123,10 +127,16 @@ pub struct NaiveDynamic {
     long_cache: SetAssocCache,
     short_cte: Vec<u8>,
     stats: McStats,
+    probe: ProbeHandle,
     requests_seen: u64,
     /// Deterministic victim rotation for slot displacement.
     rotate: u64,
 }
+
+/// Tag bit distinguishing the naive design's long-CTE lookups from its
+/// short-CTE lookups in the shadow probe's single key space (the two real
+/// caches index by overlapping unified-block numbers).
+const NAIVE_LONG_KEY_TAG: u64 = 1 << 62;
 
 impl NaiveDynamic {
     /// Builds the naive controller; uncompressed pages that cannot be
@@ -219,6 +229,7 @@ impl NaiveDynamic {
             long_cache,
             short_cte,
             stats: McStats::default(),
+            probe: ProbeHandle::disabled(),
             requests_seen: 0,
             rotate: seed,
         }
@@ -247,7 +258,16 @@ impl NaiveDynamic {
         if self.is_ml0(page) {
             // Short cache line covers the 8 pages of one unified block.
             let key = page.index() / 8;
-            if self.short_cache.access(key) {
+            let hit = self.short_cache.access(key);
+            self.probe.emit_cte(&CteRecord {
+                kind: CteBlockKind::Pregathered,
+                op: CteOp::Lookup {
+                    hit,
+                    fill_on_miss: true,
+                },
+                key,
+            });
+            if hit {
                 self.stats.cte_hits_pregathered.incr();
                 return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::ShortCteHit);
             }
@@ -257,7 +277,18 @@ impl NaiveDynamic {
             (done, TranslationPath::CteMiss)
         } else {
             let key = page.index();
-            if self.long_cache.access(key) {
+            let hit = self.long_cache.access(key);
+            // Shadow key is unified-block granular so the counterfactual
+            // single cache has the same per-line reach as DyLeCT/TMCC.
+            self.probe.emit_cte(&CteRecord {
+                kind: CteBlockKind::Unified,
+                op: CteOp::Lookup {
+                    hit,
+                    fill_on_miss: true,
+                },
+                key: NAIVE_LONG_KEY_TAG | (key / 8),
+            });
+            if hit {
                 self.stats.cte_hits_unified.incr();
                 return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
             }
@@ -306,6 +337,7 @@ impl NaiveDynamic {
                         self.store.compact_page(dram, now, q)
                     };
                     self.stats.displacements.incr();
+                    self.probe.emit(t, McEvent::Displacement, q.index());
                     return self.finish_expand_into(t, page, s, i as u8, dram);
                 }
                 DramUse::Pool => {
@@ -337,6 +369,7 @@ impl NaiveDynamic {
             self.store.dir.place_compressed(q, new_span);
             self.store.free.free_span(span);
             self.stats.displacements.incr();
+            self.probe.emit(t, McEvent::Displacement, q.index());
         }
         self.store.free.take_specific_page(slot).then_some(t)
     }
@@ -367,6 +400,7 @@ impl NaiveDynamic {
         }
         self.short_cte[page.index() as usize] = slot_idx;
         self.stats.expansions.incr();
+        self.probe.emit(ready, McEvent::Expansion, page.index());
         ready
     }
 
@@ -381,6 +415,7 @@ impl NaiveDynamic {
             self.short_cte[victim.index() as usize] = self.groups.invalid();
             t = self.store.compact_page(dram, t, victim);
             self.stats.compactions.incr();
+            self.probe.emit(t, McEvent::Compaction, victim.index());
         }
     }
 }
@@ -454,6 +489,22 @@ impl MemoryScheme for NaiveDynamic {
             }
             .with_dram(detail),
         }
+    }
+
+    fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
+    }
+
+    fn cte_cache_geometry(&self) -> Option<CteCacheGeometry> {
+        // The counterfactual "single cache" of the naive design's combined
+        // SRAM budget, with standard 64 B CTE blocks.
+        Some(CteCacheGeometry {
+            capacity_bytes: 2 * self.cfg.cache_bytes,
+            ways: 8,
+            block_bytes: 64,
+            group_size: self.groups.group_size(),
+            num_groups: self.groups.num_groups(),
+        })
     }
 
     fn stats(&self) -> &McStats {

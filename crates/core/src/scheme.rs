@@ -24,13 +24,17 @@
 use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{
+    AccessBreakdown, CteCacheGeometry, McResponse, McStats, MemoryScheme, Occupancy,
+};
 use dylect_memctl::counters::AccessCounters;
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::probe::{McEvent, MemLevel, ProbeHandle, TranslationPath};
+use dylect_sim_core::probe::{
+    CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
+};
 use dylect_sim_core::rng::Rng;
 use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
@@ -195,24 +199,46 @@ impl Dylect {
     }
 
     /// Marks a table block modified: dirty in cache, or one direct write.
-    fn update_table(&mut self, now: Time, key: u64, addr: MachineAddr, dram: &mut Dram) {
+    fn update_table(
+        &mut self,
+        now: Time,
+        kind: CteBlockKind,
+        key: u64,
+        addr: MachineAddr,
+        dram: &mut Dram,
+    ) {
         if self.cte_cache.probe(key) {
             self.cte_cache.fill(key, true, ());
         } else {
             dram.access(now, addr, DramOp::Write, RequestClass::CteFetch);
         }
+        self.probe.emit_cte(&CteRecord {
+            kind,
+            op: CteOp::Touch,
+            key,
+        });
     }
 
     fn update_unified(&mut self, now: Time, page: PageId, dram: &mut Dram) {
         let key = self.layout.unified_block_key(page.index());
         let addr = self.layout.unified_block_addr(page.index());
-        self.update_table(now, key, addr, dram);
+        self.update_table(now, CteBlockKind::Unified, key, addr, dram);
     }
 
     fn update_pregathered(&mut self, now: Time, page: PageId, dram: &mut Dram) {
         let key = self.layout.pregathered_block_key(page);
         let addr = self.layout.pregathered_block_addr(page);
-        self.update_table(now, key, addr, dram);
+        self.update_table(now, CteBlockKind::Pregathered, key, addr, dram);
+    }
+
+    /// Mirrors one real CTE-cache lookup to the shadow tag arrays.
+    #[inline]
+    fn emit_lookup(&self, kind: CteBlockKind, key: u64, hit: bool, fill_on_miss: bool) {
+        self.probe.emit_cte(&CteRecord {
+            kind,
+            op: CteOp::Lookup { hit, fill_on_miss },
+            key,
+        });
     }
 
     /// Switches `page` to a short CTE (long → short). Every ML1→ML0
@@ -258,17 +284,20 @@ impl Dylect {
         let uni_key = self.layout.unified_block_key(page.index());
 
         if self.cte_cache.access(pg_key) {
+            self.emit_lookup(CteBlockKind::Pregathered, pg_key, true, false);
             if in_ml0 {
                 self.stats.cte_hits_pregathered.incr();
                 return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::ShortCteHit);
             }
             // Short CTE is INVALID: need the long CTE from the unified block.
             if self.cte_cache.access(uni_key) {
+                self.emit_lookup(CteBlockKind::Unified, uni_key, true, false);
                 self.stats.cte_hits_unified.incr();
                 return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
             }
             // Miss for an ML1/ML2 page with the pre-gathered block cached:
             // fetch only the unified block and cache it (target is ML1/ML2).
+            self.emit_lookup(CteBlockKind::Unified, uni_key, false, true);
             self.stats.cte_misses.incr();
             let done = dram.access(
                 now,
@@ -282,12 +311,22 @@ impl Dylect {
 
         if self.cte_cache.access(uni_key) {
             // The unified entry holds the short CTE too, so it serves ML0
-            // pages as well as ML1/ML2 pages.
+            // pages as well as ML1/ML2 pages. The pre-gathered block missed
+            // but is not fetched (and so not filled) on this path.
+            self.emit_lookup(CteBlockKind::Pregathered, pg_key, false, false);
+            self.emit_lookup(CteBlockKind::Unified, uni_key, true, false);
             self.stats.cte_hits_unified.incr();
             return (now + CTE_CACHE_HIT_LATENCY, TranslationPath::LongCteHit);
         }
 
         // Full miss: fetch the pre-gathered and unified blocks in parallel.
+        self.emit_lookup(CteBlockKind::Pregathered, pg_key, false, true);
+        self.emit_lookup(
+            CteBlockKind::Unified,
+            uni_key,
+            false,
+            !in_ml0 || self.cfg.always_cache_unified,
+        );
         self.stats.cte_misses.incr();
         let id_pg = dram.submit(
             now,
@@ -585,6 +624,17 @@ impl MemoryScheme for Dylect {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn cte_cache_geometry(&self) -> Option<CteCacheGeometry> {
+        let c = self.cte_cache.config();
+        Some(CteCacheGeometry {
+            capacity_bytes: c.capacity_bytes,
+            ways: c.ways,
+            block_bytes: c.block_bytes,
+            group_size: self.groups.group_size(),
+            num_groups: self.groups.num_groups(),
+        })
     }
 
     fn stats(&self) -> &McStats {

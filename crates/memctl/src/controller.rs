@@ -266,6 +266,24 @@ impl Occupancy {
     }
 }
 
+/// Static geometry of a scheme's CTE cache, exposed so the telemetry
+/// shadow-probe layer can build counterfactual tag arrays (same-capacity
+/// fully-associative, 2×/4× size, 2× associativity) that mirror the real
+/// structure. Purely descriptive: nothing in the simulation reads it back.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CteCacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+    /// DRAM page-group size in pages (0 if the scheme has no page groups).
+    pub group_size: u64,
+    /// Number of DRAM page groups (0 if the scheme has no page groups).
+    pub num_groups: u64,
+}
+
 /// A hardware-compressed-memory controller policy.
 pub trait MemoryScheme {
     /// Short human-readable name ("tmcc", "dylect", …).
@@ -286,6 +304,12 @@ pub trait MemoryScheme {
     /// handle; probes are observation-only and must never change simulated
     /// behavior. Default: events are discarded.
     fn set_probe(&mut self, _probe: ProbeHandle) {}
+
+    /// Geometry of this scheme's CTE cache, if it has one, for the shadow
+    /// tag arrays. Default: no CTE cache (the no-compression baseline).
+    fn cte_cache_geometry(&self) -> Option<CteCacheGeometry> {
+        None
+    }
 
     /// Accumulated statistics.
     fn stats(&self) -> &McStats;

@@ -47,7 +47,7 @@ pub mod store;
 pub mod transfer;
 
 pub use controller::{
-    AccessBreakdown, McResponse, McStats, MemoryScheme, NoCompression, Occupancy,
+    AccessBreakdown, CteCacheGeometry, McResponse, McStats, MemoryScheme, NoCompression, Occupancy,
     CTE_CACHE_HIT_LATENCY,
 };
 pub use directory::{DramUse, PageDirectory, PageState};

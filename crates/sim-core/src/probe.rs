@@ -422,6 +422,66 @@ pub struct SpanRecord {
     pub page: u64,
 }
 
+/// Which kind of translation-table block a CTE-cache operation concerns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CteBlockKind {
+    /// A pre-gathered short-CTE block (64 B covering up to 1 MB — DyLeCT's
+    /// reach multiplier).
+    Pregathered,
+    /// A unified / long-CTE table block.
+    Unified,
+}
+
+impl CteBlockKind {
+    /// All kinds, in display order.
+    pub const ALL: [CteBlockKind; 2] = [CteBlockKind::Pregathered, CteBlockKind::Unified];
+
+    /// Dense index into per-kind arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name (export formats key on this).
+    pub fn name(self) -> &'static str {
+        match self {
+            CteBlockKind::Pregathered => "pregathered",
+            CteBlockKind::Unified => "unified",
+        }
+    }
+}
+
+/// What the real CTE cache did for one probe-visible operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CteOp {
+    /// A demand lookup on the translation critical path. `hit` is the real
+    /// cache's outcome; `fill_on_miss` says whether the scheme's policy
+    /// fills the block after a miss (DyLeCT deliberately skips caching
+    /// unified blocks for ML0 pages).
+    Lookup {
+        /// Whether the real cache hit.
+        hit: bool,
+        /// Whether the real policy inserts the block after this miss.
+        fill_on_miss: bool,
+    },
+    /// A metadata update that refreshes the block if resident but never
+    /// allocates (`update_table` / `update_cte` write paths).
+    Touch,
+}
+
+/// One CTE-cache operation as seen by the real cache, mirrored to the
+/// shadow tag arrays. Observation-only: emitted *after* the real cache has
+/// acted, carrying its outcome.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CteRecord {
+    /// Block kind (pre-gathered vs unified).
+    pub kind: CteBlockKind,
+    /// What happened at the real cache.
+    pub op: CteOp,
+    /// The cache block key (`table address / block bytes`), unique per
+    /// block across both kinds.
+    pub key: u64,
+}
+
 /// Receives emitted events. Implementations must be observation-only: a
 /// sink may never feed information back into the simulation, which is what
 /// keeps telemetry-on and telemetry-off runs bit-identical.
@@ -437,6 +497,9 @@ pub trait EventSink {
 
     /// Records one phase span of a sampled request.
     fn record_span(&mut self, _span: &SpanRecord) {}
+
+    /// Records one CTE-cache operation (lookup or metadata touch).
+    fn record_cte(&mut self, _rec: &CteRecord) {}
 }
 
 /// A nullable, shareable reference to an [`EventSink`].
@@ -480,6 +543,14 @@ impl ProbeHandle {
     pub fn emit_span(&self, span: &SpanRecord) {
         if let Some(sink) = &self.0 {
             sink.borrow_mut().record_span(span);
+        }
+    }
+
+    /// Forwards one CTE-cache operation to the sink, if any.
+    #[inline]
+    pub fn emit_cte(&self, rec: &CteRecord) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record_cte(rec);
         }
     }
 }
@@ -652,6 +723,47 @@ mod tests {
         ProbeHandle::disabled().emit_access(&rec); // no-op
         assert_eq!(sink.borrow().accesses, 1);
         assert_eq!(sink.borrow().spans, 1);
+    }
+
+    #[test]
+    fn cte_kind_names_are_stable() {
+        // The shadow export and `dylect-stats` key on these strings.
+        let names: Vec<&str> = CteBlockKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, ["pregathered", "unified"]);
+        for (i, k) in CteBlockKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn cte_emission_reaches_the_sink() {
+        #[derive(Default)]
+        struct CteSink(Vec<CteRecord>);
+        impl EventSink for CteSink {
+            fn record(&mut self, _now: Time, _event: McEvent, _page: u64) {}
+            fn record_cte(&mut self, rec: &CteRecord) {
+                self.0.push(*rec);
+            }
+        }
+        let sink = Rc::new(RefCell::new(CteSink::default()));
+        let p = ProbeHandle::new(sink.clone());
+        let rec = CteRecord {
+            kind: CteBlockKind::Pregathered,
+            op: CteOp::Lookup {
+                hit: false,
+                fill_on_miss: true,
+            },
+            key: 7,
+        };
+        p.emit_cte(&rec);
+        p.emit_cte(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Touch,
+            key: 8,
+        });
+        ProbeHandle::disabled().emit_cte(&rec); // no-op
+        assert_eq!(sink.borrow().0.len(), 2);
+        assert_eq!(sink.borrow().0[0], rec);
     }
 
     #[test]

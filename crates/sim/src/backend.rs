@@ -157,6 +157,15 @@ impl SharedMemory {
         }
     }
 
+    /// Each MC's real CTE-cache geometry (`None` for schemes without a CTE
+    /// cache), indexed by MC; sizes the telemetry shadow arrays.
+    pub fn cte_cache_geometries(&self) -> Vec<Option<dylect_memctl::CteCacheGeometry>> {
+        self.mcs
+            .iter()
+            .map(|mc| mc.scheme.cte_cache_geometry())
+            .collect()
+    }
+
     /// Installs the shared-memory access probe: one mem-scope attribution
     /// record per L3 access plus, when `span_every > 0`, begin/end trace
     /// spans for every `span_every`-th demand L3-miss read. Pass a disabled

@@ -23,6 +23,9 @@ pub struct System {
     shared: SharedMemory,
     measure_start: Time,
     telemetry: Option<Telemetry>,
+    /// Retired-ops clock shared with telemetry's provenance tracker;
+    /// `None` while telemetry is off.
+    ops_clock: Option<std::rc::Rc<std::cell::Cell<u64>>>,
     ops_in_epoch: u64,
     /// Instructions retired before the last stats reset, so the telemetry
     /// x-axis stays monotonic across the warmup/measurement boundary.
@@ -79,6 +82,7 @@ impl System {
             shared,
             measure_start: Time::ZERO,
             telemetry: None,
+            ops_clock: None,
             ops_in_epoch: 0,
             instr_base: 0,
         }
@@ -160,6 +164,7 @@ impl System {
             shared,
             measure_start: Time::ZERO,
             telemetry: None,
+            ops_clock: None,
             ops_in_epoch: 0,
             instr_base: 0,
         }
@@ -169,16 +174,24 @@ impl System {
     /// memory controller, every core (per-retirement latency attribution),
     /// and the shared memory backend (per-access attribution and sampled
     /// request spans), and starts epoch sampling in [`System::execute`].
+    /// With `cfg.shadow` set, each MC's real CTE-cache geometry also sizes
+    /// a set of shadow tag arrays and the per-page provenance tracker.
     /// Telemetry is observation-only — the resulting [`RunReport`] is
     /// bit-identical to a run without it.
     pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
         let telemetry = Telemetry::new(cfg);
+        if cfg.shadow {
+            for (mc, geometry) in self.shared.cte_cache_geometries().into_iter().enumerate() {
+                telemetry.configure_shadow_for_mc(mc, geometry);
+            }
+        }
         self.shared.set_probes(|mc| telemetry.probe_for_mc(mc));
         self.shared
             .set_access_probe(telemetry.probe_for_mc(0), cfg.span_sample);
         for core in &mut self.cores {
             core.set_probe(telemetry.probe_for_mc(0));
         }
+        self.ops_clock = Some(telemetry.ops_clock());
         self.telemetry = Some(telemetry);
         self.ops_in_epoch = 0;
     }
@@ -192,6 +205,7 @@ impl System {
     pub fn take_telemetry(&mut self) -> Option<Telemetry> {
         let t = self.telemetry.take();
         if t.is_some() {
+            self.ops_clock = None;
             self.shared.set_probes(|_| ProbeHandle::disabled());
             self.shared.set_access_probe(ProbeHandle::disabled(), 0);
             for core in &mut self.cores {
@@ -260,6 +274,9 @@ impl System {
             let op = self.workloads[idx].next_op();
             self.cores[idx].step(op, &mut self.shared);
             if epoch_ops > 0 {
+                if let Some(clock) = &self.ops_clock {
+                    clock.set(clock.get() + 1);
+                }
                 self.ops_in_epoch += 1;
                 if self.ops_in_epoch >= epoch_ops {
                     self.ops_in_epoch = 0;
@@ -437,6 +454,40 @@ mod tests {
         use dylect_sim_core::probe::McEvent;
         assert!(t.journal().count(McEvent::Promotion) > 0);
         assert!(report.occupancy.ml0_pages > 0);
+    }
+
+    #[test]
+    fn shadow_probes_classify_real_misses_and_track_pages() {
+        let mut sys = quick(SchemeKind::dylect());
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+            shadow: true,
+            ..dylect_telemetry::TelemetryConfig::default()
+        });
+        sys.run(30_000, 10_000);
+        let t = sys.take_telemetry().expect("enabled");
+        assert!(t.shadow_enabled());
+        let shadow = t.shadow();
+        let c = shadow.classes_total();
+        assert!(c.real_misses > 0, "quick run should miss the CTE cache");
+        assert_eq!(
+            c.compulsory + c.capacity + c.conflict,
+            c.real_misses,
+            "3C classes must partition the real misses"
+        );
+        // Six counterfactual configs, all replaying the same stream.
+        let rows = shadow.config_rows();
+        assert_eq!(rows.len(), dylect_telemetry::CONFIG_LABELS.len());
+        let infinite = rows.last().expect("infinite row");
+        assert!(
+            rows.iter().all(|r| r.tally.hits <= infinite.tally.hits),
+            "no finite shadow may beat the infinite one"
+        );
+        let prov = t.provenance();
+        assert!(prov.pages_tracked() > 0, "warmup migrates pages");
+        assert!(
+            prov.level_rows().iter().map(|r| r.dwell_ops).sum::<u64>() > 0,
+            "retired-ops clock should have advanced dwell time"
+        );
     }
 
     #[test]

@@ -141,6 +141,12 @@ fn row_label(row: &BTreeMap<String, FlatValue>, index: usize) -> String {
         "summary",
         "event",
         "hist",
+        "shadow",
+        "kind",
+        "config",
+        "page_life",
+        "rank",
+        "peak",
         "scope",
         "class",
         "level",
@@ -269,9 +275,162 @@ fn latency_summary(rows: &[BTreeMap<String, FlatValue>]) -> bool {
     printed
 }
 
+/// Renders shadow-export rows (`"shadow"` miss-class/config tables and
+/// `"page_life"` lifetime/ping-pong/residency tables); returns whether
+/// anything was printed.
+fn shadow_summary(rows: &[BTreeMap<String, FlatValue>]) -> bool {
+    let get_str = |row: &BTreeMap<String, FlatValue>, key: &str| -> String {
+        row.get(key)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned())
+    };
+    let get_num = |row: &BTreeMap<String, FlatValue>, key: &str| -> f64 {
+        row.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let of_kind = |disc: &str, kind: &str| -> Vec<&BTreeMap<String, FlatValue>> {
+        rows.iter()
+            .filter(|r| r.get(disc).and_then(|v| v.as_str()) == Some(kind))
+            .collect()
+    };
+    let mut printed = false;
+    let classes = of_kind("shadow", "miss_class");
+    if !classes.is_empty() {
+        outln!(
+            "{:<12} {:>10} {:>11} {:>11} {:>10} {:>10}",
+            "cte_kind",
+            "hits",
+            "misses",
+            "compulsory",
+            "capacity",
+            "conflict"
+        );
+        for row in &classes {
+            outln!(
+                "{:<12} {:>10} {:>11} {:>11} {:>10} {:>10}",
+                get_str(row, "kind"),
+                get_num(row, "real_hits"),
+                get_num(row, "real_misses"),
+                get_num(row, "compulsory"),
+                get_num(row, "capacity"),
+                get_num(row, "conflict"),
+            );
+        }
+        printed = true;
+    }
+    let configs = of_kind("shadow", "config");
+    if !configs.is_empty() {
+        if printed {
+            outln!("");
+        }
+        outln!(
+            "{:<12} {:>12} {:>5} {:>11} {:>11} {:>9}",
+            "config",
+            "capacity_kib",
+            "ways",
+            "hits",
+            "lookups",
+            "hit_rate"
+        );
+        for row in &configs {
+            let cap = get_num(row, "capacity_bytes");
+            let cap = if cap == 0.0 {
+                "inf".to_owned()
+            } else {
+                format!("{:.0}", cap / 1024.0)
+            };
+            let ways = get_num(row, "ways");
+            let ways = if ways == 0.0 {
+                "full".to_owned()
+            } else {
+                format!("{ways:.0}")
+            };
+            outln!(
+                "{:<12} {:>12} {:>5} {:>11} {:>11} {:>9.4}",
+                get_str(row, "config"),
+                cap,
+                ways,
+                get_num(row, "hits"),
+                get_num(row, "lookups"),
+                get_num(row, "hit_rate"),
+            );
+        }
+        printed = true;
+    }
+    let levels = of_kind("page_life", "level");
+    if !levels.is_empty() {
+        if printed {
+            outln!("");
+        }
+        outln!(
+            "{:<6} {:>14} {:>15} {:>10}",
+            "level",
+            "dwell_ops",
+            "resident_pages",
+            "entries"
+        );
+        for row in &levels {
+            outln!(
+                "{:<6} {:>14} {:>15} {:>10}",
+                get_str(row, "level"),
+                get_num(row, "dwell_ops"),
+                get_num(row, "resident_pages"),
+                get_num(row, "entries"),
+            );
+        }
+        printed = true;
+    }
+    if let Some(pp) = of_kind("page_life", "pingpong").first() {
+        outln!(
+            "pages: {} tracked, {} ping-ponging",
+            get_num(pp, "pages_tracked"),
+            get_num(pp, "pingpong_pages")
+        );
+        printed = true;
+    }
+    let top = of_kind("page_life", "top");
+    if !top.is_empty() {
+        outln!(
+            "{:<5} {:>4} {:>12} {:>7} {:>14} {:>11} {:>10}",
+            "rank",
+            "mc",
+            "page",
+            "trips",
+            "pingpong_evts",
+            "promotions",
+            "demotions"
+        );
+        for row in &top {
+            outln!(
+                "{:<5} {:>4} {:>12} {:>7} {:>14} {:>11} {:>10}",
+                get_num(row, "rank"),
+                get_num(row, "mc"),
+                get_num(row, "page"),
+                get_num(row, "trips"),
+                get_num(row, "pingpong_events"),
+                get_num(row, "promotions"),
+                get_num(row, "demotions"),
+            );
+        }
+        printed = true;
+    }
+    let residency = of_kind("page_life", "residency");
+    if !residency.is_empty() {
+        let buckets: Vec<String> = residency
+            .iter()
+            .map(|r| format!("{}:{}", get_num(r, "peak"), get_num(r, "groups")))
+            .collect();
+        outln!("ml0 residency peaks (peak:groups): {}", buckets.join(" "));
+        printed = true;
+    }
+    printed
+}
+
 fn summary(parsed: &Parsed) {
     match parsed {
         Parsed::Jsonl(rows) => {
+            if shadow_summary(rows) {
+                return;
+            }
             if latency_summary(rows) {
                 return;
             }
@@ -560,6 +719,41 @@ mod tests {
             found.iter().all(|d| d.missing),
             "all of these are missing-metric diffs"
         );
+    }
+
+    #[test]
+    fn shadow_rows_render_and_label() {
+        let rows = vec![
+            parse_flat_object(
+                r#"{"shadow":"miss_class","kind":"total","real_hits":10,"real_misses":4,"compulsory":2,"capacity":1,"conflict":1}"#,
+            )
+            .unwrap(),
+            parse_flat_object(
+                r#"{"shadow":"config","config":"x2_size","capacity_bytes":262144,"ways":8,"hits":12,"lookups":14,"hit_rate":0.857}"#,
+            )
+            .unwrap(),
+            parse_flat_object(
+                r#"{"page_life":"level","level":"ml0","dwell_ops":500,"resident_pages":3,"entries":7}"#,
+            )
+            .unwrap(),
+            parse_flat_object(
+                r#"{"page_life":"top","rank":0,"mc":0,"page":42,"trips":6,"pingpong_events":2,"promotions":7,"demotions":6}"#,
+            )
+            .unwrap(),
+        ];
+        assert!(shadow_summary(&rows), "shadow rows must render");
+        let label = row_label(&rows[0], 0);
+        assert!(label.contains("shadow=miss_class"), "{label}");
+        assert!(label.contains("kind=total"), "{label}");
+        let label = row_label(&rows[1], 1);
+        assert!(label.contains("config=x2_size"), "{label}");
+        let label = row_label(&rows[3], 3);
+        assert!(label.contains("page_life=top"), "{label}");
+        assert!(label.contains("rank=0"), "{label}");
+        // Latency rows are untouched by the shadow renderer.
+        let latency =
+            vec![parse_flat_object(r#"{"hist":"latency","scope":"mem","count":1}"#).unwrap()];
+        assert!(!shadow_summary(&latency));
     }
 
     #[test]

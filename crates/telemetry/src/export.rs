@@ -22,12 +22,14 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use dylect_sim_core::probe::{AccessComponent, AccessScope, SpanRecord};
+use dylect_sim_core::probe::{AccessComponent, AccessScope, CteBlockKind, SpanRecord};
 use dylect_sim_core::stats::LogHistogram;
 
 use crate::attribution::Attribution;
 use crate::journal::EventJournal;
+use crate::provenance::Provenance;
 use crate::sampler::Sampler;
+use crate::shadow::{MissClasses, ShadowState};
 
 /// Escapes a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -222,6 +224,86 @@ pub fn chrome_trace(journal: &EventJournal, spans: &[SpanRecord]) -> String {
         );
     }
     out.push_str("\n]}\n");
+    out
+}
+
+fn miss_class_line(kind: &str, c: &MissClasses) -> String {
+    format!(
+        "{{\"shadow\":\"miss_class\",\"kind\":\"{kind}\",\"real_hits\":{},\"real_misses\":{},\"compulsory\":{},\"capacity\":{},\"conflict\":{}}}",
+        c.real_hits, c.real_misses, c.compulsory, c.capacity, c.conflict,
+    )
+}
+
+/// Renders the shadow arrays and provenance tracker as JSONL. Shadow rows
+/// carry a `"shadow"` discriminator (`miss_class` per block kind + total,
+/// `config` per counterfactual geometry, one `summary`); provenance rows a
+/// `"page_life"` discriminator (`level` dwell rows, a `pingpong` summary,
+/// `top` ping-pong pages, `residency` histogram buckets). Everything is
+/// aggregated and sorted before emission, so two identical runs produce
+/// byte-identical files.
+pub fn shadow_jsonl(shadow: &ShadowState, prov: &Provenance) -> String {
+    let mut out = String::new();
+    for kind in CteBlockKind::ALL {
+        let line = miss_class_line(kind.name(), &shadow.classes(kind));
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&miss_class_line("total", &shadow.classes_total()));
+    out.push('\n');
+    for r in shadow.config_rows() {
+        // 0 capacity/ways mean "unbounded" (the infinite and
+        // fully-associative shadows).
+        let capacity = if r.capacity_bytes == u64::MAX {
+            0
+        } else {
+            r.capacity_bytes
+        };
+        let _ = writeln!(
+            out,
+            "{{\"shadow\":\"config\",\"config\":\"{}\",\"capacity_bytes\":{},\"ways\":{},\"hits\":{},\"lookups\":{},\"hit_rate\":{}}}",
+            r.label,
+            capacity,
+            r.ways,
+            r.tally.hits,
+            r.tally.lookups,
+            json_f64(r.tally.hit_rate()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"shadow\":\"summary\",\"touches\":{},\"mcs\":{}}}",
+        shadow.touches(),
+        shadow.mcs().count(),
+    );
+    for row in prov.level_rows() {
+        let _ = writeln!(
+            out,
+            "{{\"page_life\":\"level\",\"level\":\"{}\",\"dwell_ops\":{},\"resident_pages\":{},\"entries\":{}}}",
+            row.level.name(),
+            row.dwell_ops,
+            row.resident_pages,
+            row.entries,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"page_life\":\"pingpong\",\"pages_tracked\":{},\"pingpong_pages\":{}}}",
+        prov.pages_tracked(),
+        prov.pingpong_pages(),
+    );
+    for (rank, r) in prov.top_pingpong(16).iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{{\"page_life\":\"top\",\"rank\":{},\"mc\":{},\"page\":{},\"trips\":{},\"pingpong_events\":{},\"promotions\":{},\"demotions\":{}}}",
+            rank, r.mc, r.page, r.trips, r.pingpong_events, r.promotions, r.demotions,
+        );
+    }
+    for (peak, groups) in prov.residency_histogram() {
+        let _ = writeln!(
+            out,
+            "{{\"page_life\":\"residency\",\"peak\":{peak},\"groups\":{groups}}}"
+        );
+    }
     out
 }
 
@@ -467,5 +549,55 @@ mod tests {
         assert!(text.contains("\"hist\":\"components\""));
         assert!(text.contains("\"component\":\"dram_service\",\"total_ps\":60000"));
         assert!(text.contains("\"hist\":\"spans\""));
+    }
+
+    #[test]
+    fn shadow_jsonl_lines_parse_back() {
+        use dylect_memctl::controller::CteCacheGeometry;
+        use dylect_sim_core::probe::{CteOp, CteRecord};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        let mut shadow = ShadowState::default();
+        shadow.configure_mc(
+            0,
+            Some(CteCacheGeometry {
+                capacity_bytes: 4096,
+                ways: 2,
+                block_bytes: 64,
+                group_size: 3,
+                num_groups: 4,
+            }),
+        );
+        shadow.record(
+            0,
+            &CteRecord {
+                kind: CteBlockKind::Unified,
+                op: CteOp::Lookup {
+                    hit: false,
+                    fill_on_miss: true,
+                },
+                key: 5,
+            },
+        );
+        let clock = Rc::new(Cell::new(0u64));
+        let mut prov = Provenance::new(clock.clone(), 2, 100);
+        prov.configure_mc(0, None);
+        prov.record(0, dylect_sim_core::probe::McEvent::Promotion, 9);
+        clock.set(8);
+        prov.record(0, dylect_sim_core::probe::McEvent::Demotion, 9);
+
+        let text = shadow_jsonl(&shadow, &prov);
+        for line in text.lines() {
+            parse_flat_object(line).unwrap_or_else(|| panic!("unparsable: {line}"));
+        }
+        assert!(text.contains("\"shadow\":\"miss_class\",\"kind\":\"unified\""));
+        assert!(text.contains("\"kind\":\"total\""));
+        assert!(text.contains("\"config\":\"infinite\",\"capacity_bytes\":0,\"ways\":0"));
+        assert!(text.contains("\"shadow\":\"summary\""));
+        assert!(text.contains("\"page_life\":\"level\",\"level\":\"ml0\",\"dwell_ops\":8"));
+        assert!(text.contains("\"page_life\":\"pingpong\",\"pages_tracked\":1"));
+        // Deterministic: re-rendering the same state is byte-identical.
+        assert_eq!(text, shadow_jsonl(&shadow, &prov));
     }
 }

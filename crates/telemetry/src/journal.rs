@@ -10,10 +10,14 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dylect_sim_core::probe::{AccessRecord, EventSink, McEvent, ProbeHandle, SpanRecord};
+use dylect_sim_core::probe::{
+    AccessRecord, CteRecord, EventSink, McEvent, ProbeHandle, SpanRecord,
+};
 use dylect_sim_core::Time;
 
 use crate::attribution::Attribution;
+use crate::provenance::Provenance;
+use crate::shadow::ShadowState;
 
 /// One journaled event.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -99,20 +103,31 @@ impl EventJournal {
 pub struct McProbe {
     journal: Rc<RefCell<EventJournal>>,
     attribution: Rc<RefCell<Attribution>>,
+    /// Shadow CTE tag arrays; `None` when shadow probing is disabled so
+    /// the hot CTE-record path costs nothing beyond the `Option` check.
+    shadow: Option<Rc<RefCell<ShadowState>>>,
+    /// Page-lifetime tracker riding the event stream; gated like `shadow`.
+    provenance: Option<Rc<RefCell<Provenance>>>,
     mc: u32,
 }
 
 impl McProbe {
     /// Builds a [`ProbeHandle`] feeding `journal` and `attribution`, tagged
-    /// as controller `mc`.
+    /// as controller `mc`. When `shadow`/`provenance` are given, CTE
+    /// records replay against the shadow tag arrays and MC events also
+    /// drive the per-page lifetime state machines.
     pub fn handle(
         journal: Rc<RefCell<EventJournal>>,
         attribution: Rc<RefCell<Attribution>>,
+        shadow: Option<Rc<RefCell<ShadowState>>>,
+        provenance: Option<Rc<RefCell<Provenance>>>,
         mc: u32,
     ) -> ProbeHandle {
         ProbeHandle::new(Rc::new(RefCell::new(McProbe {
             journal,
             attribution,
+            shadow,
+            provenance,
             mc,
         })))
     }
@@ -121,6 +136,9 @@ impl McProbe {
 impl EventSink for McProbe {
     fn record(&mut self, now: Time, event: McEvent, page: u64) {
         self.journal.borrow_mut().record(now, self.mc, event, page);
+        if let Some(prov) = &self.provenance {
+            prov.borrow_mut().record(self.mc, event, page);
+        }
     }
 
     fn record_access(&mut self, rec: &AccessRecord) {
@@ -129,6 +147,12 @@ impl EventSink for McProbe {
 
     fn record_span(&mut self, span: &SpanRecord) {
         self.attribution.borrow_mut().record_span(span);
+    }
+
+    fn record_cte(&mut self, rec: &CteRecord) {
+        if let Some(shadow) = &self.shadow {
+            shadow.borrow_mut().record(self.mc, rec);
+        }
     }
 }
 
@@ -165,12 +189,54 @@ mod tests {
     fn probes_tag_their_mc() {
         let journal = Rc::new(RefCell::new(EventJournal::new(16)));
         let attribution = Rc::new(RefCell::new(Attribution::new(16)));
-        let p0 = McProbe::handle(journal.clone(), attribution.clone(), 0);
-        let p3 = McProbe::handle(journal.clone(), attribution.clone(), 3);
+        let p0 = McProbe::handle(journal.clone(), attribution.clone(), None, None, 0);
+        let p3 = McProbe::handle(journal.clone(), attribution.clone(), None, None, 3);
         p0.emit(Time::ZERO, McEvent::Demotion, 1);
         p3.emit(Time::ZERO, McEvent::Demotion, 2);
         let j = journal.borrow();
         assert_eq!(j.entries()[0].mc, 0);
         assert_eq!(j.entries()[1].mc, 3);
+    }
+
+    #[test]
+    fn probes_forward_to_shadow_and_provenance_when_wired() {
+        use dylect_memctl::controller::CteCacheGeometry;
+        use dylect_sim_core::probe::{CteBlockKind, CteOp};
+        use std::cell::Cell;
+
+        let journal = Rc::new(RefCell::new(EventJournal::new(16)));
+        let attribution = Rc::new(RefCell::new(Attribution::new(16)));
+        let shadow = Rc::new(RefCell::new(ShadowState::default()));
+        shadow.borrow_mut().configure_mc(
+            0,
+            Some(CteCacheGeometry {
+                capacity_bytes: 4096,
+                ways: 2,
+                block_bytes: 64,
+                group_size: 3,
+                num_groups: 8,
+            }),
+        );
+        let clock = Rc::new(Cell::new(0u64));
+        let prov = Rc::new(RefCell::new(Provenance::new(clock, 4, 1000)));
+        let p = McProbe::handle(
+            journal.clone(),
+            attribution,
+            Some(shadow.clone()),
+            Some(prov.clone()),
+            0,
+        );
+        p.emit_cte(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Lookup {
+                hit: false,
+                fill_on_miss: true,
+            },
+            key: 1,
+        });
+        p.emit(Time::ZERO, McEvent::Promotion, 4);
+        assert_eq!(shadow.borrow().classes_total().real_misses, 1);
+        assert_eq!(prov.borrow().pages_tracked(), 1);
+        assert_eq!(journal.borrow().total(), 1, "journal still fed");
     }
 }

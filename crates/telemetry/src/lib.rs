@@ -22,32 +22,49 @@
 //!   request spans (1-in-N, `DYLECT_SPAN_SAMPLE`) ride along for the
 //!   Chrome-trace timeline.
 //!
+//! - **Shadow CTE caches + miss classification** ([`shadow::ShadowState`],
+//!   `DYLECT_SHADOW=1`): counterfactual tag arrays (infinite,
+//!   fully-associative, and a {2× size, 4× size, 2× assoc} sweep) replay
+//!   the real CTE-cache's probe stream, and every real miss is classified
+//!   compulsory/capacity/conflict — the partition is exact by
+//!   construction.
+//! - **Per-page provenance** ([`provenance::Provenance`], same toggle):
+//!   a state machine per touched page tracks ML0/ML1/ML2 transitions with
+//!   dwell in retired ops, round-trip/ping-pong detection, and per-group
+//!   peak ML0 residency.
+//!
 //! All are observation-only: enabling telemetry never changes simulated
 //! behavior (a property pinned by the workspace determinism test).
 //!
 //! [`Telemetry::export_to`] writes four files per run — series JSONL,
 //! event JSONL, latency JSONL, and Chrome trace-event JSON (loadable in
-//! Perfetto / `chrome://tracing`) — consumed by the `dylect-stats` CLI,
-//! which can dump, summarize, and diff two runs' exports with configurable
+//! Perfetto / `chrome://tracing`) — plus a fifth, shadow JSONL, when
+//! shadow probing is on; all consumed by the `dylect-stats` CLI, which can
+//! dump, summarize, and diff two runs' exports with configurable
 //! tolerances.
 
 pub mod attribution;
 pub mod export;
 pub mod journal;
+pub mod provenance;
 pub mod sampler;
 pub mod series;
+pub mod shadow;
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
+use dylect_memctl::controller::CteCacheGeometry;
 use dylect_sim_core::probe::ProbeHandle;
 
 pub use attribution::Attribution;
 pub use journal::{EventJournal, JournalEntry, McProbe};
+pub use provenance::{LevelRow, PingPongRow, Provenance};
 pub use sampler::{SampleSnapshot, Sampler, SERIES_NAMES};
 pub use series::{Bin, TimeSeries};
+pub use shadow::{ConfigRow, McShadow, MissClasses, ShadowState, CONFIG_LABELS};
 
 /// Telemetry sizing knobs.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -63,6 +80,15 @@ pub struct TelemetryConfig {
     pub span_sample: u64,
     /// Maximum sampled spans retained (counts stay exact past this).
     pub span_capacity: usize,
+    /// Enables the shadow CTE tag arrays, miss classification, and the
+    /// per-page provenance tracker.
+    pub shadow: bool,
+    /// Round trips (ML0 → out → ML0) that must complete inside
+    /// [`pingpong_window_ops`](Self::pingpong_window_ops) for a page to
+    /// count as ping-ponging.
+    pub pingpong_trips: u64,
+    /// Ping-pong detection window, in retired ops.
+    pub pingpong_window_ops: u64,
 }
 
 impl Default for TelemetryConfig {
@@ -73,38 +99,92 @@ impl Default for TelemetryConfig {
             journal_capacity: 1 << 16,
             span_sample: 0,
             span_capacity: 1 << 16,
+            shadow: false,
+            pingpong_trips: 4,
+            pingpong_window_ops: 1_000_000,
         }
     }
 }
 
 impl TelemetryConfig {
+    /// Parses a `DYLECT_SPAN_SAMPLE` value. Unset or empty means disabled
+    /// (`Ok(0)`); anything present must be a positive integer — an
+    /// explicit `0` is rejected (unset the variable to disable) and
+    /// garbage is an error rather than a silent default.
+    pub fn parse_span_sample(raw: Option<&str>) -> Result<u64, String> {
+        let Some(raw) = raw else { return Ok(0) };
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Ok(0);
+        }
+        match raw.parse::<u64>() {
+            Ok(0) => Err("DYLECT_SPAN_SAMPLE must be a positive sampling period; \
+                 unset it to disable span sampling"
+                .to_string()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!(
+                "DYLECT_SPAN_SAMPLE must be a positive integer, got {raw:?}"
+            )),
+        }
+    }
+
     /// The span-sampling period from the `DYLECT_SPAN_SAMPLE` environment
-    /// variable (unset, empty, unparsable, or `0` all mean disabled).
-    pub fn span_sample_from_env() -> u64 {
-        std::env::var("DYLECT_SPAN_SAMPLE")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(0)
+    /// variable (see [`parse_span_sample`](Self::parse_span_sample)).
+    pub fn span_sample_from_env() -> Result<u64, String> {
+        Self::parse_span_sample(std::env::var("DYLECT_SPAN_SAMPLE").ok().as_deref())
+    }
+
+    /// Parses a `DYLECT_SHADOW` value: `1`/`true` enable, `0`/`false`
+    /// disable, unset/empty disable; anything else is an error.
+    pub fn parse_shadow(raw: Option<&str>) -> Result<bool, String> {
+        let Some(raw) = raw else { return Ok(false) };
+        match raw.trim() {
+            "" | "0" | "false" => Ok(false),
+            "1" | "true" => Ok(true),
+            other => Err(format!(
+                "DYLECT_SHADOW must be one of 1/true/0/false, got {other:?}"
+            )),
+        }
+    }
+
+    /// The shadow-probe toggle from the `DYLECT_SHADOW` environment
+    /// variable (see [`parse_shadow`](Self::parse_shadow)).
+    pub fn shadow_from_env() -> Result<bool, String> {
+        Self::parse_shadow(std::env::var("DYLECT_SHADOW").ok().as_deref())
     }
 }
 
-/// One run's telemetry: the epoch sampler, the shared event journal, and
-/// the latency-attribution aggregator.
+/// One run's telemetry: the epoch sampler, the shared event journal, the
+/// latency-attribution aggregator, and (when enabled) the shadow CTE
+/// arrays and per-page provenance tracker.
 #[derive(Clone, Debug)]
 pub struct Telemetry {
     cfg: TelemetryConfig,
     sampler: Sampler,
     journal: Rc<RefCell<EventJournal>>,
     attribution: Rc<RefCell<Attribution>>,
+    shadow: Rc<RefCell<ShadowState>>,
+    provenance: Rc<RefCell<Provenance>>,
+    /// Retired-ops clock shared with the provenance tracker; the simulator
+    /// advances it via [`ops_clock`](Self::ops_clock).
+    ops_clock: Rc<Cell<u64>>,
 }
 
 impl Telemetry {
     /// Creates empty telemetry with the given sizing.
     pub fn new(cfg: TelemetryConfig) -> Telemetry {
+        let ops_clock = Rc::new(Cell::new(0u64));
         Telemetry {
             sampler: Sampler::new(cfg.series_capacity),
             journal: Rc::new(RefCell::new(EventJournal::new(cfg.journal_capacity))),
             attribution: Rc::new(RefCell::new(Attribution::new(cfg.span_capacity))),
+            shadow: Rc::new(RefCell::new(ShadowState::default())),
+            provenance: Rc::new(RefCell::new(Provenance::new(
+                ops_clock.clone(),
+                cfg.pingpong_trips,
+                cfg.pingpong_window_ops,
+            ))),
+            ops_clock,
             cfg,
         }
     }
@@ -119,8 +199,53 @@ impl Telemetry {
     /// journal tagged with `mc`, and any access/span records it emits land
     /// in the shared attribution aggregator. The same handle serves cores
     /// and the shared memory backend (which emit only access/span records).
+    /// With `cfg.shadow` on, the handle also replays CTE records into the
+    /// shadow arrays and MC events into the provenance tracker.
     pub fn probe_for_mc(&self, mc: u32) -> ProbeHandle {
-        McProbe::handle(self.journal.clone(), self.attribution.clone(), mc)
+        let (shadow, provenance) = if self.cfg.shadow {
+            (Some(self.shadow.clone()), Some(self.provenance.clone()))
+        } else {
+            (None, None)
+        };
+        McProbe::handle(
+            self.journal.clone(),
+            self.attribution.clone(),
+            shadow,
+            provenance,
+            mc,
+        )
+    }
+
+    /// Installs the real CTE-cache geometry of controller `mc` so its
+    /// shadow arrays and page-group histogram can be sized to match; a
+    /// `None` geometry (schemes without a CTE cache) leaves that MC
+    /// unshadowed. No-op unless `cfg.shadow` is set.
+    pub fn configure_shadow_for_mc(&self, mc: usize, geometry: Option<CteCacheGeometry>) {
+        if self.cfg.shadow {
+            self.shadow.borrow_mut().configure_mc(mc, geometry);
+            self.provenance.borrow_mut().configure_mc(mc, geometry);
+        }
+    }
+
+    /// The retired-ops clock the provenance tracker reads; the run loop
+    /// bumps it once per retired op when telemetry is enabled.
+    pub fn ops_clock(&self) -> Rc<Cell<u64>> {
+        self.ops_clock.clone()
+    }
+
+    /// Whether shadow probing (and provenance tracking) is enabled.
+    pub fn shadow_enabled(&self) -> bool {
+        self.cfg.shadow
+    }
+
+    /// The shadow CTE arrays.
+    pub fn shadow(&self) -> Ref<'_, ShadowState> {
+        self.shadow.borrow()
+    }
+
+    /// The per-page provenance tracker.
+    pub fn provenance(&self) -> Ref<'_, Provenance> {
+        self.provenance.borrow()
     }
 
     /// Records one epoch-boundary snapshot.
@@ -144,8 +269,9 @@ impl Telemetry {
     }
 
     /// Writes `<stem>.series.jsonl`, `<stem>.events.jsonl`,
-    /// `<stem>.latency.jsonl`, and `<stem>.trace.json`; returns the paths
-    /// written.
+    /// `<stem>.latency.jsonl`, and `<stem>.trace.json` — plus
+    /// `<stem>.shadow.jsonl` when shadow probing is enabled; returns the
+    /// paths written.
     pub fn export_to(&self, stem: &Path) -> io::Result<Vec<PathBuf>> {
         if let Some(dir) = stem.parent() {
             if !dir.as_os_str().is_empty() {
@@ -159,7 +285,7 @@ impl Telemetry {
         };
         let journal = self.journal.borrow();
         let attribution = self.attribution.borrow();
-        let outputs = [
+        let mut outputs = vec![
             (
                 with_ext(".series.jsonl"),
                 export::series_jsonl(&self.sampler),
@@ -174,6 +300,12 @@ impl Telemetry {
                 export::chrome_trace(&journal, attribution.spans()),
             ),
         ];
+        if self.cfg.shadow {
+            outputs.push((
+                with_ext(".shadow.jsonl"),
+                export::shadow_jsonl(&self.shadow.borrow(), &self.provenance.borrow()),
+            ));
+        }
         let mut paths = Vec::new();
         for (path, text) in outputs {
             std::fs::write(&path, text)?;
@@ -247,14 +379,85 @@ mod tests {
     }
 
     #[test]
-    fn span_sample_env_parses_or_disables() {
-        // Not set in the test environment: disabled.
-        std::env::remove_var("DYLECT_SPAN_SAMPLE");
-        assert_eq!(TelemetryConfig::span_sample_from_env(), 0);
-        std::env::set_var("DYLECT_SPAN_SAMPLE", "1000");
-        assert_eq!(TelemetryConfig::span_sample_from_env(), 1000);
-        std::env::set_var("DYLECT_SPAN_SAMPLE", "junk");
-        assert_eq!(TelemetryConfig::span_sample_from_env(), 0);
-        std::env::remove_var("DYLECT_SPAN_SAMPLE");
+    fn span_sample_parsing_accepts_positive_integers_only() {
+        assert_eq!(TelemetryConfig::parse_span_sample(None), Ok(0));
+        assert_eq!(TelemetryConfig::parse_span_sample(Some("")), Ok(0));
+        assert_eq!(TelemetryConfig::parse_span_sample(Some("  ")), Ok(0));
+        assert_eq!(TelemetryConfig::parse_span_sample(Some("1000")), Ok(1000));
+        assert_eq!(TelemetryConfig::parse_span_sample(Some(" 64 ")), Ok(64));
+        // An explicit 0 and garbage are hard errors, not silent defaults.
+        let zero = TelemetryConfig::parse_span_sample(Some("0")).unwrap_err();
+        assert!(zero.contains("positive"), "{zero}");
+        let junk = TelemetryConfig::parse_span_sample(Some("junk")).unwrap_err();
+        assert!(junk.contains("\"junk\""), "{junk}");
+        assert!(TelemetryConfig::parse_span_sample(Some("-3")).is_err());
+        assert!(TelemetryConfig::parse_span_sample(Some("1.5")).is_err());
+    }
+
+    #[test]
+    fn shadow_parsing_is_a_strict_bool() {
+        assert_eq!(TelemetryConfig::parse_shadow(None), Ok(false));
+        assert_eq!(TelemetryConfig::parse_shadow(Some("")), Ok(false));
+        assert_eq!(TelemetryConfig::parse_shadow(Some("0")), Ok(false));
+        assert_eq!(TelemetryConfig::parse_shadow(Some("false")), Ok(false));
+        assert_eq!(TelemetryConfig::parse_shadow(Some("1")), Ok(true));
+        assert_eq!(TelemetryConfig::parse_shadow(Some("true")), Ok(true));
+        assert_eq!(TelemetryConfig::parse_shadow(Some(" true ")), Ok(true));
+        let err = TelemetryConfig::parse_shadow(Some("yes")).unwrap_err();
+        assert!(err.contains("DYLECT_SHADOW"), "{err}");
+    }
+
+    #[test]
+    fn shadow_export_rides_along_when_enabled() {
+        use dylect_memctl::controller::CteCacheGeometry;
+        use dylect_sim_core::probe::{CteBlockKind, CteOp, CteRecord};
+
+        let cfg = TelemetryConfig {
+            shadow: true,
+            ..TelemetryConfig::default()
+        };
+        let t = Telemetry::new(cfg);
+        assert!(t.shadow_enabled());
+        t.configure_shadow_for_mc(
+            0,
+            Some(CteCacheGeometry {
+                capacity_bytes: 4096,
+                ways: 2,
+                block_bytes: 64,
+                group_size: 3,
+                num_groups: 8,
+            }),
+        );
+        let probe = t.probe_for_mc(0);
+        probe.emit_cte(&CteRecord {
+            kind: CteBlockKind::Pregathered,
+            op: CteOp::Lookup {
+                hit: false,
+                fill_on_miss: true,
+            },
+            key: 7,
+        });
+        probe.emit(Time::ZERO, McEvent::Promotion, 3);
+        assert_eq!(t.shadow().classes_total().compulsory, 1);
+        assert_eq!(t.provenance().pages_tracked(), 1);
+        let dir = std::env::temp_dir().join(format!("dylect-shadow-{}", std::process::id()));
+        let paths = t.export_to(&dir.join("run")).unwrap();
+        assert_eq!(paths.len(), 5, "shadow jsonl rides along");
+        let shadow = std::fs::read_to_string(paths.last().unwrap()).unwrap();
+        assert!(shadow.contains("\"shadow\":\"miss_class\""), "{shadow}");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Disabled: same four files as before this subsystem existed.
+        let t2 = Telemetry::new(TelemetryConfig::default());
+        let p2 = t2.probe_for_mc(0);
+        p2.emit_cte(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Touch,
+            key: 1,
+        });
+        assert!(!t2.shadow().is_active(), "records ignored when disabled");
+        let dir2 = std::env::temp_dir().join(format!("dylect-noshadow-{}", std::process::id()));
+        assert_eq!(t2.export_to(&dir2.join("run")).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir2).ok();
     }
 }

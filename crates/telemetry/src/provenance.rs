@@ -1,0 +1,454 @@
+//! Per-page lifetime provenance.
+//!
+//! Consumes the memory controllers' discrete event stream
+//! ([`McEvent`](dylect_sim_core::probe::McEvent)) and maintains a small
+//! state machine per touched OS page: which managed level the page
+//! currently occupies, how long (in retired ops) it has dwelt in each
+//! level, which events moved it, and whether it ping-pongs between ML0 and
+//! ML1. Time is the shared retired-ops clock ticked by the simulator, so
+//! dwell numbers are comparable across schemes regardless of their cycle
+//! behaviour.
+//!
+//! Level mapping of the event stream (a deliberate simplification — the
+//! event tells us the destination, not the full path):
+//!
+//! - `Promotion` → ML0, `Demotion` → ML1 (the short-CTE hot set);
+//! - `Expansion` → ML1 (the page was inflated out of compressed storage);
+//! - `Compaction` → ML2 (the compactor reclaimed it);
+//! - `Displacement` → no level change (a move within a level).
+//!
+//! A page's history starts at its first event: dwell before first contact
+//! is unknown and never attributed. A *round trip* completes when a page
+//! that was demoted out of ML0 is promoted back in; a page is flagged as
+//! *ping-ponging* when `trips` round trips complete within a `window` of
+//! retired ops. Per-DRAM-page-group pressure is tracked as the peak number
+//! of simultaneously ML0-resident pages in each static group.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dylect_memctl::controller::CteCacheGeometry;
+use dylect_sim_core::probe::{McEvent, MemLevel};
+
+/// Managed levels with dwell accounting, in index order.
+pub const LEVELS: [MemLevel; 3] = [MemLevel::Ml0, MemLevel::Ml1, MemLevel::Ml2];
+
+fn level_index(level: MemLevel) -> Option<usize> {
+    LEVELS.iter().position(|&l| l == level)
+}
+
+fn destination(event: McEvent) -> Option<MemLevel> {
+    match event {
+        McEvent::Promotion => Some(MemLevel::Ml0),
+        McEvent::Demotion | McEvent::Expansion => Some(MemLevel::Ml1),
+        McEvent::Compaction => Some(MemLevel::Ml2),
+        McEvent::Displacement => None,
+    }
+}
+
+/// Lifetime state of one `(mc, page)` pair.
+#[derive(Clone, Debug)]
+struct PageLife {
+    /// Current level (`None` only transiently: a displacement-first page).
+    level: MemLevel,
+    /// Ops clock when the page entered `level`.
+    since: u64,
+    /// Accumulated dwell per level (ops), excluding the open interval.
+    dwell: [u64; LEVELS.len()],
+    /// Event counts, indexed like [`McEvent::ALL`].
+    events: [u32; McEvent::ALL.len()],
+    /// Completed ML0→out→ML0 round trips.
+    trips: u64,
+    /// Ops-clock stamps of the most recent `trips_window` round-trip
+    /// completions (bounded ring).
+    recent: Vec<u64>,
+    /// Times the ping-pong predicate fired (K trips inside W ops).
+    pingpong: u64,
+    /// Whether the page has ever left ML0 since last being there.
+    out_of_ml0: bool,
+}
+
+fn event_index(event: McEvent) -> usize {
+    McEvent::ALL
+        .iter()
+        .position(|&e| e == event)
+        .expect("in ALL")
+}
+
+/// Aggregate dwell/occupancy of one level.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelRow {
+    /// The level.
+    pub level: MemLevel,
+    /// Total dwell across all pages, in retired ops (open intervals
+    /// closed at the current clock).
+    pub dwell_ops: u64,
+    /// Pages currently resident.
+    pub resident_pages: u64,
+    /// Transitions into this level.
+    pub entries: u64,
+}
+
+/// One ping-ponging page, for the top-N table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PingPongRow {
+    /// Owning memory controller.
+    pub mc: u32,
+    /// OS page index.
+    pub page: u64,
+    /// Completed ML0 round trips.
+    pub trips: u64,
+    /// Times K trips landed within the window.
+    pub pingpong_events: u64,
+    /// Promotions into ML0.
+    pub promotions: u32,
+    /// Demotions out of ML0.
+    pub demotions: u32,
+}
+
+/// Per-MC DRAM page-group ML0 residency counters.
+#[derive(Clone, Debug)]
+struct GroupResidency {
+    num_groups: u64,
+    /// Current ML0 residents per group.
+    cur: Vec<u32>,
+    /// Peak ML0 residents per group.
+    peak: Vec<u32>,
+}
+
+/// Tracks lifetime provenance for every page the MCs report on.
+#[derive(Clone, Debug)]
+pub struct Provenance {
+    clock: Rc<Cell<u64>>,
+    trips_window: usize,
+    window_ops: u64,
+    pages: HashMap<(u32, u64), PageLife>,
+    groups: Vec<Option<GroupResidency>>,
+    level_entries: [u64; LEVELS.len()],
+}
+
+impl Provenance {
+    /// Creates a tracker reading time from `clock`; `trips` round trips
+    /// within `window_ops` retired ops flag a page as ping-ponging.
+    pub fn new(clock: Rc<Cell<u64>>, trips: u64, window_ops: u64) -> Provenance {
+        Provenance {
+            clock,
+            trips_window: trips.max(1) as usize,
+            window_ops,
+            pages: HashMap::new(),
+            groups: Vec::new(),
+            level_entries: [0; LEVELS.len()],
+        }
+    }
+
+    /// Installs the page-group shape of one MC (from its CTE geometry);
+    /// `None` or zero groups disables the residency histogram for it.
+    pub fn configure_mc(&mut self, mc: usize, geometry: Option<CteCacheGeometry>) {
+        if self.groups.len() <= mc {
+            self.groups.resize_with(mc + 1, || None);
+        }
+        self.groups[mc] = geometry.and_then(|g| {
+            if g.num_groups == 0 {
+                None
+            } else {
+                let n = g.num_groups as usize;
+                Some(GroupResidency {
+                    num_groups: g.num_groups,
+                    cur: vec![0; n],
+                    peak: vec![0; n],
+                })
+            }
+        });
+    }
+
+    /// Feeds one MC event into the page state machines.
+    pub fn record(&mut self, mc: u32, event: McEvent, page: u64) {
+        let now = self.clock.get();
+        let life = self.pages.entry((mc, page)).or_insert_with(|| PageLife {
+            level: MemLevel::None,
+            since: now,
+            dwell: [0; LEVELS.len()],
+            events: [0; McEvent::ALL.len()],
+            trips: 0,
+            recent: Vec::new(),
+            pingpong: 0,
+            out_of_ml0: false,
+        });
+        life.events[event_index(event)] += 1;
+        let Some(dest) = destination(event) else {
+            return; // displacement: the page moved, its level did not
+        };
+        let from = life.level;
+        if from != dest {
+            if let Some(i) = level_index(from) {
+                life.dwell[i] += now - life.since;
+            }
+            life.level = dest;
+            life.since = now;
+            self.level_entries[level_index(dest).expect("dest is managed")] += 1;
+            // Round-trip and ping-pong detection.
+            if dest == MemLevel::Ml0 {
+                if life.out_of_ml0 {
+                    life.trips += 1;
+                    if life.recent.len() == self.trips_window {
+                        life.recent.remove(0);
+                    }
+                    life.recent.push(now);
+                    if life.recent.len() == self.trips_window
+                        && now - life.recent[0] <= self.window_ops
+                    {
+                        life.pingpong += 1;
+                    }
+                }
+                life.out_of_ml0 = false;
+            } else if from == MemLevel::Ml0 {
+                life.out_of_ml0 = true;
+            }
+            // Group residency tracks ML0 membership.
+            if let Some(Some(res)) = self.groups.get_mut(mc as usize) {
+                let g = (page % res.num_groups) as usize;
+                if dest == MemLevel::Ml0 {
+                    res.cur[g] += 1;
+                    res.peak[g] = res.peak[g].max(res.cur[g]);
+                } else if from == MemLevel::Ml0 {
+                    res.cur[g] = res.cur[g].saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Distinct pages with any recorded history.
+    pub fn pages_tracked(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Pages whose ping-pong predicate fired at least once.
+    pub fn pingpong_pages(&self) -> u64 {
+        self.pages.values().filter(|l| l.pingpong > 0).count() as u64
+    }
+
+    /// Per-level dwell/occupancy rows, open intervals closed at the
+    /// current ops clock. Order follows [`LEVELS`].
+    pub fn level_rows(&self) -> [LevelRow; LEVELS.len()] {
+        let now = self.clock.get();
+        let mut rows = [LevelRow::default(); LEVELS.len()];
+        for (i, (&level, row)) in LEVELS.iter().zip(rows.iter_mut()).enumerate() {
+            row.level = level;
+            row.entries = self.level_entries[i];
+        }
+        for life in self.pages.values() {
+            for (i, row) in rows.iter_mut().enumerate() {
+                row.dwell_ops += life.dwell[i];
+            }
+            if let Some(i) = level_index(life.level) {
+                rows[i].dwell_ops += now - life.since;
+                rows[i].resident_pages += 1;
+            }
+        }
+        rows
+    }
+
+    /// The `top_n` round-trippiest pages, most trips first, ties broken by
+    /// `(mc, page)` so the output is deterministic.
+    pub fn top_pingpong(&self, top_n: usize) -> Vec<PingPongRow> {
+        let mut rows: Vec<PingPongRow> = self
+            .pages
+            .iter()
+            .filter(|(_, l)| l.trips > 0)
+            .map(|(&(mc, page), l)| PingPongRow {
+                mc,
+                page,
+                trips: l.trips,
+                pingpong_events: l.pingpong,
+                promotions: l.events[event_index(McEvent::Promotion)],
+                demotions: l.events[event_index(McEvent::Demotion)],
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.trips
+                .cmp(&a.trips)
+                .then(a.mc.cmp(&b.mc))
+                .then(a.page.cmp(&b.page))
+        });
+        rows.truncate(top_n);
+        rows
+    }
+
+    /// Histogram of per-group **peak** ML0 residency, aggregated across
+    /// MCs: `(peak, number of groups that reached it)`, ascending, only
+    /// non-empty buckets.
+    pub fn residency_histogram(&self) -> Vec<(u32, u64)> {
+        let mut hist: HashMap<u32, u64> = HashMap::new();
+        for state in self.groups.iter().flatten() {
+            for &p in &state.peak {
+                *hist.entry(p).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(u32, u64)> = hist.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether any MC has a residency histogram configured.
+    pub fn has_groups(&self) -> bool {
+        self.groups.iter().any(|g| g.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(clock: &Rc<Cell<u64>>) -> Provenance {
+        let mut p = Provenance::new(clock.clone(), 2, 100);
+        p.configure_mc(
+            0,
+            Some(CteCacheGeometry {
+                capacity_bytes: 4096,
+                ways: 2,
+                block_bytes: 64,
+                group_size: 3,
+                num_groups: 4,
+            }),
+        );
+        p
+    }
+
+    #[test]
+    fn dwell_accumulates_per_level() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock);
+        p.record(0, McEvent::Promotion, 7); // ML0 at t=0
+        clock.set(10);
+        p.record(0, McEvent::Demotion, 7); // ML1 at t=10
+        clock.set(25);
+        let rows = p.level_rows();
+        assert_eq!(rows[0].dwell_ops, 10, "ML0: 0..10");
+        assert_eq!(rows[1].dwell_ops, 15, "ML1: 10..25 (open, closed at now)");
+        assert_eq!(rows[1].resident_pages, 1);
+        assert_eq!(rows[0].entries, 1);
+        assert_eq!(rows[1].entries, 1);
+    }
+
+    #[test]
+    fn expansion_and_compaction_map_to_ml1_ml2() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock);
+        p.record(0, McEvent::Expansion, 3);
+        clock.set(5);
+        p.record(0, McEvent::Compaction, 3);
+        clock.set(9);
+        let rows = p.level_rows();
+        assert_eq!(rows[1].dwell_ops, 5);
+        assert_eq!(rows[2].dwell_ops, 4);
+        assert_eq!(rows[2].resident_pages, 1);
+    }
+
+    #[test]
+    fn displacement_changes_nothing_but_the_count() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock);
+        p.record(0, McEvent::Promotion, 1);
+        p.record(0, McEvent::Displacement, 1);
+        let rows = p.level_rows();
+        assert_eq!(rows[0].resident_pages, 1);
+        assert_eq!(p.pages_tracked(), 1);
+    }
+
+    #[test]
+    fn round_trips_and_pingpong_window() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock); // K=2 trips within W=100 ops
+        for (t, ev) in [
+            (0u64, McEvent::Promotion),
+            (10, McEvent::Demotion),
+            (20, McEvent::Promotion), // trip 1 @20
+            (30, McEvent::Demotion),
+            (40, McEvent::Promotion), // trip 2 @40: 2 trips in 20 ops
+        ] {
+            clock.set(t);
+            p.record(0, ev, 5);
+        }
+        let top = p.top_pingpong(8);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].trips, 2);
+        assert_eq!(top[0].pingpong_events, 1);
+        assert_eq!(p.pingpong_pages(), 1);
+
+        // Outside the window: trips accrue, the predicate stays quiet.
+        let clock2 = Rc::new(Cell::new(0u64));
+        let mut q = tracker(&clock2);
+        for (t, ev) in [
+            (0u64, McEvent::Promotion),
+            (10, McEvent::Demotion),
+            (20, McEvent::Promotion),
+            (30, McEvent::Demotion),
+            (500, McEvent::Promotion), // 2nd trip 480 ops after the 1st
+        ] {
+            clock2.set(t);
+            q.record(0, ev, 5);
+        }
+        assert_eq!(q.top_pingpong(8)[0].trips, 2);
+        assert_eq!(q.top_pingpong(8)[0].pingpong_events, 0);
+        assert_eq!(q.pingpong_pages(), 0);
+    }
+
+    #[test]
+    fn repeated_same_level_events_do_not_double_count() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock);
+        p.record(0, McEvent::Promotion, 9);
+        clock.set(4);
+        p.record(0, McEvent::Promotion, 9); // already ML0: no transition
+        let rows = p.level_rows();
+        assert_eq!(rows[0].entries, 1);
+        assert_eq!(p.top_pingpong(4).len(), 0, "no demotion, no trip");
+    }
+
+    #[test]
+    fn top_pingpong_order_is_deterministic() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock);
+        for page in [11u64, 3, 7] {
+            for (t, ev) in [
+                (0u64, McEvent::Promotion),
+                (1, McEvent::Demotion),
+                (2, McEvent::Promotion),
+            ] {
+                clock.set(t);
+                p.record(0, ev, page);
+            }
+        }
+        let pages: Vec<u64> = p.top_pingpong(10).iter().map(|r| r.page).collect();
+        assert_eq!(pages, [3, 7, 11], "equal trips tie-break on page id");
+        assert_eq!(p.top_pingpong(2).len(), 2);
+    }
+
+    #[test]
+    fn residency_histogram_tracks_peak_per_group() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = tracker(&clock); // num_groups = 4
+                                     // Pages 0 and 4 share group 0; pages 1 stays alone in group 1.
+        p.record(0, McEvent::Promotion, 0);
+        p.record(0, McEvent::Promotion, 4);
+        p.record(0, McEvent::Promotion, 1);
+        p.record(0, McEvent::Demotion, 4); // peak of group 0 stays 2
+        let hist = p.residency_histogram();
+        // Groups 2 and 3 never held a page (peak 0), group 1 peaked at 1,
+        // group 0 peaked at 2.
+        assert_eq!(hist, vec![(0, 2), (1, 1), (2, 1)]);
+        assert!(p.has_groups());
+    }
+
+    #[test]
+    fn unconfigured_mc_is_tracked_without_groups() {
+        let clock = Rc::new(Cell::new(0u64));
+        let mut p = Provenance::new(clock, 4, 1000);
+        p.configure_mc(0, None);
+        p.record(0, McEvent::Promotion, 1);
+        assert_eq!(p.pages_tracked(), 1);
+        assert!(!p.has_groups());
+        assert!(p.residency_histogram().is_empty());
+    }
+}

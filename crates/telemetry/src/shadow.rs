@@ -1,0 +1,661 @@
+//! Shadow CTE-cache tag arrays and miss classification.
+//!
+//! Every real CTE-cache operation reaches this module as a
+//! [`CteRecord`](dylect_sim_core::probe::CteRecord): the real cache's
+//! outcome (hit/miss) plus the scheme's fill policy for that operation. The
+//! shadows replay the identical stream against counterfactual geometries —
+//! Victima-style shadow structures — without ever feeding anything back
+//! into the simulation:
+//!
+//! - an **infinite-capacity** shadow (a set of every key ever looked up);
+//! - a **fully-associative** shadow of the real capacity;
+//! - a sweep of {2× size, 4× size, 2× associativity} set-associative
+//!   shadows.
+//!
+//! From the infinite and fully-associative outcomes, every *real* miss is
+//! classified into the classic 3C partition, pinned by construction to be
+//! exhaustive and exclusive:
+//!
+//! - **compulsory** — the infinite shadow never saw the key (first
+//!   reference);
+//! - **conflict** — seen before *and* the same-capacity fully-associative
+//!   shadow holds it (only the set restriction lost it);
+//! - **capacity** — everything else (even unbounded associativity at the
+//!   real capacity would have evicted it).
+//!
+//! All shadows obey the real scheme's fill policy (`fill_on_miss`): DyLeCT
+//! deliberately skips caching unified blocks for ML0 pages, and a
+//! counterfactual cache running the same policy must skip them too —
+//! otherwise the sweep would answer a different question than "what would
+//! a bigger cache have bought *this* scheme". [`CteOp::Touch`] operations
+//! (metadata writes) refresh recency where resident but never allocate,
+//! matching the real cache's `probe`+`fill` write path.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use dylect_memctl::controller::CteCacheGeometry;
+use dylect_sim_core::probe::{CteBlockKind, CteOp, CteRecord};
+
+/// Labels of the counterfactual configurations, in display order.
+/// `real` is the actual cache (from the record stream), the rest are
+/// shadows.
+pub const CONFIG_LABELS: [&str; 6] = [
+    "real",
+    "full_assoc",
+    "x2_size",
+    "x4_size",
+    "x2_assoc",
+    "infinite",
+];
+
+const KINDS: usize = CteBlockKind::ALL.len();
+
+/// A fully-associative LRU tag array, stamp-ordered so lookups cost
+/// `O(log capacity)` instead of a linear victim scan.
+#[derive(Clone, Debug)]
+struct FullAssocShadow {
+    capacity: usize,
+    stamp_of: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+    clock: u64,
+}
+
+impl FullAssocShadow {
+    fn new(capacity: usize) -> Self {
+        FullAssocShadow {
+            capacity: capacity.max(1),
+            stamp_of: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn refresh(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        match self.stamp_of.get(&key).copied() {
+            Some(old) => {
+                self.by_stamp.remove(&old);
+                self.by_stamp.insert(self.clock, key);
+                self.stamp_of.insert(key, self.clock);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One lookup: returns the pre-update hit outcome, then applies the
+    /// recency update / policy-gated fill.
+    fn lookup(&mut self, key: u64, fill_on_miss: bool) -> bool {
+        if self.refresh(key) {
+            return true;
+        }
+        if fill_on_miss {
+            if self.stamp_of.len() >= self.capacity {
+                let (&stamp, &victim) = self.by_stamp.iter().next().expect("non-empty at capacity");
+                self.by_stamp.remove(&stamp);
+                self.stamp_of.remove(&victim);
+            }
+            self.stamp_of.insert(key, self.clock);
+            self.by_stamp.insert(self.clock, key);
+        }
+        false
+    }
+}
+
+/// A set-associative LRU tag array (tags + stamps only).
+#[derive(Clone, Debug)]
+struct SetAssocShadow {
+    /// Per set: up to `ways` resident `(key, stamp)` pairs.
+    sets: Vec<Vec<(u64, u64)>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl SetAssocShadow {
+    fn new(capacity_bytes: u64, ways: u32, block_bytes: u64) -> Self {
+        let lines = (capacity_bytes / block_bytes).max(1);
+        let ways = (ways as u64).min(lines).max(1) as usize;
+        let num_sets = (lines / ways as u64).max(1) as usize;
+        SetAssocShadow {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+            clock: 0,
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key % self.sets.len() as u64) as usize
+    }
+
+    fn refresh(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(key);
+        match self.sets[set].iter_mut().find(|(k, _)| *k == key) {
+            Some(line) => {
+                line.1 = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn lookup(&mut self, key: u64, fill_on_miss: bool) -> bool {
+        if self.refresh(key) {
+            return true;
+        }
+        if fill_on_miss {
+            let clock = self.clock;
+            let ways = self.ways;
+            let set = self.set_of(key);
+            let lines = &mut self.sets[set];
+            if lines.len() >= ways {
+                let victim = lines
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, stamp))| *stamp)
+                    .map(|(i, _)| i)
+                    .expect("full set is non-empty");
+                lines.swap_remove(victim);
+            }
+            lines.push((key, clock));
+        }
+        false
+    }
+}
+
+/// Hit/lookup tally of one configuration.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConfigTally {
+    /// Lookups that hit this configuration.
+    pub hits: u64,
+    /// Lookups replayed against this configuration.
+    pub lookups: u64,
+}
+
+impl ConfigTally {
+    /// Hit rate (0 if no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Per-block-kind miss classification of the real cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct MissClasses {
+    /// Real-cache lookups that hit.
+    pub real_hits: u64,
+    /// Real-cache lookups that missed (partition denominator).
+    pub real_misses: u64,
+    /// First-ever reference to the key.
+    pub compulsory: u64,
+    /// Would have missed even fully-associatively at the real capacity.
+    pub capacity: u64,
+    /// Held by the fully-associative shadow: the set restriction lost it.
+    pub conflict: u64,
+}
+
+impl MissClasses {
+    fn merge(&mut self, o: &MissClasses) {
+        self.real_hits += o.real_hits;
+        self.real_misses += o.real_misses;
+        self.compulsory += o.compulsory;
+        self.capacity += o.capacity;
+        self.conflict += o.conflict;
+    }
+}
+
+/// One shadowed configuration's descriptor + tally (for the sweep table).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ConfigRow {
+    /// Stable label from [`CONFIG_LABELS`].
+    pub label: &'static str,
+    /// Capacity in bytes (`u64::MAX` for the infinite shadow).
+    pub capacity_bytes: u64,
+    /// Associativity (0 = fully associative / unbounded).
+    pub ways: u32,
+    /// Hit/lookup tally.
+    pub tally: ConfigTally,
+}
+
+/// The shadow tag arrays of one memory controller's CTE cache.
+#[derive(Clone, Debug)]
+pub struct McShadow {
+    geometry: CteCacheGeometry,
+    /// Every key ever looked up (compulsory-miss oracle).
+    seen: HashSet<u64>,
+    full_assoc: FullAssocShadow,
+    sweep: [SetAssocShadow; 3],
+    /// Tallies indexed like [`CONFIG_LABELS`].
+    tallies: [ConfigTally; CONFIG_LABELS.len()],
+    classes: [MissClasses; KINDS],
+    touches: u64,
+}
+
+/// Indices into `tallies`, matching [`CONFIG_LABELS`].
+const REAL: usize = 0;
+const FULL_ASSOC: usize = 1;
+const X2_SIZE: usize = 2;
+const X4_SIZE: usize = 3;
+const X2_ASSOC: usize = 4;
+const INFINITE: usize = 5;
+
+impl McShadow {
+    /// Builds the shadow set for one real CTE-cache geometry.
+    pub fn new(geometry: CteCacheGeometry) -> Self {
+        let g = geometry;
+        let lines = (g.capacity_bytes / g.block_bytes).max(1) as usize;
+        McShadow {
+            geometry,
+            seen: HashSet::new(),
+            full_assoc: FullAssocShadow::new(lines),
+            sweep: [
+                SetAssocShadow::new(2 * g.capacity_bytes, g.ways, g.block_bytes),
+                SetAssocShadow::new(4 * g.capacity_bytes, g.ways, g.block_bytes),
+                SetAssocShadow::new(g.capacity_bytes, 2 * g.ways, g.block_bytes),
+            ],
+            tallies: [ConfigTally::default(); CONFIG_LABELS.len()],
+            classes: [MissClasses::default(); KINDS],
+            touches: 0,
+        }
+    }
+
+    /// The real geometry these shadows counterfact.
+    pub fn geometry(&self) -> CteCacheGeometry {
+        self.geometry
+    }
+
+    /// Replays one probe record against every shadow and classifies the
+    /// real outcome.
+    pub fn record(&mut self, rec: &CteRecord) {
+        match rec.op {
+            CteOp::Touch => {
+                // Writes refresh recency where resident but never allocate
+                // (the real path is `probe` + dirty `fill`-if-present).
+                self.full_assoc.refresh(rec.key);
+                for arr in &mut self.sweep {
+                    arr.refresh(rec.key);
+                }
+                self.touches += 1;
+            }
+            CteOp::Lookup { hit, fill_on_miss } => {
+                let first_ref = self.seen.insert(rec.key);
+                let fa_hit = self.full_assoc.lookup(rec.key, fill_on_miss);
+                let sweep_hits = [
+                    self.sweep[0].lookup(rec.key, fill_on_miss),
+                    self.sweep[1].lookup(rec.key, fill_on_miss),
+                    self.sweep[2].lookup(rec.key, fill_on_miss),
+                ];
+                for (i, h) in [
+                    (REAL, hit),
+                    (FULL_ASSOC, fa_hit),
+                    (X2_SIZE, sweep_hits[0]),
+                    (X4_SIZE, sweep_hits[1]),
+                    (X2_ASSOC, sweep_hits[2]),
+                    (INFINITE, !first_ref),
+                ] {
+                    self.tallies[i].lookups += 1;
+                    self.tallies[i].hits += h as u64;
+                }
+                let c = &mut self.classes[rec.kind.index()];
+                if hit {
+                    c.real_hits += 1;
+                } else {
+                    c.real_misses += 1;
+                    // The 3C partition: exhaustive and exclusive by
+                    // construction — exactly one arm runs per real miss.
+                    if first_ref {
+                        c.compulsory += 1;
+                    } else if fa_hit {
+                        c.conflict += 1;
+                    } else {
+                        c.capacity += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Miss classification for one block kind.
+    pub fn classes(&self, kind: CteBlockKind) -> MissClasses {
+        self.classes[kind.index()]
+    }
+
+    /// Miss classification summed over both block kinds.
+    pub fn classes_total(&self) -> MissClasses {
+        let mut t = MissClasses::default();
+        for c in &self.classes {
+            t.merge(c);
+        }
+        t
+    }
+
+    /// Touch (metadata write) operations replayed.
+    pub fn touches(&self) -> u64 {
+        self.touches
+    }
+
+    /// All configurations with their geometry and tallies, in
+    /// [`CONFIG_LABELS`] order.
+    pub fn config_rows(&self) -> Vec<ConfigRow> {
+        let g = self.geometry;
+        let geoms = [
+            (g.capacity_bytes, g.ways),
+            (g.capacity_bytes, 0),
+            (2 * g.capacity_bytes, g.ways),
+            (4 * g.capacity_bytes, g.ways),
+            (g.capacity_bytes, 2 * g.ways),
+            (u64::MAX, 0),
+        ];
+        CONFIG_LABELS
+            .iter()
+            .zip(geoms)
+            .zip(self.tallies)
+            .map(|((&label, (capacity_bytes, ways)), tally)| ConfigRow {
+                label,
+                capacity_bytes,
+                ways,
+                tally,
+            })
+            .collect()
+    }
+}
+
+/// The per-MC shadow sets of one run. MCs without a CTE cache (the
+/// no-compression baseline) stay `None` and their records — there are none
+/// — would be ignored.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowState {
+    per_mc: Vec<Option<McShadow>>,
+}
+
+impl ShadowState {
+    /// Installs (or clears) the shadow set of one MC.
+    pub fn configure_mc(&mut self, mc: usize, geometry: Option<CteCacheGeometry>) {
+        if self.per_mc.len() <= mc {
+            self.per_mc.resize_with(mc + 1, || None);
+        }
+        self.per_mc[mc] = geometry.map(McShadow::new);
+    }
+
+    /// Whether any MC has shadows installed.
+    pub fn is_active(&self) -> bool {
+        self.per_mc.iter().any(|s| s.is_some())
+    }
+
+    /// Routes one record to its MC's shadows.
+    pub fn record(&mut self, mc: u32, rec: &CteRecord) {
+        if let Some(Some(s)) = self.per_mc.get_mut(mc as usize) {
+            s.record(rec);
+        }
+    }
+
+    /// Per-MC shadows, for detailed inspection.
+    pub fn mcs(&self) -> impl Iterator<Item = (usize, &McShadow)> {
+        self.per_mc
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+    }
+
+    /// Miss classification for one kind, summed across MCs.
+    pub fn classes(&self, kind: CteBlockKind) -> MissClasses {
+        let mut t = MissClasses::default();
+        for (_, s) in self.mcs() {
+            t.merge(&s.classes(kind));
+        }
+        t
+    }
+
+    /// Miss classification over all kinds and MCs.
+    pub fn classes_total(&self) -> MissClasses {
+        let mut t = MissClasses::default();
+        for (_, s) in self.mcs() {
+            t.merge(&s.classes_total());
+        }
+        t
+    }
+
+    /// Configuration rows summed across MCs (geometries are per-run
+    /// uniform, so labels merge 1:1).
+    pub fn config_rows(&self) -> Vec<ConfigRow> {
+        let mut rows: Vec<ConfigRow> = Vec::new();
+        for (_, s) in self.mcs() {
+            for r in s.config_rows() {
+                match rows.iter_mut().find(|x| x.label == r.label) {
+                    Some(x) => {
+                        x.tally.hits += r.tally.hits;
+                        x.tally.lookups += r.tally.lookups;
+                    }
+                    None => rows.push(r),
+                }
+            }
+        }
+        rows
+    }
+
+    /// Touches replayed across all MCs.
+    pub fn touches(&self) -> u64 {
+        self.mcs().map(|(_, s)| s.touches()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(capacity_bytes: u64, ways: u32) -> CteCacheGeometry {
+        CteCacheGeometry {
+            capacity_bytes,
+            ways,
+            block_bytes: 64,
+            group_size: 3,
+            num_groups: 100,
+        }
+    }
+
+    fn lookup(kind: CteBlockKind, key: u64, hit: bool, fill: bool) -> CteRecord {
+        CteRecord {
+            kind,
+            op: CteOp::Lookup {
+                hit,
+                fill_on_miss: fill,
+            },
+            key,
+        }
+    }
+
+    #[test]
+    fn first_reference_is_compulsory() {
+        let mut s = McShadow::new(geom(4096, 2));
+        s.record(&lookup(CteBlockKind::Unified, 1, false, true));
+        let c = s.classes(CteBlockKind::Unified);
+        assert_eq!(c.compulsory, 1);
+        assert_eq!(c.capacity + c.conflict, 0);
+    }
+
+    #[test]
+    fn conflict_requires_full_assoc_hit() {
+        // 2 sets x 2 ways = 4 lines. Keys 0,2,4,6 all map to set 0; a
+        // fully-associative cache of 4 lines holds all of them.
+        let mut s = McShadow::new(geom(256, 2));
+        for k in [0u64, 2, 4] {
+            s.record(&lookup(CteBlockKind::Unified, k, false, true));
+        }
+        // Key 0 was evicted from set 0 of the real cache (2 ways), but the
+        // 4-line FA shadow still holds it: conflict.
+        s.record(&lookup(CteBlockKind::Unified, 0, false, true));
+        let c = s.classes(CteBlockKind::Unified);
+        assert_eq!(c.compulsory, 3);
+        assert_eq!(c.conflict, 1);
+        assert_eq!(c.capacity, 0);
+    }
+
+    #[test]
+    fn capacity_miss_when_even_full_assoc_lost_it() {
+        // 4 lines; stream 5 distinct keys then revisit the first.
+        let mut s = McShadow::new(geom(256, 2));
+        for k in 0..5u64 {
+            s.record(&lookup(CteBlockKind::Pregathered, k, false, true));
+        }
+        s.record(&lookup(CteBlockKind::Pregathered, 0, false, true));
+        let c = s.classes(CteBlockKind::Pregathered);
+        assert_eq!(c.compulsory, 5);
+        assert_eq!(c.capacity, 1);
+        assert_eq!(c.conflict, 0);
+    }
+
+    #[test]
+    fn classes_partition_real_misses() {
+        // Pseudo-random stream: the three classes must sum to the real
+        // misses exactly, whatever the mix.
+        let mut s = McShadow::new(geom(512, 2));
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for i in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 37;
+            let hit = x & 2 != 0;
+            let fill = x & 4 != 0;
+            let kind = if x & 8 != 0 {
+                CteBlockKind::Pregathered
+            } else {
+                CteBlockKind::Unified
+            };
+            if i % 11 == 0 {
+                s.record(&CteRecord {
+                    kind,
+                    op: CteOp::Touch,
+                    key,
+                });
+            } else {
+                s.record(&lookup(kind, key, hit, fill));
+            }
+        }
+        for kind in CteBlockKind::ALL {
+            let c = s.classes(kind);
+            assert_eq!(
+                c.compulsory + c.capacity + c.conflict,
+                c.real_misses,
+                "{}",
+                kind.name()
+            );
+        }
+        let t = s.classes_total();
+        assert_eq!(t.compulsory + t.capacity + t.conflict, t.real_misses);
+        assert_eq!(
+            t.real_hits + t.real_misses,
+            s.config_rows()[0].tally.lookups
+        );
+    }
+
+    #[test]
+    fn policy_gated_fill_keeps_shadows_honest() {
+        // A never-filled key misses the shadows forever; since the
+        // infinite oracle has seen it, those misses classify as capacity.
+        let mut s = McShadow::new(geom(4096, 2));
+        s.record(&lookup(CteBlockKind::Unified, 9, false, false));
+        s.record(&lookup(CteBlockKind::Unified, 9, false, false));
+        let c = s.classes(CteBlockKind::Unified);
+        assert_eq!(c.compulsory, 1);
+        assert_eq!(c.capacity, 1);
+        let rows = s.config_rows();
+        assert_eq!(rows[FULL_ASSOC].tally.hits, 0);
+        assert_eq!(rows[INFINITE].tally.hits, 1);
+    }
+
+    #[test]
+    fn touch_refreshes_recency_but_never_allocates() {
+        // 1 set x 2 ways. Fill 0 and 1; touch 0 (making 1 the LRU); fill 2
+        // must evict 1, so 0 still hits.
+        let mut s = McShadow::new(geom(128, 2));
+        s.record(&lookup(CteBlockKind::Unified, 0, false, true));
+        s.record(&lookup(CteBlockKind::Unified, 1, false, true));
+        s.record(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Touch,
+            key: 0,
+        });
+        s.record(&lookup(CteBlockKind::Unified, 2, false, true));
+        let rows_before = s.config_rows()[X2_ASSOC].tally;
+        s.record(&lookup(CteBlockKind::Unified, 0, false, true));
+        let rows_after = s.config_rows()[X2_ASSOC].tally;
+        assert_eq!(rows_after.hits, rows_before.hits + 1, "0 was kept by LRU");
+        // A touch to an absent key allocates nothing anywhere.
+        s.record(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Touch,
+            key: 999,
+        });
+        s.record(&lookup(CteBlockKind::Unified, 999, false, false));
+        assert_eq!(s.classes_total().compulsory, 4, "999 was a first ref");
+        assert_eq!(s.touches(), 2);
+    }
+
+    #[test]
+    fn bigger_shadows_never_hit_less_than_infinite_allows() {
+        let mut s = McShadow::new(geom(256, 2));
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s.record(&lookup(CteBlockKind::Unified, (x >> 33) % 29, false, true));
+        }
+        let rows = s.config_rows();
+        let inf = rows[INFINITE].tally.hits;
+        for r in &rows[FULL_ASSOC..INFINITE] {
+            assert!(
+                r.tally.hits <= inf,
+                "{} hits {} > infinite {}",
+                r.label,
+                r.tally.hits,
+                inf
+            );
+        }
+        assert!(rows[X4_SIZE].tally.hits >= rows[X2_SIZE].tally.hits);
+    }
+
+    #[test]
+    fn state_routes_and_aggregates_per_mc() {
+        let mut st = ShadowState::default();
+        assert!(!st.is_active());
+        st.configure_mc(0, Some(geom(4096, 2)));
+        st.configure_mc(1, Some(geom(4096, 2)));
+        st.configure_mc(2, None);
+        assert!(st.is_active());
+        st.record(0, &lookup(CteBlockKind::Unified, 1, false, true));
+        st.record(1, &lookup(CteBlockKind::Unified, 1, false, true));
+        st.record(2, &lookup(CteBlockKind::Unified, 1, false, true)); // ignored
+        let t = st.classes_total();
+        assert_eq!(t.real_misses, 2);
+        assert_eq!(t.compulsory, 2, "per-MC shadows are independent");
+        let rows = st.config_rows();
+        assert_eq!(rows.len(), CONFIG_LABELS.len());
+        assert_eq!(rows[0].tally.lookups, 2);
+    }
+
+    #[test]
+    fn config_labels_are_stable() {
+        // Export formats and `dylect-stats` key on these strings.
+        assert_eq!(
+            CONFIG_LABELS,
+            [
+                "real",
+                "full_assoc",
+                "x2_size",
+                "x4_size",
+                "x2_assoc",
+                "infinite"
+            ]
+        );
+        let s = McShadow::new(geom(4096, 2));
+        let labels: Vec<&str> = s.config_rows().iter().map(|r| r.label).collect();
+        assert_eq!(labels, CONFIG_LABELS);
+    }
+}

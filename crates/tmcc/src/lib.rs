@@ -40,12 +40,16 @@ use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_compression::latency::decompression_latency;
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, DramOp, RequestClass};
-use dylect_memctl::controller::{AccessBreakdown, McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_memctl::controller::{
+    AccessBreakdown, CteCacheGeometry, McResponse, McStats, MemoryScheme, Occupancy,
+};
 use dylect_memctl::layout::{LayoutOptions, McLayout};
 use dylect_memctl::recency::TOUCH_PERIOD;
 use dylect_memctl::store::CompressedStore;
 use dylect_memctl::{PageState, CTE_CACHE_HIT_LATENCY};
-use dylect_sim_core::probe::{McEvent, MemLevel, ProbeHandle, TranslationPath};
+use dylect_sim_core::probe::{
+    CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
+};
 use dylect_sim_core::{MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 /// Configuration of a [`Tmcc`] controller.
@@ -157,9 +161,25 @@ impl Tmcc {
     fn translate(&mut self, now: Time, granule: u64, dram: &mut Dram) -> (Time, bool) {
         let key = self.layout.unified_block_key(granule);
         if self.cte_cache.access(key) {
+            self.probe.emit_cte(&CteRecord {
+                kind: CteBlockKind::Unified,
+                op: CteOp::Lookup {
+                    hit: true,
+                    fill_on_miss: false,
+                },
+                key,
+            });
             self.stats.cte_hits_unified.incr();
             return (now + CTE_CACHE_HIT_LATENCY, false);
         }
+        self.probe.emit_cte(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Lookup {
+                hit: false,
+                fill_on_miss: true,
+            },
+            key,
+        });
         self.stats.cte_misses.incr();
         let addr = self.layout.unified_block_addr(granule);
         let done = dram.access(now, addr, DramOp::Read, RequestClass::CteFetch);
@@ -183,6 +203,11 @@ impl Tmcc {
             let addr = self.layout.unified_block_addr(granule);
             dram.access(now, addr, DramOp::Write, RequestClass::CteFetch);
         }
+        self.probe.emit_cte(&CteRecord {
+            kind: CteBlockKind::Unified,
+            op: CteOp::Touch,
+            key,
+        });
     }
 
     /// Expands every compressed page of `granule`; returns when the data is
@@ -319,6 +344,17 @@ impl MemoryScheme for Tmcc {
 
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    fn cte_cache_geometry(&self) -> Option<CteCacheGeometry> {
+        let c = self.cte_cache.config();
+        Some(CteCacheGeometry {
+            capacity_bytes: c.capacity_bytes,
+            ways: c.ways,
+            block_bytes: c.block_bytes,
+            group_size: 0,
+            num_groups: 0,
+        })
     }
 
     fn stats(&self) -> &McStats {

@@ -72,6 +72,82 @@ fn telemetry_does_not_perturb_the_simulation() {
 }
 
 #[test]
+fn shadow_probing_does_not_perturb_the_simulation() {
+    // Shadow CTE caches, miss classification, and page provenance are all
+    // counterfactual bookkeeping: turning them on must leave the simulated
+    // run byte-identical.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let run = |shadow: bool| {
+        let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        let mut sys = System::new(cfg, &spec);
+        if shadow {
+            sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+                shadow: true,
+                span_sample: 16,
+                ..dylect_telemetry::TelemetryConfig::default()
+            });
+        }
+        sys.run(mode.warmup_ops, mode.measure_ops)
+    };
+    assert_eq!(
+        run(false).to_cache_text(),
+        run(true).to_cache_text(),
+        "shadow probing changed the simulated run"
+    );
+}
+
+#[test]
+fn shadow_exports_are_deterministic() {
+    // Two identical runs with shadows + provenance enabled must write
+    // byte-identical telemetry exports — the property `tools/verify.sh`
+    // smoke-checks end-to-end via `dylect-stats diff`.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let export = |tag: &str| {
+        let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        let mut sys = System::new(cfg, &spec);
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+            shadow: true,
+            span_sample: 16,
+            ..dylect_telemetry::TelemetryConfig::default()
+        });
+        sys.run(mode.warmup_ops, mode.measure_ops);
+        let telemetry = sys.take_telemetry().expect("enabled above");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-shadow-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("omnetpp-dylect"))
+            .expect("export writes");
+        assert!(
+            paths.iter().any(|p| p
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".shadow.jsonl"))),
+            "shadow export missing from {paths:?}"
+        );
+        let contents: Vec<(String, String)> = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    let a = export("a");
+    let b = export("b");
+    assert_eq!(a.len(), b.len());
+    for ((name_a, body_a), (name_b, body_b)) in a.iter().zip(&b) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(body_a, body_b, "{name_a} differs between identical runs");
+    }
+}
+
+#[test]
 fn attribution_conserves_cycles_for_every_scheme() {
     // Aggregate conservation: for each scheme and each scope, the summed
     // per-component cycle totals must equal the summed end-to-end latency

@@ -246,6 +246,79 @@ fn trace_roundtrip() {
     });
 }
 
+/// The shadow 3C classification exactly partitions the misses of a *real*
+/// set-associative cache: compulsory + capacity + conflict == misses, per
+/// CTE-block kind and in total, for arbitrary key streams, arbitrary
+/// interleavings of pre-gathered and unified lookups, policy-gated fills
+/// (`fill_on_miss: false` paths), and recency-only touches.
+#[test]
+fn shadow_classes_partition_real_cache_misses() {
+    use dylect_memctl::CteCacheGeometry;
+    use dylect_sim_core::probe::{CteBlockKind, CteOp, CteRecord};
+    use dylect_telemetry::McShadow;
+    forall(
+        "shadow_classes_partition_real_cache_misses",
+        DEFAULT_CASES,
+        |g| {
+            // Small geometry so capacity and conflict misses actually occur.
+            let ways = 1 << g.range(0, 3) as u32; // 1, 2, 4, or 8 ways
+            let geometry = CteCacheGeometry {
+                capacity_bytes: 16 * 64,
+                ways,
+                block_bytes: 64,
+                group_size: 0,
+                num_groups: 0,
+            };
+            let mut cache: SetAssocCache =
+                SetAssocCache::new(CacheConfig::lru(geometry.capacity_bytes, ways, 64));
+            let mut shadow = McShadow::new(geometry);
+            let mut real_hits = [0u64; 2];
+            let mut real_misses = [0u64; 2];
+            let events = g.vec(1, 499, |g| (g.u64_below(96), g.u64_below(16)));
+            for (key, action) in events {
+                let kind = if key % 2 == 0 {
+                    CteBlockKind::Pregathered
+                } else {
+                    CteBlockKind::Unified
+                };
+                let op = if action == 0 {
+                    CteOp::Touch
+                } else {
+                    // The real cache is the source of truth for hit/miss; the
+                    // shadow only observes. Every fourth lookup models a
+                    // policy-gated path that skips the fill after a miss.
+                    let hit = cache.access(key);
+                    let fill_on_miss = action % 4 != 1;
+                    if hit {
+                        real_hits[kind.index()] += 1;
+                    } else {
+                        real_misses[kind.index()] += 1;
+                        if fill_on_miss {
+                            cache.fill(key, false, ());
+                        }
+                    }
+                    CteOp::Lookup { hit, fill_on_miss }
+                };
+                shadow.record(&CteRecord { kind, op, key });
+            }
+            for kind in CteBlockKind::ALL {
+                let c = shadow.classes(kind);
+                prop_ensure_eq!(c.real_hits, real_hits[kind.index()]);
+                prop_ensure_eq!(c.real_misses, real_misses[kind.index()]);
+                prop_ensure!(
+                    c.compulsory + c.capacity + c.conflict == c.real_misses,
+                    "{}: 3C classes must partition the real misses",
+                    kind.name()
+                );
+            }
+            let t = shadow.classes_total();
+            prop_ensure_eq!(t.real_misses, real_misses.iter().sum::<u64>());
+            prop_ensure_eq!(t.compulsory + t.capacity + t.conflict, t.real_misses);
+            Ok(())
+        },
+    );
+}
+
 /// Cycle accounting is conservative by construction: for any component
 /// split that fits inside the end-to-end latency, `AccessRecord::new`
 /// fills `Other` with exactly the unattributed residual, so the components

@@ -1,21 +1,32 @@
 #!/usr/bin/env bash
-# Snapshots the end-to-end simulator-step microbenchmark into a
-# BENCH_*.json file (first argument; default BENCH_telemetry.json), so
-# telemetry-related changes can be checked against the <=2% step-rate
-# regression budget. Runs fully offline.
+# Snapshots the end-to-end simulator-step microbenchmarks into
+# BENCH_*.json files, so observability changes can be checked against the
+# <=2% step-rate regression budget. Runs fully offline.
+#
+#   $1  probes-off snapshot   (default BENCH_telemetry.json)
+#   $2  shadow-probe snapshot (default BENCH_shadow.json)
+#
+# The first file records `system_step_1000_ops` (telemetry fully off — the
+# budget-carrying number). The second records it next to
+# `system_step_1000_shadow` (shadow CTE caches + provenance attached) and
+# the measured overhead percentage, which is reported, not budgeted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_telemetry.json}"
+SHADOW_OUT="${2:-BENCH_shadow.json}"
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
-RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000_ops")
+RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000")
+BASE=$(echo "$RAW" | grep "system_step_1000_ops")
+SHADOW=$(echo "$RAW" | grep "system_step_1000_shadow" || true)
 
 # Bench line format:
 #   name  <median> ns/iter (min <min>, max <max>, <n> samples x <iters> iters)
-MEDIAN=$(echo "$RAW" | sed -n 's/.*ops[[:space:]]*\([0-9.]*\) ns\/iter.*/\1/p')
-MIN=$(echo "$RAW" | sed -n 's/.*(min \([0-9.]*\).*/\1/p')
-MAX=$(echo "$RAW" | sed -n 's/.*max \([0-9.]*\).*/\1/p')
+parse() { echo "$1" | sed -n "s/.*$2[[:space:]]*\([0-9.]*\) ns\/iter.*/\1/p"; }
+MEDIAN=$(parse "$BASE" ops)
+MIN=$(echo "$BASE" | sed -n 's/.*(min \([0-9.]*\).*/\1/p')
+MAX=$(echo "$BASE" | sed -n 's/.*max \([0-9.]*\).*/\1/p')
 
 if [ -z "$MEDIAN" ]; then
     echo "bench_snapshot: could not parse bench output:" >&2
@@ -34,5 +45,23 @@ cat > "$OUT" <<JSON
   "git_rev": "$GIT_REV"
 }
 JSON
-
 echo "bench_snapshot: wrote $OUT (median $MEDIAN ns/iter)"
+
+SHADOW_MEDIAN=$(parse "$SHADOW" shadow)
+if [ -z "$SHADOW_MEDIAN" ]; then
+    echo "bench_snapshot: no system_step_1000_shadow line; skipping $SHADOW_OUT" >&2
+    exit 0
+fi
+OVERHEAD=$(awk -v b="$MEDIAN" -v s="$SHADOW_MEDIAN" \
+    'BEGIN { printf "%.2f", (s - b) / b * 100 }')
+
+cat > "$SHADOW_OUT" <<JSON
+{
+  "bench": "system_step_1000_shadow",
+  "baseline_median_ns_per_iter": $MEDIAN,
+  "shadow_median_ns_per_iter": $SHADOW_MEDIAN,
+  "shadow_overhead_pct": $OVERHEAD,
+  "git_rev": "$GIT_REV"
+}
+JSON
+echo "bench_snapshot: wrote $SHADOW_OUT (shadow median $SHADOW_MEDIAN ns/iter, overhead ${OVERHEAD}%)"

@@ -40,4 +40,25 @@ for f in "$SMOKE"/a/*.trace.json; do
 done
 echo "telemetry smoke: OK"
 
+echo "== shadow smoke: counterfactual exports diff clean"
+# Same reproducibility bar for the shadow subsystem: two fig_shadow runs
+# (shadow caches, 3C miss classification, page provenance all enabled —
+# fig_shadow also asserts compulsory+capacity+conflict == real misses on
+# every run) must produce byte-identical exports, including .shadow.jsonl.
+for run in a b; do
+    DYLECT_SHADOW=1 DYLECT_QUICK=1 DYLECT_JOBS=2 \
+        cargo run -q --offline --release -p dylect-bench \
+        --bin fig_shadow -- --out "$SMOKE/shadow-$run" >/dev/null
+done
+for f in "$SMOKE"/shadow-a/*.jsonl; do
+    cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+        diff "$f" "$SMOKE/shadow-b/$(basename "$f")" >/dev/null \
+        || { echo "shadow smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+for f in "$SMOKE"/shadow-a/*.trace.json; do
+    cmp -s "$f" "$SMOKE/shadow-b/$(basename "$f")" \
+        || { echo "shadow smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+echo "shadow smoke: OK"
+
 echo "verify: OK"
