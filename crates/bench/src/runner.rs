@@ -167,6 +167,12 @@ impl RunKey {
         let cfg = self.config();
         let warmup = warmup_for(&self.spec, self.mode);
         let mut sys = System::new(cfg, &self.spec);
+        // DYLECT_JOBS also shards within the run: multi-MC configurations
+        // drain independent controllers on worker threads. Reports are
+        // byte-identical for every worker count.
+        if let Some(jobs) = jobs_from_env() {
+            sys.set_jobs(jobs);
+        }
         sys.run(warmup, self.mode.measure_ops)
     }
 
@@ -248,6 +254,39 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
+/// Parses a `DYLECT_JOBS` value: unset is `Ok(None)` (caller picks a
+/// default), a positive integer is `Ok(Some(n))`, and anything else —
+/// garbage text or `0` — is a usage error. A typo in the variable must
+/// fail loudly, not silently serialize a long experiment matrix.
+pub fn parse_jobs(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "DYLECT_JOBS must be a positive worker count, got `{raw}` \
+             (unset it to use every core)"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "DYLECT_JOBS must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
+/// [`parse_jobs`] against the live environment; a malformed value prints a
+/// usage message and exits with status 2.
+pub fn jobs_from_env() -> Option<usize> {
+    let raw = std::env::var("DYLECT_JOBS").ok();
+    match parse_jobs(raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("usage: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The parallel, cached experiment runner.
 pub struct Runner {
     jobs: usize,
@@ -263,10 +302,7 @@ impl Runner {
     /// - `--no-cache` / `DYLECT_NO_CACHE=1` — ignore existing cache entries
     ///   (fresh results are still written, refreshing the cache).
     pub fn from_env() -> Runner {
-        let jobs = std::env::var("DYLECT_JOBS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        let jobs = jobs_from_env()
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         let no_cache = std::env::args().any(|a| a == "--no-cache")
             || std::env::var("DYLECT_NO_CACHE").is_ok_and(|v| v != "0");
@@ -438,6 +474,18 @@ mod tests {
     /// telemetry env vars must perturb the cache fingerprint. (This test
     /// owns `DYLECT_SPAN_SAMPLE`/`DYLECT_SHADOW` mutation in this binary;
     /// keep it the only one touching them to avoid cross-test races.)
+    #[test]
+    fn jobs_parsing_accepts_counts_and_rejects_garbage() {
+        assert_eq!(parse_jobs(None), Ok(None));
+        assert_eq!(parse_jobs(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_jobs(Some(" 8 ")), Ok(Some(8)));
+        assert!(parse_jobs(Some("0")).is_err(), "0 workers cannot run");
+        assert!(parse_jobs(Some("four")).is_err());
+        assert!(parse_jobs(Some("")).is_err());
+        assert!(parse_jobs(Some("-2")).is_err());
+        assert!(parse_jobs(Some("2.5")).is_err());
+    }
+
     #[test]
     fn fingerprint_tracks_telemetry_env_vars() {
         let key = RunKey::new(

@@ -87,13 +87,50 @@ pub struct Evicted<T> {
     pub meta: T,
 }
 
-#[derive(Clone, Debug)]
-struct Line<T> {
-    key: u64,
-    valid: bool,
-    dirty: bool,
-    stamp: u64,
-    meta: T,
+/// Dirty flag, stored in the tag's top bit so a demand access touches no
+/// third array (tags + stamps only).
+const DIRTY_BIT: u64 = 1 << 63;
+
+/// Mask selecting the key part of a tag.
+const TAG_KEY: u64 = DIRTY_BIT - 1;
+
+/// Encodes `key` as a (clean) tag. Tag 0 means "invalid line", so a lookup
+/// is a single compare against `key + 1` with no separate valid bit.
+#[inline]
+fn tag_of(key: u64) -> u64 {
+    debug_assert!(key < TAG_KEY, "key too large for tag encoding");
+    key + 1
+}
+
+/// Bitmask of the ways in `set` whose tag equals `tag` (bit `w` = way `w`).
+///
+/// Branch-free with fixed trip counts for the common associativities, so
+/// the set scan vectorizes instead of mispredicting an early-exit compare
+/// per way.
+#[inline]
+fn match_mask(set: &[u64], tag: u64) -> u32 {
+    #[inline]
+    fn fixed<const W: usize>(set: &[u64; W], tag: u64) -> u32 {
+        let mut mask = 0u32;
+        let mut w = 0;
+        while w < W {
+            mask |= ((set[w] & TAG_KEY == tag) as u32) << w;
+            w += 1;
+        }
+        mask
+    }
+    match set.len() {
+        8 => fixed::<8>(set.try_into().expect("len checked"), tag),
+        4 => fixed::<4>(set.try_into().expect("len checked"), tag),
+        2 => fixed::<2>(set.try_into().expect("len checked"), tag),
+        _ => {
+            let mut mask = 0u32;
+            for (w, &t) in set.iter().enumerate() {
+                mask |= ((t & TAG_KEY == tag) as u32) << w;
+            }
+            mask
+        }
+    }
 }
 
 /// Aggregate hit/miss statistics of a cache.
@@ -136,7 +173,24 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache<T = ()> {
     config: CacheConfig,
-    sets: Vec<Vec<Line<T>>>,
+    /// Per-line tags in struct-of-arrays layout: set `s` occupies
+    /// `tags[s * ways .. (s + 1) * ways]`. A tag is `key + 1` with the
+    /// line's dirty flag in the top bit ([`DIRTY_BIT`]), or 0 for an
+    /// invalid line, so an 8-way set scan touches exactly one 64 B host
+    /// cache line and needs no valid-bit or dirty array.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Per-line metadata, parallel to `tags`.
+    meta: Vec<T>,
+    num_sets: u64,
+    ways: usize,
+    /// `num_sets - 1` when the set count is a power of two, else `u64::MAX`
+    /// as a "use the modulo path" sentinel.
+    set_mask: u64,
+    /// `log2(block_bytes)` when the block size is a power of two, else
+    /// `u32::MAX` as a "use the division path" sentinel.
+    block_shift: u32,
     clock: u64,
     rand_state: u64,
     stats: CacheStats,
@@ -152,23 +206,28 @@ impl<T: Clone> SetAssocCache<T> {
     where
         T: Default,
     {
-        let num_sets = config.num_sets() as usize;
-        let sets = (0..num_sets)
-            .map(|_| {
-                (0..config.ways)
-                    .map(|_| Line {
-                        key: 0,
-                        valid: false,
-                        dirty: false,
-                        stamp: 0,
-                        meta: T::default(),
-                    })
-                    .collect()
-            })
-            .collect();
+        let num_sets = config.num_sets();
+        let ways = config.ways as usize;
+        let lines = num_sets as usize * ways;
+        let set_mask = if num_sets.is_power_of_two() {
+            num_sets - 1
+        } else {
+            u64::MAX
+        };
+        let block_shift = if config.block_bytes.is_power_of_two() {
+            config.block_bytes.trailing_zeros()
+        } else {
+            u32::MAX
+        };
         SetAssocCache {
             config,
-            sets,
+            tags: vec![0; lines],
+            stamps: vec![0; lines],
+            meta: (0..lines).map(|_| T::default()).collect(),
+            num_sets,
+            ways,
+            set_mask,
+            block_shift,
             clock: 0,
             rand_state: 0x243F_6A88_85A3_08D3,
             stats: CacheStats::default(),
@@ -193,12 +252,40 @@ impl<T: Clone> SetAssocCache<T> {
     /// Converts a byte address to this cache's block key.
     #[inline]
     pub fn key_of(&self, addr: u64) -> u64 {
-        addr / self.config.block_bytes
+        if self.block_shift != u32::MAX {
+            addr >> self.block_shift
+        } else {
+            addr / self.config.block_bytes
+        }
     }
 
     #[inline]
     fn set_index(&self, key: u64) -> usize {
-        (key % self.sets.len() as u64) as usize
+        if self.set_mask != u64::MAX {
+            (key & self.set_mask) as usize
+        } else {
+            (key % self.num_sets) as usize
+        }
+    }
+
+    /// First line index of `key`'s set.
+    #[inline]
+    fn set_base(&self, key: u64) -> usize {
+        self.set_index(key) * self.ways
+    }
+
+    /// Absolute line index holding `key`, if resident. Scans the set's ways
+    /// in fixed way order.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let base = self.set_base(key);
+        let tag = tag_of(key);
+        let mask = match_mask(&self.tags[base..base + self.ways], tag);
+        if mask == 0 {
+            None
+        } else {
+            Some(base + mask.trailing_zeros() as usize)
+        }
     }
 
     /// Looks up `key`, updating recency and hit/miss statistics.
@@ -209,59 +296,44 @@ impl<T: Clone> SetAssocCache<T> {
     /// [`fill`]: SetAssocCache::fill
     pub fn access(&mut self, key: u64) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_index(key);
-        for line in &mut self.sets[set] {
-            if line.valid && line.key == key {
-                line.stamp = clock;
-                self.stats.hits.incr();
-                return true;
-            }
+        if let Some(i) = self.find(key) {
+            self.stamps[i] = self.clock;
+            self.stats.hits.incr();
+            true
+        } else {
+            self.stats.misses.incr();
+            false
         }
-        self.stats.misses.incr();
-        false
     }
 
     /// Looks up `key` and marks the line dirty on hit (a store hit).
     pub fn access_write(&mut self, key: u64) -> bool {
         self.clock += 1;
-        let clock = self.clock;
-        let set = self.set_index(key);
-        for line in &mut self.sets[set] {
-            if line.valid && line.key == key {
-                line.stamp = clock;
-                line.dirty = true;
-                self.stats.hits.incr();
-                return true;
-            }
+        if let Some(i) = self.find(key) {
+            self.stamps[i] = self.clock;
+            self.tags[i] |= DIRTY_BIT;
+            self.stats.hits.incr();
+            true
+        } else {
+            self.stats.misses.incr();
+            false
         }
-        self.stats.misses.incr();
-        false
     }
 
     /// Checks residency without updating recency or statistics.
     pub fn probe(&self, key: u64) -> bool {
-        let set = self.set_index(key);
-        self.sets[set].iter().any(|l| l.valid && l.key == key)
+        self.find(key).is_some()
     }
 
     /// Returns the metadata of a resident line, if any (no recency update).
     pub fn peek(&self, key: u64) -> Option<&T> {
-        let set = self.set_index(key);
-        self.sets[set]
-            .iter()
-            .find(|l| l.valid && l.key == key)
-            .map(|l| &l.meta)
+        self.find(key).map(|i| &self.meta[i])
     }
 
     /// Returns mutable metadata of a resident line, if any (no recency
     /// update).
     pub fn peek_mut(&mut self, key: u64) -> Option<&mut T> {
-        let set = self.set_index(key);
-        self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.key == key)
-            .map(|l| &mut l.meta)
+        self.find(key).map(|i| &mut self.meta[i])
     }
 
     /// Inserts `key`, evicting the replacement victim if the set is full.
@@ -271,90 +343,145 @@ impl<T: Clone> SetAssocCache<T> {
     pub fn fill(&mut self, key: u64, dirty: bool, meta: T) -> Option<Evicted<T>> {
         self.clock += 1;
         let clock = self.clock;
-        let set = self.set_index(key);
 
         // Refresh in place on duplicate fill.
-        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.key == key) {
-            line.stamp = clock;
-            line.dirty |= dirty;
-            line.meta = meta;
+        if let Some(i) = self.find(key) {
+            self.stamps[i] = clock;
+            self.tags[i] |= (dirty as u64) << 63;
+            self.meta[i] = meta;
             return None;
         }
 
-        // Prefer an invalid way.
-        if let Some(line) = self.sets[set].iter_mut().find(|l| !l.valid) {
-            *line = Line {
-                key,
-                valid: true,
-                dirty,
-                stamp: clock,
-                meta,
-            };
+        self.insert_absent(key, dirty, meta, clock)
+    }
+
+    /// Inserts `key`, which the caller knows is absent — it just observed a
+    /// miss or failed [`probe`] on `key` with no intervening insert of the
+    /// same key. Skips the duplicate-refresh scan of [`fill`]; behavior is
+    /// otherwise identical.
+    ///
+    /// [`fill`]: SetAssocCache::fill
+    /// [`probe`]: SetAssocCache::probe
+    pub fn fill_after_miss(&mut self, key: u64, dirty: bool, meta: T) -> Option<Evicted<T>> {
+        debug_assert!(
+            self.find(key).is_none(),
+            "fill_after_miss on resident key {key}"
+        );
+        self.clock += 1;
+        let clock = self.clock;
+        self.insert_absent(key, dirty, meta, clock)
+    }
+
+    /// Demand access with write-allocate, in a single set scan: looks up
+    /// `key`, and on a miss immediately installs it (with default metadata,
+    /// `write` as the dirty bit). Equivalent to [`access`]/[`access_write`]
+    /// followed on miss by [`fill`], with the intermediate re-scans elided;
+    /// returns the hit flag and the miss install's victim, if any.
+    ///
+    /// [`access`]: SetAssocCache::access
+    /// [`access_write`]: SetAssocCache::access_write
+    /// [`fill`]: SetAssocCache::fill
+    pub fn access_fill(&mut self, key: u64, write: bool) -> (bool, Option<Evicted<T>>)
+    where
+        T: Default,
+    {
+        self.clock += 1;
+        let clock = self.clock;
+        let base = self.set_base(key);
+        let tag = tag_of(key);
+        let mask = match_mask(&self.tags[base..base + self.ways], tag);
+        if mask != 0 {
+            let i = base + mask.trailing_zeros() as usize;
+            self.stamps[i] = clock;
+            self.tags[i] |= (write as u64) << 63;
+            self.stats.hits.incr();
+            return (true, None);
+        }
+        self.stats.misses.incr();
+        (false, self.insert_absent(key, write, T::default(), clock))
+    }
+
+    /// Reads out line `victim` as an [`Evicted`] record (counting the
+    /// writeback if dirty), or `None` if the line is invalid.
+    #[inline]
+    fn evict_line(&mut self, victim: usize) -> Option<Evicted<T>> {
+        if self.tags[victim] == 0 {
             return None;
         }
-
-        // Choose a victim.
-        let victim_idx = match self.config.replacement {
-            Replacement::Lru => self.sets[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.stamp)
-                .map(|(i, _)| i)
-                .expect("non-empty set"),
-            Replacement::Random => {
-                // xorshift64*
-                self.rand_state ^= self.rand_state >> 12;
-                self.rand_state ^= self.rand_state << 25;
-                self.rand_state ^= self.rand_state >> 27;
-                (self.rand_state.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.config.ways as u64)
-                    as usize
-            }
-        };
-        let line = &mut self.sets[set][victim_idx];
         let evicted = Evicted {
-            key: line.key,
-            dirty: line.dirty,
-            meta: line.meta.clone(),
+            key: (self.tags[victim] & TAG_KEY) - 1,
+            dirty: self.tags[victim] & DIRTY_BIT != 0,
+            meta: self.meta[victim].clone(),
         };
         if evicted.dirty {
             self.stats.writebacks.incr();
         }
-        *line = Line {
-            key,
-            valid: true,
-            dirty,
-            stamp: clock,
-            meta,
-        };
         Some(evicted)
+    }
+
+    /// Installs `key` (known absent) into its set, choosing an invalid way
+    /// first, then the replacement victim.
+    fn insert_absent(&mut self, key: u64, dirty: bool, meta: T, clock: u64) -> Option<Evicted<T>> {
+        let base = self.set_base(key);
+        let victim = match self.config.replacement {
+            Replacement::Lru => {
+                // Single pass over the set: invalid ways score stamp 0 and
+                // valid stamps start at 1, so invalid-first falls out of
+                // the minimum (first-minimum ties match the old two-scan
+                // order exactly).
+                let mut victim = base;
+                let mut best = u64::MAX;
+                for i in base..base + self.ways {
+                    let s = if self.tags[i] == 0 { 0 } else { self.stamps[i] };
+                    let better = s < best;
+                    best = if better { s } else { best };
+                    victim = if better { i } else { victim };
+                }
+                victim
+            }
+            Replacement::Random => {
+                let set_tags = &self.tags[base..base + self.ways];
+                if let Some(w) = set_tags.iter().position(|&t| t == 0) {
+                    base + w
+                } else {
+                    // xorshift64*
+                    self.rand_state ^= self.rand_state >> 12;
+                    self.rand_state ^= self.rand_state << 25;
+                    self.rand_state ^= self.rand_state >> 27;
+                    base + (self.rand_state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+                        % self.config.ways as u64) as usize
+                }
+            }
+        };
+        let evicted = self.evict_line(victim);
+        self.tags[victim] = tag_of(key) | (dirty as u64) << 63;
+        self.stamps[victim] = clock;
+        self.meta[victim] = meta;
+        evicted
     }
 
     /// Invalidates `key` if resident; returns the removed line's
     /// `(dirty, meta)`.
     pub fn invalidate(&mut self, key: u64) -> Option<(bool, T)> {
-        let set = self.set_index(key);
-        for line in &mut self.sets[set] {
-            if line.valid && line.key == key {
-                line.valid = false;
-                return Some((line.dirty, line.meta.clone()));
-            }
+        if let Some(i) = self.find(key) {
+            let dirty = self.tags[i] & DIRTY_BIT != 0;
+            self.tags[i] = 0;
+            return Some((dirty, self.meta[i].clone()));
         }
         None
     }
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.tags.iter().filter(|&&t| t != 0).count()
     }
 
     /// Iterates over the keys of all valid lines (unspecified order).
     pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.sets
+        self.tags
             .iter()
-            .flat_map(|s| s.iter().filter(|l| l.valid).map(|l| l.key))
+            .filter(|&&t| t != 0)
+            .map(|&t| (t & TAG_KEY) - 1)
     }
 }
 

@@ -98,6 +98,46 @@ impl NextLinePrefetcher {
     }
 }
 
+/// A fixed-capacity batch of prefetch candidates returned by
+/// [`StridePrefetcher::on_demand`].
+///
+/// Dereferences to a slice; exists so the hot path (one call per L1 demand
+/// miss) never heap-allocates.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Prefetches {
+    buf: [u64; Prefetches::MAX],
+    len: u8,
+}
+
+impl Prefetches {
+    /// Maximum candidates per demand (bounds the supported degree).
+    pub const MAX: usize = 8;
+
+    #[inline]
+    fn push(&mut self, block: u64) {
+        self.buf[self.len as usize] = block;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for Prefetches {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a Prefetches {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 #[derive(Copy, Clone, Debug, Default)]
 struct StrideEntry {
     tag: u64,
@@ -122,7 +162,7 @@ struct StrideEntry {
 /// assert!(pf.on_demand(7, 100).is_empty()); // first touch: learn
 /// assert!(pf.on_demand(7, 102).is_empty()); // stride 2 observed once
 /// let out = pf.on_demand(7, 104);            // confirmed: prefetch ahead
-/// assert_eq!(out, vec![106, 108]);
+/// assert_eq!(&out[..], &[106, 108]);
 /// ```
 #[derive(Clone, Debug)]
 pub struct StridePrefetcher {
@@ -136,9 +176,13 @@ impl StridePrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero.
+    /// Panics if `entries` is zero or `degree` exceeds [`Prefetches::MAX`].
     pub fn new(entries: usize, degree: u32) -> Self {
         assert!(entries > 0, "stride table must have entries");
+        assert!(
+            degree as usize <= Prefetches::MAX,
+            "degree exceeds Prefetches::MAX"
+        );
         StridePrefetcher {
             table: vec![StrideEntry::default(); entries],
             degree,
@@ -147,9 +191,10 @@ impl StridePrefetcher {
 
     /// Observes a demand access to `block` on stream `stream_id`; returns
     /// blocks to prefetch (possibly empty).
-    pub fn on_demand(&mut self, stream_id: u64, block: u64) -> Vec<u64> {
+    pub fn on_demand(&mut self, stream_id: u64, block: u64) -> Prefetches {
         let idx = (stream_id % self.table.len() as u64) as usize;
         let e = &mut self.table[idx];
+        let mut out = Prefetches::default();
         if !e.valid || e.tag != stream_id {
             *e = StrideEntry {
                 tag: stream_id,
@@ -158,12 +203,12 @@ impl StridePrefetcher {
                 confidence: 0,
                 valid: true,
             };
-            return Vec::new();
+            return out;
         }
         let stride = block as i64 - e.last_block as i64;
         e.last_block = block;
         if stride == 0 {
-            return Vec::new();
+            return out;
         }
         if stride == e.stride {
             e.confidence = e.confidence.saturating_add(1);
@@ -172,15 +217,14 @@ impl StridePrefetcher {
             e.confidence = 0;
         }
         if e.confidence >= 1 {
-            (1..=self.degree as i64)
-                .filter_map(|k| {
-                    let b = block as i64 + e.stride * k;
-                    u64::try_from(b).ok()
-                })
-                .collect()
-        } else {
-            Vec::new()
+            for k in 1..=self.degree as i64 {
+                let b = block as i64 + e.stride * k;
+                if let Ok(b) = u64::try_from(b) {
+                    out.push(b);
+                }
+            }
         }
+        out
     }
 }
 
@@ -249,7 +293,7 @@ mod tests {
         pf.on_demand(1, 100);
         pf.on_demand(1, 97);
         let out = pf.on_demand(1, 94);
-        assert_eq!(out, vec![91]);
+        assert_eq!(&out[..], &[91]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use dylect_sim_core::probe::{
     TranslationPath,
 };
 use dylect_sim_core::stats::Counter;
-use dylect_sim_core::trace::MemOp;
+use dylect_sim_core::trace::{MemOp, OpBatch};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES};
 
 use crate::tlb::{PageSizeMode, Tlb, TlbConfig, TlbOutcome};
@@ -121,6 +121,14 @@ pub struct CoreStats {
 #[derive(Clone, Debug)]
 pub struct Core {
     cfg: CoreConfig,
+    /// Cached `cfg.cycle()`: the float divide + round is too expensive to
+    /// redo on every retired op.
+    cycle: Time,
+    /// `log2(width)` when the pipeline width is a power of two (it always
+    /// is in practice); `u32::MAX` selects the division fallback.
+    width_shift: u32,
+    /// Cached ROB slip window, `cycle * (rob / width)`.
+    rob_window: Time,
     layout: PageTableLayout,
     time: Time,
     l1: SetAssocCache,
@@ -150,6 +158,13 @@ impl Core {
             last_completion: Time::ZERO,
             stats: CoreStats::default(),
             probe: ProbeHandle::disabled(),
+            cycle: cfg.cycle(),
+            width_shift: if cfg.width.is_power_of_two() {
+                cfg.width.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+            rob_window: cfg.cycle() * (cfg.rob / cfg.width) as u64,
             cfg,
             layout,
         }
@@ -187,16 +202,78 @@ impl Core {
     /// Advances core-local time by non-memory work and ROB stalls, executes
     /// one memory operation through the hierarchy, and returns its
     /// completion time.
-    pub fn step(&mut self, op: MemOp, backend: &mut dyn MemoryBackend) -> Time {
-        let cycle = self.cfg.cycle();
+    pub fn step<B: MemoryBackend + ?Sized>(&mut self, op: MemOp, backend: &mut B) -> Time {
+        if self.probe.is_enabled() {
+            self.step_inner::<true, B>(op, backend)
+        } else {
+            self.step_inner::<false, B>(op, backend)
+        }
+    }
+
+    /// Retires a whole batch of memory operations. Equivalent to calling
+    /// [`Core::step`] once per op, but the telemetry-enabled check is made
+    /// once per batch instead of once per op, and with a concrete backend
+    /// type the full hierarchy walk monomorphizes into one loop.
+    pub fn step_batch<B: MemoryBackend + ?Sized>(&mut self, ops: &[MemOp], backend: &mut B) {
+        if self.probe.is_enabled() {
+            for &op in ops {
+                self.step_inner::<true, B>(op, backend);
+            }
+        } else {
+            for &op in ops {
+                self.step_inner::<false, B>(op, backend);
+            }
+        }
+    }
+
+    /// [`Core::step_batch`] over a struct-of-arrays [`OpBatch`] arena.
+    pub fn step_soa<B: MemoryBackend + ?Sized>(&mut self, ops: &OpBatch, backend: &mut B) {
+        if self.probe.is_enabled() {
+            for op in ops.iter() {
+                self.step_inner::<true, B>(op, backend);
+            }
+        } else {
+            // Retirement counters are linear in the batch contents, so they
+            // accumulate once per batch instead of three times per op.
+            self.stats.instructions.add(ops.total_instructions());
+            self.stats.mem_ops.add(ops.len() as u64);
+            self.stats.stores.add(ops.stores());
+            for op in ops.iter() {
+                self.step_core::<false, B>(op, backend);
+            }
+        }
+    }
+
+    #[inline]
+    fn step_inner<const PROBE: bool, B: MemoryBackend + ?Sized>(
+        &mut self,
+        op: MemOp,
+        backend: &mut B,
+    ) -> Time {
         self.stats.instructions.add(op.instructions());
         self.stats.mem_ops.incr();
         if op.write {
             self.stats.stores.incr();
         }
+        self.step_core::<PROBE, B>(op, backend)
+    }
 
+    /// The retirement path shared by the per-op and batched loops:
+    /// everything in [`Core::step_inner`] except the retirement counters.
+    #[inline]
+    fn step_core<const PROBE: bool, B: MemoryBackend + ?Sized>(
+        &mut self,
+        op: MemOp,
+        backend: &mut B,
+    ) -> Time {
+        let cycle = self.cycle;
         // Non-memory instructions retire at pipeline width.
-        self.time += cycle * (op.work as u64) / self.cfg.width as u64;
+        let work_ps = cycle.as_ps() * op.work as u64;
+        self.time += Time::from_ps(if self.width_shift != u32::MAX {
+            work_ps >> self.width_shift
+        } else {
+            work_ps / self.cfg.width as u64
+        });
         // Pointer chases wait for the previous value.
         if op.dep_on_prev {
             self.time = self.time.max(self.last_completion);
@@ -220,7 +297,7 @@ impl Core {
         let phys = PhysAddr::new(op.vaddr.raw());
         let done = self.mem_access(translated_at, phys, op.write, backend);
 
-        if self.probe.is_enabled() {
+        if PROBE {
             // Core view of the retired op: TLB/page-walk time, then the
             // cache-hierarchy (and below) time.
             self.probe.emit_access(&AccessRecord::new(
@@ -254,8 +331,7 @@ impl Core {
             // The ROB cannot slip more than rob/width cycles past the oldest
             // outstanding miss.
             if let Some(&head) = self.outstanding.front() {
-                let window = cycle * (self.cfg.rob / self.cfg.width) as u64;
-                self.time = self.time.max(head.saturating_sub(window));
+                self.time = self.time.max(head.saturating_sub(self.rob_window));
             }
         }
         self.last_completion = done;
@@ -273,11 +349,11 @@ impl Core {
 
     /// A page walk: serial accesses to page-table blocks through the cache
     /// hierarchy.
-    fn do_walk(
+    fn do_walk<B: MemoryBackend + ?Sized>(
         &mut self,
         now: Time,
         vaddr: dylect_sim_core::VirtAddr,
-        backend: &mut dyn MemoryBackend,
+        backend: &mut B,
     ) -> Time {
         let plan = self.walker.walk(vaddr, self.cfg.page_mode, &self.layout);
         let mut t = now;
@@ -297,19 +373,17 @@ impl Core {
 
     /// Data access through L1 → L2 → backend with write-allocate and
     /// cascading dirty writebacks; returns the data-ready time.
-    fn mem_access(
+    #[inline]
+    fn mem_access<B: MemoryBackend + ?Sized>(
         &mut self,
         now: Time,
         phys: PhysAddr,
         write: bool,
-        backend: &mut dyn MemoryBackend,
+        backend: &mut B,
     ) -> Time {
         let key = self.l1.key_of(phys.raw());
-        let l1_hit = if write {
-            self.l1.access_write(key)
-        } else {
-            self.l1.access(key)
-        };
+        // Combined lookup + write-allocate install: one L1 set scan per op.
+        let (l1_hit, l1_victim) = self.l1.access_fill(key, write);
         if l1_hit {
             return now; // L1 latency is hidden by the pipeline
         }
@@ -320,7 +394,7 @@ impl Core {
         let candidates = self
             .stride_pf
             .on_demand(phys.page().index(), phys.block_index());
-        for c in candidates {
+        for &c in &candidates {
             self.prefetch_block(now, PhysAddr::new(c * BLOCK_BYTES), backend);
         }
 
@@ -336,19 +410,27 @@ impl Core {
             self.fill_l2(phys, false, backend, done);
             done
         };
-        // Fill L1 (write-allocate).
-        if let Some(ev) = self.l1.fill(key, write, ()) {
+        // The L1 victim's dirty data folds into L2 (after the demand fill,
+        // matching the former access-then-fill ordering).
+        if let Some(ev) = l1_victim {
             if ev.dirty {
-                // L1 dirty eviction folds into L2.
                 self.l2.fill(ev.key, true, ());
             }
         }
         done
     }
 
-    fn fill_l2(&mut self, addr: PhysAddr, dirty: bool, backend: &mut dyn MemoryBackend, now: Time) {
+    /// Installs `addr` in L2 after a miss (the caller has just observed the
+    /// block absent), spilling any dirty victim to the backend.
+    fn fill_l2<B: MemoryBackend + ?Sized>(
+        &mut self,
+        addr: PhysAddr,
+        dirty: bool,
+        backend: &mut B,
+        now: Time,
+    ) {
         let key = self.l2.key_of(addr.raw());
-        if let Some(ev) = self.l2.fill(key, dirty, ()) {
+        if let Some(ev) = self.l2.fill_after_miss(key, dirty, ()) {
             if ev.dirty {
                 backend.access(
                     now,
@@ -359,7 +441,12 @@ impl Core {
         }
     }
 
-    fn prefetch_block(&mut self, now: Time, addr: PhysAddr, backend: &mut dyn MemoryBackend) {
+    fn prefetch_block<B: MemoryBackend + ?Sized>(
+        &mut self,
+        now: Time,
+        addr: PhysAddr,
+        backend: &mut B,
+    ) {
         // Never prefetch beyond the OS-visible range.
         if addr.page().index() >= self.layout.total_os_pages() {
             return;

@@ -103,6 +103,12 @@ pub struct Tlb {
     l1_4k: SetAssocCache,
     l1_2m: SetAssocCache,
     l2: SetAssocCache,
+    /// The most recently translated page, as an [`Tlb::l2_key`]-style
+    /// size-tagged key (`u64::MAX` = none). Models the translation register
+    /// real pipelines keep for back-to-back same-page accesses: a repeat
+    /// hit costs no TLB port and, here, no host-side cache scan. Counted as
+    /// an L1 hit in the stats.
+    last_key: u64,
     stats: TlbStats,
 }
 
@@ -118,6 +124,7 @@ impl Tlb {
             l1_4k: SetAssocCache::new(CacheConfig::lru(cfg.l1_4k_entries, 4, 1)),
             l1_2m: SetAssocCache::new(CacheConfig::lru(cfg.l1_2m_entries, 4, 1)),
             l2: SetAssocCache::new(CacheConfig::lru(cfg.l2_entries, 8, 1)),
+            last_key: u64::MAX,
             stats: TlbStats::default(),
         }
     }
@@ -151,13 +158,20 @@ impl Tlb {
     /// Looks up the translation for `vaddr`, updating recency and stats.
     pub fn lookup(&mut self, vaddr: VirtAddr, mode: PageSizeMode) -> TlbOutcome {
         let vpn = mode.vpn(vaddr);
-        if self.l1(mode).access(vpn) {
+        let key = Self::l2_key(mode, vpn);
+        if key == self.last_key {
             self.stats.l1_hits.incr();
             return TlbOutcome::L1Hit;
         }
-        if self.l2.access(Self::l2_key(mode, vpn)) {
+        if self.l1(mode).access(vpn) {
+            self.last_key = key;
+            self.stats.l1_hits.incr();
+            return TlbOutcome::L1Hit;
+        }
+        if self.l2.access(key) {
             // Promote to L1.
             self.l1(mode).fill(vpn, false, ());
+            self.last_key = key;
             self.stats.l2_hits.incr();
             return TlbOutcome::L2Hit;
         }
@@ -170,6 +184,7 @@ impl Tlb {
         let vpn = mode.vpn(vaddr);
         self.l1(mode).fill(vpn, false, ());
         self.l2.fill(Self::l2_key(mode, vpn), false, ());
+        self.last_key = Self::l2_key(mode, vpn);
     }
 }
 

@@ -36,7 +36,47 @@ pub struct SharedStats {
 struct McUnit {
     scheme: Box<dyn MemoryScheme>,
     dram: Dram,
+    /// Dirty-line writebacks routed here but not yet applied. Multi-MC
+    /// configurations defer these to batch boundaries so independent MCs
+    /// can advance on worker threads (intra-run sharding); single-MC
+    /// configurations apply writebacks immediately and never queue.
+    pending: Vec<PendingWriteback>,
 }
+
+/// A dirty L3 victim headed for its home MC: the writeback enters the MC
+/// at `now` against MC-local address `local`. Queued per MC and applied in
+/// FIFO order at the next [`SharedMemory::drain_pending`] call.
+#[derive(Copy, Clone, Debug)]
+struct PendingWriteback {
+    now: Time,
+    local: PhysAddr,
+}
+
+impl McUnit {
+    /// Applies this MC's queued writebacks in arrival order. Touches only
+    /// MC-local state, so distinct units can drain on distinct threads.
+    fn apply_pending(&mut self) {
+        for i in 0..self.pending.len() {
+            let pw = self.pending[i];
+            self.scheme.access(pw.now, pw.local, true, &mut self.dram);
+        }
+        self.pending.clear();
+    }
+}
+
+/// A disjoint chunk of MC units handed to one drain worker.
+///
+/// SAFETY: `McUnit` is not `Send` only because `Box<dyn MemoryScheme>` may
+/// hold a `ProbeHandle` (an `Rc` into the telemetry sink). The parallel
+/// drain runs exclusively when no probe was ever installed
+/// ([`SharedMemory::probes_installed`] is false), in which case every
+/// handle is the `None` variant and no `Rc` exists anywhere in the unit's
+/// object graph — the scheme crates themselves use no `Rc`/`RefCell`.
+/// Chunks are disjoint `&mut` slices moved into scoped threads that the
+/// parent joins before touching `mcs` again.
+struct McChunk<'a>(&'a mut [McUnit]);
+
+unsafe impl Send for McChunk<'_> {}
 
 /// Everything below the cores' private caches.
 pub struct SharedMemory {
@@ -51,6 +91,11 @@ pub struct SharedMemory {
     span_every: u64,
     demand_misses: u64,
     span_seq: u64,
+    /// Worker threads for [`SharedMemory::drain_pending`] (1 = in place).
+    jobs: usize,
+    /// Latched once any telemetry probe is installed; the parallel drain
+    /// is forbidden from then on (probe handles are thread-bound).
+    probes_installed: bool,
 }
 
 impl SharedMemory {
@@ -85,7 +130,11 @@ impl SharedMemory {
             l3: SetAssocCache::new(CacheConfig::lru(l3_bytes, l3_ways, BLOCK_BYTES)),
             mcs: mcs
                 .into_iter()
-                .map(|(scheme, dram)| McUnit { scheme, dram })
+                .map(|(scheme, dram)| McUnit {
+                    scheme,
+                    dram,
+                    pending: Vec::new(),
+                })
                 .collect(),
             l3_latency,
             stats: SharedStats::default(),
@@ -93,7 +142,18 @@ impl SharedMemory {
             span_every: 0,
             demand_misses: 0,
             span_seq: 0,
+            jobs: 1,
+            probes_installed: false,
         }
+    }
+
+    /// Sets the worker-thread count for [`SharedMemory::drain_pending`].
+    /// Purely an execution detail: the drain's observable effect is
+    /// invariant in `jobs` (each MC's queue applies in FIFO order against
+    /// MC-local state only, and statistics merge in MC-index order), so
+    /// any value produces byte-identical reports and exports.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
     }
 
     /// Number of memory controllers.
@@ -152,6 +212,7 @@ impl SharedMemory {
     /// called with each MC's index. Probes are observation-only and do not
     /// change simulated behavior.
     pub fn set_probes(&mut self, mut make: impl FnMut(u32) -> ProbeHandle) {
+        self.probes_installed = true;
         for (i, mc) in self.mcs.iter_mut().enumerate() {
             mc.scheme.set_probe(make(i as u32));
         }
@@ -171,6 +232,7 @@ impl SharedMemory {
     /// spans for every `span_every`-th demand L3-miss read. Pass a disabled
     /// handle to turn attribution back off.
     pub fn set_access_probe(&mut self, probe: ProbeHandle, span_every: u64) {
+        self.probes_installed = true;
         self.probe = probe;
         self.span_every = span_every;
         self.demand_misses = 0;
@@ -200,6 +262,9 @@ impl SharedMemory {
 
     /// Resets all shared-side statistics after warmup.
     pub fn reset_stats(&mut self) {
+        // Queued writebacks belong to the pre-reset window; land them
+        // before their statistics are cleared.
+        self.drain_pending();
         self.stats = SharedStats::default();
         self.l3.reset_stats();
         for mc in &mut self.mcs {
@@ -231,11 +296,77 @@ impl SharedMemory {
         if let Some(ev) = self.l3.fill(key, dirty, ()) {
             if ev.dirty {
                 let addr = PhysAddr::new(ev.key * BLOCK_BYTES);
-                let (resp, _) = self.mc_access(now, addr, true);
-                if self.probe.is_enabled() {
-                    self.emit_mem_record(RequestClass::Writeback, now, Time::ZERO, &resp);
+                if self.mcs.len() > 1 {
+                    // Multi-MC: queue on the victim's home MC. Writeback
+                    // latency is off the critical path (the caller never
+                    // waits on it), so deferring to the next batch
+                    // boundary only delays MC state mutation.
+                    let (idx, local) = self.route(addr);
+                    self.mcs[idx].pending.push(PendingWriteback { now, local });
+                } else {
+                    let (resp, _) = self.mc_access(now, addr, true);
+                    if self.probe.is_enabled() {
+                        self.emit_mem_record(RequestClass::Writeback, now, Time::ZERO, &resp);
+                    }
                 }
             }
+        }
+    }
+
+    /// Applies all queued MC writebacks (multi-MC configurations only; a
+    /// single-MC hierarchy never queues). The run loop calls this at batch
+    /// boundaries and at the end of every execute window.
+    ///
+    /// With `jobs > 1` and no telemetry probes installed, the MC units
+    /// drain on scoped worker threads — each unit's queue touches only
+    /// that unit's scheme and DRAM, so threads share nothing. With probes
+    /// installed (or `jobs == 1`) the drain is sequential in MC order and
+    /// emits the usual writeback attribution records. Both paths apply
+    /// each queue in FIFO order, so the simulated outcome is identical.
+    pub fn drain_pending(&mut self) {
+        let queued: usize = self.mcs.iter().map(|mc| mc.pending.len()).sum();
+        if queued == 0 {
+            return;
+        }
+        let workers = self.jobs.min(self.mcs.len());
+        // Spawning threads for a handful of writebacks costs more than the
+        // writebacks; small batches drain in place. Purely wall-clock —
+        // both paths land each queue in FIFO order.
+        const PARALLEL_DRAIN_MIN: usize = 32;
+        if workers > 1 && queued >= PARALLEL_DRAIN_MIN && !self.probes_installed {
+            let per = self.mcs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for chunk in self.mcs.chunks_mut(per).map(McChunk) {
+                    scope.spawn(move || {
+                        // Capture the whole wrapper (not its field) so the
+                        // closure's Send-ness comes from `McChunk`.
+                        let McChunk(units) = { chunk };
+                        for mc in units {
+                            mc.apply_pending();
+                        }
+                    });
+                }
+            });
+            return;
+        }
+        let probe_on = self.probe.is_enabled();
+        for idx in 0..self.mcs.len() {
+            let mc = &mut self.mcs[idx];
+            if mc.pending.is_empty() {
+                continue;
+            }
+            let pending = std::mem::take(&mut mc.pending);
+            for pw in &pending {
+                let mc = &mut self.mcs[idx];
+                let resp = mc.scheme.access(pw.now, pw.local, true, &mut mc.dram);
+                if probe_on {
+                    self.emit_mem_record(RequestClass::Writeback, pw.now, Time::ZERO, &resp);
+                }
+            }
+            // Hand the drained queue's allocation back for reuse.
+            let mut pending = pending;
+            pending.clear();
+            self.mcs[idx].pending = pending;
         }
     }
 
@@ -443,6 +574,33 @@ mod tests {
         assert_eq!((mc0, a0.raw()), (0, 0));
         assert_eq!((mc1, a1.raw()), (1, 128));
         assert_eq!((mc0b, a0b.raw()), (0, PAGE_BYTES + 64));
+    }
+
+    #[test]
+    fn parallel_drain_matches_sequential_drain() {
+        // Queue thousands of writebacks (well past PARALLEL_DRAIN_MIN) on
+        // four MCs and land them with one vs. three workers: every
+        // aggregated statistic must match exactly, because each MC's queue
+        // applies in FIFO order against MC-local state either way.
+        let run = |jobs: usize| {
+            let mut s = shared_multi(4);
+            s.set_jobs(jobs);
+            for i in 0..60_000u64 {
+                s.access(Time::ZERO, PhysAddr::new(i * 64), BackendOp::Writeback);
+            }
+            s.drain_pending();
+            assert!(
+                s.mcs.iter().all(|mc| mc.pending.is_empty()),
+                "drain left work queued"
+            );
+            (s.dram_stats(), s.mc_stats().requests.get())
+        };
+        let (seq_dram, seq_reqs) = run(1);
+        let (par_dram, par_reqs) = run(3);
+        assert!(seq_dram.writes.get() > 0, "no writebacks reached DRAM");
+        assert_eq!(seq_dram.writes.get(), par_dram.writes.get());
+        assert_eq!(seq_dram.reads.get(), par_dram.reads.get());
+        assert_eq!(seq_reqs, par_reqs);
     }
 
     #[test]

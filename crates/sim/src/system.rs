@@ -5,6 +5,7 @@ use dylect_cpu::{Core, PageTableLayout};
 use dylect_dram::{Dram, DramConfig};
 use dylect_memctl::{MemoryScheme, NoCompression};
 use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::trace::OpBatch;
 use dylect_sim_core::Time;
 use dylect_telemetry::{SampleSnapshot, Telemetry, TelemetryConfig};
 use dylect_tmcc::{Tmcc, TmccConfig};
@@ -30,7 +31,15 @@ pub struct System {
     /// Instructions retired before the last stats reset, so the telemetry
     /// x-axis stays monotonic across the warmup/measurement boundary.
     instr_base: u64,
+    /// Reusable struct-of-arrays arena for the batched run loop; cleared
+    /// and refilled each batch so steady-state execution never allocates.
+    batch: OpBatch,
 }
+
+/// Ops generated and retired per batch on the fast path. Large enough to
+/// amortise the loop setup, small enough that the three parallel arrays
+/// (11 bytes/op) stay resident in L1.
+const BATCH_OPS: u64 = 256;
 
 impl System {
     /// Builds the system of `config` running `spec`.
@@ -85,6 +94,7 @@ impl System {
             ops_clock: None,
             ops_in_epoch: 0,
             instr_base: 0,
+            batch: OpBatch::with_capacity(BATCH_OPS as usize),
         }
     }
 
@@ -167,6 +177,7 @@ impl System {
             ops_clock: None,
             ops_in_epoch: 0,
             instr_base: 0,
+            batch: OpBatch::with_capacity(BATCH_OPS as usize),
         }
     }
 
@@ -256,13 +267,40 @@ impl System {
 
     /// Executes `ops` memory operations across the cores, always stepping
     /// the core that is furthest behind in simulated time.
+    ///
+    /// With one core and telemetry off, ops are generated and retired in
+    /// [`BATCH_OPS`]-sized batches through a reusable struct-of-arrays
+    /// arena: the telemetry/probe checks hoist to once per batch and the
+    /// per-op loop stays branch-free. The batched path retires the exact
+    /// same op stream in the same order as the per-op path, so reports are
+    /// byte-identical either way.
     pub fn execute(&mut self, ops: u64) {
+        if self.cores.is_empty() {
+            // Nothing to run; `finish` reports an explicit empty run.
+            return;
+        }
+        if self.cores.len() == 1 && self.telemetry.is_none() {
+            let mut batch = std::mem::take(&mut self.batch);
+            let mut remaining = ops;
+            while remaining > 0 {
+                let n = remaining.min(BATCH_OPS);
+                self.workloads[0].fill_batch(&mut batch, n as usize);
+                self.cores[0].step_soa(&batch, &mut self.shared);
+                self.shared.drain_pending();
+                remaining -= n;
+            }
+            self.batch = batch;
+            return;
+        }
         // 0 when telemetry is off: the epoch check below stays one
         // predictable branch per op.
         let epoch_ops = self
             .telemetry
             .as_ref()
             .map_or(0, |t| t.config().epoch_ops.max(1));
+        // The per-op path lands queued MC writebacks on the same cadence
+        // as the batched path, so the two retire identical streams.
+        let mut ops_since_drain = 0u64;
         for _ in 0..ops {
             let idx = self
                 .cores
@@ -273,6 +311,11 @@ impl System {
                 .expect("at least one core");
             let op = self.workloads[idx].next_op();
             self.cores[idx].step(op, &mut self.shared);
+            ops_since_drain += 1;
+            if ops_since_drain >= BATCH_OPS {
+                ops_since_drain = 0;
+                self.shared.drain_pending();
+            }
             if epoch_ops > 0 {
                 if let Some(clock) = &self.ops_clock {
                     clock.set(clock.get() + 1);
@@ -280,10 +323,22 @@ impl System {
                 self.ops_in_epoch += 1;
                 if self.ops_in_epoch >= epoch_ops {
                     self.ops_in_epoch = 0;
+                    // No drain here: draining only when telemetry is on
+                    // would let observation perturb simulated state. A
+                    // sample may read MC statistics up to one batch stale.
                     self.sample_telemetry();
                 }
             }
         }
+        self.shared.drain_pending();
+    }
+
+    /// Sets the worker-thread count for intra-run sharding: with more than
+    /// one memory controller, queued writebacks drain on up to `jobs`
+    /// threads at batch boundaries (see [`SharedMemory::drain_pending`]).
+    /// Reports and exports are byte-identical for every value.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.shared.set_jobs(jobs);
     }
 
     /// Ends the warmup phase: clears every statistic and marks the start of
@@ -295,12 +350,14 @@ impl System {
             c.reset_stats();
         }
         self.shared.reset_stats();
-        self.measure_start = self
-            .cores
-            .iter()
-            .map(Core::time)
-            .max()
-            .unwrap_or(Time::ZERO);
+        // A zero-core system has no clocks to read; `finish` short-circuits
+        // to an explicit empty report for that case, so the window start is
+        // never consulted — pin it to zero openly rather than letting an
+        // empty reduction fabricate a timing.
+        self.measure_start = match self.cores.iter().map(Core::time).max() {
+            Some(t) => t,
+            None => Time::ZERO,
+        };
     }
 
     /// Runs warmup then measurement; returns the report.
@@ -314,19 +371,33 @@ impl System {
 
     /// Drains in-flight work and snapshots the report for the measurement
     /// window.
+    ///
+    /// A system built with zero cores retired nothing, so the report is an
+    /// explicit empty run (all execution-derived fields zero by
+    /// construction) rather than timings fabricated from empty reductions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cores' final time is earlier than the measurement
+    /// window start — core clocks only advance, so that would mean
+    /// `start_measurement` was called against a different set of cores or
+    /// state was corrupted; clamping it would silently skew elapsed time.
     pub fn finish(&mut self) -> RunReport {
         // Close the last (possibly partial) telemetry epoch.
         self.sample_telemetry();
         for c in &mut self.cores {
             c.drain();
         }
-        let end = self
-            .cores
-            .iter()
-            .map(Core::time)
-            .max()
-            .unwrap_or(Time::ZERO);
-        let elapsed = end.saturating_sub(self.measure_start);
+        let Some(end) = self.cores.iter().map(Core::time).max() else {
+            return self.empty_report();
+        };
+        assert!(
+            end >= self.measure_start,
+            "measurement window start {:?} is after the cores' final time {end:?}; \
+             core clocks never run backwards, so the window bookkeeping is corrupt",
+            self.measure_start
+        );
+        let elapsed = end - self.measure_start;
 
         let mut instructions = 0;
         let mut mem_ops = 0;
@@ -364,6 +435,30 @@ impl System {
             dram: self.shared.dram_stats(),
             occupancy: self.shared.occupancy(),
             energy: self.shared.energy(elapsed),
+        }
+    }
+
+    /// The report for a run with no cores: every execution-derived field is
+    /// zero because nothing executed, not because an empty reduction was
+    /// clamped. Memory-side snapshots (occupancy, MC/DRAM stats) are still
+    /// read out — they are real state, independent of core count.
+    fn empty_report(&self) -> RunReport {
+        RunReport {
+            benchmark: self.benchmark.clone(),
+            scheme: self.config.scheme.label(),
+            instructions: 0,
+            mem_ops: 0,
+            stores: 0,
+            elapsed: Time::ZERO,
+            tlb_miss_rate: 0.0,
+            walks: 0,
+            l3_misses: self.shared.stats().l3_misses.get(),
+            l3_miss_latency_ns: self.shared.stats().l3_miss_latency.mean(),
+            l3_miss_overhead_ns: self.shared.stats().l3_miss_overhead.mean(),
+            mc: self.shared.mc_stats(),
+            dram: self.shared.dram_stats(),
+            occupancy: self.shared.occupancy(),
+            energy: self.shared.energy(Time::ZERO),
         }
     }
 }
@@ -417,6 +512,35 @@ mod tests {
         assert_eq!(r1.instructions, r2.instructions);
         assert_eq!(r1.elapsed, r2.elapsed);
         assert_eq!(r1.dram.total_blocks(), r2.dram.total_blocks());
+    }
+
+    #[test]
+    fn zero_core_config_reports_an_explicit_empty_run() {
+        let mut cfg = SystemConfig::quick(&spec(), SchemeKind::dylect(), CompressionSetting::High);
+        cfg.cores = 0;
+        let mut sys = System::new(cfg, &spec());
+        let r = sys.run(1_000, 1_000);
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.mem_ops, 0);
+        assert_eq!(r.elapsed, Time::ZERO);
+        assert_eq!(r.ips(), 0.0, "no fabricated throughput");
+        // The memory side still reports its (untouched) real state.
+        assert!(r.occupancy.ml0_pages + r.occupancy.ml1_pages + r.occupancy.ml2_pages > 0);
+    }
+
+    #[test]
+    fn batched_and_per_op_paths_retire_identical_streams() {
+        // The single-core fast path must match what per-op stepping (forced
+        // here via telemetry, which disables batching) produces.
+        let r_batched = quick(SchemeKind::dylect()).run(5_000, 5_000);
+        let mut sys = quick(SchemeKind::dylect());
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig::default());
+        let r_per_op = sys.run(5_000, 5_000);
+        assert_eq!(r_batched.instructions, r_per_op.instructions);
+        assert_eq!(r_batched.mem_ops, r_per_op.mem_ops);
+        assert_eq!(r_batched.elapsed, r_per_op.elapsed);
+        assert_eq!(r_batched.mc, r_per_op.mc);
+        assert_eq!(r_batched.dram, r_per_op.dram);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use spec::{BenchmarkSpec, CompressionSetting};
 
 use dylect_compression::CompressibilityProfile;
 use dylect_sim_core::rng::{hash2, Rng, Zipf};
-use dylect_sim_core::trace::MemOp;
+use dylect_sim_core::trace::{MemOp, OpBatch};
 use dylect_sim_core::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
 
 /// Pages per hot region (256 KB).
@@ -120,6 +120,83 @@ pub struct SyntheticWorkload {
     burst_remaining: u32,
     /// Sequential scan cursor (block index within the footprint).
     scan_cursor: u64,
+    /// Precomputed integer draw thresholds (see [`DrawThresholds`]): the
+    /// generator is on the simulator's per-op hot path, so the Bernoulli
+    /// knobs are folded into bit-field compares on one 64-bit draw instead
+    /// of one `f64` draw each.
+    thresholds: DrawThresholds,
+    /// Lazily built per-region tables of hot-eligible page offsets, indexed
+    /// by region. Burst accesses pick uniformly from the table instead of
+    /// re-hashing candidate pages in a retry loop on every op.
+    eligible_sets: Vec<EligibleSet>,
+}
+
+/// The hot-eligible pages of one region: `pages[..count]` holds the
+/// in-region offsets for which [`SyntheticWorkload::is_eligible`] is true.
+/// `built` marks lazy initialization (regions the bursts never reach are
+/// never hashed).
+#[derive(Copy, Clone, Debug)]
+struct EligibleSet {
+    built: bool,
+    count: u8,
+    pages: [u8; REGION_PAGES as usize],
+}
+
+impl Default for EligibleSet {
+    fn default() -> Self {
+        EligibleSet {
+            built: false,
+            count: 0,
+            pages: [0; REGION_PAGES as usize],
+        }
+    }
+}
+
+/// Integer thresholds for the per-op Bernoulli draws, precomputed from
+/// [`WorkloadParams`]. One `next_u64` yields a 32-bit component selector and
+/// two 16-bit flag fields; a fraction `p` becomes the threshold `p * 2^k`.
+#[derive(Copy, Clone, Debug)]
+struct DrawThresholds {
+    /// `stream_fraction` over the low 32 selector bits.
+    stream: u32,
+    /// `stream + (1 - stream) * cold_fraction` over the selector bits (the
+    /// conditional cold draw folded into one cumulative compare).
+    cold_cum: u32,
+    /// `write_fraction` over 16 bits.
+    write: u16,
+    /// `dep_fraction` over 16 bits.
+    dep: u16,
+    /// `intra_cold` over 16 bits.
+    intra_cold: u16,
+}
+
+impl DrawThresholds {
+    fn new(p: &WorkloadParams) -> Self {
+        let frac32 = |p: f64| (p.clamp(0.0, 1.0) * (1u64 << 32) as f64) as u64;
+        let frac16 = |p: f64| (p.clamp(0.0, 1.0) * (1u64 << 16) as f64).min(u16::MAX as f64) as u16;
+        let stream = frac32(p.stream_fraction);
+        let cold_cum = stream + frac32((1.0 - p.stream_fraction) * p.cold_fraction);
+        DrawThresholds {
+            stream: stream.min(u32::MAX as u64) as u32,
+            cold_cum: cold_cum.min(u32::MAX as u64) as u32,
+            write: frac16(p.write_fraction),
+            dep: frac16(p.dep_fraction),
+            intra_cold: frac16(p.intra_cold),
+        }
+    }
+}
+
+/// Multiply-shift map of a 16-bit field onto `0..n` (unbiased enough for
+/// workload shaping; `n` is tiny).
+#[inline]
+fn scale16(bits: u64, n: u64) -> u64 {
+    ((bits & 0xFFFF) * n) >> 16
+}
+
+/// Multiply-shift map of a 32-bit field onto `0..n`.
+#[inline]
+fn scale32(bits: u64, n: u64) -> u64 {
+    ((bits & 0xFFFF_FFFF) * n) >> 32
 }
 
 impl SyntheticWorkload {
@@ -153,6 +230,8 @@ impl SyntheticWorkload {
             burst_region_base: 0,
             burst_remaining: 0,
             scan_cursor: 0,
+            thresholds: DrawThresholds::new(&params),
+            eligible_sets: vec![EligibleSet::default(); num_regions as usize],
             params,
         }
     }
@@ -188,81 +267,127 @@ impl SyntheticWorkload {
         (hash2(self.seed ^ 0xE11, page) & 0xFFFF_FFFF) < t
     }
 
+    /// The hot-eligible page offsets of the region starting at
+    /// `region_base`, hashing the region's pages on first touch.
+    fn eligible_pages(&mut self, region_base: u64) -> (u8, &[u8; REGION_PAGES as usize]) {
+        let idx = (region_base / REGION_PAGES) as usize;
+        if !self.eligible_sets[idx].built {
+            let t = (self.params.eligible_fraction * u32::MAX as f64) as u64;
+            let set = &mut self.eligible_sets[idx];
+            let mut n = 0u8;
+            for p in 0..REGION_PAGES {
+                if (hash2(self.seed ^ 0xE11, region_base + p) & 0xFFFF_FFFF) < t {
+                    set.pages[n as usize] = p as u8;
+                    n += 1;
+                }
+            }
+            set.count = n;
+            set.built = true;
+        }
+        let set = &self.eligible_sets[idx];
+        (set.count, &set.pages)
+    }
+
     /// A stable "hot block" of a page (graph vertices live at fixed
     /// offsets; each page has a few recurring blocks).
-    fn block_of(&mut self, page: u64) -> u64 {
-        let which = self.rng.next_below(self.params.hot_blocks_per_page);
+    fn block_of(&mut self, page: u64, which: u64) -> u64 {
         hash2(self.seed ^ 0xB10C, page * 64 + which) % (PAGE_BYTES / BLOCK_BYTES)
     }
 
-    fn op_at(&mut self, page: u64, dep: bool) -> MemOp {
-        let p = &self.params;
-        let write = self.rng.chance(p.write_fraction);
-        let work_jitter = self.rng.next_below(p.work_per_op as u64 + 1) as u16;
-        let work = p.work_per_op / 2 + work_jitter;
-        let block = self.block_of(page);
+    /// Builds the op at `page` from pre-drawn bits: `write`/`dep` are the
+    /// already-decided flags, `jitter_bits` shapes the work jitter, and a
+    /// fresh draw picks the hot block.
+    fn op_at(&mut self, page: u64, write: bool, dep: bool, jitter_bits: u64) -> MemOp {
+        let work_per_op = self.params.work_per_op;
+        let work_jitter = scale16(jitter_bits, work_per_op as u64 + 1) as u16;
+        let which = scale16(self.rng.next_u64(), self.params.hot_blocks_per_page.max(1));
+        let block = self.block_of(page, which);
         MemOp {
             vaddr: VirtAddr::new(page * PAGE_BYTES + block * BLOCK_BYTES),
             write,
-            work,
+            work: work_per_op / 2 + work_jitter,
             dep_on_prev: dep,
         }
     }
 
     /// Produces the next memory operation.
+    ///
+    /// Hot-path note: a typical op consumes two or three 64-bit draws. The
+    /// first draw packs the component selector (low 32 bits, compared
+    /// against the cumulative stream/cold thresholds) with the write and
+    /// dep flags (two 16-bit fields); a second shapes jitter and page
+    /// choice; `op_at` draws once more for the block. The old
+    /// one-`f64`-draw-per-decision layout cost nearly as much as the
+    /// simulated core itself.
     pub fn next_op(&mut self) -> MemOp {
-        let p = self.params.clone();
+        let t = self.thresholds;
+        let footprint_pages = self.params.footprint_pages;
+        let r = self.rng.next_u64();
+        let selector = r as u32;
+        let write = ((r >> 32) as u16) < t.write;
         // Sequential scan component.
-        if self.rng.chance(p.stream_fraction) {
-            let total_blocks = p.footprint_pages * (PAGE_BYTES / BLOCK_BYTES);
+        if selector < t.stream {
+            let total_blocks = footprint_pages * (PAGE_BYTES / BLOCK_BYTES);
             self.scan_cursor = (self.scan_cursor + 1) % total_blocks;
             let vaddr = VirtAddr::new(self.scan_cursor * BLOCK_BYTES);
-            let write = self.rng.chance(p.write_fraction);
-            let work_jitter = self.rng.next_below(p.work_per_op as u64 + 1) as u16;
+            let work_per_op = self.params.work_per_op;
+            // The dep field is unused on this path; its bits shape jitter.
+            let work_jitter = scale16(r >> 48, work_per_op as u64 + 1) as u16;
             return MemOp {
                 vaddr,
                 write,
-                work: p.work_per_op / 2 + work_jitter,
+                work: work_per_op / 2 + work_jitter,
                 dep_on_prev: false,
             };
         }
+        let dep = ((r >> 48) as u16) < t.dep;
+        let r2 = self.rng.next_u64();
         // Global cold trickle.
-        if self.rng.chance(p.cold_fraction) {
-            let page = self.rng.next_below(p.footprint_pages);
-            let dep = self.rng.chance(p.dep_fraction);
-            return self.op_at(page, dep);
+        if selector < t.cold_cum {
+            let page = scale32(r2 >> 32, footprint_pages);
+            return self.op_at(page, write, dep, r2);
         }
         // Hot component: bursts within Zipf-chosen hot regions.
         if self.burst_remaining == 0 {
             let rank = self.zipf.sample(&mut self.rng);
             self.burst_region_base = self.region_base_of_rank(rank);
-            self.burst_remaining = 1 + self.rng.next_below(2 * p.burst_len as u64) as u32;
+            self.burst_remaining = 1 + self.rng.next_below(2 * self.params.burst_len as u64) as u32;
         }
         self.burst_remaining -= 1;
         let base = self.burst_region_base;
-        let page = if self.rng.chance(p.intra_cold) {
+        let page = if ((r2 >> 16) as u16) < t.intra_cold {
             // Touch any page of the region, hot or cold.
-            base + self.rng.next_below(REGION_PAGES)
+            base + scale32(r2 >> 32, REGION_PAGES)
         } else {
-            // Find a hot-eligible page of the region (bounded retries).
-            let mut page = base + self.rng.next_below(REGION_PAGES);
-            for _ in 0..8 {
-                if self.is_eligible(page) {
-                    break;
-                }
-                page = base + self.rng.next_below(REGION_PAGES);
+            // A uniformly chosen hot-eligible page of the region, from the
+            // precomputed per-region table (a region with no eligible
+            // pages falls back to an arbitrary one).
+            let (count, pages) = self.eligible_pages(base);
+            if count == 0 {
+                base + scale32(r2 >> 32, REGION_PAGES)
+            } else {
+                base + pages[scale32(r2 >> 32, count as u64) as usize] as u64
             }
-            page
         };
-        let page = page.min(p.footprint_pages - 1);
-        let dep = self.rng.chance(p.dep_fraction);
-        self.op_at(page, dep)
+        let page = page.min(footprint_pages - 1);
+        self.op_at(page, write, dep, r2)
     }
 
     /// Fills `buf` with the next operations (convenience for batch runs).
     pub fn fill(&mut self, buf: &mut Vec<MemOp>, n: usize) {
         buf.clear();
         buf.extend((0..n).map(|_| self.next_op()));
+    }
+
+    /// Clears `batch` and generates the next `n` operations into it. The
+    /// batched run loop's generation phase: the arena's allocations are
+    /// reused, so this never allocates in steady state.
+    pub fn fill_batch(&mut self, batch: &mut OpBatch, n: usize) {
+        batch.clear();
+        for _ in 0..n {
+            let op = self.next_op();
+            batch.push(op);
+        }
     }
 }
 

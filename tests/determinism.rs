@@ -148,6 +148,80 @@ fn shadow_exports_are_deterministic() {
 }
 
 #[test]
+fn worker_count_never_changes_reports() {
+    // Intra-run sharding is an execution detail: with multiple memory
+    // controllers, `System::set_jobs` only decides which thread applies
+    // each MC's (FIFO) writeback queue at a batch boundary. Reports must
+    // be byte-identical for every worker count.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let run = |jobs: usize| {
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        cfg.memory_controllers = 4;
+        let mut sys = System::new(cfg, &spec);
+        sys.set_jobs(jobs);
+        sys.run(mode.warmup_ops, mode.measure_ops)
+    };
+    let sequential = run(1);
+    for jobs in [2, 4, 9] {
+        assert_eq!(
+            sequential.to_cache_text(),
+            run(jobs).to_cache_text(),
+            "{jobs} drain workers changed the simulated run"
+        );
+    }
+}
+
+#[test]
+fn worker_count_never_changes_exported_bytes() {
+    // Same invariant end-to-end through the telemetry exporter: worker
+    // count must leave every exported artifact (.jsonl, .shadow.jsonl)
+    // byte-identical. (With probes installed the drain is sequential by
+    // construction; this pins the user-facing promise regardless.)
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let export = |jobs: usize| {
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        cfg.memory_controllers = 2;
+        let mut sys = System::new(cfg, &spec);
+        sys.set_jobs(jobs);
+        sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+            shadow: true,
+            span_sample: 16,
+            ..dylect_telemetry::TelemetryConfig::default()
+        });
+        sys.run(mode.warmup_ops, mode.measure_ops);
+        let telemetry = sys.take_telemetry().expect("enabled above");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-jobs-det-{}-{jobs}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("omnetpp-dylect"))
+            .expect("export writes");
+        let contents: Vec<(String, String)> = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    let sequential = export(1);
+    for jobs in [2, 8] {
+        let parallel = export(jobs);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((name_a, body_a), (name_b, body_b)) in sequential.iter().zip(&parallel) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(body_a, body_b, "{name_a} differs with {jobs} workers");
+        }
+    }
+}
+
+#[test]
 fn attribution_conserves_cycles_for_every_scheme() {
     // Aggregate conservation: for each scheme and each scope, the summed
     // per-component cycle totals must equal the summed end-to-end latency

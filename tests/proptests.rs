@@ -367,3 +367,57 @@ fn access_record_conserves_cycles() {
         Ok(())
     });
 }
+
+/// The batched single-core retirement path and the per-op path (the one
+/// telemetry forces) retire identical streams: across random schemes,
+/// compression settings, MC counts, window sizes, and seeds — with shadow
+/// probing and span sampling enabled on the per-op side — the two runs
+/// produce byte-identical reports.
+#[test]
+fn batched_and_per_op_retirement_streams_agree() {
+    use dylect_sim::{SchemeKind, System, SystemConfig};
+    use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+    forall("batched_vs_per_op", 6, |g| {
+        let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+        let scheme = match g.u64_below(4) {
+            0 => SchemeKind::NoCompression,
+            1 => SchemeKind::tmcc(),
+            2 => SchemeKind::NaiveDynamic,
+            _ => SchemeKind::dylect(),
+        };
+        let setting = if g.bool() {
+            CompressionSetting::High
+        } else {
+            CompressionSetting::Low
+        };
+        let label = scheme.label();
+        let mut cfg = SystemConfig::quick(&spec, scheme, setting);
+        cfg.memory_controllers = g.range(1, 3) as usize;
+        cfg.seed = g.u64();
+        let warmup = g.range(0, 4_000);
+        let measure = g.range(1_000, 6_000);
+        let run = |telemetry: bool| {
+            let mut sys = System::new(cfg.clone(), &spec);
+            if telemetry {
+                sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+                    epoch_ops: 1_000,
+                    shadow: true,
+                    span_sample: 16,
+                    ..dylect_telemetry::TelemetryConfig::default()
+                });
+            }
+            sys.run(warmup, measure)
+        };
+        let batched = run(false); // single core + no telemetry = batched path
+        let per_op = run(true); // telemetry forces the per-op path
+        if batched.to_cache_text() != per_op.to_cache_text() {
+            return Err(format!(
+                "batched and per-op paths diverged (scheme {}, {} MCs, \
+                 seed {:#x}, {warmup}+{measure} ops)",
+                label, cfg.memory_controllers, cfg.seed
+            ));
+        }
+        Ok(())
+    });
+}

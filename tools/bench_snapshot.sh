@@ -5,6 +5,7 @@
 #
 #   $1  probes-off snapshot   (default BENCH_telemetry.json)
 #   $2  shadow-probe snapshot (default BENCH_shadow.json)
+#   $3  batched-loop snapshot (default BENCH_batched.json)
 #
 # The first file records `system_step_1000_ops` (telemetry fully off — the
 # budget-carrying number). The second records it next to
@@ -15,6 +16,14 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_telemetry.json}"
 SHADOW_OUT="${2:-BENCH_shadow.json}"
+BATCHED_OUT="${3:-BENCH_batched.json}"
+
+# The pre-batching baseline comes from the *committed* shadow snapshot
+# (falling back to the working-tree copy): this run refreshes the file,
+# so reading it afterwards — or after an earlier local run — would
+# compare the new number to itself.
+FROZEN=$( (git show HEAD:"$SHADOW_OUT" 2>/dev/null || cat "$SHADOW_OUT" 2>/dev/null) \
+    | sed -n 's/.*"baseline_median_ns_per_iter": \([0-9.]*\).*/\1/p' | head -1)
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
 RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000")
@@ -65,3 +74,29 @@ cat > "$SHADOW_OUT" <<JSON
 }
 JSON
 echo "bench_snapshot: wrote $SHADOW_OUT (shadow median $SHADOW_MEDIAN ns/iter, overhead ${OVERHEAD}%)"
+
+# Batched-retirement snapshot: the probes-off number again, plus its
+# speedup over the frozen pre-batching baseline recorded in the committed
+# BENCH_shadow.json (the `baseline_median_ns_per_iter` field from the
+# last per-op-loop snapshot). The ratio carries the optimisation claim;
+# the sharded two-MC variants ride along for reference.
+if [ -n "$FROZEN" ]; then
+    SPEEDUP=$(awk -v f="$FROZEN" -v m="$MEDIAN" 'BEGIN { printf "%.2f", f / m }')
+    MC_SEQ=$(parse "$(echo "$RAW" | grep 2mc_seq || true)" 2mc_seq)
+    MC_PAR=$(parse "$(echo "$RAW" | grep 2mc_jobs2 || true)" 2mc_jobs2)
+    cat > "$BATCHED_OUT" <<JSON
+{
+  "bench": "system_step_1000_ops",
+  "median_ns_per_iter": $MEDIAN,
+  "min_ns_per_iter": $MIN,
+  "frozen_baseline_ns_per_iter": $FROZEN,
+  "speedup_vs_frozen_baseline": $SPEEDUP,
+  "two_mc_sequential_ns_per_iter": ${MC_SEQ:-null},
+  "two_mc_two_jobs_ns_per_iter": ${MC_PAR:-null},
+  "git_rev": "$GIT_REV"
+}
+JSON
+    echo "bench_snapshot: wrote $BATCHED_OUT (${SPEEDUP}x vs frozen baseline $FROZEN ns/iter)"
+else
+    echo "bench_snapshot: no frozen baseline in $SHADOW_OUT; skipping $BATCHED_OUT" >&2
+fi

@@ -61,4 +61,18 @@ for f in "$SMOKE"/shadow-a/*.trace.json; do
 done
 echo "shadow smoke: OK"
 
+echo "== sharding smoke: worker count leaves the multi-MC ablation byte-identical"
+# The multi-MC ablation sweeps 1/2/4 controllers, so DYLECT_JOBS>1 drains
+# independent MCs on worker threads *within* each run. Worker count is an
+# execution detail; the emitted table must not change by a byte.
+DYLECT_QUICK=1 DYLECT_JOBS=1 DYLECT_NO_CACHE=1 \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin ablation_multimc > "$SMOKE/multimc-seq.tsv"
+DYLECT_QUICK=1 DYLECT_JOBS=3 DYLECT_NO_CACHE=1 \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin ablation_multimc > "$SMOKE/multimc-par.tsv"
+cmp -s "$SMOKE/multimc-seq.tsv" "$SMOKE/multimc-par.tsv" \
+    || { echo "sharding smoke: worker count changed results"; exit 1; }
+echo "sharding smoke: OK"
+
 echo "verify: OK"
