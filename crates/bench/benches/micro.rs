@@ -181,4 +181,18 @@ fn bench_end_to_end() {
             black_box(&sys);
         });
     }
+
+    // Checkpoint restore cost: snapshot the warmed system once, then each
+    // iteration rewinds to that snapshot and advances the same 1000 ops.
+    // The delta against `system_step_1000_ops` is the per-resume restore
+    // overhead (tools/bench_snapshot.sh records it in BENCH_checkpoint.json).
+    let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let mut sys = System::new(cfg, &spec);
+    let snap = sys.warm_up_and_snapshot(50_000);
+    bench("system_restore_1000_ops", 50, || {
+        sys.restore(black_box(&snap))
+            .expect("own snapshot restores");
+        sys.execute(1000);
+        black_box(&sys);
+    });
 }

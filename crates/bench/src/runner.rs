@@ -162,7 +162,29 @@ impl RunKey {
         dylect_sim_core::kv::fingerprint64(&input)
     }
 
-    /// Executes the simulation (no cache involvement).
+    /// Fingerprint of the run's *warmup prefix*: everything that determines
+    /// the simulation state at the end of warmup, and nothing else. Unlike
+    /// [`RunKey::fingerprint`], this excludes the measurement window and the
+    /// telemetry env (the runner never warms up with telemetry on), so
+    /// every sweep bin sharing a configuration prefix — different
+    /// `measure_ops`, different downstream telemetry — keys the same
+    /// checkpoint.
+    fn checkpoint_fingerprint(&self) -> u64 {
+        let cfg = self.config();
+        let input = format!(
+            "checkpoint-snapv{};cfg{:?};spec{:?};warm{}",
+            dylect_sim_core::snap::SNAP_VERSION,
+            cfg,
+            self.spec,
+            warmup_for(&self.spec, self.mode),
+        );
+        dylect_sim_core::kv::fingerprint64(&input)
+    }
+
+    /// Executes the simulation (no report-cache involvement). With
+    /// `DYLECT_CHECKPOINT_DIR` set, the warmup prefix warm-starts from (or
+    /// populates) a shared on-disk snapshot keyed by
+    /// [`RunKey::checkpoint_fingerprint`].
     pub fn execute(&self) -> RunReport {
         let cfg = self.config();
         let warmup = warmup_for(&self.spec, self.mode);
@@ -173,7 +195,64 @@ impl RunKey {
         if let Some(jobs) = jobs_from_env() {
             sys.set_jobs(jobs);
         }
-        sys.run(warmup, self.mode.measure_ops)
+        let Some(dir) = checkpoint_dir_from_env() else {
+            return sys.run(warmup, self.mode.measure_ops);
+        };
+        let label = self.label();
+        let stem = format!(
+            "{}-{:016x}",
+            sanitize(&label),
+            self.checkpoint_fingerprint()
+        );
+        let ckpt = dir.join(format!("{stem}.ckpt"));
+        if let Ok(bytes) = fs::read(&ckpt) {
+            let t0 = Instant::now();
+            match sys.resume_measurement(&bytes, self.mode.measure_ops) {
+                Ok(report) => {
+                    let restore_s = t0.elapsed().as_secs_f64();
+                    let saved = match checkpoint_warmup_secs(&dir, &stem) {
+                        Some(w) => format!(", saving ~{:.1}s of warmup", (w - restore_s).max(0.0)),
+                        None => String::new(),
+                    };
+                    eprintln!(
+                        "[runner] {label}: warm-started from checkpoint in {restore_s:.1}s{saved}"
+                    );
+                    return report;
+                }
+                // A stale or damaged checkpoint degrades to a cold run; the
+                // failed restore left `sys` unspecified, so rebuild it.
+                Err(e) => {
+                    eprintln!(
+                        "[runner] warning: ignoring checkpoint {}: {e}",
+                        ckpt.display()
+                    );
+                    sys = System::new(self.config(), &self.spec);
+                    if let Some(jobs) = jobs_from_env() {
+                        sys.set_jobs(jobs);
+                    }
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let snap = sys.warm_up_and_snapshot(warmup);
+        let warm_secs = t0.elapsed().as_secs_f64();
+        match write_bytes_atomically(&ckpt, &snap) {
+            Ok(()) => {
+                let _ = write_atomically(
+                    &dir.join(format!("{stem}.meta")),
+                    &format!("warmup_secs={warm_secs:.3}\n"),
+                );
+                eprintln!(
+                    "[runner] {label}: checkpoint saved ({} KB; {warm_secs:.1}s of warmup now reusable)",
+                    snap.len() / 1024,
+                );
+            }
+            // A read-only checkout degrades to uncheckpointed, not failure.
+            Err(e) => eprintln!("[runner] warning: could not write {}: {e}", ckpt.display()),
+        }
+        sys.start_measurement();
+        sys.execute(self.mode.measure_ops);
+        sys.finish()
     }
 
     fn into_job(self) -> Job {
@@ -237,10 +316,14 @@ impl Job {
 /// under another.
 fn telemetry_env_fingerprint() -> String {
     let get = |key: &str| std::env::var(key).unwrap_or_default();
+    // `DYLECT_CHECKPOINT_DIR` rides along for the same reason: a cache hit
+    // skips execution, which would silently skip populating the warmup
+    // checkpoint a warm-start sweep expects to find afterwards.
     format!(
-        "span_sample={};shadow={}",
+        "span_sample={};shadow={};checkpoint_dir={}",
         get("DYLECT_SPAN_SAMPLE"),
         get("DYLECT_SHADOW"),
+        get("DYLECT_CHECKPOINT_DIR"),
     )
 }
 
@@ -285,6 +368,44 @@ pub fn jobs_from_env() -> Option<usize> {
             std::process::exit(2);
         }
     }
+}
+
+/// Parses a `DYLECT_CHECKPOINT_DIR` value: unset is `Ok(None)` (warmup
+/// checkpointing off), a non-empty path enables it. An empty or blank
+/// value is a usage error — it would silently checkpoint into the current
+/// directory's root, so a mis-exported variable must fail loudly.
+pub fn parse_checkpoint_dir(raw: Option<&str>) -> Result<Option<PathBuf>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    if raw.trim().is_empty() {
+        return Err(
+            "DYLECT_CHECKPOINT_DIR must be a directory path, got an empty value \
+             (unset it to disable warmup checkpoints)"
+                .to_owned(),
+        );
+    }
+    Ok(Some(PathBuf::from(raw)))
+}
+
+/// [`parse_checkpoint_dir`] against the live environment; a malformed
+/// value prints a usage message and exits with status 2.
+pub fn checkpoint_dir_from_env() -> Option<PathBuf> {
+    let raw = std::env::var("DYLECT_CHECKPOINT_DIR").ok();
+    match parse_checkpoint_dir(raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("usage: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reads the `warmup_secs=` sidecar written next to a checkpoint, so a
+/// warm-start can log the measured wall-clock saving.
+fn checkpoint_warmup_secs(dir: &Path, stem: &str) -> Option<f64> {
+    let text = fs::read_to_string(dir.join(format!("{stem}.meta"))).ok()?;
+    text.strip_prefix("warmup_secs=")?.trim().parse().ok()
 }
 
 /// The parallel, cached experiment runner.
@@ -446,10 +567,14 @@ impl Runner {
 }
 
 fn write_atomically(path: &Path, text: &str) -> std::io::Result<()> {
+    write_bytes_atomically(path, text.as_bytes())
+}
+
+fn write_bytes_atomically(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().expect("cache path has a parent");
     fs::create_dir_all(dir)?;
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    fs::write(&tmp, text)?;
+    fs::write(&tmp, bytes)?;
     fs::rename(&tmp, path)
 }
 
@@ -484,6 +609,97 @@ mod tests {
         assert!(parse_jobs(Some("")).is_err());
         assert!(parse_jobs(Some("-2")).is_err());
         assert!(parse_jobs(Some("2.5")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_dir_parsing_accepts_paths_and_rejects_blank() {
+        assert_eq!(parse_checkpoint_dir(None), Ok(None));
+        assert_eq!(
+            parse_checkpoint_dir(Some("results/ckpt")),
+            Ok(Some(PathBuf::from("results/ckpt")))
+        );
+        assert!(parse_checkpoint_dir(Some("")).is_err(), "blank is a typo");
+        assert!(parse_checkpoint_dir(Some("   ")).is_err());
+    }
+
+    /// Regression test: a cached report produced without checkpointing must
+    /// not satisfy a warm-start sweep (which expects execution to populate
+    /// the checkpoint), so `DYLECT_CHECKPOINT_DIR` perturbs the cache
+    /// fingerprint — but never the *checkpoint* fingerprint, which must
+    /// stay shared across measure windows and telemetry settings. (This
+    /// test owns `DYLECT_CHECKPOINT_DIR` mutation in this binary.)
+    #[test]
+    fn fingerprint_tracks_checkpoint_env_but_checkpoint_key_does_not() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        std::env::remove_var("DYLECT_CHECKPOINT_DIR");
+        let base = key.fingerprint();
+        let base_ckpt = key.checkpoint_fingerprint();
+
+        std::env::set_var("DYLECT_CHECKPOINT_DIR", "results/ckpt");
+        assert_ne!(key.fingerprint(), base, "checkpointing changes the key");
+        assert_eq!(
+            key.checkpoint_fingerprint(),
+            base_ckpt,
+            "the checkpoint's own identity is env-independent"
+        );
+        std::env::remove_var("DYLECT_CHECKPOINT_DIR");
+        assert_eq!(key.fingerprint(), base, "restoring the env restores it");
+
+        // Sweep bins differing only in the measurement window share one
+        // warmup checkpoint; a different warmup prefix must not.
+        let mut longer = key.clone();
+        longer.mode.measure_ops *= 2;
+        assert_eq!(longer.checkpoint_fingerprint(), base_ckpt);
+        assert_ne!(longer.fingerprint(), key.fingerprint());
+        let other_scheme = RunKey::new(
+            key.spec.clone(),
+            SchemeKind::tmcc(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        assert_ne!(other_scheme.checkpoint_fingerprint(), base_ckpt);
+    }
+
+    /// A checkpoint round trip through `execute`: the first run populates
+    /// the shared checkpoint, the second warm-starts from it, and both
+    /// reports are byte-identical to an uncheckpointed run.
+    #[test]
+    fn execute_warm_starts_from_a_shared_checkpoint() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        let cold = key.execute();
+        let dir = std::env::temp_dir().join(format!("dylect-ckpt-test-{}", std::process::id()));
+        let stem = format!(
+            "{}-{:016x}",
+            sanitize(&key.label()),
+            key.checkpoint_fingerprint()
+        );
+        // Drive the checkpoint path directly (no env mutation: other tests
+        // in this binary read the environment concurrently).
+        let warmup = warmup_for(&key.spec, key.mode);
+        let mut donor = System::new(key.config(), &key.spec);
+        let snap = donor.warm_up_and_snapshot(warmup);
+        write_bytes_atomically(&dir.join(format!("{stem}.ckpt")), &snap).unwrap();
+        donor.start_measurement();
+        donor.execute(key.mode.measure_ops);
+        assert_eq!(donor.finish().to_cache_text(), cold.to_cache_text());
+
+        let mut warm = System::new(key.config(), &key.spec);
+        let bytes = fs::read(dir.join(format!("{stem}.ckpt"))).unwrap();
+        let resumed = warm
+            .resume_measurement(&bytes, key.mode.measure_ops)
+            .expect("checkpoint restores");
+        assert_eq!(resumed.to_cache_text(), cold.to_cache_text());
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod prefetch;
 pub mod sector;
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 
 /// Replacement policy of a [`SetAssocCache`].
@@ -482,6 +483,60 @@ impl<T: Clone> SetAssocCache<T> {
             .iter()
             .filter(|&&t| t != 0)
             .map(|&t| (t & TAG_KEY) - 1)
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.hits.write_snapshot(w);
+        self.misses.write_snapshot(w);
+        self.writebacks.write_snapshot(w);
+    }
+}
+
+impl Restore for CacheStats {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.hits.restore_snapshot(r)?;
+        self.misses.restore_snapshot(r)?;
+        self.writebacks.restore_snapshot(r)
+    }
+}
+
+// Geometry (config, num_sets, ways, set_mask, block_shift) is construction
+// state and never serialized; the line count doubles as the geometry check.
+impl<T: Snapshot> Snapshot for SetAssocCache<T> {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.tags.len());
+        for &t in &self.tags {
+            w.u64(t);
+        }
+        for &s in &self.stamps {
+            w.u64(s);
+        }
+        for m in &self.meta {
+            m.write_snapshot(w);
+        }
+        w.u64(self.clock);
+        w.u64(self.rand_state);
+        self.stats.write_snapshot(w);
+    }
+}
+
+impl<T: Restore> Restore for SetAssocCache<T> {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.tags.len(), "cache line count")?;
+        for t in &mut self.tags {
+            *t = r.u64()?;
+        }
+        for s in &mut self.stamps {
+            *s = r.u64()?;
+        }
+        for m in &mut self.meta {
+            m.restore_snapshot(r)?;
+        }
+        self.clock = r.u64()?;
+        self.rand_state = r.u64()?;
+        self.stats.restore_snapshot(r)
     }
 }
 

@@ -6,6 +6,8 @@
 //! prefetchers: the caller feeds demand block keys and receives candidate
 //! block keys to prefetch.
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A next-line prefetcher with an accuracy-driven automatic enable/disable.
 ///
 /// The prefetcher tracks how many of its recently issued prefetches were
@@ -95,6 +97,37 @@ impl NextLinePrefetcher {
             self.issued_count = 0;
         }
         Some(candidate)
+    }
+}
+
+impl Snapshot for NextLinePrefetcher {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.bool(self.enabled);
+        for &b in &self.issued {
+            w.u64(b);
+        }
+        w.u64(self.cursor as u64);
+        w.u32(self.useful);
+        w.u32(self.issued_count);
+        w.u32(self.probe_countdown);
+    }
+}
+
+impl Restore for NextLinePrefetcher {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.enabled = r.bool()?;
+        for b in &mut self.issued {
+            *b = r.u64()?;
+        }
+        let cursor = r.u64()? as usize;
+        if cursor >= self.issued.len() {
+            return Err(SnapError::Corrupt("prefetch cursor out of range"));
+        }
+        self.cursor = cursor;
+        self.useful = r.u32()?;
+        self.issued_count = r.u32()?;
+        self.probe_countdown = r.u32()?;
+        Ok(())
     }
 }
 
@@ -225,6 +258,33 @@ impl StridePrefetcher {
             }
         }
         out
+    }
+}
+
+impl Snapshot for StridePrefetcher {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.table.len());
+        for e in &self.table {
+            w.u64(e.tag);
+            w.u64(e.last_block);
+            w.i64(e.stride);
+            w.u8(e.confidence);
+            w.bool(e.valid);
+        }
+    }
+}
+
+impl Restore for StridePrefetcher {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.table.len(), "stride table size")?;
+        for e in &mut self.table {
+            e.tag = r.u64()?;
+            e.last_block = r.u64()?;
+            e.stride = r.i64()?;
+            e.confidence = r.u8()?;
+            e.valid = r.bool()?;
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! fill only a 2 B sector — so lines warm up slowly and most bits sit
 //! invalid in the common case.
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 
 /// Statistics of a [`SectorCache`].
@@ -198,6 +199,60 @@ impl SectorCache {
         } else {
             valid_sectors as f64 / (valid_lines * self.sectors_per_line) as f64
         }
+    }
+}
+
+impl Snapshot for SectorStats {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.sector_hits.write_snapshot(w);
+        self.sector_misses.write_snapshot(w);
+        self.line_misses.write_snapshot(w);
+    }
+}
+
+impl Restore for SectorStats {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.sector_hits.restore_snapshot(r)?;
+        self.sector_misses.restore_snapshot(r)?;
+        self.line_misses.restore_snapshot(r)
+    }
+}
+
+impl Snapshot for SectorCache {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.sets.len());
+        for set in &self.sets {
+            w.seq(set.len());
+            for line in set {
+                w.u64(line.tag);
+                w.bool(line.valid);
+                w.u64(line.stamp);
+                for &s in &line.sectors {
+                    w.bool(s);
+                }
+            }
+        }
+        w.u64(self.clock);
+        self.stats.write_snapshot(w);
+    }
+}
+
+impl Restore for SectorCache {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.sets.len(), "sector cache set count")?;
+        for set in &mut self.sets {
+            r.fixed_seq(set.len(), "sector cache way count")?;
+            for line in set {
+                line.tag = r.u64()?;
+                line.valid = r.bool()?;
+                line.stamp = r.u64()?;
+                for s in &mut line.sectors {
+                    *s = r.bool()?;
+                }
+            }
+        }
+        self.clock = r.u64()?;
+        self.stats.restore_snapshot(r)
     }
 }
 

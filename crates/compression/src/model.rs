@@ -10,7 +10,7 @@
 //! Sizes are quantized to the 16 × 256 B **size classes** the free-space
 //! allocator tracks, mirroring TMCC's irregular-size free lists.
 
-use dylect_sim_core::rng::hash2;
+use dylect_sim_core::rng::{hash2, hash64};
 use dylect_sim_core::PageId;
 
 /// Allocation granularity of compressed pages.
@@ -130,6 +130,24 @@ impl CompressibilityProfile {
     pub fn mean_ratio(&self) -> f64 {
         4096.0 / self.mean_compressed_bytes()
     }
+
+    /// Stable identity digest over the profile's name and CDF.
+    ///
+    /// The compression model is pure (a page's size is a hash of its
+    /// identity, never mutated at run time), so a snapshot carries this
+    /// digest instead of model state: restoring against a system built with
+    /// a different profile is detected as a mismatch rather than silently
+    /// diverging.
+    pub fn digest(&self) -> u64 {
+        let mut d = hash64(self.name.len() as u64);
+        for b in self.name.bytes() {
+            d = hash2(d, b as u64);
+        }
+        for &c in &self.cdf {
+            d = hash2(d, c as u64);
+        }
+        d
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +210,23 @@ mod tests {
         }
         assert_eq!(p.mean_compressed_bytes(), 1024.0);
         assert_eq!(p.mean_ratio(), 4.0);
+    }
+
+    #[test]
+    fn digest_tracks_name_and_distribution() {
+        let a = CompressibilityProfile::with_mean_ratio("t", 2.0);
+        assert_eq!(
+            a.digest(),
+            CompressibilityProfile::with_mean_ratio("t", 2.0).digest()
+        );
+        assert_ne!(
+            a.digest(),
+            CompressibilityProfile::with_mean_ratio("u", 2.0).digest()
+        );
+        assert_ne!(
+            a.digest(),
+            CompressibilityProfile::with_mean_ratio("t", 2.5).digest()
+        );
     }
 
     #[test]

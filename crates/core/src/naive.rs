@@ -33,6 +33,7 @@ use dylect_memctl::{transfer, DramUse, PageState, CTE_CACHE_HIT_LATENCY};
 use dylect_sim_core::probe::{
     CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
 };
+use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 use dylect_sim_core::{DramPageId, PageId, PhysAddr, Time, PAGE_BYTES};
 
 use crate::groups::GroupMap;
@@ -110,6 +111,30 @@ impl ShortCteCache {
         match self {
             ShortCteCache::Gathered(c) => c.reset_stats(),
             ShortCteCache::Sector(c) => c.reset_stats(),
+        }
+    }
+
+    // The variant is configuration, so the tag byte is a consistency guard,
+    // not a choice the snapshot can change.
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        match self {
+            ShortCteCache::Gathered(c) => {
+                w.u8(0);
+                c.write_snapshot(w);
+            }
+            ShortCteCache::Sector(c) => {
+                w.u8(1);
+                c.write_snapshot(w);
+            }
+        }
+    }
+
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        match (r.u8()?, self) {
+            (0, ShortCteCache::Gathered(c)) => c.restore_snapshot(r),
+            (1, ShortCteCache::Sector(c)) => c.restore_snapshot(r),
+            (0 | 1, _) => Err(SnapError::Mismatch("short-CTE cache organization")),
+            _ => Err(SnapError::Corrupt("unknown short-CTE cache tag")),
         }
     }
 }
@@ -531,6 +556,38 @@ impl MemoryScheme for NaiveDynamic {
             free_pages: self.store.free.free_page_count() as u64,
             free_bytes: self.store.free.free_bytes(),
         }
+    }
+
+    // `cfg`, `layout`, and `groups` are construction state; the probe is
+    // reinstalled by the owner after restore.
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.store.write_snapshot(w);
+        self.short_cache.write_snapshot(w);
+        self.long_cache.write_snapshot(w);
+        w.seq(self.short_cte.len());
+        w.bytes(&self.short_cte);
+        self.stats.write_snapshot(w);
+        w.u64(self.requests_seen);
+        w.u64(self.rotate);
+    }
+
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.store.restore_snapshot(r)?;
+        self.short_cache.restore_snapshot(r)?;
+        self.long_cache.restore_snapshot(r)?;
+        r.fixed_seq(self.short_cte.len(), "short CTE table size")?;
+        let n = self.short_cte.len();
+        self.short_cte.copy_from_slice(r.bytes(n)?);
+        let invalid = self.groups.invalid();
+        for &s in &self.short_cte {
+            if s != invalid && (s as u64) >= self.cfg.group_size {
+                return Err(SnapError::Corrupt("short CTE slot out of range"));
+            }
+        }
+        self.stats.restore_snapshot(r)?;
+        self.requests_seen = r.u64()?;
+        self.rotate = r.u64()?;
+        Ok(())
     }
 }
 

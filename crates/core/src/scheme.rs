@@ -36,6 +36,7 @@ use dylect_sim_core::probe::{
     CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
 };
 use dylect_sim_core::rng::Rng;
+use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 use dylect_sim_core::{DramPageId, MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 use crate::groups::GroupMap;
@@ -655,6 +656,47 @@ impl MemoryScheme for Dylect {
             free_pages: self.store.free.free_page_count() as u64,
             free_bytes: self.store.free.free_bytes(),
         }
+    }
+
+    // `cfg`, `layout`, and `groups` are construction state; the probe is
+    // reinstalled by the owner after restore.
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.store.write_snapshot(w);
+        self.cte_cache.write_snapshot(w);
+        w.seq(self.short_cte.len());
+        w.bytes(&self.short_cte);
+        self.counters.write_snapshot(w);
+        self.rng.write_snapshot(w);
+        self.stats.write_snapshot(w);
+        w.u64(self.requests_seen);
+        w.u64(self.ml0_count);
+    }
+
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.store.restore_snapshot(r)?;
+        self.cte_cache.restore_snapshot(r)?;
+        r.fixed_seq(self.short_cte.len(), "short CTE table size")?;
+        let n = self.short_cte.len();
+        self.short_cte.copy_from_slice(r.bytes(n)?);
+        let invalid = self.groups.invalid();
+        let mut ml0 = 0u64;
+        for &s in &self.short_cte {
+            if s != invalid {
+                if (s as u64) >= self.cfg.group_size {
+                    return Err(SnapError::Corrupt("short CTE slot out of range"));
+                }
+                ml0 += 1;
+            }
+        }
+        self.counters.restore_snapshot(r)?;
+        self.rng.restore_snapshot(r)?;
+        self.stats.restore_snapshot(r)?;
+        self.requests_seen = r.u64()?;
+        self.ml0_count = r.u64()?;
+        if self.ml0_count != ml0 {
+            return Err(SnapError::Corrupt("ml0 census disagrees with short CTEs"));
+        }
+        Ok(())
     }
 }
 

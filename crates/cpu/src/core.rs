@@ -17,6 +17,7 @@ use dylect_sim_core::probe::{
     AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass,
     TranslationPath,
 };
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::trace::{MemOp, OpBatch};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES};
@@ -457,6 +458,63 @@ impl Core {
         }
         backend.access(now, addr, BackendOp::Prefetch);
         self.fill_l2(addr, false, backend, now);
+    }
+}
+
+// Configuration and derived fields (cfg, cycle, width_shift, rob_window,
+// layout) are construction state; the probe handle is reinstalled by the
+// owner. Note `outstanding` may legitimately be non-empty at a snapshot
+// boundary — in-flight miss completions are part of the interval model's
+// timing state and must round-trip.
+impl Snapshot for Core {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.time.write_snapshot(w);
+        self.l1.write_snapshot(w);
+        self.l2.write_snapshot(w);
+        self.tlb.write_snapshot(w);
+        self.walker.write_snapshot(w);
+        self.stride_pf.write_snapshot(w);
+        self.nextline_pf.write_snapshot(w);
+        w.seq(self.outstanding.len());
+        for t in &self.outstanding {
+            t.write_snapshot(w);
+        }
+        self.last_completion.write_snapshot(w);
+        self.stats.instructions.write_snapshot(w);
+        self.stats.mem_ops.write_snapshot(w);
+        self.stats.stores.write_snapshot(w);
+        self.stats.l1_misses.write_snapshot(w);
+        self.stats.l2_misses.write_snapshot(w);
+        self.stats.walk_time.write_snapshot(w);
+    }
+}
+
+impl Restore for Core {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.time.restore_snapshot(r)?;
+        self.l1.restore_snapshot(r)?;
+        self.l2.restore_snapshot(r)?;
+        self.tlb.restore_snapshot(r)?;
+        self.walker.restore_snapshot(r)?;
+        self.stride_pf.restore_snapshot(r)?;
+        self.nextline_pf.restore_snapshot(r)?;
+        let n = r.seq(8)?;
+        if n > self.cfg.mlp {
+            return Err(SnapError::Corrupt("outstanding misses exceed MLP"));
+        }
+        self.outstanding.clear();
+        for _ in 0..n {
+            let mut t = Time::ZERO;
+            t.restore_snapshot(r)?;
+            self.outstanding.push_back(t);
+        }
+        self.last_completion.restore_snapshot(r)?;
+        self.stats.instructions.restore_snapshot(r)?;
+        self.stats.mem_ops.restore_snapshot(r)?;
+        self.stats.stores.restore_snapshot(r)?;
+        self.stats.l1_misses.restore_snapshot(r)?;
+        self.stats.l2_misses.restore_snapshot(r)?;
+        self.stats.walk_time.restore_snapshot(r)
     }
 }
 

@@ -6,6 +6,7 @@
 //! TLBs per page size, a larger unified L2 TLB.
 
 use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::{VirtAddr, HUGE_PAGE_BYTES, PAGE_BYTES};
 
@@ -185,6 +186,30 @@ impl Tlb {
         self.l1(mode).fill(vpn, false, ());
         self.l2.fill(Self::l2_key(mode, vpn), false, ());
         self.last_key = Self::l2_key(mode, vpn);
+    }
+}
+
+impl Snapshot for Tlb {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.l1_4k.write_snapshot(w);
+        self.l1_2m.write_snapshot(w);
+        self.l2.write_snapshot(w);
+        w.u64(self.last_key);
+        self.stats.l1_hits.write_snapshot(w);
+        self.stats.l2_hits.write_snapshot(w);
+        self.stats.misses.write_snapshot(w);
+    }
+}
+
+impl Restore for Tlb {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.l1_4k.restore_snapshot(r)?;
+        self.l1_2m.restore_snapshot(r)?;
+        self.l2.restore_snapshot(r)?;
+        self.last_key = r.u64()?;
+        self.stats.l1_hits.restore_snapshot(r)?;
+        self.stats.l2_hits.restore_snapshot(r)?;
+        self.stats.misses.restore_snapshot(r)
     }
 }
 

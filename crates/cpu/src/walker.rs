@@ -15,6 +15,7 @@
 //!   pages make walks both rare *and* cheap.
 
 use dylect_cache::{CacheConfig, SetAssocCache};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::{PhysAddr, VirtAddr, PAGES_PER_HUGE_PAGE, PAGE_BYTES};
 
@@ -161,6 +162,22 @@ impl PageWalker {
             self.cache.fill(upper_key, false, ());
             vec![upper.block_base(), leaf.block_base()]
         }
+    }
+}
+
+impl Snapshot for PageWalker {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.cache.write_snapshot(w);
+        self.stats.walks.write_snapshot(w);
+        self.stats.upper_hits.write_snapshot(w);
+    }
+}
+
+impl Restore for PageWalker {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.cache.restore_snapshot(r)?;
+        self.stats.walks.restore_snapshot(r)?;
+        self.stats.upper_hits.restore_snapshot(r)
     }
 }
 

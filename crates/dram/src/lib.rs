@@ -36,6 +36,7 @@ pub mod stats;
 
 use std::collections::HashMap;
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::{MachineAddr, Time};
 
 pub use config::{DramConfig, DramGeometry, DramTiming, SchedulerConfig};
@@ -164,6 +165,40 @@ impl Dram {
     /// demand access.
     pub fn take_completion_detail(&mut self, id: ReqId) -> Option<CompletionDetail> {
         self.completions.remove(&id)
+    }
+
+    /// Serializes timing/scheduler state. Call only at a quiescent point:
+    /// every submitted request drained and every completion consumed (the
+    /// simulator's window boundaries guarantee this; access paths pair each
+    /// submit with a take).
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.completions.is_empty(),
+            "DRAM snapshot requires all completions consumed"
+        );
+        w.seq(self.channels.len());
+        for ch in &self.channels {
+            ch.write_snapshot(w);
+        }
+        self.stats.write_snapshot(w);
+        self.queue.write_snapshot(w);
+        w.u64(self.next_id);
+    }
+
+    /// Restores timing/scheduler state written by [`Dram::write_snapshot`]
+    /// onto a same-configuration instance.
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.channels.len(), "channel count")?;
+        for ch in &mut self.channels {
+            ch.restore_snapshot(r)?;
+        }
+        self.stats.restore_snapshot(r)?;
+        self.queue.restore_snapshot(r)?;
+        self.next_id = r.u64()?;
+        self.in_flight_reads = 0;
+        self.in_flight_writes = 0;
+        self.completions.clear();
+        Ok(())
     }
 
     /// Convenience: submit + drain + take for a single request.

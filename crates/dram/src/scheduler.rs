@@ -9,6 +9,7 @@
 //! from per-bank ready times; the shared data bus serializes bursts; rank
 //! refresh windows block their rank for `tRFC` every `tREFI`.
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::Time;
 
 use crate::config::{DramConfig, DramTiming};
@@ -269,5 +270,66 @@ impl ChannelScheduler {
 
     pub fn take_completions(&mut self) -> Vec<(ReqId, CompletionDetail)> {
         std::mem::take(&mut self.completions)
+    }
+}
+
+// Snapshots are taken at window boundaries, where every submitted request
+// has been drained and its completion consumed — so `pending` and
+// `completions` are not serialized, only asserted empty. Timing/geometry
+// (`timing`, `row_hit_cap`, `banks_per_rank`) is construction state.
+impl Snapshot for ChannelScheduler {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.pending.is_empty() && self.completions.is_empty(),
+            "channel snapshot requires a drained scheduler"
+        );
+        w.seq(self.banks.len());
+        for b in &self.banks {
+            match b.open_row {
+                Some(row) => {
+                    w.bool(true);
+                    w.u64(row);
+                }
+                None => w.bool(false),
+            }
+            b.act_time.write_snapshot(w);
+            b.ready_cas.write_snapshot(w);
+            b.ready_pre.write_snapshot(w);
+            b.ready_act.write_snapshot(w);
+        }
+        for &s in &self.hit_streak {
+            w.u32(s);
+        }
+        w.seq(self.next_refresh.len());
+        for t in &self.next_refresh {
+            t.write_snapshot(w);
+        }
+        self.bus_free.write_snapshot(w);
+        self.sched_time.write_snapshot(w);
+    }
+}
+
+impl Restore for ChannelScheduler {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.banks.len(), "bank count")?;
+        for b in &mut self.banks {
+            b.open_row = if r.bool()? { Some(r.u64()?) } else { None };
+            b.act_time.restore_snapshot(r)?;
+            b.ready_cas.restore_snapshot(r)?;
+            b.ready_pre.restore_snapshot(r)?;
+            b.ready_act.restore_snapshot(r)?;
+        }
+        for s in &mut self.hit_streak {
+            *s = r.u32()?;
+        }
+        r.fixed_seq(self.next_refresh.len(), "rank count")?;
+        for t in &mut self.next_refresh {
+            t.restore_snapshot(r)?;
+        }
+        self.bus_free.restore_snapshot(r)?;
+        self.sched_time.restore_snapshot(r)?;
+        self.pending.clear();
+        self.completions.clear();
+        Ok(())
     }
 }

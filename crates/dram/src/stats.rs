@@ -1,6 +1,7 @@
 //! DRAM traffic statistics.
 
 use dylect_sim_core::kv::{KvReader, KvWriter};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::Time;
 
@@ -227,6 +228,64 @@ impl DramStats {
             ),
             per_class,
         })
+    }
+}
+
+impl Snapshot for QueueStats {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.read_submits);
+        w.u64(self.read_depth_sum);
+        w.u64(self.read_max_depth);
+        w.u64(self.write_submits);
+        w.u64(self.write_depth_sum);
+        w.u64(self.write_max_depth);
+    }
+}
+
+impl Restore for QueueStats {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.read_submits = r.u64()?;
+        self.read_depth_sum = r.u64()?;
+        self.read_max_depth = r.u64()?;
+        self.write_submits = r.u64()?;
+        self.write_depth_sum = r.u64()?;
+        self.write_max_depth = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for DramStats {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.reads.write_snapshot(w);
+        self.writes.write_snapshot(w);
+        self.row_hits.write_snapshot(w);
+        self.row_misses.write_snapshot(w);
+        self.row_conflicts.write_snapshot(w);
+        self.activates.write_snapshot(w);
+        self.refreshes.write_snapshot(w);
+        self.bus_busy.write_snapshot(w);
+        self.latency.write_snapshot(w);
+        for c in &self.per_class {
+            c.write_snapshot(w);
+        }
+    }
+}
+
+impl Restore for DramStats {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.reads.restore_snapshot(r)?;
+        self.writes.restore_snapshot(r)?;
+        self.row_hits.restore_snapshot(r)?;
+        self.row_misses.restore_snapshot(r)?;
+        self.row_conflicts.restore_snapshot(r)?;
+        self.activates.restore_snapshot(r)?;
+        self.refreshes.restore_snapshot(r)?;
+        self.bus_busy.restore_snapshot(r)?;
+        self.latency.restore_snapshot(r)?;
+        for c in &mut self.per_class {
+            c.restore_snapshot(r)?;
+        }
+        Ok(())
     }
 }
 

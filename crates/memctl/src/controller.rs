@@ -12,6 +12,7 @@ use dylect_compression::latency::attributable_decompression;
 use dylect_dram::{CompletionDetail, Dram, DramOp, RequestClass};
 use dylect_sim_core::kv::{KvReader, KvWriter};
 use dylect_sim_core::probe::{MemLevel, ProbeHandle, TranslationPath};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time};
 
@@ -210,6 +211,38 @@ impl McStats {
     }
 }
 
+impl Snapshot for McStats {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.requests.write_snapshot(w);
+        self.cte_hits_pregathered.write_snapshot(w);
+        self.cte_hits_unified.write_snapshot(w);
+        self.cte_misses.write_snapshot(w);
+        self.expansions.write_snapshot(w);
+        self.compactions.write_snapshot(w);
+        self.promotions.write_snapshot(w);
+        self.demotions.write_snapshot(w);
+        self.displacements.write_snapshot(w);
+        self.translation_latency.write_snapshot(w);
+        self.overhead_latency.write_snapshot(w);
+    }
+}
+
+impl Restore for McStats {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.requests.restore_snapshot(r)?;
+        self.cte_hits_pregathered.restore_snapshot(r)?;
+        self.cte_hits_unified.restore_snapshot(r)?;
+        self.cte_misses.restore_snapshot(r)?;
+        self.expansions.restore_snapshot(r)?;
+        self.compactions.restore_snapshot(r)?;
+        self.promotions.restore_snapshot(r)?;
+        self.demotions.restore_snapshot(r)?;
+        self.displacements.restore_snapshot(r)?;
+        self.translation_latency.restore_snapshot(r)?;
+        self.overhead_latency.restore_snapshot(r)
+    }
+}
+
 /// Memory-level census for Figure 20 (DRAM breakdown of ML0/ML1/ML2).
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct Occupancy {
@@ -243,6 +276,25 @@ impl Occupancy {
         } else {
             self.ml0_pages as f64 / unc as f64
         }
+    }
+
+    /// Serializes the census into a snapshot.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.ml0_pages);
+        w.u64(self.ml1_pages);
+        w.u64(self.ml2_pages);
+        w.u64(self.free_pages);
+        w.u64(self.free_bytes);
+    }
+
+    /// Reads a census back from a snapshot.
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.ml0_pages = r.u64()?;
+        self.ml1_pages = r.u64()?;
+        self.ml2_pages = r.u64()?;
+        self.free_pages = r.u64()?;
+        self.free_bytes = r.u64()?;
+        Ok(())
     }
 
     /// Serializes every field under `prefix` into a report-cache record.
@@ -319,6 +371,17 @@ pub trait MemoryScheme {
 
     /// Current memory-level census.
     fn occupancy(&self) -> Occupancy;
+
+    /// Appends the scheme's mutable state to a snapshot stream. Called at a
+    /// quiescent boundary (no access in flight); configuration-derived
+    /// state is not written — restore targets a scheme freshly built from
+    /// the same configuration.
+    fn write_snapshot(&self, w: &mut SnapWriter);
+
+    /// Overlays state written by [`MemoryScheme::write_snapshot`] onto this
+    /// scheme. Must be panic-free on corrupt input: structural problems
+    /// surface as [`SnapError`].
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
 }
 
 /// The bigger conventional system without compression (paper §V,
@@ -386,6 +449,14 @@ impl MemoryScheme for NoCompression {
             ml1_pages: self.os_pages,
             ..Occupancy::default()
         }
+    }
+
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.stats.write_snapshot(w);
+    }
+
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stats.restore_snapshot(r)
     }
 }
 

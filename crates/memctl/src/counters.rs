@@ -9,6 +9,7 @@
 //! counters track *recent* frequency.
 
 use dylect_sim_core::rng::Rng;
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::PageId;
 
@@ -107,6 +108,31 @@ impl AccessCounters {
             *c >>= 1;
         }
         self.halvings.incr();
+    }
+}
+
+// `sample_rate` is serialized (warmup mutates it via `set_sample_rate`), so
+// a snapshot taken mid-warmup restores with warmup-rate sampling intact.
+impl Snapshot for AccessCounters {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.counts.len());
+        w.bytes(&self.counts);
+        w.f64(self.sample_rate);
+        self.halvings.write_snapshot(w);
+    }
+}
+
+impl Restore for AccessCounters {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.counts.len(), "counter capacity")?;
+        let n = self.counts.len();
+        self.counts.copy_from_slice(r.bytes(n)?);
+        let rate = r.f64()?;
+        if !(rate > 0.0 && rate <= 1.0) {
+            return Err(SnapError::Corrupt("sample rate out of range"));
+        }
+        self.sample_rate = rate;
+        self.halvings.restore_snapshot(r)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::{DramPageId, PageId};
 
 use crate::freespace::Span;
@@ -171,6 +172,103 @@ impl PageDirectory {
             }
         }
         (unc, comp)
+    }
+}
+
+// `states` is the ground truth; `dram_owner` is derived and rebuilt. The
+// per-DRAM-page `compressed_in` vectors travel verbatim because their order
+// is semantic (`detach` swap-removes, and schemes relocate a vacated page's
+// spans in list order), written under sorted DRAM-page keys so HashMap
+// iteration order never leaks into the stream.
+impl Snapshot for PageDirectory {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.states.len());
+        for s in &self.states {
+            match s {
+                None => w.u8(0),
+                Some(PageState::Uncompressed(d)) => {
+                    w.u8(1);
+                    w.u64(d.index());
+                }
+                Some(PageState::Compressed(span)) => {
+                    w.u8(2);
+                    span.write_snapshot(w);
+                }
+            }
+        }
+        let mut keys: Vec<u64> = self.compressed_in.keys().copied().collect();
+        keys.sort_unstable();
+        w.seq(keys.len());
+        for k in keys {
+            w.u64(k);
+            let v = &self.compressed_in[&k];
+            w.seq(v.len());
+            for p in v {
+                w.u64(p.index());
+            }
+        }
+    }
+}
+
+impl Restore for PageDirectory {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.states.len(), "directory page count")?;
+        self.dram_owner.clear();
+        self.compressed_in.clear();
+        let mut compressed = 0u64;
+        for i in 0..self.states.len() {
+            self.states[i] = match r.u8()? {
+                0 => None,
+                1 => {
+                    let d = r.u64()?;
+                    if self.dram_owner.insert(d, PageId::new(i as u64)).is_some() {
+                        return Err(SnapError::Corrupt("DRAM page owned twice"));
+                    }
+                    Some(PageState::Uncompressed(DramPageId::new(d)))
+                }
+                2 => {
+                    compressed += 1;
+                    Some(PageState::Compressed(Span::read_snapshot(r)?))
+                }
+                _ => return Err(SnapError::Corrupt("unknown page state tag")),
+            };
+        }
+        let groups = r.seq(16)?;
+        let mut listed = 0u64;
+        for _ in 0..groups {
+            let dram = r.u64()?;
+            if self.dram_owner.contains_key(&dram) {
+                return Err(SnapError::Corrupt("compressed spans in an owned DRAM page"));
+            }
+            let n = r.seq(8)?;
+            if n == 0 {
+                return Err(SnapError::Corrupt("empty compressed-page list"));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let p = r.u64()?;
+                let consistent = usize::try_from(p)
+                    .ok()
+                    .and_then(|i| self.states.get(i))
+                    .is_some_and(|s| {
+                        matches!(s, Some(PageState::Compressed(sp)) if sp.dram_page.index() == dram)
+                    });
+                if !consistent {
+                    return Err(SnapError::Corrupt(
+                        "compressed-page list disagrees with states",
+                    ));
+                }
+                v.push(PageId::new(p));
+            }
+            listed += n as u64;
+            if self.compressed_in.insert(dram, v).is_some() {
+                return Err(SnapError::Corrupt("duplicate DRAM page key"));
+            }
+        }
+        if listed != compressed {
+            return Err(SnapError::Corrupt("compressed-page census mismatch"));
+        }
+        Ok(())
     }
 }
 

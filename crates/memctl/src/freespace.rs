@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::{DramPageId, PAGE_BYTES};
 
 /// A contiguous range of free or allocated bytes inside one DRAM page.
@@ -48,6 +49,31 @@ impl Span {
     /// A span covering an entire DRAM page.
     pub fn full_page(dram_page: DramPageId) -> Self {
         Span::new(dram_page, 0, PAGE_BYTES as u32)
+    }
+
+    /// Reads a span written by its [`Snapshot`] impl, re-validating the
+    /// page-boundary invariant (a corrupt stream must error, not panic in
+    /// [`Span::new`]).
+    pub fn read_snapshot(r: &mut SnapReader<'_>) -> Result<Span, SnapError> {
+        let dram_page = DramPageId::new(r.u64()?);
+        let offset = r.u32()?;
+        let len = r.u32()?;
+        if len == 0 || offset as u64 + len as u64 > PAGE_BYTES {
+            return Err(SnapError::Corrupt("span out of page bounds"));
+        }
+        Ok(Span {
+            dram_page,
+            offset,
+            len,
+        })
+    }
+}
+
+impl Snapshot for Span {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.dram_page.index());
+        w.u32(self.offset);
+        w.u32(self.len);
     }
 }
 
@@ -108,6 +134,32 @@ impl PageSet {
             self.index.insert(last.index(), pos);
         }
         true
+    }
+}
+
+// `pages` order is semantic (`pop` is LIFO and `remove` swap-fills), so it
+// travels verbatim; `index` is derived and rebuilt.
+impl Snapshot for PageSet {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.pages.len());
+        for p in &self.pages {
+            w.u64(p.index());
+        }
+    }
+}
+
+impl Restore for PageSet {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.seq(8)?;
+        self.pages.clear();
+        self.index.clear();
+        self.pages.reserve(n);
+        for _ in 0..n {
+            if !self.insert(DramPageId::new(r.u64()?)) {
+                return Err(SnapError::Corrupt("duplicate free page"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -306,6 +358,42 @@ impl FreeSpace {
         debug_assert_eq!(removed, Some(len));
         let removed = self.by_size.remove(&(len, page, offset));
         debug_assert!(removed);
+    }
+}
+
+// `by_addr` is a BTreeMap, so iteration order is deterministic; `by_size`
+// is derived and rebuilt.
+impl Snapshot for FreeSpace {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.pages.write_snapshot(w);
+        w.seq(self.by_addr.len());
+        for (&(page, offset), &len) in &self.by_addr {
+            w.u64(page);
+            w.u32(offset);
+            w.u32(len);
+        }
+    }
+}
+
+impl Restore for FreeSpace {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.pages.restore_snapshot(r)?;
+        let n = r.seq(16)?;
+        self.by_addr.clear();
+        self.by_size.clear();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let offset = r.u32()?;
+            let len = r.u32()?;
+            if len == 0 || offset as u64 + len as u64 > PAGE_BYTES {
+                return Err(SnapError::Corrupt("free span out of page bounds"));
+            }
+            if self.by_addr.insert((page, offset), len).is_some() {
+                return Err(SnapError::Corrupt("duplicate free span"));
+            }
+            self.by_size.insert((len, page, offset));
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! pages sink toward the tail; the tail is the compression victim when
 //! memory pressure demands freeing space.
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::PageId;
 
 /// How often (in MC requests) the list head is updated. The paper uses
@@ -142,6 +143,60 @@ impl RecencyList {
         } else {
             self.tail = p;
         }
+    }
+}
+
+// The link arrays travel verbatim: list order is the compression-victim
+// order and must survive a round trip exactly.
+impl Snapshot for RecencyList {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.prev.len());
+        for &x in &self.prev {
+            w.u32(x);
+        }
+        for &x in &self.next {
+            w.u32(x);
+        }
+        for &x in &self.present {
+            w.bool(x);
+        }
+        w.u32(self.head);
+        w.u32(self.tail);
+        w.u64(self.len as u64);
+    }
+}
+
+impl Restore for RecencyList {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cap = self.prev.len();
+        let link_ok = |x: u32| x == NIL || (x as usize) < cap;
+        r.fixed_seq(cap, "recency capacity")?;
+        for x in &mut self.prev {
+            *x = r.u32()?;
+            if !link_ok(*x) {
+                return Err(SnapError::Corrupt("recency prev link out of range"));
+            }
+        }
+        for x in &mut self.next {
+            *x = r.u32()?;
+            if !link_ok(*x) {
+                return Err(SnapError::Corrupt("recency next link out of range"));
+            }
+        }
+        for x in &mut self.present {
+            *x = r.bool()?;
+        }
+        self.head = r.u32()?;
+        self.tail = r.u32()?;
+        if !link_ok(self.head) || !link_ok(self.tail) {
+            return Err(SnapError::Corrupt("recency head/tail out of range"));
+        }
+        let len = r.u64()?;
+        if len > cap as u64 {
+            return Err(SnapError::Corrupt("recency length exceeds capacity"));
+        }
+        self.len = len as usize;
+        Ok(())
     }
 }
 

@@ -21,6 +21,7 @@ use dylect_compression::latency::{compression_latency, decompression_latency};
 use dylect_compression::CompressibilityProfile;
 use dylect_dram::{Dram, RequestClass};
 use dylect_sim_core::rng::hash64;
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::{DramPageId, PageId, Time, PAGE_BYTES};
 
 use crate::directory::{PageDirectory, PageState};
@@ -315,6 +316,34 @@ impl CompressedStore {
     }
 }
 
+// The (profile, seed) pair determines every page's compressed size, so it
+// travels as an identity guard: restoring onto a store packed differently
+// fails loudly instead of silently diverging. `free_target_pages` is
+// configuration, never mutated.
+impl Snapshot for CompressedStore {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.profile.digest());
+        w.u64(self.seed);
+        self.dir.write_snapshot(w);
+        self.free.write_snapshot(w);
+        self.recency.write_snapshot(w);
+    }
+}
+
+impl Restore for CompressedStore {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.u64()? != self.profile.digest() {
+            return Err(SnapError::Mismatch("compressibility profile"));
+        }
+        if r.u64()? != self.seed {
+            return Err(SnapError::Mismatch("store seed"));
+        }
+        self.dir.restore_snapshot(r)?;
+        self.free.restore_snapshot(r)?;
+        self.recency.restore_snapshot(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,5 +532,115 @@ mod granular_tests {
         s.check_invariants(700);
         let (unc, comp) = s.dir.census();
         assert_eq!(unc + comp, 1000);
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use dylect_dram::DramConfig;
+    use dylect_sim_core::snap::{SnapError, SnapReader, SnapWriter};
+
+    fn store(seed: u64) -> CompressedStore {
+        CompressedStore::pack(
+            600,
+            420,
+            CompressibilityProfile::with_mean_ratio("t", 3.0),
+            seed,
+            4,
+        )
+    }
+
+    fn churn(s: &mut CompressedStore) {
+        let mut d = Dram::new(DramConfig::paper(1 << 30, 8));
+        let mut t = Time::ZERO;
+        for p in 0..600 {
+            let page = PageId::new(p * 13 % 600);
+            if s.is_compressed(page) {
+                let (_, ready) = s.expand(&mut d, t, page, RequestClass::Migration);
+                t = ready;
+            } else {
+                s.recency.touch(page);
+            }
+            if p % 7 == 0 {
+                s.maintain(&mut d, t);
+            }
+        }
+    }
+
+    fn bytes_of(s: &CompressedStore) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        s.write_snapshot(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_identical() {
+        let mut a = store(7);
+        churn(&mut a);
+        let snap = bytes_of(&a);
+        // Restore onto a freshly packed (different-state) store.
+        let mut b = store(7);
+        let mut r = SnapReader::new(&snap);
+        b.restore_snapshot(&mut r).expect("restore");
+        r.finish().expect("fully consumed");
+        b.check_invariants(420);
+        assert_eq!(bytes_of(&b), snap, "re-snapshot must be byte-identical");
+        // Observable state survives: same census, free space, victim order.
+        assert_eq!(a.dir.census(), b.dir.census());
+        assert_eq!(a.free.free_bytes(), b.free.free_bytes());
+        assert_eq!(a.recency.tail(), b.recency.tail());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_identity() {
+        let a = store(7);
+        let snap = bytes_of(&a);
+        // Different pack seed: sizes disagree.
+        let mut r = SnapReader::new(&snap);
+        assert_eq!(
+            store(8).restore_snapshot(&mut r),
+            Err(SnapError::Mismatch("store seed"))
+        );
+        // Different profile.
+        let mut other = CompressedStore::pack(
+            600,
+            420,
+            CompressibilityProfile::with_mean_ratio("u", 2.0),
+            7,
+            4,
+        );
+        let mut r = SnapReader::new(&snap);
+        assert_eq!(
+            other.restore_snapshot(&mut r),
+            Err(SnapError::Mismatch("compressibility profile"))
+        );
+    }
+
+    #[test]
+    fn restore_rejects_truncation_everywhere() {
+        let mut a = store(3);
+        churn(&mut a);
+        let snap = bytes_of(&a);
+        // Every strict prefix must error (never panic, never succeed).
+        for cut in (0..snap.len()).step_by(97) {
+            let mut b = store(3);
+            let mut r = SnapReader::new(&snap[..cut]);
+            assert!(b.restore_snapshot(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_page_state_tag() {
+        let a = store(3);
+        let mut snap = bytes_of(&a);
+        // Byte 24 is the first page-state tag (digest + seed + count = 24).
+        snap[24] = 9;
+        let mut b = store(3);
+        let mut r = SnapReader::new(&snap);
+        match b.restore_snapshot(&mut r) {
+            Err(SnapError::Corrupt(_)) | Err(SnapError::Truncated { .. }) => {}
+            other => panic!("expected corrupt/truncated, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,467 @@
+//! The `dylect-serve` persistent results service.
+//!
+//! A std-only HTTP/1.1 server over the runner's on-disk artifacts: the
+//! report cache (`results/cache/*.report`) and the telemetry exports
+//! (`results/*.jsonl`, including `*.shadow.jsonl`). No external crate, no
+//! async runtime — a [`std::net::TcpListener`], a small fixed worker pool,
+//! and bounded request parsing.
+//!
+//! Routes (all `GET`):
+//!
+//! - `/healthz` — liveness; `200 ok`.
+//! - `/figures` — one artifact name per line, sorted: every `*.report`
+//!   under `cache/` plus every `*.jsonl` in the results root.
+//! - `/figure/<name>` — the artifact's bytes, verbatim.
+//! - `/diff?a=<name>&b=<name>` — compares two artifacts with the
+//!   `dylect-stats` tolerance machinery. The CLI's exit conventions map
+//!   onto statuses: identical within tolerance → `200`, a shared metric
+//!   drifted → `409 Conflict`, only missing metrics/rows →
+//!   `422 Unprocessable Content`.
+//!
+//! Artifact names are confined to `[A-Za-z0-9._-]` and may not begin with
+//! a dot, so a request can never escape the results directory.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+
+use dylect_telemetry::diff::{diff, load, outcome, Tolerance};
+
+/// Hard bound on the bytes read from one request (header included);
+/// anything longer is rejected with `431` before parsing.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Workers accepting connections concurrently. Requests are tiny and
+/// file-backed, so a handful of blocking threads is plenty.
+pub const WORKERS: usize = 4;
+
+/// Address the server binds when `DYLECT_SERVE_ADDR` is unset. Port 0
+/// asks the OS for an ephemeral port; the bound address is printed on
+/// startup either way.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:8377";
+
+/// Parses a `DYLECT_SERVE_ADDR` value: unset is `Ok(None)` (the caller
+/// binds [`DEFAULT_ADDR`]), a socket address like `127.0.0.1:0` is
+/// `Ok(Some(addr))`, and anything else is a usage error — a typo must
+/// fail loudly, not silently serve on the wrong interface.
+pub fn parse_serve_addr(raw: Option<&str>) -> Result<Option<SocketAddr>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    raw.trim().parse().map(Some).map_err(|_| {
+        format!(
+            "DYLECT_SERVE_ADDR must be a socket address like 127.0.0.1:8377 \
+             (port 0 for ephemeral), got `{raw}`"
+        )
+    })
+}
+
+/// Whether `name` is a safe artifact name: non-empty, at most 128 bytes,
+/// only `[A-Za-z0-9._-]`, and not starting with a dot (no hidden files,
+/// and `.`/`..` cannot appear; `/` is outside the set, so neither can a
+/// path separator).
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// One HTTP response: status, reason, and a text body.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always `text/plain; charset=utf-8`).
+    pub body: String,
+}
+
+impl Response {
+    fn new(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            422 => "Unprocessable Content",
+            431 => "Request Header Fields Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the response onto the wire.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+/// Resolves an artifact name to its on-disk path: `*.report` files live
+/// in the report cache, everything else in the results root.
+fn artifact_path(root: &Path, name: &str) -> PathBuf {
+    if name.ends_with(".report") {
+        root.join("cache").join(name)
+    } else {
+        root.join(name)
+    }
+}
+
+/// Every artifact the service knows about, sorted: report-cache entries
+/// first-class alongside telemetry exports.
+pub fn list_artifacts(root: &Path) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut scan = |dir: &Path, want: &dyn Fn(&str) -> bool| {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if valid_name(name) && want(name) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+    };
+    scan(&root.join("cache"), &|n| n.ends_with(".report"));
+    scan(root, &|n| n.ends_with(".jsonl"));
+    names.sort();
+    names
+}
+
+/// Splits a request target into path and query-parameter pairs.
+fn split_target(target: &str) -> (&str, Vec<(&str, &str)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter_map(|kv| kv.split_once('='))
+        .collect();
+    (path, params)
+}
+
+/// Routes one request target (e.g. `/figure/fig3-....report`) against the
+/// results directory `root`. Pure with respect to the connection: all I/O
+/// is file reads, so the router is unit-testable without sockets.
+pub fn route(root: &Path, method: &str, target: &str) -> Response {
+    if method != "GET" {
+        return Response::new(405, "only GET is supported\n");
+    }
+    let (path, params) = split_target(target);
+    match path {
+        "/healthz" => Response::new(200, "ok\n"),
+        "/figures" => {
+            let mut body: String = list_artifacts(root).into_iter().map(|n| n + "\n").collect();
+            if body.is_empty() {
+                body.push_str("(no artifacts yet)\n");
+            }
+            Response::new(200, body)
+        }
+        "/diff" => {
+            let get = |key| params.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+            let (Some(a), Some(b)) = (get("a"), get("b")) else {
+                return Response::new(400, "usage: /diff?a=<artifact>&b=<artifact>\n");
+            };
+            if !valid_name(a) || !valid_name(b) {
+                return Response::new(400, "invalid artifact name\n");
+            }
+            let load_one = |name: &str| {
+                load(&artifact_path(root, name).display().to_string())
+                    .map_err(|e| Response::new(404, format!("{e}\n")))
+            };
+            let pa = match load_one(a) {
+                Ok(p) => p,
+                Err(r) => return r,
+            };
+            let pb = match load_one(b) {
+                Ok(p) => p,
+                Err(r) => return r,
+            };
+            let diffs = diff(&pa, &pb, &Tolerance::default());
+            let status = match outcome(&diffs) {
+                0 => {
+                    return Response::new(200, format!("{a} and {b}: identical within tolerance\n"))
+                }
+                3 => 422,
+                _ => 409,
+            };
+            let mut body = format!("{a} vs {b}: {} difference(s)\n", diffs.len());
+            for d in &diffs {
+                body.push_str(&d.msg);
+                body.push('\n');
+            }
+            Response::new(status, body)
+        }
+        _ => {
+            if let Some(name) = path.strip_prefix("/figure/") {
+                if !valid_name(name) {
+                    return Response::new(400, "invalid artifact name\n");
+                }
+                return match std::fs::read_to_string(artifact_path(root, name)) {
+                    Ok(text) => Response::new(200, text),
+                    Err(_) => Response::new(404, format!("no artifact named {name}\n")),
+                };
+            }
+            Response::new(
+                404,
+                "routes: /healthz /figures /figure/<name> /diff?a=..&b=..\n",
+            )
+        }
+    }
+}
+
+/// Reads one bounded request head off `stream` and returns
+/// `(method, target)`, or a ready-to-send error response.
+fn read_request(stream: &mut TcpStream) -> Result<(String, String), Response> {
+    let mut buf = vec![0u8; MAX_REQUEST_BYTES + 1];
+    let mut filled = 0;
+    loop {
+        let n = stream
+            .read(&mut buf[filled..])
+            .map_err(|e| Response::new(400, format!("read error: {e}\n")))?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if filled > MAX_REQUEST_BYTES {
+            return Err(Response::new(431, "request exceeds 8 KB\n"));
+        }
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..filled])
+        .map_err(|_| Response::new(400, "request is not UTF-8\n"))?;
+    let mut first = head.lines().next().unwrap_or("").split_whitespace();
+    match (first.next(), first.next()) {
+        (Some(method), Some(target)) => Ok((method.to_owned(), target.to_owned())),
+        _ => Err(Response::new(400, "malformed request line\n")),
+    }
+}
+
+fn handle_connection(root: &Path, mut stream: TcpStream) {
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    let response = match read_request(&mut stream) {
+        Ok((method, target)) => route(root, &method, &target),
+        Err(response) => response,
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+    // Closing with unread request bytes pending (an oversized request cut
+    // off at the bound) would RST the connection and destroy the response
+    // in flight; signal end-of-response and drain what the client sent.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Serves `root` on `listener` forever across [`WORKERS`] accept threads
+/// (each holding a `try_clone` of the listener). Only returns if every
+/// worker's accept loop dies, which means the listener itself is gone.
+pub fn serve(listener: TcpListener, root: PathBuf) {
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let listener = listener.try_clone().expect("clone listener handle");
+            let root = root.clone();
+            scope.spawn(move || {
+                while let Ok((stream, _)) = listener.accept() {
+                    handle_connection(&root, stream);
+                }
+            });
+        }
+    });
+}
+
+/// A minimal HTTP/1.1 GET client (the `dylect-serve get` subcommand and
+/// the verify smoke use it, keeping the check hermetic — no curl needed).
+/// Returns `(status, body)`.
+pub fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}"))?;
+    Ok((status, body.to_owned()))
+}
+
+/// Splits a `host:port/path` or `http://host:port/path` URL for
+/// [`http_get`].
+pub fn split_url(url: &str) -> Result<(&str, &str), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (addr, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/"),
+    };
+    if addr.is_empty() {
+        return Err(format!("no host in url `{url}`"));
+    }
+    Ok((addr, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dylect-serve-{tag}-{}", std::process::id()));
+        fs::create_dir_all(dir.join("cache")).unwrap();
+        dir
+    }
+
+    fn report(ips: &str) -> String {
+        format!(
+            "{{\n  \"format\": \"1\",\n  \"benchmark\": \"omnetpp\",\n  \"ips\": \"{ips}\",\n}}\n"
+        )
+    }
+
+    #[test]
+    fn serve_addr_parsing_accepts_addrs_and_rejects_garbage() {
+        assert_eq!(parse_serve_addr(None), Ok(None));
+        let some = parse_serve_addr(Some("127.0.0.1:0")).unwrap().unwrap();
+        assert_eq!(some.port(), 0);
+        assert!(parse_serve_addr(Some(" [::1]:8080 ")).unwrap().is_some());
+        assert!(parse_serve_addr(Some("localhost:80")).is_err(), "no DNS");
+        assert!(parse_serve_addr(Some("8080")).is_err());
+        assert!(parse_serve_addr(Some("")).is_err());
+        assert!(parse_serve_addr(Some("127.0.0.1:notaport")).is_err());
+    }
+
+    #[test]
+    fn names_are_confined_to_the_results_directory() {
+        assert!(valid_name("fig3-abc123.report"));
+        assert!(valid_name("omnetpp.shadow.jsonl"));
+        assert!(!valid_name(""));
+        assert!(!valid_name(".."));
+        assert!(!valid_name(".hidden"));
+        assert!(!valid_name("a/b.report"));
+        assert!(!valid_name("a\\b"));
+        assert!(!valid_name("name with spaces"));
+        assert!(!valid_name(&"x".repeat(129)));
+    }
+
+    #[test]
+    fn health_figures_and_figure_routes() {
+        let root = temp_root("routes");
+        fs::write(root.join("cache/a.report"), report("1.0")).unwrap();
+        fs::write(root.join("run.jsonl"), "{\"series\": \"ips\", \"n\": 1}\n").unwrap();
+        fs::write(root.join("cache/skip.tmp"), "x").unwrap();
+
+        assert_eq!(route(&root, "GET", "/healthz").body, "ok\n");
+        let figs = route(&root, "GET", "/figures");
+        assert_eq!(figs.status, 200);
+        assert_eq!(figs.body, "a.report\nrun.jsonl\n", "sorted, filtered");
+        let fig = route(&root, "GET", "/figure/a.report");
+        assert_eq!(fig.status, 200);
+        assert_eq!(fig.body, report("1.0"), "artifact served verbatim");
+        assert_eq!(route(&root, "GET", "/figure/missing.report").status, 404);
+        assert_eq!(route(&root, "GET", "/figure/..").status, 400);
+        assert_eq!(route(&root, "GET", "/nope").status, 404);
+        assert_eq!(route(&root, "POST", "/healthz").status, 405);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn diff_route_maps_outcomes_to_statuses() {
+        let root = temp_root("diff");
+        fs::write(root.join("cache/a.report"), report("1.0")).unwrap();
+        fs::write(root.join("cache/same.report"), report("1.0")).unwrap();
+        fs::write(root.join("cache/drift.report"), report("2.0")).unwrap();
+        fs::write(
+            root.join("cache/missing.report"),
+            "{\n  \"format\": \"1\",\n  \"benchmark\": \"omnetpp\",\n}\n",
+        )
+        .unwrap();
+
+        assert_eq!(
+            route(&root, "GET", "/diff?a=a.report&b=same.report").status,
+            200
+        );
+        let drift = route(&root, "GET", "/diff?a=a.report&b=drift.report");
+        assert_eq!(drift.status, 409, "metric drift is a conflict");
+        assert!(
+            drift.body.contains("ips"),
+            "body names the metric: {}",
+            drift.body
+        );
+        assert_eq!(
+            route(&root, "GET", "/diff?a=a.report&b=missing.report").status,
+            422,
+            "missing-only differences are unprocessable, not conflicting"
+        );
+        assert_eq!(route(&root, "GET", "/diff?a=a.report").status, 400);
+        assert_eq!(route(&root, "GET", "/diff?a=a.report&b=../x").status, 400);
+        assert_eq!(
+            route(&root, "GET", "/diff?a=a.report&b=ghost.report").status,
+            404
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://127.0.0.1:80/x").unwrap(),
+            ("127.0.0.1:80", "/x")
+        );
+        assert_eq!(split_url("127.0.0.1:80").unwrap(), ("127.0.0.1:80", "/"));
+        assert!(split_url("http:///x").is_err());
+    }
+
+    #[test]
+    fn end_to_end_over_a_real_socket() {
+        let root = temp_root("e2e");
+        fs::write(root.join("cache/a.report"), report("1.0")).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server_root = root.clone();
+        // The accept loops never exit on their own; detach them.
+        std::thread::spawn(move || serve(listener, server_root));
+
+        let (status, body) = http_get(&addr, "/healthz").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = http_get(&addr, "/figure/a.report").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, report("1.0"));
+        let (status, _) = http_get(&addr, "/figure/nothere.report").unwrap();
+        assert_eq!(status, 404);
+        // An oversized request is bounded, not buffered.
+        let (status, _) = http_get(&addr, &format!("/{}", "x".repeat(MAX_REQUEST_BYTES))).unwrap();
+        assert_eq!(status, 431);
+        fs::remove_dir_all(&root).ok();
+    }
+}

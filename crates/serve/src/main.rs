@@ -1,0 +1,79 @@
+//! `dylect-serve` — serve the results directory over HTTP, or fetch from
+//! a running instance.
+//!
+//! ```text
+//! dylect-serve [results-dir]          # serve (default dir: results)
+//! dylect-serve get <url>              # GET and print the body
+//! ```
+//!
+//! The bind address comes from `DYLECT_SERVE_ADDR` (default
+//! 127.0.0.1:8377; port 0 for an OS-assigned ephemeral port). The bound
+//! address is printed as `listening on <addr>` once the socket is live,
+//! so scripts can bind port 0 and scrape the real port.
+//!
+//! `get` exits 0 on HTTP 200 and 4 on any other status (the body is
+//! printed either way), so smoke tests need no external HTTP client.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dylect_serve::{http_get, parse_serve_addr, serve, split_url, DEFAULT_ADDR};
+
+const USAGE: &str = "usage: dylect-serve [results-dir] | dylect-serve get <url>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("get") => {
+            let Some(url) = args.get(1) else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            let fetched = split_url(url).and_then(|(addr, path)| http_get(addr, path));
+            match fetched {
+                Ok((status, body)) => {
+                    print!("{body}");
+                    if status == 200 {
+                        ExitCode::SUCCESS
+                    } else {
+                        eprintln!("dylect-serve get: HTTP {status}");
+                        ExitCode::from(4)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("dylect-serve get: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(flag) if flag.starts_with('-') => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        dir => {
+            let root = PathBuf::from(dir.unwrap_or("results"));
+            let raw = std::env::var("DYLECT_SERVE_ADDR").ok();
+            let addr = match parse_serve_addr(raw.as_deref()) {
+                Ok(Some(addr)) => addr.to_string(),
+                Ok(None) => DEFAULT_ADDR.to_owned(),
+                Err(msg) => {
+                    eprintln!("usage: {msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("dylect-serve: cannot bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let bound = listener.local_addr().expect("bound socket has an address");
+            println!("listening on {bound}");
+            eprintln!("serving {} on http://{bound}", root.display());
+            serve(listener, root);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod check;
 pub mod kv;
 pub mod probe;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;

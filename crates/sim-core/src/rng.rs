@@ -130,6 +130,26 @@ impl Rng {
     }
 }
 
+impl crate::snap::Snapshot for Rng {
+    fn write_snapshot(&self, w: &mut crate::snap::SnapWriter) {
+        for &s in &self.s {
+            w.u64(s);
+        }
+    }
+}
+
+impl crate::snap::Restore for Rng {
+    fn restore_snapshot(
+        &mut self,
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<(), crate::snap::SnapError> {
+        for s in &mut self.s {
+            *s = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 /// A Zipf(θ) sampler over `0..n` using Hörmann's rejection-inversion method.
 ///
 /// Used by workload generators to model skewed page popularity: irregular

@@ -1,0 +1,432 @@
+//! Versioned, deterministic binary snapshots of simulator state.
+//!
+//! A snapshot is a hand-rolled little-endian byte stream (no external
+//! serialization dependency — the workspace is hermetic) produced by
+//! [`Snapshot::write_snapshot`] and consumed by
+//! [`Restore::restore_snapshot`]. Restore is *in place*: the caller
+//! constructs the object from the same configuration it was built with
+//! (immutable, derived state — geometries, layouts, thresholds — is never
+//! serialized) and the snapshot overlays only the mutable state on top.
+//!
+//! Format rules (DESIGN.md "Snapshot format & versioning"):
+//!
+//! - every integer is little-endian and fixed-width; `f64` travels as its
+//!   IEEE-754 bit pattern (bit-exact round trip, no text formatting);
+//! - sequences are a `u64` element count followed by the elements;
+//! - nothing is ever serialized in `HashMap`/`HashSet` iteration order —
+//!   unordered containers are written in sorted key order and any derived
+//!   index is rebuilt on restore;
+//! - enums travel as a `u8`/`u64` index into an explicitly ordered table
+//!   (for probe enums, their `ALL` arrays), never as a discriminant cast;
+//! - readers are panic-free: every read is bounds-checked and every
+//!   structural mismatch surfaces as a [`SnapError`], so a truncated,
+//!   corrupt, or wrong-version snapshot is an error, not UB or a panic.
+
+use std::fmt;
+
+/// First bytes of every top-level snapshot.
+pub const SNAP_MAGIC: [u8; 4] = *b"DYSN";
+/// Current snapshot format version (bump on any encoding change).
+pub const SNAP_VERSION: u8 = 1;
+
+/// Why a snapshot could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapError {
+    /// The stream ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// The stream does not start with [`SNAP_MAGIC`].
+    BadMagic,
+    /// The stream's format version is not [`SNAP_VERSION`].
+    BadVersion {
+        /// Version byte found in the stream.
+        found: u8,
+    },
+    /// A value disagrees with the state being restored onto (wrong
+    /// configuration, wrong scheme, wrong capacity, …).
+    Mismatch(&'static str),
+    /// A value is structurally invalid (bad bool, impossible index,
+    /// oversized length prefix, …).
+    Corrupt(&'static str),
+    /// Bytes remained after the top-level object was fully restored.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { needed, remaining } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {needed} bytes, {remaining} left"
+                )
+            }
+            SnapError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {SNAP_VERSION})"
+                )
+            }
+            SnapError::Mismatch(what) => write!(f, "snapshot does not match target: {what}"),
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Serializes state via [`Snapshot::write_snapshot`].
+pub trait Snapshot {
+    /// Appends this object's mutable state to `w`.
+    fn write_snapshot(&self, w: &mut SnapWriter);
+}
+
+/// Restores state in place via [`Restore::restore_snapshot`].
+///
+/// On error the target is left in an unspecified (but memory-safe) state;
+/// callers discard it rather than continuing a run.
+pub trait Restore {
+    /// Overlays state read from `r` onto `self`.
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError>;
+}
+
+/// Appends little-endian fields to a growing byte buffer.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the snapshot bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes raw bytes with no length prefix (caller knows the width).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Writes a sequence length prefix; the caller then writes `len`
+    /// elements.
+    pub fn seq(&mut self, len: usize) {
+        self.u64(len as u64);
+    }
+}
+
+/// Reads little-endian fields from a snapshot, bounds-checked.
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool out of range")),
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapError> {
+        let len = self.seq(1)?;
+        std::str::from_utf8(self.take(len)?).map_err(|_| SnapError::Corrupt("invalid UTF-8"))
+    }
+
+    /// Reads a sequence length prefix, guarding against lengths that cannot
+    /// possibly fit in the remaining bytes (`min_elem_bytes` per element) —
+    /// a corrupt prefix fails here instead of driving a huge allocation.
+    pub fn seq(&mut self, min_elem_bytes: usize) -> Result<usize, SnapError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| SnapError::Corrupt("length overflows usize"))?;
+        if len
+            .checked_mul(min_elem_bytes.max(1))
+            .is_none_or(|total| total > self.remaining())
+        {
+            return Err(SnapError::Corrupt("sequence longer than remaining bytes"));
+        }
+        Ok(len)
+    }
+
+    /// Reads a sequence length prefix and requires it to equal `expected`
+    /// (for fixed-capacity state restored in place).
+    pub fn fixed_seq(&mut self, expected: usize, what: &'static str) -> Result<(), SnapError> {
+        let len = self.u64()?;
+        if len != expected as u64 {
+            return Err(SnapError::Mismatch(what));
+        }
+        Ok(())
+    }
+
+    /// Requires the stream to be fully consumed.
+    pub fn finish(&self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for () {
+    fn write_snapshot(&self, _w: &mut SnapWriter) {}
+}
+
+impl Restore for () {
+    fn restore_snapshot(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
+
+impl Snapshot for crate::time::Time {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.as_ps());
+    }
+}
+
+impl Restore for crate::time::Time {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        *self = crate::time::Time::from_ps(r.u64()?);
+        Ok(())
+    }
+}
+
+/// Writes the top-level header: magic, version, and a caller-supplied
+/// configuration fingerprint.
+pub fn write_header(w: &mut SnapWriter, config_fingerprint: u64) {
+    w.bytes(&SNAP_MAGIC);
+    w.u8(SNAP_VERSION);
+    w.u64(config_fingerprint);
+}
+
+/// Validates the top-level header against the expected configuration
+/// fingerprint.
+pub fn read_header(r: &mut SnapReader<'_>, config_fingerprint: u64) -> Result<(), SnapError> {
+    if r.bytes(4)? != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != SNAP_VERSION {
+        return Err(SnapError::BadVersion { found: version });
+    }
+    if r.u64()? != config_fingerprint {
+        return Err(SnapError::Mismatch("configuration fingerprint"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(-0.1);
+        w.bool(true);
+        w.bool(false);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.1f64).to_bits());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hello");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(123);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = SnapReader::new(&bytes[..cut]);
+            assert!(matches!(r.u64(), Err(SnapError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut r = SnapReader::new(&[2]);
+        assert_eq!(r.bool(), Err(SnapError::Corrupt("bool out of range")));
+    }
+
+    #[test]
+    fn oversized_sequence_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // length prefix far beyond the stream
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.seq(8), Err(SnapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fixed_seq_rejects_capacity_mismatch() {
+        let mut w = SnapWriter::new();
+        w.seq(3);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.fixed_seq(4, "cap"), Err(SnapError::Mismatch("cap")));
+    }
+
+    #[test]
+    fn header_round_trip_and_rejections() {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, 0xABCD);
+        let mut bytes = w.into_bytes();
+        read_header(&mut SnapReader::new(&bytes), 0xABCD).unwrap();
+        assert_eq!(
+            read_header(&mut SnapReader::new(&bytes), 0x1234),
+            Err(SnapError::Mismatch("configuration fingerprint"))
+        );
+        bytes[4] = SNAP_VERSION + 1;
+        assert_eq!(
+            read_header(&mut SnapReader::new(&bytes), 0xABCD),
+            Err(SnapError::BadVersion {
+                found: SNAP_VERSION + 1
+            })
+        );
+        bytes[0] = b'X';
+        assert_eq!(
+            read_header(&mut SnapReader::new(&bytes), 0xABCD),
+            Err(SnapError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(SnapError::TrailingBytes(1)));
+    }
+}

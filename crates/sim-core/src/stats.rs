@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::time::Time;
 
 /// A monotonically increasing event counter.
@@ -375,6 +376,76 @@ impl LogHistogram {
     /// Exclusive upper bound (ps) of bucket `idx` — for export/labels.
     pub fn bucket_upper_ps(idx: usize) -> u64 {
         Self::upper(idx)
+    }
+}
+
+impl Snapshot for Counter {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+}
+
+impl Restore for Counter {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.0 = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for MeanAccumulator {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.f64(self.sum);
+        w.u64(self.count);
+    }
+}
+
+impl Restore for MeanAccumulator {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.sum = r.f64()?;
+        self.count = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for LatencyHistogram {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+    }
+}
+
+impl Restore for LatencyHistogram {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for b in &mut self.buckets {
+            *b = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for LogHistogram {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.buckets.len());
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.count);
+        w.u64(self.sum_ps);
+    }
+}
+
+impl Restore for LogHistogram {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let len = r.seq(8)?;
+        self.buckets.clear();
+        self.buckets.reserve(len);
+        for _ in 0..len {
+            self.buckets.push(r.u64()?);
+        }
+        self.count = r.u64()?;
+        self.sum_ps = r.u64()?;
+        Ok(())
     }
 }
 

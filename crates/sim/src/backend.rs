@@ -15,6 +15,7 @@ use dylect_sim_core::probe::{
     AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass, SpanPhase,
     SpanRecord, TranslationPath,
 };
+use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES, PAGE_BYTES};
 
@@ -368,6 +369,63 @@ impl SharedMemory {
             pending.clear();
             self.mcs[idx].pending = pending;
         }
+    }
+
+    /// Appends the shared side's mutable state: the L3, shared statistics,
+    /// each MC's scheme + DRAM + queued writebacks, and the span-sampling
+    /// counters. Execution knobs (`jobs`, probes, `span_every`) are
+    /// orchestration state the owner re-establishes, not snapshot content.
+    /// Each MC's scheme name travels ahead of its state as an identity
+    /// guard, so a snapshot from a different scheme mix fails loudly even
+    /// if the stream happens to parse.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.l3.write_snapshot(w);
+        self.stats.l3_hits.write_snapshot(w);
+        self.stats.l3_misses.write_snapshot(w);
+        self.stats.l3_miss_latency.write_snapshot(w);
+        self.stats.l3_miss_overhead.write_snapshot(w);
+        w.seq(self.mcs.len());
+        for mc in &self.mcs {
+            w.str(mc.scheme.name());
+            mc.scheme.write_snapshot(w);
+            mc.dram.write_snapshot(w);
+            w.seq(mc.pending.len());
+            for pw in &mc.pending {
+                pw.now.write_snapshot(w);
+                w.u64(pw.local.raw());
+            }
+        }
+        w.u64(self.demand_misses);
+        w.u64(self.span_seq);
+    }
+
+    /// Restores state written by [`SharedMemory::write_snapshot`] onto a
+    /// hierarchy freshly built from the same configuration.
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.l3.restore_snapshot(r)?;
+        self.stats.l3_hits.restore_snapshot(r)?;
+        self.stats.l3_misses.restore_snapshot(r)?;
+        self.stats.l3_miss_latency.restore_snapshot(r)?;
+        self.stats.l3_miss_overhead.restore_snapshot(r)?;
+        r.fixed_seq(self.mcs.len(), "memory-controller count")?;
+        for mc in &mut self.mcs {
+            if r.str()? != mc.scheme.name() {
+                return Err(SnapError::Mismatch("memory-controller scheme"));
+            }
+            mc.scheme.restore_snapshot(r)?;
+            mc.dram.restore_snapshot(r)?;
+            let queued = r.seq(16)?;
+            mc.pending.clear();
+            for _ in 0..queued {
+                let mut now = Time::ZERO;
+                now.restore_snapshot(r)?;
+                let local = PhysAddr::new(r.u64()?);
+                mc.pending.push(PendingWriteback { now, local });
+            }
+        }
+        self.demand_misses = r.u64()?;
+        self.span_seq = r.u64()?;
+        Ok(())
     }
 
     /// Emits one mem-scope attribution record for an access that entered

@@ -5,6 +5,9 @@ use dylect_cpu::{Core, PageTableLayout};
 use dylect_dram::{Dram, DramConfig};
 use dylect_memctl::{MemoryScheme, NoCompression};
 use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::snap::{
+    read_header, write_header, Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _,
+};
 use dylect_sim_core::trace::OpBatch;
 use dylect_sim_core::Time;
 use dylect_telemetry::{SampleSnapshot, Telemetry, TelemetryConfig};
@@ -369,6 +372,114 @@ impl System {
         self.finish()
     }
 
+    /// Fingerprint of everything that determines this system's identity
+    /// for snapshot purposes: the resolved configuration (scheme, seeds,
+    /// geometry, core/MC counts) and the benchmark. Schemes additionally
+    /// guard their own construction inputs (compressibility digest, seed)
+    /// inside their streams, so a `from_parts` system whose hand-built
+    /// scheme differs from `config.scheme` still fails on restore.
+    fn snapshot_fingerprint(&self) -> u64 {
+        dylect_sim_core::kv::fingerprint64(&format!(
+            "system-snapshot;bench={};cfg={:?}",
+            self.benchmark, self.config
+        ))
+    }
+
+    /// Serializes the full mutable simulation state — cores (pipeline
+    /// clocks, caches, TLBs, walkers), workload stream positions, the
+    /// shared side (L3, every MC's scheme + DRAM + queued writebacks), the
+    /// measurement-window bookkeeping, and collected telemetry — as a
+    /// versioned snapshot.
+    ///
+    /// Call at a quiescent boundary (between [`System::execute`] windows;
+    /// `execute` always drains in-flight MC writebacks before returning).
+    /// Execution knobs — warmup mode, worker count, probe installation —
+    /// are orchestration state: the restoring caller re-establishes them
+    /// exactly as it would for a fresh run, then overlays this snapshot.
+    /// `restore(snapshot_at(n))` followed by `execute(k)` is byte-identical
+    /// to a straight `execute(n + k)` run.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, self.snapshot_fingerprint());
+        w.seq(self.cores.len());
+        for core in &self.cores {
+            core.write_snapshot(&mut w);
+        }
+        w.seq(self.workloads.len());
+        for wl in &self.workloads {
+            wl.write_snapshot(&mut w);
+        }
+        self.shared.write_snapshot(&mut w);
+        self.measure_start.write_snapshot(&mut w);
+        w.u64(self.instr_base);
+        w.u64(self.ops_in_epoch);
+        w.bool(self.telemetry.is_some());
+        if let Some(t) = &self.telemetry {
+            t.write_snapshot(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot produced by [`System::snapshot`] onto this
+    /// system, which must be freshly built from the same configuration and
+    /// benchmark — and have telemetry already enabled with the same
+    /// [`TelemetryConfig`] iff the donor had it enabled at snapshot time.
+    ///
+    /// Truncated, corrupt, wrong-version, or wrong-configuration input is
+    /// rejected with a [`SnapError`]; on error this system's state is
+    /// unspecified and the caller should discard it.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut r = SnapReader::new(bytes);
+        read_header(&mut r, self.snapshot_fingerprint())?;
+        r.fixed_seq(self.cores.len(), "core count")?;
+        for core in &mut self.cores {
+            core.restore_snapshot(&mut r)?;
+        }
+        r.fixed_seq(self.workloads.len(), "workload count")?;
+        for wl in &mut self.workloads {
+            wl.restore_snapshot(&mut r)?;
+        }
+        self.shared.restore_snapshot(&mut r)?;
+        self.measure_start.restore_snapshot(&mut r)?;
+        self.instr_base = r.u64()?;
+        self.ops_in_epoch = r.u64()?;
+        if r.bool()? != self.telemetry.is_some() {
+            return Err(SnapError::Mismatch("telemetry enabled state"));
+        }
+        if let Some(t) = &mut self.telemetry {
+            t.restore_snapshot(&mut r)?;
+        }
+        r.finish()
+    }
+
+    /// Runs the warmup window and snapshots the warmed state, leaving this
+    /// system ready for [`System::start_measurement`]. The returned bytes
+    /// hand the entire warmup to [`System::resume_measurement`] on a fresh
+    /// same-configuration system.
+    pub fn warm_up_and_snapshot(&mut self, warmup_ops: u64) -> Vec<u8> {
+        self.shared.set_warmup(true);
+        self.execute(warmup_ops);
+        self.snapshot()
+    }
+
+    /// Skips warmup by restoring a [`System::warm_up_and_snapshot`] image,
+    /// then runs the measurement window; returns the report. Byte-identical
+    /// to [`System::run`] with the warmup the snapshot was taken at.
+    pub fn resume_measurement(
+        &mut self,
+        snapshot: &[u8],
+        measure_ops: u64,
+    ) -> Result<RunReport, SnapError> {
+        // Warmup acceleration must be live while restoring, exactly as it
+        // was on the donor, so the scheme's post-restore sampling state
+        // matches until `start_measurement` turns it off.
+        self.shared.set_warmup(true);
+        self.restore(snapshot)?;
+        self.start_measurement();
+        self.execute(measure_ops);
+        Ok(self.finish())
+    }
+
     /// Drains in-flight work and snapshots the report for the measurement
     /// window.
     ///
@@ -624,6 +735,120 @@ mod tests {
         assert_eq!(r_plain.elapsed, r_telemetry.elapsed);
         assert_eq!(r_plain.mc, r_telemetry.mc);
         assert_eq!(r_plain.dram, r_telemetry.dram);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        for scheme in [
+            SchemeKind::NoCompression,
+            SchemeKind::tmcc(),
+            SchemeKind::dylect(),
+            SchemeKind::NaiveDynamic,
+        ] {
+            let straight = quick(scheme.clone()).run(5_000, 5_000);
+            let snap = quick(scheme.clone()).warm_up_and_snapshot(5_000);
+            let resumed = quick(scheme.clone())
+                .resume_measurement(&snap, 5_000)
+                .expect("same-config restore succeeds");
+            assert_eq!(
+                straight.to_cache_text(),
+                resumed.to_cache_text(),
+                "{scheme:?}: resumed run must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_telemetry() {
+        let cfg = dylect_telemetry::TelemetryConfig {
+            shadow: true,
+            span_sample: 8,
+            ..dylect_telemetry::TelemetryConfig::default()
+        };
+        let mut straight = quick(SchemeKind::dylect());
+        straight.enable_telemetry(cfg);
+        let r_straight = straight.run(8_000, 4_000);
+        let t_straight = straight.take_telemetry().expect("enabled");
+
+        let mut donor = quick(SchemeKind::dylect());
+        donor.enable_telemetry(cfg);
+        let snap = donor.warm_up_and_snapshot(8_000);
+        let mut resumed = quick(SchemeKind::dylect());
+        resumed.enable_telemetry(cfg);
+        let r_resumed = resumed
+            .resume_measurement(&snap, 4_000)
+            .expect("telemetry restore succeeds");
+        let t_resumed = resumed.take_telemetry().expect("enabled");
+
+        assert_eq!(r_straight.to_cache_text(), r_resumed.to_cache_text());
+        // The collectors resumed exactly: re-snapshotting both telemetry
+        // states must give identical bytes.
+        let bytes = |t: &Telemetry| {
+            let mut w = SnapWriter::new();
+            t.write_snapshot(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(bytes(&t_straight), bytes(&t_resumed));
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatch_corruption_and_truncation() {
+        let mut donor = quick(SchemeKind::dylect());
+        let snap = donor.warm_up_and_snapshot(2_000);
+
+        // Wrong scheme: the config fingerprint differs.
+        let mut other = quick(SchemeKind::tmcc());
+        assert_eq!(
+            other.restore(&snap),
+            Err(SnapError::Mismatch("configuration fingerprint"))
+        );
+        // Telemetry on the receiver but not the donor.
+        let mut telem = quick(SchemeKind::dylect());
+        telem.enable_telemetry(dylect_telemetry::TelemetryConfig::default());
+        telem.shared.set_warmup(true);
+        assert_eq!(
+            telem.restore(&snap),
+            Err(SnapError::Mismatch("telemetry enabled state"))
+        );
+        // Wrong version byte.
+        let mut bad = snap.clone();
+        bad[4] ^= 0xFF;
+        assert!(matches!(
+            quick(SchemeKind::dylect()).restore(&bad),
+            Err(SnapError::BadVersion { .. })
+        ));
+        // Truncations error instead of panicking or succeeding (~64 cut
+        // points spread over the stream; a fresh receiver per attempt).
+        for cut in (0..snap.len()).step_by((snap.len() / 64).max(1)) {
+            assert!(
+                quick(SchemeKind::dylect()).restore(&snap[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage is flagged.
+        let mut padded = snap.clone();
+        padded.push(0);
+        assert!(matches!(
+            quick(SchemeKind::dylect()).restore(&padded),
+            Err(SnapError::TrailingBytes(_))
+        ));
+        // The pristine snapshot still restores after all that.
+        quick(SchemeKind::dylect()).restore(&snap).unwrap();
+    }
+
+    #[test]
+    fn multi_mc_snapshot_round_trips_with_queued_writebacks() {
+        let spec = BenchmarkSpec::by_name("omnetpp").unwrap();
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        cfg.scale = 16;
+        cfg.dram_bytes = spec.dram_bytes(CompressionSetting::High, 16);
+        cfg.memory_controllers = 4;
+        let straight = System::new(cfg.clone(), &spec).run(20_000, 10_000);
+        let snap = System::new(cfg.clone(), &spec).warm_up_and_snapshot(20_000);
+        let resumed = System::new(cfg, &spec)
+            .resume_measurement(&snap, 10_000)
+            .expect("multi-MC restore succeeds");
+        assert_eq!(straight.to_cache_text(), resumed.to_cache_text());
     }
 
     #[test]

@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use dylect_sim_core::probe::{
-    AccessComponent, AccessRecord, AccessScope, MemLevel, RequestClass, SpanRecord, TranslationPath,
+    AccessComponent, AccessRecord, AccessScope, MemLevel, RequestClass, SpanPhase, SpanRecord,
+    TranslationPath,
 };
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::LogHistogram;
 use dylect_sim_core::Time;
 
@@ -163,6 +165,107 @@ impl Attribution {
             out.push_str("where cycles go: no accesses recorded\n");
         }
         out
+    }
+}
+
+/// Index of `v` in its enum's `ALL` table (the snapshot-format rule: enums
+/// travel as table indices, never raw discriminants).
+fn tag<T: PartialEq + Copy>(all: &[T], v: T) -> u8 {
+    all.iter().position(|&x| x == v).expect("in ALL") as u8
+}
+
+/// Histogram keys are written as indices into the probe enums' `ALL`
+/// tables, in the `BTreeMap`'s (deterministic) key order.
+impl Snapshot for Attribution {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        for scope in &self.component_ps {
+            for &ps in scope {
+                w.u64(ps);
+            }
+        }
+        for &n in &self.records {
+            w.u64(n);
+        }
+        w.u64(self.spans_dropped);
+        w.seq(self.hists.len());
+        for (&(scope, class, level, path), hist) in &self.hists {
+            w.u8(tag(&AccessScope::ALL, scope));
+            w.u8(tag(&RequestClass::ALL, class));
+            w.u8(tag(&MemLevel::ALL, level));
+            w.u8(tag(&TranslationPath::ALL, path));
+            hist.write_snapshot(w);
+        }
+        w.seq(self.spans.len());
+        for s in &self.spans {
+            w.u64(s.id);
+            w.u32(s.mc);
+            w.u8(tag(&SpanPhase::ALL, s.phase));
+            s.start.write_snapshot(w);
+            s.end.write_snapshot(w);
+            w.u64(s.page);
+        }
+    }
+}
+
+impl Restore for Attribution {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for scope in &mut self.component_ps {
+            for ps in scope.iter_mut() {
+                *ps = r.u64()?;
+            }
+        }
+        for n in &mut self.records {
+            *n = r.u64()?;
+        }
+        self.spans_dropped = r.u64()?;
+        let bad_key = || SnapError::Corrupt("unknown histogram key tag");
+        let n_hists = r.seq(4)?;
+        self.hists.clear();
+        for _ in 0..n_hists {
+            let scope = *AccessScope::ALL.get(r.u8()? as usize).ok_or_else(bad_key)?;
+            let class = *RequestClass::ALL
+                .get(r.u8()? as usize)
+                .ok_or_else(bad_key)?;
+            let level = *MemLevel::ALL.get(r.u8()? as usize).ok_or_else(bad_key)?;
+            let path = *TranslationPath::ALL
+                .get(r.u8()? as usize)
+                .ok_or_else(bad_key)?;
+            let mut hist = LogHistogram::default();
+            hist.restore_snapshot(r)?;
+            if self
+                .hists
+                .insert((scope, class, level, path), hist)
+                .is_some()
+            {
+                return Err(SnapError::Corrupt("duplicate histogram key"));
+            }
+        }
+        let n_spans = r.seq(29)?;
+        if n_spans > self.span_capacity {
+            return Err(SnapError::Corrupt("spans exceed capacity"));
+        }
+        self.spans.clear();
+        for _ in 0..n_spans {
+            let id = r.u64()?;
+            let mc = r.u32()?;
+            let phase = *SpanPhase::ALL
+                .get(r.u8()? as usize)
+                .ok_or(SnapError::Corrupt("unknown span phase tag"))?;
+            let mut start = Time::ZERO;
+            start.restore_snapshot(r)?;
+            let mut end = Time::ZERO;
+            end.restore_snapshot(r)?;
+            let page = r.u64()?;
+            self.spans.push(SpanRecord {
+                id,
+                mc,
+                phase,
+                start,
+                end,
+                page,
+            });
+        }
+        Ok(())
     }
 }
 

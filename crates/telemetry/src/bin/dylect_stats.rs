@@ -26,11 +26,11 @@
 //! metrics/rows (present on one side only).
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use dylect_telemetry::export::{parse_flat_object, FlatValue};
+use dylect_telemetry::diff::{diff, fmt_value, load, outcome, Parsed, Tolerance};
+use dylect_telemetry::export::FlatValue;
 
 /// Writes one line to stdout, dying quietly with the conventional SIGPIPE
 /// status when the downstream reader has gone away (`dylect-stats dump … |
@@ -48,125 +48,6 @@ fn outln_impl(args: std::fmt::Arguments) {
 
 macro_rules! outln {
     ($($arg:tt)*) => { outln_impl(format_args!($($arg)*)) };
-}
-
-struct Tolerance {
-    abs: f64,
-    rel: f64,
-}
-
-impl Tolerance {
-    fn close(&self, a: f64, b: f64) -> bool {
-        if a == b {
-            return true;
-        }
-        let d = (a - b).abs();
-        d <= self.abs || d <= self.rel * a.abs().max(b.abs())
-    }
-}
-
-/// What a file parsed into.
-enum Parsed {
-    /// Flat JSONL: one object per line.
-    Jsonl(Vec<BTreeMap<String, FlatValue>>),
-    /// A `KvWriter` record: key → raw string value.
-    Report(BTreeMap<String, String>),
-}
-
-fn load(path: &str) -> Result<Parsed, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if path.ends_with(".report") || looks_like_report(&text) {
-        return parse_report(&text)
-            .map(Parsed::Report)
-            .ok_or_else(|| format!("{path}: malformed report record"));
-    }
-    let mut rows = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let obj = parse_flat_object(line)
-            .ok_or_else(|| format!("{path}:{}: malformed JSONL line", i + 1))?;
-        rows.push(obj);
-    }
-    Ok(Parsed::Jsonl(rows))
-}
-
-/// KvWriter records are multi-line `{ "key": "value", ... }`; JSONL files
-/// are one object per line.
-fn looks_like_report(text: &str) -> bool {
-    text.trim_start().starts_with("{\n") || text.trim() == "{}"
-}
-
-fn parse_report(text: &str) -> Option<BTreeMap<String, String>> {
-    let body = text.trim();
-    let body = body.strip_prefix('{')?.strip_suffix('}')?;
-    let mut map = BTreeMap::new();
-    for line in body.lines() {
-        let line = line.trim().trim_end_matches(',');
-        if line.is_empty() {
-            continue;
-        }
-        let rest = line.strip_prefix('"')?;
-        let (key, rest) = rest.split_once("\": \"")?;
-        let value = rest.strip_suffix('"')?;
-        map.insert(key.to_string(), value.to_string());
-    }
-    Some(map)
-}
-
-/// Decodes a report value: `f64:<hexbits> <approx>` → the exact float, a
-/// plain integer → that value; anything else stays a string.
-fn report_number(raw: &str) -> Option<f64> {
-    if let Some(v) = raw.strip_prefix("f64:") {
-        let hex = v.split(' ').next()?;
-        return Some(f64::from_bits(u64::from_str_radix(hex, 16).ok()?));
-    }
-    raw.parse::<u64>().ok().map(|v| v as f64)
-}
-
-fn fmt_value(v: &FlatValue) -> String {
-    match v {
-        FlatValue::Number(n) => format!("{n:?}"),
-        FlatValue::String(s) => s.clone(),
-    }
-}
-
-/// A human label for a JSONL row: its identifying keys if present, else
-/// its position.
-fn row_label(row: &BTreeMap<String, FlatValue>, index: usize) -> String {
-    let mut label = String::new();
-    for key in [
-        "series",
-        "summary",
-        "event",
-        "hist",
-        "shadow",
-        "kind",
-        "config",
-        "page_life",
-        "rank",
-        "peak",
-        "scope",
-        "class",
-        "level",
-        "path",
-        "component",
-        "x_start",
-        "ts_ps",
-    ] {
-        if let Some(v) = row.get(key) {
-            if !label.is_empty() {
-                label.push(' ');
-            }
-            let _ = write!(label, "{key}={}", fmt_value(v));
-        }
-    }
-    if label.is_empty() {
-        format!("line {}", index + 1)
-    } else {
-        label
-    }
 }
 
 fn dump(parsed: &Parsed) {
@@ -479,99 +360,6 @@ fn summary(parsed: &Parsed) {
     }
 }
 
-/// One reported difference. Missing metrics (a key or row present on only
-/// one side) are distinguished from value drift so `diff` can exit with a
-/// dedicated code for schema changes.
-struct Diff {
-    missing: bool,
-    msg: String,
-}
-
-impl Diff {
-    fn value(msg: String) -> Diff {
-        Diff {
-            missing: false,
-            msg,
-        }
-    }
-
-    fn missing(msg: String) -> Diff {
-        Diff { missing: true, msg }
-    }
-}
-
-fn diff_numbers(label: &str, a: f64, b: f64, tol: &Tolerance, diffs: &mut Vec<Diff>) {
-    if !tol.close(a, b) {
-        diffs.push(Diff::value(format!(
-            "{label}: {a:?} != {b:?} (delta {:?})",
-            (a - b).abs()
-        )));
-    }
-}
-
-fn diff(a: &Parsed, b: &Parsed, tol: &Tolerance) -> Vec<Diff> {
-    let mut diffs = Vec::new();
-    match (a, b) {
-        (Parsed::Jsonl(ra), Parsed::Jsonl(rb)) => {
-            if ra.len() != rb.len() {
-                diffs.push(Diff::missing(format!(
-                    "row counts differ: {} vs {}",
-                    ra.len(),
-                    rb.len()
-                )));
-            }
-            for (i, (rowa, rowb)) in ra.iter().zip(rb.iter()).enumerate() {
-                let label = row_label(rowa, i);
-                for (key, va) in rowa {
-                    match (va, rowb.get(key)) {
-                        (_, None) => {
-                            diffs.push(Diff::missing(format!("{label}: {key} missing in second")));
-                        }
-                        (FlatValue::Number(x), Some(FlatValue::Number(y))) => {
-                            diff_numbers(&format!("{label}: {key}"), *x, *y, tol, &mut diffs);
-                        }
-                        (va, Some(vb)) => {
-                            if va != vb {
-                                diffs.push(Diff::value(format!(
-                                    "{label}: {key}: {} != {}",
-                                    fmt_value(va),
-                                    fmt_value(vb)
-                                )));
-                            }
-                        }
-                    }
-                }
-                for key in rowb.keys() {
-                    if !rowa.contains_key(key) {
-                        diffs.push(Diff::missing(format!("{label}: {key} missing in first")));
-                    }
-                }
-            }
-        }
-        (Parsed::Report(ma), Parsed::Report(mb)) => {
-            for (key, va) in ma {
-                match mb.get(key) {
-                    None => diffs.push(Diff::missing(format!("{key}: missing in second"))),
-                    Some(vb) if va == vb => {}
-                    Some(vb) => match (report_number(va), report_number(vb)) {
-                        (Some(x), Some(y)) => diff_numbers(key, x, y, tol, &mut diffs),
-                        _ => diffs.push(Diff::value(format!("{key}: {va} != {vb}"))),
-                    },
-                }
-            }
-            for key in mb.keys() {
-                if !ma.contains_key(key) {
-                    diffs.push(Diff::missing(format!("{key}: missing in first")));
-                }
-            }
-        }
-        _ => diffs.push(Diff::value(
-            "files are of different kinds (jsonl vs report)".to_string(),
-        )),
-    }
-    diffs
-}
-
 const USAGE: &str = "usage:
   dylect-stats dump <file>
   dylect-stats summary <file>
@@ -593,7 +381,7 @@ fn run() -> Result<u8, String> {
             Ok(0)
         }
         Some("diff") if args.len() >= 3 => {
-            let mut tol = Tolerance { abs: 0.0, rel: 0.0 };
+            let mut tol = Tolerance::default();
             let mut i = 3;
             while i < args.len() {
                 let value = args
@@ -627,7 +415,7 @@ fn run() -> Result<u8, String> {
                     "{} difference(s) ({missing} missing metric(s))",
                     diffs.len()
                 );
-                Ok(if missing == diffs.len() { 3 } else { 1 })
+                Ok(outcome(&diffs))
             }
         }
         _ => Err(USAGE.to_string()),
@@ -647,79 +435,8 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn tolerance_semantics() {
-        let exact = Tolerance { abs: 0.0, rel: 0.0 };
-        assert!(exact.close(1.0, 1.0));
-        assert!(!exact.close(1.0, 1.0000001));
-        let abs = Tolerance { abs: 0.1, rel: 0.0 };
-        assert!(abs.close(1.0, 1.05));
-        assert!(!abs.close(1.0, 1.2));
-        let rel = Tolerance {
-            abs: 0.0,
-            rel: 0.01,
-        };
-        assert!(rel.close(100.0, 100.5));
-        assert!(!rel.close(100.0, 102.0));
-    }
-
-    #[test]
-    fn report_parsing_decodes_exact_floats() {
-        let text = format!(
-            "{{\n\"a\": \"42\",\n\"b\": \"f64:{:016x} {:e}\",\n}}\n",
-            0.5f64.to_bits(),
-            0.5f64
-        );
-        let map = parse_report(&text).unwrap();
-        assert_eq!(report_number(&map["a"]), Some(42.0));
-        assert_eq!(report_number(&map["b"]), Some(0.5));
-    }
-
-    #[test]
-    fn identical_jsonl_has_no_diffs() {
-        let rows = vec![parse_flat_object(r#"{"series":"s","x_start":1,"mean":0.5}"#).unwrap()];
-        let a = Parsed::Jsonl(rows.clone());
-        let b = Parsed::Jsonl(rows);
-        let tol = Tolerance { abs: 0.0, rel: 0.0 };
-        assert!(diff(&a, &b, &tol).is_empty());
-    }
-
-    #[test]
-    fn jsonl_diff_finds_numeric_drift_and_respects_tolerance() {
-        let a = Parsed::Jsonl(vec![parse_flat_object(
-            r#"{"series":"s","x_start":1,"mean":0.5}"#,
-        )
-        .unwrap()]);
-        let b = Parsed::Jsonl(vec![parse_flat_object(
-            r#"{"series":"s","x_start":1,"mean":0.6}"#,
-        )
-        .unwrap()]);
-        let exact = Tolerance { abs: 0.0, rel: 0.0 };
-        let found = diff(&a, &b, &exact);
-        assert_eq!(found.len(), 1);
-        assert!(found[0].msg.contains("series=s"), "{}", found[0].msg);
-        assert!(!found[0].missing, "drift is not a missing metric");
-        let loose = Tolerance { abs: 0.2, rel: 0.0 };
-        assert!(diff(&a, &b, &loose).is_empty());
-    }
-
-    #[test]
-    fn missing_keys_and_rows_are_reported_as_missing() {
-        let a = Parsed::Jsonl(vec![parse_flat_object(r#"{"x":1,"y":2}"#).unwrap()]);
-        let b = Parsed::Jsonl(vec![
-            parse_flat_object(r#"{"x":1}"#).unwrap(),
-            BTreeMap::new(),
-        ]);
-        let tol = Tolerance { abs: 0.0, rel: 0.0 };
-        let found = diff(&a, &b, &tol);
-        assert!(found.iter().any(|d| d.msg.contains("row counts differ")));
-        assert!(found.iter().any(|d| d.msg.contains("missing in second")));
-        assert!(
-            found.iter().all(|d| d.missing),
-            "all of these are missing-metric diffs"
-        );
-    }
+    use dylect_telemetry::diff::row_label;
+    use dylect_telemetry::export::parse_flat_object;
 
     #[test]
     fn shadow_rows_render_and_label() {
@@ -754,16 +471,5 @@ mod tests {
         let latency =
             vec![parse_flat_object(r#"{"hist":"latency","scope":"mem","count":1}"#).unwrap()];
         assert!(!shadow_summary(&latency));
-    }
-
-    #[test]
-    fn latency_rows_label_with_their_outcome_key() {
-        let row = parse_flat_object(
-            r#"{"hist":"latency","scope":"mem","class":"demand","level":"ml0","path":"short_cte_hit","count":3}"#,
-        )
-        .unwrap();
-        let label = row_label(&row, 0);
-        assert!(label.contains("hist=latency"), "{label}");
-        assert!(label.contains("path=short_cte_hit"), "{label}");
     }
 }

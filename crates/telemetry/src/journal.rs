@@ -13,6 +13,7 @@ use std::rc::Rc;
 use dylect_sim_core::probe::{
     AccessRecord, CteRecord, EventSink, McEvent, ProbeHandle, SpanRecord,
 };
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::Time;
 
 use crate::attribution::Attribution;
@@ -92,6 +93,55 @@ impl EventJournal {
     /// Total events seen (retained + dropped).
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+}
+
+/// Events are stored as their index in [`McEvent::ALL`]; the capacity is
+/// construction state, so a snapshot with more retained entries than the
+/// restoring journal can hold is rejected rather than truncated.
+impl Snapshot for EventJournal {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.dropped);
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.seq(self.entries.len());
+        for e in &self.entries {
+            e.now.write_snapshot(w);
+            w.u32(e.mc);
+            w.u8(Self::event_index(e.event) as u8);
+            w.u64(e.page);
+        }
+    }
+}
+
+impl Restore for EventJournal {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.dropped = r.u64()?;
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        let n = r.seq(21)?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("journal entries exceed capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let mut now = Time::ZERO;
+            now.restore_snapshot(r)?;
+            let mc = r.u32()?;
+            let event = *McEvent::ALL
+                .get(r.u8()? as usize)
+                .ok_or(SnapError::Corrupt("unknown journal event tag"))?;
+            let page = r.u64()?;
+            self.entries.push(JournalEntry {
+                now,
+                mc,
+                event,
+                page,
+            });
+        }
+        Ok(())
     }
 }
 

@@ -44,6 +44,7 @@
 //! tolerances.
 
 pub mod attribution;
+pub mod diff;
 pub mod export;
 pub mod journal;
 pub mod provenance;
@@ -58,6 +59,7 @@ use std::rc::Rc;
 
 use dylect_memctl::controller::CteCacheGeometry;
 use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 
 pub use attribution::Attribution;
 pub use journal::{EventJournal, JournalEntry, McProbe};
@@ -268,6 +270,55 @@ impl Telemetry {
         self.attribution.borrow()
     }
 
+    /// Serializes the whole telemetry state: the sizing config (as an
+    /// identity guard), the shared ops clock, and every collector. The
+    /// shadow/provenance trackers are written unconditionally — they are
+    /// empty when `cfg.shadow` is off and cost a few bytes.
+    pub fn write_snapshot(&self, w: &mut SnapWriter) {
+        let c = &self.cfg;
+        w.u64(c.epoch_ops);
+        w.u64(c.series_capacity as u64);
+        w.u64(c.journal_capacity as u64);
+        w.u64(c.span_sample);
+        w.u64(c.span_capacity as u64);
+        w.bool(c.shadow);
+        w.u64(c.pingpong_trips);
+        w.u64(c.pingpong_window_ops);
+        w.u64(self.ops_clock.get());
+        self.sampler.write_snapshot(w);
+        self.journal.borrow().write_snapshot(w);
+        self.attribution.borrow().write_snapshot(w);
+        self.shadow.borrow().write_snapshot(w);
+        self.provenance.borrow().write_snapshot(w);
+    }
+
+    /// Restores telemetry state written by
+    /// [`write_snapshot`](Self::write_snapshot). The receiver must have
+    /// been built with the same [`TelemetryConfig`] and the same per-MC
+    /// shadow configuration ([`configure_shadow_for_mc`]
+    /// (Self::configure_shadow_for_mc)).
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let c = &self.cfg;
+        let same = r.u64()? == c.epoch_ops
+            && r.u64()? == c.series_capacity as u64
+            && r.u64()? == c.journal_capacity as u64
+            && r.u64()? == c.span_sample
+            && r.u64()? == c.span_capacity as u64
+            && r.bool()? == c.shadow
+            && r.u64()? == c.pingpong_trips
+            && r.u64()? == c.pingpong_window_ops;
+        if !same {
+            return Err(SnapError::Mismatch("telemetry config"));
+        }
+        self.ops_clock.set(r.u64()?);
+        self.sampler.restore_snapshot(r)?;
+        self.journal.borrow_mut().restore_snapshot(r)?;
+        self.attribution.borrow_mut().restore_snapshot(r)?;
+        self.shadow.borrow_mut().restore_snapshot(r)?;
+        self.provenance.borrow_mut().restore_snapshot(r)?;
+        Ok(())
+    }
+
     /// Writes `<stem>.series.jsonl`, `<stem>.events.jsonl`,
     /// `<stem>.latency.jsonl`, and `<stem>.trace.json` — plus
     /// `<stem>.shadow.jsonl` when shadow probing is enabled; returns the
@@ -376,6 +427,107 @@ mod tests {
         assert!(trace.contains("\"name\":\"compaction\""));
         assert!(trace.contains("\"ph\":\"B\""), "span pairs exported");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_collector() {
+        use dylect_sim_core::probe::{
+            AccessComponent, AccessRecord, AccessScope, CteBlockKind, CteOp, CteRecord, MemLevel,
+            RequestClass, SpanPhase, SpanRecord, TranslationPath,
+        };
+
+        let cfg = TelemetryConfig {
+            shadow: true,
+            span_sample: 16,
+            ..TelemetryConfig::default()
+        };
+        let geom = Some(CteCacheGeometry {
+            capacity_bytes: 4096,
+            ways: 2,
+            block_bytes: 64,
+            group_size: 3,
+            num_groups: 8,
+        });
+        let mut t = Telemetry::new(cfg);
+        t.configure_shadow_for_mc(0, geom);
+        let probe = t.probe_for_mc(0);
+        for i in 0..200u64 {
+            t.ops_clock().set(i);
+            probe.emit(
+                Time::from_ns(i as f64),
+                McEvent::ALL[(i % 5) as usize],
+                i % 17,
+            );
+            probe.emit_cte(&CteRecord {
+                kind: CteBlockKind::ALL[(i % 2) as usize],
+                op: CteOp::Lookup {
+                    hit: i % 3 == 0,
+                    fill_on_miss: i % 4 != 0,
+                },
+                key: i % 23,
+            });
+            probe.emit_access(&AccessRecord::new(
+                AccessScope::Mem,
+                RequestClass::Demand,
+                MemLevel::Ml1,
+                TranslationPath::LongCteHit,
+                Time::ZERO,
+                Time::from_ns(40.0 + i as f64),
+                &[(AccessComponent::DramService, Time::from_ns(30.0))],
+            ));
+            probe.emit_span(&SpanRecord {
+                id: i,
+                mc: 0,
+                phase: SpanPhase::Request,
+                start: Time::ZERO,
+                end: Time::from_ns(i as f64),
+                page: i,
+            });
+        }
+        t.sample(SampleSnapshot {
+            instructions: 1000,
+            ..SampleSnapshot::default()
+        });
+
+        let mut w = SnapWriter::new();
+        t.write_snapshot(&mut w);
+        let snap = w.into_bytes();
+
+        let mut fresh = Telemetry::new(cfg);
+        fresh.configure_shadow_for_mc(0, geom);
+        let mut r = SnapReader::new(&snap);
+        fresh.restore_snapshot(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Restore-then-resnapshot must be byte-identical (writes are
+        // deterministic: all unordered containers travel sorted).
+        let mut w2 = SnapWriter::new();
+        fresh.write_snapshot(&mut w2);
+        assert_eq!(snap, w2.into_bytes());
+        assert_eq!(fresh.journal().total(), t.journal().total());
+        assert_eq!(fresh.shadow().classes_total(), t.shadow().classes_total());
+        assert_eq!(fresh.ops_clock().get(), t.ops_clock().get());
+
+        // A differently-sized receiver refuses the snapshot.
+        let mut other = Telemetry::new(TelemetryConfig::default());
+        assert!(matches!(
+            other.restore_snapshot(&mut SnapReader::new(&snap)),
+            Err(SnapError::Mismatch("telemetry config"))
+        ));
+        // An unconfigured (shadowless) receiver with the right config
+        // fails on the shadow MC set, not with a panic.
+        let mut unconfigured = Telemetry::new(cfg);
+        assert!(unconfigured
+            .restore_snapshot(&mut SnapReader::new(&snap))
+            .is_err());
+        // Every truncation is an error, never a panic.
+        for cut in (0..snap.len()).step_by(131) {
+            let mut fresh2 = Telemetry::new(cfg);
+            fresh2.configure_shadow_for_mc(0, geom);
+            let mut r = SnapReader::new(&snap[..cut]);
+            let res = fresh2.restore_snapshot(&mut r).and_then(|()| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes accepted");
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::rc::Rc;
 
 use dylect_memctl::controller::CteCacheGeometry;
 use dylect_sim_core::probe::{McEvent, MemLevel};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Managed levels with dwell accounting, in index order.
 pub const LEVELS: [MemLevel; 3] = [MemLevel::Ml0, MemLevel::Ml1, MemLevel::Ml2];
@@ -293,6 +294,133 @@ impl Provenance {
     /// Whether any MC has a residency histogram configured.
     pub fn has_groups(&self) -> bool {
         self.groups.iter().any(|g| g.is_some())
+    }
+}
+
+/// Page state machines are written in sorted `(mc, page)` order; the
+/// shared ops clock is owned (and serialized) by `Telemetry`, not here.
+/// The group shapes come from `configure_mc` and must already match.
+impl Snapshot for Provenance {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        for &n in &self.level_entries {
+            w.u64(n);
+        }
+        let mut keys: Vec<(u32, u64)> = self.pages.keys().copied().collect();
+        keys.sort_unstable();
+        w.seq(keys.len());
+        for key in keys {
+            let life = &self.pages[&key];
+            w.u32(key.0);
+            w.u64(key.1);
+            w.u8(MemLevel::ALL
+                .iter()
+                .position(|&l| l == life.level)
+                .expect("in ALL") as u8);
+            w.u64(life.since);
+            for &d in &life.dwell {
+                w.u64(d);
+            }
+            for &e in &life.events {
+                w.u32(e);
+            }
+            w.u64(life.trips);
+            w.seq(life.recent.len());
+            for &t in &life.recent {
+                w.u64(t);
+            }
+            w.u64(life.pingpong);
+            w.bool(life.out_of_ml0);
+        }
+        w.seq(self.groups.len());
+        for g in &self.groups {
+            match g {
+                Some(g) => {
+                    w.bool(true);
+                    w.u64(g.num_groups);
+                    for &c in &g.cur {
+                        w.u32(c);
+                    }
+                    for &p in &g.peak {
+                        w.u32(p);
+                    }
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+}
+
+impl Restore for Provenance {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for n in &mut self.level_entries {
+            *n = r.u64()?;
+        }
+        let n_pages = r.seq(13)?;
+        self.pages.clear();
+        for _ in 0..n_pages {
+            let mc = r.u32()?;
+            let page = r.u64()?;
+            let level = *MemLevel::ALL
+                .get(r.u8()? as usize)
+                .ok_or(SnapError::Corrupt("unknown page level tag"))?;
+            let since = r.u64()?;
+            let mut dwell = [0u64; LEVELS.len()];
+            for d in &mut dwell {
+                *d = r.u64()?;
+            }
+            let mut events = [0u32; McEvent::ALL.len()];
+            for e in &mut events {
+                *e = r.u32()?;
+            }
+            let trips = r.u64()?;
+            let n_recent = r.seq(8)?;
+            if n_recent > self.trips_window {
+                return Err(SnapError::Corrupt("trip ring longer than its window"));
+            }
+            let mut recent = Vec::with_capacity(n_recent);
+            for _ in 0..n_recent {
+                recent.push(r.u64()?);
+            }
+            let pingpong = r.u64()?;
+            let out_of_ml0 = r.bool()?;
+            if self
+                .pages
+                .insert(
+                    (mc, page),
+                    PageLife {
+                        level,
+                        since,
+                        dwell,
+                        events,
+                        trips,
+                        recent,
+                        pingpong,
+                        out_of_ml0,
+                    },
+                )
+                .is_some()
+            {
+                return Err(SnapError::Corrupt("duplicate provenance page key"));
+            }
+        }
+        r.fixed_seq(self.groups.len(), "provenance MC count")?;
+        for g in &mut self.groups {
+            if r.bool()? != g.is_some() {
+                return Err(SnapError::Mismatch("page-grouped MC set"));
+            }
+            if let Some(g) = g {
+                if r.u64()? != g.num_groups {
+                    return Err(SnapError::Mismatch("page-group count"));
+                }
+                for c in &mut g.cur {
+                    *c = r.u32()?;
+                }
+                for p in &mut g.peak {
+                    *p = r.u32()?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 

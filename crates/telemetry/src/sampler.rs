@@ -14,6 +14,7 @@
 
 use dylect_dram::{DramStats, QueueStats};
 use dylect_memctl::controller::{McStats, Occupancy};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 use crate::series::TimeSeries;
 
@@ -201,6 +202,62 @@ impl Sampler {
         self.push("dram_blocks", x, blocks as f64);
 
         self.prev = Some(snap);
+    }
+}
+
+impl Snapshot for SampleSnapshot {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.instructions);
+        self.mc.write_snapshot(w);
+        self.dram.write_snapshot(w);
+        self.occupancy.write_snapshot(w);
+        self.queue.write_snapshot(w);
+    }
+}
+
+impl Restore for SampleSnapshot {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.instructions = r.u64()?;
+        self.mc.restore_snapshot(r)?;
+        self.dram.restore_snapshot(r)?;
+        self.occupancy.restore_snapshot(r)?;
+        self.queue.restore_snapshot(r)?;
+        Ok(())
+    }
+}
+
+impl Snapshot for Sampler {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.epochs);
+        w.seq(self.series.len());
+        for s in &self.series {
+            s.write_snapshot(w);
+        }
+        match &self.prev {
+            Some(p) => {
+                w.bool(true);
+                p.write_snapshot(w);
+            }
+            None => w.bool(false),
+        }
+    }
+}
+
+impl Restore for Sampler {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.epochs = r.u64()?;
+        r.fixed_seq(self.series.len(), "sampler series count")?;
+        for s in &mut self.series {
+            s.restore_snapshot(r)?;
+        }
+        self.prev = if r.bool()? {
+            let mut p = SampleSnapshot::default();
+            p.restore_snapshot(r)?;
+            Some(p)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

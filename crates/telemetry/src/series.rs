@@ -9,6 +9,8 @@
 //! `count`/`sum`/`min`/`max` over its x-range — downsampling loses
 //! resolution, never mass.
 
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// One downsampled bin: aggregates of all samples with `x_start <= x <=
 /// x_end`.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -141,6 +143,55 @@ impl TimeSeries {
         merged.extend_from_slice(it.remainder());
         self.bins = merged;
         self.stride *= 2;
+    }
+}
+
+/// The name and capacity are construction state; the name is written as an
+/// identity guard so a snapshot can never restore into the wrong series.
+impl Snapshot for TimeSeries {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.str(&self.name);
+        w.u64(self.stride);
+        w.u64(self.total_samples);
+        w.seq(self.bins.len());
+        for b in &self.bins {
+            w.u64(b.x_start);
+            w.u64(b.x_end);
+            w.u64(b.count);
+            w.f64(b.sum);
+            w.f64(b.min);
+            w.f64(b.max);
+        }
+    }
+}
+
+impl Restore for TimeSeries {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.str()? != self.name {
+            return Err(SnapError::Mismatch("series name"));
+        }
+        let stride = r.u64()?;
+        if stride == 0 {
+            return Err(SnapError::Corrupt("series stride must be positive"));
+        }
+        self.stride = stride;
+        self.total_samples = r.u64()?;
+        let n = r.seq(48)?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("series bins exceed capacity"));
+        }
+        self.bins.clear();
+        for _ in 0..n {
+            self.bins.push(Bin {
+                x_start: r.u64()?,
+                x_end: r.u64()?,
+                count: r.u64()?,
+                sum: r.f64()?,
+                min: r.f64()?,
+                max: r.f64()?,
+            });
+        }
+        Ok(())
     }
 }
 

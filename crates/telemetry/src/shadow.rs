@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use dylect_memctl::controller::CteCacheGeometry;
 use dylect_sim_core::probe::{CteBlockKind, CteOp, CteRecord};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// Labels of the counterfactual configurations, in display order.
 /// `real` is the actual cache (from the record stream), the rest are
@@ -441,6 +442,209 @@ impl ShadowState {
     /// Touches replayed across all MCs.
     pub fn touches(&self) -> u64 {
         self.mcs().map(|(_, s)| s.touches()).sum()
+    }
+}
+
+/// The LRU order is the only state: `by_stamp` is written in `BTreeMap`
+/// (stamp) order and the `stamp_of` inverse is rebuilt on restore.
+impl Snapshot for FullAssocShadow {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.clock);
+        w.seq(self.by_stamp.len());
+        for (&stamp, &key) in &self.by_stamp {
+            w.u64(stamp);
+            w.u64(key);
+        }
+    }
+}
+
+impl Restore for FullAssocShadow {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.clock = r.u64()?;
+        let n = r.seq(16)?;
+        if n > self.capacity {
+            return Err(SnapError::Corrupt("full-assoc shadow over capacity"));
+        }
+        self.by_stamp.clear();
+        self.stamp_of.clear();
+        for _ in 0..n {
+            let stamp = r.u64()?;
+            let key = r.u64()?;
+            if self.by_stamp.insert(stamp, key).is_some() {
+                return Err(SnapError::Corrupt("duplicate shadow stamp"));
+            }
+            if self.stamp_of.insert(key, stamp).is_some() {
+                return Err(SnapError::Corrupt("duplicate shadow key"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Set contents are written verbatim (`swap_remove` makes the in-set order
+/// an artifact of history, and re-snapshot must be byte-identical).
+impl Snapshot for SetAssocShadow {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.clock);
+        w.seq(self.sets.len());
+        for set in &self.sets {
+            w.seq(set.len());
+            for &(key, stamp) in set {
+                w.u64(key);
+                w.u64(stamp);
+            }
+        }
+    }
+}
+
+impl Restore for SetAssocShadow {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.clock = r.u64()?;
+        r.fixed_seq(self.sets.len(), "shadow set count")?;
+        for set in &mut self.sets {
+            let n = r.seq(16)?;
+            if n > self.ways {
+                return Err(SnapError::Corrupt("shadow set holds more than its ways"));
+            }
+            set.clear();
+            for _ in 0..n {
+                let key = r.u64()?;
+                let stamp = r.u64()?;
+                set.push((key, stamp));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for ConfigTally {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.hits);
+        w.u64(self.lookups);
+    }
+}
+
+impl Restore for ConfigTally {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.hits = r.u64()?;
+        self.lookups = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for MissClasses {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.real_hits);
+        w.u64(self.real_misses);
+        w.u64(self.compulsory);
+        w.u64(self.capacity);
+        w.u64(self.conflict);
+    }
+}
+
+impl Restore for MissClasses {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.real_hits = r.u64()?;
+        self.real_misses = r.u64()?;
+        self.compulsory = r.u64()?;
+        self.capacity = r.u64()?;
+        self.conflict = r.u64()?;
+        Ok(())
+    }
+}
+
+/// The geometry is construction state and doubles as the identity guard;
+/// the compulsory-miss oracle (`seen`) is written in sorted key order.
+impl Snapshot for McShadow {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        let g = self.geometry;
+        w.u64(g.capacity_bytes);
+        w.u32(g.ways);
+        w.u64(g.block_bytes);
+        w.u64(g.group_size);
+        w.u64(g.num_groups);
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        w.seq(seen.len());
+        for k in seen {
+            w.u64(k);
+        }
+        self.full_assoc.write_snapshot(w);
+        for arr in &self.sweep {
+            arr.write_snapshot(w);
+        }
+        for t in &self.tallies {
+            t.write_snapshot(w);
+        }
+        for c in &self.classes {
+            c.write_snapshot(w);
+        }
+        w.u64(self.touches);
+    }
+}
+
+impl Restore for McShadow {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let g = self.geometry;
+        let same = r.u64()? == g.capacity_bytes
+            && r.u32()? == g.ways
+            && r.u64()? == g.block_bytes
+            && r.u64()? == g.group_size
+            && r.u64()? == g.num_groups;
+        if !same {
+            return Err(SnapError::Mismatch("shadow CTE geometry"));
+        }
+        let n = r.seq(8)?;
+        self.seen.clear();
+        for _ in 0..n {
+            if !self.seen.insert(r.u64()?) {
+                return Err(SnapError::Corrupt("duplicate shadow oracle key"));
+            }
+        }
+        self.full_assoc.restore_snapshot(r)?;
+        for arr in &mut self.sweep {
+            arr.restore_snapshot(r)?;
+        }
+        for t in &mut self.tallies {
+            t.restore_snapshot(r)?;
+        }
+        for c in &mut self.classes {
+            c.restore_snapshot(r)?;
+        }
+        self.touches = r.u64()?;
+        Ok(())
+    }
+}
+
+/// Restores in place: the restoring side must have configured the same MCs
+/// with the same geometries (checked per MC).
+impl Snapshot for ShadowState {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.seq(self.per_mc.len());
+        for s in &self.per_mc {
+            match s {
+                Some(s) => {
+                    w.bool(true);
+                    s.write_snapshot(w);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+}
+
+impl Restore for ShadowState {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.fixed_seq(self.per_mc.len(), "shadowed MC count")?;
+        for s in &mut self.per_mc {
+            if r.bool()? != s.is_some() {
+                return Err(SnapError::Mismatch("shadowed MC set"));
+            }
+            if let Some(s) = s {
+                s.restore_snapshot(r)?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -50,6 +50,7 @@ use dylect_memctl::{PageState, CTE_CACHE_HIT_LATENCY};
 use dylect_sim_core::probe::{
     CteBlockKind, CteOp, CteRecord, McEvent, MemLevel, ProbeHandle, TranslationPath,
 };
+use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 use dylect_sim_core::{MachineAddr, PageId, PhysAddr, Time, PAGE_BYTES};
 
 /// Configuration of a [`Tmcc`] controller.
@@ -375,6 +376,23 @@ impl MemoryScheme for Tmcc {
             free_pages: self.store.free.free_page_count() as u64,
             free_bytes: self.store.free.free_bytes(),
         }
+    }
+
+    // `cfg` and `layout` are construction state; the probe is reinstalled
+    // by the owner after restore.
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        self.store.write_snapshot(w);
+        self.cte_cache.write_snapshot(w);
+        self.stats.write_snapshot(w);
+        w.u64(self.requests_seen);
+    }
+
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.store.restore_snapshot(r)?;
+        self.cte_cache.restore_snapshot(r)?;
+        self.stats.restore_snapshot(r)?;
+        self.requests_seen = r.u64()?;
+        Ok(())
     }
 }
 

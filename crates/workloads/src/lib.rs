@@ -27,6 +27,7 @@ pub use spec::{BenchmarkSpec, CompressionSetting};
 
 use dylect_compression::CompressibilityProfile;
 use dylect_sim_core::rng::{hash2, Rng, Zipf};
+use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::trace::{MemOp, OpBatch};
 use dylect_sim_core::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
 
@@ -391,6 +392,41 @@ impl SyntheticWorkload {
     }
 }
 
+/// Only the stream position is state: the RNG, the current burst, and the
+/// scan cursor. Everything else (Zipf tables, thresholds, the eligible-page
+/// cache) is derived from the parameters and seed, which the restoring side
+/// must construct identically — guarded here by the seed itself.
+impl Snapshot for SyntheticWorkload {
+    fn write_snapshot(&self, w: &mut SnapWriter) {
+        w.u64(self.seed);
+        self.rng.write_snapshot(w);
+        w.u64(self.burst_region_base);
+        w.u32(self.burst_remaining);
+        w.u64(self.scan_cursor);
+    }
+}
+
+impl Restore for SyntheticWorkload {
+    fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.u64()? != self.seed {
+            return Err(SnapError::Mismatch("workload seed"));
+        }
+        self.rng.restore_snapshot(r)?;
+        let base = r.u64()?;
+        if base >= self.params.footprint_pages || !base.is_multiple_of(REGION_PAGES) {
+            return Err(SnapError::Corrupt("burst region out of footprint"));
+        }
+        self.burst_region_base = base;
+        self.burst_remaining = r.u32()?;
+        let cursor = r.u64()?;
+        if cursor >= self.params.footprint_pages * (PAGE_BYTES / BLOCK_BYTES) {
+            return Err(SnapError::Corrupt("scan cursor out of footprint"));
+        }
+        self.scan_cursor = cursor;
+        Ok(())
+    }
+}
+
 fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
@@ -543,6 +579,47 @@ mod tests {
     fn profile_matches_requested_ratio() {
         let w = demo(11);
         assert!((w.profile().mean_ratio() - 3.4).abs() < 0.3);
+    }
+
+    #[test]
+    fn snapshot_resumes_the_exact_stream() {
+        let mut w = demo(13);
+        for _ in 0..5000 {
+            w.next_op();
+        }
+        let mut sw = SnapWriter::new();
+        w.write_snapshot(&mut sw);
+        let snap = sw.into_bytes();
+
+        let expected: Vec<MemOp> = (0..1000).map(|_| w.next_op()).collect();
+
+        let mut fresh = demo(13);
+        let mut r = SnapReader::new(&snap);
+        fresh.restore_snapshot(&mut r).unwrap();
+        r.finish().unwrap();
+        let resumed: Vec<MemOp> = (0..1000).map(|_| fresh.next_op()).collect();
+        assert_eq!(expected, resumed);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_seed_and_garbage() {
+        let w = demo(14);
+        let mut sw = SnapWriter::new();
+        w.write_snapshot(&mut sw);
+        let snap = sw.into_bytes();
+
+        let mut other = demo(15);
+        assert!(matches!(
+            other.restore_snapshot(&mut SnapReader::new(&snap)),
+            Err(SnapError::Mismatch("workload seed"))
+        ));
+
+        let mut same = demo(14);
+        for cut in 0..snap.len() {
+            let mut r = SnapReader::new(&snap[..cut]);
+            let res = same.restore_snapshot(&mut r).and_then(|()| r.finish());
+            assert!(res.is_err(), "prefix of {cut} bytes accepted");
+        }
     }
 
     #[test]

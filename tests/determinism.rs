@@ -222,6 +222,82 @@ fn worker_count_never_changes_exported_bytes() {
 }
 
 #[test]
+fn snapshot_restore_pins_reports_and_exports_for_every_scheme() {
+    // The checkpoint/restore contract: warming up, snapshotting, and
+    // resuming the measurement on a *fresh* system must be byte-identical
+    // to the straight-through run — in the report cache text AND in every
+    // exported telemetry artifact (.jsonl, .shadow.jsonl) — for all three
+    // compressing schemes and for every drain worker count.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let telemetry_cfg = dylect_telemetry::TelemetryConfig {
+        shadow: true,
+        span_sample: 16,
+        ..dylect_telemetry::TelemetryConfig::default()
+    };
+    let export = |mut sys: System, tag: &str| -> Vec<(String, String)> {
+        let telemetry = sys.take_telemetry().expect("enabled");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-snap-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("omnetpp"))
+            .expect("export writes");
+        let contents = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    for scheme in [
+        SchemeKind::tmcc(),
+        SchemeKind::dylect(),
+        SchemeKind::NaiveDynamic,
+    ] {
+        for jobs in [1usize, 3] {
+            let label = format!("{}/jobs={jobs}", scheme.label());
+            let build = || {
+                let mut cfg = SystemConfig::quick(&spec, scheme.clone(), CompressionSetting::High);
+                cfg.memory_controllers = 2;
+                let mut sys = System::new(cfg, &spec);
+                sys.set_jobs(jobs);
+                sys.enable_telemetry(telemetry_cfg);
+                sys
+            };
+            let mut straight = build();
+            let r_straight = straight.run(mode.warmup_ops, mode.measure_ops);
+            let snap = build().warm_up_and_snapshot(mode.warmup_ops);
+            let mut resumed = build();
+            let r_resumed = resumed
+                .resume_measurement(&snap, mode.measure_ops)
+                .expect("same-config restore succeeds");
+            assert_eq!(
+                r_straight.to_cache_text(),
+                r_resumed.to_cache_text(),
+                "{label}: resumed report differs from straight-through"
+            );
+            let e_straight = export(straight, &format!("s-{jobs}-{}", scheme.label()));
+            let e_resumed = export(resumed, &format!("r-{jobs}-{}", scheme.label()));
+            assert_eq!(
+                e_straight.len(),
+                e_resumed.len(),
+                "{label}: export sets differ"
+            );
+            for ((name_a, body_a), (name_b, body_b)) in e_straight.iter().zip(&e_resumed) {
+                assert_eq!(name_a, name_b, "{label}");
+                assert_eq!(body_a, body_b, "{label}: {name_a} differs after restore");
+            }
+        }
+    }
+}
+
+#[test]
 fn attribution_conserves_cycles_for_every_scheme() {
     // Aggregate conservation: for each scheme and each scope, the summed
     // per-component cycle totals must equal the summed end-to-end latency

@@ -368,6 +368,120 @@ fn access_record_conserves_cycles() {
     });
 }
 
+/// Snapshotting at the warmup/measurement window boundary and restoring
+/// onto a fresh system resumes the run *exactly*: across random schemes,
+/// compression settings, MC counts, seeds, and window sizes — with
+/// telemetry, shadow probing, and span sampling all enabled — the resumed
+/// report and the re-serialized telemetry state are byte-identical to the
+/// straight-through run's.
+#[test]
+fn snapshot_at_window_boundary_resumes_exactly() {
+    use dylect_sim::{SchemeKind, System, SystemConfig};
+    use dylect_sim_core::snap::SnapWriter;
+    use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+    forall("snapshot_resume", 6, |g| {
+        let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+        let scheme = match g.u64_below(4) {
+            0 => SchemeKind::NoCompression,
+            1 => SchemeKind::tmcc(),
+            2 => SchemeKind::NaiveDynamic,
+            _ => SchemeKind::dylect(),
+        };
+        let setting = if g.bool() {
+            CompressionSetting::High
+        } else {
+            CompressionSetting::Low
+        };
+        let label = scheme.label();
+        let mut cfg = SystemConfig::quick(&spec, scheme, setting);
+        cfg.memory_controllers = g.range(1, 3) as usize;
+        cfg.seed = g.u64();
+        let warmup = g.range(500, 4_000);
+        let measure = g.range(1_000, 6_000);
+        let build = || {
+            let mut sys = System::new(cfg.clone(), &spec);
+            sys.enable_telemetry(dylect_telemetry::TelemetryConfig {
+                epoch_ops: 1_000,
+                shadow: true,
+                span_sample: 16,
+                ..dylect_telemetry::TelemetryConfig::default()
+            });
+            sys
+        };
+        let telemetry_bytes = |sys: &mut System| {
+            let t = sys.take_telemetry().expect("enabled");
+            let mut w = SnapWriter::new();
+            t.write_snapshot(&mut w);
+            w.into_bytes()
+        };
+        let mut straight = build();
+        let straight_report = straight.run(warmup, measure);
+        let snap = build().warm_up_and_snapshot(warmup);
+        let mut resumed = build();
+        let resumed_report = resumed
+            .resume_measurement(&snap, measure)
+            .map_err(|e| format!("restore failed ({label}): {e}"))?;
+        prop_ensure!(
+            straight_report.to_cache_text() == resumed_report.to_cache_text(),
+            "resumed run diverged (scheme {}, {} MCs, seed {:#x}, {warmup}+{measure} ops)",
+            label,
+            cfg.memory_controllers,
+            cfg.seed
+        );
+        prop_ensure!(
+            telemetry_bytes(&mut straight) == telemetry_bytes(&mut resumed),
+            "telemetry state diverged after restore (scheme {label})"
+        );
+        Ok(())
+    });
+}
+
+/// Damaged snapshots are rejected, never UB and never a panic: every
+/// truncation and every header corruption is an error, and flipping an
+/// arbitrary payload byte either restores cleanly or errors — it must not
+/// panic the restore path.
+#[test]
+fn snapshot_rejects_damage_without_panicking() {
+    use dylect_sim::{SchemeKind, System, SystemConfig};
+    use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+    forall("snapshot_rejection", 6, |g| {
+        let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+        let mut cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        cfg.seed = g.u64();
+        let snap = System::new(cfg.clone(), &spec).warm_up_and_snapshot(1_000);
+        // Truncation at an arbitrary point.
+        let cut = (g.u64() as usize) % snap.len();
+        prop_ensure!(
+            System::new(cfg.clone(), &spec)
+                .restore(&snap[..cut])
+                .is_err(),
+            "truncation at {cut} of {} accepted",
+            snap.len()
+        );
+        // Header corruption (magic, version, or config fingerprint).
+        let mut bad = snap.clone();
+        let hdr = (g.u64() as usize) % 13;
+        bad[hdr] ^= 1 + (g.u64() as u8 & 0x7f);
+        prop_ensure!(
+            System::new(cfg.clone(), &spec).restore(&bad).is_err(),
+            "corrupt header byte {hdr} accepted"
+        );
+        // An arbitrary payload flip must not panic (it may legitimately
+        // restore if it only changed a free counter value).
+        let mut flipped = snap.clone();
+        let at = 13 + (g.u64() as usize) % (snap.len() - 13);
+        flipped[at] ^= 1 + (g.u64() as u8 & 0x7f);
+        let _ = System::new(cfg.clone(), &spec).restore(&flipped);
+        // The pristine snapshot still restores.
+        System::new(cfg.clone(), &spec)
+            .restore(&snap)
+            .map_err(|e| format!("pristine snapshot rejected: {e}"))?;
+        Ok(())
+    });
+}
+
 /// The batched single-core retirement path and the per-op path (the one
 /// telemetry forces) retire identical streams: across random schemes,
 /// compression settings, MC counts, window sizes, and seeds — with shadow

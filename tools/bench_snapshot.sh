@@ -6,6 +6,7 @@
 #   $1  probes-off snapshot   (default BENCH_telemetry.json)
 #   $2  shadow-probe snapshot (default BENCH_shadow.json)
 #   $3  batched-loop snapshot (default BENCH_batched.json)
+#   $4  checkpoint snapshot   (default BENCH_checkpoint.json)
 #
 # The first file records `system_step_1000_ops` (telemetry fully off — the
 # budget-carrying number). The second records it next to
@@ -17,6 +18,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_telemetry.json}"
 SHADOW_OUT="${2:-BENCH_shadow.json}"
 BATCHED_OUT="${3:-BENCH_batched.json}"
+CHECKPOINT_OUT="${4:-BENCH_checkpoint.json}"
 
 # The pre-batching baseline comes from the *committed* shadow snapshot
 # (falling back to the working-tree copy): this run refreshes the file,
@@ -26,7 +28,8 @@ FROZEN=$( (git show HEAD:"$SHADOW_OUT" 2>/dev/null || cat "$SHADOW_OUT" 2>/dev/n
     | sed -n 's/.*"baseline_median_ns_per_iter": \([0-9.]*\).*/\1/p' | head -1)
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
-RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr | grep "system_step_1000")
+RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr \
+    | grep -E "system_(step|restore)_1000")
 BASE=$(echo "$RAW" | grep "system_step_1000_ops")
 SHADOW=$(echo "$RAW" | grep "system_step_1000_shadow" || true)
 
@@ -100,3 +103,28 @@ JSON
 else
     echo "bench_snapshot: no frozen baseline in $SHADOW_OUT; skipping $BATCHED_OUT" >&2
 fi
+
+# Checkpoint-restore snapshot: `system_restore_1000_ops` rewinds to a
+# warmed snapshot before every 1000-op step, so its delta against the
+# plain step number is the per-resume restore cost. Reported, not
+# budgeted — restores happen once per warm-started sweep bin, not per
+# step.
+RESTORE=$(echo "$RAW" | grep "system_restore_1000_ops" || true)
+RESTORE_MEDIAN=$(parse "$RESTORE" restore_1000_ops)
+if [ -z "$RESTORE_MEDIAN" ]; then
+    echo "bench_snapshot: no system_restore_1000_ops line; skipping $CHECKPOINT_OUT" >&2
+    exit 0
+fi
+RESTORE_OVERHEAD=$(awk -v b="$MEDIAN" -v r="$RESTORE_MEDIAN" \
+    'BEGIN { printf "%.1f", r - b }')
+
+cat > "$CHECKPOINT_OUT" <<JSON
+{
+  "bench": "system_restore_1000_ops",
+  "restore_median_ns_per_iter": $RESTORE_MEDIAN,
+  "step_median_ns_per_iter": $MEDIAN,
+  "restore_overhead_ns_per_resume": $RESTORE_OVERHEAD,
+  "git_rev": "$GIT_REV"
+}
+JSON
+echo "bench_snapshot: wrote $CHECKPOINT_OUT (restore median $RESTORE_MEDIAN ns/iter, +${RESTORE_OVERHEAD} ns over plain step)"

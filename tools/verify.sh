@@ -75,4 +75,60 @@ cmp -s "$SMOKE/multimc-seq.tsv" "$SMOKE/multimc-par.tsv" \
     || { echo "sharding smoke: worker count changed results"; exit 1; }
 echo "sharding smoke: OK"
 
+echo "== checkpoint smoke: repeat runs warm-start from a shared checkpoint"
+# First run populates DYLECT_CHECKPOINT_DIR (one .ckpt per warmed config);
+# the second run must warm-start from those checkpoints instead of
+# re-warming, and still emit a byte-identical table. DYLECT_NO_CACHE keeps
+# the report cache out of the way so the second run actually simulates.
+CKPT="$SMOKE/ckpt"
+DYLECT_QUICK=1 DYLECT_NO_CACHE=1 DYLECT_CHECKPOINT_DIR="$CKPT" \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin ablation_multimc > "$SMOKE/ckpt-cold.tsv" 2> "$SMOKE/ckpt-cold.log"
+grep -q "checkpoint saved" "$SMOKE/ckpt-cold.log" \
+    || { echo "checkpoint smoke: cold run saved no checkpoint"; exit 1; }
+DYLECT_QUICK=1 DYLECT_NO_CACHE=1 DYLECT_CHECKPOINT_DIR="$CKPT" \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin ablation_multimc > "$SMOKE/ckpt-warm.tsv" 2> "$SMOKE/ckpt-warm.log"
+grep -q "warm-started from checkpoint" "$SMOKE/ckpt-warm.log" \
+    || { echo "checkpoint smoke: second run did not warm-start"; exit 1; }
+cmp -s "$SMOKE/ckpt-cold.tsv" "$SMOKE/ckpt-warm.tsv" \
+    || { echo "checkpoint smoke: warm-start changed results"; exit 1; }
+echo "checkpoint smoke: OK"
+
+echo "== serve smoke: dylect-serve answers healthz, figure, and diff"
+# Serve the telemetry exports from the first smoke on an ephemeral port
+# and exercise the HTTP surface with the built-in client: /healthz,
+# /figure/<name> (byte-compared against the on-disk artifact), /diff of
+# an artifact against its reproduced twin (must be identical => 200),
+# and a missing artifact (must be a non-200 status).
+SERVE_BIN=target/release/dylect-serve
+WWW="$SMOKE/www"
+mkdir -p "$WWW"
+cp "$SMOKE"/a/*.jsonl "$WWW/"
+DYLECT_SERVE_ADDR=127.0.0.1:0 "$SERVE_BIN" "$WWW" \
+    > "$SMOKE/serve.out" 2>/dev/null &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+for _ in $(seq 50); do
+    grep -q "^listening on " "$SMOKE/serve.out" && break
+    sleep 0.1
+done
+ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve.out")
+[ -n "$ADDR" ] || { echo "serve smoke: server never came up"; exit 1; }
+"$SERVE_BIN" get "http://$ADDR/healthz" > "$SMOKE/healthz.out" \
+    || { echo "serve smoke: /healthz failed"; exit 1; }
+FIG=$(basename "$(ls "$WWW"/*.jsonl | head -1)")
+"$SERVE_BIN" get "http://$ADDR/figure/$FIG" > "$SMOKE/figure.out" \
+    || { echo "serve smoke: /figure/$FIG failed"; exit 1; }
+cmp -s "$SMOKE/figure.out" "$WWW/$FIG" \
+    || { echo "serve smoke: /figure/$FIG differs from on-disk artifact"; exit 1; }
+cp "$SMOKE/b/$FIG" "$WWW/twin-$FIG"
+"$SERVE_BIN" get "http://$ADDR/diff?a=$FIG&b=twin-$FIG" > "$SMOKE/diff.out" \
+    || { echo "serve smoke: /diff reported drift between identical runs"; exit 1; }
+if "$SERVE_BIN" get "http://$ADDR/figure/no-such-artifact.jsonl" >/dev/null 2>&1; then
+    echo "serve smoke: missing artifact did not 404"; exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null
+echo "serve smoke: OK"
+
 echo "verify: OK"
