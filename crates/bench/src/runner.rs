@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use dylect_cpu::PageSizeMode;
 use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
+use dylect_sim_core::prof;
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
 use crate::{config_for, warmup_for, Mode};
@@ -205,7 +206,11 @@ impl RunKey {
             self.checkpoint_fingerprint()
         );
         let ckpt = dir.join(format!("{stem}.ckpt"));
-        if let Ok(bytes) = fs::read(&ckpt) {
+        let read = {
+            let _p = prof::scope(prof::HostPhase::CheckpointRead);
+            fs::read(&ckpt)
+        };
+        if let Ok(bytes) = read {
             let t0 = Instant::now();
             match sys.resume_measurement(&bytes, self.mode.measure_ops) {
                 Ok(report) => {
@@ -236,19 +241,22 @@ impl RunKey {
         let t0 = Instant::now();
         let snap = sys.warm_up_and_snapshot(warmup);
         let warm_secs = t0.elapsed().as_secs_f64();
-        match write_bytes_atomically(&ckpt, &snap) {
-            Ok(()) => {
-                let _ = write_atomically(
-                    &dir.join(format!("{stem}.meta")),
-                    &format!("warmup_secs={warm_secs:.3}\n"),
-                );
-                eprintln!(
-                    "[runner] {label}: checkpoint saved ({} KB; {warm_secs:.1}s of warmup now reusable)",
-                    snap.len() / 1024,
-                );
+        {
+            let _p = prof::scope(prof::HostPhase::CheckpointWrite);
+            match write_bytes_atomically(&ckpt, &snap) {
+                Ok(()) => {
+                    let _ = write_atomically(
+                        &dir.join(format!("{stem}.meta")),
+                        &format!("warmup_secs={warm_secs:.3}\n"),
+                    );
+                    eprintln!(
+                        "[runner] {label}: checkpoint saved ({} KB; {warm_secs:.1}s of warmup now reusable)",
+                        snap.len() / 1024,
+                    );
+                }
+                // A read-only checkout degrades to uncheckpointed, not failure.
+                Err(e) => eprintln!("[runner] warning: could not write {}: {e}", ckpt.display()),
             }
-            // A read-only checkout degrades to uncheckpointed, not failure.
-            Err(e) => eprintln!("[runner] warning: could not write {}: {e}", ckpt.display()),
         }
         sys.start_measurement();
         sys.execute(self.mode.measure_ops);
@@ -319,11 +327,15 @@ fn telemetry_env_fingerprint() -> String {
     // `DYLECT_CHECKPOINT_DIR` rides along for the same reason: a cache hit
     // skips execution, which would silently skip populating the warmup
     // checkpoint a warm-start sweep expects to find afterwards.
+    // `DYLECT_PROF` is folded in for symmetry even though profiling cannot
+    // change a report: a run executed with profiling on also produces host
+    // `.prof.jsonl` artifacts that a cache hit would silently skip.
     format!(
-        "span_sample={};shadow={};checkpoint_dir={}",
+        "span_sample={};shadow={};checkpoint_dir={};prof={}",
         get("DYLECT_SPAN_SAMPLE"),
         get("DYLECT_SHADOW"),
         get("DYLECT_CHECKPOINT_DIR"),
+        get("DYLECT_PROF"),
     )
 }
 
@@ -408,11 +420,67 @@ fn checkpoint_warmup_secs(dir: &Path, stem: &str) -> Option<f64> {
     text.strip_prefix("warmup_secs=")?.trim().parse().ok()
 }
 
+/// Parses a `DYLECT_PROGRESS_DIR` value: unset is `Ok(None)` (the caller
+/// picks its default), a non-empty path overrides where live-progress
+/// marker files land. A blank value is a usage error, same contract as
+/// `DYLECT_CHECKPOINT_DIR`.
+pub fn parse_progress_dir(raw: Option<&str>) -> Result<Option<PathBuf>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    if raw.trim().is_empty() {
+        return Err(
+            "DYLECT_PROGRESS_DIR must be a directory path, got an empty value \
+             (unset it to use results/progress)"
+                .to_owned(),
+        );
+    }
+    Ok(Some(PathBuf::from(raw)))
+}
+
+/// [`parse_progress_dir`] against the live environment; a malformed value
+/// prints a usage message and exits with status 2.
+pub fn progress_dir_from_env() -> Option<PathBuf> {
+    let raw = std::env::var("DYLECT_PROGRESS_DIR").ok();
+    match parse_progress_dir(raw.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("usage: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes one run's live-progress marker (a single flat JSON object) under
+/// the progress directory, where `dylect-serve` picks it up for `/runs`
+/// and `/metrics`. Failures degrade to no progress reporting, never to a
+/// failed run.
+fn write_progress(dir: &Option<PathBuf>, label: &str, wid: usize, secs: Option<f64>) {
+    let Some(dir) = dir else { return };
+    let escaped: String = label
+        .chars()
+        .map(|c| match c {
+            '"' | '\\' => '_',
+            c if (c as u32) < 0x20 => '_',
+            c => c,
+        })
+        .collect();
+    let body = match secs {
+        None => format!("{{\"run\":\"{escaped}\",\"state\":\"running\",\"wid\":{wid}}}\n"),
+        Some(s) => {
+            format!("{{\"run\":\"{escaped}\",\"state\":\"done\",\"wid\":{wid},\"secs\":{s:.3}}}\n")
+        }
+    };
+    let path = dir.join(format!("{}.run.json", sanitize(label)));
+    let _ = write_atomically(&path, &body);
+}
+
 /// The parallel, cached experiment runner.
 pub struct Runner {
     jobs: usize,
     cache_dir: Option<PathBuf>,
     read_cache: bool,
+    progress_dir: Option<PathBuf>,
 }
 
 impl Runner {
@@ -421,8 +489,15 @@ impl Runner {
     /// - `DYLECT_JOBS=n` — worker count (default: available parallelism);
     /// - `DYLECT_CACHE_DIR=path` — cache location (default `results/cache`);
     /// - `--no-cache` / `DYLECT_NO_CACHE=1` — ignore existing cache entries
-    ///   (fresh results are still written, refreshing the cache).
+    ///   (fresh results are still written, refreshing the cache);
+    /// - `DYLECT_PROF=1` — host self-profiling (see `dylect_sim_core::prof`);
+    /// - `DYLECT_PROGRESS_DIR=path` — live-progress markers for
+    ///   `dylect-serve` (default `results/progress`).
     pub fn from_env() -> Runner {
+        if let Err(msg) = prof::init_from_env() {
+            eprintln!("usage: {msg}");
+            std::process::exit(2);
+        }
         let jobs = jobs_from_env()
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         let no_cache = std::env::args().any(|a| a == "--no-cache")
@@ -430,10 +505,13 @@ impl Runner {
         let cache_dir = std::env::var("DYLECT_CACHE_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("results/cache"));
+        let progress_dir =
+            progress_dir_from_env().unwrap_or_else(|| PathBuf::from("results/progress"));
         Runner {
             jobs,
             cache_dir: Some(cache_dir),
             read_cache: !no_cache,
+            progress_dir: Some(progress_dir),
         }
     }
 
@@ -445,6 +523,8 @@ impl Runner {
             jobs: jobs.max(1),
             cache_dir,
             read_cache,
+            // Explicit runners (tests) never litter progress markers.
+            progress_dir: None,
         }
     }
 
@@ -496,6 +576,7 @@ impl Runner {
                 (0..n_misses).map(|_| Mutex::new(None)).collect();
             let (queue_ref, next_ref, done_ref, results_ref, started_ref) =
                 (&queue, &next, &done, &results, &started);
+            let progress_ref = &self.progress_dir;
             std::thread::scope(|scope| {
                 for wid in 0..workers {
                     scope.spawn(move || loop {
@@ -506,14 +587,20 @@ impl Runner {
                         let (slot, job) =
                             queue_ref[q].lock().unwrap().take().expect("job taken once");
                         eprintln!("[runner] w{wid:02} start {}", job.label);
+                        write_progress(progress_ref, &job.label, wid, None);
                         let t0 = Instant::now();
                         let report = (job.work)();
+                        let job_secs = t0.elapsed().as_secs_f64();
+                        if prof::enabled() {
+                            let busy = t0.elapsed().as_nanos() as u64;
+                            prof::worker_busy(prof::WorkerKind::Runner, wid, busy, 1);
+                        }
+                        write_progress(progress_ref, &job.label, wid, Some(job_secs));
                         let finished = done_ref.fetch_add(1, Ordering::Relaxed) + 1;
                         let wall = started_ref.elapsed().as_secs_f64();
                         eprintln!(
-                            "[runner] w{wid:02} done  {}: {:.1}s ({finished}/{n_misses} sims, {:.2} sims/s)",
+                            "[runner] w{wid:02} done  {}: {job_secs:.1}s ({finished}/{n_misses} sims, {:.2} sims/s)",
                             job.label,
-                            t0.elapsed().as_secs_f64(),
                             finished as f64 / wall.max(1e-9),
                         );
                         *results_ref[q].lock().unwrap() = Some((slot, job.cache_name, report));
@@ -551,6 +638,7 @@ impl Runner {
     }
 
     fn cache_read(&self, name: &str) -> Option<RunReport> {
+        let _p = prof::scope(prof::HostPhase::CacheRead);
         let text = fs::read_to_string(self.cache_path(name)?).ok()?;
         RunReport::from_cache_text(&text)
     }
@@ -559,6 +647,7 @@ impl Runner {
         let Some(path) = self.cache_path(name) else {
             return;
         };
+        let _p = prof::scope(prof::HostPhase::CacheWrite);
         if let Err(e) = write_atomically(&path, &report.to_cache_text()) {
             // A read-only checkout degrades to uncached, not to failure.
             eprintln!("[runner] warning: could not write {}: {e}", path.display());
@@ -620,6 +709,69 @@ mod tests {
         );
         assert!(parse_checkpoint_dir(Some("")).is_err(), "blank is a typo");
         assert!(parse_checkpoint_dir(Some("   ")).is_err());
+    }
+
+    #[test]
+    fn progress_dir_parsing_accepts_paths_and_rejects_blank() {
+        assert_eq!(parse_progress_dir(None), Ok(None));
+        assert_eq!(
+            parse_progress_dir(Some("results/progress")),
+            Ok(Some(PathBuf::from("results/progress")))
+        );
+        assert!(parse_progress_dir(Some("")).is_err(), "blank is a typo");
+        assert!(parse_progress_dir(Some("  ")).is_err());
+    }
+
+    /// Progress markers are flat JSON a `parse_flat_object` consumer
+    /// (dylect-serve) can read back, for both lifecycle states.
+    #[test]
+    fn progress_markers_round_trip_through_flat_json() {
+        let dir = std::env::temp_dir().join(format!("dylect-progress-test-{}", std::process::id()));
+        let dir_opt = Some(dir.clone());
+        write_progress(&dir_opt, "omnetpp/dylect/high", 2, None);
+        let path = dir.join(format!("{}.run.json", sanitize("omnetpp/dylect/high")));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"state\":\"running\""), "{text}");
+        assert!(text.contains("\"wid\":2"), "{text}");
+        write_progress(&dir_opt, "omnetpp/dylect/high", 2, Some(1.5));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"state\":\"done\""), "{text}");
+        assert!(text.contains("\"secs\":1.500"), "{text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression test: a cached report produced without profiling must not
+    /// satisfy a `DYLECT_PROF=1` run (which also emits host `.prof.jsonl`
+    /// artifacts a hit would skip), so the prof env var perturbs the cache
+    /// fingerprint. (This test owns `DYLECT_PROF` mutation in this binary.)
+    #[test]
+    fn fingerprint_tracks_prof_env_var() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        std::env::remove_var("DYLECT_PROF");
+        let base = key.fingerprint();
+        let base_ckpt = key.checkpoint_fingerprint();
+        let base_custom = Job::custom("p", "x", || unreachable!("job never runs")).cache_name;
+
+        std::env::set_var("DYLECT_PROF", "1");
+        assert_ne!(key.fingerprint(), base, "profiling changes the key");
+        assert_eq!(
+            key.checkpoint_fingerprint(),
+            base_ckpt,
+            "checkpoints stay shared across profiling settings"
+        );
+        assert_ne!(
+            Job::custom("p", "x", || unreachable!("job never runs")).cache_name,
+            base_custom,
+            "custom jobs fingerprint DYLECT_PROF too"
+        );
+
+        std::env::remove_var("DYLECT_PROF");
+        assert_eq!(key.fingerprint(), base, "restoring the env restores it");
     }
 
     /// Regression test: a cached report produced without checkpointing must

@@ -17,6 +17,7 @@ use dylect_sim_core::probe::{
     AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass,
     TranslationPath,
 };
+use dylect_sim_core::prof;
 use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::stats::Counter;
 use dylect_sim_core::trace::{MemOp, OpBatch};
@@ -356,6 +357,8 @@ impl Core {
         vaddr: dylect_sim_core::VirtAddr,
         backend: &mut B,
     ) -> Time {
+        // Sampled host timer; walk behavior is unaffected.
+        let _p = prof::sampled_scope(prof::HostPhase::TlbWalk);
         let plan = self.walker.walk(vaddr, self.cfg.page_mode, &self.layout);
         let mut t = now;
         for addr in plan {

@@ -36,6 +36,7 @@ pub mod stats;
 
 use std::collections::HashMap;
 
+use dylect_sim_core::prof;
 use dylect_sim_core::snap::{Restore, SnapError, SnapReader, SnapWriter, Snapshot};
 use dylect_sim_core::{MachineAddr, Time};
 
@@ -222,6 +223,8 @@ impl Dram {
         op: DramOp,
         class: RequestClass,
     ) -> CompletionDetail {
+        // Sampled host timer over submit + scheduler drain.
+        let _p = prof::sampled_scope(prof::HostPhase::DramAccess);
         let id = self.submit(arrival, addr, op, class);
         self.drain();
         self.take_completion_detail(id).expect("just drained")
@@ -237,6 +240,7 @@ impl Dram {
         addrs: impl IntoIterator<Item = (MachineAddr, DramOp)>,
         class: RequestClass,
     ) -> Time {
+        let _p = prof::sampled_scope(prof::HostPhase::DramAccess);
         let ids: Vec<ReqId> = addrs
             .into_iter()
             .map(|(a, op)| self.submit(arrival, a, op, class))

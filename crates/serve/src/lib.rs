@@ -17,15 +17,23 @@
 //!   onto statuses: identical within tolerance → `200`, a shared metric
 //!   drifted → `409 Conflict`, only missing metrics/rows →
 //!   `422 Unprocessable Content`.
+//! - `/runs` — live sweep progress: one line per runner job, from the
+//!   progress markers the runner drops under `<root>/progress/`.
+//! - `/metrics` — Prometheus text exposition: request counters, this
+//!   process's host self-profiler phase series, and run-progress gauges.
 //!
 //! Artifact names are confined to `[A-Za-z0-9._-]` and may not begin with
 //! a dot, so a request can never escape the results directory.
 
+use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use dylect_sim_core::prof;
 use dylect_telemetry::diff::{diff, load, outcome, Tolerance};
+use dylect_telemetry::export::parse_flat_object;
 
 /// Hard bound on the bytes read from one request (header included);
 /// anything longer is rejected with `431` before parsing.
@@ -113,6 +121,167 @@ impl Response {
     }
 }
 
+/// Status codes the service emits, each with its own request counter; any
+/// other status lands in the final catch-all slot.
+const COUNTED_CODES: [u16; 7] = [200, 400, 404, 405, 409, 422, 431];
+static REQUEST_COUNTS: [AtomicU64; 8] = [const { AtomicU64::new(0) }; 8];
+
+/// Bumps the request counter for `status` (called once per connection).
+pub fn count_request(status: u16) {
+    let slot = COUNTED_CODES
+        .iter()
+        .position(|&c| c == status)
+        .unwrap_or(COUNTED_CODES.len());
+    REQUEST_COUNTS[slot].fetch_add(1, Ordering::Relaxed);
+}
+
+/// One run-progress marker parsed back from `<root>/progress/*.run.json`.
+struct RunProgress {
+    run: String,
+    state: String,
+    wid: f64,
+    secs: Option<f64>,
+}
+
+/// Reads every progress marker the runner has dropped, sorted by run
+/// label. Unparseable files are skipped: progress is best-effort
+/// observability, never an error source.
+fn read_progress(root: &Path) -> Vec<RunProgress> {
+    let mut runs = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root.join("progress")) else {
+        return runs;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Some(map) = parse_flat_object(text.trim()) else {
+            continue;
+        };
+        let get_str = |key: &str| {
+            map.get(key)
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .unwrap_or_else(|| "?".to_owned())
+        };
+        runs.push(RunProgress {
+            run: get_str("run"),
+            state: get_str("state"),
+            wid: map.get("wid").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            secs: map.get("secs").and_then(|v| v.as_f64()),
+        });
+    }
+    runs.sort_by(|a, b| a.run.cmp(&b.run));
+    runs
+}
+
+/// A Prometheus label value: quotes, backslashes, and newlines escaped.
+fn prom_label(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders the `/metrics` Prometheus text body: request counters, the
+/// host self-profiler's phase/worker series for *this* process (every
+/// phase always present, so scrapes are schema-stable even before any
+/// profiled work ran), and run-progress gauges from the runner's markers.
+fn metrics_body(root: &Path) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP dylect_serve_requests_total Requests served, by status code.\n");
+    out.push_str("# TYPE dylect_serve_requests_total counter\n");
+    for (slot, &code) in COUNTED_CODES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "dylect_serve_requests_total{{code=\"{code}\"}} {}",
+            REQUEST_COUNTS[slot].load(Ordering::Relaxed)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "dylect_serve_requests_total{{code=\"other\"}} {}",
+        REQUEST_COUNTS[COUNTED_CODES.len()].load(Ordering::Relaxed)
+    );
+
+    let prof = prof::report();
+    out.push_str(
+        "# HELP dylect_prof_phase_ns_total Host self-profiler: estimated wall-clock \
+         nanoseconds by phase (sampled phases scaled by the sample period).\n",
+    );
+    out.push_str("# TYPE dylect_prof_phase_ns_total counter\n");
+    for p in &prof.phases {
+        let _ = writeln!(
+            out,
+            "dylect_prof_phase_ns_total{{phase=\"{}\"}} {}",
+            p.phase.name(),
+            p.est_ns
+        );
+    }
+    out.push_str(
+        "# HELP dylect_prof_phase_calls_total Host self-profiler: estimated calls by phase.\n",
+    );
+    out.push_str("# TYPE dylect_prof_phase_calls_total counter\n");
+    for p in &prof.phases {
+        let _ = writeln!(
+            out,
+            "dylect_prof_phase_calls_total{{phase=\"{}\"}} {}",
+            p.phase.name(),
+            p.est_calls
+        );
+    }
+    out.push_str(
+        "# HELP dylect_prof_worker_busy_ns_total Host self-profiler: per-worker busy time.\n",
+    );
+    out.push_str("# TYPE dylect_prof_worker_busy_ns_total counter\n");
+    for w in &prof.workers {
+        let _ = writeln!(
+            out,
+            "dylect_prof_worker_busy_ns_total{{pool=\"{}\",wid=\"{}\"}} {}",
+            w.kind.name(),
+            w.wid,
+            w.busy_ns
+        );
+    }
+
+    let runs = read_progress(root);
+    out.push_str("# HELP dylect_run_state Runner live progress: 1 per run, labeled by state.\n");
+    out.push_str("# TYPE dylect_run_state gauge\n");
+    for r in &runs {
+        let _ = writeln!(
+            out,
+            "dylect_run_state{{run=\"{}\",state=\"{}\"}} 1",
+            prom_label(&r.run),
+            prom_label(&r.state)
+        );
+    }
+    out.push_str(
+        "# HELP dylect_run_seconds Runner live progress: wall-clock seconds of finished runs.\n",
+    );
+    out.push_str("# TYPE dylect_run_seconds gauge\n");
+    for r in &runs {
+        if let Some(secs) = r.secs {
+            let _ = writeln!(
+                out,
+                "dylect_run_seconds{{run=\"{}\"}} {secs}",
+                prom_label(&r.run)
+            );
+        }
+    }
+    for state in ["running", "done"] {
+        let n = runs.iter().filter(|r| r.state == state).count();
+        let _ = writeln!(out, "dylect_runs_total{{state=\"{state}\"}} {n}");
+    }
+    out
+}
+
 /// Resolves an artifact name to its on-disk path: `*.report` files live
 /// in the report cache, everything else in the results root.
 fn artifact_path(root: &Path, name: &str) -> PathBuf {
@@ -168,6 +337,26 @@ pub fn route(root: &Path, method: &str, target: &str) -> Response {
     let (path, params) = split_target(target);
     match path {
         "/healthz" => Response::new(200, "ok\n"),
+        "/metrics" => Response::new(200, metrics_body(root)),
+        "/runs" => {
+            let runs = read_progress(root);
+            if runs.is_empty() {
+                return Response::new(200, "(no runs yet)\n");
+            }
+            let mut body = format!("{:<44} {:<8} {:>4} {:>9}\n", "run", "state", "wid", "secs");
+            for r in &runs {
+                let secs = match r.secs {
+                    Some(s) => format!("{s:.1}"),
+                    None => "-".to_owned(),
+                };
+                let _ = writeln!(
+                    body,
+                    "{:<44} {:<8} {:>4} {:>9}",
+                    r.run, r.state, r.wid, secs
+                );
+            }
+            Response::new(200, body)
+        }
         "/figures" => {
             let mut body: String = list_artifacts(root).into_iter().map(|n| n + "\n").collect();
             if body.is_empty() {
@@ -222,7 +411,7 @@ pub fn route(root: &Path, method: &str, target: &str) -> Response {
             }
             Response::new(
                 404,
-                "routes: /healthz /figures /figure/<name> /diff?a=..&b=..\n",
+                "routes: /healthz /figures /figure/<name> /diff?a=..&b=.. /runs /metrics\n",
             )
         }
     }
@@ -258,6 +447,8 @@ fn read_request(stream: &mut TcpStream) -> Result<(String, String), Response> {
 }
 
 fn handle_connection(root: &Path, mut stream: TcpStream) {
+    // Host-profiling timer only; responses are identical with it on or off.
+    let _p = prof::scope(prof::HostPhase::ServeRequest);
     stream
         .set_read_timeout(Some(std::time::Duration::from_secs(5)))
         .ok();
@@ -265,6 +456,7 @@ fn handle_connection(root: &Path, mut stream: TcpStream) {
         Ok((method, target)) => route(root, &method, &target),
         Err(response) => response,
     };
+    count_request(response.status);
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
     // Closing with unread request bytes pending (an oversized request cut
@@ -392,6 +584,116 @@ mod tests {
         assert_eq!(route(&root, "GET", "/figure/..").status, 400);
         assert_eq!(route(&root, "GET", "/nope").status, 404);
         assert_eq!(route(&root, "POST", "/healthz").status, 405);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// Unsupported methods are a 405 on every route — not a 404 — and the
+    /// 405 body says what is supported.
+    #[test]
+    fn non_get_methods_are_405_everywhere() {
+        let root = temp_root("methods");
+        for method in ["POST", "PUT", "DELETE", "HEAD", "PATCH", "OPTIONS"] {
+            for target in ["/healthz", "/figures", "/metrics", "/runs", "/nope"] {
+                let resp = route(&root, method, target);
+                assert_eq!(resp.status, 405, "{method} {target}");
+                assert!(
+                    resp.body.contains("GET"),
+                    "{method} {target}: {}",
+                    resp.body
+                );
+            }
+        }
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// Every response carries `Connection: close`: the server serves one
+    /// request per connection and must say so, or HTTP/1.1 clients will
+    /// wait for keep-alive traffic that never comes.
+    #[test]
+    fn every_response_announces_connection_close() {
+        for resp in [
+            Response::new(200, "ok\n"),
+            Response::new(404, "nope\n"),
+            Response::new(405, "only GET is supported\n"),
+            Response::new(431, "request exceeds 8 KB\n"),
+        ] {
+            let mut wire = Vec::new();
+            resp.write_to(&mut wire).unwrap();
+            let text = String::from_utf8(wire).unwrap();
+            let head = text.split("\r\n\r\n").next().unwrap();
+            assert!(
+                head.contains("\r\nConnection: close"),
+                "{}: {head}",
+                resp.status
+            );
+            assert!(head.starts_with(&format!("HTTP/1.1 {} ", resp.status)));
+            assert!(head.contains(&format!("Content-Length: {}", resp.body.len())));
+        }
+    }
+
+    #[test]
+    fn runs_route_renders_progress_markers() {
+        let root = temp_root("runs");
+        assert_eq!(route(&root, "GET", "/runs").body, "(no runs yet)\n");
+        fs::create_dir_all(root.join("progress")).unwrap();
+        fs::write(
+            root.join("progress/omnetpp_dylect_high.run.json"),
+            "{\"run\":\"omnetpp/dylect/high\",\"state\":\"done\",\"wid\":1,\"secs\":12.345}\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("progress/omnetpp_tmcc_high.run.json"),
+            "{\"run\":\"omnetpp/tmcc/high\",\"state\":\"running\",\"wid\":0}\n",
+        )
+        .unwrap();
+        fs::write(root.join("progress/garbage.json"), "not json").unwrap();
+        let resp = route(&root, "GET", "/runs");
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("omnetpp/dylect/high"), "{}", resp.body);
+        assert!(resp.body.contains("done"), "{}", resp.body);
+        assert!(resp.body.contains("12.3"), "{}", resp.body);
+        assert!(resp.body.contains("running"), "{}", resp.body);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn metrics_route_emits_wellformed_prometheus_text() {
+        let root = temp_root("metrics");
+        fs::create_dir_all(root.join("progress")).unwrap();
+        fs::write(
+            root.join("progress/r.run.json"),
+            "{\"run\":\"omnetpp/dylect/high\",\"state\":\"running\",\"wid\":0}\n",
+        )
+        .unwrap();
+        let resp = route(&root, "GET", "/metrics");
+        assert_eq!(resp.status, 200);
+        let body = &resp.body;
+        // Schema-stable: every declared series family is present even with
+        // no profiled work, and every phase appears by name.
+        assert!(body.contains("# TYPE dylect_serve_requests_total counter"));
+        assert!(body.contains("dylect_serve_requests_total{code=\"200\"}"));
+        assert!(body.contains("# TYPE dylect_prof_phase_ns_total counter"));
+        for phase in dylect_sim_core::prof::HostPhase::ALL {
+            assert!(
+                body.contains(&format!(
+                    "dylect_prof_phase_ns_total{{phase=\"{}\"}}",
+                    phase.name()
+                )),
+                "missing phase {}",
+                phase.name()
+            );
+        }
+        assert!(body.contains("dylect_run_state{run=\"omnetpp/dylect/high\",state=\"running\"} 1"));
+        assert!(body.contains("dylect_runs_total{state=\"running\"} 1"));
+        // Well-formed exposition: every non-comment line is `name{...} value`
+        // with a parseable numeric value.
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
+            let (_, value) = line.rsplit_once(' ').expect(line);
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+        }
         fs::remove_dir_all(&root).ok();
     }
 

@@ -52,6 +52,12 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
         dir => {
+            // DYLECT_PROF makes the serve_request phase timer live, so
+            // /metrics can report where this process's wall-clock goes.
+            if let Err(msg) = dylect_sim_core::prof::init_from_env() {
+                eprintln!("usage: {msg}");
+                return ExitCode::from(2);
+            }
             let root = PathBuf::from(dir.unwrap_or("results"));
             let raw = std::env::var("DYLECT_SERVE_ADDR").ok();
             let addr = match parse_serve_addr(raw.as_deref()) {

@@ -46,6 +46,7 @@ pub mod addr;
 pub mod check;
 pub mod kv;
 pub mod probe;
+pub mod prof;
 pub mod rng;
 pub mod snap;
 pub mod stats;

@@ -15,6 +15,7 @@ use dylect_sim_core::probe::{
     AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass, SpanPhase,
     SpanRecord, TranslationPath,
 };
+use dylect_sim_core::prof;
 use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 use dylect_sim_core::stats::{Counter, MeanAccumulator};
 use dylect_sim_core::{PhysAddr, Time, BLOCK_BYTES, PAGE_BYTES};
@@ -289,6 +290,8 @@ impl SharedMemory {
     fn mc_access(&mut self, now: Time, addr: PhysAddr, write: bool) -> (McResponse, u32) {
         let (idx, local) = self.route(addr);
         let mc = &mut self.mcs[idx];
+        // Sampled host timer only; the scheme sees nothing of it.
+        let _p = prof::sampled_scope(prof::HostPhase::SchemeAccess);
         let resp = mc.scheme.access(now, local, write, &mut mc.dram);
         (resp, idx as u32)
     }
@@ -329,6 +332,7 @@ impl SharedMemory {
         if queued == 0 {
             return;
         }
+        let _p = prof::scope(prof::HostPhase::DrainWriteback);
         let workers = self.jobs.min(self.mcs.len());
         // Spawning threads for a handful of writebacks costs more than the
         // writebacks; small batches drain in place. Purely wall-clock —
@@ -336,20 +340,34 @@ impl SharedMemory {
         const PARALLEL_DRAIN_MIN: usize = 32;
         if workers > 1 && queued >= PARALLEL_DRAIN_MIN && !self.probes_installed {
             let per = self.mcs.len().div_ceil(workers);
+            let prof_on = prof::enabled();
             std::thread::scope(|scope| {
-                for chunk in self.mcs.chunks_mut(per).map(McChunk) {
+                for (wid, chunk) in self.mcs.chunks_mut(per).map(McChunk).enumerate() {
                     scope.spawn(move || {
                         // Capture the whole wrapper (not its field) so the
                         // closure's Send-ness comes from `McChunk`.
                         let McChunk(units) = { chunk };
+                        // Per-worker busy time makes DYLECT_JOBS shard
+                        // balance visible; purely host-side bookkeeping.
+                        let start = prof_on.then(std::time::Instant::now);
+                        let mut items = 0u64;
                         for mc in units {
+                            items += mc.pending.len() as u64;
                             mc.apply_pending();
+                        }
+                        if let Some(start) = start {
+                            let busy = start.elapsed().as_nanos() as u64;
+                            prof::worker_busy(prof::WorkerKind::Drain, wid, busy, items);
                         }
                     });
                 }
             });
             return;
         }
+        // The sequential path is the single drain "worker": recording it in
+        // the same registry keeps the utilization table meaningful at
+        // DYLECT_JOBS=1.
+        let start = prof::enabled().then(std::time::Instant::now);
         let probe_on = self.probe.is_enabled();
         for idx in 0..self.mcs.len() {
             let mc = &mut self.mcs[idx];
@@ -368,6 +386,10 @@ impl SharedMemory {
             let mut pending = pending;
             pending.clear();
             self.mcs[idx].pending = pending;
+        }
+        if let Some(start) = start {
+            let busy = start.elapsed().as_nanos() as u64;
+            prof::worker_busy(prof::WorkerKind::Drain, 0, busy, queued as u64);
         }
     }
 
@@ -493,6 +515,8 @@ impl SharedMemory {
 
 impl MemoryBackend for SharedMemory {
     fn access(&mut self, now: Time, addr: PhysAddr, op: BackendOp) -> Time {
+        // Sampled host timer covering the shared hierarchy and below.
+        let _p = prof::sampled_scope(prof::HostPhase::MemAccess);
         let key = self.l3.key_of(addr.raw());
         match op {
             BackendOp::Writeback => {

@@ -5,6 +5,7 @@ use dylect_cpu::{Core, PageTableLayout};
 use dylect_dram::{Dram, DramConfig};
 use dylect_memctl::{MemoryScheme, NoCompression};
 use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::prof;
 use dylect_sim_core::snap::{
     read_header, write_header, Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _,
 };
@@ -287,14 +288,26 @@ impl System {
             let mut remaining = ops;
             while remaining > 0 {
                 let n = remaining.min(BATCH_OPS);
-                self.workloads[0].fill_batch(&mut batch, n as usize);
-                self.cores[0].step_soa(&batch, &mut self.shared);
+                // Sampled, not exact: these fire once per BATCH_OPS chunk,
+                // which is frequent enough that exact span retention alone
+                // would breach the <2% profiling budget.
+                {
+                    let _p = prof::sampled_scope(prof::HostPhase::BatchFill);
+                    self.workloads[0].fill_batch(&mut batch, n as usize);
+                }
+                {
+                    let _p = prof::sampled_scope(prof::HostPhase::BatchStep);
+                    self.cores[0].step_soa(&batch, &mut self.shared);
+                }
                 self.shared.drain_pending();
                 remaining -= n;
             }
             self.batch = batch;
             return;
         }
+        // Host-profiling scope only: reads the wall clock, never writes
+        // simulated state.
+        let _p = prof::scope(prof::HostPhase::ExecutePerOp);
         // 0 when telemetry is off: the epoch check below stays one
         // predictable branch per op.
         let epoch_ops = self

@@ -306,10 +306,116 @@ fn shadow_summary(rows: &[BTreeMap<String, FlatValue>]) -> bool {
     printed
 }
 
+/// Renders self-profiler rows (`"prof_phase"` timers, `"prof_worker"`
+/// busy/utilization, one `"prof_summary"`); returns whether anything was
+/// printed. Wall-clock percentages use the `wall_ns` meta field from the
+/// summary row when present, and ns/op uses `measure_ops`.
+fn prof_summary(rows: &[BTreeMap<String, FlatValue>]) -> bool {
+    let get_str = |row: &BTreeMap<String, FlatValue>, key: &str| -> String {
+        row.get(key)
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned())
+    };
+    let get_num = |row: &BTreeMap<String, FlatValue>, key: &str| -> f64 {
+        row.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let phases: Vec<_> = rows
+        .iter()
+        .filter(|r| r.contains_key("prof_phase"))
+        .collect();
+    if phases.is_empty() {
+        return false;
+    }
+    let meta = rows.iter().find(|r| r.contains_key("prof_summary"));
+    let wall_ns = meta.map_or(0.0, |m| get_num(m, "wall_ns"));
+    let measure_ops = meta.map_or(0.0, |m| get_num(m, "measure_ops"));
+    outln!(
+        "{:<16} {:<8} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "phase",
+        "kind",
+        "est_calls",
+        "est_ms",
+        "ns/call",
+        "pct_wall",
+        "ns/op"
+    );
+    for row in &phases {
+        let est_ns = get_num(row, "est_ns");
+        let est_calls = get_num(row, "est_calls");
+        let ns_per_call = if est_calls > 0.0 {
+            est_ns / est_calls
+        } else {
+            0.0
+        };
+        let pct = if wall_ns > 0.0 {
+            format!("{:.1}", 100.0 * est_ns / wall_ns)
+        } else {
+            "-".to_owned()
+        };
+        let ns_per_op = if measure_ops > 0.0 {
+            format!("{:.2}", est_ns / measure_ops)
+        } else {
+            "-".to_owned()
+        };
+        outln!(
+            "{:<16} {:<8} {:>12} {:>12.3} {:>10.1} {:>9} {:>9}",
+            get_str(row, "prof_phase"),
+            get_str(row, "kind"),
+            est_calls,
+            est_ns / 1e6,
+            ns_per_call,
+            pct,
+            ns_per_op,
+        );
+    }
+    let workers: Vec<_> = rows
+        .iter()
+        .filter(|r| r.contains_key("prof_worker"))
+        .collect();
+    if !workers.is_empty() {
+        outln!("");
+        outln!(
+            "{:<8} {:>4} {:>12} {:>12} {:>9}",
+            "pool",
+            "wid",
+            "busy_ms",
+            "items",
+            "util_pct"
+        );
+        for row in &workers {
+            let busy_ns = get_num(row, "busy_ns");
+            let util = if wall_ns > 0.0 {
+                format!("{:.1}", 100.0 * busy_ns / wall_ns)
+            } else {
+                "-".to_owned()
+            };
+            outln!(
+                "{:<8} {:>4} {:>12.3} {:>12} {:>9}",
+                get_str(row, "prof_worker"),
+                get_num(row, "wid"),
+                busy_ns / 1e6,
+                get_num(row, "items"),
+                util,
+            );
+        }
+    }
+    if let Some(meta) = meta {
+        outln!(
+            "host spans: {} retained, {} dropped",
+            get_num(meta, "retained"),
+            get_num(meta, "dropped")
+        );
+    }
+    true
+}
+
 fn summary(parsed: &Parsed) {
     match parsed {
         Parsed::Jsonl(rows) => {
             if shadow_summary(rows) {
+                return;
+            }
+            if prof_summary(rows) {
                 return;
             }
             if latency_summary(rows) {
@@ -364,9 +470,147 @@ const USAGE: &str = "usage:
   dylect-stats dump <file>
   dylect-stats summary <file>
   dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]
+  dylect-stats bench-diff <BENCH.json>... [--gate-rel X] [--max-overhead-pct Y]
 
 diff exit codes: 0 identical within tolerance, 1 metric out of tolerance,
-2 usage/IO error, 3 only missing metrics/rows";
+2 usage/IO error, 3 only missing metrics/rows
+
+bench-diff prints the bench-history trajectory across the given snapshot
+files (oldest first) and exits 1 if the newest step median regresses past
+--gate-rel of the previous one, or if any recorded profiling overhead
+exceeds --max-overhead-pct";
+
+/// One parsed `BENCH_*.json` snapshot in the bench-history trajectory.
+struct BenchStep {
+    file: String,
+    bench: String,
+    median_ns: Option<f64>,
+    overhead_pct: Option<f64>,
+    git_rev: String,
+}
+
+/// The step median of a snapshot: the plain median when present, else the
+/// baseline median recorded by overhead-style snapshots (shadow,
+/// selfprofile), which is the same underlying `system_step_1000_ops`
+/// measurement.
+const MEDIAN_KEYS: [&str; 2] = ["median_ns_per_iter", "baseline_median_ns_per_iter"];
+const OVERHEAD_KEYS: [&str; 2] = ["prof_overhead_pct", "shadow_overhead_pct"];
+
+fn load_bench_step(path: &str) -> Result<BenchStep, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let map = dylect_telemetry::export::parse_flat_object(&text)
+        .ok_or_else(|| format!("{path}: not a flat JSON object"))?;
+    let num = |key: &str| map.get(key).and_then(|v| v.as_f64());
+    let median_ns = MEDIAN_KEYS.iter().find_map(|k| num(k));
+    let overhead_pct = OVERHEAD_KEYS.iter().find_map(|k| num(k));
+    Ok(BenchStep {
+        file: path.to_owned(),
+        bench: map
+            .get("bench")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned()),
+        median_ns,
+        overhead_pct,
+        git_rev: map
+            .get("git_rev")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_else(|| "?".to_owned()),
+    })
+}
+
+/// Renders the trajectory table over committed `BENCH_*.json` snapshots
+/// (CLI order = history order) and applies the regression gates. Exit 0
+/// when every gate holds, 1 on a regression.
+fn bench_diff(
+    files: &[String],
+    gate_rel: Option<f64>,
+    max_overhead: Option<f64>,
+) -> Result<u8, String> {
+    let steps: Vec<BenchStep> = files
+        .iter()
+        .map(|f| load_bench_step(f))
+        .collect::<Result<_, _>>()?;
+    outln!(
+        "{:<28} {:<26} {:>14} {:>10} {:>9} {:<8}",
+        "file",
+        "bench",
+        "median_ns",
+        "delta_pct",
+        "overhead",
+        "git_rev"
+    );
+    let mut prev_median: Option<f64> = None;
+    for s in &steps {
+        let median = match s.median_ns {
+            Some(m) => format!("{m:.1}"),
+            None => "-".to_owned(),
+        };
+        let delta = match (prev_median, s.median_ns) {
+            (Some(p), Some(m)) if p > 0.0 => format!("{:+.1}", 100.0 * (m - p) / p),
+            _ => "-".to_owned(),
+        };
+        let overhead = match s.overhead_pct {
+            Some(o) => format!("{o:.2}"),
+            None => "-".to_owned(),
+        };
+        outln!(
+            "{:<28} {:<26} {:>14} {:>10} {:>9} {:<8}",
+            s.file,
+            s.bench,
+            median,
+            delta,
+            overhead,
+            s.git_rev
+        );
+        if s.median_ns.is_some() {
+            prev_median = s.median_ns;
+        }
+    }
+    let mut failed = false;
+    if let Some(rel) = gate_rel {
+        let medians: Vec<(&str, f64)> = steps
+            .iter()
+            .filter_map(|s| s.median_ns.map(|m| (s.file.as_str(), m)))
+            .collect();
+        if let [.., (prev_file, prev), (last_file, last)] = medians.as_slice() {
+            if *last > prev * (1.0 + rel) {
+                outln!(
+                    "GATE: {last_file} median {last:.1} ns regresses past {prev_file} \
+                     ({prev:.1} ns) by more than {:.1}%",
+                    rel * 100.0
+                );
+                failed = true;
+            } else {
+                outln!(
+                    "gate ok: {last_file} within {:.1}% of {prev_file}",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+    if let Some(max) = max_overhead {
+        // Only profiling overhead is budgeted; shadow overhead is expected
+        // to be large and is reported, not gated.
+        for s in &steps {
+            let has_prof_overhead = s.bench.contains("prof");
+            if let (true, Some(o)) = (has_prof_overhead, s.overhead_pct) {
+                if o > max {
+                    outln!(
+                        "GATE: {} profiling overhead {o:.2}% exceeds {max:.2}%",
+                        s.file
+                    );
+                    failed = true;
+                } else {
+                    outln!(
+                        "overhead ok: {} profiling overhead {o:.2}% <= {max:.2}%",
+                        s.file
+                    );
+                }
+            }
+        }
+    }
+    Ok(if failed { 1 } else { 0 })
+}
 
 fn run() -> Result<u8, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -379,6 +623,40 @@ fn run() -> Result<u8, String> {
                 summary(&parsed);
             }
             Ok(0)
+        }
+        Some("bench-diff") if args.len() >= 2 => {
+            let mut files = Vec::new();
+            let mut gate_rel = None;
+            let mut max_overhead = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    flag @ ("--gate-rel" | "--max-overhead-pct") => {
+                        let value = args
+                            .get(i + 1)
+                            .ok_or_else(|| format!("{flag} needs a value"))?
+                            .parse::<f64>()
+                            .map_err(|e| format!("{flag}: {e}"))?;
+                        if flag == "--gate-rel" {
+                            gate_rel = Some(value);
+                        } else {
+                            max_overhead = Some(value);
+                        }
+                        i += 2;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown flag {other}\n{USAGE}"));
+                    }
+                    file => {
+                        files.push(file.to_owned());
+                        i += 1;
+                    }
+                }
+            }
+            if files.is_empty() {
+                return Err(format!("bench-diff needs at least one file\n{USAGE}"));
+            }
+            bench_diff(&files, gate_rel, max_overhead)
         }
         Some("diff") if args.len() >= 3 => {
             let mut tol = Tolerance::default();
@@ -471,5 +749,73 @@ mod tests {
         let latency =
             vec![parse_flat_object(r#"{"hist":"latency","scope":"mem","count":1}"#).unwrap()];
         assert!(!shadow_summary(&latency));
+    }
+
+    #[test]
+    fn prof_rows_render_and_other_rows_do_not() {
+        let rows = vec![
+            parse_flat_object(
+                r#"{"prof_phase":"batch_step","kind":"exact","ns":1000,"calls":4,"est_ns":1000,"est_calls":4}"#,
+            )
+            .unwrap(),
+            parse_flat_object(
+                r#"{"prof_phase":"dram_access","kind":"sampled","ns":50,"calls":2,"est_ns":1600,"est_calls":64}"#,
+            )
+            .unwrap(),
+            parse_flat_object(r#"{"prof_worker":"drain","wid":0,"busy_ns":700,"items":9}"#)
+                .unwrap(),
+            parse_flat_object(
+                r#"{"prof_summary":"spans","retained":5,"dropped":0,"wall_ns":2000.0,"measure_ops":1000.0}"#,
+            )
+            .unwrap(),
+        ];
+        assert!(prof_summary(&rows), "prof rows must render");
+        let latency =
+            vec![parse_flat_object(r#"{"hist":"latency","scope":"mem","count":1}"#).unwrap()];
+        assert!(!prof_summary(&latency));
+    }
+
+    #[test]
+    fn bench_diff_gates_a_regression_and_passes_within_tolerance() {
+        let dir =
+            std::env::temp_dir().join(format!("dylect-benchdiff-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| -> String {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path.to_string_lossy().into_owned()
+        };
+        let a = write(
+            "BENCH_a.json",
+            "{\n  \"bench\": \"system_step_1000_ops\",\n  \"median_ns_per_iter\": 100.0,\n  \"git_rev\": \"aaa\"\n}\n",
+        );
+        let ok = write(
+            "BENCH_b.json",
+            "{\n  \"bench\": \"system_step_1000_ops\",\n  \"median_ns_per_iter\": 104.0,\n  \"git_rev\": \"bbb\"\n}\n",
+        );
+        let bad = write(
+            "BENCH_c.json",
+            "{\n  \"bench\": \"system_step_1000_prof\",\n  \"baseline_median_ns_per_iter\": 140.0,\n  \"prof_overhead_pct\": 3.5,\n  \"git_rev\": \"ccc\"\n}\n",
+        );
+        let steps = [a.clone(), ok.clone()];
+        assert_eq!(
+            bench_diff(&steps, Some(0.10), None),
+            Ok(0),
+            "4% is within 10%"
+        );
+        let steps = [a.clone(), ok.clone(), bad.clone()];
+        assert_eq!(
+            bench_diff(&steps, Some(0.10), None),
+            Ok(1),
+            "140 vs 104 regresses past 10%"
+        );
+        assert_eq!(
+            bench_diff(std::slice::from_ref(&bad), None, Some(2.0)),
+            Ok(1),
+            "3.5% profiling overhead exceeds the 2% budget"
+        );
+        assert_eq!(bench_diff(&[bad], None, Some(5.0)), Ok(0));
+        assert!(bench_diff(&["/nonexistent.json".to_owned()], None, None).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

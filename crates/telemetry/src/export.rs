@@ -183,11 +183,25 @@ pub fn latency_jsonl(attribution: &Attribution) -> String {
 pub fn chrome_trace(journal: &EventJournal, spans: &[SpanRecord]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     let mut first = true;
+    write_sim_events(&mut out, &mut first, journal, spans);
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The shared simulated-clock event body of [`chrome_trace`] and
+/// [`chrome_trace_dual`]: instant events per journal entry, B/E pairs per
+/// span, all on `pid` 0.
+fn write_sim_events(
+    out: &mut String,
+    first: &mut bool,
+    journal: &EventJournal,
+    spans: &[SpanRecord],
+) {
     for e in journal.entries() {
-        if !first {
+        if !*first {
             out.push_str(",\n");
         }
-        first = false;
+        *first = false;
         let ts_us = e.now.as_ps() as f64 / 1e6;
         let _ = write!(
             out,
@@ -199,10 +213,10 @@ pub fn chrome_trace(journal: &EventJournal, spans: &[SpanRecord]) -> String {
         );
     }
     for s in spans {
-        if !first {
+        if !*first {
             out.push_str(",\n");
         }
-        first = false;
+        *first = false;
         let begin_us = s.start.as_ps() as f64 / 1e6;
         let end_us = s.end.as_ps() as f64 / 1e6;
         let _ = write!(
@@ -223,7 +237,88 @@ pub fn chrome_trace(journal: &EventJournal, spans: &[SpanRecord]) -> String {
             s.mc,
         );
     }
+}
+
+/// The dual-clock Chrome trace: the same simulated-clock events as
+/// [`chrome_trace`] on `pid` 0, plus host wall-clock spans from the
+/// self-profiler on `pid` 1 (one trace `tid` per host thread), with
+/// process-name metadata so viewers label the two clock domains. The two
+/// timelines share the microsecond axis but *not* an origin — simulated
+/// time starts at 0, host time at the profiling epoch — which is exactly
+/// the point: they are different clocks, rendered side by side.
+///
+/// Only `fig_selfprofile` emits this file; it is host-nondeterministic by
+/// nature and never part of the standard deterministic export set.
+pub fn chrome_trace_dual(
+    journal: &EventJournal,
+    spans: &[SpanRecord],
+    host: &dylect_sim_core::prof::ProfReport,
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"simulated (ps clock)\"}},\n",
+    );
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"host (wall clock)\"}}",
+    );
+    let mut first = false;
+    write_sim_events(&mut out, &mut first, journal, spans);
+    for s in &host.spans {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+            s.phase.name(),
+            json_f64(s.start_ns as f64 / 1e3),
+            json_f64(s.dur_ns as f64 / 1e3),
+            s.tid,
+        );
+    }
     out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a self-profiler snapshot as JSONL. Phase rows carry a
+/// `"prof_phase"` discriminator (recorded + period-scaled estimates),
+/// worker rows `"prof_worker"` (per-worker busy time for pool-utilization
+/// tables), and one `"prof_summary"` row records span retention. Extra
+/// `meta` pairs (benchmark, scheme, op counts) ride on the summary row so
+/// `dylect-stats` can print ns/op.
+pub fn prof_jsonl(report: &dylect_sim_core::prof::ProfReport, meta: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    for p in &report.phases {
+        let kind = if p.sampled { "sampled" } else { "exact" };
+        let _ = writeln!(
+            out,
+            "{{\"prof_phase\":\"{}\",\"kind\":\"{kind}\",\"ns\":{},\"calls\":{},\"est_ns\":{},\"est_calls\":{}}}",
+            p.phase.name(),
+            p.ns,
+            p.calls,
+            p.est_ns,
+            p.est_calls,
+        );
+    }
+    for w in &report.workers {
+        let _ = writeln!(
+            out,
+            "{{\"prof_worker\":\"{}\",\"wid\":{},\"busy_ns\":{},\"items\":{}}}",
+            w.kind.name(),
+            w.wid,
+            w.busy_ns,
+            w.items,
+        );
+    }
+    let mut summary = format!(
+        "{{\"prof_summary\":\"spans\",\"retained\":{},\"dropped\":{}",
+        report.spans.len(),
+        report.spans_dropped,
+    );
+    for (key, value) in meta {
+        let _ = write!(summary, ",\"{}\":{}", json_escape(key), json_f64(*value));
+    }
+    summary.push('}');
+    out.push_str(&summary);
+    out.push('\n');
     out
 }
 

@@ -59,6 +59,7 @@ use std::rc::Rc;
 
 use dylect_memctl::controller::CteCacheGeometry;
 use dylect_sim_core::probe::ProbeHandle;
+use dylect_sim_core::prof;
 use dylect_sim_core::snap::{Restore as _, SnapError, SnapReader, SnapWriter, Snapshot as _};
 
 pub use attribution::Attribution;
@@ -324,6 +325,9 @@ impl Telemetry {
     /// `<stem>.shadow.jsonl` when shadow probing is enabled; returns the
     /// paths written.
     pub fn export_to(&self, stem: &Path) -> io::Result<Vec<PathBuf>> {
+        // Host-profiling timer only; the exported bytes are identical with
+        // profiling on or off.
+        let _p = prof::scope(prof::HostPhase::Export);
         if let Some(dir) = stem.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;

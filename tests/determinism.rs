@@ -298,6 +298,82 @@ fn snapshot_restore_pins_reports_and_exports_for_every_scheme() {
 }
 
 #[test]
+fn host_profiling_never_leaks_into_reports_or_exports() {
+    // The dual-clock invariant: the host self-profiler reads wall clocks
+    // and writes only its own global registry, so running with profiling
+    // armed must be byte-identical to running with it off — in the report
+    // cache text AND in every exported telemetry artifact (.jsonl,
+    // .shadow.jsonl) — for all three compressing schemes and for every
+    // drain worker count. Profiling is toggled programmatically (not via
+    // DYLECT_PROF) so the test owns no environment state.
+    use dylect_sim_core::prof;
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let telemetry_cfg = dylect_telemetry::TelemetryConfig {
+        shadow: true,
+        span_sample: 16,
+        ..dylect_telemetry::TelemetryConfig::default()
+    };
+    let export = |mut sys: System, tag: &str| -> Vec<(String, String)> {
+        let telemetry = sys.take_telemetry().expect("enabled");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-prof-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("omnetpp"))
+            .expect("export writes");
+        let contents = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    for scheme in [
+        SchemeKind::tmcc(),
+        SchemeKind::dylect(),
+        SchemeKind::NaiveDynamic,
+    ] {
+        for jobs in [1usize, 3] {
+            let label = format!("{}/jobs={jobs}", scheme.label());
+            let run_with = |prof_on: bool, tag: &str| {
+                let mut cfg = SystemConfig::quick(&spec, scheme.clone(), CompressionSetting::High);
+                cfg.memory_controllers = 2;
+                let mut sys = System::new(cfg, &spec);
+                sys.set_jobs(jobs);
+                sys.enable_telemetry(telemetry_cfg);
+                prof::set_enabled(prof_on);
+                if prof_on {
+                    prof::reset();
+                }
+                let report = sys.run(mode.warmup_ops, mode.measure_ops);
+                prof::set_enabled(false);
+                (report.to_cache_text(), export(sys, tag))
+            };
+            let (r_off, e_off) = run_with(false, &format!("off-{jobs}-{}", scheme.label()));
+            let (r_on, e_on) = run_with(true, &format!("on-{jobs}-{}", scheme.label()));
+            assert_eq!(
+                r_off, r_on,
+                "{label}: profiling changed the report cache text"
+            );
+            assert_eq!(e_off.len(), e_on.len(), "{label}: export sets differ");
+            for ((name_a, body_a), (name_b, body_b)) in e_off.iter().zip(&e_on) {
+                assert_eq!(name_a, name_b, "{label}");
+                assert_eq!(
+                    body_a, body_b,
+                    "{label}: {name_a} differs with profiling armed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn attribution_conserves_cycles_for_every_scheme() {
     // Aggregate conservation: for each scheme and each scope, the summed
     // per-component cycle totals must equal the summed end-to-end latency

@@ -7,6 +7,10 @@
 #   $2  shadow-probe snapshot (default BENCH_shadow.json)
 #   $3  batched-loop snapshot (default BENCH_batched.json)
 #   $4  checkpoint snapshot   (default BENCH_checkpoint.json)
+#   $5  self-profile snapshot (default BENCH_selfprofile.json)
+#
+# Every named snapshot is written or the script fails loudly — a missing
+# bench line is a harness regression, not a skippable condition.
 #
 # The first file records `system_step_1000_ops` (telemetry fully off — the
 # budget-carrying number). The second records it next to
@@ -19,17 +23,20 @@ OUT="${1:-BENCH_telemetry.json}"
 SHADOW_OUT="${2:-BENCH_shadow.json}"
 BATCHED_OUT="${3:-BENCH_batched.json}"
 CHECKPOINT_OUT="${4:-BENCH_checkpoint.json}"
+PROF_OUT="${5:-BENCH_selfprofile.json}"
 
 # The pre-batching baseline comes from the *committed* shadow snapshot
 # (falling back to the working-tree copy): this run refreshes the file,
 # so reading it afterwards — or after an earlier local run — would
-# compare the new number to itself.
-FROZEN=$( (git show HEAD:"$SHADOW_OUT" 2>/dev/null || cat "$SHADOW_OUT" 2>/dev/null) \
+# compare the new number to itself. The committed copy is read by its
+# canonical name even when $2 redirects this run's output elsewhere.
+FROZEN=$( (git show HEAD:BENCH_shadow.json 2>/dev/null \
+        || cat "$SHADOW_OUT" 2>/dev/null || true) \
     | sed -n 's/.*"baseline_median_ns_per_iter": \([0-9.]*\).*/\1/p' | head -1)
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
 RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr \
-    | grep -E "system_(step|restore)_1000")
+    | grep -E "system_(step|restore)_1000|^prof_(phase|overhead_pct) ")
 BASE=$(echo "$RAW" | grep "system_step_1000_ops")
 SHADOW=$(echo "$RAW" | grep "system_step_1000_shadow" || true)
 
@@ -61,8 +68,8 @@ echo "bench_snapshot: wrote $OUT (median $MEDIAN ns/iter)"
 
 SHADOW_MEDIAN=$(parse "$SHADOW" shadow)
 if [ -z "$SHADOW_MEDIAN" ]; then
-    echo "bench_snapshot: no system_step_1000_shadow line; skipping $SHADOW_OUT" >&2
-    exit 0
+    echo "bench_snapshot: no system_step_1000_shadow line; cannot write $SHADOW_OUT" >&2
+    exit 1
 fi
 OVERHEAD=$(awk -v b="$MEDIAN" -v s="$SHADOW_MEDIAN" \
     'BEGIN { printf "%.2f", (s - b) / b * 100 }')
@@ -101,7 +108,8 @@ if [ -n "$FROZEN" ]; then
 JSON
     echo "bench_snapshot: wrote $BATCHED_OUT (${SPEEDUP}x vs frozen baseline $FROZEN ns/iter)"
 else
-    echo "bench_snapshot: no frozen baseline in $SHADOW_OUT; skipping $BATCHED_OUT" >&2
+    echo "bench_snapshot: no frozen baseline in $SHADOW_OUT; cannot write $BATCHED_OUT" >&2
+    exit 1
 fi
 
 # Checkpoint-restore snapshot: `system_restore_1000_ops` rewinds to a
@@ -112,8 +120,8 @@ fi
 RESTORE=$(echo "$RAW" | grep "system_restore_1000_ops" || true)
 RESTORE_MEDIAN=$(parse "$RESTORE" restore_1000_ops)
 if [ -z "$RESTORE_MEDIAN" ]; then
-    echo "bench_snapshot: no system_restore_1000_ops line; skipping $CHECKPOINT_OUT" >&2
-    exit 0
+    echo "bench_snapshot: no system_restore_1000_ops line; cannot write $CHECKPOINT_OUT" >&2
+    exit 1
 fi
 RESTORE_OVERHEAD=$(awk -v b="$MEDIAN" -v r="$RESTORE_MEDIAN" \
     'BEGIN { printf "%.1f", r - b }')
@@ -128,3 +136,35 @@ cat > "$CHECKPOINT_OUT" <<JSON
 }
 JSON
 echo "bench_snapshot: wrote $CHECKPOINT_OUT (restore median $RESTORE_MEDIAN ns/iter, +${RESTORE_OVERHEAD} ns over plain step)"
+
+# Self-profile snapshot: `system_step_1000_prof` is the plain batched step
+# loop with the host profiler armed, measured against an interleaved
+# prof-off baseline from the same bench (drift-cancelling pairs; the
+# bench prints the paired overhead as a `prof_overhead_pct` line). The
+# overhead is budgeted at <2% by the `dylect-stats bench-diff
+# --max-overhead-pct` gate in tools/verify.sh, and the accumulated
+# `prof_phase` lines become phase_* fields — the wall-clock breakdown
+# answering where the remaining ns/op go.
+PROF=$(echo "$RAW" | grep "system_step_1000_prof " || true)
+PROF_MEDIAN=$(parse "$PROF" prof)
+PROF_BASE=$(parse "$(echo "$RAW" | grep "system_step_1000_prof_base" || true)" base)
+PROF_OVERHEAD=$(echo "$RAW" | sed -n 's/^prof_overhead_pct \(-\{0,1\}[0-9.]*\)$/\1/p' | head -1)
+if [ -z "$PROF_MEDIAN" ] || [ -z "$PROF_BASE" ] || [ -z "$PROF_OVERHEAD" ]; then
+    echo "bench_snapshot: no system_step_1000_prof lines; cannot write $PROF_OUT" >&2
+    exit 1
+fi
+PHASES=$(echo "$RAW" | awk '/^prof_phase / {
+    printf "  \"phase_%s_ns\": %s,\n  \"phase_%s_calls\": %s,\n", $2, $3, $2, $4
+}')
+
+cat > "$PROF_OUT" <<JSON
+{
+  "bench": "system_step_1000_prof",
+  "median_ns_per_iter": $PROF_MEDIAN,
+  "baseline_median_ns_per_iter": $PROF_BASE,
+  "prof_overhead_pct": $PROF_OVERHEAD,
+$PHASES
+  "git_rev": "$GIT_REV"
+}
+JSON
+echo "bench_snapshot: wrote $PROF_OUT (prof median $PROF_MEDIAN ns/iter, overhead ${PROF_OVERHEAD}%)"

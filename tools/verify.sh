@@ -95,6 +95,52 @@ cmp -s "$SMOKE/ckpt-cold.tsv" "$SMOKE/ckpt-warm.tsv" \
     || { echo "checkpoint smoke: warm-start changed results"; exit 1; }
 echo "checkpoint smoke: OK"
 
+echo "== selfprofile smoke: profiling on, deterministic exports still diff clean"
+# Two fig_selfprofile runs with the host profiler armed: the deterministic
+# telemetry exports must stay byte-identical (the dual-clock invariant,
+# end to end), while the host-side artifacts (.prof.jsonl, dual trace) are
+# wall-clock data — existence and renderability are checked, bytes are not.
+for run in a b; do
+    DYLECT_PROF=1 DYLECT_QUICK=1 DYLECT_JOBS=2 DYLECT_SPAN_SAMPLE=64 \
+        cargo run -q --offline --release -p dylect-bench \
+        --bin fig_selfprofile -- --out "$SMOKE/sp-$run" >/dev/null
+done
+for f in "$SMOKE"/sp-a/*.jsonl; do
+    case "$f" in *.prof.jsonl) continue ;; esac
+    cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+        diff "$f" "$SMOKE/sp-b/$(basename "$f")" >/dev/null \
+        || { echo "selfprofile smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+for f in "$SMOKE"/sp-a/*.trace.json; do
+    case "$f" in *dual.trace.json) continue ;; esac
+    cmp -s "$f" "$SMOKE/sp-b/$(basename "$f")" \
+        || { echo "selfprofile smoke: $(basename "$f") not reproducible"; exit 1; }
+done
+[ -s "$SMOKE/sp-a/selfprofile.prof.jsonl" ] \
+    || { echo "selfprofile smoke: no .prof.jsonl written"; exit 1; }
+[ -s "$SMOKE/sp-a/omnetpp-dylect.dual.trace.json" ] \
+    || { echo "selfprofile smoke: no dual-clock trace written"; exit 1; }
+# Write to a file rather than piping into grep -q: the early-exit grep
+# would SIGPIPE the still-printing dylect-stats, which pipefail then
+# reports as a smoke failure.
+cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+    summary "$SMOKE/sp-a/selfprofile.prof.jsonl" > "$SMOKE/sp-summary.out" \
+    || { echo "selfprofile smoke: prof summary failed"; exit 1; }
+grep -q "^execute_per_op " "$SMOKE/sp-summary.out" \
+    || { echo "selfprofile smoke: prof summary did not render phases"; exit 1; }
+echo "selfprofile smoke: OK"
+
+echo "== bench-diff gate: committed BENCH trajectory within budgets"
+# The committed bench-history registry, oldest snapshot first. Gates: the
+# newest median step must not regress >25% over its predecessor, and any
+# self-profiling snapshot must show <2% armed overhead.
+cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+    bench-diff BENCH_latency_attrib.json BENCH_telemetry.json \
+    BENCH_batched.json BENCH_checkpoint.json BENCH_selfprofile.json \
+    --gate-rel 0.25 --max-overhead-pct 2.0 \
+    || { echo "bench-diff gate: trajectory breached a budget"; exit 1; }
+echo "bench-diff gate: OK"
+
 echo "== serve smoke: dylect-serve answers healthz, figure, and diff"
 # Serve the telemetry exports from the first smoke on an ephemeral port
 # and exercise the HTTP surface with the built-in client: /healthz,
@@ -105,7 +151,7 @@ SERVE_BIN=target/release/dylect-serve
 WWW="$SMOKE/www"
 mkdir -p "$WWW"
 cp "$SMOKE"/a/*.jsonl "$WWW/"
-DYLECT_SERVE_ADDR=127.0.0.1:0 "$SERVE_BIN" "$WWW" \
+DYLECT_SERVE_ADDR=127.0.0.1:0 DYLECT_PROF=1 "$SERVE_BIN" "$WWW" \
     > "$SMOKE/serve.out" 2>/dev/null &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
@@ -128,6 +174,21 @@ cp "$SMOKE/b/$FIG" "$WWW/twin-$FIG"
 if "$SERVE_BIN" get "http://$ADDR/figure/no-such-artifact.jsonl" >/dev/null 2>&1; then
     echo "serve smoke: missing artifact did not 404"; exit 1
 fi
+# /metrics must be well-formed Prometheus text with the full phase-timer
+# schema (every phase series present even at zero) and request counters —
+# the serve_request timer is live because the server runs with
+# DYLECT_PROF=1. /runs answers even with no progress markers.
+"$SERVE_BIN" get "http://$ADDR/metrics" > "$SMOKE/metrics.out" \
+    || { echo "serve smoke: /metrics failed"; exit 1; }
+for series in dylect_serve_requests_total dylect_prof_phase_ns_total \
+    dylect_prof_phase_calls_total dylect_runs_total; do
+    grep -q "^$series" "$SMOKE/metrics.out" \
+        || { echo "serve smoke: /metrics missing $series"; exit 1; }
+done
+grep -q 'dylect_prof_phase_ns_total{phase="serve_request"}' "$SMOKE/metrics.out" \
+    || { echo "serve smoke: /metrics missing serve_request phase"; exit 1; }
+"$SERVE_BIN" get "http://$ADDR/runs" >/dev/null \
+    || { echo "serve smoke: /runs failed"; exit 1; }
 kill "$SERVE_PID" 2>/dev/null
 echo "serve smoke: OK"
 
