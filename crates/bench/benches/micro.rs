@@ -16,8 +16,8 @@ use dylect_core::GroupMap;
 use dylect_dram::{Dram, DramConfig, DramOp, RequestClass};
 use dylect_memctl::FreeSpace;
 use dylect_sim::{SchemeKind, System, SystemConfig};
-use dylect_sim_core::prof;
 use dylect_sim_core::rng::{Rng, Zipf};
+use dylect_sim_core::{digest, prof};
 use dylect_sim_core::{DramPageId, MachineAddr, PageId, Time};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
@@ -63,6 +63,7 @@ fn main() {
     bench_zipf();
     bench_end_to_end();
     bench_prof_overhead();
+    bench_digest_overhead();
 }
 
 fn bench_cte_cache() {
@@ -289,4 +290,84 @@ fn bench_prof_overhead() {
             println!("prof_phase {} {} {}", p.phase.name(), p.est_ns, p.est_calls);
         }
     }
+}
+
+/// The same paired-alternation methodology as [`bench_prof_overhead`],
+/// with the state-digest window clock armed instead of the profiler. With
+/// digests on, every 1000-op execute advances the window clock and
+/// hashes the full machine state whenever a default
+/// (`digest::DEFAULT_WINDOW_OPS`) window closes. PAIRS is sized so each
+/// on-side sample retires more than one full window — every sample's
+/// delta therefore includes its amortized share of a full-state capture,
+/// and the median measures the real steady-state cost a
+/// `DYLECT_DIGEST=1` sweep pays rather than just the per-batch tick.
+/// Printed as a `digest_overhead_pct` line, recorded by
+/// tools/bench_snapshot.sh in BENCH_digest.json, and budgeted at <2% by
+/// the `dylect-stats bench-diff --max-overhead-pct` gate.
+fn bench_digest_overhead() {
+    if let Some(filter) = std::env::args().nth(1) {
+        if !filter.starts_with('-') && !"system_step_1000_digest".contains(&filter) {
+            return;
+        }
+    }
+    // 1100 on-iterations x 1000 ops > one 2^20-op window per sample.
+    const PAIRS: u64 = 1_100;
+    const DIGEST_SAMPLES: usize = 15;
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let mut sys = System::new(cfg, &spec);
+    sys.run(50_000, 1);
+    digest::set_enabled(false);
+    for _ in 0..WARMUP_BATCHES {
+        for _ in 0..PAIRS {
+            sys.execute(1000);
+            black_box(&sys);
+        }
+    }
+    let mut off_ns = Vec::with_capacity(DIGEST_SAMPLES);
+    let mut on_ns = Vec::with_capacity(DIGEST_SAMPLES);
+    for _ in 0..DIGEST_SAMPLES {
+        let mut off_total = 0u128;
+        let mut on_total = 0u128;
+        for pair in 0..PAIRS {
+            for step in 0..2 {
+                let on = (pair + step) % 2 == 0;
+                digest::set_enabled(on);
+                let t0 = Instant::now();
+                sys.execute(1000);
+                black_box(&sys);
+                let ns = t0.elapsed().as_nanos();
+                if on {
+                    on_total += ns;
+                } else {
+                    off_total += ns;
+                }
+            }
+            digest::set_enabled(false);
+            // Keep the record buffer from growing across the whole bench;
+            // draining is part of the steady-state consumer protocol.
+            black_box(sys.take_digests());
+        }
+        off_ns.push(off_total as f64 / PAIRS as f64);
+        on_ns.push(on_total as f64 / PAIRS as f64);
+    }
+    let stats = |v: &[f64]| {
+        let mut v = v.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        (v[DIGEST_SAMPLES / 2], v[0], v[DIGEST_SAMPLES - 1])
+    };
+    for (name, v) in [
+        ("system_step_1000_digest_base", &off_ns),
+        ("system_step_1000_digest", &on_ns),
+    ] {
+        let (median, min, max) = stats(v);
+        println!("{name:<24} {median:>12.1} ns/iter  (min {min:.1}, max {max:.1}, {DIGEST_SAMPLES} samples x {PAIRS} iters)");
+    }
+    let mut deltas: Vec<f64> = off_ns
+        .iter()
+        .zip(&on_ns)
+        .map(|(off, on)| (on - off) / off * 100.0)
+        .collect();
+    deltas.sort_by(|a, b| a.total_cmp(b));
+    println!("digest_overhead_pct {:.2}", deltas[DIGEST_SAMPLES / 2]);
 }

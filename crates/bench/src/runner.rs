@@ -31,7 +31,8 @@ use std::time::Instant;
 
 use dylect_cpu::PageSizeMode;
 use dylect_sim::{RunReport, SchemeKind, System, SystemConfig};
-use dylect_sim_core::prof;
+use dylect_sim_core::digest::{self, DigestRecord};
+use dylect_sim_core::{blackbox, prof};
 use dylect_workloads::{BenchmarkSpec, CompressionSetting};
 
 use crate::{config_for, warmup_for, Mode};
@@ -187,9 +188,21 @@ impl RunKey {
     /// populates) a shared on-disk snapshot keyed by
     /// [`RunKey::checkpoint_fingerprint`].
     pub fn execute(&self) -> RunReport {
+        self.execute_digests().0
+    }
+
+    /// [`RunKey::execute`] plus the per-window state digests the run
+    /// captured (empty unless `DYLECT_DIGEST=1`). With checkpoint
+    /// warm-starting, digest windows count ops from the resume point, not
+    /// from cold start — the stream is still deterministic per
+    /// configuration, just relative.
+    pub fn execute_digests(&self) -> (RunReport, Vec<DigestRecord>) {
         let cfg = self.config();
         let warmup = warmup_for(&self.spec, self.mode);
         let mut sys = System::new(cfg, &self.spec);
+        if let Ok(Some(at)) = digest::perturb_from_env() {
+            sys.arm_perturb(Some(at));
+        }
         // DYLECT_JOBS also shards within the run: multi-MC configurations
         // drain independent controllers on worker threads. Reports are
         // byte-identical for every worker count.
@@ -197,7 +210,8 @@ impl RunKey {
             sys.set_jobs(jobs);
         }
         let Some(dir) = checkpoint_dir_from_env() else {
-            return sys.run(warmup, self.mode.measure_ops);
+            let report = sys.run(warmup, self.mode.measure_ops);
+            return (report, sys.take_digests());
         };
         let label = self.label();
         let stem = format!(
@@ -214,6 +228,11 @@ impl RunKey {
             let t0 = Instant::now();
             match sys.resume_measurement(&bytes, self.mode.measure_ops) {
                 Ok(report) => {
+                    blackbox::record(
+                        blackbox::EventKind::CheckpointRestore,
+                        bytes.len() as u64,
+                        self.checkpoint_fingerprint(),
+                    );
                     let restore_s = t0.elapsed().as_secs_f64();
                     let saved = match checkpoint_warmup_secs(&dir, &stem) {
                         Some(w) => format!(", saving ~{:.1}s of warmup", (w - restore_s).max(0.0)),
@@ -222,7 +241,7 @@ impl RunKey {
                     eprintln!(
                         "[runner] {label}: warm-started from checkpoint in {restore_s:.1}s{saved}"
                     );
-                    return report;
+                    return (report, sys.take_digests());
                 }
                 // A stale or damaged checkpoint degrades to a cold run; the
                 // failed restore left `sys` unspecified, so rebuild it.
@@ -232,6 +251,9 @@ impl RunKey {
                         ckpt.display()
                     );
                     sys = System::new(self.config(), &self.spec);
+                    if let Ok(Some(at)) = digest::perturb_from_env() {
+                        sys.arm_perturb(Some(at));
+                    }
                     if let Some(jobs) = jobs_from_env() {
                         sys.set_jobs(jobs);
                     }
@@ -245,6 +267,11 @@ impl RunKey {
             let _p = prof::scope(prof::HostPhase::CheckpointWrite);
             match write_bytes_atomically(&ckpt, &snap) {
                 Ok(()) => {
+                    blackbox::record(
+                        blackbox::EventKind::CheckpointSave,
+                        snap.len() as u64,
+                        self.checkpoint_fingerprint(),
+                    );
                     let _ = write_atomically(
                         &dir.join(format!("{stem}.meta")),
                         &format!("warmup_secs={warm_secs:.3}\n"),
@@ -260,17 +287,45 @@ impl RunKey {
         }
         sys.start_measurement();
         sys.execute(self.mode.measure_ops);
-        sys.finish()
+        let report = sys.finish();
+        (report, sys.take_digests())
     }
 
     fn into_job(self) -> Job {
         let label = self.label();
         let cache_name = format!("{}-{:016x}", sanitize(&label), self.fingerprint());
+        let digest_stem = cache_name.clone();
         Job {
             label,
             cache_name: Some(cache_name),
-            work: Box::new(move || self.execute()),
+            work: Box::new(move || {
+                let (report, digests) = self.execute_digests();
+                write_digest_artifact(&digest_stem, &digests);
+                report
+            }),
         }
+    }
+}
+
+/// Writes a run's digest stream next to its report-cache entry as
+/// `<cache-stem>.digest.jsonl` (one flat-JSON record per window), where
+/// `dylect-serve` and `dylect-stats bisect` pick it up. No-op when digest
+/// capture was off; failures degrade to a warning, never to a failed run.
+fn write_digest_artifact(stem: &str, digests: &[DigestRecord]) {
+    if digests.is_empty() {
+        return;
+    }
+    let dir = std::env::var("DYLECT_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results/cache"));
+    let mut body = String::new();
+    for d in digests {
+        body.push_str(&d.to_jsonl_line());
+        body.push('\n');
+    }
+    let path = dir.join(format!("{stem}.digest.jsonl"));
+    if let Err(e) = write_atomically(&path, &body) {
+        eprintln!("[runner] warning: could not write {}: {e}", path.display());
     }
 }
 
@@ -330,12 +385,19 @@ fn telemetry_env_fingerprint() -> String {
     // `DYLECT_PROF` is folded in for symmetry even though profiling cannot
     // change a report: a run executed with profiling on also produces host
     // `.prof.jsonl` artifacts that a cache hit would silently skip.
+    // `DYLECT_DIGEST` likewise: the report is identical with digests on
+    // (asserted by tests/determinism.rs), but a digest-enabled run also
+    // exports a `.digest.jsonl` stream a cache hit would skip. And a
+    // `DYLECT_DIGEST_PERTURB` run is *deliberately corrupted* — its report
+    // must never be served to, or taken from, an unperturbed matrix.
     format!(
-        "span_sample={};shadow={};checkpoint_dir={};prof={}",
+        "span_sample={};shadow={};checkpoint_dir={};prof={};digest={};digest_perturb={}",
         get("DYLECT_SPAN_SAMPLE"),
         get("DYLECT_SHADOW"),
         get("DYLECT_CHECKPOINT_DIR"),
         get("DYLECT_PROF"),
+        get("DYLECT_DIGEST"),
+        get("DYLECT_DIGEST_PERTURB"),
     )
 }
 
@@ -451,11 +513,21 @@ pub fn progress_dir_from_env() -> Option<PathBuf> {
     }
 }
 
+/// Lifecycle of one run as reflected in its progress marker. `Failed` is
+/// terminal too: a marker stuck at `running` after the process exits means
+/// the runner itself died (killed, OOM), not that the job's work panicked.
+#[derive(Clone, Copy, Debug)]
+enum ProgressState {
+    Running,
+    Done(f64),
+    Failed(f64),
+}
+
 /// Writes one run's live-progress marker (a single flat JSON object) under
 /// the progress directory, where `dylect-serve` picks it up for `/runs`
 /// and `/metrics`. Failures degrade to no progress reporting, never to a
 /// failed run.
-fn write_progress(dir: &Option<PathBuf>, label: &str, wid: usize, secs: Option<f64>) {
+fn write_progress(dir: &Option<PathBuf>, label: &str, wid: usize, state: ProgressState) {
     let Some(dir) = dir else { return };
     let escaped: String = label
         .chars()
@@ -465,14 +537,41 @@ fn write_progress(dir: &Option<PathBuf>, label: &str, wid: usize, secs: Option<f
             c => c,
         })
         .collect();
-    let body = match secs {
-        None => format!("{{\"run\":\"{escaped}\",\"state\":\"running\",\"wid\":{wid}}}\n"),
-        Some(s) => {
+    let body = match state {
+        ProgressState::Running => {
+            format!("{{\"run\":\"{escaped}\",\"state\":\"running\",\"wid\":{wid}}}\n")
+        }
+        ProgressState::Done(s) => {
             format!("{{\"run\":\"{escaped}\",\"state\":\"done\",\"wid\":{wid},\"secs\":{s:.3}}}\n")
+        }
+        ProgressState::Failed(s) => {
+            format!(
+                "{{\"run\":\"{escaped}\",\"state\":\"failed\",\"wid\":{wid},\"secs\":{s:.3}}}\n"
+            )
         }
     };
     let path = dir.join(format!("{}.run.json", sanitize(label)));
     let _ = write_atomically(&path, &body);
+}
+
+/// Drop guard around a job's work closure: if the closure panics (unwinds
+/// past the guard), the run's marker flips to its terminal `failed` state
+/// instead of rotting as `running` forever.
+struct FailMarker<'a> {
+    dir: &'a Option<PathBuf>,
+    label: &'a str,
+    wid: usize,
+    t0: Instant,
+    armed: bool,
+}
+
+impl Drop for FailMarker<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let secs = self.t0.elapsed().as_secs_f64();
+            write_progress(self.dir, self.label, self.wid, ProgressState::Failed(secs));
+        }
+    }
 }
 
 /// The parallel, cached experiment runner.
@@ -498,6 +597,12 @@ impl Runner {
             eprintln!("usage: {msg}");
             std::process::exit(2);
         }
+        if let Err(msg) = digest::init_from_env() {
+            eprintln!("usage: {msg}");
+            std::process::exit(2);
+        }
+        // Any crash from here on leaves a flight-recorder dump behind.
+        blackbox::install_panic_hook();
         let jobs = jobs_from_env()
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
         let no_cache = std::env::args().any(|a| a == "--no-cache")
@@ -587,15 +692,39 @@ impl Runner {
                         let (slot, job) =
                             queue_ref[q].lock().unwrap().take().expect("job taken once");
                         eprintln!("[runner] w{wid:02} start {}", job.label);
-                        write_progress(progress_ref, &job.label, wid, None);
+                        write_progress(progress_ref, &job.label, wid, ProgressState::Running);
+                        blackbox::set_label(&job.label);
+                        blackbox::record(
+                            blackbox::EventKind::RunStart,
+                            dylect_sim_core::kv::fingerprint64(&job.label),
+                            wid as u64,
+                        );
                         let t0 = Instant::now();
+                        let mut fail = FailMarker {
+                            dir: progress_ref,
+                            label: &job.label,
+                            wid,
+                            t0,
+                            armed: true,
+                        };
                         let report = (job.work)();
+                        fail.armed = false;
                         let job_secs = t0.elapsed().as_secs_f64();
+                        blackbox::record(
+                            blackbox::EventKind::RunEnd,
+                            dylect_sim_core::kv::fingerprint64(&job.label),
+                            wid as u64,
+                        );
                         if prof::enabled() {
                             let busy = t0.elapsed().as_nanos() as u64;
                             prof::worker_busy(prof::WorkerKind::Runner, wid, busy, 1);
                         }
-                        write_progress(progress_ref, &job.label, wid, Some(job_secs));
+                        write_progress(
+                            progress_ref,
+                            &job.label,
+                            wid,
+                            ProgressState::Done(job_secs),
+                        );
                         let finished = done_ref.fetch_add(1, Ordering::Relaxed) + 1;
                         let wall = started_ref.elapsed().as_secs_f64();
                         eprintln!(
@@ -728,15 +857,53 @@ mod tests {
     fn progress_markers_round_trip_through_flat_json() {
         let dir = std::env::temp_dir().join(format!("dylect-progress-test-{}", std::process::id()));
         let dir_opt = Some(dir.clone());
-        write_progress(&dir_opt, "omnetpp/dylect/high", 2, None);
+        write_progress(&dir_opt, "omnetpp/dylect/high", 2, ProgressState::Running);
         let path = dir.join(format!("{}.run.json", sanitize("omnetpp/dylect/high")));
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"state\":\"running\""), "{text}");
         assert!(text.contains("\"wid\":2"), "{text}");
-        write_progress(&dir_opt, "omnetpp/dylect/high", 2, Some(1.5));
+        write_progress(&dir_opt, "omnetpp/dylect/high", 2, ProgressState::Done(1.5));
         let text = fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"state\":\"done\""), "{text}");
         assert!(text.contains("\"secs\":1.500"), "{text}");
+        write_progress(
+            &dir_opt,
+            "omnetpp/dylect/high",
+            2,
+            ProgressState::Failed(0.25),
+        );
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"state\":\"failed\""), "{text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A job whose work panics must flip its marker to the terminal
+    /// `failed` state — not leave it rotting at `running`, which the serve
+    /// UI would report as live forever.
+    #[test]
+    fn a_panicking_job_leaves_a_failed_marker_not_a_stale_running_one() {
+        let dir = std::env::temp_dir().join(format!("dylect-failmark-test-{}", std::process::id()));
+        let runner = Runner {
+            jobs: 1,
+            cache_dir: None,
+            read_cache: false,
+            progress_dir: Some(dir.clone()),
+        };
+        let jobs = vec![Job {
+            label: "boom".to_owned(),
+            cache_name: None,
+            work: Box::new(|| panic!("injected job failure")),
+        }];
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run_jobs(jobs)));
+        assert!(outcome.is_err(), "the panic propagates to the caller");
+        let text = fs::read_to_string(dir.join("boom.run.json")).unwrap();
+        assert!(text.contains("\"state\":\"failed\""), "{text}");
+        assert!(text.contains("\"run\":\"boom\""), "{text}");
+        assert!(
+            text.contains("\"secs\":"),
+            "terminal markers carry a duration: {text}"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -852,6 +1019,44 @@ mod tests {
             .expect("checkpoint restores");
         assert_eq!(resumed.to_cache_text(), cold.to_cache_text());
         fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression test: a digest-enabled run exports a `.digest.jsonl`
+    /// stream a cache hit would skip, and a perturbed run's report is
+    /// deliberately corrupted — both env vars must perturb the cache
+    /// fingerprint. (This test owns `DYLECT_DIGEST`/`DYLECT_DIGEST_PERTURB`
+    /// mutation in this binary.)
+    #[test]
+    fn fingerprint_tracks_digest_env_vars() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        std::env::remove_var("DYLECT_DIGEST");
+        std::env::remove_var("DYLECT_DIGEST_PERTURB");
+        let base = key.fingerprint();
+        let base_ckpt = key.checkpoint_fingerprint();
+
+        std::env::set_var("DYLECT_DIGEST", "1");
+        let with_digest = key.fingerprint();
+        assert_ne!(with_digest, base, "digest capture changes the key");
+        std::env::set_var("DYLECT_DIGEST_PERTURB", "6400");
+        assert_ne!(
+            key.fingerprint(),
+            with_digest,
+            "perturbation changes it again"
+        );
+        assert_eq!(
+            key.checkpoint_fingerprint(),
+            base_ckpt,
+            "warmup checkpoints stay shared across digest settings"
+        );
+
+        std::env::remove_var("DYLECT_DIGEST");
+        std::env::remove_var("DYLECT_DIGEST_PERTURB");
+        assert_eq!(key.fingerprint(), base, "restoring the env restores it");
     }
 
     #[test]

@@ -139,7 +139,10 @@ pub fn count_request(status: u16) {
 struct RunProgress {
     run: String,
     state: String,
-    wid: f64,
+    /// Worker id, when the marker carries one. `None` renders as `?` —
+    /// defaulting to 0 would silently merge unattributed runs into worker
+    /// 0's row.
+    wid: Option<f64>,
     secs: Option<f64>,
 }
 
@@ -170,7 +173,7 @@ fn read_progress(root: &Path) -> Vec<RunProgress> {
         runs.push(RunProgress {
             run: get_str("run"),
             state: get_str("state"),
-            wid: map.get("wid").and_then(|v| v.as_f64()).unwrap_or(0.0),
+            wid: map.get("wid").and_then(|v| v.as_f64()),
             secs: map.get("secs").and_then(|v| v.as_f64()),
         });
     }
@@ -275,17 +278,40 @@ fn metrics_body(root: &Path) -> String {
             );
         }
     }
-    for state in ["running", "done"] {
+    for state in ["running", "done", "failed"] {
         let n = runs.iter().filter(|r| r.state == state).count();
         let _ = writeln!(out, "dylect_runs_total{{state=\"{state}\"}} {n}");
+    }
+
+    out.push_str(
+        "# HELP dylect_digest_windows State-digest windows recorded per digest artifact.\n",
+    );
+    out.push_str("# TYPE dylect_digest_windows gauge\n");
+    for name in list_artifacts(root) {
+        if !name.ends_with(".digest.jsonl") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(artifact_path(root, &name)) else {
+            continue;
+        };
+        let windows = text
+            .lines()
+            .filter(|l| l.contains("\"digest\": \"window\""))
+            .count();
+        let _ = writeln!(
+            out,
+            "dylect_digest_windows{{artifact=\"{}\"}} {windows}",
+            prom_label(&name)
+        );
     }
     out
 }
 
-/// Resolves an artifact name to its on-disk path: `*.report` files live
-/// in the report cache, everything else in the results root.
+/// Resolves an artifact name to its on-disk path: `*.report` files and
+/// the runner's `*.digest.jsonl` streams live in the report cache,
+/// everything else in the results root.
 fn artifact_path(root: &Path, name: &str) -> PathBuf {
-    if name.ends_with(".report") {
+    if name.ends_with(".report") || name.ends_with(".digest.jsonl") {
         root.join("cache").join(name)
     } else {
         root.join(name)
@@ -308,7 +334,9 @@ pub fn list_artifacts(root: &Path) -> Vec<String> {
             }
         }
     };
-    scan(&root.join("cache"), &|n| n.ends_with(".report"));
+    scan(&root.join("cache"), &|n| {
+        n.ends_with(".report") || n.ends_with(".digest.jsonl")
+    });
     scan(root, &|n| n.ends_with(".jsonl"));
     names.sort();
     names
@@ -349,11 +377,11 @@ pub fn route(root: &Path, method: &str, target: &str) -> Response {
                     Some(s) => format!("{s:.1}"),
                     None => "-".to_owned(),
                 };
-                let _ = writeln!(
-                    body,
-                    "{:<44} {:<8} {:>4} {:>9}",
-                    r.run, r.state, r.wid, secs
-                );
+                let wid = match r.wid {
+                    Some(w) => format!("{w}"),
+                    None => "?".to_owned(),
+                };
+                let _ = writeln!(body, "{:<44} {:<8} {:>4} {:>9}", r.run, r.state, wid, secs);
             }
             Response::new(200, body)
         }
@@ -409,9 +437,29 @@ pub fn route(root: &Path, method: &str, target: &str) -> Response {
                     Err(_) => Response::new(404, format!("no artifact named {name}\n")),
                 };
             }
+            if let Some(name) = path.strip_prefix("/digest/") {
+                if !valid_name(name) {
+                    return Response::new(400, "invalid artifact name\n");
+                }
+                // `/digest/<cache-stem>` and `/digest/<full-name>` both
+                // resolve to the runner's `<stem>.digest.jsonl` stream.
+                let full = if name.ends_with(".digest.jsonl") {
+                    name.to_owned()
+                } else {
+                    format!("{name}.digest.jsonl")
+                };
+                return match std::fs::read_to_string(artifact_path(root, &full)) {
+                    Ok(text) => Response::new(200, text),
+                    Err(_) => Response::new(
+                        404,
+                        format!("no digest stream named {full} (run with DYLECT_DIGEST=1)\n"),
+                    ),
+                };
+            }
             Response::new(
                 404,
-                "routes: /healthz /figures /figure/<name> /diff?a=..&b=.. /runs /metrics\n",
+                "routes: /healthz /figures /figure/<name> /digest/<name> \
+                 /diff?a=..&b=.. /runs /metrics\n",
             )
         }
     }
@@ -656,6 +704,119 @@ mod tests {
         fs::remove_dir_all(&root).ok();
     }
 
+    /// A marker without a `wid` renders as `?`, not as worker 0 — silently
+    /// merging unattributed runs into worker 0's row misreports who ran
+    /// what.
+    #[test]
+    fn runs_route_renders_a_missing_wid_as_unknown_not_worker_zero() {
+        let root = temp_root("widless");
+        fs::create_dir_all(root.join("progress")).unwrap();
+        fs::write(
+            root.join("progress/nowid.run.json"),
+            "{\"run\":\"canneal/tmcc/low\",\"state\":\"done\",\"secs\":3.0}\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("progress/w0.run.json"),
+            "{\"run\":\"canneal/dylect/low\",\"state\":\"done\",\"wid\":0,\"secs\":3.0}\n",
+        )
+        .unwrap();
+        let resp = route(&root, "GET", "/runs");
+        assert_eq!(resp.status, 200);
+        let widless = resp
+            .body
+            .lines()
+            .find(|l| l.contains("canneal/tmcc/low"))
+            .expect("row rendered");
+        assert!(
+            widless.contains('?'),
+            "unattributed wid renders ?: {widless}"
+        );
+        let attributed = resp
+            .body
+            .lines()
+            .find(|l| l.contains("canneal/dylect/low"))
+            .expect("row rendered");
+        assert!(
+            attributed.contains('0'),
+            "real worker 0 still shows: {attributed}"
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// The `failed` terminal state is first-class in both `/runs` text and
+    /// the `/metrics` per-state totals.
+    #[test]
+    fn failed_runs_surface_in_runs_and_metrics() {
+        let root = temp_root("failed");
+        fs::create_dir_all(root.join("progress")).unwrap();
+        fs::write(
+            root.join("progress/f.run.json"),
+            "{\"run\":\"omnetpp/dylect/high\",\"state\":\"failed\",\"wid\":1,\"secs\":0.5}\n",
+        )
+        .unwrap();
+        let runs = route(&root, "GET", "/runs");
+        assert!(runs.body.contains("failed"), "{}", runs.body);
+        let metrics = route(&root, "GET", "/metrics");
+        assert!(
+            metrics
+                .body
+                .contains("dylect_runs_total{state=\"failed\"} 1"),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics
+                .body
+                .contains("dylect_run_state{run=\"omnetpp/dylect/high\",state=\"failed\"} 1"),
+            "{}",
+            metrics.body
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn digest_routes_serve_streams_and_count_windows() {
+        let root = temp_root("digest");
+        let stream = "{\"digest\": \"window\", \"window\": 1, \"ops_retired\": 4096, \
+                      \"core0\": \"00000000000000aa\", \"cache\": \"00000000000000bb\"}\n\
+                      {\"digest\": \"window\", \"window\": 2, \"ops_retired\": 8192, \
+                      \"core0\": \"00000000000000aa\", \"cache\": \"00000000000000bb\"}\n";
+        fs::write(root.join("cache/omnetpp-abc.digest.jsonl"), stream).unwrap();
+
+        // Both addressing forms resolve to the cache-dir stream.
+        let by_stem = route(&root, "GET", "/digest/omnetpp-abc");
+        assert_eq!(by_stem.status, 200);
+        assert_eq!(by_stem.body, stream);
+        let by_name = route(&root, "GET", "/digest/omnetpp-abc.digest.jsonl");
+        assert_eq!(by_name.status, 200, "{}", by_name.body);
+        assert_eq!(route(&root, "GET", "/digest/ghost").status, 404);
+        assert_eq!(route(&root, "GET", "/digest/..").status, 400);
+
+        // Digest streams are listed and fetchable as ordinary artifacts.
+        let figs = route(&root, "GET", "/figures");
+        assert!(
+            figs.body.contains("omnetpp-abc.digest.jsonl"),
+            "{}",
+            figs.body
+        );
+        assert_eq!(
+            route(&root, "GET", "/figure/omnetpp-abc.digest.jsonl").status,
+            200
+        );
+
+        // And /metrics gauges the per-artifact window count.
+        let metrics = route(&root, "GET", "/metrics");
+        assert!(
+            metrics
+                .body
+                .contains("dylect_digest_windows{artifact=\"omnetpp-abc.digest.jsonl\"} 2"),
+            "{}",
+            metrics.body
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
     #[test]
     fn metrics_route_emits_wellformed_prometheus_text() {
         let root = temp_root("metrics");
@@ -764,6 +925,34 @@ mod tests {
         // An oversized request is bounded, not buffered.
         let (status, _) = http_get(&addr, &format!("/{}", "x".repeat(MAX_REQUEST_BYTES))).unwrap();
         assert_eq!(status, 431);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// Raw-socket oversized request: more than 8 KB with *no* header
+    /// terminator at all. The server must still answer `431` with
+    /// `Connection: close` rather than buffering forever or slamming the
+    /// connection shut without a response.
+    #[test]
+    fn oversized_request_without_terminator_gets_431_over_a_raw_socket() {
+        let root = temp_root("raw431");
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_root = root.clone();
+        std::thread::spawn(move || serve(listener, server_root));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // 3x the bound, never a "\r\n\r\n" in sight.
+        let flood = vec![b'a'; MAX_REQUEST_BYTES * 3];
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+        stream.write_all(&flood).unwrap();
+        let mut raw = String::new();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 431 "), "{raw}");
+        assert!(raw.contains("\r\nConnection: close"), "{raw}");
+        assert!(raw.contains("request exceeds 8 KB"), "{raw}");
         fs::remove_dir_all(&root).ok();
     }
 }

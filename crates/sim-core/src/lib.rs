@@ -43,7 +43,9 @@
 //! ```
 
 pub mod addr;
+pub mod blackbox;
 pub mod check;
+pub mod digest;
 pub mod kv;
 pub mod probe;
 pub mod prof;

@@ -314,6 +314,9 @@ impl Drop for Scope {
         let i = self.phase.idx();
         NS[i].fetch_add(ns, Ordering::Relaxed);
         CALLS[i].fetch_add(1, Ordering::Relaxed);
+        // Timed phases also feed the always-armed flight recorder, so a
+        // crash dump interleaves host phases with the sim-event stream.
+        crate::blackbox::record(crate::blackbox::EventKind::HostPhase, i as u64, ns);
         if self.span {
             record_span(self.phase, start, ns);
         }

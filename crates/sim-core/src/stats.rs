@@ -615,6 +615,60 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_empty_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), Time::ZERO);
+        assert_eq!(h.mean(), Time::ZERO, "mean of nothing is zero, not NaN");
+        assert_eq!(h.iter().count(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(q), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn log_histogram_single_sample_pins_every_accessor() {
+        let mut h = LogHistogram::new();
+        h.record_ps(100_000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum().as_ps(), 100_000);
+        assert_eq!(h.mean().as_ps(), 100_000);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets.len(), 1);
+        let (idx, n) = buckets[0];
+        assert_eq!(n, 1);
+        // Every quantile of a one-sample histogram lands in that sample's
+        // bucket, and the reported bound brackets the sample itself.
+        for q in [0.0, 0.25, 1.0] {
+            let p = h.percentile(q).as_ps();
+            assert!(
+                LogHistogram::bucket_lower_ps(idx) <= p && p < LogHistogram::bucket_upper_ps(idx),
+                "percentile({q}) = {p} left the sample's bucket"
+            );
+            assert!(p >= 100_000, "bound must not undershoot the sample");
+        }
+    }
+
+    #[test]
+    fn log_histogram_top_bucket_saturates_under_repetition() {
+        // Repeated max-value samples: the sum saturates at u64::MAX
+        // instead of wrapping, the mean stays within the top bucket, and
+        // percentile upper bounds never overflow past u64::MAX.
+        let mut h = LogHistogram::new();
+        for _ in 0..3 {
+            h.record_ps(u64::MAX);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum().as_ps(), u64::MAX);
+        assert_eq!(h.mean().as_ps(), u64::MAX / 3, "mean of the saturated sum");
+        let top = LogHistogram::index(u64::MAX);
+        assert_eq!(LogHistogram::bucket_upper_ps(top), u64::MAX, "saturated");
+        assert_eq!(h.percentile(1.0).as_ps(), u64::MAX - 1);
+        let buckets: Vec<_> = h.iter().collect();
+        assert_eq!(buckets, vec![(top, 3)]);
+    }
+
+    #[test]
     fn log_histogram_mean_and_quantization_error() {
         let mut h = LogHistogram::new();
         for _ in 0..100 {

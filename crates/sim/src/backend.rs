@@ -11,6 +11,7 @@ use dylect_cache::{CacheConfig, SetAssocCache};
 use dylect_cpu::{BackendOp, MemoryBackend};
 use dylect_dram::{Dram, DramStats, EnergyBreakdown, QueueStats};
 use dylect_memctl::{McResponse, McStats, MemoryScheme, Occupancy};
+use dylect_sim_core::blackbox;
 use dylect_sim_core::probe::{
     AccessComponent, AccessRecord, AccessScope, MemLevel, ProbeHandle, RequestClass, SpanPhase,
     SpanRecord, TranslationPath,
@@ -79,6 +80,22 @@ impl McUnit {
 struct McChunk<'a>(&'a mut [McUnit]);
 
 unsafe impl Send for McChunk<'_> {}
+
+/// Per-component digests of the shared memory side (see
+/// [`SharedMemory::component_digests`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedDigests {
+    /// L3 tags/state + shared cache statistics.
+    pub cache: u64,
+    /// Queued writeback FIFOs across every MC.
+    pub wb_fifos: u64,
+    /// DRAM scheduler state across every MC.
+    pub dram: u64,
+    /// Scheme directory state across every MC.
+    pub scheme: u64,
+    /// Compression occupancy census.
+    pub compression: u64,
+}
 
 /// Everything below the cores' private caches.
 pub struct SharedMemory {
@@ -332,6 +349,11 @@ impl SharedMemory {
         if queued == 0 {
             return;
         }
+        blackbox::record(
+            blackbox::EventKind::DrainWriteback,
+            queued as u64,
+            self.mcs.len() as u64,
+        );
         let _p = prof::scope(prof::HostPhase::DrainWriteback);
         let workers = self.jobs.min(self.mcs.len());
         // Spawning threads for a handful of writebacks costs more than the
@@ -448,6 +470,74 @@ impl SharedMemory {
         self.demand_misses = r.u64()?;
         self.span_seq = r.u64()?;
         Ok(())
+    }
+
+    /// Per-component digests of the shared side, for the state-digest
+    /// audit trail. Each digest hashes exactly the bytes the component
+    /// contributes to [`SharedMemory::write_snapshot`] (same traversal,
+    /// no second serializer), partitioned so a divergence names the
+    /// subsystem that drifted: the L3 + shared stats ("cache"), the
+    /// queued writeback FIFOs ("wb_fifos"), the DRAM schedulers
+    /// ("dram"), the scheme directories ("scheme"), and the
+    /// compression-occupancy census ("compression").
+    pub fn component_digests(&self) -> SharedDigests {
+        use dylect_sim_core::digest::hash_with;
+        let cache = hash_with(|w| {
+            self.l3.write_snapshot(w);
+            self.stats.l3_hits.write_snapshot(w);
+            self.stats.l3_misses.write_snapshot(w);
+            self.stats.l3_miss_latency.write_snapshot(w);
+            self.stats.l3_miss_overhead.write_snapshot(w);
+            w.u64(self.demand_misses);
+            w.u64(self.span_seq);
+        });
+        let wb_fifos = hash_with(|w| {
+            w.seq(self.mcs.len());
+            for mc in &self.mcs {
+                w.seq(mc.pending.len());
+                for pw in &mc.pending {
+                    pw.now.write_snapshot(w);
+                    w.u64(pw.local.raw());
+                }
+            }
+        });
+        let dram = hash_with(|w| {
+            w.seq(self.mcs.len());
+            for mc in &self.mcs {
+                mc.dram.write_snapshot(w);
+            }
+        });
+        let scheme = hash_with(|w| {
+            w.seq(self.mcs.len());
+            for mc in &self.mcs {
+                w.str(mc.scheme.name());
+                mc.scheme.write_snapshot(w);
+            }
+        });
+        let compression = hash_with(|w| {
+            let o = self.occupancy();
+            w.u64(o.ml0_pages);
+            w.u64(o.ml1_pages);
+            w.u64(o.ml2_pages);
+            w.u64(o.free_pages);
+            w.u64(o.free_bytes);
+        });
+        SharedDigests {
+            cache,
+            wb_fifos,
+            dram,
+            scheme,
+            compression,
+        }
+    }
+
+    /// Test-only divergence injector for the bisect smoke: bumps the
+    /// shared L3-miss counter by one, exactly the kind of single-counter
+    /// drift a broken sharding change would introduce. Armed only through
+    /// `DYLECT_DIGEST_PERTURB`; never called in normal operation.
+    #[doc(hidden)]
+    pub fn perturb_l3_miss_counter(&mut self) {
+        self.stats.l3_misses.incr();
     }
 
     /// Emits one mem-scope attribution record for an access that entered

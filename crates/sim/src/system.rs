@@ -4,6 +4,8 @@ use dylect_core::{Dylect, DylectConfig, NaiveDynamic, NaiveDynamicConfig};
 use dylect_cpu::{Core, PageTableLayout};
 use dylect_dram::{Dram, DramConfig};
 use dylect_memctl::{MemoryScheme, NoCompression};
+use dylect_sim_core::blackbox;
+use dylect_sim_core::digest::{self, DigestRecord};
 use dylect_sim_core::probe::ProbeHandle;
 use dylect_sim_core::prof;
 use dylect_sim_core::snap::{
@@ -38,6 +40,21 @@ pub struct System {
     /// Reusable struct-of-arrays arena for the batched run loop; cleared
     /// and refilled each batch so steady-state execution never allocates.
     batch: OpBatch,
+    /// Ops retired while digest capture was enabled — the digest-window
+    /// clock. Not advanced (zero cost) with `DYLECT_DIGEST` off.
+    digest_ops: u64,
+    /// Ops per digest window, snapshotted from [`digest::window_ops`] at
+    /// construction (see [`System::set_digest_window`]).
+    digest_window: u64,
+    /// Digest records captured since the last [`System::take_digests`].
+    digests: Vec<DigestRecord>,
+    /// Test-only divergence injector: op index at which to fire
+    /// [`SharedMemory::perturb_l3_miss_counter`], armed per system via
+    /// [`System::arm_perturb`] (never from global state, so one harness's
+    /// injection cannot contaminate an unrelated concurrent run).
+    perturb_at: Option<u64>,
+    /// Whether the perturbation already fired (it fires at most once).
+    perturb_fired: bool,
 }
 
 /// Ops generated and retired per batch on the fast path. Large enough to
@@ -99,6 +116,11 @@ impl System {
             ops_in_epoch: 0,
             instr_base: 0,
             batch: OpBatch::with_capacity(BATCH_OPS as usize),
+            digest_ops: 0,
+            digest_window: digest::window_ops(),
+            digests: Vec::new(),
+            perturb_at: None,
+            perturb_fired: false,
         }
     }
 
@@ -182,6 +204,11 @@ impl System {
             ops_in_epoch: 0,
             instr_base: 0,
             batch: OpBatch::with_capacity(BATCH_OPS as usize),
+            digest_ops: 0,
+            digest_window: digest::window_ops(),
+            digests: Vec::new(),
+            perturb_at: None,
+            perturb_fired: false,
         }
     }
 
@@ -300,6 +327,8 @@ impl System {
                     self.cores[0].step_soa(&batch, &mut self.shared);
                 }
                 self.shared.drain_pending();
+                blackbox::record(blackbox::EventKind::BatchRetire, n, remaining - n);
+                self.digest_tick(n);
                 remaining -= n;
             }
             self.batch = batch;
@@ -331,6 +360,8 @@ impl System {
             if ops_since_drain >= BATCH_OPS {
                 ops_since_drain = 0;
                 self.shared.drain_pending();
+                blackbox::record(blackbox::EventKind::BatchRetire, BATCH_OPS, 0);
+                self.digest_tick(BATCH_OPS);
             }
             if epoch_ops > 0 {
                 if let Some(clock) = &self.ops_clock {
@@ -345,6 +376,151 @@ impl System {
                     self.sample_telemetry();
                 }
             }
+        }
+        self.shared.drain_pending();
+        self.digest_tick(ops_since_drain);
+    }
+
+    /// Advances the digest-window clock by `n` just-retired ops. Called at
+    /// every drain boundary (each ≤ [`BATCH_OPS`] ops) on both execute
+    /// paths, so batched and per-op runs cross window boundaries at
+    /// identical points. With `DYLECT_DIGEST` off the entire cost is the
+    /// one relaxed load in [`digest::enabled`].
+    #[inline]
+    fn digest_tick(&mut self, n: u64) {
+        if n == 0 || !digest::enabled() {
+            return;
+        }
+        self.digest_tick_slow(n);
+    }
+
+    fn digest_tick_slow(&mut self, n: u64) {
+        let before = self.digest_ops;
+        self.digest_ops += n;
+        self.maybe_perturb(self.digest_ops);
+        if before / self.digest_window < self.digest_ops / self.digest_window {
+            let ops_retired = self.digest_ops;
+            self.capture_digest(ops_retired / self.digest_window, None, ops_retired);
+        }
+    }
+
+    /// Overrides this system's digest window length (ops between window-
+    /// boundary captures). Normally inherited from [`digest::window_ops`]
+    /// at construction; bisection harnesses and tests shrink it for
+    /// resolution. Must be a positive multiple of [`BATCH_OPS`] so both
+    /// execute paths cross boundaries at identical points.
+    pub fn set_digest_window(&mut self, ops: u64) {
+        assert!(
+            ops > 0 && ops.is_multiple_of(BATCH_OPS),
+            "digest window must be a positive multiple of {BATCH_OPS}, got {ops}"
+        );
+        self.digest_window = ops;
+    }
+
+    /// Fires the test-only `DYLECT_DIGEST_PERTURB` divergence injector
+    /// once this system's digest clock reaches the armed op index. Drain
+    /// boundaries are the firing sites, so a perturbation index that is a
+    /// multiple of [`BATCH_OPS`] fires at the same retired-op count on
+    /// the batched, per-op, and op-replay paths.
+    fn maybe_perturb(&mut self, ops_retired: u64) {
+        if self.perturb_fired {
+            return;
+        }
+        let Some(at) = self.perturb_at else {
+            return;
+        };
+        if ops_retired >= at {
+            self.perturb_fired = true;
+            blackbox::record(blackbox::EventKind::PerturbFired, ops_retired, 0);
+            self.shared.perturb_l3_miss_counter();
+        }
+    }
+
+    /// Hashes every state component through its existing `Snapshot`
+    /// traversal and appends one [`DigestRecord`]. Purely observational:
+    /// serializing state mutates nothing, so digest-on runs stay
+    /// byte-identical to digest-off runs.
+    fn capture_digest(&mut self, window: u64, op: Option<u64>, ops_retired: u64) {
+        let core: Vec<u64> = self.cores.iter().map(digest::hash_snapshot).collect();
+        let tlb = digest::hash_with(|w| {
+            for c in &self.cores {
+                c.tlb().write_snapshot(w);
+            }
+        });
+        let shared = self.shared.component_digests();
+        let telemetry = match &self.telemetry {
+            Some(t) => digest::hash_with(|w| t.write_snapshot(w)),
+            None => 0,
+        };
+        let record = DigestRecord {
+            window,
+            op,
+            ops_retired,
+            core,
+            tlb,
+            cache: shared.cache,
+            wb_fifos: shared.wb_fifos,
+            dram: shared.dram,
+            scheme: shared.scheme,
+            compression: shared.compression,
+            telemetry,
+        };
+        // Fold the whole record into one word for the flight recorder.
+        let folded = record
+            .components()
+            .iter()
+            .fold(0u64, |acc, (_, h)| acc.rotate_left(7) ^ h);
+        blackbox::record(blackbox::EventKind::WindowDigest, window, folded);
+        self.digests.push(record);
+    }
+
+    /// Detaches the digest records captured so far (empty unless
+    /// `DYLECT_DIGEST` was enabled while executing).
+    pub fn take_digests(&mut self) -> Vec<DigestRecord> {
+        std::mem::take(&mut self.digests)
+    }
+
+    /// Arms (or disarms, with `None`) the test-only divergence injector
+    /// for **this** system: once its digest clock reaches `at` retired
+    /// ops, one spurious L3-miss count is injected. Arming is per
+    /// instance by design — see [`digest::parse_perturb`].
+    pub fn arm_perturb(&mut self, at: Option<u64>) {
+        self.perturb_at = at;
+        self.perturb_fired = false;
+    }
+
+    /// Executes `ops` memory operations per-op, capturing a full
+    /// [`DigestRecord`] after **every** retired op — the bisection
+    /// replay mode. `base_op` is the absolute retired-op count this call
+    /// starts from (normally a window boundary the caller restored to),
+    /// so record indices line up with the window stream of the original
+    /// run. Retires the identical op stream as [`System::execute`]
+    /// (same drain cadence, same perturbation sites). Orders of magnitude
+    /// slower than `execute`; meant for replaying a single diverging
+    /// window, not full runs. Telemetry epoch sampling is not driven —
+    /// replay systems are built without telemetry.
+    pub fn execute_op_digests(&mut self, ops: u64, base_op: u64) {
+        self.digest_ops = base_op;
+        let mut ops_since_drain = 0u64;
+        for i in 0..ops {
+            let idx = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.time())
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            let op = self.workloads[idx].next_op();
+            self.cores[idx].step(op, &mut self.shared);
+            ops_since_drain += 1;
+            if ops_since_drain >= BATCH_OPS {
+                ops_since_drain = 0;
+                self.shared.drain_pending();
+            }
+            let n = base_op + i + 1;
+            self.digest_ops = n;
+            self.maybe_perturb(n);
+            self.capture_digest(n / self.digest_window, Some(n), n);
         }
         self.shared.drain_pending();
     }
@@ -873,6 +1049,114 @@ mod tests {
             "warmup should promote hot pages"
         );
         assert!(report.mc.cte_hit_rate() > 0.0);
+    }
+    /// Serializes tests that toggle the process-global digest switch.
+    fn digest_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Window length these tests pin (the production default amortizes
+    /// capture cost over 2^20 ops — far too coarse for a unit test).
+    const TEST_WINDOW: u64 = 4_096;
+
+    /// A quick system with digest windows every [`TEST_WINDOW`] ops.
+    fn quick_digest(scheme: SchemeKind) -> System {
+        let mut sys = quick(scheme);
+        sys.set_digest_window(TEST_WINDOW);
+        sys
+    }
+
+    #[test]
+    fn digest_capture_is_off_by_default_and_empty_when_disabled() {
+        let _g = digest_gate();
+        digest::set_enabled(false);
+        let mut sys = quick(SchemeKind::dylect());
+        sys.run(5_000, 5_000);
+        assert!(sys.take_digests().is_empty());
+    }
+
+    #[test]
+    fn digest_windows_agree_between_batched_and_per_op_paths() {
+        let _g = digest_gate();
+        digest::set_enabled(true);
+        // 3 full windows; multiples of BATCH_OPS so both paths tick at
+        // the same retired-op counts.
+        let mut batched = quick_digest(SchemeKind::dylect());
+        batched.run(4_096, 8_192);
+        let d_batched = batched.take_digests();
+        let mut per_op = quick_digest(SchemeKind::dylect());
+        per_op.enable_telemetry(dylect_telemetry::TelemetryConfig::default());
+        per_op.run(4_096, 8_192);
+        let d_per_op = per_op.take_digests();
+        digest::set_enabled(false);
+
+        assert_eq!(d_batched.len(), 3, "12288 ops = 3 windows");
+        assert_eq!(d_batched.len(), d_per_op.len());
+        for (a, b) in d_batched.iter().zip(&d_per_op) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.ops_retired, b.ops_retired);
+            // Telemetry forces the per-op path, so that one component
+            // legitimately differs; every architectural component must not.
+            let strip = |r: &DigestRecord| {
+                r.components()
+                    .into_iter()
+                    .filter(|(name, _)| name != "telemetry")
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strip(a), strip(b), "window {}", a.window);
+        }
+    }
+
+    #[test]
+    fn armed_perturbation_first_diverges_in_the_cache_component() {
+        let _g = digest_gate();
+        digest::set_enabled(true);
+        let run_armed = |at: Option<u64>| {
+            let mut sys = quick_digest(SchemeKind::dylect());
+            sys.arm_perturb(at);
+            sys.run(4_096, 8_192);
+            sys.take_digests()
+        };
+        let base = run_armed(None);
+        let hurt = run_armed(Some(6_400));
+        digest::set_enabled(false);
+
+        assert_eq!(base.len(), hurt.len());
+        // Window 1 closes at op 4096, before the injection: identical.
+        assert_eq!(digest::first_difference(&base[0], &hurt[0]), None);
+        // Window 2 closes at op 8192 and must pin the cache counters.
+        assert_eq!(
+            digest::first_difference(&base[1], &hurt[1]),
+            Some("cache".to_string())
+        );
+    }
+
+    #[test]
+    fn op_replay_names_the_exact_perturbed_op() {
+        let _g = digest_gate();
+        digest::set_enabled(true);
+        let replay = |at: Option<u64>| {
+            let mut sys = quick_digest(SchemeKind::dylect());
+            sys.arm_perturb(at);
+            sys.execute_op_digests(7_000, 0);
+            sys.take_digests()
+        };
+        let base = replay(None);
+        let hurt = replay(Some(6_400));
+        digest::set_enabled(false);
+
+        assert_eq!(base.len(), 7_000);
+        let first = base
+            .iter()
+            .zip(&hurt)
+            .find_map(|(a, b)| digest::first_difference(a, b).map(|c| (a.op, c)))
+            .expect("streams must diverge");
+        assert_eq!(first, (Some(6_400), "cache".to_string()));
+        // Every record from the injection on carries the divergence.
+        for (a, b) in base.iter().zip(&hurt).skip(6_400) {
+            assert!(digest::first_difference(a, b).is_some());
+        }
     }
 }
 

@@ -470,15 +470,170 @@ const USAGE: &str = "usage:
   dylect-stats dump <file>
   dylect-stats summary <file>
   dylect-stats diff <a> <b> [--abs-tol X] [--rel-tol Y]
+  dylect-stats bisect <a.digest.jsonl> <b.digest.jsonl>
   dylect-stats bench-diff <BENCH.json>... [--gate-rel X] [--max-overhead-pct Y]
 
 diff exit codes: 0 identical within tolerance, 1 metric out of tolerance,
 2 usage/IO error, 3 only missing metrics/rows
 
+bisect compares two state-digest streams (window-level `.digest.jsonl` or
+op-level `.opdigest.jsonl`) and reports the first diverging record and the
+first state component inside it. Exit 0 when the streams agree, 1 on a
+divergence, 3 when one stream is a strict prefix of the other
+
 bench-diff prints the bench-history trajectory across the given snapshot
 files (oldest first) and exits 1 if the newest step median regresses past
---gate-rel of the previous one, or if any recorded profiling overhead
-exceeds --max-overhead-pct";
+--gate-rel of the previous one, or if any recorded profiling/digest
+overhead exceeds --max-overhead-pct";
+
+/// The first divergence between two aligned digest streams: record index,
+/// window, op (for op-level streams), diverging component, both hashes.
+#[derive(Debug, PartialEq)]
+struct Divergence {
+    record: usize,
+    window: f64,
+    op: Option<f64>,
+    component: String,
+    a: String,
+    b: String,
+}
+
+/// The state components of one digest row, in divergence-scan order:
+/// per-core digests first (numerically sorted), then the shared-side
+/// components in the order `DigestRecord::components` emits them.
+fn digest_components(row: &BTreeMap<String, FlatValue>) -> Vec<(String, String)> {
+    let mut cores: Vec<(usize, &String)> = row
+        .keys()
+        .filter_map(|k| {
+            k.strip_prefix("core")
+                .and_then(|n| n.parse().ok())
+                .map(|i| (i, k))
+        })
+        .collect();
+    cores.sort();
+    let mut out: Vec<(String, String)> = Vec::with_capacity(cores.len() + 7);
+    let get =
+        |k: &str| -> Option<String> { row.get(k).and_then(|v| v.as_str().map(str::to_owned)) };
+    for (_, k) in cores {
+        if let Some(v) = get(k) {
+            out.push((k.clone(), v));
+        }
+    }
+    for k in [
+        "tlb",
+        "cache",
+        "wb_fifos",
+        "dram",
+        "scheme",
+        "compression",
+        "telemetry",
+    ] {
+        if let Some(v) = get(k) {
+            out.push((k.to_owned(), v));
+        }
+    }
+    out
+}
+
+/// Scans two digest streams in lockstep for the first diverging record.
+/// Rows must align by identity (`window`/`op`); misaligned streams are a
+/// usage error, not a divergence.
+fn first_stream_divergence(
+    rows_a: &[BTreeMap<String, FlatValue>],
+    rows_b: &[BTreeMap<String, FlatValue>],
+) -> Result<Option<Divergence>, String> {
+    let num = |row: &BTreeMap<String, FlatValue>, k: &str| row.get(k).and_then(|v| v.as_f64());
+    for (i, (ra, rb)) in rows_a.iter().zip(rows_b).enumerate() {
+        let (wa, wb) = (num(ra, "window"), num(rb, "window"));
+        let (oa, ob) = (num(ra, "op"), num(rb, "op"));
+        if wa != wb || oa != ob {
+            return Err(format!(
+                "record {i}: streams are misaligned (a: window {wa:?} op {oa:?}, \
+                 b: window {wb:?} op {ob:?}); compare runs of the same configuration"
+            ));
+        }
+        let (ca, cb) = (digest_components(ra), digest_components(rb));
+        if ca.iter().map(|(k, _)| k).ne(cb.iter().map(|(k, _)| k)) {
+            return Err(format!(
+                "record {i}: streams carry different components (core-count mismatch?)"
+            ));
+        }
+        if let Some(((name, va), (_, vb))) =
+            ca.into_iter().zip(cb).find(|((_, va), (_, vb))| va != vb)
+        {
+            return Ok(Some(Divergence {
+                record: i,
+                window: wa.unwrap_or(-1.0),
+                op: oa,
+                component: name,
+                a: va,
+                b: vb,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// `dylect-stats bisect`: loads two digest streams and reports the first
+/// diverging record + component.
+fn bisect(path_a: &str, path_b: &str) -> Result<u8, String> {
+    let jsonl_rows = |path: &str| -> Result<Vec<BTreeMap<String, FlatValue>>, String> {
+        match load(path)? {
+            Parsed::Jsonl(rows) => Ok(rows
+                .into_iter()
+                .filter(|r| r.contains_key("digest"))
+                .collect()),
+            Parsed::Report(_) => Err(format!("{path}: not a digest stream (.jsonl expected)")),
+        }
+    };
+    let rows_a = jsonl_rows(path_a)?;
+    let rows_b = jsonl_rows(path_b)?;
+    if rows_a.is_empty() || rows_b.is_empty() {
+        return Err(format!(
+            "no digest records ({path_a}: {}, {path_b}: {}); run with DYLECT_DIGEST=1",
+            rows_a.len(),
+            rows_b.len()
+        ));
+    }
+    match first_stream_divergence(&rows_a, &rows_b)? {
+        Some(d) => {
+            let at = match d.op {
+                Some(op) => format!("op {op:.0} (window {:.0})", d.window),
+                None => format!("window {:.0}", d.window),
+            };
+            outln!(
+                "first divergence: record {} at {at}, component `{}` ({} vs {})",
+                d.record,
+                d.component,
+                d.a,
+                d.b
+            );
+            let hint = match d.op {
+                Some(_) => "this is the exact first diverging operation",
+                None => {
+                    "re-run both configurations with op-level digests over this window \
+                     (fig_divergence --bisect) to name the exact op"
+                }
+            };
+            outln!("{hint}");
+            Ok(1)
+        }
+        None if rows_a.len() != rows_b.len() => {
+            outln!(
+                "streams agree on all {} shared records, but lengths differ \
+                 ({} vs {})",
+                rows_a.len().min(rows_b.len()),
+                rows_a.len(),
+                rows_b.len()
+            );
+            Ok(3)
+        }
+        None => {
+            outln!("streams are identical across {} records", rows_a.len());
+            Ok(0)
+        }
+    }
+}
 
 /// One parsed `BENCH_*.json` snapshot in the bench-history trajectory.
 struct BenchStep {
@@ -494,7 +649,11 @@ struct BenchStep {
 /// selfprofile), which is the same underlying `system_step_1000_ops`
 /// measurement.
 const MEDIAN_KEYS: [&str; 2] = ["median_ns_per_iter", "baseline_median_ns_per_iter"];
-const OVERHEAD_KEYS: [&str; 2] = ["prof_overhead_pct", "shadow_overhead_pct"];
+const OVERHEAD_KEYS: [&str; 3] = [
+    "prof_overhead_pct",
+    "shadow_overhead_pct",
+    "digest_overhead_pct",
+];
 
 fn load_bench_step(path: &str) -> Result<BenchStep, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -589,20 +748,20 @@ fn bench_diff(
         }
     }
     if let Some(max) = max_overhead {
-        // Only profiling overhead is budgeted; shadow overhead is expected
-        // to be large and is reported, not gated.
+        // Profiling and digest overheads are budgeted; shadow overhead is
+        // expected to be large and is reported, not gated.
         for s in &steps {
-            let has_prof_overhead = s.bench.contains("prof");
-            if let (true, Some(o)) = (has_prof_overhead, s.overhead_pct) {
+            let gated = s.bench.contains("prof") || s.bench.contains("digest");
+            if let (true, Some(o)) = (gated, s.overhead_pct) {
                 if o > max {
                     outln!(
-                        "GATE: {} profiling overhead {o:.2}% exceeds {max:.2}%",
+                        "GATE: {} recorded overhead {o:.2}% exceeds {max:.2}%",
                         s.file
                     );
                     failed = true;
                 } else {
                     outln!(
-                        "overhead ok: {} profiling overhead {o:.2}% <= {max:.2}%",
+                        "overhead ok: {} recorded overhead {o:.2}% <= {max:.2}%",
                         s.file
                     );
                 }
@@ -624,6 +783,7 @@ fn run() -> Result<u8, String> {
             }
             Ok(0)
         }
+        Some("bisect") if args.len() == 3 => bisect(&args[1], &args[2]),
         Some("bench-diff") if args.len() >= 2 => {
             let mut files = Vec::new();
             let mut gate_rel = None;
@@ -773,6 +933,67 @@ mod tests {
         let latency =
             vec![parse_flat_object(r#"{"hist":"latency","scope":"mem","count":1}"#).unwrap()];
         assert!(!prof_summary(&latency));
+    }
+
+    fn digest_row(window: u64, op: Option<u64>, cache: &str) -> BTreeMap<String, FlatValue> {
+        let kind = if op.is_some() { "op" } else { "window" };
+        let op_field = op.map_or(String::new(), |o| format!("\"op\": {o}, "));
+        parse_flat_object(&format!(
+            "{{\"digest\": \"{kind}\", \"window\": {window}, {op_field}\
+             \"ops_retired\": {}, \"core0\": \"00000000000000aa\", \
+             \"tlb\": \"00000000000000bb\", \"cache\": \"{cache}\", \
+             \"wb_fifos\": \"00000000000000cc\", \"dram\": \"00000000000000dd\", \
+             \"scheme\": \"00000000000000ee\", \"compression\": \"00000000000000ff\", \
+             \"telemetry\": \"0000000000000000\"}}",
+            op.unwrap_or(window * 4096),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn bisect_scan_names_the_first_diverging_record_and_component() {
+        let a = vec![
+            digest_row(1, None, "1111111111111111"),
+            digest_row(2, None, "2222222222222222"),
+        ];
+        let same = first_stream_divergence(&a, &a).unwrap();
+        assert_eq!(same, None, "identical streams never diverge");
+
+        let mut b = a.clone();
+        b[1].insert(
+            "cache".to_owned(),
+            parse_flat_object(r#"{"cache": "deaddeaddeaddead"}"#)
+                .unwrap()
+                .remove("cache")
+                .unwrap(),
+        );
+        let d = first_stream_divergence(&a, &b).unwrap().expect("diverges");
+        assert_eq!(d.record, 1);
+        assert_eq!(d.window, 2.0);
+        assert_eq!(d.op, None);
+        assert_eq!(d.component, "cache");
+        assert_eq!(d.a, "2222222222222222");
+        assert_eq!(d.b, "deaddeaddeaddead");
+
+        // Op-level rows surface the exact op index.
+        let oa = vec![digest_row(1, Some(6399), "1111111111111111")];
+        let mut ob = oa.clone();
+        ob[0].insert(
+            "cache".to_owned(),
+            parse_flat_object(r#"{"cache": "deaddeaddeaddead"}"#)
+                .unwrap()
+                .remove("cache")
+                .unwrap(),
+        );
+        let d = first_stream_divergence(&oa, &ob)
+            .unwrap()
+            .expect("diverges");
+        assert_eq!(d.op, Some(6399.0));
+        assert_eq!(d.component, "cache");
+
+        // Misaligned identities are an error, not a divergence.
+        let shifted = vec![digest_row(3, None, "1111111111111111")];
+        assert!(first_stream_divergence(&a, &shifted).is_err());
     }
 
     #[test]

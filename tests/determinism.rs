@@ -374,6 +374,116 @@ fn host_profiling_never_leaks_into_reports_or_exports() {
 }
 
 #[test]
+fn zero_op_snapshot_round_trips_and_resumes_exactly() {
+    // Degenerate checkpoint: snapshot after *zero* warmup ops. The wire
+    // format must still round-trip through SnapReader (cold caches, empty
+    // FIFOs, zeroed stats), and resuming the measurement from it must be
+    // byte-identical to a straight run with no warmup.
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let build = || {
+        let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+        System::new(cfg, &spec)
+    };
+    let snap = build().warm_up_and_snapshot(0);
+    assert!(!snap.is_empty(), "zero-op snapshot still carries state");
+    let r_resumed = build()
+        .resume_measurement(&snap, mode.measure_ops)
+        .expect("zero-op snapshot restores");
+    let r_straight = build().run(0, mode.measure_ops);
+    assert_eq!(
+        r_straight.to_cache_text(),
+        r_resumed.to_cache_text(),
+        "zero-op resume differs from a straight no-warmup run"
+    );
+}
+
+#[test]
+fn state_digests_never_leak_into_reports_or_exports() {
+    // Digest capture hashes every state component through its `Snapshot`
+    // traversal at window boundaries — reads only, so running with
+    // digests armed must be byte-identical to running with them off, in
+    // the report cache text AND in every exported telemetry artifact
+    // (.jsonl, .shadow.jsonl), for all three compressing schemes and for
+    // every drain worker count. The window is shrunk per system so the
+    // tiny runs actually cross boundaries (the capture path runs, not
+    // just the tick), and capture is toggled programmatically (not via
+    // DYLECT_DIGEST) so the test owns no environment state.
+    use dylect_sim_core::digest;
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let telemetry_cfg = dylect_telemetry::TelemetryConfig {
+        shadow: true,
+        span_sample: 16,
+        ..dylect_telemetry::TelemetryConfig::default()
+    };
+    let export = |mut sys: System, tag: &str| -> Vec<(String, String)> {
+        let telemetry = sys.take_telemetry().expect("enabled");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-digest-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("omnetpp"))
+            .expect("export writes");
+        let contents = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    for scheme in [
+        SchemeKind::tmcc(),
+        SchemeKind::dylect(),
+        SchemeKind::NaiveDynamic,
+    ] {
+        for jobs in [1usize, 3] {
+            let label = format!("{}/jobs={jobs}", scheme.label());
+            let run_with = |digest_on: bool, tag: &str| {
+                let mut cfg = SystemConfig::quick(&spec, scheme.clone(), CompressionSetting::High);
+                cfg.memory_controllers = 2;
+                let mut sys = System::new(cfg, &spec);
+                sys.set_digest_window(4096);
+                sys.set_jobs(jobs);
+                sys.enable_telemetry(telemetry_cfg);
+                digest::set_enabled(digest_on);
+                let report = sys.run(mode.warmup_ops, mode.measure_ops);
+                digest::set_enabled(false);
+                let digests = sys.take_digests();
+                if digest_on {
+                    assert!(
+                        !digests.is_empty(),
+                        "{label}: no windows captured — the pin would be vacuous"
+                    );
+                } else {
+                    assert!(digests.is_empty(), "{label}: captured while disabled");
+                }
+                (report.to_cache_text(), export(sys, tag))
+            };
+            let (r_off, e_off) = run_with(false, &format!("off-{jobs}-{}", scheme.label()));
+            let (r_on, e_on) = run_with(true, &format!("on-{jobs}-{}", scheme.label()));
+            assert_eq!(
+                r_off, r_on,
+                "{label}: digests changed the report cache text"
+            );
+            assert_eq!(e_off.len(), e_on.len(), "{label}: export sets differ");
+            for ((name_a, body_a), (name_b, body_b)) in e_off.iter().zip(&e_on) {
+                assert_eq!(name_a, name_b, "{label}");
+                assert_eq!(
+                    body_a, body_b,
+                    "{label}: {name_a} differs with digests armed"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn attribution_conserves_cycles_for_every_scheme() {
     // Aggregate conservation: for each scheme and each scope, the summed
     // per-component cycle totals must equal the summed end-to-end latency

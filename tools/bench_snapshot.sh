@@ -8,6 +8,7 @@
 #   $3  batched-loop snapshot (default BENCH_batched.json)
 #   $4  checkpoint snapshot   (default BENCH_checkpoint.json)
 #   $5  self-profile snapshot (default BENCH_selfprofile.json)
+#   $6  state-digest snapshot (default BENCH_digest.json)
 #
 # Every named snapshot is written or the script fails loudly — a missing
 # bench line is a harness regression, not a skippable condition.
@@ -24,6 +25,7 @@ SHADOW_OUT="${2:-BENCH_shadow.json}"
 BATCHED_OUT="${3:-BENCH_batched.json}"
 CHECKPOINT_OUT="${4:-BENCH_checkpoint.json}"
 PROF_OUT="${5:-BENCH_selfprofile.json}"
+DIGEST_OUT="${6:-BENCH_digest.json}"
 
 # The pre-batching baseline comes from the *committed* shadow snapshot
 # (falling back to the working-tree copy): this run refreshes the file,
@@ -36,7 +38,7 @@ FROZEN=$( (git show HEAD:BENCH_shadow.json 2>/dev/null \
 
 echo "== cargo bench --offline --bench micro (end_to_end)" >&2
 RAW=$(cargo bench --offline --bench micro 2>&1 | tee /dev/stderr \
-    | grep -E "system_(step|restore)_1000|^prof_(phase|overhead_pct) ")
+    | grep -E "system_(step|restore)_1000|^prof_(phase|overhead_pct) |^digest_overhead_pct ")
 BASE=$(echo "$RAW" | grep "system_step_1000_ops")
 SHADOW=$(echo "$RAW" | grep "system_step_1000_shadow" || true)
 
@@ -168,3 +170,28 @@ $PHASES
 }
 JSON
 echo "bench_snapshot: wrote $PROF_OUT (prof median $PROF_MEDIAN ns/iter, overhead ${PROF_OVERHEAD}%)"
+
+# State-digest snapshot: `system_step_1000_digest` is the batched step
+# loop with the digest window clock armed at the default window length,
+# against an interleaved digest-off baseline (each on-side sample spans
+# more than one window, so the median includes the amortized full-state
+# capture cost). Budgeted at <2% by the same bench-diff gate as the
+# profiler.
+DIGEST=$(parse "$(echo "$RAW" | grep "system_step_1000_digest " || true)" digest)
+DIGEST_BASE=$(parse "$(echo "$RAW" | grep "system_step_1000_digest_base" || true)" base)
+DIGEST_OVERHEAD=$(echo "$RAW" | sed -n 's/^digest_overhead_pct \(-\{0,1\}[0-9.]*\)$/\1/p' | head -1)
+if [ -z "$DIGEST" ] || [ -z "$DIGEST_BASE" ] || [ -z "$DIGEST_OVERHEAD" ]; then
+    echo "bench_snapshot: no system_step_1000_digest lines; cannot write $DIGEST_OUT" >&2
+    exit 1
+fi
+
+cat > "$DIGEST_OUT" <<JSON
+{
+  "bench": "system_step_1000_digest",
+  "median_ns_per_iter": $DIGEST,
+  "baseline_median_ns_per_iter": $DIGEST_BASE,
+  "digest_overhead_pct": $DIGEST_OVERHEAD,
+  "git_rev": "$GIT_REV"
+}
+JSON
+echo "bench_snapshot: wrote $DIGEST_OUT (digest median $DIGEST ns/iter, overhead ${DIGEST_OVERHEAD}%)"

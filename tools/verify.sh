@@ -130,13 +130,73 @@ grep -q "^execute_per_op " "$SMOKE/sp-summary.out" \
     || { echo "selfprofile smoke: prof summary did not render phases"; exit 1; }
 echo "selfprofile smoke: OK"
 
+echo "== digest smoke: digest-on exports stay byte-identical to digest-off"
+# Re-run the first telemetry smoke's workload with state-digest capture
+# armed at a fine window: every deterministic export must not move by a
+# byte (digests are write-only observability).
+DYLECT_DIGEST=4096 \
+    DYLECT_SPAN_SAMPLE=64 DYLECT_QUICK=1 DYLECT_JOBS=2 \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin fig_latency_breakdown -- --out "$SMOKE/dig" >/dev/null
+for f in "$SMOKE"/a/*.jsonl; do
+    cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
+        diff "$f" "$SMOKE/dig/$(basename "$f")" >/dev/null \
+        || { echo "digest smoke: $(basename "$f") changed with digests on"; exit 1; }
+done
+# A cache-backed matrix run (fig_latency_breakdown bypasses the report
+# cache) must leave a .digest.jsonl stream with at least one window
+# record next to each report entry.
+DCACHE="$SMOKE/dcache"
+DYLECT_DIGEST=4096 DYLECT_CACHE_DIR="$DCACHE" DYLECT_QUICK=1 DYLECT_JOBS=2 \
+    cargo run -q --offline --release -p dylect-bench \
+    --bin ablation_multimc >/dev/null
+DIGEST_STREAM=$(ls "$DCACHE"/*.digest.jsonl 2>/dev/null | head -1)
+[ -n "$DIGEST_STREAM" ] \
+    || { echo "digest smoke: no .digest.jsonl stream in the cache dir"; exit 1; }
+grep -q '"digest": "window"' "$DIGEST_STREAM" \
+    || { echo "digest smoke: stream has no window records"; exit 1; }
+echo "digest smoke: OK"
+
+echo "== bisect smoke: first-divergence bisection localizes an injected fault"
+# fig_divergence --bisect injects one spurious L3-miss count at op 6400
+# (inside digest window 2 at its 4096-op window) and must localize it
+# from the digest streams alone: first to the window, then via op-level
+# replay to the exact op and component; the always-on flight recorder
+# must dump a non-empty ring on the mismatch. dylect-stats bisect must
+# reach the same verdict from the artifacts with its documented exit
+# codes (1 = divergence, 0 = identical).
+DIV="$SMOKE/divergence"
+DYLECT_QUICK=1 cargo run -q --offline --release -p dylect-bench \
+    --bin fig_divergence -- --bisect --out "$DIV" > "$SMOKE/bisect.out" \
+    || { echo "bisect smoke: fig_divergence --bisect failed"; cat "$SMOKE/bisect.out"; exit 1; }
+grep -q "first diverging window: 2 (component cache)" "$SMOKE/bisect.out" \
+    || { echo "bisect smoke: wrong or missing window verdict"; cat "$SMOKE/bisect.out"; exit 1; }
+grep -q "first diverging op: 6400 (component cache)" "$SMOKE/bisect.out" \
+    || { echo "bisect smoke: wrong or missing op verdict"; cat "$SMOKE/bisect.out"; exit 1; }
+DUMP=$(sed -n 's/^flight recorder dumped to //p' "$SMOKE/bisect.out")
+[ -n "$DUMP" ] && [ -s "$DUMP" ] \
+    || { echo "bisect smoke: flight recorder dump missing or empty"; exit 1; }
+grep -q '"kind": "digest_mismatch"' "$DUMP" \
+    || { echo "bisect smoke: dump lacks the digest_mismatch event"; exit 1; }
+STATS="cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats --"
+RC=0
+$STATS bisect "$DIV/bisect-base.digest.jsonl" "$DIV/bisect-perturbed.digest.jsonl" \
+    > "$SMOKE/bisect-stats.out" || RC=$?
+[ "$RC" = 1 ] || { echo "bisect smoke: dylect-stats bisect exit $RC, want 1"; exit 1; }
+grep -q 'component `cache`' "$SMOKE/bisect-stats.out" \
+    || { echo "bisect smoke: dylect-stats bisect named the wrong component"; exit 1; }
+$STATS bisect "$DIV/bisect-base.digest.jsonl" "$DIV/bisect-base.digest.jsonl" >/dev/null \
+    || { echo "bisect smoke: identical streams must exit 0"; exit 1; }
+echo "bisect smoke: OK"
+
 echo "== bench-diff gate: committed BENCH trajectory within budgets"
 # The committed bench-history registry, oldest snapshot first. Gates: the
 # newest median step must not regress >25% over its predecessor, and any
-# self-profiling snapshot must show <2% armed overhead.
+# self-profiling or state-digest snapshot must show <2% armed overhead.
 cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
     bench-diff BENCH_latency_attrib.json BENCH_telemetry.json \
     BENCH_batched.json BENCH_checkpoint.json BENCH_selfprofile.json \
+    BENCH_digest.json \
     --gate-rel 0.25 --max-overhead-pct 2.0 \
     || { echo "bench-diff gate: trajectory breached a budget"; exit 1; }
 echo "bench-diff gate: OK"
@@ -149,12 +209,13 @@ echo "== serve smoke: dylect-serve answers healthz, figure, and diff"
 # and a missing artifact (must be a non-200 status).
 SERVE_BIN=target/release/dylect-serve
 WWW="$SMOKE/www"
-mkdir -p "$WWW"
+mkdir -p "$WWW/cache"
 cp "$SMOKE"/a/*.jsonl "$WWW/"
+cp "$DCACHE"/*.digest.jsonl "$WWW/cache/"
 DYLECT_SERVE_ADDR=127.0.0.1:0 DYLECT_PROF=1 "$SERVE_BIN" "$WWW" \
     > "$SMOKE/serve.out" 2>/dev/null &
 SERVE_PID=$!
-trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SMOKE"' EXIT
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 for _ in $(seq 50); do
     grep -q "^listening on " "$SMOKE/serve.out" && break
     sleep 0.1
@@ -189,7 +250,17 @@ grep -q 'dylect_prof_phase_ns_total{phase="serve_request"}' "$SMOKE/metrics.out"
     || { echo "serve smoke: /metrics missing serve_request phase"; exit 1; }
 "$SERVE_BIN" get "http://$ADDR/runs" >/dev/null \
     || { echo "serve smoke: /runs failed"; exit 1; }
-kill "$SERVE_PID" 2>/dev/null
+# /digest/<cache-stem> must serve the runner's digest stream byte-for-byte
+# (suffix optional), and /metrics must count its windows.
+DSTREAM=$(ls "$WWW"/cache/*.digest.jsonl | head -1)
+DSTEM=$(basename "$DSTREAM" .digest.jsonl)
+"$SERVE_BIN" get "http://$ADDR/digest/$DSTEM" > "$SMOKE/digest.out" \
+    || { echo "serve smoke: /digest/$DSTEM failed"; exit 1; }
+cmp -s "$SMOKE/digest.out" "$DSTREAM" \
+    || { echo "serve smoke: /digest/$DSTEM differs from on-disk stream"; exit 1; }
+grep -q "dylect_digest_windows{artifact=\"$DSTEM.digest.jsonl\"}" "$SMOKE/metrics.out" \
+    || { echo "serve smoke: /metrics missing dylect_digest_windows gauge"; exit 1; }
+kill "$SERVE_PID" 2>/dev/null || true
 echo "serve smoke: OK"
 
 echo "verify: OK"
