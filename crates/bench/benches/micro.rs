@@ -185,6 +185,21 @@ fn bench_end_to_end() {
         });
     }
 
+    // Two-tenant co-schedule: one ASID-tagged core per tenant driving the
+    // same memory side. The delta against `system_step_1000_ops` is the
+    // cost of multi-core scheduling plus the second trace generator
+    // (tools/bench_snapshot.sh records it in BENCH_scenario.json).
+    let scenario =
+        dylect_scenario::ScenarioSpec::parse("tenants=omnetpp,canneal").expect("valid spec");
+    let base = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let cfg = scenario.configure(base, CompressionSetting::High);
+    let mut sys = scenario.build_system(cfg);
+    sys.run(50_000, 1);
+    bench("system_step_1000_tenants", 50, || {
+        sys.execute(1000);
+        black_box(&sys);
+    });
+
     // Checkpoint restore cost: snapshot the warmed system once, then each
     // iteration rewinds to that snapshot and advances the same 1000 ops.
     // The delta against `system_step_1000_ops` is the per-resume restore

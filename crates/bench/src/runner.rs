@@ -67,6 +67,8 @@ pub struct RunKey {
     pub dram_bytes_factor: u64,
     /// Memory-controller count override (the §IV-D multi-MC ablation).
     pub memory_controllers: Option<usize>,
+    /// 2D nested page walks (the virtualization scenario axis).
+    pub nested: bool,
 }
 
 impl RunKey {
@@ -86,6 +88,7 @@ impl RunKey {
             dram_ranks: None,
             dram_bytes_factor: 1,
             memory_controllers: None,
+            nested: false,
         }
     }
 
@@ -108,6 +111,12 @@ impl RunKey {
         self
     }
 
+    /// Turns on 2D nested page walks (guest → host → machine-physical).
+    pub fn with_nested(mut self) -> RunKey {
+        self.nested = true;
+        self
+    }
+
     /// Human-readable run label for progress lines and cache file names.
     pub fn label(&self) -> String {
         let mut l = format!(
@@ -127,6 +136,9 @@ impl RunKey {
         if let Some(m) = self.memory_controllers {
             l.push_str(&format!("/{m}mc"));
         }
+        if self.nested {
+            l.push_str("/nested");
+        }
         l
     }
 
@@ -142,6 +154,7 @@ impl RunKey {
         if let Some(m) = self.memory_controllers {
             cfg.memory_controllers = m;
         }
+        cfg.core.nested_walk |= self.nested;
         cfg.dram_bytes *= self.dram_bytes_factor;
         cfg
     }
@@ -390,14 +403,18 @@ fn telemetry_env_fingerprint() -> String {
     // exports a `.digest.jsonl` stream a cache hit would skip. And a
     // `DYLECT_DIGEST_PERTURB` run is *deliberately corrupted* — its report
     // must never be served to, or taken from, an unperturbed matrix.
+    // `DYLECT_SCENARIO` changes the simulation outright (tenant mix,
+    // nested walks, events), so a scenario entry must never collide with
+    // a plain one.
     format!(
-        "span_sample={};shadow={};checkpoint_dir={};prof={};digest={};digest_perturb={}",
+        "span_sample={};shadow={};checkpoint_dir={};prof={};digest={};digest_perturb={};scenario={}",
         get("DYLECT_SPAN_SAMPLE"),
         get("DYLECT_SHADOW"),
         get("DYLECT_CHECKPOINT_DIR"),
         get("DYLECT_PROF"),
         get("DYLECT_DIGEST"),
         get("DYLECT_DIGEST_PERTURB"),
+        get("DYLECT_SCENARIO"),
     )
 }
 
@@ -1057,6 +1074,33 @@ mod tests {
         std::env::remove_var("DYLECT_DIGEST");
         std::env::remove_var("DYLECT_DIGEST_PERTURB");
         assert_eq!(key.fingerprint(), base, "restoring the env restores it");
+    }
+
+    /// Regression test: a scenario run simulates a different machine
+    /// (tenant mix, nested walks, events), so `DYLECT_SCENARIO` must
+    /// perturb the cache fingerprint; and the nested-walk key override
+    /// must never share an entry with the flat run. (This test owns
+    /// `DYLECT_SCENARIO` mutation in this binary.)
+    #[test]
+    fn fingerprint_tracks_scenario_env_and_nested_override() {
+        let key = RunKey::new(
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            SchemeKind::dylect(),
+            CompressionSetting::High,
+            Mode::quick(),
+        );
+        std::env::remove_var("DYLECT_SCENARIO");
+        let base = key.fingerprint();
+
+        std::env::set_var("DYLECT_SCENARIO", "tenants=omnetpp,mcf");
+        assert_ne!(key.fingerprint(), base, "a scenario changes the key");
+        std::env::remove_var("DYLECT_SCENARIO");
+        assert_eq!(key.fingerprint(), base, "restoring the env restores it");
+
+        let nested = key.clone().with_nested();
+        assert_ne!(nested.fingerprint(), base, "2D walks change the key");
+        assert!(nested.label().ends_with("/nested"));
+        assert!(nested.config().core.nested_walk);
     }
 
     #[test]

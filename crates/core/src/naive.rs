@@ -516,6 +516,14 @@ impl MemoryScheme for NaiveDynamic {
         }
     }
 
+    fn apply_pressure(&mut self, now: Time, extra_free_pages: u64, dram: &mut Dram) {
+        let target = self
+            .store
+            .free_target_pages()
+            .saturating_add(extra_free_pages);
+        self.maintain_free(now, target, dram);
+    }
+
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
     }

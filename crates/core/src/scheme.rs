@@ -623,6 +623,20 @@ impl MemoryScheme for Dylect {
         self.counters.set_sample_rate(rate);
     }
 
+    fn apply_pressure(&mut self, now: Time, extra_free_pages: u64, dram: &mut Dram) {
+        // Ballooning: raise the free target past the steady-state floor and
+        // let the normal maintenance loop demote/compact until it is met
+        // (or until its per-call guard trips; repeated events keep
+        // squeezing). Runs through the same compaction machinery as
+        // steady-state maintenance, so events show up as compaction bursts
+        // in the stats and probe stream.
+        let target = self
+            .store
+            .free_target_pages()
+            .saturating_add(extra_free_pages);
+        self.maintain_free(now, target, dram);
+    }
+
     fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
     }

@@ -71,6 +71,10 @@ pub struct CoreConfig {
     pub l2_tlb_penalty_cycles: u32,
     /// Page size the OS maps the workload with.
     pub page_mode: PageSizeMode,
+    /// Virtualized (2D) page walks: every guest page-table access and the
+    /// data page itself need a host translation, served by the walker's
+    /// nested cache or a host-table read.
+    pub nested_walk: bool,
 }
 
 impl CoreConfig {
@@ -89,6 +93,7 @@ impl CoreConfig {
             l2_hit_latency: Time::from_ns(5.0),
             l2_tlb_penalty_cycles: 7,
             page_mode: PageSizeMode::Huge2M,
+            nested_walk: false,
         }
     }
 
@@ -143,6 +148,17 @@ pub struct Core {
     last_completion: Time,
     stats: CoreStats,
     probe: ProbeHandle,
+    /// Address-space identifier tagged into every TLB entry (0 = the
+    /// untagged single-process default).
+    asid: u16,
+    /// Machine-physical base of this core's address space in bytes (0 for
+    /// a single tenant). Local (guest-physical) addresses are offset by
+    /// this before leaving the core.
+    phys_base: u64,
+    /// First machine-physical page this core may touch.
+    phys_first_page: u64,
+    /// One past the last machine-physical page this core may touch.
+    phys_page_limit: u64,
 }
 
 impl Core {
@@ -167,6 +183,10 @@ impl Core {
                 u32::MAX
             },
             rob_window: cfg.cycle() * (cfg.rob / cfg.width) as u64,
+            asid: 0,
+            phys_base: 0,
+            phys_first_page: 0,
+            phys_page_limit: layout.total_os_pages(),
             cfg,
             layout,
         }
@@ -176,6 +196,21 @@ impl Core {
     /// a core-scope latency-attribution record.
     pub fn set_probe(&mut self, probe: ProbeHandle) {
         self.probe = probe;
+    }
+
+    /// Places this core's address space: TLB entries are tagged with
+    /// `asid` and every address leaving the core is offset by `phys_base`
+    /// bytes. `(0, 0)` is the single-tenant default and changes nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_base` is not page-aligned.
+    pub fn set_address_space(&mut self, asid: u16, phys_base: u64) {
+        assert_eq!(phys_base % dylect_sim_core::PAGE_BYTES, 0, "page-aligned");
+        self.asid = asid;
+        self.phys_base = phys_base;
+        self.phys_first_page = phys_base / dylect_sim_core::PAGE_BYTES;
+        self.phys_page_limit = self.phys_first_page + self.layout.total_os_pages();
     }
 
     /// The core's current local time.
@@ -191,6 +226,11 @@ impl Core {
     /// The TLB (for miss-rate reporting).
     pub fn tlb(&self) -> &Tlb {
         &self.tlb
+    }
+
+    /// The page walker (for nested-walk reporting).
+    pub fn walker(&self) -> &PageWalker {
+        &self.walker
     }
 
     /// Resets statistics after warmup without touching cache contents.
@@ -283,20 +323,24 @@ impl Core {
         let issue = self.time;
 
         // Address translation.
-        let translated_at = match self.tlb.lookup(op.vaddr, self.cfg.page_mode) {
+        let translated_at = match self
+            .tlb
+            .lookup_asid(op.vaddr, self.cfg.page_mode, self.asid)
+        {
             TlbOutcome::L1Hit => issue,
             TlbOutcome::L2Hit => issue + cycle * self.cfg.l2_tlb_penalty_cycles as u64,
             TlbOutcome::Miss => {
                 let done = self.do_walk(issue, op.vaddr, backend);
-                self.tlb.fill(op.vaddr, self.cfg.page_mode);
+                self.tlb.fill_asid(op.vaddr, self.cfg.page_mode, self.asid);
                 self.stats.walk_time += done - issue;
                 done
             }
         };
 
         // Virtual-to-physical is identity in this simulator (DESIGN.md):
-        // translation *cost* is modeled, the mapping itself is 1:1.
-        let phys = PhysAddr::new(op.vaddr.raw());
+        // translation *cost* is modeled, the mapping itself is 1:1. Tenants
+        // are placed side by side in machine-physical space by `phys_base`.
+        let phys = PhysAddr::new(self.phys_base + op.vaddr.raw());
         let done = self.mem_access(translated_at, phys, op.write, backend);
 
         if PROBE {
@@ -362,17 +406,38 @@ impl Core {
         let plan = self.walker.walk(vaddr, self.cfg.page_mode, &self.layout);
         let mut t = now;
         for addr in plan {
-            // Walker reads go through L2 (not L1), then the shared backend.
-            let key = self.l2.key_of(addr.raw());
-            if self.l2.access(key) {
-                t += self.cfg.l2_hit_latency;
-            } else {
-                let done = backend.access(t, addr, BackendOp::PageWalk);
-                self.fill_l2(addr, false, backend, done);
-                t = done;
-            }
+            t = self.walk_read(t, addr, backend);
+        }
+        // In a 2D walk the data page's own guest-physical address needs a
+        // host translation before the TLB can cache vaddr → machine
+        // physical. No-op (and no cost) for a non-nested layout.
+        if let Some(host) = self
+            .walker
+            .host_translate(PhysAddr::new(vaddr.raw()), &self.layout)
+        {
+            t = self.walk_read(t, host, backend);
         }
         t
+    }
+
+    /// One page-walk read: through L2 (not L1), then the shared backend.
+    /// `addr` is local (guest-physical); the machine-physical offset is
+    /// applied here.
+    fn walk_read<B: MemoryBackend + ?Sized>(
+        &mut self,
+        now: Time,
+        addr: PhysAddr,
+        backend: &mut B,
+    ) -> Time {
+        let addr = PhysAddr::new(self.phys_base + addr.raw());
+        let key = self.l2.key_of(addr.raw());
+        if self.l2.access(key) {
+            now + self.cfg.l2_hit_latency
+        } else {
+            let done = backend.access(now, addr, BackendOp::PageWalk);
+            self.fill_l2(addr, false, backend, done);
+            done
+        }
     }
 
     /// Data access through L1 → L2 → backend with write-allocate and
@@ -451,8 +516,9 @@ impl Core {
         addr: PhysAddr,
         backend: &mut B,
     ) {
-        // Never prefetch beyond the OS-visible range.
-        if addr.page().index() >= self.layout.total_os_pages() {
+        // Never prefetch beyond this core's OS-visible range.
+        let page = addr.page().index();
+        if page < self.phys_first_page || page >= self.phys_page_limit {
             return;
         }
         let key = self.l2.key_of(addr.raw());
@@ -465,7 +531,8 @@ impl Core {
 }
 
 // Configuration and derived fields (cfg, cycle, width_shift, rob_window,
-// layout) are construction state; the probe handle is reinstalled by the
+// layout, asid, phys_base and the derived page bounds) are construction
+// state; the probe handle is reinstalled by the
 // owner. Note `outstanding` may legitimately be non-empty at a snapshot
 // boundary — in-flight miss completions are part of the interval model's
 // timing state and must round-trip.
@@ -678,6 +745,63 @@ mod tests {
         c.step(MemOp::load(VirtAddr::new(0x10_0000), 0), &mut b);
         assert!(b.log.iter().any(|(_, op)| *op == BackendOp::PageWalk));
         assert!(c.stats().walk_time > Time::ZERO);
+    }
+
+    #[test]
+    fn nested_walks_cost_more_walk_time() {
+        let run = |nested: bool| {
+            let cfg = CoreConfig {
+                nested_walk: nested,
+                page_mode: PageSizeMode::Standard4K,
+                ..CoreConfig::paper()
+            };
+            let layout = if nested {
+                PageTableLayout::nested(1 << 18)
+            } else {
+                PageTableLayout::new(1 << 18)
+            };
+            let mut c = Core::new(cfg, layout);
+            let mut b = FixedBackend::new(60.0);
+            let mut x = 999u64;
+            for _ in 0..20_000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let page = (x >> 33) % (1 << 18);
+                c.step(MemOp::load(VirtAddr::new(page * 4096), 2), &mut b);
+            }
+            c.drain();
+            (c.stats().walk_time, c.walker().stats().host_reads.get())
+        };
+        let (t_flat, host_flat) = run(false);
+        let (t_nested, host_nested) = run(true);
+        assert_eq!(host_flat, 0);
+        assert!(host_nested > 0, "2D walks must read the host table");
+        assert!(
+            t_nested > t_flat,
+            "nested {t_nested} should exceed flat {t_flat}"
+        );
+    }
+
+    #[test]
+    fn address_space_offsets_all_backend_traffic() {
+        let layout = PageTableLayout::new(1 << 16);
+        let span = layout.total_os_pages() * 4096;
+        let base = span.next_multiple_of(4096 * 512);
+        let mut c = Core::new(CoreConfig::paper(), layout);
+        c.set_address_space(3, base);
+        let mut b = FixedBackend::new(50.0);
+        let mut x = 7u64;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let page = (x >> 33) % (1 << 16);
+            c.step(MemOp::load(VirtAddr::new(page * 4096), 1), &mut b);
+        }
+        assert!(!b.log.is_empty());
+        for (addr, _) in &b.log {
+            assert!(
+                addr.raw() >= base && addr.raw() < base + span,
+                "backend saw out-of-tenant address {addr:?}"
+            );
+        }
     }
 
     #[test]

@@ -147,31 +147,47 @@ impl Tlb {
         }
     }
 
+    /// L1 keys fold the address-space identifier into bits the virtual page
+    /// number never reaches (scaled footprints stay far below 2^44 pages),
+    /// so entries from different tenants never alias and ASID 0 reproduces
+    /// the untagged key exactly.
+    fn l1_key(asid: u16, vpn: u64) -> u64 {
+        ((asid as u64) << 44) | vpn
+    }
+
     /// L2 keys carry the page size so a 4 KB and a 2 MB translation of the
-    /// same region never alias.
-    fn l2_key(mode: PageSizeMode, vpn: u64) -> u64 {
-        match mode {
+    /// same region never alias, plus the ASID one bit higher than the L1
+    /// tag to make room for the size bit.
+    fn l2_key(asid: u16, mode: PageSizeMode, vpn: u64) -> u64 {
+        let size_tagged = match mode {
             PageSizeMode::Standard4K => vpn << 1,
             PageSizeMode::Huge2M => (vpn << 1) | 1,
-        }
+        };
+        ((asid as u64) << 45) | size_tagged
     }
 
     /// Looks up the translation for `vaddr`, updating recency and stats.
     pub fn lookup(&mut self, vaddr: VirtAddr, mode: PageSizeMode) -> TlbOutcome {
+        self.lookup_asid(vaddr, mode, 0)
+    }
+
+    /// [`Tlb::lookup`] for a tagged address space. ASID 0 is bit-for-bit
+    /// the untagged behavior.
+    pub fn lookup_asid(&mut self, vaddr: VirtAddr, mode: PageSizeMode, asid: u16) -> TlbOutcome {
         let vpn = mode.vpn(vaddr);
-        let key = Self::l2_key(mode, vpn);
+        let key = Self::l2_key(asid, mode, vpn);
         if key == self.last_key {
             self.stats.l1_hits.incr();
             return TlbOutcome::L1Hit;
         }
-        if self.l1(mode).access(vpn) {
+        if self.l1(mode).access(Self::l1_key(asid, vpn)) {
             self.last_key = key;
             self.stats.l1_hits.incr();
             return TlbOutcome::L1Hit;
         }
         if self.l2.access(key) {
             // Promote to L1.
-            self.l1(mode).fill(vpn, false, ());
+            self.l1(mode).fill(Self::l1_key(asid, vpn), false, ());
             self.last_key = key;
             self.stats.l2_hits.incr();
             return TlbOutcome::L2Hit;
@@ -182,10 +198,15 @@ impl Tlb {
 
     /// Installs a translation after a page walk.
     pub fn fill(&mut self, vaddr: VirtAddr, mode: PageSizeMode) {
+        self.fill_asid(vaddr, mode, 0);
+    }
+
+    /// [`Tlb::fill`] for a tagged address space.
+    pub fn fill_asid(&mut self, vaddr: VirtAddr, mode: PageSizeMode, asid: u16) {
         let vpn = mode.vpn(vaddr);
-        self.l1(mode).fill(vpn, false, ());
-        self.l2.fill(Self::l2_key(mode, vpn), false, ());
-        self.last_key = Self::l2_key(mode, vpn);
+        self.l1(mode).fill(Self::l1_key(asid, vpn), false, ());
+        self.l2.fill(Self::l2_key(asid, mode, vpn), false, ());
+        self.last_key = Self::l2_key(asid, mode, vpn);
     }
 }
 
@@ -282,6 +303,42 @@ mod tests {
             t.lookup(VirtAddr::new(0), PageSizeMode::Huge2M),
             TlbOutcome::Miss
         );
+    }
+
+    #[test]
+    fn asids_do_not_alias() {
+        let mut t = tlb();
+        let a = VirtAddr::new(0x5000);
+        t.fill_asid(a, PageSizeMode::Standard4K, 1);
+        assert_eq!(
+            t.lookup_asid(a, PageSizeMode::Standard4K, 1),
+            TlbOutcome::L1Hit
+        );
+        // Same vaddr from another tenant misses at every level.
+        assert_eq!(
+            t.lookup_asid(a, PageSizeMode::Standard4K, 2),
+            TlbOutcome::Miss
+        );
+        assert_eq!(t.lookup(a, PageSizeMode::Standard4K), TlbOutcome::Miss);
+    }
+
+    #[test]
+    fn asid_zero_is_the_untagged_path() {
+        let a = VirtAddr::new(0x1234_5000);
+        let mut legacy = tlb();
+        let mut tagged = tlb();
+        legacy.fill(a, PageSizeMode::Huge2M);
+        tagged.fill_asid(a, PageSizeMode::Huge2M, 0);
+        assert_eq!(
+            legacy.lookup(a, PageSizeMode::Huge2M),
+            tagged.lookup_asid(a, PageSizeMode::Huge2M, 0)
+        );
+        // The snapshots agree byte for byte: identical keys, identical state.
+        let mut wl = SnapWriter::new();
+        let mut wt = SnapWriter::new();
+        legacy.write_snapshot(&mut wl);
+        tagged.write_snapshot(&mut wt);
+        assert_eq!(wl.into_bytes(), wt.into_bytes());
     }
 
     #[test]

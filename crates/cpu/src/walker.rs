@@ -28,6 +28,9 @@ pub struct PageTableLayout {
     pte_base_page: u64,
     pde_base_page: u64,
     pdpte_base_page: u64,
+    /// Base of the host (second-dimension) page table; equal to
+    /// `total_pages` when the layout is not nested (empty region).
+    host_base_page: u64,
     total_pages: u64,
 }
 
@@ -47,8 +50,36 @@ impl PageTableLayout {
             pte_base_page,
             pde_base_page,
             pdpte_base_page,
+            host_base_page: pdpte_base_page + pdpte_pages,
             total_pages: pdpte_base_page + pdpte_pages,
         }
+    }
+
+    /// Lays out page tables for a virtualized guest: the guest tables from
+    /// [`PageTableLayout::new`] plus a host (nested) table mapping the
+    /// guest-physical space at 2 MB granularity — 8 B per 2 MB region,
+    /// covering the workload *and* the guest page tables, since in a 2D
+    /// walk every guest-physical access (including the walker's own table
+    /// reads) needs a host translation.
+    pub fn nested(workload_pages: u64) -> Self {
+        let mut l = Self::new(workload_pages);
+        let host_entries = l.total_pages.div_ceil(PAGES_PER_HUGE_PAGE);
+        let host_pages = (host_entries * 8).div_ceil(PAGE_BYTES).max(1);
+        l.host_base_page = l.total_pages;
+        l.total_pages += host_pages;
+        l
+    }
+
+    /// Whether this layout carries a host (nested) table.
+    pub fn is_nested(&self) -> bool {
+        self.total_pages > self.host_base_page
+    }
+
+    /// Physical address of the host-table entry translating the 2 MB
+    /// guest-physical region that `target` falls in.
+    pub fn host_entry_addr(&self, target: PhysAddr) -> PhysAddr {
+        let region = target.raw() / (PAGES_PER_HUGE_PAGE * PAGE_BYTES);
+        PhysAddr::new(self.host_base_page * PAGE_BYTES + region * 8)
     }
 
     /// The workload footprint in 4 KB pages.
@@ -98,6 +129,9 @@ pub struct WalkerStats {
     pub walks: Counter,
     /// Walks whose upper level hit the walker cache (single-access walks).
     pub upper_hits: Counter,
+    /// Host-table reads issued by the nested (2D) walk — one per
+    /// guest-physical 2 MB region that missed the nested walker cache.
+    pub host_reads: Counter,
 }
 
 /// The per-core page walker with its walker cache.
@@ -117,10 +151,18 @@ pub struct WalkerStats {
 #[derive(Clone, Debug)]
 pub struct PageWalker {
     cache: SetAssocCache,
+    /// Nested-walk (gPA → hPA) cache, modeled after a hardware nTLB:
+    /// caches 2 MB guest-physical regions whose host translation is known.
+    /// Always constructed (so snapshots have one shape); only consulted
+    /// when the layout is nested.
+    nested_cache: SetAssocCache,
     stats: WalkerStats,
 }
 
 impl PageWalker {
+    /// Entries in the nested (gPA → hPA) walker cache.
+    const NESTED_ENTRIES: u64 = 64;
+
     /// Creates a walker whose walker cache holds `entries` upper-level
     /// entries (1 KB = 128 entries in the paper's configuration).
     ///
@@ -130,6 +172,7 @@ impl PageWalker {
     pub fn new(entries: u64) -> Self {
         PageWalker {
             cache: SetAssocCache::new(CacheConfig::lru(entries, 4, 1)),
+            nested_cache: SetAssocCache::new(CacheConfig::lru(Self::NESTED_ENTRIES, 4, 1)),
             stats: WalkerStats::default(),
         }
     }
@@ -139,8 +182,32 @@ impl PageWalker {
         &self.stats
     }
 
+    /// For a nested layout, the host-table block that must be read to
+    /// translate guest-physical `target` — `None` on a nested-cache hit or
+    /// for a non-nested layout. Updates the nested cache.
+    pub fn host_translate(
+        &mut self,
+        target: PhysAddr,
+        layout: &PageTableLayout,
+    ) -> Option<PhysAddr> {
+        if !layout.is_nested() {
+            return None;
+        }
+        let region = target.raw() / (PAGES_PER_HUGE_PAGE * PAGE_BYTES);
+        if self.nested_cache.access(region) {
+            return None;
+        }
+        self.nested_cache.fill(region, false, ());
+        self.stats.host_reads.incr();
+        Some(layout.host_entry_addr(target).block_base())
+    }
+
     /// Plans a walk: the ordered physical block addresses the walker must
-    /// read. Updates the walker cache.
+    /// read. Updates the walker cache. For a nested layout each guest
+    /// table access is preceded by its host-table read when the 2 MB
+    /// guest-physical region misses the nested cache (the 2D walk); the
+    /// data page's own host translation is planned separately via
+    /// [`PageWalker::host_translate`].
     pub fn walk(
         &mut self,
         vaddr: VirtAddr,
@@ -155,29 +222,41 @@ impl PageWalker {
                 PageSizeMode::Standard4K => 0,
                 PageSizeMode::Huge2M => 1,
             };
+        let mut plan = Vec::with_capacity(2);
         if self.cache.access(upper_key) {
             self.stats.upper_hits.incr();
-            vec![leaf.block_base()]
         } else {
             self.cache.fill(upper_key, false, ());
-            vec![upper.block_base(), leaf.block_base()]
+            if let Some(host) = self.host_translate(upper, layout) {
+                plan.push(host);
+            }
+            plan.push(upper.block_base());
         }
+        if let Some(host) = self.host_translate(leaf, layout) {
+            plan.push(host);
+        }
+        plan.push(leaf.block_base());
+        plan
     }
 }
 
 impl Snapshot for PageWalker {
     fn write_snapshot(&self, w: &mut SnapWriter) {
         self.cache.write_snapshot(w);
+        self.nested_cache.write_snapshot(w);
         self.stats.walks.write_snapshot(w);
         self.stats.upper_hits.write_snapshot(w);
+        self.stats.host_reads.write_snapshot(w);
     }
 }
 
 impl Restore for PageWalker {
     fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         self.cache.restore_snapshot(r)?;
+        self.nested_cache.restore_snapshot(r)?;
         self.stats.walks.restore_snapshot(r)?;
-        self.stats.upper_hits.restore_snapshot(r)
+        self.stats.upper_hits.restore_snapshot(r)?;
+        self.stats.host_reads.restore_snapshot(r)
     }
 }
 
@@ -224,6 +303,55 @@ mod tests {
         w.walk(VirtAddr::new(0), PageSizeMode::Standard4K, &l);
         let cold_2m = w.walk(VirtAddr::new(0), PageSizeMode::Huge2M, &l);
         assert_eq!(cold_2m.len(), 2);
+    }
+
+    #[test]
+    fn nested_layout_appends_host_table() {
+        let base = PageTableLayout::new(100_000);
+        let nested = PageTableLayout::nested(100_000);
+        assert!(!base.is_nested());
+        assert!(nested.is_nested());
+        assert!(nested.total_os_pages() > base.total_os_pages());
+        // Guest regions are identical; the host table sits after them.
+        assert_eq!(
+            base.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Standard4K),
+            nested.leaf_entry_addr(VirtAddr::new(0), PageSizeMode::Standard4K)
+        );
+        let host = nested.host_entry_addr(PhysAddr::new(0));
+        assert!(host.page().index() >= base.total_os_pages());
+        assert!(host.page().index() < nested.total_os_pages());
+        // The host table covers the very last guest-physical page.
+        let last = nested.host_entry_addr(PhysAddr::new((base.total_os_pages() - 1) * PAGE_BYTES));
+        assert!(last.page().index() < nested.total_os_pages());
+    }
+
+    #[test]
+    fn nested_walks_add_host_reads() {
+        let l = PageTableLayout::nested(1 << 20);
+        let mut w = PageWalker::new(128);
+        let cold = w.walk(VirtAddr::new(0x1000), PageSizeMode::Standard4K, &l);
+        // Cold 2D walk: host(upper) + upper + [host(leaf) if new region] + leaf.
+        assert!(
+            cold.len() >= 3,
+            "cold nested walk reads host table: {cold:?}"
+        );
+        assert!(w.stats().host_reads.get() >= 1);
+        let before = w.stats().host_reads.get();
+        let warm = w.walk(VirtAddr::new(0x3000), PageSizeMode::Standard4K, &l);
+        assert_eq!(warm.len(), 1, "warm nested walk: nTLB + PDE cache hit");
+        assert_eq!(w.stats().host_reads.get(), before);
+        // A region far away misses the nested cache again.
+        assert!(w.host_translate(PhysAddr::new(500 << 21), &l).is_some());
+    }
+
+    #[test]
+    fn non_nested_layout_never_plans_host_reads() {
+        let l = PageTableLayout::new(1 << 20);
+        let mut w = PageWalker::new(128);
+        assert!(w.host_translate(PhysAddr::new(0), &l).is_none());
+        let cold = w.walk(VirtAddr::new(0x1000), PageSizeMode::Standard4K, &l);
+        assert_eq!(cold.len(), 2);
+        assert_eq!(w.stats().host_reads.get(), 0);
     }
 
     #[test]

@@ -363,6 +363,12 @@ pub trait MemoryScheme {
         None
     }
 
+    /// A scenario memory-pressure event (ballooning): reclaim until the
+    /// scheme's free pool holds `extra_free_pages` pages beyond its normal
+    /// free target, forcing a compaction burst. Schemes without a
+    /// compressed level have nothing to squeeze. Default: no-op.
+    fn apply_pressure(&mut self, _now: Time, _extra_free_pages: u64, _dram: &mut Dram) {}
+
     /// Accumulated statistics.
     fn stats(&self) -> &McStats;
 

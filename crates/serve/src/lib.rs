@@ -20,7 +20,9 @@
 //! - `/runs` — live sweep progress: one line per runner job, from the
 //!   progress markers the runner drops under `<root>/progress/`.
 //! - `/metrics` — Prometheus text exposition: request counters, this
-//!   process's host self-profiler phase series, and run-progress gauges.
+//!   process's host self-profiler phase series, run-progress gauges, and
+//!   per-tenant slowdown gauges from `fig_tenants` exports
+//!   (`*.tenants.jsonl`).
 //!
 //! Artifact names are confined to `[A-Za-z0-9._-]` and may not begin with
 //! a dot, so a request can never escape the results directory.
@@ -303,6 +305,38 @@ fn metrics_body(root: &Path) -> String {
             "dylect_digest_windows{{artifact=\"{}\"}} {windows}",
             prom_label(&name)
         );
+    }
+
+    out.push_str(
+        "# HELP dylect_tenant_slowdown Per-tenant slowdown versus the solo baseline \
+         (solo IPS / co-run IPS), from fig_tenants exports.\n",
+    );
+    out.push_str("# TYPE dylect_tenant_slowdown gauge\n");
+    for name in list_artifacts(root) {
+        if !name.ends_with(".tenants.jsonl") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(artifact_path(root, &name)) else {
+            continue;
+        };
+        for line in text.lines() {
+            // Per-tenant rows carry both keys; finding rows carry neither.
+            let Some(map) = parse_flat_object(line.trim()) else {
+                continue;
+            };
+            let tenant = map
+                .get("tenant")
+                .and_then(|v| v.as_str().map(str::to_owned));
+            let slowdown = map.get("slowdown").and_then(|v| v.as_f64());
+            if let (Some(tenant), Some(slowdown)) = (tenant, slowdown) {
+                let _ = writeln!(
+                    out,
+                    "dylect_tenant_slowdown{{artifact=\"{}\",tenant=\"{}\"}} {slowdown}",
+                    prom_label(&name),
+                    prom_label(&tenant)
+                );
+            }
+        }
     }
     out
 }
@@ -813,6 +847,70 @@ mod tests {
                 .contains("dylect_digest_windows{artifact=\"omnetpp-abc.digest.jsonl\"} 2"),
             "{}",
             metrics.body
+        );
+        fs::remove_dir_all(&root).ok();
+    }
+
+    /// `fig_tenants` per-tenant exports surface as a
+    /// `dylect_tenant_slowdown` gauge per (artifact, tenant); finding rows
+    /// and garbage lines in the same file are skipped, and the family
+    /// header is present even with no tenant artifacts (schema-stable).
+    #[test]
+    fn tenant_exports_surface_as_slowdown_gauges() {
+        let root = temp_root("tenants");
+        let metrics = route(&root, "GET", "/metrics");
+        assert!(
+            metrics.body.contains("# TYPE dylect_tenant_slowdown gauge"),
+            "{}",
+            metrics.body
+        );
+        assert!(!metrics.body.contains("dylect_tenant_slowdown{"));
+
+        fs::write(
+            root.join("fig_tenants.dylect-g3.tenants.jsonl"),
+            "{\"artifact\":\"fig_tenants\",\"scheme\":\"dylect-g3\",\"tenant\":\"omnetpp\",\
+             \"asid\":0,\"solo_ips\":4.9e9,\"co_ips\":4.7e9,\"slowdown\":1.042,\
+             \"tlb_miss_rate\":0.01,\"solo_tlb_miss_rate\":0.009}\n\
+             {\"artifact\":\"fig_tenants\",\"scheme\":\"dylect-g3\",\"tenant\":\"mcf\",\
+             \"asid\":1,\"solo_ips\":2.0e9,\"co_ips\":1.6e9,\"slowdown\":1.25,\
+             \"tlb_miss_rate\":0.05,\"solo_tlb_miss_rate\":0.04}\n\
+             {\"artifact\":\"fig_tenants\",\"scheme\":\"dylect-g3\",\
+             \"finding\":\"cte_contention\",\"solo_cte_hit_rate\":0.96,\
+             \"co_cte_hit_rate\":0.94,\"delta\":-0.02}\n\
+             not json at all\n",
+        )
+        .unwrap();
+        let metrics = route(&root, "GET", "/metrics");
+        assert!(
+            metrics.body.contains(
+                "dylect_tenant_slowdown{artifact=\"fig_tenants.dylect-g3.tenants.jsonl\",\
+                 tenant=\"omnetpp\"} 1.042"
+            ),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains(
+                "dylect_tenant_slowdown{artifact=\"fig_tenants.dylect-g3.tenants.jsonl\",\
+                 tenant=\"mcf\"} 1.25"
+            ),
+            "{}",
+            metrics.body
+        );
+        assert_eq!(
+            metrics.body.matches("dylect_tenant_slowdown{").count(),
+            2,
+            "finding and garbage rows emit no gauge: {}",
+            metrics.body
+        );
+
+        // The export is also a first-class artifact: listed and fetchable.
+        assert!(route(&root, "GET", "/figures")
+            .body
+            .contains("fig_tenants.dylect-g3.tenants.jsonl"));
+        assert_eq!(
+            route(&root, "GET", "/figure/fig_tenants.dylect-g3.tenants.jsonl").status,
+            200
         );
         fs::remove_dir_all(&root).ok();
     }

@@ -27,7 +27,8 @@ use std::fmt;
 /// First bytes of every top-level snapshot.
 pub const SNAP_MAGIC: [u8; 4] = *b"DYSN";
 /// Current snapshot format version (bump on any encoding change).
-pub const SNAP_VERSION: u8 = 1;
+/// v2: the page walker serializes its nested-walk cache and counters.
+pub const SNAP_VERSION: u8 = 2;
 
 /// Why a snapshot could not be restored.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -274,6 +274,15 @@ impl SharedMemory {
         }
     }
 
+    /// A scenario memory-pressure event: every MC reclaims until its free
+    /// pool holds `extra_free_pages` beyond the normal target (ballooning).
+    pub fn apply_pressure(&mut self, now: Time, extra_free_pages: u64) {
+        for mc in &mut self.mcs {
+            mc.scheme
+                .apply_pressure(now, extra_free_pages, &mut mc.dram);
+        }
+    }
+
     /// Shared-side statistics.
     pub fn stats(&self) -> &SharedStats {
         &self.stats

@@ -15,16 +15,48 @@ use dylect_sim_core::trace::OpBatch;
 use dylect_sim_core::Time;
 use dylect_telemetry::{SampleSnapshot, Telemetry, TelemetryConfig};
 use dylect_tmcc::{Tmcc, TmccConfig};
-use dylect_workloads::{BenchmarkSpec, SyntheticWorkload};
+use dylect_workloads::{BenchmarkSpec, PhaseShift, SyntheticWorkload};
 
 use crate::backend::SharedMemory;
 use crate::config::{SchemeKind, SystemConfig};
 use crate::report::RunReport;
 
+/// Per-tenant (per-core) execution summary for fairness/interference
+/// reporting — each core's own share of a run's work and time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSummary {
+    /// Benchmark name this tenant runs.
+    pub tenant: String,
+    /// Address-space identifier (the core index).
+    pub asid: u16,
+    /// Instructions this core retired in the measurement window.
+    pub instructions: u64,
+    /// Memory operations this core retired.
+    pub mem_ops: u64,
+    /// This core's elapsed time over the measurement window.
+    pub elapsed: Time,
+    /// This core's TLB miss rate.
+    pub tlb_miss_rate: f64,
+    /// Time this core spent stalled on page walks.
+    pub walk_time: Time,
+}
+
+impl TenantSummary {
+    /// Instructions per second for this tenant alone.
+    pub fn ips(&self) -> f64 {
+        if self.elapsed == Time::ZERO {
+            return 0.0;
+        }
+        self.instructions as f64 / (self.elapsed.as_ns() * 1e-9)
+    }
+}
+
 /// A complete simulated machine running one benchmark.
 pub struct System {
     config: SystemConfig,
     benchmark: String,
+    /// Benchmark name per core (all equal outside multi-tenant mode).
+    tenant_names: Vec<String>,
     cores: Vec<Core>,
     workloads: Vec<SyntheticWorkload>,
     shared: SharedMemory,
@@ -75,7 +107,7 @@ impl System {
     /// compressed for compressing schemes, uncompressed for the baseline).
     pub fn new(config: SystemConfig, spec: &BenchmarkSpec) -> Self {
         let footprint = spec.footprint_pages(config.scale);
-        let layout = PageTableLayout::new(footprint);
+        let layout = Self::layout_for(&config, footprint);
         let os_pages_total = layout.total_os_pages();
         let n_mc = config.memory_controllers.max(1) as u64;
         // Pages interleave across MCs; each MC is sized for its share of the
@@ -106,6 +138,130 @@ impl System {
 
         System {
             benchmark: spec.name.to_owned(),
+            tenant_names: vec![spec.name.to_owned(); config.cores],
+            config,
+            cores,
+            workloads,
+            shared,
+            measure_start: Time::ZERO,
+            telemetry: None,
+            ops_clock: None,
+            ops_in_epoch: 0,
+            instr_base: 0,
+            batch: OpBatch::with_capacity(BATCH_OPS as usize),
+            digest_ops: 0,
+            digest_window: digest::window_ops(),
+            digests: Vec::new(),
+            perturb_at: None,
+            perturb_fired: false,
+        }
+    }
+
+    /// The page-table layout for one address space under `config`.
+    fn layout_for(config: &SystemConfig, footprint: u64) -> PageTableLayout {
+        if config.core.nested_walk {
+            PageTableLayout::nested(footprint)
+        } else {
+            PageTableLayout::new(footprint)
+        }
+    }
+
+    /// Builds a multi-tenant system: one core per tenant, each running its
+    /// own benchmark in its own ASID-tagged address space, placed side by
+    /// side in machine-physical memory (2 MB-aligned so huge-page regions
+    /// never straddle tenants) and interleaved across the shared memory
+    /// controllers. `config.cores` must equal `tenants.len()`; the caller
+    /// sizes `config.dram_bytes` for the combined footprint.
+    ///
+    /// With a single tenant this constructs exactly the system that
+    /// [`System::new`] builds for a one-core config — same seeds, same
+    /// layout, same scheme — so scenario mode is a strict superset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty, `config.cores != tenants.len()`, or
+    /// more than `u16::MAX` tenants are requested.
+    pub fn new_tenants(config: SystemConfig, tenants: &[BenchmarkSpec]) -> Self {
+        assert!(!tenants.is_empty(), "at least one tenant");
+        assert_eq!(config.cores, tenants.len(), "one core per tenant");
+        assert!(tenants.len() <= u16::MAX as usize, "too many tenants");
+        let page_bytes = dylect_sim_core::PAGE_BYTES;
+        let huge_pages = dylect_sim_core::PAGES_PER_HUGE_PAGE;
+
+        // Place each tenant's OS-visible space (workload + page tables) at
+        // a 2 MB-aligned machine-physical base.
+        let layouts: Vec<PageTableLayout> = tenants
+            .iter()
+            .map(|t| Self::layout_for(&config, t.footprint_pages(config.scale)))
+            .collect();
+        let mut base_pages = Vec::with_capacity(tenants.len());
+        let mut next = 0u64;
+        for l in &layouts {
+            base_pages.push(next);
+            next = (next + l.total_os_pages()).next_multiple_of(huge_pages);
+        }
+        let machine_pages = base_pages
+            .last()
+            .zip(layouts.last())
+            .map(|(b, l)| b + l.total_os_pages())
+            .expect("non-empty");
+
+        let n_mc = config.memory_controllers.max(1) as u64;
+        let os_pages = machine_pages.div_ceil(n_mc);
+        let dram_bytes_per_mc = (config.dram_bytes / n_mc).div_ceil(1 << 20) << 20;
+        let seed = config.seed;
+        let benchmark = tenants.iter().map(|t| t.name).collect::<Vec<_>>().join("+");
+
+        // One compressibility profile per MC. A single tenant keeps its
+        // own benchmark's profile (bit-compatible with `System::new`);
+        // co-tenants blend into a footprint-weighted mean ratio under the
+        // joined name, so the profile digest guards the tenant mix.
+        let profile = if tenants.len() == 1 {
+            tenants[0].workload(config.scale, seed).profile().clone()
+        } else {
+            let total: u64 = tenants
+                .iter()
+                .map(|t| t.footprint_pages(config.scale))
+                .sum();
+            let mean = tenants
+                .iter()
+                .map(|t| {
+                    t.compression_ratio * t.footprint_pages(config.scale) as f64 / total as f64
+                })
+                .sum::<f64>();
+            dylect_compression::CompressibilityProfile::with_mean_ratio(&benchmark, mean)
+        };
+        let mcs: Vec<(Box<dyn MemoryScheme>, Dram)> = (0..n_mc)
+            .map(|mc_idx| {
+                let dram = Dram::new(DramConfig::paper(dram_bytes_per_mc, config.dram_ranks));
+                let seed = seed.wrapping_add(mc_idx * 0x9E37);
+                let scheme =
+                    Self::build_scheme(&config.scheme, os_pages, &dram, profile.clone(), seed);
+                (scheme, dram)
+            })
+            .collect();
+        let shared =
+            SharedMemory::new_multi(config.l3_bytes, config.l3_ways, config.l3_latency, mcs);
+
+        let cores = layouts
+            .iter()
+            .zip(&base_pages)
+            .enumerate()
+            .map(|(i, (layout, base))| {
+                let mut core = Core::new(config.core, *layout);
+                core.set_address_space(i as u16, base * page_bytes);
+                core
+            })
+            .collect();
+        let workloads = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.workload(config.scale, seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+
+        System {
+            benchmark,
+            tenant_names: tenants.iter().map(|t| t.name.to_owned()).collect(),
             config,
             cores,
             workloads,
@@ -185,7 +341,7 @@ impl System {
     /// does not expose.
     pub fn from_parts(config: SystemConfig, spec: &BenchmarkSpec, shared: SharedMemory) -> Self {
         let footprint = spec.footprint_pages(config.scale);
-        let layout = PageTableLayout::new(footprint);
+        let layout = Self::layout_for(&config, footprint);
         let cores = (0..config.cores)
             .map(|_| Core::new(config.core, layout))
             .collect();
@@ -194,6 +350,7 @@ impl System {
             .collect();
         System {
             benchmark: spec.name.to_owned(),
+            tenant_names: vec![spec.name.to_owned(); config.cores],
             config,
             cores,
             workloads,
@@ -294,6 +451,11 @@ impl System {
     /// The shared memory side (scheme + DRAM), for inspection.
     pub fn shared(&self) -> &SharedMemory {
         &self.shared
+    }
+
+    /// The simulated cores, for inspection (walker/TLB statistics).
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
     }
 
     /// Executes `ops` memory operations across the cores, always stepping
@@ -561,6 +723,83 @@ impl System {
         self.finish()
     }
 
+    /// Runs the warmup window without snapshotting — the segmented
+    /// scenario driver's entry point, after which it alternates
+    /// [`System::execute`] with scenario events and closes with
+    /// [`System::finish`].
+    pub fn warm_up(&mut self, warmup_ops: u64) {
+        self.shared.set_warmup(true);
+        self.execute(warmup_ops);
+    }
+
+    /// Restores a [`System::warm_up_and_snapshot`] image and opens the
+    /// measurement window, leaving this system ready for segmented
+    /// execution — the scenario counterpart of
+    /// [`System::resume_measurement`], which the caller drives to the end
+    /// itself (re-applying scenario events at the same op boundaries).
+    pub fn restore_warmed(&mut self, snapshot: &[u8]) -> Result<(), SnapError> {
+        self.shared.set_warmup(true);
+        self.restore(snapshot)?;
+        self.start_measurement();
+        Ok(())
+    }
+
+    /// Applies a scenario phase shift to tenant `tenant`'s workload
+    /// generator. Call only at an [`System::execute`] boundary; both the
+    /// straight and the snapshot-resumed run must apply the same shifts at
+    /// the same boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn apply_phase_shift(&mut self, tenant: usize, shift: &PhaseShift) {
+        self.workloads[tenant].apply_phase(shift);
+    }
+
+    /// Applies a scenario memory-pressure event (ballooning): every MC
+    /// reclaims until `extra_free_pages` beyond its normal free target are
+    /// free, forcing a compaction burst. Deterministic — the event fires
+    /// at the maximum core-local time, which is a pure function of the
+    /// retired stream. Call only at an [`System::execute`] boundary.
+    pub fn apply_pressure(&mut self, extra_free_pages: u64) {
+        let now = self
+            .cores
+            .iter()
+            .map(Core::time)
+            .max()
+            .unwrap_or(Time::ZERO);
+        self.shared.apply_pressure(now, extra_free_pages);
+    }
+
+    /// Per-tenant (per-core) summaries over the measurement window, for
+    /// fairness/interference reporting. Call after [`System::finish`]
+    /// (cores drained); each tenant's elapsed time is its own core clock
+    /// measured from the shared window start.
+    pub fn tenant_summaries(&self) -> Vec<TenantSummary> {
+        self.cores
+            .iter()
+            .zip(&self.tenant_names)
+            .enumerate()
+            .map(|(i, (c, name))| {
+                let t = c.tlb().stats();
+                let lookups = t.l1_hits.get() + t.l2_hits.get() + t.misses.get();
+                TenantSummary {
+                    tenant: name.clone(),
+                    asid: i as u16,
+                    instructions: c.stats().instructions.get(),
+                    mem_ops: c.stats().mem_ops.get(),
+                    elapsed: c.time().saturating_sub(self.measure_start),
+                    tlb_miss_rate: if lookups == 0 {
+                        0.0
+                    } else {
+                        t.misses.get() as f64 / lookups as f64
+                    },
+                    walk_time: c.stats().walk_time,
+                }
+            })
+            .collect()
+    }
+
     /// Fingerprint of everything that determines this system's identity
     /// for snapshot purposes: the resolved configuration (scheme, seeds,
     /// geometry, core/MC counts) and the benchmark. Schemes additionally
@@ -812,6 +1051,166 @@ mod tests {
         assert_eq!(r1.instructions, r2.instructions);
         assert_eq!(r1.elapsed, r2.elapsed);
         assert_eq!(r1.dram.total_blocks(), r2.dram.total_blocks());
+    }
+
+    #[test]
+    fn single_tenant_scenario_matches_plain_system() {
+        // `new_tenants` with one tenant must be bit-compatible with
+        // `System::new` at cores = 1: same seeds, layout, and scheme.
+        let cfg = SystemConfig::quick(&spec(), SchemeKind::dylect(), CompressionSetting::High);
+        let r1 = System::new(cfg.clone(), &spec()).run(2_000, 5_000);
+        let r2 = System::new_tenants(cfg, &[spec()]).run(2_000, 5_000);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.to_cache_text(), r2.to_cache_text());
+    }
+
+    fn two_tenants() -> (SystemConfig, Vec<BenchmarkSpec>) {
+        let tenants = vec![
+            BenchmarkSpec::by_name("omnetpp").expect("in suite"),
+            BenchmarkSpec::by_name("canneal").expect("in suite"),
+        ];
+        let mut cfg =
+            SystemConfig::quick(&tenants[0], SchemeKind::dylect(), CompressionSetting::High);
+        cfg.cores = 2;
+        cfg.dram_bytes = tenants
+            .iter()
+            .map(|t| t.dram_bytes(CompressionSetting::High, cfg.scale))
+            .sum();
+        (cfg, tenants)
+    }
+
+    #[test]
+    fn multi_tenant_system_reports_per_tenant_summaries() {
+        let (cfg, tenants) = two_tenants();
+        let mut sys = System::new_tenants(cfg, &tenants);
+        let report = sys.run(2_000, 6_000);
+        assert!(report.instructions > 0);
+        let summaries = sys.tenant_summaries();
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(summaries[0].tenant, "omnetpp");
+        assert_eq!(summaries[1].tenant, "canneal");
+        for (i, s) in summaries.iter().enumerate() {
+            assert_eq!(s.asid, i as u16);
+            assert!(s.instructions > 0, "tenant {i} retired nothing");
+            assert!(s.elapsed > Time::ZERO, "tenant {i} has no window");
+            assert!(s.ips() > 0.0);
+        }
+        let total: u64 = summaries.iter().map(|s| s.instructions).sum();
+        assert_eq!(total, report.instructions);
+    }
+
+    #[test]
+    fn multi_tenant_runs_are_deterministic_and_snapshot_exact() {
+        let (cfg, tenants) = two_tenants();
+        let mut a = System::new_tenants(cfg.clone(), &tenants);
+        let r1 = a.run(2_000, 5_000);
+
+        // Straight repeat.
+        let mut b = System::new_tenants(cfg.clone(), &tenants);
+        let r2 = b.run(2_000, 5_000);
+        assert_eq!(r1, r2);
+
+        // Warm-snapshot resume.
+        let mut warm = System::new_tenants(cfg.clone(), &tenants);
+        let snap = warm.warm_up_and_snapshot(2_000);
+        let mut resumed = System::new_tenants(cfg, &tenants);
+        let r3 = resumed
+            .resume_measurement(&snap, 5_000)
+            .expect("snapshot restores");
+        assert_eq!(r1, r3);
+        assert_eq!(resumed.tenant_summaries(), {
+            let mut c = warm;
+            c.start_measurement();
+            c.execute(5_000);
+            c.finish();
+            c.tenant_summaries()
+        });
+    }
+
+    #[test]
+    fn pressure_events_force_compaction_and_stay_deterministic() {
+        let run = |extra: u64| {
+            let cfg = SystemConfig::quick(&spec(), SchemeKind::dylect(), CompressionSetting::High);
+            let mut sys = System::new(cfg, &spec());
+            sys.warm_up(4_000);
+            sys.start_measurement();
+            sys.execute(2_000);
+            if extra > 0 {
+                sys.apply_pressure(extra);
+            }
+            sys.execute(2_000);
+            (sys.finish(), sys)
+        };
+        let (base, _) = run(0);
+        let (squeezed, _) = run(512);
+        // Raising the free target reclaims pages: strictly more free space
+        // right after the burst, and the run is still deterministic.
+        assert!(
+            squeezed.occupancy.free_pages >= base.occupancy.free_pages,
+            "pressure should not shrink free space: {} vs {}",
+            squeezed.occupancy.free_pages,
+            base.occupancy.free_pages
+        );
+        let (squeezed2, _) = run(512);
+        assert_eq!(squeezed, squeezed2);
+    }
+
+    #[test]
+    fn phase_shift_changes_the_run_deterministically() {
+        let run = |shift: Option<PhaseShift>| {
+            let cfg = SystemConfig::quick(&spec(), SchemeKind::dylect(), CompressionSetting::High);
+            let mut sys = System::new(cfg, &spec());
+            sys.warm_up(2_000);
+            sys.start_measurement();
+            sys.execute(2_000);
+            if let Some(s) = &shift {
+                sys.apply_phase_shift(0, s);
+            }
+            sys.execute(4_000);
+            sys.finish()
+        };
+        let shift = PhaseShift {
+            hot_fraction: Some(0.8),
+            zipf_theta: Some(0.2),
+            ..PhaseShift::default()
+        };
+        let base = run(None);
+        let churned = run(Some(shift));
+        assert_ne!(base, churned, "a real shift must perturb the run");
+        assert_eq!(run(Some(shift)), churned);
+    }
+
+    #[test]
+    fn nested_walk_adds_walk_time() {
+        // 4 KB pages and a footprint wider than the nested cache's 128 MB
+        // reach (64 entries x 2 MB), so walks miss both the TLB and the
+        // nTLB and the second dimension is actually exercised.
+        let mut cfg = SystemConfig::quick(&spec(), SchemeKind::dylect(), CompressionSetting::High);
+        cfg.core.page_mode = dylect_cpu::PageSizeMode::Standard4K;
+        cfg.scale = 4;
+        cfg.dram_bytes = spec().dram_bytes(CompressionSetting::High, cfg.scale);
+        let mut nested_cfg = cfg.clone();
+        nested_cfg.core.nested_walk = true;
+        let mut flat_sys = System::new(cfg, &spec());
+        let flat = flat_sys.run(2_000, 8_000);
+        let mut nested_sys = System::new(nested_cfg, &spec());
+        let nested = nested_sys.run(2_000, 8_000);
+        assert!(flat.walks > 0, "test must exercise walks");
+        assert!(nested.walks > 0, "test must exercise nested walks");
+        assert_eq!(
+            flat_sys.cores()[0].walker().stats().host_reads.get(),
+            0,
+            "flat mode never reads the host table"
+        );
+        assert!(
+            nested_sys.cores()[0].walker().stats().host_reads.get() > 0,
+            "2D mode must read the host table in the measurement window"
+        );
+        // Per-walk cost monotonicity is pinned in the cpu crate
+        // (`nested_walks_cost_more_walk_time`) where the memory side is
+        // held fixed; here the host table itself perturbs cache/DRAM
+        // state, so only the mechanism is asserted.
+        assert!(nested_sys.tenant_summaries()[0].walk_time > Time::ZERO);
     }
 
     #[test]

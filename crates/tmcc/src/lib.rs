@@ -243,7 +243,12 @@ impl Tmcc {
     /// Background maintenance: compact whole granules from the recency tail
     /// until the free target is met.
     fn maintain(&mut self, now: Time, dram: &mut Dram) {
-        let target = self.store.free_target_pages();
+        self.maintain_to(now, self.store.free_target_pages(), dram);
+    }
+
+    /// [`Tmcc::maintain`] with an explicit free target (scenario pressure
+    /// events raise it past the steady-state floor).
+    fn maintain_to(&mut self, now: Time, target: u64, dram: &mut Dram) {
         let mut t = now;
         let mut guard = 64;
         while (self.store.free.free_page_count() as u64) < target && guard > 0 {
@@ -341,6 +346,14 @@ impl MemoryScheme for Tmcc {
             }
             .with_dram(detail),
         }
+    }
+
+    fn apply_pressure(&mut self, now: Time, extra_free_pages: u64, dram: &mut Dram) {
+        let target = self
+            .store
+            .free_target_pages()
+            .saturating_add(extra_free_pages);
+        self.maintain_to(now, target, dram);
     }
 
     fn set_probe(&mut self, probe: ProbeHandle) {

@@ -187,6 +187,36 @@ impl DrawThresholds {
     }
 }
 
+/// A declarative mid-run change of workload personality (scenario phase
+/// churn). Only the fields that are `Some` change; everything else keeps
+/// its current value.
+///
+/// Deliberately excluded: `footprint_pages` and `mean_compression_ratio`
+/// (and `eligible_fraction`, which feeds the same page-stable hashes) —
+/// those are *construction* state shared with the memory controller's
+/// sizing and compressibility profile, and changing them mid-run would
+/// break the snapshot identity guards. The effective working-set size
+/// shifts through `hot_fraction`, which grows or shrinks the set of
+/// regions the Zipf draw can reach.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PhaseShift {
+    /// New fraction of the footprint in hot regions.
+    pub hot_fraction: Option<f64>,
+    /// New Zipf skew across hot regions.
+    pub zipf_theta: Option<f64>,
+    /// New store fraction.
+    pub write_fraction: Option<f64>,
+    /// New sequential-scan fraction.
+    pub stream_fraction: Option<f64>,
+}
+
+impl PhaseShift {
+    /// Whether the shift changes nothing.
+    pub fn is_empty(&self) -> bool {
+        *self == PhaseShift::default()
+    }
+}
+
 /// Multiply-shift map of a 16-bit field onto `0..n` (unbiased enough for
 /// workload shaping; `n` is tiny).
 #[inline]
@@ -372,6 +402,32 @@ impl SyntheticWorkload {
         };
         let page = page.min(footprint_pages - 1);
         self.op_at(page, write, dep, r2)
+    }
+
+    /// Applies a phase shift: rebuilds the derived state (Zipf tables,
+    /// draw thresholds, hot-region count) from the updated parameters and
+    /// abandons any in-flight burst so the next hot access re-draws under
+    /// the new skew. Deterministic — no RNG draws are consumed — so two
+    /// runs applying the same shifts at the same op boundaries stay
+    /// byte-identical.
+    pub fn apply_phase(&mut self, shift: &PhaseShift) {
+        if let Some(h) = shift.hot_fraction {
+            self.params.hot_fraction = h;
+        }
+        if let Some(t) = shift.zipf_theta {
+            self.params.zipf_theta = t;
+        }
+        if let Some(w) = shift.write_fraction {
+            self.params.write_fraction = w;
+        }
+        if let Some(s) = shift.stream_fraction {
+            self.params.stream_fraction = s;
+        }
+        self.hot_regions = ((self.num_regions as f64 * self.params.hot_fraction) as u64)
+            .clamp(1, self.num_regions);
+        self.zipf = Zipf::new(self.hot_regions, self.params.zipf_theta);
+        self.thresholds = DrawThresholds::new(&self.params);
+        self.burst_remaining = 0;
     }
 
     /// Fills `buf` with the next operations (convenience for batch runs).
@@ -620,6 +676,73 @@ mod tests {
             let res = same.restore_snapshot(&mut r).and_then(|()| r.finish());
             assert!(res.is_err(), "prefix of {cut} bytes accepted");
         }
+    }
+
+    #[test]
+    fn phase_shifts_are_deterministic_and_change_behavior() {
+        let shift = PhaseShift {
+            hot_fraction: Some(0.05),
+            zipf_theta: Some(1.3),
+            ..PhaseShift::default()
+        };
+        let run = |apply: bool| {
+            let mut w = demo(21);
+            for _ in 0..5_000 {
+                w.next_op();
+            }
+            if apply {
+                w.apply_phase(&shift);
+            }
+            let mut regions = HashSet::new();
+            for _ in 0..50_000 {
+                regions.insert(w.next_op().vaddr.page().index() / REGION_PAGES);
+            }
+            regions.len()
+        };
+        // Deterministic: same shift at the same boundary, same stream.
+        let mut a = demo(22);
+        let mut b = demo(22);
+        for _ in 0..1_000 {
+            a.next_op();
+            b.next_op();
+        }
+        a.apply_phase(&shift);
+        b.apply_phase(&shift);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+        // Behavioral: shrinking the hot set shrinks the touched regions.
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn phase_shift_keeps_snapshot_contract() {
+        // Snapshot after a shift, restore onto a fresh workload with the
+        // same shift re-applied: streams agree.
+        let shift = PhaseShift {
+            write_fraction: Some(0.9),
+            ..PhaseShift::default()
+        };
+        let mut w = demo(23);
+        for _ in 0..2_000 {
+            w.next_op();
+        }
+        w.apply_phase(&shift);
+        for _ in 0..500 {
+            w.next_op();
+        }
+        let mut sw = SnapWriter::new();
+        w.write_snapshot(&mut sw);
+        let snap = sw.into_bytes();
+        let expected: Vec<MemOp> = (0..500).map(|_| w.next_op()).collect();
+
+        let mut fresh = demo(23);
+        fresh.apply_phase(&shift);
+        let mut r = SnapReader::new(&snap);
+        fresh.restore_snapshot(&mut r).unwrap();
+        r.finish().unwrap();
+        let resumed: Vec<MemOp> = (0..500).map(|_| fresh.next_op()).collect();
+        assert_eq!(expected, resumed);
     }
 
     #[test]

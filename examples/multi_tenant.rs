@@ -1,0 +1,85 @@
+//! Multi-tenant scenario walkthrough: co-schedule two benchmarks on one
+//! compressed-memory machine, shake it with phase churn and a memory-
+//! pressure squeeze, and read the per-tenant fairness numbers.
+//!
+//! ```text
+//! cargo run --release -p dylect-bench --example multi_tenant
+//! ```
+//!
+//! The same spec string works end to end from the environment: set
+//! `DYLECT_SCENARIO='tenants=omnetpp,canneal;...'` and the `fig_tenants`
+//! binary runs it through the cached experiment runner.
+
+use dylect_scenario::ScenarioSpec;
+use dylect_sim::{SchemeKind, System, SystemConfig};
+use dylect_workloads::{BenchmarkSpec, CompressionSetting};
+
+fn main() {
+    // A scenario is one compact string: the tenant mix, optional 2D
+    // nested page walks, and events at retired-op boundaries inside the
+    // measurement window. Here: a Zipf-skew + hot-set phase shift for
+    // every tenant at op 64k, then a ballooning squeeze (every memory
+    // controller reclaims 2048 extra pages) at op 128k.
+    let scenario = ScenarioSpec::parse(
+        "tenants=omnetpp,canneal;phase@65536=theta:0.99,hot:0.2;pressure@131072=2048",
+    )
+    .expect("spec is valid");
+
+    // Start from the single-process quick config and let the scenario
+    // resize it: one core per tenant, DRAM for the combined footprint.
+    let setting = CompressionSetting::High;
+    let first = BenchmarkSpec::by_name(&scenario.tenants[0]).expect("in suite");
+    let base = SystemConfig::quick(&first, SchemeKind::dylect(), setting);
+    let cfg = scenario.configure(base, setting);
+
+    // Solo baselines: each tenant alone on an identically-scaled machine.
+    let solo_ips: Vec<f64> = scenario
+        .resolve()
+        .iter()
+        .map(|t| {
+            let mut solo = SystemConfig::quick(t, SchemeKind::dylect(), setting);
+            solo.scale = cfg.scale;
+            System::new(solo, t).run(400_000, 200_000).ips()
+        })
+        .collect();
+
+    // Fairness first, on the event-free co-schedule: slowdown compares
+    // against the solo baselines, so both sides must run the same
+    // workload behavior — events would change it mid-window.
+    let steady = ScenarioSpec {
+        events: Vec::new(),
+        ..scenario.clone()
+    };
+    let outcome = steady.run(&mut steady.build_system(cfg.clone()), 400_000, 200_000);
+    println!("machine              : {}", outcome.report.benchmark);
+    println!("scheme               : {}", outcome.report.scheme);
+    println!("aggregate instr/sec  : {:.3e}", outcome.report.ips());
+    println!();
+    println!("tenant      solo_ips    co_ips      slowdown");
+    for (t, s) in outcome.tenants.iter().zip(outcome.slowdowns(&solo_ips)) {
+        println!(
+            "{:<10}  {:.3e}  {:.3e}  {s:.3}",
+            t.tenant,
+            solo_ips[t.asid as usize],
+            t.ips(),
+        );
+    }
+
+    // Now the full scenario: the same machine shaken by phase churn and
+    // a ballooning squeeze. Events fire at their declared op boundaries;
+    // compaction bursts show up in the scheme statistics.
+    let churned = scenario.run(&mut scenario.build_system(cfg), 400_000, 200_000);
+    println!();
+    println!(
+        "with events          : {:.3e} instr/sec",
+        churned.report.ips()
+    );
+    println!(
+        "free DRAM pages      : {} (steady) -> {} (squeezed)",
+        outcome.report.occupancy.free_pages, churned.report.occupancy.free_pages,
+    );
+    println!("event boundaries (ping-pong pages need shadow telemetry):");
+    for seg in &churned.segments {
+        println!("  @{:<7} {}", seg.at_op, seg.label);
+    }
+}

@@ -570,3 +570,114 @@ fn cached_rerun_reuses_reports_byte_for_byte() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn scenario_runs_are_deterministic_across_jobs_and_resume() {
+    // The datacenter scenario subsystem inherits every determinism
+    // guarantee: a multi-tenant run — with and without 2D nested walks,
+    // with phase-churn and memory-pressure events firing mid-window —
+    // must be byte-identical for every drain worker count AND under
+    // snapshot→restore resume (events re-fire at the same boundaries),
+    // including every exported telemetry artifact.
+    use dylect_scenario::ScenarioSpec;
+    let mode = tiny_mode();
+    let telemetry_cfg = dylect_telemetry::TelemetryConfig {
+        shadow: true,
+        span_sample: 16,
+        ..dylect_telemetry::TelemetryConfig::default()
+    };
+    let export = |mut sys: System, tag: &str| -> Vec<(String, String)> {
+        let telemetry = sys.take_telemetry().expect("enabled");
+        let dir =
+            std::env::temp_dir().join(format!("dylect-scen-det-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = telemetry
+            .export_to(&dir.join("scenario"))
+            .expect("export writes");
+        let contents = paths
+            .iter()
+            .map(|p| {
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(p).expect("export readable"),
+                )
+            })
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        contents
+    };
+    for nested in [false, true] {
+        let raw = format!(
+            "tenants=omnetpp,canneal;nested={};phase@1024=theta:0.2,hot:0.8;pressure@2048=128",
+            nested as u8
+        );
+        let scenario = ScenarioSpec::parse(&raw).expect("valid spec");
+        let build = |jobs: usize| {
+            let first = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+            let base = SystemConfig::quick(&first, SchemeKind::dylect(), CompressionSetting::High);
+            let mut cfg = scenario.configure(base, CompressionSetting::High);
+            cfg.memory_controllers = 2;
+            let mut sys = scenario.build_system(cfg);
+            sys.set_jobs(jobs);
+            sys.enable_telemetry(telemetry_cfg);
+            sys
+        };
+        let label = format!("nested={nested}");
+
+        let mut s1 = build(1);
+        let o1 = scenario.run(&mut s1, mode.warmup_ops, mode.measure_ops);
+        let mut s3 = build(3);
+        let o3 = scenario.run(&mut s3, mode.warmup_ops, mode.measure_ops);
+        assert_eq!(o1, o3, "{label}: worker count changed the scenario run");
+        assert_eq!(
+            o1.report.to_cache_text(),
+            o3.report.to_cache_text(),
+            "{label}: cache text differs across worker counts"
+        );
+
+        let snap = build(1).warm_up_and_snapshot(mode.warmup_ops);
+        let mut sr = build(3);
+        let or = scenario
+            .resume(&mut sr, &snap, mode.measure_ops)
+            .expect("scenario snapshot restores");
+        assert_eq!(o1, or, "{label}: resumed scenario differs from straight");
+
+        let e1 = export(s1, &format!("s-{nested}"));
+        let e3 = export(s3, &format!("j-{nested}"));
+        let er = export(sr, &format!("r-{nested}"));
+        assert_eq!(e1.len(), e3.len(), "{label}: export sets differ");
+        assert_eq!(e1.len(), er.len(), "{label}: export sets differ");
+        for (a, b) in e1.iter().zip(&e3) {
+            assert_eq!(a.0, b.0, "{label}");
+            assert_eq!(a.1, b.1, "{label}: {} differs with 3 workers", a.0);
+        }
+        for (a, b) in e1.iter().zip(&er) {
+            assert_eq!(a.0, b.0, "{label}");
+            assert_eq!(a.1, b.1, "{label}: {} differs after restore", a.0);
+        }
+    }
+}
+
+#[test]
+fn solo_scenario_run_matches_the_plain_single_process_run() {
+    // With one tenant, no events, and nested off, the scenario path must
+    // construct and run exactly the machine `System::new` builds — same
+    // seeds, layout, scheme — so turning the subsystem "off" provably
+    // changes nothing.
+    use dylect_scenario::ScenarioSpec;
+    let spec = BenchmarkSpec::by_name("omnetpp").expect("in suite");
+    let mode = tiny_mode();
+    let cfg = SystemConfig::quick(&spec, SchemeKind::dylect(), CompressionSetting::High);
+    let plain = System::new(cfg.clone(), &spec).run(mode.warmup_ops, mode.measure_ops);
+    let scenario = ScenarioSpec::solo("omnetpp").expect("in suite");
+    let outcome = scenario.run(
+        &mut scenario.build_system(cfg),
+        mode.warmup_ops,
+        mode.measure_ops,
+    );
+    assert_eq!(
+        plain.to_cache_text(),
+        outcome.report.to_cache_text(),
+        "solo scenario must reproduce the plain run byte-identically"
+    );
+}

@@ -189,6 +189,32 @@ $STATS bisect "$DIV/bisect-base.digest.jsonl" "$DIV/bisect-base.digest.jsonl" >/
     || { echo "bisect smoke: identical streams must exit 0"; exit 1; }
 echo "bisect smoke: OK"
 
+echo "== scenario smoke: co-scheduled runs diff clean, tenant exports included"
+# Two fig_tenants runs of the same full scenario (two tenants, nested 2D
+# walks, a phase shift and a pressure squeeze inside the window) must be
+# byte-identically reproducible: the printed tables AND the per-tenant
+# .tenants.jsonl exports. DYLECT_NO_CACHE keeps the solo baselines
+# honest — both runs simulate everything fresh.
+for run in a b; do
+    DYLECT_SCENARIO='tenants=omnetpp,canneal;nested=1;phase@1024=theta:0.2,hot:0.8;pressure@2048=128' \
+        DYLECT_QUICK=1 DYLECT_JOBS=2 DYLECT_NO_CACHE=1 \
+        cargo run -q --offline --release -p dylect-bench \
+        --bin fig_tenants -- --out "$SMOKE/tenants-$run" > "$SMOKE/tenants-$run.tsv"
+done
+cmp -s "$SMOKE/tenants-a.tsv" "$SMOKE/tenants-b.tsv" \
+    || { echo "scenario smoke: fig_tenants tables not reproducible"; exit 1; }
+ls "$SMOKE"/tenants-a/*.tenants.jsonl >/dev/null 2>&1 \
+    || { echo "scenario smoke: no .tenants.jsonl exports written"; exit 1; }
+for f in "$SMOKE"/tenants-a/*.tenants.jsonl; do
+    cmp -s "$f" "$SMOKE/tenants-b/$(basename "$f")" \
+        || { echo "scenario smoke: $(basename "$f") not reproducible"; exit 1; }
+    grep -q '"slowdown"' "$f" \
+        || { echo "scenario smoke: $(basename "$f") has no slowdown rows"; exit 1; }
+    grep -q '"finding"' "$f" \
+        || { echo "scenario smoke: $(basename "$f") has no interference findings"; exit 1; }
+done
+echo "scenario smoke: OK"
+
 echo "== bench-diff gate: committed BENCH trajectory within budgets"
 # The committed bench-history registry, oldest snapshot first. Gates: the
 # newest median step must not regress >25% over its predecessor, and any
@@ -196,7 +222,7 @@ echo "== bench-diff gate: committed BENCH trajectory within budgets"
 cargo run -q --offline --release -p dylect-telemetry --bin dylect-stats -- \
     bench-diff BENCH_latency_attrib.json BENCH_telemetry.json \
     BENCH_batched.json BENCH_checkpoint.json BENCH_selfprofile.json \
-    BENCH_digest.json \
+    BENCH_digest.json BENCH_scenario.json \
     --gate-rel 0.25 --max-overhead-pct 2.0 \
     || { echo "bench-diff gate: trajectory breached a budget"; exit 1; }
 echo "bench-diff gate: OK"
@@ -211,6 +237,7 @@ SERVE_BIN=target/release/dylect-serve
 WWW="$SMOKE/www"
 mkdir -p "$WWW/cache"
 cp "$SMOKE"/a/*.jsonl "$WWW/"
+cp "$SMOKE"/tenants-a/*.tenants.jsonl "$WWW/"
 cp "$DCACHE"/*.digest.jsonl "$WWW/cache/"
 DYLECT_SERVE_ADDR=127.0.0.1:0 DYLECT_PROF=1 "$SERVE_BIN" "$WWW" \
     > "$SMOKE/serve.out" 2>/dev/null &
@@ -224,7 +251,9 @@ ADDR=$(sed -n 's/^listening on //p' "$SMOKE/serve.out")
 [ -n "$ADDR" ] || { echo "serve smoke: server never came up"; exit 1; }
 "$SERVE_BIN" get "http://$ADDR/healthz" > "$SMOKE/healthz.out" \
     || { echo "serve smoke: /healthz failed"; exit 1; }
-FIG=$(basename "$(ls "$WWW"/*.jsonl | head -1)")
+# Skip the tenants exports here: the /diff twin below comes from the
+# telemetry smoke's b-run, which has no tenants artifacts.
+FIG=$(basename "$(ls "$WWW"/*.jsonl | grep -v '\.tenants\.jsonl$' | head -1)")
 "$SERVE_BIN" get "http://$ADDR/figure/$FIG" > "$SMOKE/figure.out" \
     || { echo "serve smoke: /figure/$FIG failed"; exit 1; }
 cmp -s "$SMOKE/figure.out" "$WWW/$FIG" \
@@ -260,6 +289,15 @@ cmp -s "$SMOKE/digest.out" "$DSTREAM" \
     || { echo "serve smoke: /digest/$DSTEM differs from on-disk stream"; exit 1; }
 grep -q "dylect_digest_windows{artifact=\"$DSTEM.digest.jsonl\"}" "$SMOKE/metrics.out" \
     || { echo "serve smoke: /metrics missing dylect_digest_windows gauge"; exit 1; }
+# The fig_tenants exports must surface as per-tenant slowdown gauges and
+# be fetchable as ordinary artifacts.
+TEN=$(basename "$(ls "$WWW"/*.tenants.jsonl | head -1)")
+"$SERVE_BIN" get "http://$ADDR/figure/$TEN" > "$SMOKE/tenfig.out" \
+    || { echo "serve smoke: /figure/$TEN failed"; exit 1; }
+cmp -s "$SMOKE/tenfig.out" "$WWW/$TEN" \
+    || { echo "serve smoke: /figure/$TEN differs from on-disk artifact"; exit 1; }
+grep -q "dylect_tenant_slowdown{artifact=\"$TEN\"" "$SMOKE/metrics.out" \
+    || { echo "serve smoke: /metrics missing dylect_tenant_slowdown gauge"; exit 1; }
 kill "$SERVE_PID" 2>/dev/null || true
 echo "serve smoke: OK"
 
